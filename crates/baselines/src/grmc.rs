@@ -1,0 +1,232 @@
+//! GRMC — Graph-Regularized Matrix Completion baseline.
+//!
+//! Let `M` be the roads × days matrix of speeds at the query slot, with
+//! one extra column for "today" that is observed only at the crowdsourced
+//! roads. GRMC factorizes `M ≈ U Vᵀ` over the observed entries with ridge
+//! penalties and a graph-Laplacian smoothness term on the road factors
+//! (adjacent roads get similar latent vectors — the Graph Laplacian factor
+//! of the paper's refs [17, 33, 16]):
+//!
+//! ```text
+//! min Σ_{(i,j) observed} (M_ij − u_i·v_j)²
+//!     + λ (‖U‖² + ‖V‖²) + γ Σ_{(a,b) ∈ E} ‖u_a − u_b‖²
+//! ```
+//!
+//! Speeds are centered per road before factorization (the factors model
+//! day-to-day deviations, not absolute levels). Optimization is full-batch
+//! gradient descent with step halving; initialization is deterministic.
+
+use crate::traits::{EstimationContext, Estimator};
+use rtse_graph::RoadId;
+
+/// The GRMC baseline estimator.
+#[derive(Debug, Clone, Copy)]
+pub struct Grmc {
+    /// Latent dimension (paper: tuned in 5–20, 10 best).
+    pub latent_dim: usize,
+    /// Ridge penalty λ.
+    pub lambda: f64,
+    /// Graph-smoothness weight γ.
+    pub graph_gamma: f64,
+    /// Gradient-descent iterations.
+    pub iters: usize,
+    /// Initial learning rate (halved whenever the loss regresses).
+    pub learning_rate: f64,
+    /// Seed of the deterministic initializer.
+    pub seed: u64,
+}
+
+impl Default for Grmc {
+    fn default() -> Self {
+        Self {
+            latent_dim: 10,
+            lambda: 0.1,
+            graph_gamma: 0.5,
+            iters: 150,
+            learning_rate: 0.02,
+            seed: 0x6472_6D63,
+        }
+    }
+}
+
+/// splitmix64 stream producing uniforms in `[-0.5, 0.5)` — rand-free
+/// deterministic initialization.
+fn uniform_stream(seed: u64) -> impl FnMut() -> f64 {
+    let mut state = seed;
+    move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z = z ^ (z >> 31);
+        (z >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    }
+}
+
+impl Estimator for Grmc {
+    fn name(&self) -> &'static str {
+        "GRMC"
+    }
+
+    fn estimate(&self, ctx: &EstimationContext<'_>, observations: &[(RoadId, f64)]) -> Vec<f64> {
+        let n = ctx.graph.num_roads();
+        let days = ctx.history.num_days();
+        let cols = days + 1; // + today's partial column
+        let k = self.latent_dim;
+
+        // Per-road centering means (from the RTF slot means, which are the
+        // sample means of the same history).
+        let means = &ctx.model.slot(ctx.slot).mu;
+
+        // Observed entries as (road, col, centered value).
+        let mut entries: Vec<(usize, usize, f64)> = Vec::with_capacity(n * cols);
+        for day in 0..days {
+            for r in ctx.graph.road_ids() {
+                if let Some(v) = ctx.history.get(day, ctx.slot, r) {
+                    entries.push((r.index(), day, v - means[r.index()]));
+                }
+            }
+        }
+        for &(r, v) in observations {
+            entries.push((r.index(), days, v - means[r.index()]));
+        }
+
+        // Deterministic small init.
+        let mut next = uniform_stream(self.seed);
+        let mut u = vec![0.0_f64; n * k];
+        let mut v = vec![0.0_f64; cols * k];
+        for x in u.iter_mut().chain(v.iter_mut()) {
+            *x = 0.2 * next();
+        }
+
+        let mut lr = self.learning_rate;
+        let mut last_loss = f64::INFINITY;
+        let mut du = vec![0.0_f64; n * k];
+        let mut dv = vec![0.0_f64; cols * k];
+        for _ in 0..self.iters {
+            du.iter_mut().for_each(|x| *x = 0.0);
+            dv.iter_mut().for_each(|x| *x = 0.0);
+            let mut loss = 0.0;
+            for &(i, j, m) in &entries {
+                let (ui, vj) = (&u[i * k..(i + 1) * k], &v[j * k..(j + 1) * k]);
+                let pred: f64 = ui.iter().zip(vj.iter()).map(|(a, b)| a * b).sum();
+                let e = pred - m;
+                loss += e * e;
+                for d in 0..k {
+                    du[i * k + d] += 2.0 * e * vj[d];
+                    dv[j * k + d] += 2.0 * e * ui[d];
+                }
+            }
+            // Ridge terms.
+            for (g, x) in du.iter_mut().zip(u.iter()) {
+                *g += 2.0 * self.lambda * x;
+            }
+            for (g, x) in dv.iter_mut().zip(v.iter()) {
+                *g += 2.0 * self.lambda * x;
+            }
+            loss += self.lambda
+                * (u.iter().map(|x| x * x).sum::<f64>() + v.iter().map(|x| x * x).sum::<f64>());
+            // Graph Laplacian smoothness on road factors.
+            for &(a, b) in ctx.graph.edges() {
+                for d in 0..k {
+                    let diff = u[a.index() * k + d] - u[b.index() * k + d];
+                    loss += self.graph_gamma * diff * diff;
+                    du[a.index() * k + d] += 2.0 * self.graph_gamma * diff;
+                    du[b.index() * k + d] -= 2.0 * self.graph_gamma * diff;
+                }
+            }
+            // Normalize by entry count so lr is scale-free.
+            let scale = lr / entries.len().max(1) as f64;
+            for (x, g) in u.iter_mut().zip(du.iter()) {
+                *x -= scale * g;
+            }
+            for (x, g) in v.iter_mut().zip(dv.iter()) {
+                *x -= scale * g;
+            }
+            if loss > last_loss {
+                lr *= 0.5;
+            }
+            last_loss = loss;
+        }
+
+        // Today's column prediction, de-centered; observed roads echo the
+        // probe.
+        let vtoday = &v[days * k..(days + 1) * k];
+        let mut out: Vec<f64> = (0..n)
+            .map(|i| {
+                let pred: f64 =
+                    u[i * k..(i + 1) * k].iter().zip(vtoday.iter()).map(|(a, b)| a * b).sum();
+                (means[i] + pred).max(0.0)
+            })
+            .collect();
+        for &(r, val) in observations {
+            out[r.index()] = val;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::test_support::fixture;
+    use rtse_data::SlotOfDay;
+
+    fn ctx(f: &crate::traits::test_support::Fixture, slot: SlotOfDay) -> EstimationContext<'_> {
+        EstimationContext { graph: &f.graph, model: &f.model, history: &f.dataset.history, slot }
+    }
+
+    #[test]
+    fn observed_roads_echo_observations() {
+        let f = fixture(5);
+        let slot = SlotOfDay::from_hm(8, 0);
+        let obs = [(RoadId(2), 19.5)];
+        let est = Grmc::default().estimate(&ctx(&f, slot), &obs);
+        assert_eq!(est[2], 19.5);
+        assert_eq!(est.len(), f.graph.num_roads());
+    }
+
+    #[test]
+    fn estimates_finite_nonnegative() {
+        let f = fixture(6);
+        let slot = SlotOfDay::from_hm(17, 30);
+        let truth = f.dataset.ground_truth_snapshot(slot);
+        let obs: Vec<(RoadId, f64)> =
+            [1usize, 7, 13].iter().map(|&i| (RoadId::from(i), truth[i])).collect();
+        let est = Grmc::default().estimate(&ctx(&f, slot), &obs);
+        assert!(est.iter().all(|x| x.is_finite() && *x >= 0.0));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let f = fixture(7);
+        let slot = SlotOfDay::from_hm(12, 0);
+        let obs = [(RoadId(0), 40.0), (RoadId(9), 35.0)];
+        let a = Grmc::default().estimate(&ctx(&f, slot), &obs);
+        let b = Grmc::default().estimate(&ctx(&f, slot), &obs);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn without_observations_stays_near_periodic_mean() {
+        // With no probe the latent model only sees history; today's column
+        // has no observations so its factor stays near init, and estimates
+        // should land near the periodic means.
+        let f = fixture(8);
+        let slot = SlotOfDay::from_hm(10, 0);
+        let est = Grmc::default().estimate(&ctx(&f, slot), &[]);
+        let mu = &f.model.slot(slot).mu;
+        let mad: f64 = est.iter().zip(mu.iter()).map(|(a, b)| (a - b).abs()).sum::<f64>()
+            / mu.len() as f64;
+        assert!(mad < 3.0, "mean deviation from μ too large: {mad}");
+    }
+
+    #[test]
+    fn more_latent_dims_do_not_break() {
+        let f = fixture(9);
+        let slot = SlotOfDay::from_hm(9, 30);
+        let grmc = Grmc { latent_dim: 20, iters: 60, ..Default::default() };
+        let est = grmc.estimate(&ctx(&f, slot), &[(RoadId(4), 33.0)]);
+        assert!(est.iter().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,24 @@
+//! Baseline estimators the paper compares GSP against (Section VII-C):
+//!
+//! * **Per** ([`Per`]) — purely periodic: returns the RTF slot means and
+//!   ignores the realtime probes entirely;
+//! * **LASSO** ([`LassoEstimator`]) — per-target L1-regularized regression
+//!   from the probed roads' speeds, trained on history (correlation-only);
+//! * **GRMC** ([`Grmc`]) — graph-regularized matrix completion: a
+//!   latent-factor model over the roads × days matrix with a graph
+//!   Laplacian smoothness term, completed with the partially observed
+//!   current column.
+//!
+//! All estimators implement the [`Estimator`] trait so the evaluation
+//! harness can sweep them uniformly; the GSP wrapper lives in
+//! `crowd-rtse-core` (it needs the `rtse-gsp` crate).
+
+pub mod grmc;
+pub mod lasso_est;
+pub mod per;
+pub mod traits;
+
+pub use grmc::Grmc;
+pub use lasso_est::LassoEstimator;
+pub use per::Per;
+pub use traits::{EstimationContext, Estimator};

@@ -1,0 +1,44 @@
+//! The periodicity-only baseline.
+
+use crate::traits::{EstimationContext, Estimator};
+use rtse_graph::RoadId;
+
+/// "Per … purely relies on the periodicity and provides the periodic
+/// traffic speeds as its estimation" (Section VII-C). It reads the RTF
+/// slot means and ignores the crowdsourced observations — which is exactly
+/// why it cannot see incidents.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Per;
+
+impl Estimator for Per {
+    fn name(&self) -> &'static str {
+        "Per"
+    }
+
+    fn estimate(&self, ctx: &EstimationContext<'_>, _observations: &[(RoadId, f64)]) -> Vec<f64> {
+        ctx.model.slot(ctx.slot).mu.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::test_support::fixture;
+    use rtse_data::SlotOfDay;
+
+    #[test]
+    fn returns_slot_means_and_ignores_observations() {
+        let f = fixture(1);
+        let ctx = EstimationContext {
+            graph: &f.graph,
+            model: &f.model,
+            history: &f.dataset.history,
+            slot: SlotOfDay::from_hm(8, 30),
+        };
+        let no_obs = Per.estimate(&ctx, &[]);
+        let with_obs = Per.estimate(&ctx, &[(RoadId(0), 1.0)]);
+        assert_eq!(no_obs, with_obs);
+        assert_eq!(no_obs, f.model.slot(ctx.slot).mu);
+        assert_eq!(no_obs.len(), f.graph.num_roads());
+    }
+}

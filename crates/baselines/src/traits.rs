@@ -1,0 +1,64 @@
+//! The estimator interface shared by GSP and the baselines.
+
+use rtse_data::{HistoryStore, SlotOfDay};
+use rtse_graph::{Graph, RoadId};
+use rtse_rtf::RtfModel;
+
+/// Everything an estimator may consult: the network, the trained offline
+/// model, the raw history, and the query slot.
+#[derive(Clone, Copy)]
+pub struct EstimationContext<'a> {
+    /// The road network.
+    pub graph: &'a Graph,
+    /// The trained RTF (slot means/stds/correlations).
+    pub model: &'a RtfModel,
+    /// Raw historical records (regression/completion baselines retrain on
+    /// these per query).
+    pub history: &'a HistoryStore,
+    /// The queried time slot.
+    pub slot: SlotOfDay,
+}
+
+/// A realtime speed estimator: maps the crowdsourced observations to a
+/// full-network speed estimate (one value per road).
+pub trait Estimator {
+    /// Short display name used in experiment tables ("GSP", "LASSO", …).
+    fn name(&self) -> &'static str;
+
+    /// Produces estimates for every road. Implementations must return
+    /// exactly `ctx.graph.num_roads()` finite values and must echo the
+    /// observed value for observed roads (except estimators that by
+    /// definition ignore observations, like Per).
+    fn estimate(&self, ctx: &EstimationContext<'_>, observations: &[(RoadId, f64)]) -> Vec<f64>;
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared dataset fixture for baseline tests.
+
+    use rtse_data::{SynthConfig, SynthDataset, TrafficGenerator};
+    use rtse_graph::generators::grid;
+    use rtse_graph::Graph;
+    use rtse_rtf::{moment_estimate, RtfModel};
+
+    pub struct Fixture {
+        pub graph: Graph,
+        pub dataset: SynthDataset,
+        pub model: RtfModel,
+    }
+
+    /// A 4x5 grid with 25 days of clean history (no incidents in history,
+    /// deterministic in `seed`).
+    pub fn fixture(seed: u64) -> Fixture {
+        let graph = grid(4, 5);
+        let cfg = SynthConfig {
+            days: 25,
+            incidents_per_day: 0.5,
+            seed,
+            ..SynthConfig::default()
+        };
+        let dataset = TrafficGenerator::new(&graph, cfg).generate();
+        let model = moment_estimate(&graph, &dataset.history);
+        Fixture { graph, dataset, model }
+    }
+}

@@ -1,0 +1,47 @@
+//! Ablation bench: cost of the two path-correlation semantics (Eq. 8
+//! max-product vs the paper's literal Eq. 9 reciprocal-sum). The
+//! reciprocal-sum variant needs predecessor tracking and path walks, so it
+//! is expected to be measurably slower; quality differences are reported
+//! by the `exp_ablation` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtse_bench::semi_syn_world;
+use rtse_data::SlotOfDay;
+use rtse_rtf::{CorrelationTable, PathCorrelation};
+use std::hint::black_box;
+
+fn bench_pathcorr(c: &mut Criterion) {
+    let slot = SlotOfDay::from_hm(8, 30);
+    let mut group = c.benchmark_group("pathcorr_semantics");
+    for size in [150usize, 600] {
+        let world = semi_syn_world(size, 6, 2018);
+        group.bench_with_input(BenchmarkId::new("max_product", size), &world, |b, w| {
+            b.iter(|| {
+                black_box(CorrelationTable::build(
+                    &w.graph,
+                    &w.model,
+                    slot,
+                    PathCorrelation::MaxProduct,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("reciprocal_sum", size), &world, |b, w| {
+            b.iter(|| {
+                black_box(CorrelationTable::build(
+                    &w.graph,
+                    &w.model,
+                    slot,
+                    PathCorrelation::ReciprocalSum,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pathcorr
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion micro-benches for the graph substrate: Dijkstra, BFS
+//! layering, and synthetic-network generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtse_graph::{bfs_layers, dijkstra, generators, RoadId};
+use std::hint::black_box;
+
+fn bench_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph");
+    for size in [150usize, 600] {
+        let g = generators::hong_kong_like(size, 2018);
+        group.bench_with_input(BenchmarkId::new("dijkstra_sssp", size), &g, |b, g| {
+            b.iter(|| black_box(dijkstra(g, RoadId(0), |e| 1.0 + e.index() as f64 % 3.0)))
+        });
+        let sources: Vec<RoadId> = (0..10u32).map(RoadId).collect();
+        group.bench_with_input(BenchmarkId::new("bfs_layers", size), &g, |b, g| {
+            b.iter(|| black_box(bfs_layers(g, &sources)))
+        });
+        group.bench_with_input(BenchmarkId::new("generate", size), &size, |b, &s| {
+            b.iter(|| black_box(generators::hong_kong_like(s, 7)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_graph
+}
+criterion_main!(benches);

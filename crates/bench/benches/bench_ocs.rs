@@ -1,0 +1,47 @@
+//! Criterion micro-benches for OCS (Fig. 4a): selection time vs budget for
+//! the three greedy solvers at paper scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtse_bench::{semi_syn_world, THETA_TUNED};
+use rtse_data::SlotOfDay;
+use rtse_ocs::{hybrid_greedy, objective_greedy, ratio_greedy, OcsInstance};
+use rtse_rtf::{CorrelationTable, PathCorrelation};
+use std::hint::black_box;
+
+fn bench_ocs(c: &mut Criterion) {
+    let world = semi_syn_world(607, 8, 2018);
+    let slot = SlotOfDay::from_hm(8, 30);
+    let corr =
+        CorrelationTable::build(&world.graph, &world.model, slot, PathCorrelation::MaxProduct);
+    let params = world.model.slot(slot);
+
+    let mut group = c.benchmark_group("ocs_fig4a");
+    for budget in [30u32, 90, 150] {
+        let inst = OcsInstance {
+            sigma: &params.sigma,
+            corr: &corr,
+            queried: &world.queried_51,
+            candidates: &world.all_roads,
+            costs: &world.costs_c1,
+            budget,
+            theta: THETA_TUNED,
+        };
+        group.bench_with_input(BenchmarkId::new("ratio", budget), &inst, |b, inst| {
+            b.iter(|| black_box(ratio_greedy(inst)))
+        });
+        group.bench_with_input(BenchmarkId::new("objective", budget), &inst, |b, inst| {
+            b.iter(|| black_box(objective_greedy(inst)))
+        });
+        group.bench_with_input(BenchmarkId::new("hybrid", budget), &inst, |b, inst| {
+            b.iter(|| black_box(hybrid_greedy(inst)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ocs
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion micro-benches for the offline stage (Fig. 5 support): one
+//! training sweep and the correlation-table build, vs network size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtse_bench::semi_syn_world;
+use rtse_data::SlotOfDay;
+use rtse_graph::components::grow_connected_subset;
+use rtse_graph::RoadId;
+use rtse_rtf::{moments::moment_estimate_slot, CorrelationTable, PathCorrelation, RtfTrainer};
+use std::hint::black_box;
+
+fn bench_rtf(c: &mut Criterion) {
+    let world = semi_syn_world(607, 8, 2018);
+    let slot = SlotOfDay::from_hm(8, 30);
+
+    let mut group = c.benchmark_group("rtf_offline");
+    for size in [150usize, 300, 600] {
+        let keep = grow_connected_subset(&world.graph, RoadId(0), size).unwrap();
+        let (sub, _) = world.graph.induced_subgraph(&keep);
+        let history = world.dataset.history.project_roads(&keep);
+        group.bench_with_input(BenchmarkId::new("moment_slot", size), &size, |b, _| {
+            b.iter(|| black_box(moment_estimate_slot(&sub, &history, slot)))
+        });
+        group.bench_with_input(BenchmarkId::new("ccd_train_slot", size), &size, |b, _| {
+            let trainer = RtfTrainer { max_iters: 5, tol: 0.0, ..Default::default() };
+            b.iter(|| black_box(trainer.train_slot(&sub, &history, slot)))
+        });
+        let model = rtse_rtf::moment_estimate(&sub, &history);
+        group.bench_with_input(BenchmarkId::new("corr_table", size), &size, |b, _| {
+            b.iter(|| {
+                black_box(CorrelationTable::build(&sub, &model, slot, PathCorrelation::MaxProduct))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_rtf
+}
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Extension experiment: variance-aware (active) selection vs the paper's
+//! Hybrid-Greedy and Random, judged by downstream GSP estimation quality.
+//!
+//! The active selector greedily reduces the queried roads' *posterior
+//! variance* (exact, from the GMRF) instead of maximizing the static
+//! correlation objective. Expected: it matches or beats Hybrid-Greedy at
+//! equal budget, with the edge largest at small K where every probe must
+//! count.
+//!
+//! ```sh
+//! cargo run --release -p rtse-bench --bin exp_active [--quick] [--csv]
+//! ```
+
+use crowd_rtse_core::{variance_aware_select, GspEstimator};
+use rtse_baselines::{EstimationContext, Estimator};
+use rtse_bench::{
+    ground_truth_observations, quick_mode, scale, semi_syn_world, BUDGETS_SEMI_SYN, THETA_TUNED,
+};
+use rtse_data::SlotOfDay;
+use rtse_eval::{results_dir_from_args, ErrorReport, Table};
+use rtse_ocs::{hybrid_greedy, random_select, OcsInstance};
+use rtse_rtf::{CorrelationTable, PathCorrelation};
+
+fn main() {
+    let (roads, days) = scale();
+    let world = semi_syn_world(roads, days, 2018);
+    let slots = if quick_mode() {
+        vec![SlotOfDay::from_hm(8, 30)]
+    } else {
+        rtse_bench::query_slots()
+    };
+    let queried = world.queried_51.clone();
+
+    let mut t = Table::new(
+        "active (variance-aware) vs Hybrid vs Random — GSP MAPE / FER",
+        &["K", "Active MAPE", "Hybrid MAPE", "Rand MAPE", "Active FER", "Hybrid FER", "Rand FER"],
+    );
+    for &budget in &BUDGETS_SEMI_SYN {
+        let mut sums = [(0.0, 0.0); 3];
+        for &slot in &slots {
+            let corr = CorrelationTable::build(
+                &world.graph,
+                &world.model,
+                slot,
+                PathCorrelation::MaxProduct,
+            );
+            let params = world.model.slot(slot);
+            let inst = OcsInstance {
+                sigma: &params.sigma,
+                corr: &corr,
+                queried: &queried,
+                candidates: &world.all_roads,
+                costs: &world.costs_c1,
+                budget,
+                theta: THETA_TUNED,
+            };
+            let selections = [
+                variance_aware_select(&world.graph, &world.model, slot, &inst, 1),
+                hybrid_greedy(&inst),
+                random_select(&inst, 7),
+            ];
+            let truth = world.dataset.ground_truth_snapshot(slot);
+            let ctx = EstimationContext {
+                graph: &world.graph,
+                model: &world.model,
+                history: &world.dataset.history,
+                slot,
+            };
+            for (sum, sel) in sums.iter_mut().zip(selections.iter()) {
+                let observations = ground_truth_observations(sel, truth);
+                let est = GspEstimator::default().estimate(&ctx, &observations);
+                let rep = ErrorReport::evaluate_default(&est, truth, &queried);
+                sum.0 += rep.mape / slots.len() as f64;
+                sum.1 += rep.fer / slots.len() as f64;
+            }
+        }
+        t.push_numeric_row(
+            budget.to_string(),
+            &[sums[0].0, sums[1].0, sums[2].0, sums[0].1, sums[1].1, sums[2].1],
+        );
+    }
+    println!("{}", t.render());
+    if let Some(dir) = results_dir_from_args("active") {
+        let _ = dir.write_table("active_vs_hybrid", &t);
+    }
+    println!(
+        "Reading guide: Active tracks Hybrid closely and both crush Random.\n\
+         Measured finding (see EXPERIMENTS.md): Active does NOT beat Hybrid here —\n\
+         estimation error is dominated by model BIAS (incidents the GMRF has never\n\
+         seen), which posterior variance cannot see. Minimizing model uncertainty\n\
+         only pays when the model is well-specified."
+    );
+}

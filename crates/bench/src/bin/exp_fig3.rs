@@ -1,0 +1,244 @@
+//! Fig. 3 — estimation quality of GSP vs LASSO vs GRMC vs Per.
+//!
+//! * Columns a/b/c: MAPE (row 1), FER (row 2) per budget with the
+//!   crowdsourced roads selected by Hybrid-Greedy / Objective-Greedy /
+//!   Random; DAPE (row 3) at K = 30.
+//! * Column d: GSP quality under the three selection strategies.
+//! * Column e: effect of the redundancy threshold θ (1 vs the tuned 0.92).
+//!
+//! Expected shapes (paper): GSP best on MAPE/FER, with the largest margin
+//! at K = 30; LASSO's MAPE approaches GSP at large K while its FER gap
+//! persists; Hybrid selection beats OBJ beats Random; tuned θ helps at
+//! small K only.
+//!
+//! ```sh
+//! cargo run --release -p rtse-bench --bin exp_fig3 [--quick]
+//! ```
+
+use crowd_rtse_core::GspEstimator;
+use rtse_baselines::{EstimationContext, Estimator, Grmc, LassoEstimator, Per};
+use rtse_bench::{
+    ground_truth_observations, quick_mode, scale, semi_syn_world, BUDGETS_SEMI_SYN, THETA_TUNED,
+};
+use rtse_data::SlotOfDay;
+use rtse_eval::{dape_histogram, results_dir_from_args, ErrorReport, Table};
+use rtse_graph::RoadId;
+use rtse_ocs::{hybrid_greedy, objective_greedy, random_select, OcsInstance, Selection};
+use rtse_rtf::{CorrelationTable, PathCorrelation};
+
+struct Panel {
+    mape: Table,
+    fer: Table,
+}
+
+fn main() {
+    let (roads, days) = scale();
+    let world = semi_syn_world(roads, days, 2018);
+    let slots = if quick_mode() {
+        vec![SlotOfDay::from_hm(8, 30)]
+    } else {
+        rtse_bench::query_slots()
+    };
+    let queried = world.queried_51.clone();
+    let methods: [&str; 4] = ["GSP", "LASSO", "GRMC", "Per"];
+    let header: Vec<&str> = ["K", "GSP", "LASSO", "GRMC", "Per"].to_vec();
+
+    let strategies: [(&str, StrategyFn); 3] =
+        [("Hybrid", select_hybrid), ("OBJ", select_obj), ("Rand", select_rand)];
+
+    let mut panels: Vec<Panel> = Vec::new();
+    let mut gsp_by_strategy: Vec<(String, Vec<f64>, Vec<f64>)> = Vec::new();
+    for (sname, select) in strategies {
+        let mut panel = Panel {
+            mape: Table::new(format!("Fig. 3 MAPE — selection: {sname}"), &header),
+            fer: Table::new(format!("Fig. 3 FER — selection: {sname}"), &header),
+        };
+        let mut gsp_mape = Vec::new();
+        let mut gsp_fer = Vec::new();
+        for &budget in &BUDGETS_SEMI_SYN {
+            let reports = evaluate(&world, &queried, &slots, budget, THETA_TUNED, select);
+            panel.mape.push_numeric_row(budget.to_string(), &reports.iter().map(|r| r.0).collect::<Vec<_>>());
+            panel.fer.push_numeric_row(budget.to_string(), &reports.iter().map(|r| r.1).collect::<Vec<_>>());
+            gsp_mape.push(reports[0].0);
+            gsp_fer.push(reports[0].1);
+            // DAPE at the smallest budget, Hybrid panel only (row 3 of the
+            // figure).
+            if budget == BUDGETS_SEMI_SYN[0] && sname == "Hybrid" {
+                print_dape(&world, &queried, &slots, budget, select, &methods);
+            }
+        }
+        gsp_by_strategy.push((sname.to_string(), gsp_mape, gsp_fer));
+        panels.push(panel);
+    }
+    let results = results_dir_from_args("fig3");
+    for (p, sname) in panels.iter().zip(["hybrid", "obj", "rand"]) {
+        println!("{}", p.mape.render());
+        println!("{}", p.fer.render());
+        if let Some(dir) = &results {
+            let _ = dir.write_table(&format!("mape_{sname}"), &p.mape);
+            let _ = dir.write_table(&format!("fer_{sname}"), &p.fer);
+        }
+    }
+
+    // Column d: GSP quality per selection strategy.
+    let mut d = Table::new(
+        "Fig. 3 (d) — GSP quality by selection strategy",
+        &["K", "Hybrid MAPE", "OBJ MAPE", "Rand MAPE", "Hybrid FER", "OBJ FER", "Rand FER"],
+    );
+    for (i, &budget) in BUDGETS_SEMI_SYN.iter().enumerate() {
+        d.push_numeric_row(
+            budget.to_string(),
+            &[
+                gsp_by_strategy[0].1[i],
+                gsp_by_strategy[1].1[i],
+                gsp_by_strategy[2].1[i],
+                gsp_by_strategy[0].2[i],
+                gsp_by_strategy[1].2[i],
+                gsp_by_strategy[2].2[i],
+            ],
+        );
+    }
+    println!("{}", d.render());
+    if let Some(dir) = &results {
+        let _ = dir.write_table("gsp_by_strategy", &d);
+    }
+
+    // Column e: redundancy-threshold sweep (GSP with Hybrid selection).
+    // The paper fine-tunes θ on its data and lands on 0.92; the analogous
+    // tuned value for a different correlation structure differs, so the
+    // sweep shows several candidates next to θ = 1 (constraint off).
+    let mut e = Table::new(
+        "Fig. 3 (e) — redundancy threshold effect (GSP MAPE, Hybrid selection)",
+        &["K", "θ=0.5", "θ=0.7", "θ=0.92", "θ=1"],
+    );
+    for &budget in &BUDGETS_SEMI_SYN {
+        let row: Vec<f64> = [0.5, 0.7, THETA_TUNED, 1.0]
+            .iter()
+            .map(|&theta| evaluate(&world, &queried, &slots, budget, theta, select_hybrid)[0].0)
+            .collect();
+        e.push_numeric_row(budget.to_string(), &row);
+    }
+    println!("{}", e.render());
+    if let Some(dir) = &results {
+        let _ = dir.write_table("theta_sweep", &e);
+    }
+    println!(
+        "Shape checks (see EXPERIMENTS.md for paper-vs-measured): GSP column-minimal\n\
+         with the largest margin at K=30; LASSO MAPE approaches GSP at K=150 while\n\
+         its FER lags under greedy selections; greedy selections crush Random in (d).\n\
+         Known deviation: OBJ edges out Hybrid slightly here (discussed in\n\
+         EXPERIMENTS.md), and θ < 1 is near-neutral on this correlation structure."
+    );
+}
+
+type StrategyFn = fn(&OcsInstance<'_>) -> Selection;
+
+fn select_hybrid(inst: &OcsInstance<'_>) -> Selection {
+    hybrid_greedy(inst)
+}
+fn select_obj(inst: &OcsInstance<'_>) -> Selection {
+    objective_greedy(inst)
+}
+fn select_rand(inst: &OcsInstance<'_>) -> Selection {
+    random_select(inst, 7)
+}
+
+/// Runs one configuration and returns `(MAPE, FER)` per method, averaged
+/// over the query slots.
+fn evaluate(
+    world: &rtse_bench::SemiSynWorld,
+    queried: &[RoadId],
+    slots: &[SlotOfDay],
+    budget: u32,
+    theta: f64,
+    select: StrategyFn,
+) -> Vec<(f64, f64)> {
+    let mut sums = vec![(0.0, 0.0); 4];
+    for &slot in slots {
+        let reports = run_methods(world, queried, slot, budget, theta, select);
+        for (s, r) in sums.iter_mut().zip(reports.iter()) {
+            s.0 += r.mape / slots.len() as f64;
+            s.1 += r.fer / slots.len() as f64;
+        }
+    }
+    sums
+}
+
+fn run_methods(
+    world: &rtse_bench::SemiSynWorld,
+    queried: &[RoadId],
+    slot: SlotOfDay,
+    budget: u32,
+    theta: f64,
+    select: StrategyFn,
+) -> Vec<ErrorReport> {
+    let corr =
+        CorrelationTable::build(&world.graph, &world.model, slot, PathCorrelation::MaxProduct);
+    let params = world.model.slot(slot);
+    let inst = OcsInstance {
+        sigma: &params.sigma,
+        corr: &corr,
+        queried,
+        candidates: &world.all_roads,
+        costs: &world.costs_c1,
+        budget,
+        theta,
+    };
+    let selection = select(&inst);
+    let truth = world.dataset.ground_truth_snapshot(slot);
+    let observations = ground_truth_observations(&selection, truth);
+    let ctx = EstimationContext {
+        graph: &world.graph,
+        model: &world.model,
+        history: &world.dataset.history,
+        slot,
+    };
+    let estimates: [Vec<f64>; 4] = [
+        GspEstimator::default().estimate(&ctx, &observations),
+        LassoEstimator::for_targets(queried.to_vec()).estimate(&ctx, &observations),
+        Grmc::default().estimate(&ctx, &observations),
+        Per.estimate(&ctx, &observations),
+    ];
+    estimates
+        .iter()
+        .map(|est| ErrorReport::evaluate_default(est, truth, queried))
+        .collect()
+}
+
+fn print_dape(
+    world: &rtse_bench::SemiSynWorld,
+    queried: &[RoadId],
+    slots: &[SlotOfDay],
+    budget: u32,
+    select: StrategyFn,
+    methods: &[&str; 4],
+) {
+    let mut per_method_apes: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for &slot in slots {
+        let reports = run_methods(world, queried, slot, budget, THETA_TUNED, select);
+        for (acc, r) in per_method_apes.iter_mut().zip(reports.iter()) {
+            acc.extend_from_slice(&r.apes);
+        }
+    }
+    let mut t = Table::new(
+        format!("Fig. 3 row 3 — DAPE at K = {budget} (fraction of cases per APE bin)"),
+        &["APE bin", "GSP", "LASSO", "GRMC", "Per"],
+    );
+    let hists: Vec<_> =
+        per_method_apes.iter().map(|apes| dape_histogram(apes, 0.5, 5)).collect();
+    for bin in 0..6 {
+        let (lo, hi) = hists[0].bin_bounds(bin);
+        let label = if hi.is_infinite() {
+            format!(">= {lo:.1}")
+        } else {
+            format!("[{lo:.1}, {hi:.1})")
+        };
+        let mut row = vec![label];
+        for h in &hists {
+            row.push(format!("{:.3}", h.fractions()[bin]));
+        }
+        t.push_row(row);
+    }
+    let _ = methods;
+    println!("{}", t.render());
+}

@@ -1,0 +1,99 @@
+//! Fig. 4 — running times.
+//!
+//! * (a) OCS selection time vs budget for Ratio/OBJ/Hybrid. Expected
+//!   shape: linear growth in K, Hybrid the slowest, everything well under
+//!   one second at the paper scale.
+//! * (b) estimation time vs budget for LASSO/GRMC/GSP (Per omitted like
+//!   the paper — it is a table lookup). Expected shape: LASSO cheapest per
+//!   the paper's measurement, GSP roughly budget-independent and under
+//!   half a second, GRMC the slowest of the iterative methods.
+//!
+//! ```sh
+//! cargo run --release -p rtse-bench --bin exp_fig4 [--quick]
+//! ```
+
+use crowd_rtse_core::GspEstimator;
+use rtse_baselines::{EstimationContext, Estimator, Grmc, LassoEstimator};
+use rtse_bench::{
+    ground_truth_observations, scale, semi_syn_world, BUDGETS_SEMI_SYN, THETA_TUNED,
+};
+use rtse_data::SlotOfDay;
+use rtse_eval::{time_it, Table};
+use rtse_ocs::{hybrid_greedy, objective_greedy, ratio_greedy, OcsInstance};
+use rtse_rtf::{CorrelationTable, PathCorrelation};
+
+fn main() {
+    let (roads, days) = scale();
+    let world = semi_syn_world(roads, days, 2018);
+    let slot = SlotOfDay::from_hm(8, 30);
+    let corr = CorrelationTable::build(&world.graph, &world.model, slot, PathCorrelation::MaxProduct);
+    let params = world.model.slot(slot);
+
+    // Panel (a): OCS running time.
+    let mut a = Table::new(
+        "Fig. 4 (a) — OCS running time vs budget (ms)",
+        &["K", "Ratio", "OBJ", "Hybrid"],
+    );
+    for &budget in &BUDGETS_SEMI_SYN {
+        let inst = OcsInstance {
+            sigma: &params.sigma,
+            corr: &corr,
+            queried: &world.queried_51,
+            candidates: &world.all_roads,
+            costs: &world.costs_c1,
+            budget,
+            theta: THETA_TUNED,
+        };
+        let (_, t_ratio) = time_it(|| ratio_greedy(&inst));
+        let (_, t_obj) = time_it(|| objective_greedy(&inst));
+        let (_, t_hybrid) = time_it(|| hybrid_greedy(&inst));
+        a.push_row(vec![
+            budget.to_string(),
+            format!("{:.3}", t_ratio.as_secs_f64() * 1e3),
+            format!("{:.3}", t_obj.as_secs_f64() * 1e3),
+            format!("{:.3}", t_hybrid.as_secs_f64() * 1e3),
+        ]);
+    }
+    println!("{}", a.render());
+
+    // Panel (b): estimation running time.
+    let mut b = Table::new(
+        "Fig. 4 (b) — estimation running time vs budget (ms)",
+        &["K", "LASSO", "GRMC", "GSP"],
+    );
+    let ctx = EstimationContext {
+        graph: &world.graph,
+        model: &world.model,
+        history: &world.dataset.history,
+        slot,
+    };
+    let truth = world.dataset.ground_truth_snapshot(slot);
+    for &budget in &BUDGETS_SEMI_SYN {
+        let inst = OcsInstance {
+            sigma: &params.sigma,
+            corr: &corr,
+            queried: &world.queried_51,
+            candidates: &world.all_roads,
+            costs: &world.costs_c1,
+            budget,
+            theta: THETA_TUNED,
+        };
+        let selection = hybrid_greedy(&inst);
+        let observations = ground_truth_observations(&selection, truth);
+        let lasso = LassoEstimator::for_targets(world.queried_51.clone());
+        let (_, t_lasso) = time_it(|| lasso.estimate(&ctx, &observations));
+        let (_, t_grmc) = time_it(|| Grmc::default().estimate(&ctx, &observations));
+        let (_, t_gsp) = time_it(|| GspEstimator::default().estimate(&ctx, &observations));
+        b.push_row(vec![
+            budget.to_string(),
+            format!("{:.3}", t_lasso.as_secs_f64() * 1e3),
+            format!("{:.3}", t_grmc.as_secs_f64() * 1e3),
+            format!("{:.3}", t_gsp.as_secs_f64() * 1e3),
+        ]);
+    }
+    println!("{}", b.render());
+    println!(
+        "Shape checks: (a) linear in K, Hybrid slowest, << 1 s; (b) GSP roughly flat\n\
+         in K and << 500 ms. Criterion micro-benches: `cargo bench -p rtse-bench`."
+    );
+}

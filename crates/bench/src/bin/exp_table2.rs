@@ -1,0 +1,45 @@
+//! Table II — dataset statistics, regenerated from the harness
+//! configurations.
+//!
+//! ```sh
+//! cargo run --release -p rtse-bench --bin exp_table2 [--quick]
+//! ```
+
+use rtse_bench::{scale, semi_syn_world, BUDGETS_GMISSION, BUDGETS_SEMI_SYN, THETA_TUNED};
+use rtse_crowd::{GMissionScenario, GMissionSpec};
+use rtse_eval::Table;
+
+fn main() {
+    let (roads, days) = scale();
+    let world = semi_syn_world(roads, days, 2018);
+    let gmission = GMissionScenario::build(&world.graph, &GMissionSpec::default());
+
+    let mut t = Table::new(
+        "Table II — datasets' statistics",
+        &["dataset", "|R^w|", "|R^q|", "road cost", "K", "theta"],
+    );
+    t.push_row(vec![
+        "Semi-syn".into(),
+        world.all_roads.len().to_string(),
+        format!("{}, {}", world.queried_33.len(), world.queried_51.len()),
+        "1~5, 1~10".into(),
+        format!("{}~{}", BUDGETS_SEMI_SYN[0], BUDGETS_SEMI_SYN[4]),
+        format!("{THETA_TUNED}, 1"),
+    ]);
+    t.push_row(vec![
+        "gMission".into(),
+        gmission.worker_roads.len().to_string(),
+        gmission.queried.len().to_string(),
+        "1~10".into(),
+        format!("{}~{}", BUDGETS_GMISSION[0], BUDGETS_GMISSION[4]),
+        format!("{THETA_TUNED}"),
+    ]);
+    println!("{}", t.render());
+
+    println!(
+        "history: {} roads x {} days x 288 slots = {} records (paper: 5,244,480)",
+        world.graph.num_roads(),
+        days,
+        world.dataset.history.num_records()
+    );
+}

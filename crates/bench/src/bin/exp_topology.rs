@@ -1,0 +1,103 @@
+//! Topology robustness (extension, not in the paper): does CrowdRTSE's
+//! advantage over the periodic baseline survive on network shapes other
+//! than a road network?
+//!
+//! Runs the same pipeline on a road-like network, a 2D grid, a
+//! small-world ring (Watts–Strogatz) and a hub-dominated scale-free graph
+//! (Barabási–Albert), each with the same number of roads, and reports
+//! GSP-vs-Per quality at a fixed budget.
+//!
+//! ```sh
+//! cargo run --release -p rtse-bench --bin exp_topology [--quick]
+//! ```
+
+use crowd_rtse_core::GspEstimator;
+use rtse_baselines::{EstimationContext, Estimator, Per};
+use rtse_bench::{ground_truth_observations, quick_mode, THETA_TUNED};
+use rtse_crowd::{uniform_costs, CostRange};
+use rtse_data::{SlotOfDay, SynthConfig, TrafficGenerator};
+use rtse_eval::{ErrorReport, Table};
+use rtse_graph::{generators, metrics, Graph, RoadId};
+use rtse_ocs::{hybrid_greedy, OcsInstance};
+use rtse_rtf::{moment_estimate, CorrelationTable, PathCorrelation};
+
+fn main() {
+    let n = if quick_mode() { 120 } else { 400 };
+    let days = if quick_mode() { 8 } else { 20 };
+    let budget = 40u32;
+    let seed = 2018u64;
+
+    let side = (n as f64).sqrt().round() as usize;
+    let topologies: Vec<(&str, Graph)> = vec![
+        ("road-like", generators::hong_kong_like(n, seed)),
+        ("grid", generators::grid(side, side)),
+        ("small-world", generators::watts_strogatz(n, 2, 0.15, seed)),
+        ("scale-free", generators::barabasi_albert(n, 2, seed)),
+    ];
+
+    let mut t = Table::new(
+        format!("topology robustness — GSP vs Per at K = {budget}"),
+        &[
+            "topology",
+            "|R|",
+            "avg deg",
+            "diameter",
+            "GSP MAPE",
+            "Per MAPE",
+            "improvement",
+        ],
+    );
+    for (name, graph) in &topologies {
+        let dataset = TrafficGenerator::new(
+            graph,
+            SynthConfig {
+                days,
+                seed,
+                incidents_per_day: 6.0,
+                weak_periodicity_fraction: 0.3,
+                weak_periodicity_scale: 5.0,
+                ..SynthConfig::default()
+            },
+        )
+        .generate();
+        let model = moment_estimate(graph, &dataset.history);
+        let slot = SlotOfDay::from_hm(8, 30);
+        let corr = CorrelationTable::build(graph, &model, slot, PathCorrelation::MaxProduct);
+        let params = model.slot(slot);
+        let queried: Vec<RoadId> = graph.road_ids().collect();
+        let all: Vec<RoadId> = graph.road_ids().collect();
+        let costs = uniform_costs(graph.num_roads(), CostRange::C2, seed);
+        let inst = OcsInstance {
+            sigma: &params.sigma,
+            corr: &corr,
+            queried: &queried,
+            candidates: &all,
+            costs: &costs,
+            budget,
+            theta: THETA_TUNED,
+        };
+        let selection = hybrid_greedy(&inst);
+        let truth = dataset.ground_truth_snapshot(slot);
+        let observations = ground_truth_observations(&selection, truth);
+        let ctx = EstimationContext { graph, model: &model, history: &dataset.history, slot };
+        let gsp = GspEstimator::default().estimate(&ctx, &observations);
+        let per = Per.estimate(&ctx, &observations);
+        let gsp_rep = ErrorReport::evaluate_default(&gsp, truth, &queried);
+        let per_rep = ErrorReport::evaluate_default(&per, truth, &queried);
+        t.push_row(vec![
+            name.to_string(),
+            graph.num_roads().to_string(),
+            format!("{:.2}", metrics::average_degree(graph)),
+            metrics::diameter_estimate(graph, 8).to_string(),
+            format!("{:.4}", gsp_rep.mape),
+            format!("{:.4}", per_rep.mape),
+            format!("{:.1}%", 100.0 * (1.0 - gsp_rep.mape / per_rep.mape)),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Reading guide: the GSP advantage should hold on every topology; it is\n\
+         typically largest where the diameter is small relative to the budget\n\
+         (probes reach everything within a few hops)."
+    );
+}

@@ -1,0 +1,151 @@
+//! Shared experiment setup for the CrowdRTSE reproduction harness.
+//!
+//! Every table/figure binary (`src/bin/exp_*.rs`) and criterion bench
+//! builds its world through this module so the configurations stay
+//! consistent with Table II:
+//!
+//! * **semi-synthesized**: 607 roads, `R^w = R`, `|R^q| ∈ {33, 51}`,
+//!   costs `C1 = U(1,10)` / `C2 = U(1,5)`, `K ∈ 30..150`,
+//!   `θ ∈ {0.92, 1}`; crowd answers generated from ground truth;
+//! * **gMission**: `|R^w| = 30 ⊂ |R^q| = 50` (connected), costs
+//!   `U(1,10)`, `K ∈ 10..50`.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rtse_crowd::{uniform_costs, CostRange};
+use rtse_data::{SlotOfDay, SynthDataset, TrafficGenerator};
+use rtse_graph::{generators, Graph, RoadId};
+use rtse_ocs::Selection;
+use rtse_rtf::{moment_estimate, RtfModel};
+
+/// The paper's network scale.
+pub const PAPER_ROADS: usize = 607;
+/// The paper's history length (5,244,480 records = 607 × 288 × 30).
+pub const PAPER_DAYS: usize = 30;
+/// The paper's budget sweep for the semi-synthesized dataset.
+pub const BUDGETS_SEMI_SYN: [u32; 5] = [30, 60, 90, 120, 150];
+/// The paper's budget sweep for the gMission dataset.
+pub const BUDGETS_GMISSION: [u32; 5] = [10, 20, 30, 40, 50];
+/// The paper's fine-tuned redundancy threshold.
+pub const THETA_TUNED: f64 = 0.92;
+
+/// A fully materialized semi-synthesized world.
+pub struct SemiSynWorld {
+    /// The 607-road network.
+    pub graph: Graph,
+    /// History + held-out today.
+    pub dataset: SynthDataset,
+    /// Moment-estimated RTF.
+    pub model: RtfModel,
+    /// Wide costs `C1 = U(1,10)`.
+    pub costs_c1: Vec<u32>,
+    /// Narrow costs `C2 = U(1,5)`.
+    pub costs_c2: Vec<u32>,
+    /// 33 uniformly chosen queried roads.
+    pub queried_33: Vec<RoadId>,
+    /// 51 uniformly chosen queried roads.
+    pub queried_51: Vec<RoadId>,
+    /// All roads — `R^w = R` for the semi-synthesized dataset.
+    pub all_roads: Vec<RoadId>,
+}
+
+/// Builds the semi-synthesized world at a given scale (pass
+/// [`PAPER_ROADS`]/[`PAPER_DAYS`] for the paper configuration, smaller for
+/// smoke runs).
+pub fn semi_syn_world(roads: usize, days: usize, seed: u64) -> SemiSynWorld {
+    let graph = generators::hong_kong_like(roads, seed);
+    // The "volatile" scenario preset: paper-difficulty estimation (Per
+    // MAPE in the 0.15–0.3 range). See `rtse_data::scenario`.
+    let dataset =
+        TrafficGenerator::new(&graph, rtse_data::scenario::volatile(days, seed)).generate();
+    let model = moment_estimate(&graph, &dataset.history);
+    let costs_c1 = uniform_costs(roads, CostRange::C1, seed ^ 0xC1);
+    let costs_c2 = uniform_costs(roads, CostRange::C2, seed ^ 0xC2);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E);
+    let mut pick = |count: usize| -> Vec<RoadId> {
+        let mut chosen: Vec<RoadId> = Vec::with_capacity(count);
+        while chosen.len() < count {
+            let r = RoadId::from(rng.random_range(0..roads));
+            if !chosen.contains(&r) {
+                chosen.push(r);
+            }
+        }
+        chosen.sort();
+        chosen
+    };
+    let queried_33 = pick(33);
+    let queried_51 = pick(51);
+    let all_roads = graph.road_ids().collect();
+    SemiSynWorld { graph, dataset, model, costs_c1, costs_c2, queried_33, queried_51, all_roads }
+}
+
+/// Representative query slots spread over the day: overnight, both rush
+/// hours, and mid-day.
+pub fn query_slots() -> Vec<SlotOfDay> {
+    vec![
+        SlotOfDay::from_hm(3, 0),
+        SlotOfDay::from_hm(8, 30),
+        SlotOfDay::from_hm(13, 0),
+        SlotOfDay::from_hm(18, 0),
+    ]
+}
+
+/// Semi-synthesized crowd answers: "crowd's answers are generated with the
+/// ground-truth speeds" (Section VII-A) — each selected road reports its
+/// ground-truth speed.
+pub fn ground_truth_observations(
+    selection: &Selection,
+    truth: &[f64],
+) -> Vec<(RoadId, f64)> {
+    selection.roads.iter().map(|&r| (r, truth[r.index()])).collect()
+}
+
+/// Parses a `--quick` flag from the process args: experiment binaries run
+/// at paper scale by default and at smoke scale with `--quick`.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// World scale knobs derived from [`quick_mode`].
+pub fn scale() -> (usize, usize) {
+    if quick_mode() {
+        (150, 10)
+    } else {
+        (PAPER_ROADS, PAPER_DAYS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_matches_table_ii() {
+        let w = semi_syn_world(100, 5, 1);
+        assert_eq!(w.graph.num_roads(), 100);
+        assert_eq!(w.queried_33.len(), 33);
+        assert_eq!(w.queried_51.len(), 51);
+        assert_eq!(w.all_roads.len(), 100);
+        assert!(w.costs_c1.iter().all(|&c| (1..=10).contains(&c)));
+        assert!(w.costs_c2.iter().all(|&c| (1..=5).contains(&c)));
+        // Queried roads unique.
+        let mut q = w.queried_51.clone();
+        q.dedup();
+        assert_eq!(q.len(), 51);
+    }
+
+    #[test]
+    fn ground_truth_observations_echo_truth() {
+        let sel = Selection { roads: vec![RoadId(2), RoadId(5)], value: 0.0, spent: 2 };
+        let truth: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let obs = ground_truth_observations(&sel, &truth);
+        assert_eq!(obs, vec![(RoadId(2), 2.0), (RoadId(5), 5.0)]);
+    }
+
+    #[test]
+    fn query_slots_cover_the_day() {
+        let slots = query_slots();
+        assert_eq!(slots.len(), 4);
+        assert!(slots.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,231 @@
+//! Variance-aware (active-learning) road selection — an extension beyond
+//! the paper's Eq. (13) heuristic.
+//!
+//! OCS scores a candidate by its σ-weighted path correlation to the
+//! queried roads, a *static* proxy for how much a probe would help. The
+//! GMRF gives the real quantity directly: the **posterior variance** of
+//! each queried road given the probes selected so far (a Gaussian's
+//! covariance depends only on *which* coordinates are observed, not on
+//! the observed values, so it can be evaluated before buying anything).
+//!
+//! [`variance_aware_select`] runs a greedy loop: at each step it computes
+//! the queried roads' current posterior standard deviations (exact, via
+//! one conjugate-gradient solve per queried road) and picks the feasible
+//! candidate with the best `Σ_q σ_q · corr(q, c) · std_q` per unit cost —
+//! the paper's own score re-weighted by *live* uncertainty, so candidates
+//! near already-well-pinned queried roads stop attracting budget.
+
+use rtse_data::SlotOfDay;
+use rtse_graph::{Graph, RoadId};
+use rtse_math::conjugate_gradient;
+use rtse_ocs::{OcsInstance, Selection, SelectionState};
+use rtse_rtf::params::SlotParams;
+use rtse_rtf::RtfModel;
+
+/// Posterior standard deviation of each road in `targets`, given that
+/// `observed` roads will be probed (values irrelevant — Gaussian
+/// covariance is value-free). Exact, one CG solve per target.
+pub fn posterior_stds(
+    graph: &Graph,
+    params: &SlotParams,
+    observed: &[RoadId],
+    targets: &[RoadId],
+) -> Vec<f64> {
+    let dummy: Vec<(RoadId, f64)> = observed.iter().map(|&r| (r, 0.0)).collect();
+    let system = rtse_gsp::exact::ConditionalSystem::build(graph, params, &dummy);
+    targets
+        .iter()
+        .map(|&t| match system.row_of(t) {
+            None => 0.0, // observed: no remaining uncertainty
+            Some(row) => {
+                let m = system.dim();
+                let mut e = vec![0.0; m];
+                e[row] = 1.0;
+                let sol = conjugate_gradient(system.matrix(), &e, 1e-10, 10 * m + 100);
+                // Posterior precision is 2A (see gsp::exact), so
+                // Var = (A⁻¹)_tt / 2.
+                (sol.x[row] / 2.0).max(0.0).sqrt()
+            }
+        })
+        .collect()
+}
+
+/// Greedy uncertainty-driven selection under the same feasibility rules as
+/// OCS (budget, `R^c ⊆ R^w`, pairwise redundancy ≤ θ).
+///
+/// `refresh_every` controls how often the (exact but not free) posterior
+/// stds are recomputed: 1 = every pick, `usize::MAX` = once up front.
+pub fn variance_aware_select(
+    graph: &Graph,
+    model: &RtfModel,
+    slot: SlotOfDay,
+    inst: &OcsInstance<'_>,
+    refresh_every: usize,
+) -> Selection {
+    inst.validate();
+    assert!(refresh_every > 0, "refresh_every must be positive");
+    let params = model.slot(slot);
+    let mut state = SelectionState::new(inst);
+    let mut stds = posterior_stds(graph, params, state.chosen(), inst.queried);
+    let mut picks_since_refresh = 0usize;
+    loop {
+        if picks_since_refresh >= refresh_every {
+            stds = posterior_stds(graph, params, state.chosen(), inst.queried);
+            picks_since_refresh = 0;
+        }
+        let mut best: Option<(f64, RoadId)> = None;
+        for &c in inst.candidates {
+            if !state.is_feasible_addition(c) {
+                continue;
+            }
+            let score: f64 = inst
+                .queried
+                .iter()
+                .zip(stds.iter())
+                .map(|(&q, &sd)| inst.sigma[q.index()] * inst.corr.corr(q, c) * sd)
+                .sum::<f64>()
+                / inst.cost(c) as f64;
+            let better = match best {
+                None => true,
+                Some((bs, br)) => score > bs || (score == bs && c < br),
+            };
+            if better {
+                best = Some((score, c));
+            }
+        }
+        match best {
+            Some((score, c)) if score > 0.0 => {
+                state.add(c);
+                picks_since_refresh += 1;
+            }
+            _ => break,
+        }
+    }
+    state.into_selection()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtse_crowd::{uniform_costs, CostRange};
+    use rtse_data::{SynthConfig, TrafficGenerator};
+    use rtse_graph::generators::grid;
+    use rtse_rtf::{moment_estimate, CorrelationTable, PathCorrelation};
+
+    struct World {
+        graph: Graph,
+        model: RtfModel,
+        corr: CorrelationTable,
+        costs: Vec<u32>,
+        slot: SlotOfDay,
+    }
+
+    fn world() -> World {
+        let graph = grid(4, 5);
+        let ds = TrafficGenerator::new(
+            &graph,
+            SynthConfig { days: 12, seed: 5, ..SynthConfig::default() },
+        )
+        .generate();
+        let model = moment_estimate(&graph, &ds.history);
+        let slot = SlotOfDay::from_hm(8, 30);
+        let corr = CorrelationTable::build(&graph, &model, slot, PathCorrelation::MaxProduct);
+        let costs = uniform_costs(graph.num_roads(), CostRange::C2, 5);
+        World { graph, model, corr, costs, slot }
+    }
+
+    #[test]
+    fn posterior_std_zero_for_observed_and_shrinks_with_probes() {
+        let w = world();
+        let params = w.model.slot(w.slot);
+        let targets: Vec<RoadId> = w.graph.road_ids().collect();
+        let before = posterior_stds(&w.graph, params, &[], &targets);
+        let probes = [RoadId(7), RoadId(12)];
+        let after = posterior_stds(&w.graph, params, &probes, &targets);
+        assert_eq!(after[7], 0.0);
+        assert_eq!(after[12], 0.0);
+        for r in w.graph.road_ids() {
+            assert!(
+                after[r.index()] <= before[r.index()] + 1e-9,
+                "probing can only reduce variance: road {r}"
+            );
+        }
+        // Neighbors of the probes shrink strictly.
+        let (nbr, _) = w.graph.neighbors(RoadId(7))[0];
+        assert!(after[nbr.index()] < before[nbr.index()]);
+    }
+
+    #[test]
+    fn selection_is_feasible_and_respects_budget() {
+        let w = world();
+        let queried: Vec<RoadId> = (0u32..10).map(RoadId).collect();
+        let candidates: Vec<RoadId> = w.graph.road_ids().collect();
+        let params = w.model.slot(w.slot);
+        let inst = OcsInstance {
+            sigma: &params.sigma,
+            corr: &w.corr,
+            queried: &queried,
+            candidates: &candidates,
+            costs: &w.costs,
+            budget: 12,
+            theta: 0.92,
+        };
+        let sel = variance_aware_select(&w.graph, &w.model, w.slot, &inst, 1);
+        assert!(sel.is_feasible(&inst));
+        assert!(sel.spent <= 12);
+        assert!(!sel.roads.is_empty());
+    }
+
+    #[test]
+    fn reduces_queried_uncertainty_at_least_as_well_as_random() {
+        let w = world();
+        let queried: Vec<RoadId> = (3u32..15).map(RoadId).collect();
+        let candidates: Vec<RoadId> = w.graph.road_ids().collect();
+        let params = w.model.slot(w.slot);
+        let inst = OcsInstance {
+            sigma: &params.sigma,
+            corr: &w.corr,
+            queried: &queried,
+            candidates: &candidates,
+            costs: &w.costs,
+            budget: 10,
+            theta: 1.0,
+        };
+        let active = variance_aware_select(&w.graph, &w.model, w.slot, &inst, 1);
+        let total_std = |sel: &Selection| -> f64 {
+            posterior_stds(&w.graph, params, &sel.roads, &queried).iter().sum()
+        };
+        let active_std = total_std(&active);
+        let random_avg: f64 = (0..5)
+            .map(|s| total_std(&rtse_ocs::random_select(&inst, s)))
+            .sum::<f64>()
+            / 5.0;
+        assert!(
+            active_std <= random_avg + 1e-9,
+            "active {active_std} should beat random avg {random_avg}"
+        );
+    }
+
+    #[test]
+    fn refresh_interval_one_no_worse_than_never() {
+        let w = world();
+        let queried: Vec<RoadId> = (0u32..8).map(RoadId).collect();
+        let candidates: Vec<RoadId> = w.graph.road_ids().collect();
+        let params = w.model.slot(w.slot);
+        let inst = OcsInstance {
+            sigma: &params.sigma,
+            corr: &w.corr,
+            queried: &queried,
+            candidates: &candidates,
+            costs: &w.costs,
+            budget: 8,
+            theta: 1.0,
+        };
+        let fresh = variance_aware_select(&w.graph, &w.model, w.slot, &inst, 1);
+        let stale = variance_aware_select(&w.graph, &w.model, w.slot, &inst, usize::MAX);
+        let total = |sel: &Selection| -> f64 {
+            posterior_stds(&w.graph, params, &sel.roads, &queried).iter().sum()
+        };
+        assert!(total(&fresh) <= total(&stale) + 0.05, "{} vs {}", total(&fresh), total(&stale));
+    }
+}

@@ -1,0 +1,311 @@
+//! The online pipeline: OCS → crowdsourcing → GSP.
+
+use crate::offline::OfflineArtifacts;
+use crate::query::{QueryAnswer, SpeedQuery};
+use rtse_crowd::{CrowdCampaign, WorkerPool};
+use rtse_graph::Graph;
+use rtse_gsp::GspSolver;
+use rtse_ocs::{
+    lazy_hybrid_greedy, lazy_objective_greedy, lazy_ratio_greedy, random_select, OcsInstance,
+};
+
+/// Which OCS solver answers the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionStrategy {
+    /// Hybrid-Greedy (Alg. 4) — the paper's recommended solver.
+    #[default]
+    Hybrid,
+    /// Ratio-Greedy (Alg. 2).
+    Ratio,
+    /// Objective-Greedy (Alg. 3).
+    Objective,
+    /// Random feasible selection (baseline), seeded.
+    Random(u64),
+}
+
+/// Online-stage configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct OnlineConfig {
+    /// Crowdsourcing budget `K` in payment units.
+    pub budget: u32,
+    /// Redundancy threshold `θ` (paper's fine-tuned value: 0.92).
+    pub theta: f64,
+    /// OCS solver.
+    pub strategy: SelectionStrategy,
+    /// Crowd campaign settings (aggregation rule, answer-noise seed).
+    pub campaign: CrowdCampaign,
+    /// GSP settings.
+    pub gsp: GspSolver,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        Self {
+            budget: 30,
+            theta: 0.92,
+            strategy: SelectionStrategy::Hybrid,
+            campaign: CrowdCampaign::default(),
+            gsp: GspSolver::default(),
+        }
+    }
+}
+
+/// The CrowdRTSE engine: a trained offline stage bound to a network.
+pub struct CrowdRtse<'g> {
+    graph: &'g Graph,
+    offline: OfflineArtifacts,
+}
+
+impl<'g> CrowdRtse<'g> {
+    /// Binds trained offline artifacts to their network.
+    ///
+    /// # Panics
+    /// Panics when the model dimensions do not match the graph.
+    pub fn new(graph: &'g Graph, offline: OfflineArtifacts) -> Self {
+        assert!(offline.model().matches_graph(graph), "model/graph mismatch");
+        Self { graph, offline }
+    }
+
+    /// The network this engine serves.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The offline artifacts (model + correlation tables).
+    pub fn offline(&self) -> &OfflineArtifacts {
+        &self.offline
+    }
+
+    /// Runs only the OCS step: selects the crowdsourced roads for a query
+    /// given the current candidate set. Exposed for callers that manage
+    /// the campaign and propagation themselves (e.g. the continuous
+    /// [`crate::session::MonitoringSession`]).
+    pub fn select_roads(
+        &self,
+        query: &SpeedQuery,
+        candidates: &[rtse_graph::RoadId],
+        costs: &[u32],
+        config: &OnlineConfig,
+    ) -> rtse_ocs::Selection {
+        let params = self.offline.model().slot(query.slot);
+        let corr = self.offline.corr_table(self.graph, query.slot);
+        let instance = OcsInstance {
+            sigma: &params.sigma,
+            corr: &corr,
+            queried: &query.roads,
+            candidates,
+            costs,
+            budget: config.budget,
+            theta: config.theta,
+        };
+        match config.strategy {
+            SelectionStrategy::Hybrid => lazy_hybrid_greedy(&instance),
+            SelectionStrategy::Ratio => lazy_ratio_greedy(&instance),
+            SelectionStrategy::Objective => lazy_objective_greedy(&instance),
+            SelectionStrategy::Random(seed) => random_select(&instance, seed),
+        }
+    }
+
+    /// Answers a query (Fig. 1's online stage).
+    ///
+    /// `pool` supplies the current worker distribution (defining `R^w`),
+    /// `costs` the per-road answer requirements, and `true_speeds` the
+    /// physical world the simulated workers measure — in a live deployment
+    /// that slice is reality itself; everything downstream of the campaign
+    /// only sees the workers' noisy answers.
+    pub fn answer_query(
+        &self,
+        query: &SpeedQuery,
+        pool: &WorkerPool,
+        costs: &[u32],
+        true_speeds: &[f64],
+        config: &OnlineConfig,
+    ) -> QueryAnswer {
+        assert_eq!(costs.len(), self.graph.num_roads(), "costs length mismatch");
+        assert_eq!(true_speeds.len(), self.graph.num_roads(), "truth length mismatch");
+        let params = self.offline.model().slot(query.slot);
+        let corr = self.offline.corr_table(self.graph, query.slot);
+        let candidates = pool.covered_roads();
+
+        // Step 1: OCS.
+        let instance = OcsInstance {
+            sigma: &params.sigma,
+            corr: &corr,
+            queried: &query.roads,
+            candidates: &candidates,
+            costs,
+            budget: config.budget,
+            theta: config.theta,
+        };
+        // The lazy solvers produce selections identical to Algs. 2-4
+        // (property-tested) with far fewer marginal-gain evaluations.
+        let (selection, selection_time) = rtse_eval::time_it(|| match config.strategy {
+            SelectionStrategy::Hybrid => lazy_hybrid_greedy(&instance),
+            SelectionStrategy::Ratio => lazy_ratio_greedy(&instance),
+            SelectionStrategy::Objective => lazy_objective_greedy(&instance),
+            SelectionStrategy::Random(seed) => random_select(&instance, seed),
+        });
+
+        // Step 2: crowdsourcing.
+        let outcome = config.campaign.run(pool, &selection.roads, costs, true_speeds);
+
+        // Step 3: GSP.
+        let (result, propagation_time) =
+            rtse_eval::time_it(|| config.gsp.propagate(self.graph, params, &outcome.observations));
+
+        let estimates = query.roads.iter().map(|&r| result.values[r.index()]).collect();
+        QueryAnswer {
+            estimates,
+            all_values: result.values,
+            selection,
+            paid: outcome.paid,
+            selection_time,
+            propagation_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::SpeedQuery;
+    use rtse_crowd::{uniform_costs, CostRange};
+    use rtse_data::{SlotOfDay, SynthConfig, TrafficGenerator};
+    use rtse_eval::ErrorReport;
+    use rtse_graph::generators::grid;
+    use rtse_graph::RoadId;
+
+    struct World {
+        graph: Graph,
+        dataset: rtse_data::SynthDataset,
+        costs: Vec<u32>,
+    }
+
+    fn world(seed: u64) -> World {
+        let graph = grid(4, 5);
+        let cfg = SynthConfig { days: 20, seed, ..SynthConfig::default() };
+        let dataset = TrafficGenerator::new(&graph, cfg).generate();
+        let costs = uniform_costs(graph.num_roads(), CostRange::C2, seed);
+        World { graph, dataset, costs }
+    }
+
+    fn engine(w: &World) -> CrowdRtse<'_> {
+        // Moment estimation: the trainer's CCD refinement is covered by
+        // `offline::tests` and the rtf crate; these tests exercise the
+        // online pipeline.
+        let offline =
+            OfflineArtifacts::from_model(rtse_rtf::moment_estimate(&w.graph, &w.dataset.history));
+        CrowdRtse::new(&w.graph, offline)
+    }
+
+    #[test]
+    fn end_to_end_answers_query() {
+        let w = world(31);
+        let e = engine(&w);
+        let slot = SlotOfDay::from_hm(8, 30);
+        let query = SpeedQuery::new((0u32..10).map(RoadId).collect(), slot);
+        let pool = WorkerPool::spawn(&w.graph, 40, 0.5, (0.3, 1.0), 7);
+        let truth = w.dataset.ground_truth_snapshot(slot);
+        let answer =
+            e.answer_query(&query, &pool, &w.costs, truth, &OnlineConfig::default());
+        assert_eq!(answer.estimates.len(), 10);
+        assert!(answer.estimates.iter().all(|v| v.is_finite() && *v > 0.0));
+        assert!(answer.selection.spent <= 30);
+        assert!(answer.paid >= answer.selection.spent || answer.paid == 0);
+    }
+
+    #[test]
+    fn engine_beats_periodic_baseline_under_incident() {
+        // With a strong incident on the queried roads and workers
+        // everywhere, the crowdsourced estimate must beat pure periodicity.
+        let graph = grid(4, 5);
+        let cfg = SynthConfig {
+            days: 20,
+            seed: 77,
+            incidents_per_day: 3.0,
+            severity_range: (0.5, 0.7),
+            duration_range: (30, 60),
+            ..SynthConfig::default()
+        };
+        let dataset = TrafficGenerator::new(&graph, cfg).generate();
+        let costs = vec![1u32; graph.num_roads()];
+        let offline =
+            OfflineArtifacts::from_model(rtse_rtf::moment_estimate(&graph, &dataset.history));
+        let engine = CrowdRtse::new(&graph, offline);
+
+        // Pick a slot mid-incident.
+        let inc = &dataset.today_incidents[0];
+        let slot = SlotOfDay((inc.start.index() + inc.duration_slots / 2).min(287) as u16);
+        let queried: Vec<RoadId> = graph.road_ids().collect();
+        let query = SpeedQuery::new(queried.clone(), slot);
+        let pool = WorkerPool::spawn(&graph, 60, 0.3, (0.2, 0.8), 3);
+        let truth = dataset.ground_truth_snapshot(slot);
+        let config = OnlineConfig { budget: 10, ..Default::default() };
+        let answer = engine.answer_query(&query, &pool, &costs, truth, &config);
+
+        let crowd_report = ErrorReport::evaluate_default(&answer.all_values, truth, &queried);
+        let periodic = engine.offline().model().slot(slot).mu.clone();
+        let per_report = ErrorReport::evaluate_default(&periodic, truth, &queried);
+        assert!(
+            crowd_report.mape <= per_report.mape + 1e-9,
+            "CrowdRTSE MAPE {} should not exceed Per {}",
+            crowd_report.mape,
+            per_report.mape
+        );
+    }
+
+    #[test]
+    fn strategies_all_produce_feasible_answers() {
+        let w = world(41);
+        let e = engine(&w);
+        let slot = SlotOfDay::from_hm(18, 0);
+        let query = SpeedQuery::new((5u32..15).map(RoadId).collect(), slot);
+        let pool = WorkerPool::spawn(&w.graph, 30, 0.5, (0.3, 1.0), 9);
+        let truth = w.dataset.ground_truth_snapshot(slot);
+        for strategy in [
+            SelectionStrategy::Hybrid,
+            SelectionStrategy::Ratio,
+            SelectionStrategy::Objective,
+            SelectionStrategy::Random(5),
+        ] {
+            let config = OnlineConfig { strategy, budget: 12, ..Default::default() };
+            let answer = e.answer_query(&query, &pool, &w.costs, truth, &config);
+            assert!(answer.selection.spent <= 12, "{strategy:?} overspent");
+            assert!(answer.estimates.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn zero_budget_degrades_to_periodic() {
+        let w = world(51);
+        let e = engine(&w);
+        let slot = SlotOfDay::from_hm(12, 0);
+        let query = SpeedQuery::new(vec![RoadId(0), RoadId(7)], slot);
+        let pool = WorkerPool::spawn(&w.graph, 10, 0.5, (0.3, 1.0), 1);
+        let truth = w.dataset.ground_truth_snapshot(slot);
+        let config = OnlineConfig { budget: 0, ..Default::default() };
+        let answer = e.answer_query(&query, &pool, &w.costs, truth, &config);
+        let mu = &e.offline().model().slot(slot).mu;
+        assert_eq!(answer.estimates[0], mu[0]);
+        assert_eq!(answer.estimates[1], mu[7]);
+        assert_eq!(answer.paid, 0);
+    }
+
+    #[test]
+    fn empty_worker_pool_degrades_to_periodic() {
+        let w = world(61);
+        let e = engine(&w);
+        let slot = SlotOfDay::from_hm(7, 0);
+        let query = SpeedQuery::new(vec![RoadId(3)], slot);
+        let pool = WorkerPool::spawn(&w.graph, 1, 0.0, (0.1, 0.2), 1);
+        // Shrink the pool to zero coverage by querying a fresh pool with no
+        // workers: spawn requires ≥0; emulate by moving the single worker's
+        // answers out of selection via zero candidates — use an empty pool.
+        let empty = WorkerPool::spawn(&w.graph, 0, 0.0, (0.1, 0.2), 1);
+        let truth = w.dataset.ground_truth_snapshot(slot);
+        let answer =
+            e.answer_query(&query, &empty, &w.costs, truth, &OnlineConfig::default());
+        assert_eq!(answer.estimates[0], e.offline().model().mu(slot, RoadId(3)));
+        let _ = pool;
+    }
+}

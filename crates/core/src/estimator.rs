@@ -1,0 +1,77 @@
+//! GSP adapted to the shared [`Estimator`] interface.
+
+use rtse_baselines::{EstimationContext, Estimator};
+use rtse_graph::RoadId;
+use rtse_gsp::GspSolver;
+
+/// GSP as an [`Estimator`], so the evaluation harness can sweep it next to
+/// LASSO/GRMC/Per.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GspEstimator {
+    /// The wrapped solver configuration.
+    pub solver: GspSolver,
+}
+
+impl Estimator for GspEstimator {
+    fn name(&self) -> &'static str {
+        "GSP"
+    }
+
+    fn estimate(&self, ctx: &EstimationContext<'_>, observations: &[(RoadId, f64)]) -> Vec<f64> {
+        self.solver.propagate(ctx.graph, ctx.model.slot(ctx.slot), observations).values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtse_baselines::Per;
+    use rtse_data::{SlotOfDay, SynthConfig, TrafficGenerator};
+    use rtse_eval::ErrorReport;
+    use rtse_graph::generators::grid;
+    use rtse_rtf::moment_estimate;
+
+    #[test]
+    fn gsp_estimator_beats_per_with_observations() {
+        let graph = grid(4, 4);
+        let cfg = SynthConfig {
+            days: 25,
+            seed: 17,
+            incidents_per_day: 2.0,
+            severity_range: (0.5, 0.7),
+            duration_range: (40, 80),
+            ..SynthConfig::default()
+        };
+        let dataset = TrafficGenerator::new(&graph, cfg).generate();
+        let model = moment_estimate(&graph, &dataset.history);
+        // A slot where at least one incident is active, if any.
+        let slot = dataset
+            .today_incidents
+            .first()
+            .map(|i| SlotOfDay((i.start.index() + i.duration_slots / 2).min(287) as u16))
+            .unwrap_or(SlotOfDay::from_hm(8, 30));
+        let ctx = EstimationContext { graph: &graph, model: &model, history: &dataset.history, slot };
+        let truth = dataset.ground_truth_snapshot(slot).to_vec();
+        let observed: Vec<(RoadId, f64)> = (0..graph.num_roads())
+            .step_by(3)
+            .map(|i| (RoadId::from(i), truth[i]))
+            .collect();
+        let queried: Vec<RoadId> = graph.road_ids().collect();
+
+        let gsp = GspEstimator::default().estimate(&ctx, &observed);
+        let per = Per.estimate(&ctx, &observed);
+        let gsp_report = ErrorReport::evaluate_default(&gsp, &truth, &queried);
+        let per_report = ErrorReport::evaluate_default(&per, &truth, &queried);
+        assert!(
+            gsp_report.mape <= per_report.mape + 1e-9,
+            "GSP {} vs Per {}",
+            gsp_report.mape,
+            per_report.mape
+        );
+    }
+
+    #[test]
+    fn name_is_gsp() {
+        assert_eq!(GspEstimator::default().name(), "GSP");
+    }
+}

@@ -1,0 +1,96 @@
+//! Offline stage: RTF training and correlation-table caching.
+
+use parking_lot::Mutex;
+use rtse_data::{HistoryStore, SlotOfDay};
+use rtse_graph::Graph;
+use rtse_rtf::{CorrelationTable, PathCorrelation, RtfModel, RtfTrainer};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Everything the online stage needs from the offline stage.
+///
+/// The paper computes the full `Γ_R` for every slot offline; at 607 roads
+/// × 288 slots that is ~100 GB of doubles, so (like any real deployment
+/// would) the table is materialized lazily per slot and cached — the
+/// computation is identical, only the schedule differs.
+pub struct OfflineArtifacts {
+    model: RtfModel,
+    semantics: PathCorrelation,
+    corr_cache: Mutex<HashMap<u16, Arc<CorrelationTable>>>,
+}
+
+impl OfflineArtifacts {
+    /// Runs the offline stage: trains the RTF with `trainer` on `history`.
+    pub fn train(graph: &Graph, history: &HistoryStore, trainer: &RtfTrainer) -> Self {
+        let (model, _stats) = trainer.train(graph, history);
+        Self::from_model(model)
+    }
+
+    /// Wraps an already-trained (or loaded) model.
+    pub fn from_model(model: RtfModel) -> Self {
+        Self {
+            model,
+            semantics: PathCorrelation::MaxProduct,
+            corr_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Overrides the path-correlation semantics (ablation use). Clears the
+    /// cache.
+    pub fn with_semantics(mut self, semantics: PathCorrelation) -> Self {
+        self.semantics = semantics;
+        self.corr_cache.get_mut().clear();
+        self
+    }
+
+    /// The trained model.
+    pub fn model(&self) -> &RtfModel {
+        &self.model
+    }
+
+    /// The correlation table for a slot, building it on first use.
+    pub fn corr_table(&self, graph: &Graph, slot: SlotOfDay) -> Arc<CorrelationTable> {
+        let mut cache = self.corr_cache.lock();
+        cache
+            .entry(slot.0)
+            .or_insert_with(|| {
+                Arc::new(CorrelationTable::build(graph, &self.model, slot, self.semantics))
+            })
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtse_data::{SynthConfig, TrafficGenerator};
+    use rtse_graph::generators::grid;
+
+    #[test]
+    fn train_and_cache() {
+        let g = grid(3, 3);
+        let cfg = SynthConfig { days: 8, seed: 1, ..SynthConfig::small_test() };
+        let ds = TrafficGenerator::new(&g, cfg).generate();
+        let artifacts = OfflineArtifacts::train(&g, &ds.history, &RtfTrainer::default());
+        assert!(artifacts.model().matches_graph(&g));
+        let slot = SlotOfDay::from_hm(9, 0);
+        let t1 = artifacts.corr_table(&g, slot);
+        let t2 = artifacts.corr_table(&g, slot);
+        // Same Arc returned from the cache.
+        assert!(Arc::ptr_eq(&t1, &t2));
+        let t3 = artifacts.corr_table(&g, SlotOfDay::from_hm(10, 0));
+        assert!(!Arc::ptr_eq(&t1, &t3));
+    }
+
+    #[test]
+    fn semantics_override_rebuilds() {
+        let g = grid(2, 3);
+        let cfg = SynthConfig { days: 6, seed: 2, ..SynthConfig::small_test() };
+        let ds = TrafficGenerator::new(&g, cfg).generate();
+        let artifacts = OfflineArtifacts::train(&g, &ds.history, &RtfTrainer::default())
+            .with_semantics(PathCorrelation::ReciprocalSum);
+        let slot = SlotOfDay(0);
+        let t = artifacts.corr_table(&g, slot);
+        assert_eq!(t.semantics(), PathCorrelation::ReciprocalSum);
+    }
+}

@@ -1,0 +1,75 @@
+//! Query and answer types.
+
+use rtse_data::SlotOfDay;
+use rtse_graph::RoadId;
+use rtse_ocs::Selection;
+use std::time::Duration;
+
+/// A realtime traffic speed query: "what is the speed of these roads right
+/// now?" (Section III-A).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedQuery {
+    /// The queried roads `R^q`.
+    pub roads: Vec<RoadId>,
+    /// The current time slot.
+    pub slot: SlotOfDay,
+}
+
+impl SpeedQuery {
+    /// Builds a query, deduplicating the road list.
+    pub fn new(mut roads: Vec<RoadId>, slot: SlotOfDay) -> Self {
+        roads.sort();
+        roads.dedup();
+        Self { roads, slot }
+    }
+}
+
+/// The engine's answer, including the intermediates the experiments need.
+#[derive(Debug, Clone)]
+pub struct QueryAnswer {
+    /// Estimated speed per queried road, parallel to the query's `roads`.
+    pub estimates: Vec<f64>,
+    /// Full-network estimate (one value per road).
+    pub all_values: Vec<f64>,
+    /// The OCS selection that was crowdsourced.
+    pub selection: Selection,
+    /// Payment units actually disbursed by the campaign.
+    pub paid: u32,
+    /// Time spent selecting roads (OCS).
+    pub selection_time: Duration,
+    /// Time spent propagating (GSP).
+    pub propagation_time: Duration,
+}
+
+impl QueryAnswer {
+    /// The estimate for one queried road (`None` if it was not queried).
+    pub fn estimate_for(&self, query: &SpeedQuery, road: RoadId) -> Option<f64> {
+        query.roads.iter().position(|&r| r == road).map(|i| self.estimates[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_dedups_and_sorts() {
+        let q = SpeedQuery::new(vec![RoadId(3), RoadId(1), RoadId(3)], SlotOfDay(5));
+        assert_eq!(q.roads, vec![RoadId(1), RoadId(3)]);
+    }
+
+    #[test]
+    fn estimate_lookup() {
+        let q = SpeedQuery::new(vec![RoadId(1), RoadId(3)], SlotOfDay(0));
+        let a = QueryAnswer {
+            estimates: vec![10.0, 20.0],
+            all_values: vec![],
+            selection: Selection::empty(),
+            paid: 0,
+            selection_time: Duration::ZERO,
+            propagation_time: Duration::ZERO,
+        };
+        assert_eq!(a.estimate_for(&q, RoadId(3)), Some(20.0));
+        assert_eq!(a.estimate_for(&q, RoadId(2)), None);
+    }
+}

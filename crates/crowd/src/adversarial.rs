@@ -1,0 +1,115 @@
+//! Adversarial worker behaviour and robust-aggregation analysis.
+//!
+//! Real crowdsourcing platforms see spam and manipulation; the paper
+//! sidesteps this by buying multiple answers per road and aggregating.
+//! This module injects controlled corruption into an answer stream so the
+//! aggregation rules' robustness can be measured (and is exercised by the
+//! quality tests below: the median survives corruption levels that break
+//! the mean).
+
+use crate::answer::Answer;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// How a corrupted answer misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Corruption {
+    /// Reports a constant regardless of the true speed (lazy spammer).
+    Constant(f64),
+    /// Multiplies the honest report (systematic exaggeration).
+    Scale(f64),
+    /// Reports a uniform random speed in the given range.
+    Uniform(f64, f64),
+}
+
+/// Replaces a `fraction` of the answers (chosen pseudo-randomly by `seed`)
+/// with corrupted reports. Returns the number of answers corrupted.
+pub fn corrupt_answers(
+    answers: &mut [Answer],
+    fraction: f64,
+    mode: Corruption,
+    seed: u64,
+) -> usize {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut corrupted = 0;
+    for a in answers.iter_mut() {
+        if rng.random_range(0.0..1.0) >= fraction {
+            continue;
+        }
+        a.speed_kmh = match mode {
+            Corruption::Constant(v) => v,
+            Corruption::Scale(f) => (a.speed_kmh * f).max(0.0),
+            Corruption::Uniform(lo, hi) => rng.random_range(lo..hi),
+        };
+        corrupted += 1;
+    }
+    corrupted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{aggregate_answers, AggregationRule};
+    use crate::worker::WorkerId;
+    use rtse_graph::RoadId;
+
+    fn honest_answers(n: usize, truth: f64) -> Vec<Answer> {
+        (0..n)
+            .map(|i| Answer {
+                worker: WorkerId(i as u32),
+                road: RoadId(0),
+                // Small deterministic spread around the truth.
+                speed_kmh: truth + ((i as f64 * 0.7).sin()),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn corruption_respects_fraction_bounds() {
+        let mut a = honest_answers(200, 40.0);
+        let c = corrupt_answers(&mut a, 0.3, Corruption::Constant(0.0), 1);
+        // Binomial(200, .3): allow a generous window.
+        assert!((30..=90).contains(&c), "corrupted {c}");
+        let mut b = honest_answers(10, 40.0);
+        assert_eq!(corrupt_answers(&mut b, 0.0, Corruption::Constant(0.0), 1), 0);
+        let mut d = honest_answers(10, 40.0);
+        assert_eq!(corrupt_answers(&mut d, 1.0, Corruption::Constant(0.0), 1), 10);
+    }
+
+    #[test]
+    fn median_resists_what_breaks_the_mean() {
+        let truth = 40.0;
+        let mut a = honest_answers(21, truth);
+        corrupt_answers(&mut a, 0.25, Corruption::Constant(200.0), 7);
+        let mean = aggregate_answers(&a, AggregationRule::Mean).unwrap();
+        let median = aggregate_answers(&a, AggregationRule::Median).unwrap();
+        assert!((median - truth).abs() < 2.0, "median off: {median}");
+        assert!((mean - truth).abs() > 10.0, "mean should be wrecked: {mean}");
+    }
+
+    #[test]
+    fn trimmed_mean_handles_single_outlier() {
+        let truth = 40.0;
+        let mut a = honest_answers(5, truth);
+        a[2].speed_kmh = 500.0;
+        let trimmed = aggregate_answers(&a, AggregationRule::TrimmedMean).unwrap();
+        assert!((trimmed - truth).abs() < 2.0);
+    }
+
+    #[test]
+    fn scale_corruption_never_negative() {
+        let mut a = honest_answers(10, 3.0);
+        corrupt_answers(&mut a, 1.0, Corruption::Scale(-2.0), 3);
+        assert!(a.iter().all(|x| x.speed_kmh >= 0.0));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = honest_answers(50, 40.0);
+        let mut b = honest_answers(50, 40.0);
+        corrupt_answers(&mut a, 0.5, Corruption::Uniform(0.0, 100.0), 9);
+        corrupt_answers(&mut b, 0.5, Corruption::Uniform(0.0, 100.0), 9);
+        assert_eq!(a, b);
+    }
+}

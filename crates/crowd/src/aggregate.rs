@@ -1,0 +1,105 @@
+//! Aggregation of the multiple answers bought per road.
+//!
+//! "To obtain a more accurate result, multiple answers are required to be
+//! collected and integrated for each crowdsourced road" (Section V-A). The
+//! aggregation rule is pluggable; the mean is the default, the median and
+//! trimmed mean resist outlier workers.
+
+use crate::answer::Answer;
+
+/// How a road's answers are combined into one speed estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AggregationRule {
+    /// Arithmetic mean of all answers.
+    #[default]
+    Mean,
+    /// Median (outlier-robust).
+    Median,
+    /// Mean after dropping the lowest and highest answer (needs ≥ 3
+    /// answers; falls back to the mean otherwise).
+    TrimmedMean,
+}
+
+/// Aggregates a road's answers; `None` when there are no answers.
+pub fn aggregate_answers(answers: &[Answer], rule: AggregationRule) -> Option<f64> {
+    if answers.is_empty() {
+        return None;
+    }
+    let mut speeds: Vec<f64> = answers.iter().map(|a| a.speed_kmh).collect();
+    Some(match rule {
+        AggregationRule::Mean => mean(&speeds),
+        AggregationRule::Median => {
+            speeds.sort_by(|a, b| a.partial_cmp(b).expect("speeds are finite"));
+            let n = speeds.len();
+            if n % 2 == 1 {
+                speeds[n / 2]
+            } else {
+                0.5 * (speeds[n / 2 - 1] + speeds[n / 2])
+            }
+        }
+        AggregationRule::TrimmedMean => {
+            if speeds.len() < 3 {
+                mean(&speeds)
+            } else {
+                speeds.sort_by(|a, b| a.partial_cmp(b).expect("speeds are finite"));
+                mean(&speeds[1..speeds.len() - 1])
+            }
+        }
+    })
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::WorkerId;
+    use rtse_graph::RoadId;
+
+    fn answers(speeds: &[f64]) -> Vec<Answer> {
+        speeds
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| Answer { worker: WorkerId(i as u32), road: RoadId(0), speed_kmh: s })
+            .collect()
+    }
+
+    #[test]
+    fn empty_answers_none() {
+        assert_eq!(aggregate_answers(&[], AggregationRule::Mean), None);
+    }
+
+    #[test]
+    fn mean_hand_value() {
+        let a = answers(&[10.0, 20.0, 30.0]);
+        assert_eq!(aggregate_answers(&a, AggregationRule::Mean), Some(20.0));
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        let odd = answers(&[30.0, 10.0, 20.0]);
+        assert_eq!(aggregate_answers(&odd, AggregationRule::Median), Some(20.0));
+        let even = answers(&[10.0, 20.0, 30.0, 100.0]);
+        assert_eq!(aggregate_answers(&even, AggregationRule::Median), Some(25.0));
+    }
+
+    #[test]
+    fn trimmed_mean_drops_extremes() {
+        let a = answers(&[0.0, 20.0, 22.0, 21.0, 100.0]);
+        assert_eq!(aggregate_answers(&a, AggregationRule::TrimmedMean), Some(21.0));
+        // Fewer than 3 answers: plain mean.
+        let b = answers(&[10.0, 30.0]);
+        assert_eq!(aggregate_answers(&b, AggregationRule::TrimmedMean), Some(20.0));
+    }
+
+    #[test]
+    fn median_resists_outlier_better_than_mean() {
+        let a = answers(&[40.0, 41.0, 39.0, 40.5, 500.0]);
+        let mean = aggregate_answers(&a, AggregationRule::Mean).unwrap();
+        let median = aggregate_answers(&a, AggregationRule::Median).unwrap();
+        assert!((median - 40.0).abs() < 1.0);
+        assert!(mean > 100.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Answer generation: what a worker reports.
+
+use crate::worker::Worker;
+use rand::rngs::StdRng;
+use rtse_data::synth::gaussian;
+use rtse_graph::RoadId;
+
+/// One submitted answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Answer {
+    /// The reporting worker.
+    pub worker: crate::worker::WorkerId,
+    /// Road the answer is about (the worker's location at answer time).
+    pub road: RoadId,
+    /// Reported speed, km/h (non-negative).
+    pub speed_kmh: f64,
+}
+
+impl Answer {
+    /// Simulates one answer: truth plus the worker's bias plus fresh
+    /// Gaussian noise, floored at zero (devices don't report negative
+    /// speeds).
+    pub fn simulate(worker: &Worker, true_speed: f64, rng: &mut StdRng) -> Self {
+        let reported =
+            (true_speed + worker.bias_kmh + gaussian(rng) * worker.noise_std_kmh).max(0.0);
+        Self { worker: worker.id, road: worker.location, speed_kmh: reported }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::WorkerId;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfect_worker_reports_truth() {
+        let w = Worker::perfect(WorkerId(0), RoadId(2));
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Answer::simulate(&w, 47.5, &mut rng);
+        assert_eq!(a.speed_kmh, 47.5);
+        assert_eq!(a.road, RoadId(2));
+        assert_eq!(a.worker, WorkerId(0));
+    }
+
+    #[test]
+    fn bias_shifts_reports() {
+        let w = Worker { id: WorkerId(1), location: RoadId(0), bias_kmh: 5.0, noise_std_kmh: 0.0 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Answer::simulate(&w, 40.0, &mut rng);
+        assert_eq!(a.speed_kmh, 45.0);
+    }
+
+    #[test]
+    fn reports_never_negative() {
+        let w = Worker { id: WorkerId(2), location: RoadId(0), bias_kmh: -50.0, noise_std_kmh: 0.0 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Answer::simulate(&w, 10.0, &mut rng);
+        assert_eq!(a.speed_kmh, 0.0);
+    }
+
+    #[test]
+    fn noise_varies_between_answers() {
+        let w = Worker { id: WorkerId(3), location: RoadId(0), bias_kmh: 0.0, noise_std_kmh: 3.0 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Answer::simulate(&w, 40.0, &mut rng);
+        let b = Answer::simulate(&w, 40.0, &mut rng);
+        assert_ne!(a.speed_kmh, b.speed_kmh);
+    }
+}

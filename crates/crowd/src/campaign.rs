@@ -1,0 +1,232 @@
+//! Running one crowdsourcing round.
+//!
+//! Given the OCS selection, the campaign buys `c_i` answers for each
+//! selected road from the workers present there and aggregates them into
+//! the observation set GSP consumes. Payment is one unit per answer
+//! (Section III-A), so a road's spend equals its cost.
+
+use crate::aggregate::{aggregate_answers, AggregationRule};
+use crate::answer::Answer;
+use crate::mobility::WorkerPool;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtse_graph::RoadId;
+
+/// Campaign configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CrowdCampaign {
+    /// Aggregation rule for multi-answer roads.
+    pub rule: AggregationRule,
+    /// Probability that a present worker accepts the task (the paper notes
+    /// forced travel "reduces workers' willingness"; even in-place tasks
+    /// see declines). 1.0 = everyone accepts.
+    pub acceptance_rate: f64,
+    /// RNG seed for answer noise and acceptance draws.
+    pub seed: u64,
+}
+
+impl Default for CrowdCampaign {
+    fn default() -> Self {
+        Self { rule: AggregationRule::Mean, acceptance_rate: 1.0, seed: 0xFEED }
+    }
+}
+
+/// Result of one campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// Aggregated observation per selected road (input order preserved;
+    /// roads with no workers are dropped).
+    pub observations: Vec<(RoadId, f64)>,
+    /// Raw answers collected (diagnostics).
+    pub answers: Vec<Answer>,
+    /// Total payment units disbursed (one per answer).
+    pub paid: u32,
+    /// Selected roads that had no worker to answer (should be empty when
+    /// the selection honored `R^c ⊆ R^w`).
+    pub unanswered: Vec<RoadId>,
+}
+
+impl CrowdCampaign {
+    /// Collects `costs[r]` answers for each road in `selection` from the
+    /// workers on it. When a road hosts fewer workers than its cost, the
+    /// present workers answer repeatedly (a worker may re-measure; each
+    /// answer is still paid).
+    ///
+    /// `true_speeds[r]` is the ground-truth snapshot the simulated workers
+    /// observe.
+    pub fn run(
+        &self,
+        pool: &WorkerPool,
+        selection: &[RoadId],
+        costs: &[u32],
+        true_speeds: &[f64],
+    ) -> CampaignOutcome {
+        assert!(
+            (0.0..=1.0).contains(&self.acceptance_rate),
+            "acceptance_rate must be a probability"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut observations = Vec::with_capacity(selection.len());
+        let mut all_answers = Vec::new();
+        let mut paid = 0u32;
+        let mut unanswered = Vec::new();
+        for &road in selection {
+            let workers: Vec<_> = pool
+                .workers_on(road)
+                .into_iter()
+                .filter(|_| {
+                    self.acceptance_rate >= 1.0
+                        || rand::RngExt::random_range(&mut rng, 0.0..1.0) < self.acceptance_rate
+                })
+                .collect();
+            if workers.is_empty() {
+                unanswered.push(road);
+                continue;
+            }
+            let needed = costs[road.index()].max(1) as usize;
+            let mut road_answers = Vec::with_capacity(needed);
+            for k in 0..needed {
+                let w = workers[k % workers.len()];
+                road_answers.push(Answer::simulate(w, true_speeds[road.index()], &mut rng));
+            }
+            paid += road_answers.len() as u32;
+            if let Some(speed) = aggregate_answers(&road_answers, self.rule) {
+                observations.push((road, speed));
+            }
+            all_answers.extend(road_answers);
+        }
+        CampaignOutcome { observations, answers: all_answers, paid, unanswered }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtse_graph::generators::grid;
+
+    fn setup() -> (rtse_graph::Graph, WorkerPool, Vec<f64>) {
+        let g = grid(3, 3);
+        let pool = WorkerPool::spawn(&g, 30, 0.5, (0.2, 1.0), 11);
+        let truth: Vec<f64> = (0..g.num_roads()).map(|i| 30.0 + i as f64).collect();
+        (g, pool, truth)
+    }
+
+    #[test]
+    fn observations_close_to_truth() {
+        let (_g, pool, truth) = setup();
+        let selection = pool.covered_roads();
+        let costs = vec![5u32; truth.len()];
+        let out = CrowdCampaign::default().run(&pool, &selection, &costs, &truth);
+        assert!(out.unanswered.is_empty());
+        assert_eq!(out.observations.len(), selection.len());
+        for (road, speed) in &out.observations {
+            let t = truth[road.index()];
+            assert!((speed - t).abs() < 4.0, "road {road}: {speed} vs {t}");
+        }
+    }
+
+    #[test]
+    fn payment_matches_answer_count() {
+        let (_g, pool, truth) = setup();
+        let selection = pool.covered_roads();
+        let costs = vec![3u32; truth.len()];
+        let out = CrowdCampaign::default().run(&pool, &selection, &costs, &truth);
+        assert_eq!(out.paid as usize, out.answers.len());
+        assert_eq!(out.paid, 3 * selection.len() as u32);
+    }
+
+    #[test]
+    fn roads_without_workers_are_reported() {
+        let (g, pool, truth) = setup();
+        let covered = pool.covered_roads();
+        let empty_road = g.road_ids().find(|r| !covered.contains(r));
+        if let Some(road) = empty_road {
+            let costs = vec![1u32; truth.len()];
+            let out = CrowdCampaign::default().run(&pool, &[road], &costs, &truth);
+            assert_eq!(out.unanswered, vec![road]);
+            assert!(out.observations.is_empty());
+            assert_eq!(out.paid, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (_g, pool, truth) = setup();
+        let selection = pool.covered_roads();
+        let costs = vec![2u32; truth.len()];
+        let c = CrowdCampaign { seed: 1, ..Default::default() };
+        let a = c.run(&pool, &selection, &costs, &truth);
+        let b = c.run(&pool, &selection, &costs, &truth);
+        assert_eq!(a.observations, b.observations);
+    }
+
+    #[test]
+    fn more_answers_reduce_error() {
+        let (_g, pool, truth) = setup();
+        let selection = pool.covered_roads();
+        let err = |cost: u32, seed: u64| {
+            let costs = vec![cost; truth.len()];
+            let out = CrowdCampaign { seed, ..Default::default() }
+                .run(&pool, &selection, &costs, &truth);
+            out.observations
+                .iter()
+                .map(|(r, s)| (s - truth[r.index()]).abs())
+                .sum::<f64>()
+                / out.observations.len() as f64
+        };
+        // Average over several seeds to avoid flakiness.
+        let few: f64 = (0..8).map(|s| err(1, s)).sum::<f64>() / 8.0;
+        let many: f64 = (0..8).map(|s| err(9, s)).sum::<f64>() / 8.0;
+        assert!(many < few, "9 answers ({many}) should beat 1 ({few})");
+    }
+}
+
+#[cfg(test)]
+mod acceptance_tests {
+    use super::*;
+    use rtse_graph::generators::grid;
+
+    #[test]
+    fn zero_acceptance_answers_nothing() {
+        let g = grid(3, 3);
+        let pool = WorkerPool::spawn(&g, 30, 0.0, (0.1, 0.3), 11);
+        let truth: Vec<f64> = vec![40.0; g.num_roads()];
+        let costs = vec![2u32; g.num_roads()];
+        let selection = pool.covered_roads();
+        let campaign = CrowdCampaign { acceptance_rate: 0.0, ..Default::default() };
+        let out = campaign.run(&pool, &selection, &costs, &truth);
+        assert!(out.observations.is_empty());
+        assert_eq!(out.paid, 0);
+        assert_eq!(out.unanswered.len(), selection.len());
+    }
+
+    #[test]
+    fn partial_acceptance_loses_some_roads() {
+        let g = grid(3, 3);
+        let pool = WorkerPool::spawn(&g, 12, 0.0, (0.1, 0.3), 11);
+        let truth: Vec<f64> = vec![40.0; g.num_roads()];
+        let costs = vec![1u32; g.num_roads()];
+        let selection = pool.covered_roads();
+        let full =
+            CrowdCampaign { acceptance_rate: 1.0, ..Default::default() }.run(&pool, &selection, &costs, &truth);
+        let partial =
+            CrowdCampaign { acceptance_rate: 0.3, ..Default::default() }.run(&pool, &selection, &costs, &truth);
+        assert!(partial.observations.len() <= full.observations.len());
+        assert!(partial.paid <= full.paid);
+        assert_eq!(
+            partial.observations.len() + partial.unanswered.len(),
+            selection.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_acceptance_rate_rejected() {
+        let g = grid(2, 2);
+        let pool = WorkerPool::spawn(&g, 2, 0.0, (0.1, 0.2), 1);
+        let truth = vec![30.0; 4];
+        let costs = vec![1u32; 4];
+        CrowdCampaign { acceptance_rate: 1.5, ..Default::default() }
+            .run(&pool, &pool.covered_roads(), &costs, &truth);
+    }
+}

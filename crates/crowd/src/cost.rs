@@ -1,0 +1,128 @@
+//! Per-road crowdsourcing cost models.
+//!
+//! The cost of a road is "the minimum number of its required answers"
+//! (Section V-A). The paper's experiments draw costs uniformly at random
+//! (their data lacks the auxiliary signals a real deployment would use);
+//! [`uniform_costs`] reproduces that. [`variance_based_costs`] implements
+//! the more principled estimator the paper points at (refs [28, 29]):
+//! buy enough answers that the aggregated mean's confidence interval
+//! shrinks below a tolerance, given the road's historical answer variance.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rtse_graph::{Graph, RoadClass};
+
+/// Inclusive cost range, e.g. the paper's `C1 = 1..10` and `C2 = 1..5`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostRange {
+    /// Minimum cost (≥ 1).
+    pub lo: u32,
+    /// Maximum cost (≥ lo).
+    pub hi: u32,
+}
+
+impl CostRange {
+    /// The paper's wide range `C1 = 1..10`.
+    pub const C1: CostRange = CostRange { lo: 1, hi: 10 };
+    /// The paper's narrow range `C2 = 1..5`.
+    pub const C2: CostRange = CostRange { lo: 1, hi: 5 };
+    /// Unit costs (the trivial-case setting of Remark 2).
+    pub const UNIT: CostRange = CostRange { lo: 1, hi: 1 };
+}
+
+/// Draws one cost per road uniformly from `range`, deterministic in `seed`.
+pub fn uniform_costs(num_roads: usize, range: CostRange, seed: u64) -> Vec<u32> {
+    assert!(range.lo >= 1 && range.hi >= range.lo, "invalid cost range {range:?}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..num_roads).map(|_| rng.random_range(range.lo..=range.hi)).collect()
+}
+
+/// Variance-based cost: the number of answers needed so that a mean of
+/// that many answers has standard error below `tolerance_kmh`, i.e.
+/// `c = ceil((σ_answers / tolerance)²)`, clamped to `range`.
+///
+/// `answer_std[r]` is the historical per-answer standard deviation for
+/// road `r`; highways (stable speeds) come out cheap, volatile secondary
+/// roads expensive — exactly the paper's motivating example.
+pub fn variance_based_costs(answer_std: &[f64], tolerance_kmh: f64, range: CostRange) -> Vec<u32> {
+    assert!(tolerance_kmh > 0.0, "tolerance must be positive");
+    answer_std
+        .iter()
+        .map(|&s| {
+            let c = (s / tolerance_kmh).powi(2).ceil() as u32;
+            c.clamp(range.lo, range.hi)
+        })
+        .collect()
+}
+
+/// Synthesizes per-road answer standard deviations from road classes (for
+/// experiments without a history of real answers): class volatility scaled
+/// to km/h.
+pub fn class_answer_stds(graph: &Graph, base_std_kmh: f64) -> Vec<f64> {
+    graph.roads().iter().map(|r| base_std_kmh * r.class.volatility()).collect()
+}
+
+/// Convenience predicate used in tests and examples: highways should never
+/// cost more than secondary roads under the variance-based model.
+pub fn class_cost(class: RoadClass, base_std_kmh: f64, tolerance: f64, range: CostRange) -> u32 {
+    let s = base_std_kmh * class.volatility();
+    ((s / tolerance).powi(2).ceil() as u32).clamp(range.lo, range.hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtse_graph::generators::hong_kong_like;
+
+    #[test]
+    fn uniform_costs_in_range_and_deterministic() {
+        let a = uniform_costs(500, CostRange::C1, 3);
+        let b = uniform_costs(500, CostRange::C1, 3);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&c| (1..=10).contains(&c)));
+        // Both endpoints appear in 500 draws.
+        assert!(a.contains(&1) && a.contains(&10));
+    }
+
+    #[test]
+    fn unit_range_yields_all_ones() {
+        let c = uniform_costs(10, CostRange::UNIT, 1);
+        assert!(c.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cost range")]
+    fn zero_cost_range_rejected() {
+        uniform_costs(5, CostRange { lo: 0, hi: 3 }, 1);
+    }
+
+    #[test]
+    fn variance_based_hand_values() {
+        // σ = 4, tol = 2 → (4/2)² = 4 answers.
+        let c = variance_based_costs(&[4.0, 1.0, 20.0], 2.0, CostRange::C1);
+        assert_eq!(c, vec![4, 1, 10]); // last clamped to hi
+    }
+
+    #[test]
+    fn highways_cheaper_than_secondary() {
+        let g = hong_kong_like(100, 5);
+        let stds = class_answer_stds(&g, 3.0);
+        let costs = variance_based_costs(&stds, 1.5, CostRange::C1);
+        let avg = |class: RoadClass| {
+            let (sum, n) = g
+                .roads()
+                .iter()
+                .filter(|r| r.class == class)
+                .fold((0u32, 0u32), |(s, n), r| (s + costs[r.id.index()], n + 1));
+            sum as f64 / n.max(1) as f64
+        };
+        assert!(avg(RoadClass::Highway) < avg(RoadClass::Secondary));
+    }
+
+    #[test]
+    fn class_cost_consistent_with_vector_path() {
+        let c = class_cost(RoadClass::Highway, 3.0, 1.5, CostRange::C1);
+        let v = variance_based_costs(&[3.0 * RoadClass::Highway.volatility()], 1.5, CostRange::C1);
+        assert_eq!(c, v[0]);
+    }
+}

@@ -1,0 +1,154 @@
+//! gMission-shaped scenario builder.
+//!
+//! The paper's second dataset comes from the gMission spatial
+//! crowdsourcing platform (Table II): 50 queried roads forming a mutually
+//! connected sub-component, 30 worker-covered roads with `R^w ⊂ R^q`,
+//! uniform costs 1–10, budgets 10–50. This module reproduces that shape on
+//! any graph.
+
+use crate::cost::{uniform_costs, CostRange};
+use crate::mobility::WorkerPool;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rtse_graph::{components::grow_connected_subset, Graph, RoadId};
+
+/// Parameters of a gMission-style scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct GMissionSpec {
+    /// Size of the connected queried set (paper: 50).
+    pub num_queried: usize,
+    /// Number of worker-covered roads (paper: 30), drawn from the queried
+    /// set.
+    pub num_worker_roads: usize,
+    /// Workers spawned across those roads.
+    pub num_workers: usize,
+    /// Cost range (paper: 1..10).
+    pub cost_range: CostRange,
+    /// Worker bias standard deviation, km/h.
+    pub worker_bias_std: f64,
+    /// Worker per-answer noise range, km/h.
+    pub worker_noise: (f64, f64),
+    /// Seed for all random choices.
+    pub seed: u64,
+}
+
+impl Default for GMissionSpec {
+    fn default() -> Self {
+        Self {
+            num_queried: 50,
+            num_worker_roads: 30,
+            num_workers: 60,
+            cost_range: CostRange::C1,
+            worker_bias_std: 1.0,
+            worker_noise: (0.5, 2.5),
+            seed: 0x6A15,
+        }
+    }
+}
+
+/// A realized scenario.
+#[derive(Debug, Clone)]
+pub struct GMissionScenario {
+    /// The queried roads `R^q` (connected).
+    pub queried: Vec<RoadId>,
+    /// The worker-covered roads `R^w ⊂ R^q`.
+    pub worker_roads: Vec<RoadId>,
+    /// The worker pool, confined to `worker_roads`.
+    pub pool: WorkerPool,
+    /// Per-road costs (full network indexing).
+    pub costs: Vec<u32>,
+}
+
+impl GMissionScenario {
+    /// Builds the scenario on a graph, seeding the queried component at a
+    /// random road with a large-enough component.
+    ///
+    /// # Panics
+    /// Panics when the graph has no connected component of
+    /// `spec.num_queried` roads, or when `num_worker_roads > num_queried`.
+    pub fn build(graph: &Graph, spec: &GMissionSpec) -> Self {
+        assert!(
+            spec.num_worker_roads <= spec.num_queried,
+            "gMission requires R^w ⊂ R^q"
+        );
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        // Find a seed road whose component is large enough (bounded
+        // retries keep this deterministic).
+        let queried = (0..graph.num_roads())
+            .map(|_| RoadId::from(rng.random_range(0..graph.num_roads())))
+            .find_map(|seed| grow_connected_subset(graph, seed, spec.num_queried))
+            .unwrap_or_else(|| {
+                panic!("no connected component of {} roads", spec.num_queried)
+            });
+        // Worker roads: a random subset of the queried roads.
+        let mut shuffled = queried.clone();
+        // Fisher–Yates with the scenario RNG.
+        for i in (1..shuffled.len()).rev() {
+            let j = rng.random_range(0..=i);
+            shuffled.swap(i, j);
+        }
+        let mut worker_roads: Vec<RoadId> =
+            shuffled[..spec.num_worker_roads].to_vec();
+        worker_roads.sort();
+        let pool = WorkerPool::spawn_on_roads(
+            graph,
+            &worker_roads,
+            spec.num_workers,
+            spec.worker_bias_std,
+            spec.worker_noise,
+            spec.seed ^ 0xABCD,
+        );
+        let costs = uniform_costs(graph.num_roads(), spec.cost_range, spec.seed ^ 0x1234);
+        Self { queried, worker_roads, pool, costs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtse_graph::generators::hong_kong_like;
+    use rtse_graph::hop_distances;
+
+    #[test]
+    fn scenario_matches_paper_shape() {
+        let g = hong_kong_like(607, 1);
+        let spec = GMissionSpec::default();
+        let s = GMissionScenario::build(&g, &spec);
+        assert_eq!(s.queried.len(), 50);
+        assert_eq!(s.worker_roads.len(), 30);
+        // R^w ⊂ R^q.
+        assert!(s.worker_roads.iter().all(|r| s.queried.contains(r)));
+        // The queried set is connected: every queried road reachable from
+        // the first within the induced subgraph. Cheap check: hop distance
+        // in the full graph is finite (necessary condition) and the set was
+        // grown by BFS (sufficient by construction).
+        let d = hop_distances(&g, &[s.queried[0]]);
+        assert!(s.queried.iter().all(|r| d[r.index()] != usize::MAX));
+        // Workers sit on worker roads only.
+        assert!(s.pool.workers().iter().all(|w| s.worker_roads.contains(&w.location)));
+        // Costs cover the whole network in 1..=10.
+        assert_eq!(s.costs.len(), 607);
+        assert!(s.costs.iter().all(|&c| (1..=10).contains(&c)));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = hong_kong_like(200, 2);
+        let spec = GMissionSpec { num_queried: 30, num_worker_roads: 10, ..Default::default() };
+        let a = GMissionScenario::build(&g, &spec);
+        let b = GMissionScenario::build(&g, &spec);
+        assert_eq!(a.queried, b.queried);
+        assert_eq!(a.worker_roads, b.worker_roads);
+        let c =
+            GMissionScenario::build(&g, &GMissionSpec { seed: 99, ..spec });
+        assert_ne!(a.worker_roads, c.worker_roads);
+    }
+
+    #[test]
+    #[should_panic(expected = "R^w ⊂ R^q")]
+    fn worker_roads_cannot_exceed_queried() {
+        let g = hong_kong_like(100, 3);
+        let spec = GMissionSpec { num_queried: 10, num_worker_roads: 20, ..Default::default() };
+        GMissionScenario::build(&g, &spec);
+    }
+}

@@ -1,0 +1,42 @@
+//! Crowdsourcing substrate for CrowdRTSE.
+//!
+//! The paper collects realtime speeds from human workers: a worker demands
+//! a task, reports the speed at her current location from her mobile
+//! device, and is paid one unit per accepted answer. The gMission platform
+//! supplied worker locations in the paper's second evaluation; neither
+//! gMission nor human workers are available offline, so this crate
+//! simulates both (see DESIGN.md, substitutions):
+//!
+//! * [`worker`] — workers with a location, a per-worker reporting bias and
+//!   noise level;
+//! * [`mobility`] — a seeded random-walk mobility model over the road
+//!   graph (worker distributions are time-variant, the very reason the
+//!   paper rejects fixed observation sites);
+//! * [`answer`] / [`aggregate`] — noisy answer generation and aggregation
+//!   of the multiple answers bought per road;
+//! * [`cost`] — per-road cost models: the uniform-random costs the paper's
+//!   experiments use, and a variance-based estimator in the spirit of its
+//!   refs [28, 29];
+//! * [`campaign`] — running one crowdsourcing round for a selected road
+//!   set against ground truth, with budget accounting;
+//! * [`gmission`] — a scenario builder replicating the gMission dataset's
+//!   shape (Table II: 50 connected queried roads, 30 worker roads ⊂ R^q,
+//!   costs 1–10).
+
+pub mod adversarial;
+pub mod aggregate;
+pub mod answer;
+pub mod campaign;
+pub mod cost;
+pub mod gmission;
+pub mod mobility;
+pub mod worker;
+
+pub use adversarial::{corrupt_answers, Corruption};
+pub use aggregate::{aggregate_answers, AggregationRule};
+pub use answer::Answer;
+pub use campaign::{CampaignOutcome, CrowdCampaign};
+pub use cost::{uniform_costs, variance_based_costs, CostRange};
+pub use gmission::{GMissionScenario, GMissionSpec};
+pub use mobility::WorkerPool;
+pub use worker::{Worker, WorkerId};

@@ -1,0 +1,193 @@
+//! Worker pool with random-walk mobility.
+//!
+//! Worker distributions are time-variant — the paper's core argument
+//! against fixed observation sites. The pool spawns workers at seeded
+//! random roads and moves each to a uniformly random neighbor with a
+//! configurable probability per step.
+
+use crate::worker::{Worker, WorkerId};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use rtse_data::synth::gaussian;
+use rtse_graph::{Graph, RoadId};
+
+/// A population of workers over a road graph.
+///
+/// ```
+/// use rtse_crowd::WorkerPool;
+/// use rtse_graph::generators;
+///
+/// let graph = generators::grid(3, 3);
+/// let mut pool = WorkerPool::spawn(&graph, 12, 0.5, (0.3, 1.0), 42);
+/// let before = pool.covered_roads();
+/// assert!(!before.is_empty());
+/// pool.step(&graph); // workers wander
+/// assert!(pool.workers().iter().all(|w| w.location.index() < graph.num_roads()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkerPool {
+    workers: Vec<Worker>,
+    rng: SmallRng,
+    /// Probability that a worker moves at each [`WorkerPool::step`].
+    pub move_probability: f64,
+}
+
+impl WorkerPool {
+    /// Spawns `count` workers at uniformly random roads; biases are drawn
+    /// `N(0, bias_std)` and per-worker noise levels uniformly in
+    /// `noise_range`.
+    pub fn spawn(
+        graph: &Graph,
+        count: usize,
+        bias_std: f64,
+        noise_range: (f64, f64),
+        seed: u64,
+    ) -> Self {
+        assert!(graph.num_roads() > 0, "cannot place workers on an empty graph");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let workers = (0..count)
+            .map(|i| Worker {
+                id: WorkerId(i as u32),
+                location: RoadId::from(rng.random_range(0..graph.num_roads())),
+                bias_kmh: gaussian(&mut rng) * bias_std,
+                noise_std_kmh: rng.random_range(noise_range.0..=noise_range.1),
+            })
+            .collect();
+        Self { workers, rng, move_probability: 0.5 }
+    }
+
+    /// Spawns workers restricted to the given roads (the gMission scenario
+    /// confines workers to the queried sub-component).
+    pub fn spawn_on_roads(
+        graph: &Graph,
+        roads: &[RoadId],
+        count: usize,
+        bias_std: f64,
+        noise_range: (f64, f64),
+        seed: u64,
+    ) -> Self {
+        assert!(!roads.is_empty(), "need at least one road to place workers");
+        let mut pool = Self::spawn(graph, count, bias_std, noise_range, seed);
+        for w in &mut pool.workers {
+            let pick = pool.rng.random_range(0..roads.len());
+            w.location = roads[pick];
+        }
+        pool
+    }
+
+    /// The workers.
+    pub fn workers(&self) -> &[Worker] {
+        &self.workers
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// True when the pool has no workers.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Distinct roads currently hosting at least one worker — the paper's
+    /// `R^w`, i.e. the OCS candidate set. Sorted ascending.
+    pub fn covered_roads(&self) -> Vec<RoadId> {
+        let mut roads: Vec<RoadId> = self.workers.iter().map(|w| w.location).collect();
+        roads.sort();
+        roads.dedup();
+        roads
+    }
+
+    /// Workers currently on a road.
+    pub fn workers_on(&self, road: RoadId) -> Vec<&Worker> {
+        self.workers.iter().filter(|w| w.location == road).collect()
+    }
+
+    /// Advances the mobility model one step: each worker moves to a random
+    /// neighbor with probability [`WorkerPool::move_probability`] (workers on
+    /// isolated roads stay put).
+    pub fn step(&mut self, graph: &Graph) {
+        for w in &mut self.workers {
+            if self.rng.random_range(0.0..1.0) >= self.move_probability {
+                continue;
+            }
+            let nbrs = graph.neighbors(w.location);
+            if nbrs.is_empty() {
+                continue;
+            }
+            let pick = self.rng.random_range(0..nbrs.len());
+            w.location = nbrs[pick].0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtse_graph::generators::{grid, path};
+
+    #[test]
+    fn spawn_is_deterministic_per_seed() {
+        let g = grid(4, 4);
+        let a = WorkerPool::spawn(&g, 10, 1.0, (0.5, 2.0), 7);
+        let b = WorkerPool::spawn(&g, 10, 1.0, (0.5, 2.0), 7);
+        assert_eq!(a.workers(), b.workers());
+        let c = WorkerPool::spawn(&g, 10, 1.0, (0.5, 2.0), 8);
+        assert_ne!(a.workers(), c.workers());
+    }
+
+    #[test]
+    fn covered_roads_dedup_sorted() {
+        let g = path(3);
+        let mut pool = WorkerPool::spawn(&g, 5, 0.0, (0.1, 0.2), 1);
+        // Force all workers to the same road.
+        for w in &mut pool.workers {
+            w.location = RoadId(1);
+        }
+        assert_eq!(pool.covered_roads(), vec![RoadId(1)]);
+        assert_eq!(pool.workers_on(RoadId(1)).len(), 5);
+        assert!(pool.workers_on(RoadId(0)).is_empty());
+    }
+
+    #[test]
+    fn step_keeps_workers_on_graph() {
+        let g = grid(3, 3);
+        let mut pool = WorkerPool::spawn(&g, 20, 1.0, (0.5, 1.5), 3);
+        for _ in 0..50 {
+            pool.step(&g);
+            for w in pool.workers() {
+                assert!(w.location.index() < g.num_roads());
+            }
+        }
+    }
+
+    #[test]
+    fn step_moves_some_workers() {
+        let g = grid(3, 3);
+        let mut pool = WorkerPool::spawn(&g, 20, 1.0, (0.5, 1.5), 3);
+        let before: Vec<RoadId> = pool.workers().iter().map(|w| w.location).collect();
+        pool.step(&g);
+        let after: Vec<RoadId> = pool.workers().iter().map(|w| w.location).collect();
+        assert_ne!(before, after, "with p=0.5 and 20 workers someone should move");
+    }
+
+    #[test]
+    fn isolated_workers_stay() {
+        let mut b = rtse_graph::GraphBuilder::new();
+        b.add_road(rtse_graph::RoadClass::Local, (0.0, 0.0));
+        let g = b.build();
+        let mut pool = WorkerPool::spawn(&g, 3, 0.0, (0.1, 0.2), 1);
+        pool.move_probability = 1.0;
+        pool.step(&g);
+        assert!(pool.workers().iter().all(|w| w.location == RoadId(0)));
+    }
+
+    #[test]
+    fn spawn_on_roads_confines_workers() {
+        let g = grid(4, 4);
+        let allowed = [RoadId(3), RoadId(7)];
+        let pool = WorkerPool::spawn_on_roads(&g, &allowed, 12, 0.5, (0.5, 1.0), 9);
+        assert!(pool.workers().iter().all(|w| allowed.contains(&w.location)));
+    }
+}

@@ -1,0 +1,64 @@
+//! Workers and their reporting model.
+
+use rtse_graph::RoadId;
+
+/// Identifier of a crowdsourcing worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WorkerId(pub u32);
+
+impl WorkerId {
+    /// The id as `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// One worker: current location plus a persistent reporting quality model.
+///
+/// Mobile-device speed readings are noisy and individually biased (GPS
+/// error, lane position, device class); the bias is drawn once per worker
+/// and the noise freshly per answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Worker {
+    /// The worker's id.
+    pub id: WorkerId,
+    /// Road the worker is currently on.
+    pub location: RoadId,
+    /// Persistent additive reporting bias, km/h.
+    pub bias_kmh: f64,
+    /// Standard deviation of per-answer noise, km/h.
+    pub noise_std_kmh: f64,
+}
+
+impl Worker {
+    /// A perfectly accurate worker (test convenience).
+    pub fn perfect(id: WorkerId, location: RoadId) -> Self {
+        Self { id, location, bias_kmh: 0.0, noise_std_kmh: 0.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_id_display() {
+        assert_eq!(WorkerId(7).to_string(), "w7");
+        assert_eq!(WorkerId(7).index(), 7);
+    }
+
+    #[test]
+    fn perfect_worker_has_no_error_terms() {
+        let w = Worker::perfect(WorkerId(0), RoadId(3));
+        assert_eq!(w.bias_kmh, 0.0);
+        assert_eq!(w.noise_std_kmh, 0.0);
+        assert_eq!(w.location, RoadId(3));
+    }
+}

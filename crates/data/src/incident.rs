@@ -1,0 +1,130 @@
+//! Traffic incidents: the accidental variance periodic models miss.
+//!
+//! The paper's motivation is that periodicity-only estimators "are
+//! incapable of predicting the accidental variations". The generator
+//! injects incidents so that exactly this failure mode is present in the
+//! evaluation data: an incident halves (or worse) the speed on an epicenter
+//! road and decays over its graph neighborhood for a bounded time window.
+
+use crate::slot::SlotOfDay;
+use rtse_graph::{hop_distances, Graph, RoadId};
+
+/// One localized traffic incident.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Incident {
+    /// Epicenter road.
+    pub road: RoadId,
+    /// Day of occurrence.
+    pub day: usize,
+    /// First affected slot.
+    pub start: SlotOfDay,
+    /// Number of affected slots.
+    pub duration_slots: usize,
+    /// Peak fractional speed reduction at the epicenter, in `(0, 1]`.
+    pub severity: f64,
+    /// Hop radius of the affected neighborhood.
+    pub radius_hops: usize,
+}
+
+impl Incident {
+    /// Fractional speed multiplier (`1 - effect`) for a road at a slot, or
+    /// 1.0 when unaffected. `hops` is the road's hop distance from the
+    /// epicenter (precomputed by the caller).
+    pub fn speed_multiplier(&self, day: usize, slot: SlotOfDay, hops: usize) -> f64 {
+        if day != self.day || hops > self.radius_hops {
+            return 1.0;
+        }
+        let s = slot.index();
+        let start = self.start.index();
+        if s < start || s >= start + self.duration_slots {
+            return 1.0;
+        }
+        // Temporal shape: ramps up over the first quarter, full effect in
+        // the middle, recovers over the last quarter.
+        let progress = (s - start) as f64 / self.duration_slots as f64;
+        let temporal = if progress < 0.25 {
+            progress / 0.25
+        } else if progress > 0.75 {
+            (1.0 - progress) / 0.25
+        } else {
+            1.0
+        };
+        // Spatial decay: halves per hop.
+        let spatial = 0.5_f64.powi(hops as i32);
+        (1.0 - self.severity * temporal * spatial).max(0.05)
+    }
+
+    /// Hop distances from the epicenter, for use with
+    /// [`Incident::speed_multiplier`].
+    pub fn hop_field(&self, graph: &Graph) -> Vec<usize> {
+        hop_distances(graph, &[self.road])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtse_graph::generators::path;
+
+    fn incident() -> Incident {
+        Incident {
+            road: RoadId(2),
+            day: 1,
+            start: SlotOfDay(100),
+            duration_slots: 12,
+            severity: 0.6,
+            radius_hops: 2,
+        }
+    }
+
+    #[test]
+    fn unaffected_off_day_and_off_window() {
+        let inc = incident();
+        assert_eq!(inc.speed_multiplier(0, SlotOfDay(105), 0), 1.0);
+        assert_eq!(inc.speed_multiplier(1, SlotOfDay(99), 0), 1.0);
+        assert_eq!(inc.speed_multiplier(1, SlotOfDay(112), 0), 1.0);
+    }
+
+    #[test]
+    fn full_effect_mid_window_at_epicenter() {
+        let inc = incident();
+        let m = inc.speed_multiplier(1, SlotOfDay(106), 0);
+        assert!((m - 0.4).abs() < 1e-9, "multiplier {m}");
+    }
+
+    #[test]
+    fn effect_decays_with_hops() {
+        let inc = incident();
+        let m0 = inc.speed_multiplier(1, SlotOfDay(106), 0);
+        let m1 = inc.speed_multiplier(1, SlotOfDay(106), 1);
+        let m2 = inc.speed_multiplier(1, SlotOfDay(106), 2);
+        let m3 = inc.speed_multiplier(1, SlotOfDay(106), 3);
+        assert!(m0 < m1 && m1 < m2);
+        assert_eq!(m3, 1.0, "outside radius is untouched");
+    }
+
+    #[test]
+    fn ramps_up_and_recovers() {
+        let inc = incident();
+        let early = inc.speed_multiplier(1, SlotOfDay(100), 0);
+        let mid = inc.speed_multiplier(1, SlotOfDay(106), 0);
+        let late = inc.speed_multiplier(1, SlotOfDay(111), 0);
+        assert!(early > mid);
+        assert!(late > mid);
+    }
+
+    #[test]
+    fn hop_field_on_path() {
+        let g = path(5);
+        let inc = incident();
+        let hops = inc.hop_field(&g);
+        assert_eq!(hops, vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn multiplier_never_below_floor() {
+        let inc = Incident { severity: 1.0, ..incident() };
+        let m = inc.speed_multiplier(1, SlotOfDay(106), 0);
+        assert!(m >= 0.05);
+    }
+}

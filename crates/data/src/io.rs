@@ -1,0 +1,137 @@
+//! CSV-style persistence for speed records.
+//!
+//! One line per record: `road,global_slot,speed_kmh`. A tiny hand-rolled
+//! format (no serde needed for bulk numeric data) used by the experiment
+//! harness to checkpoint generated datasets.
+
+use crate::record::SpeedRecord;
+use crate::slot::TimeSlot;
+use rtse_graph::RoadId;
+use std::io::{self, BufRead, Write};
+
+/// Header line written before the records.
+pub const HEADER: &str = "road,slot,speed_kmh";
+
+/// Writes records as CSV to any sink.
+pub fn write_records<W: Write>(mut w: W, records: impl Iterator<Item = SpeedRecord>) -> io::Result<()> {
+    writeln!(w, "{HEADER}")?;
+    for rec in records {
+        writeln!(w, "{},{},{}", rec.road.0, rec.slot.0, rec.speed_kmh)?;
+    }
+    Ok(())
+}
+
+/// Error produced when parsing a CSV record stream.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line, with its 1-based line number.
+    Parse { line: usize, content: String },
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "io error: {e}"),
+            ReadError::Parse { line, content } => {
+                write!(f, "malformed record at line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadError::Io(e) => Some(e),
+            ReadError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Reads records from a CSV stream produced by [`write_records`].
+pub fn read_records<R: BufRead>(r: R) -> Result<Vec<SpeedRecord>, ReadError> {
+    let mut out = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || (i == 0 && trimmed == HEADER) {
+            continue;
+        }
+        let mut parts = trimmed.split(',');
+        let parsed = (|| {
+            let road: u32 = parts.next()?.parse().ok()?;
+            let slot: u32 = parts.next()?.parse().ok()?;
+            let speed: f64 = parts.next()?.parse().ok()?;
+            if parts.next().is_some() || !speed.is_finite() || speed < 0.0 {
+                return None;
+            }
+            Some(SpeedRecord { road: RoadId(road), slot: TimeSlot(slot), speed_kmh: speed })
+        })();
+        match parsed {
+            Some(rec) => out.push(rec),
+            None => return Err(ReadError::Parse { line: i + 1, content: line }),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slot::SlotOfDay;
+
+    fn sample() -> Vec<SpeedRecord> {
+        vec![
+            SpeedRecord::new(RoadId(0), TimeSlot::new(0, SlotOfDay(0)), 50.0),
+            SpeedRecord::new(RoadId(3), TimeSlot::new(1, SlotOfDay(100)), 23.75),
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut buf = Vec::new();
+        write_records(&mut buf, sample().into_iter()).unwrap();
+        let back = read_records(buf.as_slice()).unwrap();
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn header_is_written_once() {
+        let mut buf = Vec::new();
+        write_records(&mut buf, sample().into_iter()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with(HEADER));
+        assert_eq!(text.matches(HEADER).count(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_line() {
+        let text = format!("{HEADER}\n1,2,not_a_number\n");
+        let err = read_records(text.as_bytes()).unwrap_err();
+        match err {
+            ReadError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_negative_speed() {
+        let text = format!("{HEADER}\n1,2,-5.0\n");
+        assert!(read_records(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let text = format!("{HEADER}\n\n1,2,3.0\n\n");
+        let recs = read_records(text.as_bytes()).unwrap();
+        assert_eq!(recs.len(), 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! Historical traffic-speed data substrate for CrowdRTSE.
+//!
+//! The paper trains its offline model on 30 days of 5-minute speed records
+//! for 607 Hong Kong roads (5,244,480 records). That feed is not available
+//! offline, so this crate supplies the equivalent:
+//!
+//! * [`slot`] — the 288-slots-per-day time discretization (Section IV-A);
+//! * [`record`] / [`store`] — speed records and a dense historical store
+//!   with the paper's record volume;
+//! * [`profile`] — per-road daily speed profiles (free-flow speed,
+//!   rush-hour dips, heterogeneous periodicity strength);
+//! * [`incident`] — accidental traffic variance: localized incidents that
+//!   depress speeds on a road and its neighborhood;
+//! * [`synth`] — the seeded generator combining profiles, spatially
+//!   correlated fluctuations (graph diffusion) and incidents into a
+//!   [`HistoryStore`] plus ground-truth "today" data for online evaluation;
+//! * [`io`] — CSV-style persistence of record sets.
+
+pub mod incident;
+pub mod io;
+pub mod profile;
+pub mod record;
+pub mod scenario;
+pub mod slot;
+pub mod stations;
+pub mod store;
+pub mod synth;
+pub mod trajectory;
+
+pub use incident::Incident;
+pub use profile::RoadProfile;
+pub use record::SpeedRecord;
+pub use slot::{SlotOfDay, TimeSlot, SLOTS_PER_DAY, SLOT_MINUTES};
+pub use stations::StationNetwork;
+pub use store::HistoryStore;
+pub use synth::{SynthConfig, SynthDataset, TrafficGenerator};
+pub use trajectory::{simulate_fleet, FleetConfig, ProbePoint};

@@ -1,0 +1,59 @@
+//! Individual speed records.
+
+use crate::slot::TimeSlot;
+use rtse_graph::RoadId;
+
+/// One observation: the (average) traffic speed of a road in a time slot.
+///
+/// This is the unit the Hong Kong feed publishes every 5 minutes; the
+/// synthetic generator emits the same shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedRecord {
+    /// The observed road.
+    pub road: RoadId,
+    /// The global time slot of the observation.
+    pub slot: TimeSlot,
+    /// Speed in km/h; non-negative and finite.
+    pub speed_kmh: f64,
+}
+
+impl SpeedRecord {
+    /// Creates a record, validating the speed.
+    ///
+    /// # Panics
+    /// Panics on negative, NaN or infinite speeds — upstream feeds are
+    /// sanitized at the boundary so the rest of the system can assume valid
+    /// values.
+    pub fn new(road: RoadId, slot: TimeSlot, speed_kmh: f64) -> Self {
+        assert!(
+            speed_kmh.is_finite() && speed_kmh >= 0.0,
+            "invalid speed {speed_kmh} for {road}"
+        );
+        Self { road, slot, speed_kmh }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slot::{SlotOfDay, TimeSlot};
+
+    #[test]
+    fn valid_record() {
+        let r = SpeedRecord::new(RoadId(3), TimeSlot::new(0, SlotOfDay(10)), 42.5);
+        assert_eq!(r.road, RoadId(3));
+        assert_eq!(r.speed_kmh, 42.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid speed")]
+    fn negative_speed_rejected() {
+        SpeedRecord::new(RoadId(0), TimeSlot(0), -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid speed")]
+    fn nan_speed_rejected() {
+        SpeedRecord::new(RoadId(0), TimeSlot(0), f64::NAN);
+    }
+}

@@ -1,0 +1,142 @@
+//! Time discretization: 288 five-minute slots per day.
+//!
+//! "Each day is divided into 288 fine-grained time slots so that each
+//! 5-minutes interval becomes a unique slot" (Section IV-A).
+
+/// Number of slots per day.
+pub const SLOTS_PER_DAY: usize = 288;
+
+/// Minutes per slot.
+pub const SLOT_MINUTES: usize = 5;
+
+/// A slot index within one day, `0..288`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SlotOfDay(pub u16);
+
+impl SlotOfDay {
+    /// Builds from an hour/minute clock time.
+    ///
+    /// # Panics
+    /// Panics if `hour >= 24` or `minute >= 60`.
+    pub fn from_hm(hour: u32, minute: u32) -> Self {
+        assert!(hour < 24 && minute < 60, "invalid clock time {hour}:{minute}");
+        SlotOfDay(((hour * 60 + minute) / SLOT_MINUTES as u32) as u16)
+    }
+
+    /// The slot index as `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Hour of day covered by the slot start.
+    pub fn hour(self) -> u32 {
+        (self.0 as u32 * SLOT_MINUTES as u32) / 60
+    }
+
+    /// Minute-of-hour of the slot start.
+    pub fn minute(self) -> u32 {
+        (self.0 as u32 * SLOT_MINUTES as u32) % 60
+    }
+
+    /// Fractional hour of the slot midpoint, e.g. slot 102 → ~8.54 h. The
+    /// synthetic profile functions are parameterized on this.
+    pub fn frac_hour(self) -> f64 {
+        (self.0 as f64 + 0.5) * SLOT_MINUTES as f64 / 60.0
+    }
+
+    /// Iterator over all slots of a day.
+    pub fn all() -> impl ExactSizeIterator<Item = SlotOfDay> {
+        (0..SLOTS_PER_DAY as u16).map(SlotOfDay)
+    }
+}
+
+/// A global slot index: `(day, slot-of-day)` flattened as
+/// `day * SLOTS_PER_DAY + slot`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimeSlot(pub u32);
+
+impl TimeSlot {
+    /// Builds from a day index and slot-of-day.
+    pub fn new(day: usize, slot: SlotOfDay) -> Self {
+        TimeSlot((day * SLOTS_PER_DAY) as u32 + slot.0 as u32)
+    }
+
+    /// The day index.
+    #[inline]
+    pub fn day(self) -> usize {
+        self.0 as usize / SLOTS_PER_DAY
+    }
+
+    /// The within-day slot.
+    #[inline]
+    pub fn slot_of_day(self) -> SlotOfDay {
+        SlotOfDay((self.0 as usize % SLOTS_PER_DAY) as u16)
+    }
+
+    /// Flat index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The next slot (possibly rolling into the next day).
+    pub fn next(self) -> TimeSlot {
+        TimeSlot(self.0 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_hm_examples() {
+        assert_eq!(SlotOfDay::from_hm(0, 0).index(), 0);
+        assert_eq!(SlotOfDay::from_hm(0, 5).index(), 1);
+        assert_eq!(SlotOfDay::from_hm(8, 30).index(), 102);
+        assert_eq!(SlotOfDay::from_hm(23, 55).index(), 287);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid clock time")]
+    fn from_hm_rejects_bad_hour() {
+        SlotOfDay::from_hm(24, 0);
+    }
+
+    #[test]
+    fn hm_round_trip() {
+        for slot in SlotOfDay::all() {
+            let back = SlotOfDay::from_hm(slot.hour(), slot.minute());
+            assert_eq!(back, slot);
+        }
+    }
+
+    #[test]
+    fn all_covers_a_day() {
+        assert_eq!(SlotOfDay::all().len(), SLOTS_PER_DAY);
+        assert_eq!(SlotOfDay::all().last().unwrap().index(), 287);
+    }
+
+    #[test]
+    fn global_slot_round_trip() {
+        let t = TimeSlot::new(3, SlotOfDay(100));
+        assert_eq!(t.day(), 3);
+        assert_eq!(t.slot_of_day(), SlotOfDay(100));
+        assert_eq!(t.index(), 3 * 288 + 100);
+    }
+
+    #[test]
+    fn next_rolls_over_day_boundary() {
+        let t = TimeSlot::new(0, SlotOfDay(287));
+        let n = t.next();
+        assert_eq!(n.day(), 1);
+        assert_eq!(n.slot_of_day(), SlotOfDay(0));
+    }
+
+    #[test]
+    fn frac_hour_midpoint() {
+        let s = SlotOfDay::from_hm(12, 0);
+        assert!((s.frac_hour() - 12.0417).abs() < 1e-3);
+    }
+}

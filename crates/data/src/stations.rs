@@ -1,0 +1,175 @@
+//! Fixed sensor stations (loop detectors / cameras).
+//!
+//! The paper's introduction contrasts two data sources: deployed sensors
+//! with *fixed positions and limited coverage*, and mobile/crowdsourced
+//! probes. This module models the former: a station network records the
+//! speed of its host road continuously, with per-station noise and random
+//! dropout — producing history that is *dense in time but sparse in
+//! space* (the opposite sparsity pattern from [`crate::trajectory`]'s
+//! probe fleets; merging both via [`crate::HistoryStore::merge_from`]
+//! yields the realistic mixed-source training corpus).
+
+use crate::slot::SlotOfDay;
+use crate::store::HistoryStore;
+use crate::synth::gaussian;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rtse_graph::{Graph, RoadId};
+
+/// A deployment of fixed sensors.
+#[derive(Debug, Clone)]
+pub struct StationNetwork {
+    /// Host road per station (deduplicated).
+    pub roads: Vec<RoadId>,
+    /// Per-reading noise standard deviation, km/h.
+    pub noise_kmh: f64,
+    /// Probability that a reading is lost (sensor fault, comms gap).
+    pub dropout: f64,
+    /// Seed for noise and dropout draws.
+    pub seed: u64,
+}
+
+impl StationNetwork {
+    /// Places `count` stations on distinct uniformly random roads.
+    pub fn random(graph: &Graph, count: usize, seed: u64) -> Self {
+        assert!(count <= graph.num_roads(), "more stations than roads");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut roads = Vec::with_capacity(count);
+        while roads.len() < count {
+            let r = RoadId::from(rng.random_range(0..graph.num_roads()));
+            if !roads.contains(&r) {
+                roads.push(r);
+            }
+        }
+        roads.sort();
+        Self { roads, noise_kmh: 1.0, dropout: 0.02, seed }
+    }
+
+    /// Stations on the busiest roads (highest degree) — where a real
+    /// agency would deploy.
+    pub fn on_busiest_roads(graph: &Graph, count: usize, seed: u64) -> Self {
+        assert!(count <= graph.num_roads(), "more stations than roads");
+        let mut by_degree: Vec<RoadId> = graph.road_ids().collect();
+        by_degree.sort_by_key(|&r| (std::cmp::Reverse(graph.degree(r)), r));
+        let mut roads: Vec<RoadId> = by_degree.into_iter().take(count).collect();
+        roads.sort();
+        Self { roads, noise_kmh: 1.0, dropout: 0.02, seed }
+    }
+
+    /// Records every slot of every day from dense ground truth, producing
+    /// a store that is present only on station roads (modulo dropout).
+    ///
+    /// # Panics
+    /// Panics when `truth` does not cover the graph or `dropout` is not a
+    /// probability.
+    pub fn record(&self, graph: &Graph, truth: &HistoryStore) -> HistoryStore {
+        assert_eq!(truth.num_roads(), graph.num_roads(), "truth/graph mismatch");
+        assert!((0.0..=1.0).contains(&self.dropout), "dropout must be a probability");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out = HistoryStore::new(truth.num_roads(), truth.num_days());
+        for day in 0..truth.num_days() {
+            for slot in SlotOfDay::all() {
+                for &road in &self.roads {
+                    if rng.random_range(0.0..1.0) < self.dropout {
+                        continue;
+                    }
+                    if let Some(v) = truth.get(day, slot, road) {
+                        let reading = (v + gaussian(&mut rng) * self.noise_kmh).max(0.0);
+                        out.set(day, slot, road, reading);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{SynthConfig, TrafficGenerator};
+    use rtse_graph::generators::grid;
+
+    fn world() -> (Graph, HistoryStore) {
+        let graph = grid(3, 4);
+        let ds = TrafficGenerator::new(
+            &graph,
+            SynthConfig { days: 3, incidents_per_day: 0.0, seed: 4, ..SynthConfig::default() },
+        )
+        .generate();
+        (graph, ds.history)
+    }
+
+    #[test]
+    fn records_only_station_roads() {
+        let (graph, truth) = world();
+        let stations = StationNetwork::random(&graph, 4, 9);
+        let recorded = stations.record(&graph, &truth);
+        for r in graph.road_ids() {
+            let has_data =
+                (0..3).any(|d| SlotOfDay::all().any(|s| recorded.get(d, s, r).is_some()));
+            assert_eq!(has_data, stations.roads.contains(&r), "road {r}");
+        }
+    }
+
+    #[test]
+    fn dropout_thins_the_record() {
+        let (graph, truth) = world();
+        let mut stations = StationNetwork::random(&graph, 3, 9);
+        stations.dropout = 0.0;
+        let full = stations.record(&graph, &truth).num_records();
+        stations.dropout = 0.5;
+        let half = stations.record(&graph, &truth).num_records();
+        assert!(half < full);
+        assert!(half > full / 3, "roughly half should survive, got {half}/{full}");
+    }
+
+    #[test]
+    fn busiest_roads_have_max_degree() {
+        let (graph, _) = world();
+        let stations = StationNetwork::on_busiest_roads(&graph, 2, 1);
+        // 3x4 grid interior roads have degree 4; both picks must.
+        for &r in &stations.roads {
+            assert_eq!(graph.degree(r), 4);
+        }
+    }
+
+    #[test]
+    fn merged_sources_beat_either_alone_in_coverage() {
+        let (graph, truth) = world();
+        let stations = StationNetwork::random(&graph, 3, 9);
+        let station_data = stations.record(&graph, &truth);
+        let (_, probe_data) = crate::trajectory::simulate_fleet(
+            &graph,
+            &truth,
+            &crate::trajectory::FleetConfig { trips_per_day: 30, ..Default::default() },
+        );
+        let mut merged = station_data.clone();
+        merged.merge_from(&probe_data);
+        assert!(merged.num_records() >= station_data.num_records());
+        assert!(merged.num_records() >= probe_data.num_records());
+        // Merged trains a model covering roads neither source covers alone.
+        let model = moment_mu_present(&graph, &merged);
+        let station_only = moment_mu_present(&graph, &station_data);
+        assert!(model >= station_only);
+    }
+
+    /// Number of roads with at least one rush-hour sample.
+    fn moment_mu_present(graph: &Graph, h: &HistoryStore) -> usize {
+        let slot = SlotOfDay::from_hm(8, 30);
+        graph.road_ids().filter(|&r| !h.samples(r, slot).is_empty()).count()
+    }
+
+    #[test]
+    fn noiseless_station_reads_truth() {
+        let (graph, truth) = world();
+        let mut stations = StationNetwork::random(&graph, 2, 5);
+        stations.noise_kmh = 0.0;
+        stations.dropout = 0.0;
+        let rec = stations.record(&graph, &truth);
+        let slot = SlotOfDay(100);
+        for &r in &stations.roads {
+            assert_eq!(rec.get(0, slot, r), truth.get(0, slot, r));
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Bootstrap confidence intervals and paired method comparison.
+//!
+//! The paper reports point estimates; when two methods are close (e.g.
+//! GSP vs LASSO at large budgets) a resampled interval tells whether the
+//! gap is real. Resampling uses a deterministic splitmix64 stream so
+//! experiment output is reproducible.
+
+/// A two-sided percentile bootstrap interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Point estimate on the original sample.
+    pub point: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// True when the interval excludes zero (a "significant" paired gap).
+    pub fn excludes_zero(&self) -> bool {
+        self.lo > 0.0 || self.hi < 0.0
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Empirical quantile with linear interpolation; `q ∈ [0, 1]`.
+///
+/// # Panics
+/// Panics on empty input or out-of-range `q`.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile level out of range");
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Percentile-bootstrap interval for the mean of `sample` at confidence
+/// `1 − alpha` using `reps` resamples.
+///
+/// # Panics
+/// Panics on an empty sample, `reps == 0`, or `alpha` outside `(0, 1)`.
+pub fn bootstrap_mean(sample: &[f64], reps: usize, alpha: f64, seed: u64) -> Interval {
+    assert!(!sample.is_empty(), "bootstrap of empty sample");
+    assert!(reps > 0, "need at least one resample");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha out of range");
+    let n = sample.len();
+    let point = sample.iter().sum::<f64>() / n as f64;
+    let mut state = seed;
+    let mut means = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let mut acc = 0.0;
+        for _ in 0..n {
+            let idx = (splitmix(&mut state) % n as u64) as usize;
+            acc += sample[idx];
+        }
+        means.push(acc / n as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+    Interval {
+        point,
+        lo: quantile(&means, alpha / 2.0),
+        hi: quantile(&means, 1.0 - alpha / 2.0),
+    }
+}
+
+/// Paired-difference bootstrap: interval for `mean(a_i − b_i)` where `a`
+/// and `b` are per-case scores of two methods on the same cases (e.g.
+/// APE of GSP and of LASSO on the same queried roads).
+///
+/// # Panics
+/// Panics when lengths differ or inputs are empty.
+pub fn bootstrap_paired_diff(
+    a: &[f64],
+    b: &[f64],
+    reps: usize,
+    alpha: f64,
+    seed: u64,
+) -> Interval {
+    assert_eq!(a.len(), b.len(), "paired samples must align");
+    let diffs: Vec<f64> = a.iter().zip(b.iter()).map(|(x, y)| x - y).collect();
+    bootstrap_mean(&diffs, reps, alpha, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_hand_values() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&s, 0.0), 1.0);
+        assert_eq!(quantile(&s, 1.0), 4.0);
+        assert_eq!(quantile(&s, 0.5), 2.5);
+    }
+
+    #[test]
+    fn interval_brackets_the_mean() {
+        let sample: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        let iv = bootstrap_mean(&sample, 500, 0.05, 42);
+        assert!((iv.point - 4.5).abs() < 1e-12);
+        assert!(iv.lo <= iv.point && iv.point <= iv.hi);
+        // The interval should be tight-ish for n = 100.
+        assert!(iv.hi - iv.lo < 2.0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let sample = [1.0, 5.0, 2.0, 8.0, 3.0];
+        let a = bootstrap_mean(&sample, 200, 0.1, 7);
+        let b = bootstrap_mean(&sample, 200, 0.1, 7);
+        assert_eq!(a, b);
+        let c = bootstrap_mean(&sample, 200, 0.1, 8);
+        assert!(a.lo != c.lo || a.hi != c.hi);
+    }
+
+    #[test]
+    fn clear_paired_gap_is_significant() {
+        let a: Vec<f64> = (0..50).map(|i| 10.0 + (i % 3) as f64).collect();
+        let b: Vec<f64> = (0..50).map(|i| 2.0 + (i % 3) as f64).collect();
+        let iv = bootstrap_paired_diff(&a, &b, 500, 0.05, 1);
+        assert!(iv.excludes_zero());
+        assert!((iv.point - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_only_gap_is_not_significant() {
+        // a and b differ by symmetric noise with zero mean.
+        let a: Vec<f64> = (0..60).map(|i| 5.0 + ((i * 37 % 11) as f64 - 5.0) * 0.1).collect();
+        let b: Vec<f64> = (0..60).map(|i| 5.0 + ((i * 53 % 11) as f64 - 5.0) * 0.1).collect();
+        let iv = bootstrap_paired_diff(&a, &b, 500, 0.05, 2);
+        assert!(!iv.excludes_zero(), "interval {iv:?} should straddle zero");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_rejected() {
+        bootstrap_mean(&[], 10, 0.05, 1);
+    }
+}

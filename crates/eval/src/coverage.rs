@@ -1,0 +1,60 @@
+//! k-hop coverage of queried roads (Table III).
+
+use rtse_graph::{hop_distances, Graph, RoadId};
+
+/// Number of queried roads lying within `hops` hops of any selected road
+/// (selected roads that are themselves queried count at every `hops ≥ 0`).
+pub fn k_hop_coverage(graph: &Graph, queried: &[RoadId], selected: &[RoadId], hops: usize) -> usize {
+    if selected.is_empty() {
+        return 0;
+    }
+    let dist = hop_distances(graph, selected);
+    queried.iter().filter(|r| dist[r.index()] <= hops).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtse_graph::generators::path;
+
+    #[test]
+    fn coverage_on_path() {
+        let g = path(6); // 0-1-2-3-4-5
+        let queried: Vec<RoadId> = (0u32..6).map(RoadId).collect();
+        let selected = [RoadId(2)];
+        assert_eq!(k_hop_coverage(&g, &queried, &selected, 0), 1);
+        assert_eq!(k_hop_coverage(&g, &queried, &selected, 1), 3);
+        assert_eq!(k_hop_coverage(&g, &queried, &selected, 2), 5);
+        assert_eq!(k_hop_coverage(&g, &queried, &selected, 5), 6);
+    }
+
+    #[test]
+    fn multiple_selected_union() {
+        let g = path(6);
+        let queried: Vec<RoadId> = (0u32..6).map(RoadId).collect();
+        let selected = [RoadId(0), RoadId(5)];
+        assert_eq!(k_hop_coverage(&g, &queried, &selected, 1), 4);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let g = path(3);
+        assert_eq!(k_hop_coverage(&g, &[RoadId(0)], &[], 2), 0);
+        assert_eq!(k_hop_coverage(&g, &[], &[RoadId(0)], 2), 0);
+    }
+
+    #[test]
+    fn coverage_monotone_in_hops_and_selection() {
+        let g = path(8);
+        let queried: Vec<RoadId> = (0u32..8).map(RoadId).collect();
+        let small = [RoadId(3)];
+        let large = [RoadId(3), RoadId(6)];
+        for hops in 0..4 {
+            let a = k_hop_coverage(&g, &queried, &small, hops);
+            let b = k_hop_coverage(&g, &queried, &small, hops + 1);
+            assert!(b >= a);
+            let c = k_hop_coverage(&g, &queried, &large, hops);
+            assert!(c >= a);
+        }
+    }
+}

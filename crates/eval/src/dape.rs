@@ -1,0 +1,46 @@
+//! DAPE — distribution of absolute percentage error (Fig. 3, row 3).
+
+use rtse_math::Histogram;
+
+/// Buckets APE values into a histogram over `[0, cap)` with `bins` equal
+/// bins plus an overflow bin (APE ≥ cap, including the infinite APEs of
+/// zero ground truths).
+pub fn dape_histogram(apes: &[f64], cap: f64, bins: usize) -> Histogram {
+    let mut h = Histogram::new(0.0, cap, bins);
+    for &a in apes {
+        h.add(if a.is_finite() { a } else { f64::INFINITY });
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_apes() {
+        let apes = [0.05, 0.15, 0.15, 0.45, 2.0, f64::INFINITY];
+        let h = dape_histogram(&apes, 1.0, 10);
+        assert_eq!(h.total(), 6);
+        // 0.05 in bin 0, the two 0.15s in bin 1, 0.45 in bin 4, 2.0 and inf
+        // in overflow.
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 2);
+        assert_eq!(h.counts()[4], 1);
+        assert_eq!(*h.counts().last().unwrap(), 2);
+    }
+
+    #[test]
+    fn fractions_sum_to_one_with_overflow() {
+        let apes = [0.1, 0.5, 5.0];
+        let h = dape_histogram(&apes, 1.0, 4);
+        let s: f64 = h.fractions().iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_empty_histogram() {
+        let h = dape_histogram(&[], 1.0, 5);
+        assert_eq!(h.total(), 0);
+    }
+}

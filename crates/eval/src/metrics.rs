@@ -1,0 +1,172 @@
+//! Error metrics: APE, MAPE, FER, MAE, RMSE.
+
+use rtse_graph::RoadId;
+
+/// The paper's false-estimation threshold `φ`.
+pub const DEFAULT_FER_THRESHOLD: f64 = 0.2;
+
+/// Absolute percentage error `|ŷ − y| / y`.
+///
+/// Ground truths at (numerically) zero are undefined for APE; this returns
+/// `f64::INFINITY` for them so they surface as false estimations rather
+/// than silently vanishing.
+#[inline]
+pub fn ape(estimate: f64, truth: f64) -> f64 {
+    if truth.abs() < 1e-9 {
+        return f64::INFINITY;
+    }
+    (estimate - truth).abs() / truth
+}
+
+/// Aggregate error report over a set of test cases.
+///
+/// ```
+/// use rtse_eval::ErrorReport;
+/// use rtse_graph::RoadId;
+///
+/// let estimates = [52.0, 30.0, 61.0];
+/// let truth = [50.0, 40.0, 60.0];
+/// let queried = [RoadId(0), RoadId(1), RoadId(2)];
+/// let report = ErrorReport::evaluate_default(&estimates, &truth, &queried);
+/// // APEs are 0.04, 0.25, 0.0167 — one exceeds the φ = 0.2 threshold.
+/// assert!((report.fer - 1.0 / 3.0).abs() < 1e-12);
+/// assert!(report.mape < 0.11);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorReport {
+    /// Mean absolute percentage error.
+    pub mape: f64,
+    /// False-estimation rate at the `φ` used to build the report.
+    pub fer: f64,
+    /// Mean absolute error (km/h).
+    pub mae: f64,
+    /// Root mean squared error (km/h).
+    pub rmse: f64,
+    /// Number of test cases.
+    pub count: usize,
+    /// Raw APE values (kept for DAPE plots).
+    pub apes: Vec<f64>,
+}
+
+impl ErrorReport {
+    /// Builds a report from parallel estimate/truth slices restricted to
+    /// `queried` road indices, with false-estimation threshold `phi`.
+    ///
+    /// # Panics
+    /// Panics when the slices' lengths differ or a queried id is out of
+    /// range.
+    pub fn evaluate(estimates: &[f64], truths: &[f64], queried: &[RoadId], phi: f64) -> Self {
+        assert_eq!(estimates.len(), truths.len(), "estimate/truth length mismatch");
+        let mut apes = Vec::with_capacity(queried.len());
+        let mut abs_sum = 0.0;
+        let mut sq_sum = 0.0;
+        for &r in queried {
+            let (e, t) = (estimates[r.index()], truths[r.index()]);
+            apes.push(ape(e, t));
+            abs_sum += (e - t).abs();
+            sq_sum += (e - t) * (e - t);
+        }
+        let n = queried.len();
+        if n == 0 {
+            return Self { mape: 0.0, fer: 0.0, mae: 0.0, rmse: 0.0, count: 0, apes };
+        }
+        let finite_mape = {
+            // Infinite APEs (zero ground truth) are counted as errors but
+            // excluded from the mean to keep MAPE meaningful.
+            let finite: Vec<f64> = apes.iter().copied().filter(|a| a.is_finite()).collect();
+            if finite.is_empty() {
+                f64::INFINITY
+            } else {
+                finite.iter().sum::<f64>() / finite.len() as f64
+            }
+        };
+        Self {
+            mape: finite_mape,
+            fer: apes.iter().filter(|&&a| a > phi).count() as f64 / n as f64,
+            mae: abs_sum / n as f64,
+            rmse: (sq_sum / n as f64).sqrt(),
+            count: n,
+            apes,
+        }
+    }
+
+    /// Shortcut with the paper's `φ = 0.2`.
+    pub fn evaluate_default(estimates: &[f64], truths: &[f64], queried: &[RoadId]) -> Self {
+        Self::evaluate(estimates, truths, queried, DEFAULT_FER_THRESHOLD)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ape_hand_values() {
+        assert_eq!(ape(11.0, 10.0), 0.1);
+        assert_eq!(ape(8.0, 10.0), 0.2);
+        assert!(ape(5.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn report_hand_example() {
+        let est = [11.0, 8.0, 30.0];
+        let truth = [10.0, 10.0, 20.0];
+        let q = [RoadId(0), RoadId(1), RoadId(2)];
+        let r = ErrorReport::evaluate(&est, &truth, &q, 0.2);
+        // APEs: .1, .2, .5 → MAPE = .2667; FER: only .5 > .2 → 1/3.
+        assert!((r.mape - (0.1 + 0.2 + 0.5) / 3.0).abs() < 1e-12);
+        assert!((r.fer - 1.0 / 3.0).abs() < 1e-12);
+        assert!((r.mae - (1.0 + 2.0 + 10.0) / 3.0).abs() < 1e-12);
+        assert_eq!(r.count, 3);
+    }
+
+    #[test]
+    fn subset_restriction() {
+        let est = [100.0, 10.0];
+        let truth = [1.0, 10.0];
+        let r = ErrorReport::evaluate(&est, &truth, &[RoadId(1)], 0.2);
+        assert_eq!(r.mape, 0.0);
+        assert_eq!(r.fer, 0.0);
+    }
+
+    #[test]
+    fn empty_queried_graceful() {
+        let r = ErrorReport::evaluate(&[1.0], &[1.0], &[], 0.2);
+        assert_eq!(r.count, 0);
+        assert_eq!(r.mape, 0.0);
+    }
+
+    #[test]
+    fn zero_truth_counts_as_false_estimation() {
+        let r = ErrorReport::evaluate(&[5.0], &[0.0], &[RoadId(0)], 0.2);
+        assert_eq!(r.fer, 1.0);
+        assert!(r.mape.is_infinite(), "no finite APEs at all");
+    }
+
+    #[test]
+    fn perfect_estimation_zero_errors() {
+        let v = [10.0, 20.0, 30.0];
+        let q = [RoadId(0), RoadId(1), RoadId(2)];
+        let r = ErrorReport::evaluate(&v, &v, &q, 0.2);
+        assert_eq!(r.mape, 0.0);
+        assert_eq!(r.fer, 0.0);
+        assert_eq!(r.rmse, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn fer_bounded_and_monotone_in_phi(
+            pairs in proptest::collection::vec((1.0..100.0f64, 1.0..100.0f64), 1..32),
+        ) {
+            let est: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let truth: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let q: Vec<RoadId> = (0..pairs.len()).map(RoadId::from).collect();
+            let strict = ErrorReport::evaluate(&est, &truth, &q, 0.05);
+            let loose = ErrorReport::evaluate(&est, &truth, &q, 0.5);
+            prop_assert!((0.0..=1.0).contains(&strict.fer));
+            prop_assert!(loose.fer <= strict.fer);
+            prop_assert!(strict.rmse + 1e-12 >= strict.mae);
+        }
+    }
+}

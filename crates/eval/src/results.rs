@@ -1,0 +1,99 @@
+//! Persisting experiment output.
+//!
+//! Each experiment binary prints its tables and, when asked, also writes
+//! them as CSV under a results directory so plots/regressions can consume
+//! them without scraping stdout.
+
+use crate::table::Table;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A sink for experiment tables: `results/<experiment>/<table>.csv`.
+#[derive(Debug, Clone)]
+pub struct ResultsDir {
+    root: PathBuf,
+}
+
+impl ResultsDir {
+    /// Creates (if needed) `root/experiment`.
+    pub fn create(root: impl AsRef<Path>, experiment: &str) -> io::Result<Self> {
+        let root = root.as_ref().join(experiment);
+        std::fs::create_dir_all(&root)?;
+        Ok(Self { root })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.root
+    }
+
+    /// Writes one table as `<name>.csv`; returns the file path.
+    pub fn write_table(&self, name: &str, table: &Table) -> io::Result<PathBuf> {
+        assert!(
+            !name.is_empty() && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "table name must be a simple identifier, got {name:?}"
+        );
+        let path = self.root.join(format!("{name}.csv"));
+        std::fs::write(&path, table.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Checks the process args for `--csv` and returns a sink rooted at
+/// `results/` when present (the experiment binaries' shared convention).
+pub fn results_dir_from_args(experiment: &str) -> Option<ResultsDir> {
+    if std::env::args().any(|a| a == "--csv") {
+        match ResultsDir::create("results", experiment) {
+            Ok(dir) => Some(dir),
+            Err(e) => {
+                eprintln!("warning: cannot create results dir: {e}");
+                None
+            }
+        }
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut t = Table::new("demo", &["k", "v"]);
+        t.push_row(vec!["a".into(), "1".into()]);
+        t
+    }
+
+    #[test]
+    fn writes_csv_file() {
+        let tmp = std::env::temp_dir().join("rtse_results_test");
+        let dir = ResultsDir::create(&tmp, "exp_demo").unwrap();
+        let path = dir.write_table("table1", &sample_table()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("k,v"));
+        assert!(text.contains("a,1"));
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "simple identifier")]
+    fn rejects_path_traversal_names() {
+        let tmp = std::env::temp_dir().join("rtse_results_test2");
+        let dir = ResultsDir::create(&tmp, "exp_demo").unwrap();
+        let _ = dir.write_table("../evil", &sample_table());
+    }
+
+    #[test]
+    fn overwrites_existing_file() {
+        let tmp = std::env::temp_dir().join("rtse_results_test3");
+        let dir = ResultsDir::create(&tmp, "exp_demo").unwrap();
+        dir.write_table("t", &sample_table()).unwrap();
+        let mut t2 = Table::new("", &["x"]);
+        t2.push_row(vec!["9".into()]);
+        let path = dir.write_table("t", &t2).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("x"));
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+}

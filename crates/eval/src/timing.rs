@@ -1,0 +1,48 @@
+//! Wall-clock timing helper for the running-time experiments
+//! (Figs. 4a/4b).
+
+use std::time::{Duration, Instant};
+
+/// Runs `f` and returns its result together with the elapsed wall time.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Runs `f` `reps` times and returns the mean duration (result of the last
+/// run is discarded; use for cheap, repeatable operations).
+pub fn time_mean(reps: usize, mut f: impl FnMut()) -> Duration {
+    assert!(reps > 0, "need at least one repetition");
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed() / reps as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_it_returns_value_and_duration() {
+        let (v, d) = time_it(|| 6 * 7);
+        assert_eq!(v, 42);
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn time_mean_averages() {
+        let d = time_mean(4, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(d < Duration::from_millis(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn zero_reps_rejected() {
+        time_mean(0, || {});
+    }
+}

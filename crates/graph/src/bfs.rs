@@ -1,0 +1,143 @@
+//! Multi-source BFS layering and hop distances.
+//!
+//! GSP (Alg. 5) schedules its coordinate updates by ascending minimum
+//! hop-count towards the crowdsourced roads: [`bfs_layers`] produces exactly
+//! that partition `{V_1, ..., V_L}`. Table III's 1-hop/2-hop coverage also
+//! builds on [`hop_distances`].
+
+use crate::csr::Graph;
+use crate::road::RoadId;
+use std::collections::VecDeque;
+
+/// Minimum hop distance from every road to the nearest source.
+///
+/// Sources themselves get 0; unreachable roads get `usize::MAX`.
+pub fn hop_distances(graph: &Graph, sources: &[RoadId]) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; graph.num_roads()];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        if dist[s.index()] != 0 || !queue.contains(&s) {
+            dist[s.index()] = 0;
+        }
+        queue.push_back(s);
+    }
+    // Deduplicate: mark sources before the sweep (multiple pushes of the
+    // same source are harmless because of the dist check below).
+    while let Some(r) = queue.pop_front() {
+        let d = dist[r.index()];
+        for &(nbr, _) in graph.neighbors(r) {
+            if dist[nbr.index()] == usize::MAX {
+                dist[nbr.index()] = d + 1;
+                queue.push_back(nbr);
+            }
+        }
+    }
+    dist
+}
+
+/// Partitions all non-source roads into BFS layers by hop distance from the
+/// source set: `layers[0]` is the 1-hop ring, `layers[1]` the 2-hop ring,
+/// and so on. Unreachable roads are returned separately.
+///
+/// This is the GSP update schedule: roads in the same layer share their
+/// minimum hop-count towards the sampled roads, so they go in the same
+/// update loop.
+pub fn bfs_layers(graph: &Graph, sources: &[RoadId]) -> (Vec<Vec<RoadId>>, Vec<RoadId>) {
+    let dist = hop_distances(graph, sources);
+    let max_d = dist.iter().filter(|&&d| d != usize::MAX).max().copied().unwrap_or(0);
+    let mut layers: Vec<Vec<RoadId>> = vec![Vec::new(); max_d];
+    let mut unreachable = Vec::new();
+    for r in graph.road_ids() {
+        match dist[r.index()] {
+            0 => {}
+            usize::MAX => unreachable.push(r),
+            d => layers[d - 1].push(r),
+        }
+    }
+    (layers, unreachable)
+}
+
+/// Set of roads within `hops` hops of any source, including sources — the
+/// "k-hop coverage" used by Table III.
+pub fn k_hop_neighborhood(graph: &Graph, sources: &[RoadId], hops: usize) -> Vec<RoadId> {
+    let dist = hop_distances(graph, sources);
+    graph.road_ids().filter(|r| dist[r.index()] <= hops).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::road::RoadClass;
+
+    /// 0-1-2-3-4 path plus isolated 5.
+    fn fixture() -> Graph {
+        let mut b = GraphBuilder::new();
+        for i in 0..6 {
+            b.add_road(RoadClass::Secondary, (i as f64, 0.0));
+        }
+        for i in 0..4u32 {
+            b.add_edge(RoadId(i), RoadId(i + 1));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn hop_distances_from_single_source() {
+        let g = fixture();
+        let d = hop_distances(&g, &[RoadId(0)]);
+        assert_eq!(&d[..5], &[0, 1, 2, 3, 4]);
+        assert_eq!(d[5], usize::MAX);
+    }
+
+    #[test]
+    fn hop_distances_multi_source_takes_min() {
+        let g = fixture();
+        let d = hop_distances(&g, &[RoadId(0), RoadId(4)]);
+        assert_eq!(&d[..5], &[0, 1, 2, 1, 0]);
+    }
+
+    #[test]
+    fn layers_partition_non_sources() {
+        let g = fixture();
+        let (layers, unreachable) = bfs_layers(&g, &[RoadId(2)]);
+        assert_eq!(layers.len(), 2);
+        let mut l1 = layers[0].clone();
+        l1.sort();
+        assert_eq!(l1, vec![RoadId(1), RoadId(3)]);
+        let mut l2 = layers[1].clone();
+        l2.sort();
+        assert_eq!(l2, vec![RoadId(0), RoadId(4)]);
+        assert_eq!(unreachable, vec![RoadId(5)]);
+        // All roads accounted for exactly once.
+        let total: usize = layers.iter().map(Vec::len).sum::<usize>() + unreachable.len() + 1;
+        assert_eq!(total, g.num_roads());
+    }
+
+    #[test]
+    fn empty_sources_everything_unreachable() {
+        let g = fixture();
+        let (layers, unreachable) = bfs_layers(&g, &[]);
+        assert!(layers.is_empty());
+        assert_eq!(unreachable.len(), 6);
+    }
+
+    #[test]
+    fn k_hop_neighborhood_grows() {
+        let g = fixture();
+        let h0 = k_hop_neighborhood(&g, &[RoadId(2)], 0);
+        let h1 = k_hop_neighborhood(&g, &[RoadId(2)], 1);
+        let h2 = k_hop_neighborhood(&g, &[RoadId(2)], 2);
+        assert_eq!(h0, vec![RoadId(2)]);
+        assert_eq!(h1.len(), 3);
+        assert_eq!(h2.len(), 5);
+        assert!(!h2.contains(&RoadId(5)));
+    }
+
+    #[test]
+    fn duplicate_sources_are_harmless() {
+        let g = fixture();
+        let d = hop_distances(&g, &[RoadId(0), RoadId(0), RoadId(0)]);
+        assert_eq!(&d[..3], &[0, 1, 2]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Mutable construction of [`Graph`].
+
+use crate::csr::{EdgeId, Graph};
+use crate::road::{Road, RoadClass, RoadId};
+use std::collections::HashSet;
+
+/// Accumulates roads and adjacencies, then freezes them into a CSR
+/// [`Graph`].
+///
+/// Duplicate edges are deduplicated and self-loops rejected; road ids must
+/// be pushed densely in order (road `k` is the `k`-th push).
+///
+/// ```
+/// use rtse_graph::{GraphBuilder, RoadClass, RoadId};
+///
+/// let mut b = GraphBuilder::new();
+/// let a = b.add_road(RoadClass::Arterial, (0.0, 0.0));
+/// let c = b.add_road(RoadClass::Local, (1.0, 0.0));
+/// b.add_edge(a, c);
+/// let graph = b.build();
+/// assert_eq!(graph.num_roads(), 2);
+/// assert!(graph.are_adjacent(RoadId(0), RoadId(1)));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    roads: Vec<Road>,
+    edges: Vec<(RoadId, RoadId)>,
+    seen: HashSet<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a road whose `id` must equal the number of roads pushed so far.
+    ///
+    /// # Panics
+    /// Panics when ids are pushed out of order — dense ids are what make the
+    /// flat model-parameter arrays elsewhere in the system valid.
+    pub fn push_road(&mut self, road: Road) -> RoadId {
+        assert_eq!(
+            road.id.index(),
+            self.roads.len(),
+            "roads must be pushed in dense id order"
+        );
+        let id = road.id;
+        self.roads.push(road);
+        id
+    }
+
+    /// Convenience: appends a road with the next id and the class's
+    /// typical length.
+    pub fn add_road(&mut self, class: RoadClass, position: (f64, f64)) -> RoadId {
+        let id = RoadId::from(self.roads.len());
+        let mut road = Road::new(id, class, position);
+        road.length_m = class.typical_length_m();
+        self.push_road(road)
+    }
+
+    /// Number of roads pushed so far.
+    pub fn num_roads(&self) -> usize {
+        self.roads.len()
+    }
+
+    /// Adds an undirected adjacency between two existing roads.
+    ///
+    /// Returns `true` if the edge is new, `false` when it duplicates a prior
+    /// edge (duplicates are ignored).
+    ///
+    /// # Panics
+    /// Panics on self-loops or ids that have not been pushed yet.
+    pub fn add_edge(&mut self, a: RoadId, b: RoadId) -> bool {
+        assert_ne!(a, b, "self-loop on {a}");
+        assert!(a.index() < self.roads.len(), "unknown road {a}");
+        assert!(b.index() < self.roads.len(), "unknown road {b}");
+        let key = if a.0 < b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        if !self.seen.insert(key) {
+            return false;
+        }
+        self.edges.push((RoadId(key.0), RoadId(key.1)));
+        true
+    }
+
+    /// Freezes the builder into an immutable CSR graph.
+    pub fn build(self) -> Graph {
+        let n = self.roads.len();
+        let mut degree = vec![0u32; n];
+        for &(a, b) in &self.edges {
+            degree[a.index()] += 1;
+            degree[b.index()] += 1;
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut adj = vec![(RoadId(0), EdgeId(0)); 2 * self.edges.len()];
+        for (eidx, &(a, b)) in self.edges.iter().enumerate() {
+            let e = EdgeId(eidx as u32);
+            adj[cursor[a.index()] as usize] = (b, e);
+            cursor[a.index()] += 1;
+            adj[cursor[b.index()] as usize] = (a, e);
+            cursor[b.index()] += 1;
+        }
+        Graph::from_parts(self.roads, offsets, adj, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn duplicate_edges_ignored() {
+        let mut b = GraphBuilder::new();
+        b.add_road(RoadClass::Local, (0.0, 0.0));
+        b.add_road(RoadClass::Local, (1.0, 0.0));
+        assert!(b.add_edge(RoadId(0), RoadId(1)));
+        assert!(!b.add_edge(RoadId(1), RoadId(0)));
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        let mut b = GraphBuilder::new();
+        b.add_road(RoadClass::Local, (0.0, 0.0));
+        b.add_edge(RoadId(0), RoadId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dense id order")]
+    fn out_of_order_ids_rejected() {
+        let mut b = GraphBuilder::new();
+        b.push_road(Road::new(RoadId(5), RoadClass::Local, (0.0, 0.0)));
+    }
+
+    proptest! {
+        /// CSR adjacency is symmetric and consistent with edge endpoints for
+        /// arbitrary random edge sets.
+        #[test]
+        fn csr_is_symmetric(edges in proptest::collection::vec((0u32..20, 0u32..20), 0..60)) {
+            let mut b = GraphBuilder::new();
+            for i in 0..20 {
+                b.add_road(RoadClass::Secondary, (i as f64, 0.0));
+            }
+            for (a, bb) in edges {
+                if a != bb {
+                    b.add_edge(RoadId(a), RoadId(bb));
+                }
+            }
+            let g = b.build();
+            // Every adjacency entry has a mirror with the same edge id.
+            for r in g.road_ids() {
+                for &(nbr, e) in g.neighbors(r) {
+                    prop_assert!(g.neighbors(nbr).iter().any(|&(x, xe)| x == r && xe == e));
+                    let (lo, hi) = g.edge_endpoints(e);
+                    prop_assert!((lo, hi) == (r.min(nbr), r.max(nbr)));
+                }
+            }
+            // Handshake lemma.
+            let total_degree: usize = g.road_ids().map(|r| g.degree(r)).sum();
+            prop_assert_eq!(total_degree, 2 * g.num_edges());
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Immutable CSR (compressed sparse row) undirected graph.
+
+use crate::road::{Road, RoadId};
+
+/// Index of an undirected edge (a road adjacency).
+///
+/// Each physical adjacency has exactly one `EdgeId` even though it appears
+/// in both endpoints' adjacency lists; per-edge model parameters (e.g. the
+/// RTF correlation coefficients `ρ_ij^t`) are stored in arrays indexed by it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// The id as a `usize` for direct indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An immutable undirected graph over roads, stored in CSR form.
+///
+/// Built once via [`crate::GraphBuilder`]; all traversals are allocation-free
+/// iterator walks over two flat arrays. Self-loops and parallel edges are
+/// rejected at build time.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    roads: Vec<Road>,
+    /// CSR offsets: adjacency of road `i` is `adj[offsets[i]..offsets[i+1]]`.
+    offsets: Vec<u32>,
+    /// Flattened adjacency entries `(neighbor, edge)`.
+    adj: Vec<(RoadId, EdgeId)>,
+    /// Endpoint pairs per undirected edge, with `endpoints[e].0 < endpoints[e].1`.
+    endpoints: Vec<(RoadId, RoadId)>,
+}
+
+impl Graph {
+    pub(crate) fn from_parts(
+        roads: Vec<Road>,
+        offsets: Vec<u32>,
+        adj: Vec<(RoadId, EdgeId)>,
+        endpoints: Vec<(RoadId, RoadId)>,
+    ) -> Self {
+        debug_assert_eq!(offsets.len(), roads.len() + 1);
+        debug_assert_eq!(adj.len(), 2 * endpoints.len());
+        Self { roads, offsets, adj, endpoints }
+    }
+
+    /// Number of roads (vertices), `|R|`.
+    #[inline]
+    pub fn num_roads(&self) -> usize {
+        self.roads.len()
+    }
+
+    /// Number of undirected adjacencies (edges), `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Metadata for one road.
+    #[inline]
+    pub fn road(&self, id: RoadId) -> &Road {
+        &self.roads[id.index()]
+    }
+
+    /// All road metadata, indexed by [`RoadId`].
+    #[inline]
+    pub fn roads(&self) -> &[Road] {
+        &self.roads
+    }
+
+    /// Iterator over all road ids.
+    pub fn road_ids(&self) -> impl ExactSizeIterator<Item = RoadId> + '_ {
+        (0..self.roads.len() as u32).map(RoadId)
+    }
+
+    /// Adjacent roads of `r` with the connecting edge ids — the paper's
+    /// `n(r_i)`.
+    #[inline]
+    pub fn neighbors(&self, r: RoadId) -> &[(RoadId, EdgeId)] {
+        let lo = self.offsets[r.index()] as usize;
+        let hi = self.offsets[r.index() + 1] as usize;
+        &self.adj[lo..hi]
+    }
+
+    /// Degree of a road.
+    #[inline]
+    pub fn degree(&self, r: RoadId) -> usize {
+        self.neighbors(r).len()
+    }
+
+    /// Endpoints `(a, b)` of an edge with `a < b`.
+    #[inline]
+    pub fn edge_endpoints(&self, e: EdgeId) -> (RoadId, RoadId) {
+        self.endpoints[e.index()]
+    }
+
+    /// All edges as `(a, b)` endpoint pairs indexed by [`EdgeId`].
+    #[inline]
+    pub fn edges(&self) -> &[(RoadId, RoadId)] {
+        &self.endpoints
+    }
+
+    /// Looks up the edge between two roads, if adjacent.
+    pub fn edge_between(&self, a: RoadId, b: RoadId) -> Option<EdgeId> {
+        // Scan the smaller adjacency list.
+        let (probe, target) =
+            if self.degree(a) <= self.degree(b) { (a, b) } else { (b, a) };
+        self.neighbors(probe).iter().find(|(n, _)| *n == target).map(|(_, e)| *e)
+    }
+
+    /// True when `a` and `b` are adjacent.
+    pub fn are_adjacent(&self, a: RoadId, b: RoadId) -> bool {
+        self.edge_between(a, b).is_some()
+    }
+
+    /// Builds the induced subgraph on `keep` (ids are remapped to
+    /// `0..keep.len()` in the order given). Returns the subgraph and the
+    /// old-id per new-id mapping.
+    ///
+    /// Used by the Fig. 5 experiment, which trains RTF on nested
+    /// sub-networks of 150–600 roads.
+    ///
+    /// # Panics
+    /// Panics if `keep` contains duplicates.
+    pub fn induced_subgraph(&self, keep: &[RoadId]) -> (Graph, Vec<RoadId>) {
+        let mut new_id = vec![u32::MAX; self.num_roads()];
+        for (new, old) in keep.iter().enumerate() {
+            assert_eq!(new_id[old.index()], u32::MAX, "duplicate road in keep set");
+            new_id[old.index()] = new as u32;
+        }
+        let mut builder = crate::GraphBuilder::new();
+        for old in keep {
+            let mut road = self.road(*old).clone();
+            road.id = RoadId(new_id[old.index()]);
+            builder.push_road(road);
+        }
+        for &(a, b) in &self.endpoints {
+            let (na, nb) = (new_id[a.index()], new_id[b.index()]);
+            if na != u32::MAX && nb != u32::MAX {
+                builder.add_edge(RoadId(na), RoadId(nb));
+            }
+        }
+        (builder.build(), keep.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::road::RoadClass;
+
+    fn path_graph(n: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        for i in 0..n {
+            b.push_road(Road::new(RoadId::from(i), RoadClass::Secondary, (i as f64, 0.0)));
+        }
+        for i in 0..n.saturating_sub(1) {
+            b.add_edge(RoadId::from(i), RoadId::from(i + 1));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = path_graph(4);
+        assert_eq!(g.num_roads(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(RoadId(0)), 1);
+        assert_eq!(g.degree(RoadId(1)), 2);
+    }
+
+    #[test]
+    fn neighbors_symmetric() {
+        let g = path_graph(3);
+        let n1: Vec<RoadId> = g.neighbors(RoadId(1)).iter().map(|(r, _)| *r).collect();
+        assert!(n1.contains(&RoadId(0)) && n1.contains(&RoadId(2)));
+        assert!(g.are_adjacent(RoadId(0), RoadId(1)));
+        assert!(g.are_adjacent(RoadId(1), RoadId(0)));
+        assert!(!g.are_adjacent(RoadId(0), RoadId(2)));
+    }
+
+    #[test]
+    fn edge_between_shares_edge_id() {
+        let g = path_graph(3);
+        let e01 = g.edge_between(RoadId(0), RoadId(1)).unwrap();
+        let e10 = g.edge_between(RoadId(1), RoadId(0)).unwrap();
+        assert_eq!(e01, e10);
+        let (a, b) = g.edge_endpoints(e01);
+        assert!(a < b);
+        assert_eq!((a, b), (RoadId(0), RoadId(1)));
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = path_graph(5);
+        let (sub, mapping) = g.induced_subgraph(&[RoadId(1), RoadId(2), RoadId(3)]);
+        assert_eq!(sub.num_roads(), 3);
+        assert_eq!(sub.num_edges(), 2); // 1-2 and 2-3 survive
+        assert_eq!(mapping, vec![RoadId(1), RoadId(2), RoadId(3)]);
+        assert!(sub.are_adjacent(RoadId(0), RoadId(1)));
+        assert!(!sub.are_adjacent(RoadId(0), RoadId(2)));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.num_roads(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Single-source shortest paths with non-negative per-edge costs.
+//!
+//! The paper computes the road–road correlation of non-adjacent roads as the
+//! maximum cumulative product of edge correlations along any joining path
+//! (Eq. 8), found "using Dijkstra's Algorithm" after transforming edge
+//! weights (Eq. 9). The transformation lives in `rtse-rtf`; this module is
+//! the general solver: costs are supplied by a closure over [`EdgeId`], so
+//! the same code serves `-ln ρ` (max-product) and `1/ρ` (the paper's literal
+//! reciprocal-sum) semantics.
+
+use crate::csr::{EdgeId, Graph};
+use crate::road::RoadId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Result of a single-source Dijkstra run.
+#[derive(Debug, Clone)]
+pub struct ShortestPaths {
+    source: RoadId,
+    /// Cost per road; `f64::INFINITY` for unreachable roads.
+    dist: Vec<f64>,
+    /// Predecessor per road (only populated by [`dijkstra_with_paths`]).
+    prev: Option<Vec<Option<RoadId>>>,
+}
+
+impl ShortestPaths {
+    /// The source road.
+    pub fn source(&self) -> RoadId {
+        self.source
+    }
+
+    /// Shortest-path cost to `r` (`INFINITY` when unreachable).
+    #[inline]
+    pub fn cost(&self, r: RoadId) -> f64 {
+        self.dist[r.index()]
+    }
+
+    /// Borrow of the full cost array, indexed by road.
+    pub fn costs(&self) -> &[f64] {
+        &self.dist
+    }
+
+    /// True when `r` is reachable from the source.
+    pub fn reachable(&self, r: RoadId) -> bool {
+        self.dist[r.index()].is_finite()
+    }
+
+    /// Reconstructs the path `source -> r`, inclusive; `None` if
+    /// unreachable or predecessors were not recorded.
+    pub fn path_to(&self, r: RoadId) -> Option<Vec<RoadId>> {
+        let prev = self.prev.as_ref()?;
+        if !self.reachable(r) {
+            return None;
+        }
+        let mut path = vec![r];
+        let mut cur = r;
+        while let Some(p) = prev[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        (path[0] == self.source).then_some(path)
+    }
+}
+
+/// Max-heap entry ordered by smallest cost first.
+#[derive(PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    road: RoadId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap behaviour; costs are never NaN (asserted on
+        // insert).
+        other.cost.partial_cmp(&self.cost).unwrap().then_with(|| other.road.cmp(&self.road))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn run(
+    graph: &Graph,
+    source: RoadId,
+    mut edge_cost: impl FnMut(EdgeId) -> f64,
+    record_paths: bool,
+) -> ShortestPaths {
+    let n = graph.num_roads();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev = record_paths.then(|| vec![None; n]);
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(HeapEntry { cost: 0.0, road: source });
+
+    while let Some(HeapEntry { cost, road }) = heap.pop() {
+        if settled[road.index()] {
+            continue;
+        }
+        settled[road.index()] = true;
+        for &(nbr, edge) in graph.neighbors(road) {
+            if settled[nbr.index()] {
+                continue;
+            }
+            let w = edge_cost(edge);
+            debug_assert!(w >= 0.0 && !w.is_nan(), "negative or NaN edge cost");
+            let next = cost + w;
+            if next < dist[nbr.index()] {
+                dist[nbr.index()] = next;
+                if let Some(prev) = prev.as_mut() {
+                    prev[nbr.index()] = Some(road);
+                }
+                heap.push(HeapEntry { cost: next, road: nbr });
+            }
+        }
+    }
+    ShortestPaths { source, dist, prev }
+}
+
+/// Dijkstra from `source` with costs given per edge; distances only.
+pub fn dijkstra(
+    graph: &Graph,
+    source: RoadId,
+    edge_cost: impl FnMut(EdgeId) -> f64,
+) -> ShortestPaths {
+    run(graph, source, edge_cost, false)
+}
+
+/// Dijkstra recording predecessors so paths can be reconstructed.
+pub fn dijkstra_with_paths(
+    graph: &Graph,
+    source: RoadId,
+    edge_cost: impl FnMut(EdgeId) -> f64,
+) -> ShortestPaths {
+    run(graph, source, edge_cost, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::road::RoadClass;
+    use proptest::prelude::*;
+
+    /// Builds a graph and a per-edge weight table from `(a, b, w)` triples.
+    fn weighted(n: usize, edges: &[(u32, u32, f64)]) -> (Graph, Vec<f64>) {
+        let mut b = GraphBuilder::new();
+        for i in 0..n {
+            b.add_road(RoadClass::Secondary, (i as f64, 0.0));
+        }
+        let mut weights = Vec::new();
+        for &(x, y, w) in edges {
+            if b.add_edge(RoadId(x), RoadId(y)) {
+                weights.push(w);
+            }
+        }
+        (b.build(), weights)
+    }
+
+    #[test]
+    fn shortest_path_hand_example() {
+        // 0 -1- 1 -1- 2, plus direct 0 -5- 2: shortest 0->2 via 1 costs 2.
+        let (g, w) = weighted(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)]);
+        let sp = dijkstra_with_paths(&g, RoadId(0), |e| w[e.index()]);
+        assert_eq!(sp.cost(RoadId(2)), 2.0);
+        assert_eq!(sp.path_to(RoadId(2)).unwrap(), vec![RoadId(0), RoadId(1), RoadId(2)]);
+        assert_eq!(sp.cost(RoadId(0)), 0.0);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let (g, w) = weighted(3, &[(0, 1, 1.0)]);
+        let sp = dijkstra_with_paths(&g, RoadId(0), |e| w[e.index()]);
+        assert!(!sp.reachable(RoadId(2)));
+        assert!(sp.cost(RoadId(2)).is_infinite());
+        assert!(sp.path_to(RoadId(2)).is_none());
+    }
+
+    #[test]
+    fn zero_weight_edges_ok() {
+        let (g, w) = weighted(3, &[(0, 1, 0.0), (1, 2, 0.0)]);
+        let sp = dijkstra(&g, RoadId(0), |e| w[e.index()]);
+        assert_eq!(sp.cost(RoadId(2)), 0.0);
+    }
+
+    /// Brute-force all simple paths for cross-checking.
+    fn brute_force(g: &Graph, w: &[f64], s: RoadId, t: RoadId) -> f64 {
+        fn rec(g: &Graph, w: &[f64], cur: RoadId, t: RoadId, seen: &mut Vec<bool>, acc: f64, best: &mut f64) {
+            if cur == t {
+                *best = best.min(acc);
+                return;
+            }
+            for &(nbr, e) in g.neighbors(cur) {
+                if !seen[nbr.index()] {
+                    seen[nbr.index()] = true;
+                    rec(g, w, nbr, t, seen, acc + w[e.index()], best);
+                    seen[nbr.index()] = false;
+                }
+            }
+        }
+        let mut best = f64::INFINITY;
+        let mut seen = vec![false; g.num_roads()];
+        seen[s.index()] = true;
+        rec(g, w, s, t, &mut seen, 0.0, &mut best);
+        best
+    }
+
+    proptest! {
+        /// Dijkstra matches exhaustive path enumeration on small random graphs.
+        #[test]
+        fn matches_brute_force(
+            raw_edges in proptest::collection::vec((0u32..7, 0u32..7, 0.0..10.0f64), 1..15),
+        ) {
+            let edges: Vec<(u32, u32, f64)> =
+                raw_edges.into_iter().filter(|(a, b, _)| a != b).collect();
+            prop_assume!(!edges.is_empty());
+            let (g, w) = weighted(7, &edges);
+            let sp = dijkstra(&g, RoadId(0), |e| w[e.index()]);
+            for t in 0..7u32 {
+                let bf = brute_force(&g, &w, RoadId(0), RoadId(t));
+                if bf.is_finite() {
+                    prop_assert!((sp.cost(RoadId(t)) - bf).abs() < 1e-9,
+                        "road {t}: dijkstra {} vs brute {bf}", sp.cost(RoadId(t)));
+                } else {
+                    prop_assert!(!sp.reachable(RoadId(t)));
+                }
+            }
+        }
+
+        /// Triangle inequality on the distance function.
+        #[test]
+        fn triangle_inequality(
+            raw_edges in proptest::collection::vec((0u32..6, 0u32..6, 0.1..5.0f64), 3..12),
+        ) {
+            let edges: Vec<(u32, u32, f64)> =
+                raw_edges.into_iter().filter(|(a, b, _)| a != b).collect();
+            prop_assume!(!edges.is_empty());
+            let (g, w) = weighted(6, &edges);
+            let from0 = dijkstra(&g, RoadId(0), |e| w[e.index()]);
+            for mid in 0..6u32 {
+                if !from0.reachable(RoadId(mid)) {
+                    continue;
+                }
+                let from_mid = dijkstra(&g, RoadId(mid), |e| w[e.index()]);
+                for t in 0..6u32 {
+                    if from_mid.reachable(RoadId(t)) {
+                        prop_assert!(
+                            from0.cost(RoadId(t))
+                                <= from0.cost(RoadId(mid)) + from_mid.cost(RoadId(t)) + 1e-9
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! Deterministic synthetic road networks.
+//!
+//! The paper evaluates on the Hong Kong network (607 monitored roads). That
+//! feed is not available offline, so [`hong_kong_like`] builds a synthetic
+//! network with the same scale and a realistic mix of structure: a highway
+//! backbone, an arterial grid, and local streets attached at the fringe.
+//! Smaller/simpler generators ([`grid`], [`path`], [`random_geometric`])
+//! serve tests and scalability sweeps.
+//!
+//! All generators are seeded and fully deterministic.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::road::{RoadClass, RoadId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A simple path of `n` roads: `0 - 1 - ... - n-1`.
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new();
+    for i in 0..n {
+        b.add_road(RoadClass::Secondary, (i as f64, 0.0));
+    }
+    for i in 1..n {
+        b.add_edge(RoadId::from(i - 1), RoadId::from(i));
+    }
+    b.build()
+}
+
+/// A `rows x cols` 4-connected lattice (arterial class).
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut b = GraphBuilder::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_road(RoadClass::Arterial, (c as f64, r as f64));
+        }
+    }
+    let id = |r: usize, c: usize| RoadId::from(r * cols + c);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Random geometric graph: `n` roads uniform in the unit square, connected
+/// when within `radius`; extra edges are added between components so the
+/// result is always connected.
+pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    let mut pos = Vec::with_capacity(n);
+    for _ in 0..n {
+        let p = (rng.random_range(0.0..1.0), rng.random_range(0.0..1.0));
+        pos.push(p);
+        b.add_road(RoadClass::Secondary, p);
+    }
+    let r2 = radius * radius;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = pos[i].0 - pos[j].0;
+            let dy = pos[i].1 - pos[j].1;
+            if dx * dx + dy * dy <= r2 {
+                b.add_edge(RoadId::from(i), RoadId::from(j));
+            }
+        }
+    }
+    connect_components(b, &pos)
+}
+
+/// Joins components by adding an edge between the geometrically closest
+/// cross-component pair until connected.
+fn connect_components(builder: GraphBuilder, pos: &[(f64, f64)]) -> Graph {
+    let mut builder = builder;
+    loop {
+        let g = builder.clone().build();
+        let (labels, count) = crate::components::connected_components(&g);
+        if count <= 1 {
+            return g;
+        }
+        // Closest pair between component 0 and any other component.
+        let mut best = (f64::INFINITY, 0usize, 0usize);
+        for i in 0..pos.len() {
+            if labels[i] != 0 {
+                continue;
+            }
+            for j in 0..pos.len() {
+                if labels[j] == 0 {
+                    continue;
+                }
+                let dx = pos[i].0 - pos[j].0;
+                let dy = pos[i].1 - pos[j].1;
+                let d = dx * dx + dy * dy;
+                if d < best.0 {
+                    best = (d, i, j);
+                }
+            }
+        }
+        builder.add_edge(RoadId::from(best.1), RoadId::from(best.2));
+    }
+}
+
+/// A synthetic network shaped like the paper's Hong Kong test bed.
+///
+/// Produces exactly `n` roads (the paper uses 607):
+/// * ~8% highways forming long chains (a backbone loop with spurs);
+/// * ~45% arterials in an irregular grid stitched to the backbone;
+/// * the rest secondary/local streets attached preferentially near
+///   arterials.
+///
+/// Average degree lands near 3 (sparse, like a real road adjacency graph),
+/// and the network is always connected.
+pub fn hong_kong_like(n: usize, seed: u64) -> Graph {
+    assert!(n >= 16, "hong_kong_like needs at least 16 roads");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    let mut pos: Vec<(f64, f64)> = Vec::with_capacity(n);
+
+    // 1. Highway backbone: a ring of h roads around the city.
+    let h = (n / 12).max(6);
+    for i in 0..h {
+        let angle = 2.0 * std::f64::consts::PI * i as f64 / h as f64;
+        let p = (0.5 + 0.42 * angle.cos(), 0.5 + 0.42 * angle.sin());
+        pos.push(p);
+        b.add_road(RoadClass::Highway, p);
+    }
+    for i in 0..h {
+        b.add_edge(RoadId::from(i), RoadId::from((i + 1) % h));
+    }
+
+    // 2. Arterial grid inside the ring.
+    let a = (n * 45 / 100).max(4);
+    let side = (a as f64).sqrt().ceil() as usize;
+    let mut arterial_ids = Vec::with_capacity(a);
+    for k in 0..a {
+        let gr = k / side;
+        let gc = k % side;
+        let jitter_x = rng.random_range(-0.02..0.02);
+        let jitter_y = rng.random_range(-0.02..0.02);
+        let p = (
+            0.2 + 0.6 * gc as f64 / side.max(1) as f64 + jitter_x,
+            0.2 + 0.6 * gr as f64 / side.max(1) as f64 + jitter_y,
+        );
+        pos.push(p);
+        arterial_ids.push(b.add_road(RoadClass::Arterial, p));
+    }
+    for k in 0..a {
+        let gr = k / side;
+        let gc = k % side;
+        if gc + 1 < side && k + 1 < a {
+            b.add_edge(arterial_ids[k], arterial_ids[k + 1]);
+        }
+        if gr + 1 < side.div_ceil(1) && k + side < a {
+            b.add_edge(arterial_ids[k], arterial_ids[k + side]);
+        }
+    }
+    // Stitch arterial grid corners to the highway ring.
+    for corner in [0, side - 1, a - 1, a.saturating_sub(side)] {
+        if corner < a {
+            let ramp = RoadId::from(rng.random_range(0..h));
+            b.add_edge(arterial_ids[corner], ramp);
+        }
+    }
+
+    // 3. Secondary/local fill attached near random existing roads.
+    while b.num_roads() < n {
+        let host = RoadId::from(rng.random_range(0..b.num_roads()));
+        let hp = pos[host.index()];
+        let p = (
+            (hp.0 + rng.random_range(-0.05..0.05)).clamp(0.0, 1.0),
+            (hp.1 + rng.random_range(-0.05..0.05)).clamp(0.0, 1.0),
+        );
+        let class = if rng.random_range(0.0..1.0) < 0.6 {
+            RoadClass::Secondary
+        } else {
+            RoadClass::Local
+        };
+        pos.push(p);
+        let id = b.add_road(class, p);
+        b.add_edge(id, host);
+        // Occasional second attachment creates loops like a real street
+        // network.
+        if rng.random_range(0.0..1.0) < 0.3 && b.num_roads() > 2 {
+            let other = RoadId::from(rng.random_range(0..b.num_roads() - 1));
+            if other != id {
+                b.add_edge(id, other);
+            }
+        }
+    }
+
+    connect_components(b, &pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::connected_components;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.num_roads(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(RoadId(0)), 1);
+        assert_eq!(g.degree(RoadId(2)), 2);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_roads(), 12);
+        // Edges: 3*3 horizontal + 2*4 vertical = 17.
+        assert_eq!(g.num_edges(), 17);
+        // Corner degree 2, interior degree 4.
+        assert_eq!(g.degree(RoadId(0)), 2);
+        assert_eq!(g.degree(RoadId(5)), 4);
+    }
+
+    #[test]
+    fn random_geometric_connected_and_deterministic() {
+        let g1 = random_geometric(50, 0.2, 7);
+        let g2 = random_geometric(50, 0.2, 7);
+        assert_eq!(g1.num_roads(), 50);
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        let (_, count) = connected_components(&g1);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn hong_kong_like_matches_paper_scale() {
+        let g = hong_kong_like(607, 42);
+        assert_eq!(g.num_roads(), 607);
+        let (_, count) = connected_components(&g);
+        assert_eq!(count, 1, "network must be connected");
+        // Sparse like a real road network: average degree between 2 and 6.
+        let avg = 2.0 * g.num_edges() as f64 / g.num_roads() as f64;
+        assert!((2.0..6.0).contains(&avg), "avg degree {avg}");
+        // All four road classes occur.
+        for class in RoadClass::ALL {
+            assert!(g.roads().iter().any(|r| r.class == class), "missing {class:?}");
+        }
+    }
+
+    #[test]
+    fn hong_kong_like_deterministic_per_seed() {
+        let a = hong_kong_like(100, 1);
+        let b = hong_kong_like(100, 1);
+        assert_eq!(a.edges(), b.edges());
+        let c = hong_kong_like(100, 2);
+        assert_ne!(a.edges(), c.edges());
+    }
+
+    #[test]
+    fn small_networks_supported() {
+        let g = hong_kong_like(16, 3);
+        assert_eq!(g.num_roads(), 16);
+    }
+}
+
+/// Watts–Strogatz small-world network: a ring lattice with `k` nearest
+/// neighbors per side, each edge rewired with probability `beta`.
+///
+/// Used by the topology-robustness experiment to stress CrowdRTSE on a
+/// graph with long-range shortcuts (unlike a road network).
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
+    assert!(n > 2 * k, "watts_strogatz needs n > 2k");
+    assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    let mut pos = Vec::with_capacity(n);
+    for i in 0..n {
+        let angle = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+        let p = (0.5 + 0.45 * angle.cos(), 0.5 + 0.45 * angle.sin());
+        pos.push(p);
+        b.add_road(RoadClass::Secondary, p);
+    }
+    for i in 0..n {
+        for j in 1..=k {
+            let neighbor = (i + j) % n;
+            if rng.random_range(0.0..1.0) < beta {
+                // Rewire to a uniformly random non-self target (duplicate
+                // edges are deduplicated by the builder).
+                let target = rng.random_range(0..n);
+                if target != i {
+                    b.add_edge(RoadId::from(i), RoadId::from(target));
+                    continue;
+                }
+            }
+            b.add_edge(RoadId::from(i), RoadId::from(neighbor));
+        }
+    }
+    connect_components(b, &pos)
+}
+
+/// Barabási–Albert preferential attachment: each new road attaches to `m`
+/// existing roads chosen proportionally to degree.
+///
+/// Produces hub-dominated topologies (again unlike road networks) for the
+/// robustness sweep.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m >= 1 && n > m + 1, "barabasi_albert needs n > m + 1 and m >= 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    let mut pos = Vec::with_capacity(n);
+    // Seed clique of m + 1 roads.
+    for i in 0..=m {
+        let p = (rng.random_range(0.0..1.0), rng.random_range(0.0..1.0));
+        pos.push(p);
+        b.add_road(RoadClass::Arterial, p);
+        for j in 0..i {
+            b.add_edge(RoadId::from(i), RoadId::from(j));
+        }
+    }
+    // Degree-weighted endpoint pool: each edge contributes both endpoints.
+    let mut pool: Vec<u32> = Vec::new();
+    for i in 0..=m {
+        for j in 0..i {
+            pool.push(i as u32);
+            pool.push(j as u32);
+        }
+    }
+    while b.num_roads() < n {
+        let p = (rng.random_range(0.0..1.0), rng.random_range(0.0..1.0));
+        pos.push(p);
+        let new = b.add_road(RoadClass::Secondary, p);
+        let mut attached = Vec::with_capacity(m);
+        let mut guard = 0;
+        while attached.len() < m && guard < 50 * m {
+            guard += 1;
+            let pick = pool[rng.random_range(0..pool.len())];
+            if pick != new.0 && !attached.contains(&pick) {
+                attached.push(pick);
+            }
+        }
+        for &t in &attached {
+            b.add_edge(new, RoadId(t));
+            pool.push(new.0);
+            pool.push(t);
+        }
+    }
+    connect_components(b, &pos)
+}
+
+#[cfg(test)]
+mod extra_generator_tests {
+    use super::*;
+    use crate::components::connected_components;
+    use crate::metrics::{average_degree, clustering_coefficient, degree_histogram};
+
+    #[test]
+    fn watts_strogatz_connected_and_sized() {
+        let g = watts_strogatz(60, 2, 0.2, 4);
+        assert_eq!(g.num_roads(), 60);
+        let (_, count) = connected_components(&g);
+        assert_eq!(count, 1);
+        // Ring lattice with k = 2 has ~2k average degree.
+        let avg = average_degree(&g);
+        assert!((3.0..5.0).contains(&avg), "avg degree {avg}");
+    }
+
+    #[test]
+    fn watts_strogatz_zero_beta_is_regular_ring() {
+        let g = watts_strogatz(20, 2, 0.0, 1);
+        let hist = degree_histogram(&g);
+        // Every vertex has exactly degree 4.
+        assert_eq!(hist.iter().position(|&c| c == 20), Some(4));
+        // Ring lattices are highly clustered.
+        assert!(clustering_coefficient(&g) > 0.4);
+    }
+
+    #[test]
+    fn barabasi_albert_has_hubs() {
+        let g = barabasi_albert(150, 2, 9);
+        assert_eq!(g.num_roads(), 150);
+        let (_, count) = connected_components(&g);
+        assert_eq!(count, 1);
+        let max_deg = g.road_ids().map(|r| g.degree(r)).max().unwrap();
+        assert!(max_deg >= 10, "hub degree {max_deg} too small for BA");
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        assert_eq!(watts_strogatz(30, 2, 0.3, 5).edges(), watts_strogatz(30, 2, 0.3, 5).edges());
+        assert_eq!(barabasi_albert(40, 2, 5).edges(), barabasi_albert(40, 2, 5).edges());
+    }
+}

@@ -1,0 +1,202 @@
+//! Plain-text network serialization.
+//!
+//! A simple line format so networks can be checked into experiments,
+//! diffed, and shared between the CLI and the library:
+//!
+//! ```text
+//! # crowd-rtse network v1
+//! road <id> <class> <length_m> <x> <y>
+//! edge <a> <b>
+//! ```
+//!
+//! Roads must appear in dense id order (the same invariant
+//! [`crate::GraphBuilder`] enforces).
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::road::{Road, RoadClass, RoadId};
+use std::io::{self, BufRead, Write};
+
+/// Magic header line.
+pub const HEADER: &str = "# crowd-rtse network v1";
+
+/// Writes a graph in the text format.
+pub fn write_network<W: Write>(mut w: W, graph: &Graph) -> io::Result<()> {
+    writeln!(w, "{HEADER}")?;
+    for road in graph.roads() {
+        writeln!(
+            w,
+            "road {} {} {} {} {}",
+            road.id.0,
+            class_tag(road.class),
+            road.length_m,
+            road.position.0,
+            road.position.1
+        )?;
+    }
+    for &(a, b) in graph.edges() {
+        writeln!(w, "edge {} {}", a.0, b.0)?;
+    }
+    Ok(())
+}
+
+/// Parse failure with its 1-based line number.
+#[derive(Debug)]
+pub struct NetworkParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for NetworkParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for NetworkParseError {}
+
+/// Reads a graph written by [`write_network`].
+///
+/// # Errors
+/// Returns [`NetworkParseError`] on malformed input (I/O errors are folded
+/// into it with the current line number).
+pub fn read_network<R: BufRead>(r: R) -> Result<Graph, NetworkParseError> {
+    let mut builder = GraphBuilder::new();
+    let err = |line: usize, message: String| NetworkParseError { line, message };
+    for (i, line) in r.lines().enumerate() {
+        let n = i + 1;
+        let line = line.map_err(|e| err(n, format!("io error: {e}")))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        match parts.next() {
+            Some("road") => {
+                let fields: Vec<&str> = parts.collect();
+                if fields.len() != 5 {
+                    return Err(err(n, format!("road needs 5 fields, got {}", fields.len())));
+                }
+                let id: u32 =
+                    fields[0].parse().map_err(|_| err(n, "bad road id".into()))?;
+                let class = parse_class(fields[1])
+                    .ok_or_else(|| err(n, format!("unknown class {:?}", fields[1])))?;
+                let length: f64 =
+                    fields[2].parse().map_err(|_| err(n, "bad length".into()))?;
+                let x: f64 = fields[3].parse().map_err(|_| err(n, "bad x".into()))?;
+                let y: f64 = fields[4].parse().map_err(|_| err(n, "bad y".into()))?;
+                if id as usize != builder.num_roads() {
+                    return Err(err(n, format!("road ids must be dense; expected {}", builder.num_roads())));
+                }
+                if !(length.is_finite() && length > 0.0) {
+                    return Err(err(n, "length must be positive and finite".into()));
+                }
+                let mut road = Road::new(RoadId(id), class, (x, y));
+                road.length_m = length;
+                builder.push_road(road);
+            }
+            Some("edge") => {
+                let a: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(n, "bad edge endpoint".into()))?;
+                let b: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(n, "bad edge endpoint".into()))?;
+                if parts.next().is_some() {
+                    return Err(err(n, "edge takes exactly 2 fields".into()));
+                }
+                if a == b {
+                    return Err(err(n, "self-loop".into()));
+                }
+                if (a as usize) >= builder.num_roads() || (b as usize) >= builder.num_roads() {
+                    return Err(err(n, "edge references unknown road".into()));
+                }
+                builder.add_edge(RoadId(a), RoadId(b));
+            }
+            Some(other) => return Err(err(n, format!("unknown record {other:?}"))),
+            None => unreachable!("trimmed line is non-empty"),
+        }
+    }
+    Ok(builder.build())
+}
+
+fn class_tag(class: RoadClass) -> &'static str {
+    match class {
+        RoadClass::Highway => "highway",
+        RoadClass::Arterial => "arterial",
+        RoadClass::Secondary => "secondary",
+        RoadClass::Local => "local",
+    }
+}
+
+fn parse_class(tag: &str) -> Option<RoadClass> {
+    match tag {
+        "highway" => Some(RoadClass::Highway),
+        "arterial" => Some(RoadClass::Arterial),
+        "secondary" => Some(RoadClass::Secondary),
+        "local" => Some(RoadClass::Local),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::hong_kong_like;
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let g = hong_kong_like(60, 5);
+        let mut buf = Vec::new();
+        write_network(&mut buf, &g).unwrap();
+        let back = read_network(buf.as_slice()).unwrap();
+        assert_eq!(back.num_roads(), g.num_roads());
+        assert_eq!(back.edges(), g.edges());
+        for (a, b) in g.roads().iter().zip(back.roads().iter()) {
+            assert_eq!(a.class, b.class);
+            assert_eq!(a.length_m, b.length_m);
+            assert_eq!(a.position, b.position);
+        }
+    }
+
+    #[test]
+    fn rejects_sparse_ids() {
+        let text = format!("{HEADER}\nroad 1 local 100 0 0\n");
+        let e = read_network(text.as_bytes()).unwrap_err();
+        assert!(e.message.contains("dense"), "{e}");
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn rejects_unknown_class_and_bad_edge() {
+        let text = format!("{HEADER}\nroad 0 spaceway 100 0 0\n");
+        assert!(read_network(text.as_bytes()).unwrap_err().message.contains("class"));
+        let text =
+            format!("{HEADER}\nroad 0 local 100 0 0\nroad 1 local 100 1 0\nedge 0 5\n");
+        assert!(read_network(text.as_bytes())
+            .unwrap_err()
+            .message
+            .contains("unknown road"));
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = format!(
+            "{HEADER}\n\n# a comment\nroad 0 local 100 0 0\nroad 1 highway 900 1 0\nedge 0 1\n"
+        );
+        let g = read_network(text.as_bytes()).unwrap();
+        assert_eq!(g.num_roads(), 2);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.road(RoadId(1)).class, RoadClass::Highway);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let text = format!("{HEADER}\nroad 0 local 100 0 0\nedge 0 0\n");
+        assert!(read_network(text.as_bytes()).unwrap_err().message.contains("self-loop"));
+    }
+}

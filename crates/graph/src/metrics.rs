@@ -1,0 +1,145 @@
+//! Structural metrics of a road network.
+//!
+//! Used by DESIGN-level sanity checks (is the synthetic network road-like?)
+//! and the topology-robustness experiment.
+
+use crate::bfs::hop_distances;
+use crate::csr::Graph;
+use crate::road::RoadId;
+
+/// Average vertex degree (`2|E| / |R|`); 0 for an empty graph.
+pub fn average_degree(graph: &Graph) -> f64 {
+    if graph.num_roads() == 0 {
+        return 0.0;
+    }
+    2.0 * graph.num_edges() as f64 / graph.num_roads() as f64
+}
+
+/// Degree histogram: `hist[d]` = number of roads with degree `d`.
+pub fn degree_histogram(graph: &Graph) -> Vec<usize> {
+    let max_deg = graph.road_ids().map(|r| graph.degree(r)).max().unwrap_or(0);
+    let mut hist = vec![0usize; max_deg + 1];
+    for r in graph.road_ids() {
+        hist[graph.degree(r)] += 1;
+    }
+    hist
+}
+
+/// Exact eccentricity of one road (max hop distance to any reachable
+/// road).
+pub fn eccentricity(graph: &Graph, r: RoadId) -> usize {
+    hop_distances(graph, &[r])
+        .into_iter()
+        .filter(|&d| d != usize::MAX)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Estimated diameter: the max eccentricity over `samples` deterministic
+/// sample roads plus a double-sweep refinement (lower bound on the true
+/// diameter, exact on trees and usually exact on road-like graphs).
+pub fn diameter_estimate(graph: &Graph, samples: usize) -> usize {
+    if graph.num_roads() == 0 {
+        return 0;
+    }
+    let n = graph.num_roads();
+    let mut best = 0usize;
+    let step = (n / samples.max(1)).max(1);
+    for start in (0..n).step_by(step) {
+        // Double sweep: BFS to the farthest vertex, then BFS again from it.
+        let d1 = hop_distances(graph, &[RoadId::from(start)]);
+        let (far, dist) = d1
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d != usize::MAX)
+            .max_by_key(|(_, &d)| d)
+            .map(|(i, &d)| (i, d))
+            .unwrap_or((start, 0));
+        best = best.max(dist);
+        best = best.max(eccentricity(graph, RoadId::from(far)));
+    }
+    best
+}
+
+/// Global clustering coefficient: `3 × triangles / connected triples`.
+/// 0 when the graph has no triples.
+pub fn clustering_coefficient(graph: &Graph) -> f64 {
+    let mut triangles = 0usize;
+    let mut triples = 0usize;
+    for r in graph.road_ids() {
+        let d = graph.degree(r);
+        triples += d * d.saturating_sub(1) / 2;
+        let nbrs: Vec<RoadId> = graph.neighbors(r).iter().map(|&(n, _)| n).collect();
+        for i in 0..nbrs.len() {
+            for j in (i + 1)..nbrs.len() {
+                if graph.are_adjacent(nbrs[i], nbrs[j]) {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    if triples == 0 {
+        0.0
+    } else {
+        // Each triangle is counted once per corner = 3 times total.
+        triangles as f64 / triples as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators::{grid, hong_kong_like, path};
+    use crate::road::RoadClass;
+
+    #[test]
+    fn average_degree_hand_values() {
+        assert_eq!(average_degree(&path(5)), 2.0 * 4.0 / 5.0);
+        assert_eq!(average_degree(&GraphBuilder::new().build()), 0.0);
+    }
+
+    #[test]
+    fn degree_histogram_path() {
+        let h = degree_histogram(&path(5));
+        assert_eq!(h, vec![0, 2, 3]); // two endpoints, three interior
+    }
+
+    #[test]
+    fn diameter_of_path_exact() {
+        assert_eq!(diameter_estimate(&path(10), 4), 9);
+        assert_eq!(eccentricity(&path(10), crate::RoadId(0)), 9);
+        assert_eq!(eccentricity(&path(10), crate::RoadId(5)), 5);
+    }
+
+    #[test]
+    fn diameter_of_grid() {
+        // 3x4 grid diameter = (3-1)+(4-1) = 5.
+        assert_eq!(diameter_estimate(&grid(3, 4), 6), 5);
+    }
+
+    #[test]
+    fn clustering_triangle_vs_path() {
+        let mut b = GraphBuilder::new();
+        for i in 0..3 {
+            b.add_road(RoadClass::Local, (i as f64, 0.0));
+        }
+        b.add_edge(crate::RoadId(0), crate::RoadId(1));
+        b.add_edge(crate::RoadId(1), crate::RoadId(2));
+        b.add_edge(crate::RoadId(0), crate::RoadId(2));
+        let triangle = b.build();
+        assert!((clustering_coefficient(&triangle) - 1.0).abs() < 1e-12);
+        assert_eq!(clustering_coefficient(&path(4)), 0.0);
+    }
+
+    #[test]
+    fn hong_kong_like_is_road_shaped() {
+        let g = hong_kong_like(300, 5);
+        let avg = average_degree(&g);
+        assert!((2.0..6.0).contains(&avg));
+        // Real road adjacency graphs have low but nonzero clustering and
+        // large diameter relative to size.
+        let dia = diameter_estimate(&g, 8);
+        assert!(dia >= 8, "diameter {dia} too small for a road network");
+    }
+}

@@ -1,0 +1,140 @@
+//! Road identifiers and metadata.
+
+use std::fmt;
+
+/// Index of a road (a graph vertex).
+///
+/// A newtype over `u32`: traffic networks of interest are far below 2^32
+/// roads and the narrower index halves the footprint of adjacency arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RoadId(pub u32);
+
+impl RoadId {
+    /// The id as a `usize` for direct indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for RoadId {
+    fn from(v: u32) -> Self {
+        RoadId(v)
+    }
+}
+
+impl From<usize> for RoadId {
+    fn from(v: usize) -> Self {
+        RoadId(u32::try_from(v).expect("road index exceeds u32"))
+    }
+}
+
+impl fmt::Display for RoadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Functional class of a road.
+///
+/// The paper notes that highways see stable speeds (cheap to crowdsource)
+/// while secondary roads fluctuate (expensive); the synthetic generator and
+/// the cost model condition on this class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RoadClass {
+    /// Grade-separated, high free-flow speed, very stable.
+    Highway,
+    /// Major urban artery with pronounced rush-hour dips.
+    Arterial,
+    /// Collector/secondary road with volatile speeds.
+    #[default]
+    Secondary,
+    /// Local street: low speed, moderate volatility.
+    Local,
+}
+
+impl RoadClass {
+    /// Typical free-flow speed in km/h for the class.
+    pub fn free_flow_speed(self) -> f64 {
+        match self {
+            RoadClass::Highway => 90.0,
+            RoadClass::Arterial => 60.0,
+            RoadClass::Secondary => 45.0,
+            RoadClass::Local => 30.0,
+        }
+    }
+
+    /// Relative speed volatility (scales the generator's noise terms).
+    pub fn volatility(self) -> f64 {
+        match self {
+            RoadClass::Highway => 0.3,
+            RoadClass::Arterial => 0.8,
+            RoadClass::Secondary => 1.2,
+            RoadClass::Local => 1.0,
+        }
+    }
+
+    /// All classes, for enumeration in generators and tests.
+    pub const ALL: [RoadClass; 4] =
+        [RoadClass::Highway, RoadClass::Arterial, RoadClass::Secondary, RoadClass::Local];
+
+    /// Typical segment length in meters for the class (generators jitter
+    /// around this).
+    pub fn typical_length_m(self) -> f64 {
+        match self {
+            RoadClass::Highway => 900.0,
+            RoadClass::Arterial => 450.0,
+            RoadClass::Secondary => 250.0,
+            RoadClass::Local => 140.0,
+        }
+    }
+}
+
+/// Static metadata for one road segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Road {
+    /// The road's vertex id.
+    pub id: RoadId,
+    /// Functional class.
+    pub class: RoadClass,
+    /// Segment length in meters (used by examples for travel-time).
+    pub length_m: f64,
+    /// Planar position of the segment midpoint (synthetic coordinates);
+    /// generators use it for geometric neighbor search, examples for display.
+    pub position: (f64, f64),
+}
+
+impl Road {
+    /// Creates a road with the given id and class at a position, with a
+    /// placeholder 200 m length (builders usually override it with
+    /// [`RoadClass::typical_length_m`]).
+    pub fn new(id: RoadId, class: RoadClass, position: (f64, f64)) -> Self {
+        Self { id, class, length_m: 200.0, position }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn road_id_round_trip() {
+        let id = RoadId::from(42usize);
+        assert_eq!(id.index(), 42);
+        assert_eq!(RoadId::from(42u32), id);
+        assert_eq!(id.to_string(), "r42");
+    }
+
+    #[test]
+    fn class_speeds_ordered() {
+        assert!(RoadClass::Highway.free_flow_speed() > RoadClass::Arterial.free_flow_speed());
+        assert!(RoadClass::Arterial.free_flow_speed() > RoadClass::Local.free_flow_speed());
+    }
+
+    #[test]
+    fn highway_least_volatile() {
+        for c in RoadClass::ALL {
+            assert!(RoadClass::Highway.volatility() <= c.volatility());
+        }
+    }
+}

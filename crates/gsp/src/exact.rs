@@ -1,0 +1,233 @@
+//! Exact MAP inference for the conditional GMRF — the validation oracle
+//! for GSP.
+//!
+//! Maximizing Eq. (16) is a quadratic program: the unobserved speeds solve
+//! the sparse SPD linear system obtained by zeroing the gradient of the
+//! (single-edge-counted) energy
+//!
+//! ```text
+//! E(v) = Σ_i (v_i − μ_i)²/σ_i²  +  Σ_{(i,j)∈E} ((v_i − v_j) − μ_ij)²/σ_ij²
+//! ```
+//!
+//! with observed coordinates substituted. GSP's Gauss–Seidel sweeps
+//! converge to exactly this solution; [`exact_map_estimate`] computes it
+//! directly with conjugate gradient so tests (and the ablation bench) can
+//! confirm the fixed point.
+
+use rtse_graph::{Graph, RoadId};
+use rtse_math::{conjugate_gradient, SparseMatrix};
+use rtse_rtf::params::SlotParams;
+
+/// The assembled conditional linear system `A x = b₀` over the unobserved
+/// roads, kept in factored form so callers can re-solve with perturbed
+/// right-hand sides (posterior sampling, see [`crate::uncertainty`]).
+pub struct ConditionalSystem {
+    /// System matrix over the unobserved coordinates.
+    a: SparseMatrix,
+    /// Unobserved roads in row order.
+    unobserved: Vec<RoadId>,
+    /// Dense row index per road (`usize::MAX` for observed).
+    position: Vec<usize>,
+    /// Observed value per road (`NaN` where unobserved).
+    observed_value: Vec<f64>,
+}
+
+impl ConditionalSystem {
+    /// Assembles the system for a model and an observation set.
+    ///
+    /// # Panics
+    /// Panics on model/graph dimension mismatch or out-of-range
+    /// observations.
+    pub fn build(graph: &Graph, params: &SlotParams, observations: &[(RoadId, f64)]) -> Self {
+        let n = graph.num_roads();
+        assert_eq!(params.mu.len(), n, "params/graph mismatch");
+        let mut observed_value = vec![f64::NAN; n];
+        for &(r, v) in observations {
+            assert!(r.index() < n, "observation for unknown road {r}");
+            observed_value[r.index()] = v;
+        }
+        let mut unobserved: Vec<RoadId> = Vec::with_capacity(n);
+        let mut position = vec![usize::MAX; n];
+        for r in graph.road_ids() {
+            if observed_value[r.index()].is_nan() {
+                position[r.index()] = unobserved.len();
+                unobserved.push(r);
+            }
+        }
+        let m = unobserved.len();
+        let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(4 * graph.num_edges());
+        for (row, &i) in unobserved.iter().enumerate() {
+            let si = params.sigma[i.index()];
+            let mut diag = 1.0 / (si * si);
+            for &(j, e) in graph.neighbors(i) {
+                let u = params.sigma_diff_sq(i, j, e);
+                diag += 1.0 / u;
+                if observed_value[j.index()].is_nan() {
+                    triplets.push((row, position[j.index()], -1.0 / u));
+                }
+            }
+            triplets.push((row, row, diag));
+        }
+        Self {
+            a: SparseMatrix::from_triplets(m, m, &triplets),
+            unobserved,
+            position,
+            observed_value,
+        }
+    }
+
+    /// Number of unobserved coordinates.
+    pub fn dim(&self) -> usize {
+        self.unobserved.len()
+    }
+
+    /// Unobserved roads in row order.
+    pub fn unobserved(&self) -> &[RoadId] {
+        &self.unobserved
+    }
+
+    /// Dense row index of a road, `None` when it was observed.
+    pub fn row_of(&self, r: RoadId) -> Option<usize> {
+        let p = self.position[r.index()];
+        (p != usize::MAX).then_some(p)
+    }
+
+    /// The observed speed of a road, `None` when it was not observed.
+    pub fn observed_speed(&self, r: RoadId) -> Option<f64> {
+        let v = self.observed_value[r.index()];
+        (!v.is_nan()).then_some(v)
+    }
+
+    /// The unperturbed right-hand side (MAP estimate's `b`).
+    pub fn base_rhs(&self, graph: &Graph, params: &SlotParams) -> Vec<f64> {
+        let mut b = vec![0.0; self.dim()];
+        for (row, &i) in self.unobserved.iter().enumerate() {
+            let si = params.sigma[i.index()];
+            b[row] += params.mu[i.index()] / (si * si);
+            for &(j, e) in graph.neighbors(i) {
+                let u = params.sigma_diff_sq(i, j, e);
+                b[row] += params.mu_diff(i, j) / u;
+                let vj = self.observed_value[j.index()];
+                if !vj.is_nan() {
+                    b[row] += vj / u;
+                }
+            }
+        }
+        b
+    }
+
+    /// Solves `A x = b` and scatters the result into a full-network vector
+    /// (observed roads echo their observations).
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let m = self.dim();
+        let mut out = self.observed_value.clone();
+        if m == 0 {
+            return out;
+        }
+        let sol = conjugate_gradient(&self.a, b, 1e-12, 10 * m + 100);
+        debug_assert!(sol.converged, "CG failed to converge: residual {}", sol.residual_norm);
+        for (row, &r) in self.unobserved.iter().enumerate() {
+            out[r.index()] = sol.x[row];
+        }
+        out
+    }
+
+    /// Borrow of the system matrix (tests, variance computations).
+    pub fn matrix(&self) -> &SparseMatrix {
+        &self.a
+    }
+}
+
+/// Exact conditional-MAP estimate.
+///
+/// Returns one speed per road: observations echoed verbatim, all other
+/// roads set to the unique maximizer of the joint likelihood given the
+/// observations (unreachable roads decouple into their own blocks and
+/// resolve to their `μ` because their system is independent of the data).
+///
+/// # Panics
+/// Panics on model/graph dimension mismatch or out-of-range observations.
+pub fn exact_map_estimate(
+    graph: &Graph,
+    params: &SlotParams,
+    observations: &[(RoadId, f64)],
+) -> Vec<f64> {
+    let system = ConditionalSystem::build(graph, params, observations);
+    let b = system.base_rhs(graph, params);
+    system.solve(&b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::GspSolver;
+    use rtse_graph::generators::{grid, path};
+
+    fn params_for(graph: &Graph, mu: f64, sigma: f64, rho: f64) -> SlotParams {
+        SlotParams {
+            mu: vec![mu; graph.num_roads()],
+            sigma: vec![sigma; graph.num_roads()],
+            rho: vec![rho; graph.num_edges()],
+        }
+    }
+
+    #[test]
+    fn matches_gsp_fixed_point() {
+        let g = grid(4, 5);
+        let mut p = params_for(&g, 40.0, 2.5, 0.8);
+        // Heterogeneous parameters to make the test non-trivial.
+        for (i, mu) in p.mu.iter_mut().enumerate() {
+            *mu += (i % 7) as f64;
+        }
+        for (i, s) in p.sigma.iter_mut().enumerate() {
+            *s += (i % 3) as f64 * 0.7;
+        }
+        let obs = [(RoadId(0), 25.0), (RoadId(19), 55.0), (RoadId(7), 33.0)];
+        let exact = exact_map_estimate(&g, &p, &obs);
+        let gsp = GspSolver { epsilon: 1e-12, max_rounds: 20_000, record_trace: false }
+            .propagate(&g, &p, &obs);
+        assert!(gsp.converged);
+        for r in g.road_ids() {
+            assert!(
+                (exact[r.index()] - gsp.speed(r)).abs() < 1e-6,
+                "road {r}: exact {} vs gsp {}",
+                exact[r.index()],
+                gsp.speed(r)
+            );
+        }
+    }
+
+    #[test]
+    fn all_observed_echoes() {
+        let g = path(3);
+        let p = params_for(&g, 30.0, 2.0, 0.5);
+        let obs = [(RoadId(0), 1.0), (RoadId(1), 2.0), (RoadId(2), 3.0)];
+        assert_eq!(exact_map_estimate(&g, &p, &obs), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn no_observations_returns_means() {
+        let g = path(4);
+        let p = params_for(&g, 42.0, 2.0, 0.7);
+        let est = exact_map_estimate(&g, &p, &[]);
+        for v in est {
+            assert!((v - 42.0).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn disconnected_block_resolves_to_mean() {
+        let mut b = rtse_graph::GraphBuilder::new();
+        for i in 0..4 {
+            b.add_road(rtse_graph::RoadClass::Local, (i as f64, 0.0));
+        }
+        b.add_edge(RoadId(0), RoadId(1));
+        b.add_edge(RoadId(2), RoadId(3));
+        let g = b.build();
+        let p = params_for(&g, 35.0, 2.0, 0.9);
+        let est = exact_map_estimate(&g, &p, &[(RoadId(0), 10.0)]);
+        assert!((est[2] - 35.0).abs() < 1e-8);
+        assert!((est[3] - 35.0).abs() < 1e-8);
+        assert!(est[1] < 35.0, "connected neighbor pulled down");
+    }
+}

@@ -1,0 +1,32 @@
+//! GSP — Graph-based Speed Propagation (Section VI, Alg. 5).
+//!
+//! Given crowdsourced speeds for the sampled roads, GSP infers the speed of
+//! every other road by maximizing the RTF likelihood (Eq. 16):
+//!
+//! 1. **Initialization** — sampled roads take their crowdsourced values;
+//!    all other roads take their slot means `μ_i^t`.
+//! 2. **Iterative update** — roads are visited in BFS-layer order from the
+//!    sampled set (1-hop ring first, then 2-hop, …) and each receives the
+//!    closed-form coordinate argmax of Eq. (18). Rounds repeat until every
+//!    change falls below `ε`.
+//!
+//! Each Eq. (18) update is the exact argmax of the joint configuration
+//! likelihood in that coordinate, so the sweep is coordinate ascent: the
+//! likelihood is non-decreasing and the iteration converges.
+//!
+//! [`parallel`] provides the layer-parallel variant the paper sketches
+//! (variables in the same hop layer updated concurrently).
+
+pub mod exact;
+pub mod parallel;
+pub mod relax;
+pub mod schedule;
+pub mod solver;
+pub mod uncertainty;
+
+pub use exact::exact_map_estimate;
+pub use relax::{propagate_warm, DampedGsp};
+pub use uncertainty::{sample_posterior, PosteriorSummary};
+pub use parallel::ParallelGsp;
+pub use schedule::UpdateSchedule;
+pub use solver::{GspResult, GspSolver};

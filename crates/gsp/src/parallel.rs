@@ -1,0 +1,169 @@
+//! Layer-parallel GSP.
+//!
+//! The paper observes (Section VI, "Time Efficiency of GSP") that two
+//! variables can be updated in parallel when they sit in the same hop layer
+//! and are not adjacent. This implementation takes the standard Jacobi
+//! relaxation of that idea: within a layer, every update of a round reads
+//! the values from before the layer sweep and the writes land together.
+//! Adjacent same-layer roads therefore see each other's previous values —
+//! a (possibly) different trajectory from the sequential Gauss–Seidel
+//! sweep, but the same fixed point (each update remains the Eq. (18)
+//! argmax, and the argmax is a contraction toward the unique maximizer of
+//! the concave objective).
+
+use crate::schedule::UpdateSchedule;
+use crate::solver::{GspResult, GspSolver};
+use rtse_graph::{Graph, RoadId};
+use rtse_rtf::likelihood::optimal_update;
+use rtse_rtf::params::SlotParams;
+
+/// Parallel propagation configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelGsp {
+    /// Convergence/round settings shared with the sequential solver.
+    pub base: GspSolver,
+    /// Number of worker threads (minimum 1).
+    pub threads: usize,
+}
+
+impl Default for ParallelGsp {
+    fn default() -> Self {
+        Self { base: GspSolver::default(), threads: 4 }
+    }
+}
+
+impl ParallelGsp {
+    /// Runs layer-parallel propagation. Semantics match
+    /// [`GspSolver::propagate`]; only the within-layer evaluation order
+    /// differs (Jacobi instead of Gauss–Seidel).
+    pub fn propagate(
+        &self,
+        graph: &Graph,
+        params: &SlotParams,
+        observations: &[(RoadId, f64)],
+    ) -> GspResult {
+        assert_eq!(params.mu.len(), graph.num_roads(), "params/graph mismatch");
+        let threads = self.threads.max(1);
+        let mut values = params.mu.clone();
+        for &(r, v) in observations {
+            values[r.index()] = v;
+        }
+        let sampled: Vec<RoadId> = observations.iter().map(|&(r, _)| r).collect();
+        let schedule = UpdateSchedule::new(graph, &sampled);
+
+        let mut trace = Vec::new();
+        let mut rounds = 0;
+        let mut converged = sampled.is_empty() || schedule.num_scheduled() == 0;
+        let mut fresh: Vec<(usize, f64)> = Vec::new();
+        while !converged && rounds < self.base.max_rounds {
+            rounds += 1;
+            let mut max_delta = 0.0_f64;
+            for layer in schedule.layers() {
+                // Jacobi step over the layer, chunked across threads.
+                fresh.clear();
+                fresh.reserve(layer.len());
+                let chunk = layer.len().div_ceil(threads);
+                let values_ref = &values;
+                let results: Vec<Vec<(usize, f64)>> = crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = layer
+                        .chunks(chunk.max(1))
+                        .map(|part| {
+                            scope.spawn(move |_| {
+                                part.iter()
+                                    .map(|&r| {
+                                        (r.index(), optimal_update(graph, params, values_ref, r))
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("gsp worker panicked")).collect()
+                })
+                .expect("gsp thread scope failed");
+                for part in results {
+                    fresh.extend(part);
+                }
+                for &(idx, v) in &fresh {
+                    max_delta = max_delta.max((v - values[idx]).abs());
+                    values[idx] = v;
+                }
+            }
+            if self.base.record_trace {
+                trace.push(max_delta);
+            }
+            converged = max_delta < self.base.epsilon;
+        }
+        GspResult {
+            values,
+            rounds,
+            converged,
+            unreachable: schedule.unreachable().to_vec(),
+            delta_trace: trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtse_graph::generators::grid;
+
+    fn params_for(graph: &Graph, mu: f64, sigma: f64, rho: f64) -> SlotParams {
+        SlotParams {
+            mu: vec![mu; graph.num_roads()],
+            sigma: vec![sigma; graph.num_roads()],
+            rho: vec![rho; graph.num_edges()],
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_fixed_point() {
+        let g = grid(4, 5);
+        let p = params_for(&g, 40.0, 2.0, 0.85);
+        let obs = [(RoadId(0), 25.0), (RoadId(19), 55.0), (RoadId(10), 33.0)];
+        let tight = GspSolver { epsilon: 1e-10, max_rounds: 5000, record_trace: false };
+        let seq = tight.propagate(&g, &p, &obs);
+        let par = ParallelGsp { base: tight, threads: 3 }.propagate(&g, &p, &obs);
+        assert!(seq.converged && par.converged);
+        for r in g.road_ids() {
+            assert!(
+                (seq.speed(r) - par.speed(r)).abs() < 1e-6,
+                "road {r}: seq {} vs par {}",
+                seq.speed(r),
+                par.speed(r)
+            );
+        }
+    }
+
+    #[test]
+    fn single_thread_parallel_works() {
+        let g = grid(2, 3);
+        let p = params_for(&g, 30.0, 2.0, 0.7);
+        let par = ParallelGsp { threads: 1, ..Default::default() };
+        let r = par.propagate(&g, &p, &[(RoadId(0), 20.0)]);
+        assert!(r.converged);
+        assert_eq!(r.speed(RoadId(0)), 20.0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_result() {
+        let g = grid(3, 4);
+        let p = params_for(&g, 45.0, 3.0, 0.8);
+        let obs = [(RoadId(5), 30.0)];
+        let base = GspSolver { epsilon: 1e-10, max_rounds: 5000, record_trace: false };
+        let r1 = ParallelGsp { base, threads: 1 }.propagate(&g, &p, &obs);
+        let r4 = ParallelGsp { base, threads: 4 }.propagate(&g, &p, &obs);
+        for r in g.road_ids() {
+            assert!((r1.speed(r) - r4.speed(r)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_observations_no_work() {
+        let g = grid(2, 2);
+        let p = params_for(&g, 33.0, 2.0, 0.5);
+        let r = ParallelGsp::default().propagate(&g, &p, &[]);
+        assert!(r.converged);
+        assert_eq!(r.rounds, 0);
+    }
+}

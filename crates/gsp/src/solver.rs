@@ -1,0 +1,273 @@
+//! Sequential GSP solver (Alg. 5).
+
+use crate::schedule::UpdateSchedule;
+use rtse_graph::{Graph, RoadId};
+use rtse_rtf::likelihood::optimal_update;
+use rtse_rtf::params::SlotParams;
+
+/// GSP configuration.
+///
+/// ```
+/// use rtse_graph::{generators, RoadId};
+/// use rtse_gsp::GspSolver;
+/// use rtse_rtf::params::SlotParams;
+///
+/// let graph = generators::path(4);
+/// let params = SlotParams {
+///     mu: vec![50.0; 4],
+///     sigma: vec![2.0; 4],
+///     rho: vec![0.9; 3],
+/// };
+/// // One probe reports a slowdown; GSP pulls the neighbors toward it.
+/// let result = GspSolver::default().propagate(&graph, &params, &[(RoadId(0), 20.0)]);
+/// assert!(result.converged);
+/// assert_eq!(result.speed(RoadId(0)), 20.0);
+/// assert!(result.speed(RoadId(1)) < 50.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct GspSolver {
+    /// Convergence threshold `ε` on the largest per-round value change.
+    pub epsilon: f64,
+    /// Hard cap on rounds (the paper argues a constant `Λ` suffices).
+    pub max_rounds: usize,
+    /// When true, the per-round max-delta trace is recorded in the result.
+    pub record_trace: bool,
+}
+
+impl Default for GspSolver {
+    fn default() -> Self {
+        Self { epsilon: 1e-4, max_rounds: 200, record_trace: false }
+    }
+}
+
+/// Output of a propagation run.
+#[derive(Debug, Clone)]
+pub struct GspResult {
+    /// Estimated speed per road (sampled roads keep their observed value).
+    pub values: Vec<f64>,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Whether `ε` was reached before `max_rounds`.
+    pub converged: bool,
+    /// Roads unreachable from the sampled set (left at `μ_i^t`).
+    pub unreachable: Vec<RoadId>,
+    /// Per-round max value change (empty unless `record_trace`).
+    pub delta_trace: Vec<f64>,
+}
+
+impl GspResult {
+    /// Estimate for one road.
+    #[inline]
+    pub fn speed(&self, r: RoadId) -> f64 {
+        self.values[r.index()]
+    }
+}
+
+impl GspSolver {
+    /// Runs Alg. 5: propagates `observations` (pairs of sampled road and
+    /// observed speed) over the whole network.
+    ///
+    /// # Panics
+    /// Panics when an observed road id is out of range or observed twice
+    /// with different values, or when the model dimensions disagree with
+    /// the graph.
+    pub fn propagate(
+        &self,
+        graph: &Graph,
+        params: &SlotParams,
+        observations: &[(RoadId, f64)],
+    ) -> GspResult {
+        assert_eq!(params.mu.len(), graph.num_roads(), "params/graph mismatch");
+        // Initialization (Alg. 5 line 2): observed values for sampled
+        // roads, slot means elsewhere.
+        let mut values = params.mu.clone();
+        let mut observed = vec![false; graph.num_roads()];
+        for &(r, v) in observations {
+            assert!(r.index() < graph.num_roads(), "observation for unknown road {r}");
+            assert!(
+                !observed[r.index()] || (values[r.index()] - v).abs() < 1e-12,
+                "conflicting observations for {r}"
+            );
+            observed[r.index()] = true;
+            values[r.index()] = v;
+        }
+        let sampled: Vec<RoadId> = observations.iter().map(|&(r, _)| r).collect();
+        let schedule = UpdateSchedule::new(graph, &sampled);
+
+        let mut trace = Vec::new();
+        let mut rounds = 0;
+        let mut converged = sampled.is_empty() || schedule.num_scheduled() == 0;
+        while !converged && rounds < self.max_rounds {
+            rounds += 1;
+            let mut max_delta = 0.0_f64;
+            for layer in schedule.layers() {
+                for &r in layer {
+                    let next = optimal_update(graph, params, &values, r);
+                    max_delta = max_delta.max((next - values[r.index()]).abs());
+                    values[r.index()] = next;
+                }
+            }
+            if self.record_trace {
+                trace.push(max_delta);
+            }
+            converged = max_delta < self.epsilon;
+        }
+        GspResult {
+            values,
+            rounds,
+            converged,
+            unreachable: schedule.unreachable().to_vec(),
+            delta_trace: trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtse_graph::generators::{grid, path};
+    use rtse_rtf::likelihood::config_log_likelihood;
+
+    fn params_for(graph: &Graph, mu: f64, sigma: f64, rho: f64) -> SlotParams {
+        SlotParams {
+            mu: vec![mu; graph.num_roads()],
+            sigma: vec![sigma; graph.num_roads()],
+            rho: vec![rho; graph.num_edges()],
+        }
+    }
+
+    #[test]
+    fn no_observations_returns_means() {
+        let g = path(4);
+        let p = params_for(&g, 42.0, 2.0, 0.8);
+        let r = GspSolver::default().propagate(&g, &p, &[]);
+        assert!(r.converged);
+        assert_eq!(r.rounds, 0);
+        assert!(r.values.iter().all(|&v| v == 42.0));
+        assert_eq!(r.unreachable.len(), 4);
+    }
+
+    #[test]
+    fn observed_roads_keep_their_values() {
+        let g = path(4);
+        let p = params_for(&g, 40.0, 3.0, 0.7);
+        let r = GspSolver::default().propagate(&g, &p, &[(RoadId(1), 25.0)]);
+        assert_eq!(r.speed(RoadId(1)), 25.0);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn propagation_pulls_neighbors_toward_observation() {
+        let g = path(5);
+        let p = params_for(&g, 50.0, 3.0, 0.9);
+        // Strong negative shock observed at the middle road.
+        let r = GspSolver::default().propagate(&g, &p, &[(RoadId(2), 20.0)]);
+        // Neighbors move below their mean, decaying with distance.
+        assert!(r.speed(RoadId(1)) < 50.0);
+        assert!(r.speed(RoadId(3)) < 50.0);
+        assert!(r.speed(RoadId(0)) < 50.0);
+        assert!(
+            r.speed(RoadId(2)) < r.speed(RoadId(1)) && r.speed(RoadId(1)) < r.speed(RoadId(0)),
+            "effect must decay with hops: {:?}",
+            r.values
+        );
+    }
+
+    #[test]
+    fn weak_correlation_limits_propagation() {
+        let g = path(3);
+        let strong = params_for(&g, 50.0, 3.0, 0.95);
+        let weak = params_for(&g, 50.0, 3.0, 0.05);
+        let obs = [(RoadId(0), 20.0)];
+        let rs = GspSolver::default().propagate(&g, &strong, &obs);
+        let rw = GspSolver::default().propagate(&g, &weak, &obs);
+        let pull_strong = 50.0 - rs.speed(RoadId(1));
+        let pull_weak = 50.0 - rw.speed(RoadId(1));
+        assert!(
+            pull_strong > pull_weak,
+            "strong ρ pull {pull_strong} should exceed weak {pull_weak}"
+        );
+    }
+
+    #[test]
+    fn converges_to_coordinate_wise_fixed_point() {
+        let g = grid(3, 3);
+        let p = params_for(&g, 30.0, 2.0, 0.8);
+        let solver = GspSolver { epsilon: 1e-10, max_rounds: 2000, record_trace: true };
+        let r = solver.propagate(&g, &p, &[(RoadId(0), 20.0), (RoadId(8), 45.0)]);
+        assert!(r.converged);
+        // At the fixed point every non-observed road equals its Eq. (18)
+        // argmax.
+        for road in g.road_ids() {
+            if road == RoadId(0) || road == RoadId(8) {
+                continue;
+            }
+            let best = optimal_update(&g, &p, &r.values, road);
+            assert!(
+                (best - r.speed(road)).abs() < 1e-6,
+                "road {road}: {} vs argmax {best}",
+                r.speed(road)
+            );
+        }
+    }
+
+    #[test]
+    fn likelihood_non_decreasing_over_rounds() {
+        let g = grid(3, 4);
+        let p = params_for(&g, 40.0, 2.5, 0.85);
+        let obs = [(RoadId(0), 28.0), (RoadId(11), 55.0)];
+        // Manually replicate rounds and track the likelihood.
+        let mut values = p.mu.clone();
+        for &(r, v) in &obs {
+            values[r.index()] = v;
+        }
+        let schedule = UpdateSchedule::new(&g, &[RoadId(0), RoadId(11)]);
+        let mut last = config_log_likelihood(&g, &p, &values);
+        for _ in 0..20 {
+            for layer in schedule.layers() {
+                for &r in layer {
+                    values[r.index()] = optimal_update(&g, &p, &values, r);
+                }
+            }
+            let ll = config_log_likelihood(&g, &p, &values);
+            assert!(ll + 1e-9 >= last, "likelihood regressed: {last} -> {ll}");
+            last = ll;
+        }
+    }
+
+    #[test]
+    fn disconnected_component_stays_at_mean() {
+        let mut b = rtse_graph::GraphBuilder::new();
+        for i in 0..5 {
+            b.add_road(rtse_graph::RoadClass::Local, (i as f64, 0.0));
+        }
+        b.add_edge(RoadId(0), RoadId(1));
+        b.add_edge(RoadId(3), RoadId(4)); // separate island
+        let g = b.build();
+        let p = params_for(&g, 35.0, 2.0, 0.9);
+        let r = GspSolver::default().propagate(&g, &p, &[(RoadId(0), 10.0)]);
+        assert_eq!(r.speed(RoadId(3)), 35.0);
+        assert_eq!(r.speed(RoadId(4)), 35.0);
+        assert!(r.unreachable.contains(&RoadId(3)));
+        // But the connected neighbor moved.
+        assert!(r.speed(RoadId(1)) < 35.0);
+    }
+
+    #[test]
+    fn trace_recorded_and_decreasing() {
+        let g = path(6);
+        let p = params_for(&g, 45.0, 2.0, 0.9);
+        let solver = GspSolver { record_trace: true, ..Default::default() };
+        let r = solver.propagate(&g, &p, &[(RoadId(0), 20.0)]);
+        assert_eq!(r.delta_trace.len(), r.rounds);
+        assert!(r.delta_trace.windows(2).all(|w| w[1] <= w[0] + 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting observations")]
+    fn conflicting_observations_rejected() {
+        let g = path(2);
+        let p = params_for(&g, 40.0, 2.0, 0.5);
+        GspSolver::default().propagate(&g, &p, &[(RoadId(0), 10.0), (RoadId(0), 20.0)]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Conjugate gradient for SPD sparse systems.
+//!
+//! Used by the exact-GMRF-inference path (`rtse-gsp::exact`) to solve the
+//! conditional precision system directly, as a validation oracle for the
+//! iterative propagation.
+
+use crate::sparse::SparseMatrix;
+use crate::vector::{axpy, dot};
+
+/// Outcome of a CG solve.
+#[derive(Debug, Clone)]
+pub struct CgSolution {
+    /// The solution vector.
+    pub x: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final residual 2-norm.
+    pub residual_norm: f64,
+    /// Whether the tolerance was reached.
+    pub converged: bool,
+}
+
+/// Solves `A x = b` for SPD `A` with (Jacobi-preconditioned) conjugate
+/// gradient.
+///
+/// # Panics
+/// Panics when `A` is not square or dimensions mismatch.
+pub fn conjugate_gradient(
+    a: &SparseMatrix,
+    b: &[f64],
+    tol: f64,
+    max_iters: usize,
+) -> CgSolution {
+    assert_eq!(a.rows(), a.cols(), "CG requires a square matrix");
+    assert_eq!(a.rows(), b.len(), "rhs length mismatch");
+    let n = b.len();
+    // Jacobi preconditioner: M⁻¹ = 1/diag(A) (diag is strictly positive for
+    // SPD matrices with stored diagonals; fall back to 1 otherwise).
+    let precond: Vec<f64> =
+        a.diagonal().iter().map(|&d| if d > 0.0 { 1.0 / d } else { 1.0 }).collect();
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec(); // r = b - A*0
+    let mut z: Vec<f64> = r.iter().zip(precond.iter()).map(|(ri, mi)| ri * mi).collect();
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let b_norm = crate::vector::norm2(b).max(1e-30);
+    let mut ap = vec![0.0; n];
+
+    let mut iterations = 0;
+    while iterations < max_iters {
+        let res_norm = crate::vector::norm2(&r);
+        if res_norm <= tol * b_norm {
+            return CgSolution { x, iterations, residual_norm: res_norm, converged: true };
+        }
+        iterations += 1;
+        a.matvec_into(&p, &mut ap);
+        let denom = dot(&p, &ap);
+        if denom <= 0.0 {
+            break; // not SPD or numerically degenerate
+        }
+        let alpha = rz / denom;
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ap, &mut r);
+        for ((zi, ri), mi) in z.iter_mut().zip(r.iter()).zip(precond.iter()) {
+            *zi = ri * mi;
+        }
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for (pi, zi) in p.iter_mut().zip(z.iter()) {
+            *pi = zi + beta * *pi;
+        }
+    }
+    let residual_norm = crate::vector::norm2(&r);
+    CgSolution { x, iterations, residual_norm, converged: residual_norm <= tol * b_norm }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn spd_3x3() -> SparseMatrix {
+        // [[4,1,0],[1,3,1],[0,1,5]]
+        SparseMatrix::from_triplets(
+            3,
+            3,
+            &[
+                (0, 0, 4.0),
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 1, 3.0),
+                (1, 2, 1.0),
+                (2, 1, 1.0),
+                (2, 2, 5.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn solves_small_spd_system() {
+        let a = spd_3x3();
+        let x_true = [1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true);
+        let sol = conjugate_gradient(&a, &b, 1e-12, 100);
+        assert!(sol.converged);
+        for (xi, ti) in sol.x.iter().zip(x_true.iter()) {
+            assert!(approx_eq(*xi, *ti, 1e-8), "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn zero_rhs_immediate() {
+        let a = spd_3x3();
+        let sol = conjugate_gradient(&a, &[0.0; 3], 1e-10, 100);
+        assert!(sol.converged);
+        assert_eq!(sol.iterations, 0);
+        assert!(sol.x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn matches_cholesky_on_random_spd() {
+        // Dense SPD via B^T B + I, compared against the Cholesky solver.
+        let entries: Vec<f64> =
+            (0..16).map(|i| ((i * 37 % 17) as f64 - 8.0) / 5.0).collect();
+        let b_mat = crate::Matrix::from_vec(4, 4, entries);
+        let mut dense = b_mat.gram();
+        dense.add_diagonal(1.0);
+        let mut triplets = Vec::new();
+        for r in 0..4 {
+            for c in 0..4 {
+                triplets.push((r, c, dense[(r, c)]));
+            }
+        }
+        let sparse = SparseMatrix::from_triplets(4, 4, &triplets);
+        let rhs = [1.0, 2.0, -3.0, 0.5];
+        let cg = conjugate_gradient(&sparse, &rhs, 1e-13, 200);
+        let ch = crate::cholesky::solve_spd(&dense, &rhs).unwrap();
+        assert!(cg.converged);
+        for (a, b) in cg.x.iter().zip(ch.iter()) {
+            assert!(approx_eq(*a, *b, 1e-7));
+        }
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let a = spd_3x3();
+        let b = [1.0, 1.0, 1.0];
+        let sol = conjugate_gradient(&a, &b, 1e-16, 1);
+        assert_eq!(sol.iterations, 1);
+    }
+}

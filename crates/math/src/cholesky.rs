@@ -1,0 +1,159 @@
+//! Cholesky factorization and SPD linear solve.
+//!
+//! Used by the ridge solver (which in turn seeds the LASSO path) and by
+//! tests that need an exact reference solution.
+
+use crate::Matrix;
+
+/// Error returned when a matrix is not symmetric positive definite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CholeskyError;
+
+impl std::fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is not symmetric positive definite")
+    }
+}
+
+impl std::error::Error for CholeskyError {}
+
+/// Lower-triangular Cholesky factor `L` with `A = L * L^T`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; returns [`CholeskyError`] if a
+    /// non-positive pivot is encountered.
+    pub fn factor(a: &Matrix) -> Result<Self, CholeskyError> {
+        assert_eq!(a.rows(), a.cols(), "Cholesky requires a square matrix");
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(CholeskyError);
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` using forward/back substitution on the factor.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        // Forward: L y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        // Backward: L^T x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Log-determinant of `A` (twice the log-trace of the factor diagonal).
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+/// One-shot SPD solve `A x = b`.
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, CholeskyError> {
+    Ok(Cholesky::factor(a)?.solve(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use proptest::prelude::*;
+
+    #[test]
+    fn factor_hand_example() {
+        // A = [[4, 2], [2, 3]] => L = [[2, 0], [1, sqrt(2)]]
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+        let ch = Cholesky::factor(&a).unwrap();
+        assert!(approx_eq(ch.l()[(0, 0)], 2.0, 1e-12));
+        assert!(approx_eq(ch.l()[(1, 0)], 1.0, 1e-12));
+        assert!(approx_eq(ch.l()[(1, 1)], 2.0_f64.sqrt(), 1e-12));
+        assert_eq!(ch.l()[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0, 0.0], &[2.0, 5.0, 1.0], &[0.0, 1.0, 3.0]]);
+        let x_true = [1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true);
+        let x = solve_spd(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(x_true.iter()) {
+            assert!(approx_eq(*xi, *ti, 1e-10));
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert_eq!(Cholesky::factor(&a).unwrap_err(), CholeskyError);
+    }
+
+    #[test]
+    fn rejects_zero_matrix() {
+        let a = Matrix::zeros(2, 2);
+        assert!(Cholesky::factor(&a).is_err());
+    }
+
+    #[test]
+    fn log_det_matches_hand_value() {
+        let a = Matrix::from_rows(&[&[4.0, 0.0], &[0.0, 9.0]]);
+        let ch = Cholesky::factor(&a).unwrap();
+        assert!(approx_eq(ch.log_det(), (36.0_f64).ln(), 1e-12));
+    }
+
+    proptest! {
+        /// Random SPD matrices (built as B^T B + I) factor and solve correctly.
+        #[test]
+        fn random_spd_round_trip(
+            entries in proptest::collection::vec(-2.0..2.0f64, 9),
+            rhs in proptest::collection::vec(-10.0..10.0f64, 3),
+        ) {
+            let b = Matrix::from_vec(3, 3, entries);
+            let mut a = b.gram();
+            a.add_diagonal(1.0);
+            let x = solve_spd(&a, &rhs).unwrap();
+            let back = a.matvec(&x);
+            for (bi, ri) in back.iter().zip(rhs.iter()) {
+                prop_assert!(approx_eq(*bi, *ri, 1e-7));
+            }
+        }
+    }
+}

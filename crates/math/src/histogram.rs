@@ -1,0 +1,158 @@
+//! Fixed-bin histogram used for the DAPE (distribution of absolute
+//! percentage error) figures.
+
+/// A histogram over `[lo, hi)` with equal-width bins plus an overflow bin.
+///
+/// The paper's DAPE plots bucket absolute percentage errors; values at or
+/// above `hi` land in the final overflow bin so nothing is silently dropped.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)` and
+    /// one extra overflow bin.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Self { lo, hi, counts: vec![0; bins + 1], total: 0 }
+    }
+
+    /// Number of regular (non-overflow) bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len() - 1
+    }
+
+    /// Adds one observation. NaN observations are counted in overflow.
+    pub fn add(&mut self, x: f64) {
+        let idx = if x.is_nan() || x >= self.hi {
+            self.counts.len() - 1
+        } else if x < self.lo {
+            0
+        } else {
+            let w = (self.hi - self.lo) / self.bins() as f64;
+            (((x - self.lo) / w) as usize).min(self.bins() - 1)
+        };
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Adds every observation in a slice.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Raw counts; last entry is the overflow bin.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of observations per bin (empty histogram yields all zeros).
+    pub fn fractions(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
+    }
+
+    /// `(lo, hi)` bounds of bin `i`; the overflow bin reports `(hi, +inf)`.
+    pub fn bin_bounds(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.bins() as f64;
+        if i >= self.bins() {
+            (self.hi, f64::INFINITY)
+        } else {
+            (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+        }
+    }
+
+    /// Fraction of observations strictly below `threshold` (approximated at
+    /// bin granularity, exact when `threshold` is a bin edge).
+    pub fn fraction_below(&self, threshold: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let (blo, bhi) = self.bin_bounds(i);
+            if bhi <= threshold {
+                acc += c;
+            } else if blo < threshold {
+                // Partial bin: assume uniform within the bin.
+                let frac = (threshold - blo) / (bhi - blo);
+                acc += (c as f64 * frac).round() as u64;
+            }
+        }
+        acc as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn buckets_values_correctly() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.extend(&[0.0, 0.1, 0.3, 0.6, 0.9, 1.5]);
+        // bins: [0,.25) [.25,.5) [.5,.75) [.75,1) overflow
+        assert_eq!(h.counts(), &[2, 1, 1, 1, 1]);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn overflow_and_underflow() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-5.0); // clamps into first bin
+        h.add(1.0); // boundary -> overflow
+        h.add(f64::NAN); // overflow
+        assert_eq!(h.counts(), &[1, 0, 2]);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut h = Histogram::new(0.0, 2.0, 5);
+        h.extend(&[0.1, 0.5, 1.9, 3.0]);
+        let sum: f64 = h.fractions().iter().sum();
+        assert!(approx_eq(sum, 1.0, 1e-12));
+    }
+
+    #[test]
+    fn empty_histogram_fractions_are_zero() {
+        let h = Histogram::new(0.0, 1.0, 3);
+        assert!(h.fractions().iter().all(|&f| f == 0.0));
+        assert_eq!(h.fraction_below(0.5), 0.0);
+    }
+
+    #[test]
+    fn fraction_below_bin_edge_is_exact() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.extend(&[0.1, 0.2, 0.3, 0.6, 0.9]);
+        // below 0.5: 0.1, 0.2, 0.3 => 3/5
+        assert!(approx_eq(h.fraction_below(0.5), 0.6, 1e-12));
+    }
+
+    #[test]
+    fn bin_bounds_reported() {
+        let h = Histogram::new(0.0, 1.0, 2);
+        assert_eq!(h.bin_bounds(0), (0.0, 0.5));
+        assert_eq!(h.bin_bounds(1), (0.5, 1.0));
+        let (lo, hi) = h.bin_bounds(2);
+        assert_eq!(lo, 1.0);
+        assert!(hi.is_infinite());
+    }
+}

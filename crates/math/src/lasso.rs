@@ -1,0 +1,261 @@
+//! LASSO regression by cyclic coordinate descent.
+//!
+//! Solves `argmin_w (1/2n) ||X w - y||² + lambda ||w||_1` with the standard
+//! covariance-update coordinate descent (Friedman et al.). This is the
+//! baseline estimator the paper tunes with L1-regularization in `0..0.5`.
+
+use crate::vector::soft_threshold;
+use crate::Matrix;
+
+/// Configuration for the coordinate-descent LASSO solver.
+#[derive(Debug, Clone, Copy)]
+pub struct LassoConfig {
+    /// L1 penalty weight (`lambda`); the paper tunes this in `[0, 0.5]`.
+    pub lambda: f64,
+    /// Convergence threshold on the max absolute coefficient change.
+    pub tol: f64,
+    /// Hard cap on full coordinate sweeps.
+    pub max_iters: usize,
+    /// When true, a bias (intercept) term is fitted by centering `X` and `y`.
+    pub fit_intercept: bool,
+}
+
+impl Default for LassoConfig {
+    fn default() -> Self {
+        Self { lambda: 0.1, tol: 1e-8, max_iters: 10_000, fit_intercept: true }
+    }
+}
+
+/// Fitted LASSO model.
+#[derive(Debug, Clone)]
+pub struct LassoSolution {
+    /// Coefficients, one per design-matrix column.
+    pub weights: Vec<f64>,
+    /// Intercept (0 when `fit_intercept` was false).
+    pub intercept: f64,
+    /// Number of coordinate sweeps performed.
+    pub iterations: usize,
+    /// Whether the tolerance was reached before `max_iters`.
+    pub converged: bool,
+}
+
+impl LassoSolution {
+    /// Predicts the response for one feature row.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        crate::vector::dot(&self.weights, features) + self.intercept
+    }
+
+    /// Number of non-zero coefficients (the sparsity LASSO is used for).
+    pub fn active_set_size(&self) -> usize {
+        self.weights.iter().filter(|w| w.abs() > 1e-12).count()
+    }
+}
+
+/// Runs cyclic coordinate descent for the LASSO objective.
+///
+/// ```
+/// use rtse_math::{lasso_coordinate_descent, LassoConfig, Matrix};
+///
+/// // y = 2·x0, x1 is noise: the L1 penalty zeroes the useless feature.
+/// let x = Matrix::from_rows(&[&[1.0, 0.3], &[2.0, -0.4], &[3.0, 0.1], &[4.0, -0.2]]);
+/// let y = [2.0, 4.0, 6.0, 8.0];
+/// let cfg = LassoConfig { lambda: 0.05, fit_intercept: false, ..Default::default() };
+/// let sol = lasso_coordinate_descent(&x, &y, &cfg);
+/// assert!((sol.weights[0] - 2.0).abs() < 0.1);
+/// assert_eq!(sol.active_set_size(), 1);
+/// ```
+///
+/// # Panics
+/// Panics if `x.rows() != y.len()` or `x` has no rows.
+pub fn lasso_coordinate_descent(x: &Matrix, y: &[f64], config: &LassoConfig) -> LassoSolution {
+    let n = x.rows();
+    let p = x.cols();
+    assert_eq!(n, y.len(), "lasso: rows/target mismatch");
+    assert!(n > 0, "lasso: empty design matrix");
+
+    // Optionally center columns and target so the intercept separates out.
+    let col_means: Vec<f64> = if config.fit_intercept {
+        (0..p).map(|j| (0..n).map(|i| x[(i, j)]).sum::<f64>() / n as f64).collect()
+    } else {
+        vec![0.0; p]
+    };
+    let y_mean = if config.fit_intercept { y.iter().sum::<f64>() / n as f64 } else { 0.0 };
+
+    // Precompute centered column squared norms (the coordinate curvature).
+    let mut col_sq = vec![0.0; p];
+    for j in 0..p {
+        for i in 0..n {
+            let v = x[(i, j)] - col_means[j];
+            col_sq[j] += v * v;
+        }
+    }
+
+    let mut w = vec![0.0; p];
+    // Residual r = y_centered - Xc * w; starts as centered y since w = 0.
+    let mut r: Vec<f64> = y.iter().map(|yi| yi - y_mean).collect();
+
+    let nf = n as f64;
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < config.max_iters {
+        iterations += 1;
+        let mut max_delta = 0.0_f64;
+        for j in 0..p {
+            if col_sq[j] < 1e-18 {
+                continue; // constant column carries no signal
+            }
+            // rho = (1/n) * Xc_j^T (r + Xc_j * w_j)
+            let mut rho = 0.0;
+            for i in 0..n {
+                let xij = x[(i, j)] - col_means[j];
+                rho += xij * r[i];
+            }
+            rho = rho / nf + col_sq[j] / nf * w[j];
+            let w_new = soft_threshold(rho, config.lambda) / (col_sq[j] / nf);
+            let delta = w_new - w[j];
+            if delta != 0.0 {
+                for i in 0..n {
+                    let xij = x[(i, j)] - col_means[j];
+                    r[i] -= xij * delta;
+                }
+                w[j] = w_new;
+                max_delta = max_delta.max(delta.abs());
+            }
+        }
+        if max_delta < config.tol {
+            converged = true;
+            break;
+        }
+    }
+
+    let intercept = if config.fit_intercept {
+        y_mean - crate::vector::dot(&w, &col_means)
+    } else {
+        0.0
+    };
+    LassoSolution { weights: w, intercept, iterations, converged }
+}
+
+/// LASSO objective value `(1/2n)||Xw - y||² + lambda ||w||_1`; used by tests
+/// to check KKT/optimality and exposed for diagnostics.
+pub fn lasso_objective(x: &Matrix, y: &[f64], sol: &LassoSolution, lambda: f64) -> f64 {
+    let n = x.rows() as f64;
+    let mut rss = 0.0;
+    for i in 0..x.rows() {
+        let pred = sol.predict(x.row(i));
+        let e = pred - y[i];
+        rss += e * e;
+    }
+    rss / (2.0 * n) + lambda * crate::vector::norm1(&sol.weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use crate::ridge::ridge_solve;
+    use proptest::prelude::*;
+
+    fn design() -> (Matrix, Vec<f64>) {
+        // y = 2*x0 - 1*x1 + 0*x2 + noiseless
+        let x = Matrix::from_rows(&[
+            &[1.0, 0.5, 0.2],
+            &[0.3, -1.0, 0.8],
+            &[-0.7, 0.2, -0.5],
+            &[1.5, 1.0, 0.0],
+            &[-1.2, 0.4, 0.9],
+            &[0.8, -0.6, -0.3],
+        ]);
+        let y: Vec<f64> = (0..x.rows()).map(|i| 2.0 * x[(i, 0)] - x[(i, 1)]).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn zero_penalty_matches_least_squares() {
+        let (x, y) = design();
+        let cfg = LassoConfig { lambda: 0.0, fit_intercept: false, ..Default::default() };
+        let sol = lasso_coordinate_descent(&x, &y, &cfg);
+        assert!(sol.converged);
+        let ls = ridge_solve(&x, &y, 0.0).unwrap();
+        for (a, b) in sol.weights.iter().zip(ls.iter()) {
+            assert!(approx_eq(*a, *b, 1e-6), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn recovers_sparse_truth() {
+        let (x, y) = design();
+        let cfg = LassoConfig { lambda: 0.01, fit_intercept: false, ..Default::default() };
+        let sol = lasso_coordinate_descent(&x, &y, &cfg);
+        assert!(approx_eq(sol.weights[0], 2.0, 0.1));
+        assert!(approx_eq(sol.weights[1], -1.0, 0.1));
+        assert!(sol.weights[2].abs() < 0.1);
+    }
+
+    #[test]
+    fn large_penalty_zeroes_everything() {
+        let (x, y) = design();
+        let cfg = LassoConfig { lambda: 1e6, fit_intercept: true, ..Default::default() };
+        let sol = lasso_coordinate_descent(&x, &y, &cfg);
+        assert_eq!(sol.active_set_size(), 0);
+        // With all weights zero the intercept is the target mean.
+        assert!(approx_eq(sol.intercept, y.iter().sum::<f64>() / y.len() as f64, 1e-9));
+    }
+
+    #[test]
+    fn intercept_handles_shifted_target() {
+        let (x, mut y) = design();
+        for yi in &mut y {
+            *yi += 100.0;
+        }
+        let cfg = LassoConfig { lambda: 0.01, fit_intercept: true, ..Default::default() };
+        let sol = lasso_coordinate_descent(&x, &y, &cfg);
+        // Prediction at row 0 should track the shifted target.
+        assert!(approx_eq(sol.predict(x.row(0)), y[0], 0.3));
+    }
+
+    #[test]
+    fn constant_column_is_ignored() {
+        let x = Matrix::from_rows(&[&[1.0, 5.0], &[2.0, 5.0], &[3.0, 5.0]]);
+        let y = [2.0, 4.0, 6.0];
+        let cfg = LassoConfig { lambda: 0.001, fit_intercept: true, ..Default::default() };
+        let sol = lasso_coordinate_descent(&x, &y, &cfg);
+        assert_eq!(sol.weights[1], 0.0);
+        assert!(approx_eq(sol.weights[0], 2.0, 0.05));
+    }
+
+    proptest! {
+        /// Increasing lambda never increases the L1 norm of the solution.
+        #[test]
+        fn penalty_monotonically_shrinks_l1(seed_rows in proptest::collection::vec(
+            proptest::collection::vec(-2.0..2.0f64, 3), 6..12)) {
+            let rows: Vec<&[f64]> = seed_rows.iter().map(|r| r.as_slice()).collect();
+            let x = Matrix::from_rows(&rows);
+            let y: Vec<f64> = (0..x.rows()).map(|i| x[(i, 0)] - 0.5 * x[(i, 2)]).collect();
+            let mut last = f64::INFINITY;
+            for lambda in [0.0, 0.05, 0.2, 1.0] {
+                let cfg = LassoConfig { lambda, fit_intercept: false, ..Default::default() };
+                let sol = lasso_coordinate_descent(&x, &y, &cfg);
+                let l1 = crate::vector::norm1(&sol.weights);
+                prop_assert!(l1 <= last + 1e-6);
+                last = l1;
+            }
+        }
+
+        /// The solver's objective never beats a small perturbation of itself
+        /// (local optimality smoke check).
+        #[test]
+        fn solution_is_locally_optimal(perturb in -0.05..0.05f64) {
+            let (x, y) = design();
+            let cfg = LassoConfig { lambda: 0.1, fit_intercept: false, ..Default::default() };
+            let sol = lasso_coordinate_descent(&x, &y, &cfg);
+            let base = lasso_objective(&x, &y, &sol, cfg.lambda);
+            for j in 0..3 {
+                let mut other = sol.clone();
+                other.weights[j] += perturb;
+                let obj = lasso_objective(&x, &y, &other, cfg.lambda);
+                prop_assert!(obj + 1e-9 >= base);
+            }
+        }
+    }
+}

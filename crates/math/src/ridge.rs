@@ -1,0 +1,62 @@
+//! Ridge (Tikhonov) regression via the normal equations.
+//!
+//! `argmin_w ||X w - y||² + alpha ||w||²` solved exactly with a Cholesky
+//! factorization of `X^T X + alpha I`. Serves as the dense fallback when the
+//! LASSO penalty is zero and as a reference solution in tests.
+
+use crate::cholesky::{solve_spd, CholeskyError};
+use crate::Matrix;
+
+/// Solves ridge regression `argmin_w ||X w - y||^2 + alpha * ||w||^2`.
+///
+/// `alpha` must be non-negative; a strictly positive `alpha` guarantees the
+/// system is SPD even when `X` is rank-deficient.
+///
+/// # Errors
+/// Returns [`CholeskyError`] when `alpha == 0` and `X^T X` is singular.
+pub fn ridge_solve(x: &Matrix, y: &[f64], alpha: f64) -> Result<Vec<f64>, CholeskyError> {
+    assert_eq!(x.rows(), y.len(), "ridge: rows/target mismatch");
+    assert!(alpha >= 0.0, "ridge: alpha must be non-negative");
+    let mut gram = x.gram();
+    gram.add_diagonal(alpha);
+    let xty = x.transpose_matvec(y);
+    solve_spd(&gram, &xty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn recovers_exact_solution_with_zero_penalty() {
+        // Overdetermined consistent system.
+        let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let w_true = [2.0, -1.0];
+        let y = x.matvec(&w_true);
+        let w = ridge_solve(&x, &y, 0.0).unwrap();
+        for (a, b) in w.iter().zip(w_true.iter()) {
+            assert!(approx_eq(*a, *b, 1e-10));
+        }
+    }
+
+    #[test]
+    fn penalty_shrinks_towards_zero() {
+        let x = Matrix::from_rows(&[&[1.0], &[1.0], &[1.0]]);
+        let y = [3.0, 3.0, 3.0];
+        let w0 = ridge_solve(&x, &y, 0.0).unwrap()[0];
+        let w1 = ridge_solve(&x, &y, 10.0).unwrap()[0];
+        assert!(approx_eq(w0, 3.0, 1e-12));
+        assert!(w1 < w0 && w1 > 0.0);
+    }
+
+    #[test]
+    fn singular_design_without_penalty_errors() {
+        // Two identical columns -> singular Gram matrix.
+        let x = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0]]);
+        let y = [1.0, 2.0];
+        assert!(ridge_solve(&x, &y, 0.0).is_err());
+        // With a penalty it is solvable.
+        assert!(ridge_solve(&x, &y, 0.1).is_ok());
+    }
+}

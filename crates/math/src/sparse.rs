@@ -1,0 +1,168 @@
+//! CSR sparse matrix, sufficient for GMRF precision systems.
+
+/// A compressed-sparse-row matrix over `f64`.
+///
+/// Built from coordinate triplets; duplicate coordinates are summed. Only
+/// the operations the exact-inference path needs are provided (matvec and
+/// diagonal extraction).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Builds from `(row, col, value)` triplets, summing duplicates.
+    ///
+    /// # Panics
+    /// Panics when a coordinate is out of bounds.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        for &(r, c, _) in triplets {
+            assert!(r < rows && c < cols, "triplet ({r}, {c}) out of bounds");
+        }
+        let mut sorted: Vec<(usize, usize, f64)> = triplets.to_vec();
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut col_idx = Vec::with_capacity(sorted.len());
+        let mut values: Vec<f64> = Vec::with_capacity(sorted.len());
+        for &(r, c, v) in &sorted {
+            if let (Some(&last_c), true) = (col_idx.last(), row_ptr[r + 1] > 0) {
+                // Same row (row_ptr[r+1] counts entries so far in row r via
+                // the running fill below) — detect duplicate (r, c).
+                if row_ptr[r + 1] > row_ptr[r] && last_c == c as u32 {
+                    *values.last_mut().expect("entry exists") += v;
+                    continue;
+                }
+            }
+            col_idx.push(c as u32);
+            values.push(v);
+            row_ptr[r + 1] += 1;
+        }
+        for r in 0..rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        Self { rows, cols, row_ptr, col_idx, values }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `y = A x`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec input length");
+        assert_eq!(y.len(), self.rows, "matvec output length");
+        for r in 0..self.rows {
+            let mut acc = 0.0;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.values[k] * x[self.col_idx[k] as usize];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// `A x` into a fresh vector.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// The main diagonal (zeros where no entry is stored). Only valid for
+    /// square matrices.
+    pub fn diagonal(&self) -> Vec<f64> {
+        assert_eq!(self.rows, self.cols, "diagonal of non-square matrix");
+        let mut d = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                if self.col_idx[k] as usize == r {
+                    d[r] = self.values[k];
+                }
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn from_triplets_and_matvec() {
+        // [[2, 1], [0, 3]]
+        let a = SparseMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (0, 1, 1.0), (1, 1, 3.0)]);
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.matvec(&[1.0, 2.0]), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let a = SparseMatrix::from_triplets(1, 1, &[(0, 0, 1.5), (0, 0, 0.5)]);
+        assert_eq!(a.nnz(), 1);
+        assert_eq!(a.matvec(&[2.0]), vec![4.0]);
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let a = SparseMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 0, 5.0), (1, 2, 1.0), (2, 2, 7.0), (2, 0, 3.0)],
+        );
+        assert_eq!(a.diagonal(), vec![5.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = SparseMatrix::from_triplets(2, 3, &[]);
+        assert_eq!(a.nnz(), 0);
+        assert_eq!(a.matvec(&[1.0, 1.0, 1.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn matches_dense_matvec() {
+        let triplets = [
+            (0usize, 1usize, 2.0),
+            (1, 0, -1.0),
+            (1, 2, 4.0),
+            (2, 2, 0.5),
+            (0, 0, 1.0),
+        ];
+        let a = SparseMatrix::from_triplets(3, 3, &triplets);
+        let mut dense = crate::Matrix::zeros(3, 3);
+        for &(r, c, v) in &triplets {
+            dense[(r, c)] += v;
+        }
+        let x = [0.3, -1.2, 2.5];
+        let ys = a.matvec(&x);
+        let yd = dense.matvec(&x);
+        for (s, d) in ys.iter().zip(yd.iter()) {
+            assert!(approx_eq(*s, *d, 1e-12));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bad_triplet_rejected() {
+        SparseMatrix::from_triplets(1, 1, &[(0, 1, 1.0)]);
+    }
+}

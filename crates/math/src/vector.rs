@@ -1,0 +1,149 @@
+//! Slice-based vector kernels.
+//!
+//! These are free functions on `&[f64]` so callers can keep their own
+//! storage; the solvers in this crate build on them.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics if the lengths differ.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// L1 norm (sum of absolute values).
+#[inline]
+pub fn norm1(a: &[f64]) -> f64 {
+    a.iter().map(|v| v.abs()).sum()
+}
+
+/// Infinity norm (maximum absolute value); 0 for empty slices.
+#[inline]
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+}
+
+/// `y += alpha * x` in place.
+///
+/// # Panics
+/// Panics if the lengths differ.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scales a slice in place.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for v in x.iter_mut() {
+        *v *= alpha;
+    }
+}
+
+/// Elementwise difference `a - b` into a fresh vector.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x - y).collect()
+}
+
+/// Maximum absolute elementwise difference between two slices.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "max_abs_diff length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .fold(0.0_f64, |m, (x, y)| m.max((x - y).abs()))
+}
+
+/// Soft-thresholding operator `sign(z) * max(|z| - gamma, 0)`.
+///
+/// The proximal operator of the L1 norm; the core of coordinate-descent
+/// LASSO.
+#[inline]
+pub fn soft_threshold(z: f64, gamma: f64) -> f64 {
+    if z > gamma {
+        z - gamma
+    } else if z < -gamma {
+        z + gamma
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dot_hand_value() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn norms_hand_values() {
+        let v = [3.0, -4.0];
+        assert!(approx_eq(norm2(&v), 5.0, 1e-12));
+        assert!(approx_eq(norm1(&v), 7.0, 1e-12));
+        assert!(approx_eq(norm_inf(&v), 4.0, 1e-12));
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![3.0, -1.0]);
+        scale(0.5, &mut y);
+        assert_eq!(y, vec![1.5, -0.5]);
+    }
+
+    #[test]
+    fn soft_threshold_cases() {
+        assert_eq!(soft_threshold(3.0, 1.0), 2.0);
+        assert_eq!(soft_threshold(-3.0, 1.0), -2.0);
+        assert_eq!(soft_threshold(0.5, 1.0), 0.0);
+        assert_eq!(soft_threshold(-0.5, 1.0), 0.0);
+        assert_eq!(soft_threshold(1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn max_abs_diff_hand_value() {
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.5, -1.0]), 3.0);
+    }
+
+    proptest! {
+        #[test]
+        fn dot_is_commutative(a in proptest::collection::vec(-1e3..1e3f64, 0..32)) {
+            let b: Vec<f64> = a.iter().rev().cloned().collect();
+            prop_assert!(approx_eq(dot(&a, &b), dot(&b, &a), 1e-9));
+        }
+
+        #[test]
+        fn cauchy_schwarz(a in proptest::collection::vec(-1e3..1e3f64, 1..32),
+                          b in proptest::collection::vec(-1e3..1e3f64, 1..32)) {
+            let n = a.len().min(b.len());
+            let (a, b) = (&a[..n], &b[..n]);
+            prop_assert!(dot(a, b).abs() <= norm2(a) * norm2(b) + 1e-6);
+        }
+
+        #[test]
+        fn soft_threshold_shrinks(z in -1e3..1e3f64, g in 0.0..1e3f64) {
+            let s = soft_threshold(z, g);
+            prop_assert!(s.abs() <= z.abs());
+            // Never flips sign.
+            prop_assert!(s == 0.0 || s.signum() == z.signum());
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Lazy-evaluation greedy (accelerated Objective-Greedy).
+//!
+//! The OCS objective (Eq. 13) is monotone submodular in `R^c` — adding a
+//! road can only shrink another road's marginal gain. The classic
+//! lazy-greedy trick (Minoux) therefore applies: keep candidates in a
+//! max-heap keyed by their *last known* gain; pop the top, recompute its
+//! gain, and only if it still tops the heap commit it. Output is identical
+//! to [`crate::objective_greedy`] (asserted by tests) but large instances
+//! skip most gain evaluations.
+//!
+//! (Submodularity does not extend across the redundancy constraint — a
+//! candidate that was infeasible can never become feasible again as the
+//! selection grows, so stale "infeasible" verdicts remain safe to keep.)
+
+use crate::objective::SelectionState;
+use crate::problem::{OcsInstance, Selection};
+use rtse_graph::RoadId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(PartialEq)]
+struct HeapItem {
+    gain: f64,
+    road: RoadId,
+    /// Selection size when the gain was computed (staleness stamp).
+    round: usize,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.gain
+            .partial_cmp(&other.gain)
+            .expect("gains are finite")
+            .then(other.road.cmp(&self.road)) // lower id wins ties
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Objective-Greedy with lazy gain evaluation. Identical selections to
+/// [`crate::objective_greedy`], asymptotically fewer gain computations.
+pub fn lazy_objective_greedy(inst: &OcsInstance<'_>) -> Selection {
+    lazy_greedy_by(inst, |state, road| state.gain(road))
+}
+
+/// Ratio-Greedy with lazy gain evaluation. Identical selections to
+/// [`crate::ratio_greedy`] — the gain/cost score is submodular divided by a
+/// constant per candidate, so stale scores remain upper bounds and the
+/// Minoux argument still applies.
+pub fn lazy_ratio_greedy(inst: &OcsInstance<'_>) -> Selection {
+    lazy_greedy_by(inst, |state, road| state.gain(road) / inst.cost(road) as f64)
+}
+
+/// Hybrid-Greedy (Alg. 4) built from the two lazy components.
+pub fn lazy_hybrid_greedy(inst: &OcsInstance<'_>) -> Selection {
+    let ratio = lazy_ratio_greedy(inst);
+    let objective = lazy_objective_greedy(inst);
+    if ratio.value >= objective.value {
+        ratio
+    } else {
+        objective
+    }
+}
+
+fn lazy_greedy_by(
+    inst: &OcsInstance<'_>,
+    score: impl Fn(&SelectionState<'_>, RoadId) -> f64,
+) -> Selection {
+    inst.validate();
+    let mut state = SelectionState::new(inst);
+    let mut heap: BinaryHeap<HeapItem> = inst
+        .candidates
+        .iter()
+        .map(|&road| HeapItem { gain: f64::INFINITY, road, round: usize::MAX })
+        .collect();
+    loop {
+        let round = state.chosen().len();
+        let mut committed = false;
+        while let Some(top) = heap.pop() {
+            if !state.is_feasible_addition(top.road) {
+                continue; // never feasible again; drop permanently
+            }
+            if top.round == round {
+                // Fresh gain and on top of every (possibly stale, hence
+                // upper-bounded) competitor: commit. Tie-breaking matches
+                // the plain greedy because fresh ties sort by road id.
+                state.add(top.road);
+                committed = true;
+                break;
+            }
+            // Stale: refresh and reinsert; never commit on a stale stamp so
+            // equal-gain ties are always resolved among fresh entries.
+            let fresh = score(&state, top.road);
+            heap.push(HeapItem { gain: fresh, road: top.road, round });
+        }
+        if !committed {
+            break;
+        }
+    }
+    state.into_selection()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::test_support::table;
+    use crate::solvers::objective_greedy;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matches_plain_objective_greedy_on_example() {
+        let (_g, t) = table(
+            6,
+            &[(0, 1, 0.9), (1, 2, 0.8), (2, 3, 0.7), (3, 4, 0.6), (4, 5, 0.5), (0, 5, 0.4)],
+        );
+        let sigma: Vec<f64> = (0..6).map(|i| 1.0 + 0.4 * i as f64).collect();
+        let costs = vec![1, 2, 3, 1, 2, 3];
+        let queried = [RoadId(0), RoadId(3)];
+        let candidates = [RoadId(1), RoadId(2), RoadId(4), RoadId(5)];
+        for budget in 0..10 {
+            let inst = OcsInstance {
+                sigma: &sigma,
+                corr: &t,
+                queried: &queried,
+                candidates: &candidates,
+                costs: &costs,
+                budget,
+                theta: 0.95,
+            };
+            let lazy = lazy_objective_greedy(&inst);
+            let plain = objective_greedy(&inst);
+            assert_eq!(lazy, plain, "budget {budget}");
+        }
+    }
+
+    proptest! {
+        /// Lazy and plain variants agree on random instances, for all three
+        /// solver families.
+        #[test]
+        fn lazy_equals_plain(
+            edges in proptest::collection::vec((0u32..8, 0u32..8, 0.05..0.95f64), 4..20),
+            costs in proptest::collection::vec(1u32..6, 8),
+            budget in 0u32..15,
+            theta in 0.5..1.0f64,
+        ) {
+            let edges: Vec<(u32, u32, f64)> =
+                edges.into_iter().filter(|(a, b, _)| a != b).collect();
+            prop_assume!(!edges.is_empty());
+            let (_g, t) = table(8, &edges);
+            let sigma: Vec<f64> = (0..8).map(|i| 0.5 + 0.3 * i as f64).collect();
+            let queried = [RoadId(0), RoadId(4)];
+            let candidates = [RoadId(1), RoadId(2), RoadId(3), RoadId(5), RoadId(6), RoadId(7)];
+            let inst = OcsInstance {
+                sigma: &sigma,
+                corr: &t,
+                queried: &queried,
+                candidates: &candidates,
+                costs: &costs,
+                budget,
+                theta,
+            };
+            prop_assert_eq!(lazy_objective_greedy(&inst), objective_greedy(&inst));
+            prop_assert_eq!(lazy_ratio_greedy(&inst), crate::solvers::ratio_greedy(&inst));
+            prop_assert_eq!(lazy_hybrid_greedy(&inst), crate::solvers::hybrid_greedy(&inst));
+        }
+    }
+}

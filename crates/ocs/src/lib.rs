@@ -1,0 +1,38 @@
+//! OCS — Optimal Crowdsourced-roads Selection (Section V of the paper).
+//!
+//! Given queried roads `R^q`, worker-covered candidate roads `R^w`,
+//! per-road costs, a budget `K` and a redundancy threshold `θ`, OCS picks
+//! the crowdsourced set `R^c ⊆ R^w` maximizing the periodicity-weighted
+//! correlation (Eq. 13)
+//!
+//! ```text
+//! ocs(R^c) = Σ_{r_i ∈ R^q} σ_i^t · max_{r_j ∈ R^c} corr^t(r_i, r_j)
+//! ```
+//!
+//! subject to `Σ c_i ≤ K` and `corr(r_i, r_j) ≤ θ` for all pairs in `R^c`.
+//! The problem is NP-hard (reduction from Maximum k-Coverage, Thm. 1).
+//!
+//! Solvers:
+//! * [`ratio_greedy`] — Alg. 2, best objective-gain/cost ratio each step;
+//! * [`objective_greedy`] — Alg. 3, best absolute objective gain;
+//! * [`hybrid_greedy`] — Alg. 4, the better of the two, with the paper's
+//!   `(1 − 1/e)/2` approximation guarantee (Thm. 2);
+//! * [`random_select`] — the "Rand" baseline of Fig. 3 / Table III;
+//! * [`exact::exact_solve`] — branch-and-bound ground truth for small
+//!   instances (test/validation use).
+
+pub mod exact;
+pub mod lazy;
+pub mod objective;
+pub mod problem;
+pub mod random;
+pub mod solvers;
+pub mod trivial;
+
+pub use exact::exact_solve;
+pub use lazy::{lazy_hybrid_greedy, lazy_objective_greedy, lazy_ratio_greedy};
+pub use objective::{ocs_value, SelectionState};
+pub use problem::{OcsInstance, Selection};
+pub use random::random_select;
+pub use solvers::{hybrid_greedy, objective_greedy, ratio_greedy};
+pub use trivial::trivial_solution;

@@ -1,0 +1,98 @@
+//! Problem instance and solution types.
+
+use rtse_graph::RoadId;
+use rtse_rtf::CorrelationTable;
+
+/// One OCS instance: everything a solver needs, borrowed from the offline
+/// model.
+///
+/// `sigma[r]` is `σ_r^t` for the query's time slot (only queried roads'
+/// entries are read); `costs[r]` is the per-road crowdsourcing cost in
+/// payment units (the minimum number of answers to buy — Section V-A).
+#[derive(Debug, Clone)]
+pub struct OcsInstance<'a> {
+    /// Periodicity-intensity weights per road (indexed by `RoadId`).
+    pub sigma: &'a [f64],
+    /// Offline correlation table `Γ` for the slot.
+    pub corr: &'a CorrelationTable,
+    /// The queried roads `R^q`.
+    pub queried: &'a [RoadId],
+    /// The candidate roads `R^w` (roads with workers present).
+    pub candidates: &'a [RoadId],
+    /// Cost per road (indexed by `RoadId`; entries for non-candidates are
+    /// ignored). Every candidate cost must be ≥ 1.
+    pub costs: &'a [u32],
+    /// Total budget `K`.
+    pub budget: u32,
+    /// Redundancy threshold `θ ∈ (0, 1]`.
+    pub theta: f64,
+}
+
+impl<'a> OcsInstance<'a> {
+    /// Validates invariants; solvers call this on entry.
+    ///
+    /// # Panics
+    /// Panics on malformed instances (zero-cost candidates, θ out of range,
+    /// ids out of bounds) — these are programming errors, not data errors.
+    pub fn validate(&self) {
+        assert!(self.theta > 0.0 && self.theta <= 1.0, "θ must be in (0, 1]");
+        let n = self.corr.num_roads();
+        assert_eq!(self.sigma.len(), n, "sigma length mismatch");
+        assert_eq!(self.costs.len(), n, "costs length mismatch");
+        for &q in self.queried {
+            assert!(q.index() < n, "queried road {q} out of range");
+        }
+        for &c in self.candidates {
+            assert!(c.index() < n, "candidate road {c} out of range");
+            assert!(self.costs[c.index()] >= 1, "candidate {c} has zero cost");
+        }
+    }
+
+    /// Cost of one road.
+    #[inline]
+    pub fn cost(&self, r: RoadId) -> u32 {
+        self.costs[r.index()]
+    }
+}
+
+/// A solver's output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selection {
+    /// The crowdsourced roads `R^c`, in selection order.
+    pub roads: Vec<RoadId>,
+    /// Objective value `ocs(R^c)` (Eq. 13).
+    pub value: f64,
+    /// Total cost spent (`≤` budget).
+    pub spent: u32,
+}
+
+impl Selection {
+    /// An empty selection (zero value, zero cost).
+    pub fn empty() -> Self {
+        Self { roads: Vec::new(), value: 0.0, spent: 0 }
+    }
+
+    /// Checks feasibility against an instance: membership in `R^w`, budget,
+    /// pairwise redundancy, no duplicates.
+    pub fn is_feasible(&self, inst: &OcsInstance<'_>) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        let mut spent = 0u32;
+        for &r in &self.roads {
+            if !inst.candidates.contains(&r) || !seen.insert(r) {
+                return false;
+            }
+            spent += inst.cost(r);
+        }
+        if spent > inst.budget || spent != self.spent {
+            return false;
+        }
+        for (i, &a) in self.roads.iter().enumerate() {
+            for &b in &self.roads[i + 1..] {
+                if inst.corr.corr(a, b) > inst.theta + 1e-12 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}

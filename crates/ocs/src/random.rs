@@ -1,0 +1,89 @@
+//! Random selection — the "Rand" baseline of Fig. 3 and Table III.
+//!
+//! Shuffles the candidates and adds them in order while they remain
+//! feasible (budget and redundancy respected, so the comparison against
+//! the greedy algorithms isolates *which* roads are picked, not whether
+//! the constraints were honored).
+
+use crate::objective::SelectionState;
+use crate::problem::{OcsInstance, Selection};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Random feasible selection, deterministic in `seed`.
+pub fn random_select(inst: &OcsInstance<'_>, seed: u64) -> Selection {
+    inst.validate();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order = inst.candidates.to_vec();
+    order.shuffle(&mut rng);
+    let mut state = SelectionState::new(inst);
+    for r in order {
+        if state.is_feasible_addition(r) {
+            state.add(r);
+        }
+    }
+    state.into_selection()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::test_support::table;
+    use crate::solvers::hybrid_greedy;
+    use rtse_graph::RoadId;
+
+    fn instance_parts() -> (rtse_rtf::CorrelationTable, Vec<f64>, Vec<u32>) {
+        let (_g, t) = table(
+            6,
+            &[(0, 1, 0.9), (1, 2, 0.8), (2, 3, 0.7), (3, 4, 0.6), (4, 5, 0.5)],
+        );
+        (t, vec![1.0; 6], vec![1, 2, 1, 2, 1, 2])
+    }
+
+    #[test]
+    fn random_selection_is_feasible_and_deterministic() {
+        let (t, sigma, costs) = instance_parts();
+        let queried = [RoadId(0), RoadId(5)];
+        let candidates = [RoadId(1), RoadId(2), RoadId(3), RoadId(4)];
+        let inst = OcsInstance {
+            sigma: &sigma,
+            corr: &t,
+            queried: &queried,
+            candidates: &candidates,
+            costs: &costs,
+            budget: 3,
+            theta: 0.92,
+        };
+        let a = random_select(&inst, 42);
+        let b = random_select(&inst, 42);
+        assert_eq!(a, b);
+        assert!(a.is_feasible(&inst));
+        let c = random_select(&inst, 43);
+        assert!(c.is_feasible(&inst));
+    }
+
+    #[test]
+    fn hybrid_typically_beats_random() {
+        let (t, sigma, costs) = instance_parts();
+        let queried = [RoadId(0), RoadId(5)];
+        let candidates = [RoadId(1), RoadId(2), RoadId(3), RoadId(4)];
+        let inst = OcsInstance {
+            sigma: &sigma,
+            corr: &t,
+            queried: &queried,
+            candidates: &candidates,
+            costs: &costs,
+            budget: 2,
+            theta: 1.0,
+        };
+        let hybrid = hybrid_greedy(&inst);
+        let avg_random: f64 =
+            (0..20).map(|s| random_select(&inst, s).value).sum::<f64>() / 20.0;
+        assert!(
+            hybrid.value >= avg_random,
+            "hybrid {} vs avg random {avg_random}",
+            hybrid.value
+        );
+    }
+}

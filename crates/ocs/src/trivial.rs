@@ -1,0 +1,150 @@
+//! Remark 2 — the trivial cases of OCS.
+//!
+//! When `θ = 1` and every cost is 1, two situations admit a closed-form
+//! optimum:
+//!
+//! 1. `|R^w| ≤ K` — the budget is over-adequate: select everything.
+//! 2. `|R^q| ≤ K` — one unit per queried road suffices: select, for each
+//!    queried road, its highest-correlated candidate.
+//!
+//! The engine consults this before running a greedy solver; it also gives
+//! the tests an independent optimum to compare against.
+
+use crate::objective::ocs_value;
+use crate::problem::{OcsInstance, Selection};
+
+/// Returns the exact optimum when the instance is one of Remark 2's
+/// trivial cases, `None` otherwise.
+pub fn trivial_solution(inst: &OcsInstance<'_>) -> Option<Selection> {
+    inst.validate();
+    let unit_costs = inst.candidates.iter().all(|&r| inst.cost(r) == 1);
+    if inst.theta < 1.0 || !unit_costs {
+        return None;
+    }
+    // Case 1: budget covers every candidate.
+    if inst.candidates.len() as u32 <= inst.budget {
+        let roads = inst.candidates.to_vec();
+        let value = ocs_value(inst, &roads);
+        let spent = roads.len() as u32;
+        return Some(Selection { roads, value, spent });
+    }
+    // Case 2: one unit per queried road suffices — take the argmax
+    // candidate per queried road (deduplicated).
+    if inst.queried.len() as u32 <= inst.budget && !inst.queried.is_empty() {
+        let mut roads = Vec::new();
+        for &q in inst.queried {
+            let best = inst
+                .candidates
+                .iter()
+                .copied()
+                .max_by(|&a, &b| {
+                    inst.corr
+                        .corr(q, a)
+                        .partial_cmp(&inst.corr.corr(q, b))
+                        .expect("correlations are finite")
+                        .then(b.cmp(&a)) // deterministic: lower id wins ties
+                })?;
+            if !roads.contains(&best) {
+                roads.push(best);
+            }
+        }
+        let value = ocs_value(inst, &roads);
+        let spent = roads.len() as u32;
+        return Some(Selection { roads, value, spent });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_solve;
+    use crate::objective::test_support::table;
+    use rtse_graph::RoadId;
+
+    struct Fixture {
+        table: rtse_rtf::CorrelationTable,
+        sigma: Vec<f64>,
+        costs: Vec<u32>,
+        queried: Vec<RoadId>,
+        candidates: Vec<RoadId>,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            let (_g, table) =
+                table(5, &[(0, 2, 0.9), (1, 2, 0.4), (0, 3, 0.5), (1, 4, 0.8), (3, 4, 0.3)]);
+            Fixture {
+                table,
+                sigma: vec![1.0, 2.0, 1.0, 1.0, 1.0],
+                costs: vec![1; 5],
+                queried: vec![RoadId(2), RoadId(4)],
+                candidates: vec![RoadId(0), RoadId(1), RoadId(3)],
+            }
+        }
+
+        fn instance(&self, budget: u32, theta: f64) -> OcsInstance<'_> {
+            OcsInstance {
+                sigma: &self.sigma,
+                corr: &self.table,
+                queried: &self.queried,
+                candidates: &self.candidates,
+                costs: &self.costs,
+                budget,
+                theta,
+            }
+        }
+    }
+
+    #[test]
+    fn over_adequate_budget_selects_everything() {
+        let f = Fixture::new();
+        let inst = f.instance(10, 1.0);
+        let sol = trivial_solution(&inst).expect("case 1 applies");
+        assert_eq!(sol.roads.len(), 3);
+        assert!(sol.is_feasible(&inst));
+        // Matches the exact optimum.
+        let opt = exact_solve(&inst);
+        assert!((sol.value - opt.value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_query_argmax_when_queried_fits() {
+        let f = Fixture::new();
+        let inst = f.instance(2, 1.0);
+        let sol = trivial_solution(&inst).expect("case 2 applies");
+        // Best for query 2 is candidate 0 (.9); best for query 4 is 1 (.8).
+        assert_eq!(sol.roads, vec![RoadId(0), RoadId(1)]);
+        let opt = exact_solve(&inst);
+        assert!((sol.value - opt.value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn not_applicable_with_theta_below_one() {
+        let f = Fixture::new();
+        assert!(trivial_solution(&f.instance(10, 0.9)).is_none());
+    }
+
+    #[test]
+    fn not_applicable_with_non_unit_costs() {
+        let mut f = Fixture::new();
+        f.costs[0] = 3;
+        assert!(trivial_solution(&f.instance(10, 1.0)).is_none());
+    }
+
+    #[test]
+    fn not_applicable_when_budget_tight() {
+        let f = Fixture::new();
+        // budget 1 < |R^q| = 2 < |R^w| = 3.
+        assert!(trivial_solution(&f.instance(1, 1.0)).is_none());
+    }
+
+    #[test]
+    fn empty_candidates_case_one() {
+        let f = Fixture::new();
+        let inst = OcsInstance { candidates: &[], ..f.instance(5, 1.0) };
+        let sol = trivial_solution(&inst).expect("empty is trivially over-adequate");
+        assert!(sol.roads.is_empty());
+        assert_eq!(sol.value, 0.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Model diagnostics: does a trained RTF actually describe held-out data?
+//!
+//! Two checks a deployment should run before trusting the offline stage:
+//!
+//! * **held-out likelihood** — the per-record average of the (normalized)
+//!   node log-density on a day the trainer never saw; higher is better and
+//!   comparable across models on the same data;
+//! * **calibration** — the fraction of held-out records within `z` standard
+//!   deviations of the slot mean. A well-calibrated Gaussian model puts
+//!   ~68% within 1σ and ~95% within 2σ; gross deviations mean σ is mis-fit.
+
+use crate::params::RtfModel;
+use rtse_data::{HistoryStore, SlotOfDay};
+use rtse_graph::Graph;
+
+/// Diagnostics over one held-out store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelDiagnostics {
+    /// Average per-record node log-density (with normalizer).
+    pub avg_log_density: f64,
+    /// Fraction of records within 1σ of the slot mean.
+    pub coverage_1sigma: f64,
+    /// Fraction of records within 2σ of the slot mean.
+    pub coverage_2sigma: f64,
+    /// Records scored.
+    pub count: usize,
+}
+
+impl ModelDiagnostics {
+    /// Loose Gaussian-calibration acceptance test: the 1σ/2σ coverages are
+    /// within `slack` of their nominal 68% / 95%.
+    pub fn is_calibrated(&self, slack: f64) -> bool {
+        (self.coverage_1sigma - 0.6827).abs() <= slack
+            && (self.coverage_2sigma - 0.9545).abs() <= slack
+    }
+}
+
+/// Scores a model on a (held-out) history store.
+///
+/// # Panics
+/// Panics when dimensions disagree.
+pub fn evaluate_model(graph: &Graph, model: &RtfModel, heldout: &HistoryStore) -> ModelDiagnostics {
+    assert_eq!(heldout.num_roads(), graph.num_roads(), "store/graph mismatch");
+    assert!(model.matches_graph(graph), "model/graph mismatch");
+    let mut log_density_sum = 0.0;
+    let mut within_1 = 0usize;
+    let mut within_2 = 0usize;
+    let mut count = 0usize;
+    const LN_2PI: f64 = 1.8378770664093453;
+    for day in 0..heldout.num_days() {
+        for slot in SlotOfDay::all() {
+            let params = model.slot(slot);
+            let row = heldout.snapshot(day, slot);
+            for (i, &v) in row.iter().enumerate() {
+                if v.is_nan() {
+                    continue;
+                }
+                let mu = params.mu[i];
+                let sigma = params.sigma[i];
+                let z = (v - mu).abs() / sigma;
+                log_density_sum += -0.5 * (z * z + LN_2PI) - sigma.ln();
+                within_1 += usize::from(z <= 1.0);
+                within_2 += usize::from(z <= 2.0);
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        return ModelDiagnostics {
+            avg_log_density: 0.0,
+            coverage_1sigma: 0.0,
+            coverage_2sigma: 0.0,
+            count: 0,
+        };
+    }
+    ModelDiagnostics {
+        avg_log_density: log_density_sum / count as f64,
+        coverage_1sigma: within_1 as f64 / count as f64,
+        coverage_2sigma: within_2 as f64 / count as f64,
+        count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moments::moment_estimate;
+    use rtse_data::{SynthConfig, TrafficGenerator};
+    use rtse_graph::generators::grid;
+
+    fn world() -> (Graph, rtse_data::SynthDataset) {
+        let graph = grid(3, 4);
+        let ds = TrafficGenerator::new(
+            &graph,
+            SynthConfig { days: 25, incidents_per_day: 0.0, seed: 2, ..SynthConfig::default() },
+        )
+        .generate();
+        (graph, ds)
+    }
+
+    #[test]
+    fn trained_model_is_roughly_calibrated_on_heldout_day() {
+        let (graph, ds) = world();
+        let model = moment_estimate(&graph, &ds.history);
+        let diag = evaluate_model(&graph, &model, &ds.today);
+        assert_eq!(diag.count, graph.num_roads() * rtse_data::SLOTS_PER_DAY);
+        assert!(
+            diag.is_calibrated(0.12),
+            "coverage 1σ {:.3}, 2σ {:.3}",
+            diag.coverage_1sigma,
+            diag.coverage_2sigma
+        );
+    }
+
+    #[test]
+    fn wrong_model_scores_worse() {
+        let (graph, ds) = world();
+        let good = moment_estimate(&graph, &ds.history);
+        let mut bad = good.clone();
+        for t in SlotOfDay::all() {
+            for m in bad.slot_mut(t).mu.iter_mut() {
+                *m += 25.0; // systematically biased means
+            }
+        }
+        let dg = evaluate_model(&graph, &good, &ds.today);
+        let db = evaluate_model(&graph, &bad, &ds.today);
+        assert!(dg.avg_log_density > db.avg_log_density);
+        assert!(dg.coverage_2sigma > db.coverage_2sigma);
+    }
+
+    #[test]
+    fn overdispersed_sigma_breaks_calibration() {
+        let (graph, ds) = world();
+        let mut wide = moment_estimate(&graph, &ds.history);
+        for t in SlotOfDay::all() {
+            for s in wide.slot_mut(t).sigma.iter_mut() {
+                *s *= 10.0;
+            }
+        }
+        let d = evaluate_model(&graph, &wide, &ds.today);
+        // Everything falls inside 1σ of an absurdly wide Gaussian.
+        assert!(d.coverage_1sigma > 0.99);
+        assert!(!d.is_calibrated(0.12));
+    }
+
+    #[test]
+    fn empty_store_graceful() {
+        let (graph, ds) = world();
+        let model = moment_estimate(&graph, &ds.history);
+        let empty = HistoryStore::new(graph.num_roads(), 1);
+        let d = evaluate_model(&graph, &model, &empty);
+        assert_eq!(d.count, 0);
+        assert_eq!(d.avg_log_density, 0.0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Analytic gradients of the training objective.
+//!
+//! The trainer (Alg. 1) ascends `∂L/∂μ_i`, `∂L/∂σ_i`, `∂L/∂ρ_ij` of the
+//! per-day-averaged, normalizer-restored likelihood
+//! (see [`crate::likelihood::data_log_likelihood`]). Derivations, with
+//! `r_i = v_i − μ_i`, `e_ij = (v_i − v_j) − (μ_i − μ_j)`,
+//! `u_ij = σ_ij² = σ_i² + σ_j² − 2ρσ_iσ_j` (each undirected edge counted
+//! once, matching the likelihood):
+//!
+//! ```text
+//! ∂L/∂μ_i  = avg_d [ 2 r_i/σ_i²  + Σ_j 2 e_ij/u_ij ]
+//! ∂L/∂σ_i  = avg_d [ 2 r_i²/σ_i³ − 2/σ_i
+//!                    + Σ_j (e_ij²/u_ij² − 1/u_ij)(2σ_i − 2ρσ_j) ]
+//! ∂L/∂ρ_ij = avg_d [ (e_ij²/u_ij² − 1/u_ij)(−2σ_iσ_j) ]
+//! ```
+//!
+//! All three are verified against central finite differences in the tests.
+
+use crate::params::SlotParams;
+use rtse_graph::Graph;
+
+/// Gradient of the training objective w.r.t. all slot parameters, averaged
+/// over the day snapshots (NaN = missing, skipped consistently with the
+/// likelihood).
+#[derive(Debug, Clone)]
+pub struct SlotGradient {
+    /// `∂L/∂μ_i` per road.
+    pub d_mu: Vec<f64>,
+    /// `∂L/∂σ_i` per road.
+    pub d_sigma: Vec<f64>,
+    /// `∂L/∂ρ_ij` per edge.
+    pub d_rho: Vec<f64>,
+}
+
+impl SlotGradient {
+    /// Maximum absolute component across all three families.
+    pub fn max_abs(&self) -> f64 {
+        let m = |v: &[f64]| v.iter().fold(0.0_f64, |m, x| m.max(x.abs()));
+        m(&self.d_mu).max(m(&self.d_sigma)).max(m(&self.d_rho))
+    }
+
+    /// Maximum absolute `μ` gradient — the convergence metric the paper's
+    /// Fig. 5 tracks.
+    pub fn max_abs_mu(&self) -> f64 {
+        self.d_mu.iter().fold(0.0_f64, |m, x| m.max(x.abs()))
+    }
+}
+
+/// Computes the full gradient for one slot.
+pub fn slot_gradient(graph: &Graph, params: &SlotParams, snapshots: &[&[f64]]) -> SlotGradient {
+    let n = graph.num_roads();
+    let m = graph.num_edges();
+    let mut g = SlotGradient { d_mu: vec![0.0; n], d_sigma: vec![0.0; n], d_rho: vec![0.0; m] };
+    if snapshots.is_empty() {
+        return g;
+    }
+    for row in snapshots {
+        debug_assert_eq!(row.len(), n);
+        // Node terms.
+        for i in graph.road_ids() {
+            let vi = row[i.index()];
+            if vi.is_nan() {
+                continue;
+            }
+            let si = params.sigma[i.index()];
+            let r = vi - params.mu[i.index()];
+            g.d_mu[i.index()] += 2.0 * r / (si * si);
+            g.d_sigma[i.index()] += 2.0 * r * r / (si * si * si) - 2.0 / si;
+        }
+        // Edge terms: iterate each undirected edge once, apply to both ends.
+        for (eidx, &(i, j)) in graph.edges().iter().enumerate() {
+            let (vi, vj) = (row[i.index()], row[j.index()]);
+            if vi.is_nan() || vj.is_nan() {
+                continue;
+            }
+            let e = rtse_graph::EdgeId(eidx as u32);
+            let u = params.sigma_diff_sq(i, j, e);
+            let ediff = (vi - vj) - params.mu_diff(i, j);
+            // μ gradient: 2 e/u on i, −2 e/u on j (e_ji = −e_ij).
+            g.d_mu[i.index()] += 2.0 * ediff / u;
+            g.d_mu[j.index()] -= 2.0 * ediff / u;
+            // Shared factor for variance-affecting parameters.
+            let shared = ediff * ediff / (u * u) - 1.0 / u;
+            let (si, sj) = (params.sigma[i.index()], params.sigma[j.index()]);
+            let rho = params.rho[e.index()];
+            g.d_sigma[i.index()] += shared * (2.0 * si - 2.0 * rho * sj);
+            g.d_sigma[j.index()] += shared * (2.0 * sj - 2.0 * rho * si);
+            g.d_rho[e.index()] += shared * (-2.0 * si * sj);
+        }
+    }
+    let scale = 1.0 / snapshots.len() as f64;
+    for v in g.d_mu.iter_mut().chain(g.d_sigma.iter_mut()).chain(g.d_rho.iter_mut()) {
+        *v *= scale;
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::likelihood::data_log_likelihood;
+    use rtse_graph::generators::{grid, path};
+
+    fn numeric_grad(
+        graph: &Graph,
+        params: &SlotParams,
+        snaps: &[&[f64]],
+        poke: impl Fn(&mut SlotParams, f64),
+    ) -> f64 {
+        let h = 1e-6;
+        let mut plus = params.clone();
+        poke(&mut plus, h);
+        let mut minus = params.clone();
+        poke(&mut minus, -h);
+        (data_log_likelihood(graph, &plus, snaps) - data_log_likelihood(graph, &minus, snaps))
+            / (2.0 * h)
+    }
+
+    fn fixture() -> (Graph, SlotParams, Vec<Vec<f64>>) {
+        let g = path(4);
+        let params = SlotParams {
+            mu: vec![50.0, 42.0, 47.0, 39.0],
+            sigma: vec![2.0, 4.0, 3.0, 5.0],
+            rho: vec![0.7, 0.5, 0.3],
+        };
+        let days = vec![
+            vec![51.0, 41.0, 48.0, 37.0],
+            vec![48.5, 44.0, 45.0, 41.0],
+            vec![50.2, 42.3, 47.8, 38.6],
+        ];
+        (g, params, days)
+    }
+
+    #[test]
+    fn matches_finite_differences() {
+        let (g, params, days) = fixture();
+        let snaps: Vec<&[f64]> = days.iter().map(|d| d.as_slice()).collect();
+        let grad = slot_gradient(&g, &params, &snaps);
+        for i in 0..4 {
+            let num = numeric_grad(&g, &params, &snaps, |p, h| p.mu[i] += h);
+            assert!((grad.d_mu[i] - num).abs() < 1e-4, "d_mu[{i}]: {} vs {num}", grad.d_mu[i]);
+            let num = numeric_grad(&g, &params, &snaps, |p, h| p.sigma[i] += h);
+            assert!(
+                (grad.d_sigma[i] - num).abs() < 1e-4,
+                "d_sigma[{i}]: {} vs {num}",
+                grad.d_sigma[i]
+            );
+        }
+        for e in 0..3 {
+            let num = numeric_grad(&g, &params, &snaps, |p, h| p.rho[e] += h);
+            assert!(
+                (grad.d_rho[e] - num).abs() < 1e-4,
+                "d_rho[{e}]: {} vs {num}",
+                grad.d_rho[e]
+            );
+        }
+    }
+
+    #[test]
+    fn matches_finite_differences_on_grid_with_missing() {
+        let g = grid(2, 3);
+        let params = SlotParams {
+            mu: vec![30.0, 35.0, 40.0, 32.0, 37.0, 42.0],
+            sigma: vec![1.5, 2.5, 3.5, 2.0, 3.0, 4.0],
+            rho: vec![0.6; g.num_edges()],
+        };
+        let day1 = vec![31.0, f64::NAN, 39.0, 33.0, 36.0, 44.0];
+        let day2 = vec![29.0, 36.0, 41.0, f64::NAN, 38.0, 40.0];
+        let snaps: Vec<&[f64]> = vec![&day1, &day2];
+        let grad = slot_gradient(&g, &params, &snaps);
+        for i in 0..6 {
+            let num = numeric_grad(&g, &params, &snaps, |p, h| p.mu[i] += h);
+            assert!((grad.d_mu[i] - num).abs() < 1e-4, "d_mu[{i}]");
+            let num = numeric_grad(&g, &params, &snaps, |p, h| p.sigma[i] += h);
+            assert!((grad.d_sigma[i] - num).abs() < 1e-4, "d_sigma[{i}]");
+        }
+        for e in 0..g.num_edges() {
+            let num = numeric_grad(&g, &params, &snaps, |p, h| p.rho[e] += h);
+            assert!((grad.d_rho[e] - num).abs() < 1e-4, "d_rho[{e}]");
+        }
+    }
+
+    #[test]
+    fn zero_at_moment_estimates() {
+        // With σ² = mean r² and u = mean e² the gradient should vanish:
+        // use a symmetric two-day sample around the mean.
+        let g = path(2);
+        let day1 = vec![52.0, 38.0];
+        let day2 = vec![48.0, 42.0];
+        let mu = vec![50.0, 40.0];
+        // r² = 4 every day -> σ = 2. e: day1 (52-38)-10=4, day2 -4 -> u = 16.
+        // u = σi²+σj²-2ρσiσj = 8-8ρ = 16 → ρ = -1, out of range; pick a
+        // sample with positive correlation instead.
+        let day1b = vec![52.0, 42.0];
+        let day2b = vec![48.0, 38.0];
+        // e: (52-42)-10 = 0, (48-38)-10 = 0 -> u* floor… choose e nonzero:
+        let _ = (day1, day2);
+        // r² = 4 -> σ = 2; e = 0 both days -> optimal u -> 0 but clamped;
+        // instead verify only μ gradient vanishes at the sample mean.
+        let params = SlotParams { mu, sigma: vec![2.0, 2.0], rho: vec![0.9] };
+        let snaps: Vec<&[f64]> = vec![&day1b, &day2b];
+        let grad = slot_gradient(&g, &params, &snaps);
+        assert!(grad.d_mu[0].abs() < 1e-9, "μ gradient at sample mean: {}", grad.d_mu[0]);
+        assert!(grad.d_mu[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_snapshots_zero_gradient() {
+        let (g, params, _) = fixture();
+        let grad = slot_gradient(&g, &params, &[]);
+        assert_eq!(grad.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn max_abs_mu_tracks_mu_only() {
+        let g = path(2);
+        let params = SlotParams { mu: vec![0.0, 0.0], sigma: vec![1.0, 1.0], rho: vec![0.5] };
+        let day = vec![10.0, 10.0];
+        let snaps: Vec<&[f64]> = vec![&day];
+        let grad = slot_gradient(&g, &params, &snaps);
+        assert!(grad.max_abs_mu() > 0.0);
+        assert!(grad.max_abs() >= grad.max_abs_mu());
+    }
+}

@@ -1,0 +1,179 @@
+//! Incremental (streaming) model maintenance.
+//!
+//! The offline stage is not a one-off: every midnight a deployment has one
+//! more day of records. Re-reading the whole history to refresh the model
+//! is `O(days)`; [`IncrementalModel`] folds each new day in `O(1)` per
+//! parameter using single-pass moment accumulators
+//! ([`rtse_math::OnlineStats`] / [`rtse_math::OnlineCov`]), and snapshots
+//! an [`RtfModel`] identical (up to float associativity) to a batch
+//! [`crate::moment_estimate`] over the same records.
+
+use crate::params::{RtfModel, SlotParams, RHO_MAX, RHO_MIN, SIGMA_MIN};
+use rtse_data::{HistoryStore, SlotOfDay, SLOTS_PER_DAY};
+use rtse_graph::Graph;
+use rtse_math::{OnlineCov, OnlineStats};
+
+/// Streaming RTF estimator: per-(road, slot) mean/variance accumulators
+/// and per-(edge, slot) covariance accumulators.
+pub struct IncrementalModel {
+    num_roads: usize,
+    num_edges: usize,
+    /// `slot * num_roads + road`
+    nodes: Vec<OnlineStats>,
+    /// `slot * num_edges + edge`
+    edges: Vec<OnlineCov>,
+    days_seen: usize,
+}
+
+impl IncrementalModel {
+    /// Empty accumulators for a graph.
+    pub fn new(graph: &Graph) -> Self {
+        Self {
+            num_roads: graph.num_roads(),
+            num_edges: graph.num_edges(),
+            nodes: vec![OnlineStats::new(); SLOTS_PER_DAY * graph.num_roads()],
+            edges: vec![OnlineCov::new(); SLOTS_PER_DAY * graph.num_edges()],
+            days_seen: 0,
+        }
+    }
+
+    /// Days folded in so far.
+    pub fn days_seen(&self) -> usize {
+        self.days_seen
+    }
+
+    /// Folds one full day of snapshots in (missing cells skipped; an edge
+    /// pair needs both endpoints present).
+    ///
+    /// # Panics
+    /// Panics when the store's road count disagrees with the graph's.
+    pub fn ingest_day(&mut self, graph: &Graph, store: &HistoryStore, day: usize) {
+        assert_eq!(store.num_roads(), self.num_roads, "store/graph mismatch");
+        for slot in SlotOfDay::all() {
+            let row = store.snapshot(day, slot);
+            let node_base = slot.index() * self.num_roads;
+            for (r, &v) in row.iter().enumerate() {
+                if !v.is_nan() {
+                    self.nodes[node_base + r].push(v);
+                }
+            }
+            let edge_base = slot.index() * self.num_edges;
+            for (e, &(a, b)) in graph.edges().iter().enumerate() {
+                let (va, vb) = (row[a.index()], row[b.index()]);
+                if !va.is_nan() && !vb.is_nan() {
+                    self.edges[edge_base + e].push(va, vb);
+                }
+            }
+        }
+        self.days_seen += 1;
+    }
+
+    /// Snapshots the current accumulators into a full model (same clamps
+    /// as the batch moment estimator).
+    pub fn snapshot(&self) -> RtfModel {
+        let slots = (0..SLOTS_PER_DAY)
+            .map(|t| {
+                let node_base = t * self.num_roads;
+                let edge_base = t * self.num_edges;
+                let mut p = SlotParams::neutral(self.num_roads, self.num_edges);
+                for r in 0..self.num_roads {
+                    let acc = &self.nodes[node_base + r];
+                    p.mu[r] = acc.mean();
+                    p.sigma[r] = acc.population_std().max(SIGMA_MIN);
+                }
+                for e in 0..self.num_edges {
+                    p.rho[e] = self.edges[edge_base + e].pearson().clamp(RHO_MIN, RHO_MAX);
+                }
+                p
+            })
+            .collect();
+        RtfModel::from_slots(self.num_roads, self.num_edges, slots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moments::moment_estimate;
+    use rtse_data::{SynthConfig, TrafficGenerator};
+    use rtse_graph::generators::grid;
+    use rtse_graph::{EdgeId, RoadId};
+
+    #[test]
+    fn streaming_matches_batch() {
+        let graph = grid(2, 3);
+        let ds = TrafficGenerator::new(
+            &graph,
+            SynthConfig { days: 7, seed: 3, ..SynthConfig::small_test() },
+        )
+        .generate();
+        let batch = moment_estimate(&graph, &ds.history);
+        let mut inc = IncrementalModel::new(&graph);
+        for day in 0..7 {
+            inc.ingest_day(&graph, &ds.history, day);
+        }
+        assert_eq!(inc.days_seen(), 7);
+        let streamed = inc.snapshot();
+        for t in [SlotOfDay(0), SlotOfDay(100), SlotOfDay(287)] {
+            for r in graph.road_ids() {
+                assert!(
+                    (batch.mu(t, r) - streamed.mu(t, r)).abs() < 1e-9,
+                    "μ mismatch at slot {t:?} road {r}"
+                );
+                assert!((batch.sigma(t, r) - streamed.sigma(t, r)).abs() < 1e-9);
+            }
+            for e in 0..graph.num_edges() {
+                assert!(
+                    (batch.rho(t, EdgeId(e as u32)) - streamed.rho(t, EdgeId(e as u32))).abs()
+                        < 1e-9
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn model_improves_as_days_arrive() {
+        // With one day the σ floor dominates; more days give real spread.
+        let graph = grid(2, 2);
+        let ds = TrafficGenerator::new(
+            &graph,
+            SynthConfig { days: 10, incidents_per_day: 0.0, seed: 5, ..SynthConfig::default() },
+        )
+        .generate();
+        let mut inc = IncrementalModel::new(&graph);
+        inc.ingest_day(&graph, &ds.history, 0);
+        let after_one = inc.snapshot();
+        for day in 1..10 {
+            inc.ingest_day(&graph, &ds.history, day);
+        }
+        let after_ten = inc.snapshot();
+        let t = SlotOfDay::from_hm(8, 30);
+        // One day: σ at the floor everywhere (single sample has zero std).
+        assert!(after_one
+            .slot(t)
+            .sigma
+            .iter()
+            .all(|&s| (s - crate::params::SIGMA_MIN).abs() < 1e-12));
+        assert!(after_ten.slot(t).sigma.iter().any(|&s| s > crate::params::SIGMA_MIN));
+    }
+
+    #[test]
+    fn missing_cells_are_skipped_consistently() {
+        let graph = grid(2, 2);
+        let mut store = HistoryStore::new(4, 3);
+        let t = SlotOfDay(10);
+        // Road 0 present all days; road 1 present on day 1 only.
+        store.set(0, t, RoadId(0), 10.0);
+        store.set(1, t, RoadId(0), 12.0);
+        store.set(2, t, RoadId(0), 14.0);
+        store.set(1, t, RoadId(1), 20.0);
+        let mut inc = IncrementalModel::new(&graph);
+        for day in 0..3 {
+            inc.ingest_day(&graph, &store, day);
+        }
+        let streamed = inc.snapshot();
+        let batch = moment_estimate(&graph, &store);
+        assert!((streamed.mu(t, RoadId(0)) - batch.mu(t, RoadId(0))).abs() < 1e-12);
+        assert!((streamed.mu(t, RoadId(1)) - 20.0).abs() < 1e-12);
+    }
+}

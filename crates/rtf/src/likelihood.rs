@@ -1,0 +1,189 @@
+//! Joint log-likelihood of the RTF (Eq. 5), in two flavours.
+//!
+//! * [`config_log_likelihood`] — Eq. (5) verbatim, as a function of a speed
+//!   configuration `V_R^t` with parameters fixed. This is the objective GSP
+//!   ascends (the normalizers are constant in `v`, so they are omitted just
+//!   as in the paper).
+//! * [`data_log_likelihood`] — the training objective: Eq. (5) summed over
+//!   historical days and **including** the Gaussian log-normalizers
+//!   (`-ln σ²` terms), averaged per day. See the crate docs for why the
+//!   normalizers must be restored.
+
+use crate::params::SlotParams;
+use rtse_graph::{Graph, RoadId};
+
+/// Eq. (5) as a function of one full speed configuration `values`
+/// (`values[i]` = `v_i^t`). Parameters fixed; normalizer-free exactly like
+/// the paper. Higher is more likely.
+///
+/// # Panics
+/// Panics if `values.len()` differs from the graph's road count.
+pub fn config_log_likelihood(graph: &Graph, params: &SlotParams, values: &[f64]) -> f64 {
+    assert_eq!(values.len(), graph.num_roads(), "configuration size mismatch");
+    let mut ll = 0.0;
+    for i in graph.road_ids() {
+        let vi = values[i.index()];
+        let si = params.sigma[i.index()];
+        let r = vi - params.mu[i.index()];
+        ll -= r * r / (si * si);
+    }
+    // Each undirected edge contributes once (standard GMRF convention; the
+    // paper's Σ_i Σ_{j∈n(i)} notation would double-count, which would make
+    // its own Eq. (18) no longer the coordinate argmax).
+    for (eidx, &(i, j)) in graph.edges().iter().enumerate() {
+        let e = rtse_graph::EdgeId(eidx as u32);
+        let ediff = (values[i.index()] - values[j.index()]) - params.mu_diff(i, j);
+        ll -= ediff * ediff / params.sigma_diff_sq(i, j, e);
+    }
+    ll
+}
+
+/// Training objective: per-day average of the normalized joint likelihood
+/// over historical snapshots of one slot.
+///
+/// `snapshots` holds one full-network row per day; `NaN` entries are
+/// missing observations and are skipped (an edge term needs both endpoints
+/// present).
+pub fn data_log_likelihood(graph: &Graph, params: &SlotParams, snapshots: &[&[f64]]) -> f64 {
+    if snapshots.is_empty() {
+        return 0.0;
+    }
+    let mut ll = 0.0;
+    for row in snapshots {
+        assert_eq!(row.len(), graph.num_roads(), "snapshot size mismatch");
+        for i in graph.road_ids() {
+            let vi = row[i.index()];
+            if vi.is_nan() {
+                continue;
+            }
+            let si = params.sigma[i.index()];
+            let r = vi - params.mu[i.index()];
+            ll -= r * r / (si * si) + (si * si).ln();
+        }
+        for (eidx, &(i, j)) in graph.edges().iter().enumerate() {
+            let (vi, vj) = (row[i.index()], row[j.index()]);
+            if vi.is_nan() || vj.is_nan() {
+                continue;
+            }
+            let e = rtse_graph::EdgeId(eidx as u32);
+            let u = params.sigma_diff_sq(i, j, e);
+            let ediff = (vi - vj) - params.mu_diff(i, j);
+            ll -= ediff * ediff / u + u.ln();
+        }
+    }
+    ll / snapshots.len() as f64
+}
+
+/// The optimal single-variable update of Eq. (18): the value of `v_i`
+/// maximizing Eq. (5) with every other variable fixed.
+///
+/// Exposed here (rather than only in the GSP crate) because it is purely a
+/// property of the model; GSP schedules *when* to apply it.
+pub fn optimal_update(graph: &Graph, params: &SlotParams, values: &[f64], i: RoadId) -> f64 {
+    let si = params.sigma[i.index()];
+    let mut num = params.mu[i.index()] / (si * si);
+    let mut den = 1.0 / (si * si);
+    for &(j, e) in graph.neighbors(i) {
+        let u = params.sigma_diff_sq(i, j, e);
+        num += (values[j.index()] + params.mu_diff(i, j)) / u;
+        den += 1.0 / u;
+    }
+    num / den
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtse_graph::generators::path;
+    use rtse_math::approx_eq;
+
+    fn fixture() -> (Graph, SlotParams) {
+        let g = path(3);
+        let mut p = SlotParams::neutral(3, 2);
+        p.mu = vec![50.0, 40.0, 45.0];
+        p.sigma = vec![2.0, 5.0, 3.0];
+        p.rho = vec![0.8, 0.6];
+        (g, p)
+    }
+
+    #[test]
+    fn config_likelihood_peaks_at_mean() {
+        let (g, p) = fixture();
+        let at_mean = config_log_likelihood(&g, &p, &p.mu.clone());
+        let shifted = config_log_likelihood(&g, &p, &[55.0, 40.0, 45.0]);
+        assert!(at_mean > shifted);
+        // At the mean every residual and difference-residual is zero.
+        assert!(approx_eq(at_mean, 0.0, 1e-12));
+    }
+
+    #[test]
+    fn config_likelihood_penalizes_broken_correlation() {
+        let (g, p) = fixture();
+        // Shift roads 0 and 1 jointly (preserving the difference) vs
+        // breaking the difference. Joint shift keeps edge terms at zero for
+        // the 0-1 edge.
+        let joint = config_log_likelihood(&g, &p, &[52.0, 42.0, 45.0]);
+        let broken = config_log_likelihood(&g, &p, &[52.0, 38.0, 45.0]);
+        assert!(joint > broken);
+    }
+
+    #[test]
+    fn optimal_update_is_argmax() {
+        let (g, p) = fixture();
+        let mut values = vec![48.0, 41.0, 44.0];
+        let best = optimal_update(&g, &p, &values, RoadId(1));
+        let ll_best = {
+            values[1] = best;
+            config_log_likelihood(&g, &p, &values)
+        };
+        for delta in [-1.0, -0.1, 0.1, 1.0] {
+            values[1] = best + delta;
+            assert!(config_log_likelihood(&g, &p, &values) < ll_best);
+        }
+    }
+
+    #[test]
+    fn isolated_road_update_is_its_mean() {
+        // A road with no neighbors must be pulled straight to μ.
+        let mut b = rtse_graph::GraphBuilder::new();
+        b.add_road(rtse_graph::RoadClass::Local, (0.0, 0.0));
+        let g = b.build();
+        let p = SlotParams { mu: vec![33.0], sigma: vec![2.0], rho: vec![] };
+        let v = [10.0];
+        assert!(approx_eq(optimal_update(&g, &p, &v, RoadId(0)), 33.0, 1e-12));
+    }
+
+    #[test]
+    fn data_likelihood_prefers_true_mean() {
+        let (g, p) = fixture();
+        let day1 = [50.5, 40.5, 45.5];
+        let day2 = [49.5, 39.5, 44.5];
+        let snaps: Vec<&[f64]> = vec![&day1, &day2];
+        let good = data_log_likelihood(&g, &p, &snaps);
+        let mut bad_params = p.clone();
+        bad_params.mu = vec![60.0, 30.0, 50.0];
+        let bad = data_log_likelihood(&g, &p, &snaps);
+        let bad2 = data_log_likelihood(&g, &bad_params, &snaps);
+        assert!(approx_eq(good, bad, 1e-12)); // same params twice
+        assert!(good > bad2);
+    }
+
+    #[test]
+    fn missing_values_are_skipped() {
+        let (g, p) = fixture();
+        let full = [50.0, 40.0, 45.0];
+        let holey = [50.0, f64::NAN, 45.0];
+        let snaps_full: Vec<&[f64]> = vec![&full];
+        let snaps_holey: Vec<&[f64]> = vec![&holey];
+        let lf = data_log_likelihood(&g, &p, &snaps_full);
+        let lh = data_log_likelihood(&g, &p, &snaps_holey);
+        assert!(lf.is_finite() && lh.is_finite());
+        assert!(lh > lf, "fewer (zero-residual but normalized) terms");
+    }
+
+    #[test]
+    fn empty_snapshots_zero() {
+        let (g, p) = fixture();
+        assert_eq!(data_log_likelihood(&g, &p, &[]), 0.0);
+    }
+}

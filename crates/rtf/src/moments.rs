@@ -1,0 +1,146 @@
+//! Closed-form moment estimation of RTF parameters.
+//!
+//! For each slot, `μ_i` / `σ_i` are the per-road sample mean / standard
+//! deviation across days and `ρ_ij` the Pearson correlation of adjacent
+//! roads' speeds, clamped to the paper's `ρ ∈ [0, 1]` range. This is both
+//! a fast standalone estimator and the warm start for the CCD trainer
+//! (whose stationary point it coincides with — see the crate docs).
+
+use crate::params::{RtfModel, SlotParams, RHO_MAX, RHO_MIN, SIGMA_MIN};
+use rtse_data::{HistoryStore, SlotOfDay};
+use rtse_graph::Graph;
+use rtse_math::stats::{mean, pearson, population_std};
+
+/// Moment-estimates the parameters of a single slot.
+pub fn moment_estimate_slot(graph: &Graph, history: &HistoryStore, slot: SlotOfDay) -> SlotParams {
+    let n = graph.num_roads();
+    let mut params = SlotParams::neutral(n, graph.num_edges());
+    for r in graph.road_ids() {
+        let samples = history.samples(r, slot);
+        params.mu[r.index()] = mean(&samples);
+        params.sigma[r.index()] = population_std(&samples).max(SIGMA_MIN);
+    }
+    for (eidx, &(a, b)) in graph.edges().iter().enumerate() {
+        let (xs, ys) = history.paired_samples(a, b, slot);
+        // Paper constraint: ρ ∈ [0, 1]; negative empirical correlation is
+        // clamped to (effectively) uncorrelated.
+        params.rho[eidx] = pearson(&xs, &ys).clamp(RHO_MIN, RHO_MAX);
+    }
+    params
+}
+
+/// Moment-estimates a full [`RtfModel`] (every slot of the day).
+///
+/// ```
+/// use rtse_data::{SlotOfDay, SynthConfig, TrafficGenerator};
+/// use rtse_graph::{generators, RoadId};
+/// use rtse_rtf::moment_estimate;
+///
+/// let graph = generators::grid(2, 3);
+/// let data = TrafficGenerator::new(
+///     &graph,
+///     SynthConfig { days: 5, seed: 1, ..SynthConfig::small_test() },
+/// )
+/// .generate();
+/// let model = moment_estimate(&graph, &data.history);
+/// let rush = SlotOfDay::from_hm(8, 30);
+/// assert!(model.mu(rush, RoadId(0)) > 0.0);
+/// assert!(model.sigma(rush, RoadId(0)) > 0.0);
+/// ```
+pub fn moment_estimate(graph: &Graph, history: &HistoryStore) -> RtfModel {
+    assert_eq!(
+        history.num_roads(),
+        graph.num_roads(),
+        "history and graph road counts disagree"
+    );
+    let slots = SlotOfDay::all().map(|t| moment_estimate_slot(graph, history, t)).collect();
+    RtfModel::from_slots(graph.num_roads(), graph.num_edges(), slots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtse_data::{SynthConfig, TrafficGenerator};
+    use rtse_graph::generators::path;
+    use rtse_graph::RoadId;
+    use rtse_math::approx_eq;
+
+    #[test]
+    fn recovers_hand_built_history() {
+        let g = path(2);
+        let mut h = HistoryStore::new(2, 3);
+        let t = SlotOfDay(0);
+        // road 0: 10, 12, 14 (mean 12, pop std sqrt(8/3))
+        // road 1: 20, 24, 28 (perfectly correlated with road 0)
+        for (day, (a, b)) in [(10.0, 20.0), (12.0, 24.0), (14.0, 28.0)].iter().enumerate() {
+            h.set(day, t, RoadId(0), *a);
+            h.set(day, t, RoadId(1), *b);
+        }
+        let p = moment_estimate_slot(&g, &h, t);
+        assert!(approx_eq(p.mu[0], 12.0, 1e-12));
+        assert!(approx_eq(p.mu[1], 24.0, 1e-12));
+        assert!(approx_eq(p.sigma[0], (8.0f64 / 3.0).sqrt(), 1e-12));
+        assert!(approx_eq(p.rho[0], RHO_MAX, 1e-12), "perfect correlation clamps to max");
+    }
+
+    #[test]
+    fn negative_correlation_clamped_to_min() {
+        let g = path(2);
+        let mut h = HistoryStore::new(2, 3);
+        let t = SlotOfDay(5);
+        for (day, (a, b)) in [(10.0, 28.0), (12.0, 24.0), (14.0, 20.0)].iter().enumerate() {
+            h.set(day, t, RoadId(0), *a);
+            h.set(day, t, RoadId(1), *b);
+        }
+        let p = moment_estimate_slot(&g, &h, t);
+        assert_eq!(p.rho[0], RHO_MIN);
+    }
+
+    #[test]
+    fn constant_road_gets_sigma_floor() {
+        let g = path(2);
+        let mut h = HistoryStore::new(2, 4);
+        let t = SlotOfDay(0);
+        for day in 0..4 {
+            h.set(day, t, RoadId(0), 55.0);
+            h.set(day, t, RoadId(1), 30.0 + day as f64);
+        }
+        let p = moment_estimate_slot(&g, &h, t);
+        assert_eq!(p.sigma[0], SIGMA_MIN);
+        assert!(p.sigma[1] > SIGMA_MIN);
+    }
+
+    #[test]
+    fn full_model_tracks_generator_profiles() {
+        let g = path(5);
+        let cfg = SynthConfig { days: 50, incidents_per_day: 0.0, seed: 3, ..SynthConfig::default() };
+        let generator = TrafficGenerator::new(&g, cfg);
+        let profiles = generator.profiles().to_vec();
+        let ds = generator.generate();
+        let model = moment_estimate(&g, &ds.history);
+        let t = SlotOfDay::from_hm(12, 0);
+        for r in 0..5 {
+            let mu = model.mu(t, RoadId::from(r));
+            let expect = profiles[r].expected_speed(t);
+            assert!(
+                (mu - expect).abs() < 3.0,
+                "road {r}: estimated μ {mu} vs profile {expect}"
+            );
+        }
+        // Adjacent correlations should be well above the clamp floor thanks
+        // to the generator's spatial diffusion.
+        let rho_avg: f64 = (0..g.num_edges())
+            .map(|e| model.rho(t, rtse_graph::EdgeId(e as u32)))
+            .sum::<f64>()
+            / g.num_edges() as f64;
+        assert!(rho_avg > 0.2, "average adjacent ρ too low: {rho_avg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree")]
+    fn mismatched_history_rejected() {
+        let g = path(3);
+        let h = HistoryStore::new(2, 1);
+        moment_estimate(&g, &h);
+    }
+}

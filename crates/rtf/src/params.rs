@@ -1,0 +1,198 @@
+//! RTF parameter storage.
+
+use rtse_data::{SlotOfDay, SLOTS_PER_DAY};
+use rtse_graph::{EdgeId, Graph, RoadId};
+use serde::{Deserialize, Serialize};
+
+/// Lower clamp for standard deviations: keeps every Gaussian proper and the
+/// coordinate updates (Eq. 18) finite even for roads whose history is
+/// constant.
+pub const SIGMA_MIN: f64 = 0.25;
+
+/// Clamp range for correlation coefficients. The paper constrains
+/// `ρ ∈ [0, 1]`; we stay strictly inside so `-ln ρ` path weights and
+/// `σ_ij²` remain finite and positive.
+pub const RHO_MIN: f64 = 1e-3;
+/// Upper clamp for `ρ` (see [`RHO_MIN`]).
+pub const RHO_MAX: f64 = 0.999;
+
+/// Parameters of one time slot: `μ`, `σ` per road and `ρ` per edge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlotParams {
+    /// Expected speed per road (`μ_i^t`).
+    pub mu: Vec<f64>,
+    /// Standard deviation per road (`σ_i^t`), clamped to [`SIGMA_MIN`].
+    pub sigma: Vec<f64>,
+    /// Correlation per edge (`ρ_ij^t`), clamped to `[RHO_MIN, RHO_MAX]`.
+    pub rho: Vec<f64>,
+}
+
+impl SlotParams {
+    /// All-zero-speed parameters with unit variance and mid correlation —
+    /// the "small random values" of Alg. 1 are produced by the trainer; this
+    /// is the deterministic shell.
+    pub fn neutral(num_roads: usize, num_edges: usize) -> Self {
+        Self {
+            mu: vec![0.0; num_roads],
+            sigma: vec![1.0; num_roads],
+            rho: vec![0.5; num_edges],
+        }
+    }
+
+    /// `μ_ij = μ_i − μ_j` (Eq. 2).
+    #[inline]
+    pub fn mu_diff(&self, i: RoadId, j: RoadId) -> f64 {
+        self.mu[i.index()] - self.mu[j.index()]
+    }
+
+    /// `σ_ij² = σ_i² + σ_j² − 2 ρ_ij σ_i σ_j` (Eq. 2), floored at
+    /// `SIGMA_MIN²` so downstream divisions are safe.
+    #[inline]
+    pub fn sigma_diff_sq(&self, i: RoadId, j: RoadId, e: EdgeId) -> f64 {
+        let si = self.sigma[i.index()];
+        let sj = self.sigma[j.index()];
+        let rho = self.rho[e.index()];
+        (si * si + sj * sj - 2.0 * rho * si * sj).max(SIGMA_MIN * SIGMA_MIN)
+    }
+
+    /// Applies the clamps after a gradient step.
+    pub fn clamp(&mut self) {
+        for s in &mut self.sigma {
+            *s = s.max(SIGMA_MIN);
+        }
+        for r in &mut self.rho {
+            *r = r.clamp(RHO_MIN, RHO_MAX);
+        }
+    }
+}
+
+/// The full trained field: one [`SlotParams`] per slot of the day.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RtfModel {
+    num_roads: usize,
+    num_edges: usize,
+    slots: Vec<SlotParams>,
+}
+
+impl RtfModel {
+    /// Builds a model from per-slot parameters.
+    ///
+    /// # Panics
+    /// Panics when any slot's vector lengths disagree with the declared
+    /// dimensions or when the number of slots is not [`SLOTS_PER_DAY`].
+    pub fn from_slots(num_roads: usize, num_edges: usize, slots: Vec<SlotParams>) -> Self {
+        assert_eq!(slots.len(), SLOTS_PER_DAY, "need one SlotParams per slot of day");
+        for sp in &slots {
+            assert_eq!(sp.mu.len(), num_roads);
+            assert_eq!(sp.sigma.len(), num_roads);
+            assert_eq!(sp.rho.len(), num_edges);
+        }
+        Self { num_roads, num_edges, slots }
+    }
+
+    /// A neutral (untrained) model matching a graph's dimensions.
+    pub fn neutral(graph: &Graph) -> Self {
+        let slots = (0..SLOTS_PER_DAY)
+            .map(|_| SlotParams::neutral(graph.num_roads(), graph.num_edges()))
+            .collect();
+        Self { num_roads: graph.num_roads(), num_edges: graph.num_edges(), slots }
+    }
+
+    /// Number of roads the model covers.
+    pub fn num_roads(&self) -> usize {
+        self.num_roads
+    }
+
+    /// Number of edges the model covers.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Parameters of one slot.
+    #[inline]
+    pub fn slot(&self, t: SlotOfDay) -> &SlotParams {
+        &self.slots[t.index()]
+    }
+
+    /// Mutable parameters of one slot (trainer use).
+    #[inline]
+    pub fn slot_mut(&mut self, t: SlotOfDay) -> &mut SlotParams {
+        &mut self.slots[t.index()]
+    }
+
+    /// `μ_i^t`.
+    #[inline]
+    pub fn mu(&self, t: SlotOfDay, r: RoadId) -> f64 {
+        self.slots[t.index()].mu[r.index()]
+    }
+
+    /// `σ_i^t` — the paper's periodicity-intensity weight in OCS (Eq. 13).
+    #[inline]
+    pub fn sigma(&self, t: SlotOfDay, r: RoadId) -> f64 {
+        self.slots[t.index()].sigma[r.index()]
+    }
+
+    /// `ρ_ij^t` for an edge.
+    #[inline]
+    pub fn rho(&self, t: SlotOfDay, e: EdgeId) -> f64 {
+        self.slots[t.index()].rho[e.index()]
+    }
+
+    /// Checks the model's dimensions against a graph.
+    pub fn matches_graph(&self, graph: &Graph) -> bool {
+        self.num_roads == graph.num_roads() && self.num_edges == graph.num_edges()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtse_graph::generators::path;
+
+    #[test]
+    fn sigma_diff_sq_hand_value() {
+        let mut sp = SlotParams::neutral(2, 1);
+        sp.sigma = vec![2.0, 3.0];
+        sp.rho = vec![0.5];
+        // 4 + 9 - 2*0.5*6 = 7
+        assert_eq!(sp.sigma_diff_sq(RoadId(0), RoadId(1), EdgeId(0)), 7.0);
+        assert_eq!(sp.mu_diff(RoadId(0), RoadId(1)), 0.0);
+    }
+
+    #[test]
+    fn sigma_diff_sq_floor() {
+        let mut sp = SlotParams::neutral(2, 1);
+        sp.sigma = vec![1.0, 1.0];
+        sp.rho = vec![0.999_999]; // nearly perfectly correlated
+        let v = sp.sigma_diff_sq(RoadId(0), RoadId(1), EdgeId(0));
+        assert!(v >= SIGMA_MIN * SIGMA_MIN);
+    }
+
+    #[test]
+    fn clamp_enforces_ranges() {
+        let mut sp = SlotParams::neutral(1, 1);
+        sp.sigma = vec![-3.0];
+        sp.rho = vec![1.7];
+        sp.clamp();
+        assert_eq!(sp.sigma[0], SIGMA_MIN);
+        assert_eq!(sp.rho[0], RHO_MAX);
+    }
+
+    #[test]
+    fn model_accessors() {
+        let g = path(3);
+        let mut m = RtfModel::neutral(&g);
+        assert!(m.matches_graph(&g));
+        let t = SlotOfDay(10);
+        m.slot_mut(t).mu[1] = 42.0;
+        assert_eq!(m.mu(t, RoadId(1)), 42.0);
+        assert_eq!(m.sigma(t, RoadId(0)), 1.0);
+        assert_eq!(m.rho(t, EdgeId(1)), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "one SlotParams per slot")]
+    fn from_slots_wrong_count() {
+        RtfModel::from_slots(1, 0, vec![SlotParams::neutral(1, 0)]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Save/load of trained RTF models.
+//!
+//! The offline stage is expensive relative to a query, so trained models
+//! are checkpointed as JSON (the only place serde enters the system; see
+//! DESIGN.md for the dependency justification).
+
+use crate::params::RtfModel;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+/// Error covering both I/O and (de)serialization failures.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Malformed or incompatible model file.
+    Format(serde_json::Error),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Format(e) => write!(f, "model format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Format(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Format(e)
+    }
+}
+
+/// Writes a model to a JSON file.
+pub fn save_model(model: &RtfModel, path: &Path) -> Result<(), PersistError> {
+    let file = BufWriter::new(File::create(path)?);
+    serde_json::to_writer(file, model)?;
+    Ok(())
+}
+
+/// Reads a model back from a JSON file.
+pub fn load_model(path: &Path) -> Result<RtfModel, PersistError> {
+    let file = BufReader::new(File::open(path)?);
+    Ok(serde_json::from_reader(file)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SlotParams;
+    use rtse_data::SLOTS_PER_DAY;
+
+    fn tiny_model() -> RtfModel {
+        let slots = (0..SLOTS_PER_DAY)
+            .map(|t| SlotParams {
+                mu: vec![t as f64, 2.0 * t as f64],
+                sigma: vec![1.0, 2.0],
+                rho: vec![0.5],
+            })
+            .collect();
+        RtfModel::from_slots(2, 1, slots)
+    }
+
+    #[test]
+    fn round_trip() {
+        let dir = std::env::temp_dir().join("rtse_rtf_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        let model = tiny_model();
+        save_model(&model, &path).unwrap();
+        let back = load_model(&path).unwrap();
+        assert_eq!(model, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = load_model(Path::new("/nonexistent/rtse/model.json")).unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+    }
+
+    #[test]
+    fn load_garbage_is_format_error() {
+        let dir = std::env::temp_dir().join("rtse_rtf_persist_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, b"{not json").unwrap();
+        let err = load_model(&path).unwrap_err();
+        assert!(matches!(err, PersistError::Format(_)));
+        std::fs::remove_file(&path).ok();
+    }
+}

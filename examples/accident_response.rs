@@ -1,0 +1,104 @@
+//! Accident response: the scenario that motivates CrowdRTSE's design.
+//!
+//! A purely periodic model cannot see an incident — its estimate is
+//! yesterday's average. This example injects a severe incident into
+//! "today", then compares the periodic baseline against the full
+//! CrowdRTSE pipeline around the incident epicenter.
+//!
+//! ```sh
+//! cargo run --release --example accident_response
+//! ```
+
+use crowd_rtse::prelude::*;
+
+fn main() {
+    let graph = crowd_rtse::graph::generators::hong_kong_like(150, 21);
+    // History without incidents; today with guaranteed severe incidents.
+    let dataset = TrafficGenerator::new(
+        &graph,
+        SynthConfig {
+            days: 15,
+            seed: 21,
+            incidents_per_day: 3.0,
+            severity_range: (0.55, 0.75),
+            duration_range: (36, 72), // 3–6 hours
+            ..SynthConfig::default()
+        },
+    )
+    .generate();
+
+    let incident = dataset
+        .today_incidents
+        .first()
+        .expect("scenario guarantees incidents today")
+        .clone();
+    let mid_slot = SlotOfDay(
+        ((incident.start.index() + incident.duration_slots / 2).min(287)) as u16,
+    );
+    println!(
+        "incident at {} starting {:02}:{:02}, lasting {} slots, severity {:.2}",
+        incident.road,
+        incident.start.hour(),
+        incident.start.minute(),
+        incident.duration_slots,
+        incident.severity
+    );
+
+    let offline = OfflineArtifacts::from_model(moment_estimate(&graph, &dataset.history));
+    let engine = CrowdRtse::new(&graph, offline);
+
+    // Query the incident neighborhood (2 hops around the epicenter).
+    let neighborhood = crowd_rtse::graph::bfs::k_hop_neighborhood(&graph, &[incident.road], 2);
+    let query = SpeedQuery::new(neighborhood.clone(), mid_slot);
+    let truth = dataset.ground_truth_snapshot(mid_slot);
+
+    // Workers are dense around the incident (rubbernecking is real).
+    let pool = WorkerPool::spawn_on_roads(&graph, &neighborhood, 40, 0.5, (0.3, 1.2), 5);
+    let costs = uniform_costs(graph.num_roads(), CostRange::C2, 5);
+
+    let answer = engine.answer_query(
+        &query,
+        &pool,
+        &costs,
+        truth,
+        &OnlineConfig { budget: 20, ..Default::default() },
+    );
+
+    // Compare against the periodic estimate.
+    let periodic = engine.offline().model().slot(mid_slot).mu.clone();
+    let crowd_report = ErrorReport::evaluate_default(&answer.all_values, truth, &query.roads);
+    let per_report = ErrorReport::evaluate_default(&periodic, truth, &query.roads);
+
+    let mut table = Table::new(
+        format!("{}-road incident neighborhood at mid-incident", query.roads.len()),
+        &["method", "MAPE", "FER", "MAE km/h"],
+    );
+    table.push_row(vec![
+        "CrowdRTSE".into(),
+        format!("{:.3}", crowd_report.mape),
+        format!("{:.3}", crowd_report.fer),
+        format!("{:.2}", crowd_report.mae),
+    ]);
+    table.push_row(vec![
+        "Periodic (Per)".into(),
+        format!("{:.3}", per_report.mape),
+        format!("{:.3}", per_report.fer),
+        format!("{:.2}", per_report.mae),
+    ]);
+    println!("\n{}", table.render());
+
+    // Show the epicenter in detail.
+    let epi = incident.road;
+    println!(
+        "epicenter {}: truth {:.1} km/h, periodic says {:.1}, CrowdRTSE says {:.1}",
+        epi,
+        truth[epi.index()],
+        periodic[epi.index()],
+        answer.all_values[epi.index()],
+    );
+    if crowd_report.mape < per_report.mape {
+        println!("\nCrowdRTSE caught the slowdown the periodic model missed.");
+    } else {
+        println!("\nNote: with this seed the workers missed the epicenter; try another seed.");
+    }
+}

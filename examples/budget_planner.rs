@@ -1,0 +1,59 @@
+//! Budget planning: how much crowdsourcing is enough?
+//!
+//! Sweeps the budget K and the selection strategy, reporting estimation
+//! quality per payment unit — the operational question a CrowdRTSE
+//! deployment has to answer. Mirrors the structure of the paper's Fig. 3
+//! at example scale.
+//!
+//! ```sh
+//! cargo run --release --example budget_planner
+//! ```
+
+use crowd_rtse::prelude::*;
+
+fn main() {
+    let graph = crowd_rtse::graph::generators::hong_kong_like(200, 33);
+    let dataset = TrafficGenerator::new(
+        &graph,
+        SynthConfig { days: 15, seed: 33, incidents_per_day: 3.0, ..SynthConfig::default() },
+    )
+    .generate();
+    let offline = OfflineArtifacts::from_model(moment_estimate(&graph, &dataset.history));
+    let engine = CrowdRtse::new(&graph, offline);
+
+    let slot = SlotOfDay::from_hm(18, 0); // evening rush
+    let truth = dataset.ground_truth_snapshot(slot);
+    let queried: Vec<RoadId> = (0..graph.num_roads()).step_by(4).map(RoadId::from).collect();
+    let query = SpeedQuery::new(queried, slot);
+    let pool = WorkerPool::spawn(&graph, 120, 0.5, (0.3, 1.5), 8);
+    let costs = uniform_costs(graph.num_roads(), CostRange::C2, 8);
+
+    let mut table = Table::new(
+        format!("budget sweep over {} queried roads, θ = 0.92", query.roads.len()),
+        &["K", "strategy", "roads bought", "paid", "MAPE", "FER"],
+    );
+    for budget in [5u32, 10, 20, 40, 80] {
+        for (label, strategy) in [
+            ("Hybrid", SelectionStrategy::Hybrid),
+            ("Random", SelectionStrategy::Random(99)),
+        ] {
+            let config = OnlineConfig { budget, strategy, ..Default::default() };
+            let answer = engine.answer_query(&query, &pool, &costs, truth, &config);
+            let report = ErrorReport::evaluate_default(&answer.all_values, truth, &query.roads);
+            table.push_row(vec![
+                budget.to_string(),
+                label.into(),
+                answer.selection.roads.len().to_string(),
+                answer.paid.to_string(),
+                format!("{:.3}", report.mape),
+                format!("{:.3}", report.fer),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "Reading guide: MAPE should fall as K grows, fastest at small K, and\n\
+         Hybrid should dominate Random at the same spend — the same shapes as\n\
+         the paper's Fig. 3."
+    );
+}

@@ -1,0 +1,89 @@
+//! gMission-style campaign: reproduce the shape of the paper's second
+//! evaluation (Fig. 6) as a runnable scenario.
+//!
+//! 50 connected queried roads, 30 worker roads inside them (`R^w ⊂ R^q`),
+//! uniform costs 1–10, budgets 10–50 — Table II's gMission row.
+//!
+//! ```sh
+//! cargo run --release --example gmission_campaign
+//! ```
+
+use crowd_rtse::prelude::*;
+
+fn main() {
+    let graph = crowd_rtse::graph::generators::hong_kong_like(607, 11);
+    let dataset = TrafficGenerator::new(
+        &graph,
+        SynthConfig { days: 15, seed: 11, ..SynthConfig::default() },
+    )
+    .generate();
+
+    let scenario = GMissionScenario::build(&graph, &GMissionSpec::default());
+    println!(
+        "gMission scenario: |R^q| = {}, |R^w| = {}, {} workers",
+        scenario.queried.len(),
+        scenario.worker_roads.len(),
+        scenario.pool.len()
+    );
+
+    let offline = OfflineArtifacts::from_model(moment_estimate(&graph, &dataset.history));
+    let engine = CrowdRtse::new(&graph, offline);
+
+    let slot = SlotOfDay::from_hm(9, 0);
+    let truth = dataset.ground_truth_snapshot(slot);
+    let query = SpeedQuery::new(scenario.queried.clone(), slot);
+
+    let mut table = Table::new(
+        "gMission budget sweep (Hybrid-Greedy selection)",
+        &["K", "sampled roads", "MAPE", "FER", "1-hop coverage", "2-hop coverage"],
+    );
+    for budget in [10u32, 20, 30, 40, 50] {
+        let config = OnlineConfig { budget, ..Default::default() };
+        let answer =
+            engine.answer_query(&query, &scenario.pool, &scenario.costs, truth, &config);
+        let report = ErrorReport::evaluate_default(&answer.all_values, truth, &query.roads);
+        let c1 = k_hop_coverage(&graph, &query.roads, &answer.selection.roads, 1);
+        let c2 = k_hop_coverage(&graph, &query.roads, &answer.selection.roads, 2);
+        table.push_row(vec![
+            budget.to_string(),
+            answer.selection.roads.len().to_string(),
+            format!("{:.3}", report.mape),
+            format!("{:.3}", report.fer),
+            c1.to_string(),
+            c2.to_string(),
+        ]);
+    }
+    println!("\n{}", table.render());
+
+    // Compare the four estimators at one budget, like Fig. 6.
+    let config = OnlineConfig { budget: 30, ..Default::default() };
+    let answer = engine.answer_query(&query, &scenario.pool, &scenario.costs, truth, &config);
+    let observations: Vec<(RoadId, f64)> = answer
+        .selection
+        .roads
+        .iter()
+        .map(|&r| (r, answer.all_values[r.index()]))
+        .collect();
+    let ctx = EstimationContext {
+        graph: &graph,
+        model: engine.offline().model(),
+        history: &dataset.history,
+        slot,
+    };
+    let mut table = Table::new("estimator comparison at K = 30", &["method", "MAPE", "FER"]);
+    let estimators: Vec<(&str, Vec<f64>)> = vec![
+        ("GSP", answer.all_values.clone()),
+        ("LASSO", LassoEstimator::default().estimate(&ctx, &observations)),
+        ("GRMC", Grmc::default().estimate(&ctx, &observations)),
+        ("Per", Per.estimate(&ctx, &observations)),
+    ];
+    for (name, estimate) in estimators {
+        let report = ErrorReport::evaluate_default(&estimate, truth, &query.roads);
+        table.push_row(vec![
+            name.into(),
+            format!("{:.3}", report.mape),
+            format!("{:.3}", report.fer),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,77 @@
+//! Quickstart: train CrowdRTSE offline on synthetic history, then answer a
+//! realtime query online.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use crowd_rtse::prelude::*;
+
+fn main() {
+    // ---- World setup -----------------------------------------------------
+    // A synthetic city shaped like the paper's Hong Kong test bed, scaled
+    // down to keep the example snappy, with 15 days of 5-minute history.
+    let graph = crowd_rtse::graph::generators::hong_kong_like(200, 7);
+    println!(
+        "network: {} roads, {} adjacencies",
+        graph.num_roads(),
+        graph.num_edges()
+    );
+    let dataset = TrafficGenerator::new(
+        &graph,
+        SynthConfig { days: 15, seed: 7, ..SynthConfig::default() },
+    )
+    .generate();
+    println!("history: {} records over {} days", dataset.history.num_records(), 15);
+
+    // ---- Offline stage ---------------------------------------------------
+    // Estimate the RTF: slot means (periodicity), slot stds (periodicity
+    // intensity) and adjacent-road correlations.
+    let offline = OfflineArtifacts::from_model(moment_estimate(&graph, &dataset.history));
+    let engine = CrowdRtse::new(&graph, offline);
+
+    // ---- Online stage ----------------------------------------------------
+    // 60 workers are out in the city; each road has a probe cost.
+    let pool = WorkerPool::spawn(&graph, 60, 0.5, (0.3, 1.5), 42);
+    let costs = uniform_costs(graph.num_roads(), CostRange::C2, 42);
+    println!("workers cover {} roads", pool.covered_roads().len());
+
+    // Morning rush hour query over 25 roads.
+    let slot = SlotOfDay::from_hm(8, 30);
+    let query = SpeedQuery::new((0u32..25).map(RoadId).collect(), slot);
+    let truth = dataset.ground_truth_snapshot(slot);
+
+    let config = OnlineConfig { budget: 30, theta: 0.92, ..Default::default() };
+    let answer = engine.answer_query(&query, &pool, &costs, truth, &config);
+
+    println!(
+        "\ncrowdsourced {} roads for {} payment units (OCS {:?}, GSP {:?})",
+        answer.selection.roads.len(),
+        answer.paid,
+        answer.selection_time,
+        answer.propagation_time,
+    );
+
+    // ---- Results ---------------------------------------------------------
+    let mut table = Table::new(
+        "realtime estimates (first 10 queried roads)",
+        &["road", "estimate km/h", "truth km/h", "APE"],
+    );
+    for (i, &road) in query.roads.iter().take(10).enumerate() {
+        let est = answer.estimates[i];
+        let t = truth[road.index()];
+        table.push_row(vec![
+            road.to_string(),
+            format!("{est:.1}"),
+            format!("{t:.1}"),
+            format!("{:.3}", crowd_rtse::eval::ape(est, t)),
+        ]);
+    }
+    println!("\n{}", table.render());
+
+    let report = ErrorReport::evaluate_default(&answer.all_values, truth, &query.roads);
+    println!(
+        "over all {} queried roads: MAPE {:.3}, FER {:.3}, MAE {:.2} km/h",
+        report.count, report.mape, report.fer, report.mae
+    );
+}

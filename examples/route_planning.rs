@@ -1,0 +1,138 @@
+//! Route planning on live estimates: the downstream application the
+//! paper's introduction motivates.
+//!
+//! Computes the fastest route between two points under (a) periodic-mean
+//! speeds and (b) CrowdRTSE realtime estimates, then scores both routes'
+//! true travel times against ground truth — when an incident blocks the
+//! periodic route, the realtime plan detours around it.
+//!
+//! ```sh
+//! cargo run --release --example route_planning
+//! ```
+
+use crowd_rtse::graph::{dijkstra_with_paths, Graph, RoadId};
+use crowd_rtse::prelude::*;
+
+/// Travel time of an edge in hours, driving half of each endpoint road at
+/// its (estimated/true) speed.
+fn edge_hours(graph: &Graph, speeds: &[f64], e: crowd_rtse::graph::EdgeId) -> f64 {
+    let (a, b) = graph.edge_endpoints(e);
+    let time = |r: RoadId| {
+        let road = graph.road(r);
+        (road.length_m / 1000.0) / speeds[r.index()].max(1.0) / 2.0
+    };
+    time(a) + time(b)
+}
+
+fn route_and_eta(graph: &Graph, speeds: &[f64], from: RoadId, to: RoadId) -> (Vec<RoadId>, f64) {
+    let sp = dijkstra_with_paths(graph, from, |e| edge_hours(graph, speeds, e));
+    let path = sp.path_to(to).expect("network is connected");
+    (path, sp.cost(to))
+}
+
+/// True travel time of a concrete route.
+fn true_hours(graph: &Graph, truth: &[f64], path: &[RoadId]) -> f64 {
+    path.iter()
+        .map(|&r| (graph.road(r).length_m / 1000.0) / truth[r.index()].max(1.0))
+        .sum()
+}
+
+fn main() {
+    let graph = crowd_rtse::graph::generators::hong_kong_like(300, 77);
+    let dataset = TrafficGenerator::new(
+        &graph,
+        SynthConfig {
+            days: 12,
+            seed: 77,
+            incidents_per_day: 4.0,
+            severity_range: (0.5, 0.7),
+            duration_range: (36, 72),
+            ..SynthConfig::default()
+        },
+    )
+    .generate();
+    let engine = CrowdRtse::new(
+        &graph,
+        OfflineArtifacts::from_model(moment_estimate(&graph, &dataset.history)),
+    );
+
+    // Plan during an active incident.
+    let incident = dataset.today_incidents.first().expect("incidents guaranteed");
+    let slot = SlotOfDay(((incident.start.index() + incident.duration_slots / 2).min(287)) as u16);
+    let truth = dataset.ground_truth_snapshot(slot);
+
+    // Realtime estimate for the whole network; workers cluster around the
+    // incident (congestion attracts probes in practice).
+    let neighborhood = crowd_rtse::graph::bfs::k_hop_neighborhood(&graph, &[incident.road], 3);
+    let mut pool = WorkerPool::spawn(&graph, 100, 0.5, (0.3, 1.2), 4);
+    let near = WorkerPool::spawn_on_roads(&graph, &neighborhood, 50, 0.5, (0.3, 1.2), 5);
+    let _ = &mut pool; // base fleet roams the city
+    let pool = {
+        // Merge the two fleets by spawning the union on covered roads.
+        let mut covered = pool.covered_roads();
+        covered.extend(near.covered_roads());
+        covered.sort();
+        covered.dedup();
+        WorkerPool::spawn_on_roads(&graph, &covered, 150, 0.5, (0.3, 1.2), 6)
+    };
+    let costs = uniform_costs(graph.num_roads(), CostRange::C2, 4);
+    let periodic = engine.offline().model().slot(slot).mu.clone();
+
+    // Route across the city into the incident zone.
+    let hops = crowd_rtse::graph::hop_distances(&graph, &[incident.road]);
+    let from = graph
+        .road_ids()
+        .filter(|r| hops[r.index()] != usize::MAX)
+        .max_by_key(|r| hops[r.index()])
+        .expect("connected");
+    let to = incident.road;
+
+    // Query the corridor: the periodic route's 2-hop neighborhood (that is
+    // where accurate speeds decide the plan).
+    let (per_route_preview, _) = route_and_eta(&graph, &periodic, from, to);
+    let corridor = crowd_rtse::graph::bfs::k_hop_neighborhood(&graph, &per_route_preview, 2);
+    let query = SpeedQuery::new(corridor, slot);
+    let answer = engine.answer_query(
+        &query,
+        &pool,
+        &costs,
+        truth,
+        &OnlineConfig { budget: 40, ..Default::default() },
+    );
+
+    let (per_route, per_eta) = route_and_eta(&graph, &periodic, from, to);
+    let (live_route, live_eta) = route_and_eta(&graph, &answer.all_values, from, to);
+    let per_true = true_hours(&graph, truth, &per_route);
+    let live_true = true_hours(&graph, truth, &live_route);
+
+    println!(
+        "incident at {} (severity {:.2}); planning {} -> {} at {:02}:{:02}\n",
+        incident.road,
+        incident.severity,
+        from,
+        to,
+        slot.hour(),
+        slot.minute()
+    );
+    let mut t = Table::new(
+        "route comparison",
+        &["planner", "roads", "ETA min", "true min", "ETA error min"],
+    );
+    for (name, route, eta, truth_h) in [
+        ("periodic", &per_route, per_eta, per_true),
+        ("CrowdRTSE", &live_route, live_eta, live_true),
+    ] {
+        t.push_row(vec![
+            name.into(),
+            route.len().to_string(),
+            format!("{:.1}", eta * 60.0),
+            format!("{:.1}", truth_h * 60.0),
+            format!("{:.1}", (truth_h - eta).abs() * 60.0),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "The realtime planner's ETA should be far closer to the truth; when the\n\
+         incident sits on the periodic route, the routes themselves diverge."
+    );
+}

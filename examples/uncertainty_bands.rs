@@ -1,0 +1,108 @@
+//! Uncertainty-aware estimation: posterior credible bands per road.
+//!
+//! GSP returns the most likely speed; the perturb-and-MAP sampler
+//! (`rtse_gsp::uncertainty`) adds calibrated standard deviations, so a
+//! consumer can tell a confident estimate (next to a probe) from a guess
+//! (five hops from the nearest worker). The example prints bands for a
+//! cross-section of roads and then checks empirical coverage against the
+//! ground truth.
+//!
+//! ```sh
+//! cargo run --release --example uncertainty_bands
+//! ```
+
+use crowd_rtse::gsp::sample_posterior;
+use crowd_rtse::prelude::*;
+
+fn main() {
+    let graph = crowd_rtse::graph::generators::hong_kong_like(150, 91);
+    let dataset = TrafficGenerator::new(
+        &graph,
+        SynthConfig { days: 15, seed: 91, ..SynthConfig::default() },
+    )
+    .generate();
+    let model = moment_estimate(&graph, &dataset.history);
+    let slot = SlotOfDay::from_hm(8, 30);
+    let truth = dataset.ground_truth_snapshot(slot);
+
+    // Probe a handful of roads (a small crowdsourcing round).
+    let observations: Vec<(RoadId, f64)> =
+        (0usize..10).map(|k| RoadId::from(k * 15)).map(|r| (r, truth[r.index()])).collect();
+    let observed: Vec<RoadId> = observations.iter().map(|&(r, _)| r).collect();
+
+    let posterior = sample_posterior(&graph, model.slot(slot), &observations, 300, 7);
+    let hops = crowd_rtse::graph::hop_distances(&graph, &observed);
+
+    let mut table = Table::new(
+        "posterior bands by distance from the nearest probe",
+        &["road", "hops", "estimate", "±2σ band", "truth", "inside?"],
+    );
+    let mut shown_per_hop = [0usize; 5];
+    for r in graph.road_ids() {
+        let h = hops[r.index()];
+        if h >= shown_per_hop.len() || shown_per_hop[h] >= 3 {
+            continue;
+        }
+        shown_per_hop[h] += 1;
+        let (lo, hi) = posterior.interval(r, 2.0);
+        let t = truth[r.index()];
+        table.push_row(vec![
+            r.to_string(),
+            h.to_string(),
+            format!("{:.1}", posterior.mean[r.index()]),
+            format!("[{lo:.1}, {hi:.1}]"),
+            format!("{t:.1}"),
+            if (lo..=hi).contains(&t) { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // Empirical coverage of the 2σ band (~95% if calibrated) and the
+    // band-width growth with hop distance.
+    let mut inside = 0usize;
+    let mut total = 0usize;
+    let mut width_by_hop: Vec<(f64, usize)> = vec![(0.0, 0); 6];
+    for r in graph.road_ids() {
+        let (lo, hi) = posterior.interval(r, 2.0);
+        let t = truth[r.index()];
+        if posterior.std[r.index()] > 0.0 {
+            total += 1;
+            inside += usize::from((lo..=hi).contains(&t));
+        }
+        let h = hops[r.index()].min(5);
+        width_by_hop[h].0 += hi - lo;
+        width_by_hop[h].1 += 1;
+    }
+    println!(
+        "2σ-band empirical coverage over {total} unobserved roads: {:.1}% (nominal ~95%)",
+        100.0 * inside as f64 / total as f64
+    );
+    print!("mean band width by hop distance: ");
+    for (h, (w, n)) in width_by_hop.iter().enumerate() {
+        if *n > 0 {
+            print!("{h}: {:.1}  ", w / *n as f64);
+        }
+    }
+    println!();
+
+    // The GMRF's edge factors each *add* precision, so its posterior is
+    // systematically overconfident about the real world (the paper only
+    // ever uses the mode, where this cannot matter). A deployment fixes it
+    // empirically: pick z so that mean ± z·σ covers 95% of held-out truth.
+    let mut ratios: Vec<f64> = graph
+        .road_ids()
+        .filter(|r| posterior.std[r.index()] > 0.0)
+        .map(|r| (truth[r.index()] - posterior.mean[r.index()]).abs() / posterior.std[r.index()])
+        .collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let z95 = crowd_rtse::eval::quantile(&ratios, 0.95);
+    println!(
+        "empirically calibrated z for 95% coverage: {z95:.1} (use mean ± {z95:.1}·σ)"
+    );
+    println!(
+        "\nNote: the relative band widths (wider far from probes) are the useful\n\
+         signal — they tell OCS where the next budget buys the most information;\n\
+         absolute calibration needs the empirical z above because the GMRF's\n\
+         pseudo-likelihood construction is overconfident by design."
+    );
+}

@@ -1,0 +1,266 @@
+//! `crowd-rtse` — command-line front end.
+//!
+//! Subcommands:
+//!
+//! ```text
+//! crowd-rtse generate --roads 607 --days 30 --seed 7 --out history.csv
+//! crowd-rtse train    --roads 607 --days 30 --seed 7 --model model.json
+//! crowd-rtse evaluate --roads 607 --days 30 --seed 7 [--budget 30] [--workers 200]
+//! crowd-rtse export   --roads 607 --days 30 --seed 7 --out city.geojson
+//! crowd-rtse info     --roads 607 --seed 7
+//! ```
+//!
+//! The network and dataset are regenerated deterministically from
+//! `--roads/--days/--seed`, so artifacts produced by one subcommand line
+//! up with another's (the CSV a `generate` wrote is the history a `train`
+//! with the same flags used).
+//!
+//! Argument parsing is deliberately hand-rolled: the workspace's dependency
+//! policy (DESIGN.md) keeps the tree to the approved crates.
+
+use crowd_rtse::data::io::write_records;
+use crowd_rtse::prelude::*;
+use crowd_rtse::rtf::persistence::save_model;
+use std::collections::HashMap;
+use std::io::BufWriter;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match Options::parse(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&opts),
+        "export" => cmd_export(&opts),
+        "train" => cmd_train(&opts),
+        "evaluate" => cmd_evaluate(&opts),
+        "info" => cmd_info(&opts),
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+crowd-rtse — realtime traffic speed estimation with sparse crowdsourced data
+
+USAGE:
+  crowd-rtse <generate|train|evaluate|export|info> [--flag value]...
+
+FLAGS (defaults in brackets):
+  --roads N      network size [607]
+  --days N       days of history [30]
+  --seed N       generator seed [2018]
+  --out PATH     output CSV for `generate` [history.csv]
+  --model PATH   output JSON for `train` [model.json]
+  --budget N     crowdsourcing budget for `evaluate` [30]
+  --workers N    worker count for `evaluate` [200]
+  --queried N    queried-road count for `evaluate` [51]";
+
+struct Options {
+    roads: usize,
+    days: usize,
+    seed: u64,
+    out: String,
+    model: String,
+    budget: u32,
+    workers: usize,
+    queried: usize,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut map = HashMap::new();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let key = flag
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {flag:?}"))?;
+            let value = it.next().ok_or_else(|| format!("missing value for --{key}"))?;
+            map.insert(key.to_string(), value.to_string());
+        }
+        let get = |k: &str, default: &str| map.get(k).cloned().unwrap_or_else(|| default.into());
+        let num = |k: &str, default: &str| -> Result<u64, String> {
+            get(k, default).parse().map_err(|_| format!("--{k} must be a number"))
+        };
+        let known =
+            ["roads", "days", "seed", "out", "model", "budget", "workers", "queried"];
+        if let Some(bad) = map.keys().find(|k| !known.contains(&k.as_str())) {
+            return Err(format!("unknown flag --{bad}"));
+        }
+        Ok(Self {
+            roads: num("roads", "607")? as usize,
+            days: num("days", "30")? as usize,
+            seed: num("seed", "2018")?,
+            out: get("out", "history.csv"),
+            model: get("model", "model.json"),
+            budget: num("budget", "30")? as u32,
+            workers: num("workers", "200")? as usize,
+            queried: num("queried", "51")? as usize,
+        })
+    }
+
+    fn world(&self) -> (Graph, SynthDataset) {
+        let graph = crowd_rtse::graph::generators::hong_kong_like(self.roads, self.seed);
+        let dataset = TrafficGenerator::new(
+            &graph,
+            SynthConfig { days: self.days, seed: self.seed, ..SynthConfig::default() },
+        )
+        .generate();
+        (graph, dataset)
+    }
+}
+
+fn cmd_generate(opts: &Options) -> Result<(), String> {
+    let (graph, dataset) = opts.world();
+    let file = std::fs::File::create(&opts.out)
+        .map_err(|e| format!("cannot create {}: {e}", opts.out))?;
+    write_records(BufWriter::new(file), dataset.history.records())
+        .map_err(|e| format!("write failed: {e}"))?;
+    println!(
+        "wrote {} records ({} roads x {} days x {} slots) to {}",
+        dataset.history.num_records(),
+        graph.num_roads(),
+        opts.days,
+        SLOTS_PER_DAY,
+        opts.out
+    );
+    Ok(())
+}
+
+fn cmd_train(opts: &Options) -> Result<(), String> {
+    let (graph, dataset) = opts.world();
+    let model = moment_estimate(&graph, &dataset.history);
+    let diag = crowd_rtse::rtf::evaluate_model(&graph, &model, &dataset.today);
+    save_model(&model, std::path::Path::new(&opts.model))
+        .map_err(|e| format!("cannot save model: {e}"))?;
+    println!(
+        "trained RTF on {} roads x {} days; held-out: avg log-density {:.3}, \
+         1σ coverage {:.1}%, 2σ coverage {:.1}%",
+        graph.num_roads(),
+        opts.days,
+        diag.avg_log_density,
+        100.0 * diag.coverage_1sigma,
+        100.0 * diag.coverage_2sigma
+    );
+    println!("model written to {}", opts.model);
+    Ok(())
+}
+
+fn cmd_evaluate(opts: &Options) -> Result<(), String> {
+    let (graph, dataset) = opts.world();
+    let engine = CrowdRtse::new(
+        &graph,
+        OfflineArtifacts::from_model(moment_estimate(&graph, &dataset.history)),
+    );
+    let pool = WorkerPool::spawn(&graph, opts.workers, 0.5, (0.3, 1.5), opts.seed);
+    let costs = uniform_costs(graph.num_roads(), CostRange::C1, opts.seed);
+    let queried: Vec<RoadId> = (0..graph.num_roads())
+        .step_by((graph.num_roads() / opts.queried.max(1)).max(1))
+        .take(opts.queried)
+        .map(RoadId::from)
+        .collect();
+    let mut table = Table::new(
+        format!(
+            "evaluation: {} queried roads, K = {}, {} workers",
+            queried.len(),
+            opts.budget,
+            opts.workers
+        ),
+        &["slot", "sampled", "MAPE", "FER", "OCS ms", "GSP ms"],
+    );
+    for (h, m) in [(3u32, 0u32), (8, 30), (13, 0), (18, 0)] {
+        let slot = SlotOfDay::from_hm(h, m);
+        let truth = dataset.ground_truth_snapshot(slot);
+        let query = SpeedQuery::new(queried.clone(), slot);
+        let answer = engine.answer_query(
+            &query,
+            &pool,
+            &costs,
+            truth,
+            &OnlineConfig { budget: opts.budget, ..Default::default() },
+        );
+        let rep = ErrorReport::evaluate_default(&answer.all_values, truth, &queried);
+        table.push_row(vec![
+            format!("{h:02}:{m:02}"),
+            answer.selection.roads.len().to_string(),
+            format!("{:.3}", rep.mape),
+            format!("{:.3}", rep.fer),
+            format!("{:.2}", answer.selection_time.as_secs_f64() * 1e3),
+            format!("{:.2}", answer.propagation_time.as_secs_f64() * 1e3),
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+fn cmd_export(opts: &Options) -> Result<(), String> {
+    use crowd_rtse::eval::{to_geojson, ScalarLayer};
+    let (graph, dataset) = opts.world();
+    let engine = CrowdRtse::new(
+        &graph,
+        OfflineArtifacts::from_model(moment_estimate(&graph, &dataset.history)),
+    );
+    let slot = SlotOfDay::from_hm(8, 30);
+    let truth = dataset.ground_truth_snapshot(slot);
+    let pool = WorkerPool::spawn(&graph, opts.workers, 0.5, (0.3, 1.5), opts.seed);
+    let costs = uniform_costs(graph.num_roads(), CostRange::C1, opts.seed);
+    let query = SpeedQuery::new(graph.road_ids().collect(), slot);
+    let answer = engine.answer_query(
+        &query,
+        &pool,
+        &costs,
+        truth,
+        &OnlineConfig { budget: opts.budget, ..Default::default() },
+    );
+    let periodic = engine.offline().model().slot(slot).mu.clone();
+    let json = to_geojson(
+        &graph,
+        &[
+            ScalarLayer { name: "estimate_kmh", values: &answer.all_values },
+            ScalarLayer { name: "periodic_kmh", values: &periodic },
+            ScalarLayer { name: "truth_kmh", values: truth },
+        ],
+    );
+    let out = if opts.out == "history.csv" { "city.geojson".to_string() } else { opts.out.clone() };
+    std::fs::write(&out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "wrote {} roads at 08:30 (estimate/periodic/truth layers) to {out}",
+        graph.num_roads()
+    );
+    Ok(())
+}
+
+fn cmd_info(opts: &Options) -> Result<(), String> {
+    let graph = crowd_rtse::graph::generators::hong_kong_like(opts.roads, opts.seed);
+    println!("network: {} roads, {} adjacencies", graph.num_roads(), graph.num_edges());
+    println!(
+        "average degree {:.2}, diameter (est.) {}, clustering {:.4}",
+        crowd_rtse::graph::average_degree(&graph),
+        crowd_rtse::graph::diameter_estimate(&graph, 8),
+        crowd_rtse::graph::clustering_coefficient(&graph),
+    );
+    let hist = crowd_rtse::graph::degree_histogram(&graph);
+    let line: Vec<String> =
+        hist.iter().enumerate().filter(|(_, &c)| c > 0).map(|(d, c)| format!("{d}:{c}")).collect();
+    println!("degree histogram (degree:count): {}", line.join(" "));
+    for class in RoadClass::ALL {
+        let count = graph.roads().iter().filter(|r| r.class == class).count();
+        println!("  {class:?}: {count} roads");
+    }
+    Ok(())
+}

@@ -1,0 +1,179 @@
+//! Failure-injection integration tests: the pipeline must degrade
+//! gracefully, not panic, when resources are missing or degenerate.
+
+use crowd_rtse::prelude::*;
+
+fn tiny_world() -> (Graph, SynthDataset, Vec<u32>) {
+    let graph = crowd_rtse::graph::generators::grid(4, 4);
+    let dataset = TrafficGenerator::new(
+        &graph,
+        SynthConfig { days: 6, seed: 9, ..SynthConfig::small_test() },
+    )
+    .generate();
+    let costs = uniform_costs(graph.num_roads(), CostRange::C2, 9);
+    (graph, dataset, costs)
+}
+
+#[test]
+fn zero_budget_returns_periodic_means() {
+    let (graph, dataset, costs) = tiny_world();
+    let engine = CrowdRtse::new(
+        &graph,
+        OfflineArtifacts::from_model(moment_estimate(&graph, &dataset.history)),
+    );
+    let slot = SlotOfDay::from_hm(10, 0);
+    let truth = dataset.ground_truth_snapshot(slot);
+    let query = SpeedQuery::new(graph.road_ids().collect(), slot);
+    let pool = WorkerPool::spawn(&graph, 20, 0.5, (0.3, 1.0), 2);
+    let answer = engine.answer_query(
+        &query,
+        &pool,
+        &costs,
+        truth,
+        &OnlineConfig { budget: 0, ..Default::default() },
+    );
+    assert_eq!(answer.all_values, engine.offline().model().slot(slot).mu);
+    assert_eq!(answer.paid, 0);
+    assert!(answer.selection.roads.is_empty());
+}
+
+#[test]
+fn empty_worker_pool_returns_periodic_means() {
+    let (graph, dataset, costs) = tiny_world();
+    let engine = CrowdRtse::new(
+        &graph,
+        OfflineArtifacts::from_model(moment_estimate(&graph, &dataset.history)),
+    );
+    let slot = SlotOfDay::from_hm(15, 0);
+    let truth = dataset.ground_truth_snapshot(slot);
+    let query = SpeedQuery::new(vec![RoadId(5)], slot);
+    let pool = WorkerPool::spawn(&graph, 0, 0.0, (0.1, 0.2), 1);
+    let answer =
+        engine.answer_query(&query, &pool, &costs, truth, &OnlineConfig::default());
+    assert_eq!(answer.estimates[0], engine.offline().model().mu(slot, RoadId(5)));
+}
+
+#[test]
+fn disconnected_network_is_handled() {
+    // Two islands; workers only on one of them.
+    let mut b = GraphBuilder::new();
+    for i in 0..8 {
+        b.add_road(RoadClass::Secondary, (i as f64, 0.0));
+    }
+    for i in 0..3u32 {
+        b.add_edge(RoadId(i), RoadId(i + 1));
+    }
+    for i in 4..7u32 {
+        b.add_edge(RoadId(i), RoadId(i + 1));
+    }
+    let graph = b.build();
+    let dataset = TrafficGenerator::new(
+        &graph,
+        SynthConfig { days: 6, seed: 3, ..SynthConfig::small_test() },
+    )
+    .generate();
+    let engine = CrowdRtse::new(
+        &graph,
+        OfflineArtifacts::from_model(moment_estimate(&graph, &dataset.history)),
+    );
+    let slot = SlotOfDay::from_hm(8, 0);
+    let truth = dataset.ground_truth_snapshot(slot);
+    let query = SpeedQuery::new(graph.road_ids().collect(), slot);
+    let pool = WorkerPool::spawn_on_roads(&graph, &[RoadId(0)], 5, 0.2, (0.2, 0.5), 4);
+    let costs = vec![1u32; graph.num_roads()];
+    let answer = engine.answer_query(
+        &query,
+        &pool,
+        &costs,
+        truth,
+        &OnlineConfig { budget: 5, ..Default::default() },
+    );
+    // The uncovered island keeps its periodic means.
+    let mu = engine.offline().model().slot(slot).mu.clone();
+    for r in 4..8 {
+        assert_eq!(answer.all_values[r], mu[r]);
+    }
+    // The covered island reflects the observation at road 0.
+    assert_eq!(answer.all_values[0], answer.all_values[0]);
+    assert!(answer.estimates.iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn degenerate_constant_history_survives_training() {
+    // A history where every record is the same value: σ hits the floor and
+    // correlations are undefined; everything must stay finite.
+    let graph = crowd_rtse::graph::generators::path(4);
+    let mut history = HistoryStore::new(4, 3);
+    for day in 0..3 {
+        for slot in SlotOfDay::all() {
+            for r in 0..4 {
+                history.set(day, slot, RoadId(r), 50.0);
+            }
+        }
+    }
+    let model = moment_estimate(&graph, &history);
+    let slot = SlotOfDay(0);
+    assert!(model.slot(slot).sigma.iter().all(|s| *s > 0.0));
+    assert!(model.slot(slot).rho.iter().all(|r| r.is_finite()));
+    // GSP on the degenerate model still converges.
+    let solver = GspSolver::default();
+    let result = solver.propagate(&graph, model.slot(slot), &[(RoadId(0), 30.0)]);
+    assert!(result.converged);
+    assert!(result.values.iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn sparse_history_with_missing_days_trains() {
+    let graph = crowd_rtse::graph::generators::grid(2, 3);
+    let full = TrafficGenerator::new(
+        &graph,
+        SynthConfig { days: 10, seed: 8, ..SynthConfig::small_test() },
+    )
+    .generate();
+    // Blank out 60% of the records.
+    let mut sparse = HistoryStore::new(graph.num_roads(), 10);
+    let mut keep = 0usize;
+    for (i, rec) in full.history.records().enumerate() {
+        if i % 5 < 2 {
+            sparse.insert(&rec);
+            keep += 1;
+        }
+    }
+    assert!(keep > 0);
+    let model = moment_estimate(&graph, &sparse);
+    let slot = SlotOfDay::from_hm(8, 0);
+    assert!(model.slot(slot).mu.iter().all(|m| m.is_finite()));
+    let trainer = RtfTrainer { max_iters: 30, ..Default::default() };
+    let (params, _) = trainer.train_slot(&graph, &sparse, slot);
+    assert!(params.mu.iter().all(|m| m.is_finite()));
+    assert!(params.sigma.iter().all(|s| *s > 0.0));
+}
+
+#[test]
+fn theta_extremes_behave() {
+    let (graph, dataset, costs) = tiny_world();
+    let model = moment_estimate(&graph, &dataset.history);
+    let slot = SlotOfDay::from_hm(9, 0);
+    let corr = CorrelationTable::build(&graph, &model, slot, PathCorrelation::MaxProduct);
+    let queried: Vec<RoadId> = graph.road_ids().collect();
+    let pool = WorkerPool::spawn(&graph, 30, 0.5, (0.3, 1.0), 5);
+    let candidates = pool.covered_roads();
+    let params = model.slot(slot);
+    // θ → 0⁺ allows at most one road from any correlated cluster; θ = 1
+    // disables the constraint entirely.
+    let tight = OcsInstance {
+        sigma: &params.sigma,
+        corr: &corr,
+        queried: &queried,
+        candidates: &candidates,
+        costs: &costs,
+        budget: 20,
+        theta: 1e-6,
+    };
+    let loose = OcsInstance { theta: 1.0, ..tight.clone() };
+    let sel_tight = hybrid_greedy(&tight);
+    let sel_loose = hybrid_greedy(&loose);
+    assert!(sel_tight.roads.len() <= sel_loose.roads.len());
+    assert!(sel_tight.is_feasible(&tight));
+    assert!(sel_loose.is_feasible(&loose));
+}

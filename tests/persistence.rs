@@ -1,0 +1,62 @@
+//! Model persistence across the crate boundary: a trained model survives a
+//! JSON round trip and drives identical answers.
+
+use crowd_rtse::prelude::*;
+use crowd_rtse::rtf::persistence::{load_model, save_model};
+
+#[test]
+fn saved_model_answers_identically() {
+    let graph = crowd_rtse::graph::generators::hong_kong_like(60, 99);
+    let dataset = TrafficGenerator::new(
+        &graph,
+        SynthConfig { days: 8, seed: 99, ..SynthConfig::default() },
+    )
+    .generate();
+    let model = moment_estimate(&graph, &dataset.history);
+
+    let dir = std::env::temp_dir().join("crowd_rtse_it_persist");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.json");
+    save_model(&model, &path).unwrap();
+    let loaded = load_model(&path).unwrap();
+    assert_eq!(model, loaded);
+
+    let answer_with = |m: RtfModel| {
+        let engine = CrowdRtse::new(&graph, OfflineArtifacts::from_model(m));
+        let slot = SlotOfDay::from_hm(12, 0);
+        let truth = dataset.ground_truth_snapshot(slot);
+        let query = SpeedQuery::new((0u32..15).map(RoadId).collect(), slot);
+        let pool = WorkerPool::spawn(&graph, 40, 0.5, (0.3, 1.2), 1);
+        let costs = uniform_costs(graph.num_roads(), CostRange::C2, 1);
+        engine
+            .answer_query(&query, &pool, &costs, truth, &OnlineConfig::default())
+            .all_values
+    };
+    assert_eq!(answer_with(model), answer_with(loaded));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn history_csv_round_trip_preserves_training() {
+    use crowd_rtse::data::io::{read_records, write_records};
+
+    let graph = crowd_rtse::graph::generators::grid(3, 4);
+    let dataset = TrafficGenerator::new(
+        &graph,
+        SynthConfig { days: 3, seed: 5, ..SynthConfig::small_test() },
+    )
+    .generate();
+
+    let mut buf = Vec::new();
+    write_records(&mut buf, dataset.history.records()).unwrap();
+    let records = read_records(buf.as_slice()).unwrap();
+    let mut rebuilt = HistoryStore::new(graph.num_roads(), dataset.history.num_days());
+    for rec in &records {
+        rebuilt.insert(rec);
+    }
+    assert_eq!(rebuilt.num_records(), dataset.history.num_records());
+
+    let a = moment_estimate(&graph, &dataset.history);
+    let b = moment_estimate(&graph, &rebuilt);
+    assert_eq!(a, b, "training on round-tripped records must be identical");
+}

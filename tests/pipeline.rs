@@ -1,0 +1,164 @@
+//! End-to-end integration tests: offline training → online query.
+
+use crowd_rtse::prelude::*;
+
+struct World {
+    graph: Graph,
+    dataset: SynthDataset,
+    costs: Vec<u32>,
+}
+
+fn world(roads: usize, days: usize, seed: u64) -> World {
+    let graph = crowd_rtse::graph::generators::hong_kong_like(roads, seed);
+    let dataset = TrafficGenerator::new(
+        &graph,
+        SynthConfig { days, seed, incidents_per_day: 2.0, ..SynthConfig::default() },
+    )
+    .generate();
+    let costs = uniform_costs(graph.num_roads(), CostRange::C2, seed);
+    World { graph, dataset, costs }
+}
+
+#[test]
+fn full_pipeline_produces_reasonable_estimates() {
+    let w = world(120, 12, 101);
+    let offline = OfflineArtifacts::from_model(moment_estimate(&w.graph, &w.dataset.history));
+    let engine = CrowdRtse::new(&w.graph, offline);
+    let slot = SlotOfDay::from_hm(8, 30);
+    let truth = w.dataset.ground_truth_snapshot(slot);
+    let queried: Vec<RoadId> = (0..w.graph.num_roads()).step_by(3).map(RoadId::from).collect();
+    let query = SpeedQuery::new(queried.clone(), slot);
+    let pool = WorkerPool::spawn(&w.graph, 80, 0.5, (0.3, 1.2), 11);
+    let config = OnlineConfig { budget: 40, ..Default::default() };
+    let answer = engine.answer_query(&query, &pool, &w.costs, truth, &config);
+
+    let report = ErrorReport::evaluate_default(&answer.all_values, truth, &queried);
+    assert!(report.mape < 0.5, "MAPE too high: {}", report.mape);
+    assert!(report.fer < 0.5, "FER too high: {}", report.fer);
+    // Budget respected end to end.
+    assert!(answer.selection.spent <= config.budget);
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let w = world(80, 8, 202);
+    let run = || {
+        let offline =
+            OfflineArtifacts::from_model(moment_estimate(&w.graph, &w.dataset.history));
+        let engine = CrowdRtse::new(&w.graph, offline);
+        let slot = SlotOfDay::from_hm(17, 30);
+        let truth = w.dataset.ground_truth_snapshot(slot);
+        let query = SpeedQuery::new((0u32..20).map(RoadId).collect(), slot);
+        let pool = WorkerPool::spawn(&w.graph, 50, 0.5, (0.3, 1.2), 4);
+        engine
+            .answer_query(&query, &pool, &w.costs, truth, &OnlineConfig::default())
+            .all_values
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn crowdsourcing_improves_over_periodic_when_incident_hits() {
+    // A single seed can be adverse (workers may sit on the wrong side of
+    // the incident), so the claim is made over several independent worlds.
+    let mut crowd_total = 0.0;
+    let mut per_total = 0.0;
+    for seed in [303u64, 304, 305, 306] {
+        let graph = crowd_rtse::graph::generators::hong_kong_like(100, seed);
+        let dataset = TrafficGenerator::new(
+            &graph,
+            SynthConfig {
+                days: 12,
+                seed,
+                incidents_per_day: 3.0,
+                severity_range: (0.5, 0.7),
+                duration_range: (36, 72),
+                ..SynthConfig::default()
+            },
+        )
+        .generate();
+        let inc = dataset.today_incidents.first().expect("incidents guaranteed").clone();
+        let slot = SlotOfDay(((inc.start.index() + inc.duration_slots / 2).min(287)) as u16);
+        let truth = dataset.ground_truth_snapshot(slot);
+
+        let offline = OfflineArtifacts::from_model(moment_estimate(&graph, &dataset.history));
+        let engine = CrowdRtse::new(&graph, offline);
+        let neighborhood = crowd_rtse::graph::bfs::k_hop_neighborhood(&graph, &[inc.road], 2);
+        let query = SpeedQuery::new(neighborhood.clone(), slot);
+        // Workers concentrated near the incident.
+        let pool = WorkerPool::spawn_on_roads(&graph, &neighborhood, 30, 0.4, (0.3, 1.0), 6);
+        let costs = vec![1u32; graph.num_roads()];
+        let answer = engine.answer_query(
+            &query,
+            &pool,
+            &costs,
+            truth,
+            &OnlineConfig { budget: 15, ..Default::default() },
+        );
+
+        let crowd = ErrorReport::evaluate_default(&answer.all_values, truth, &query.roads);
+        let periodic = engine.offline().model().slot(slot).mu.clone();
+        let per = ErrorReport::evaluate_default(&periodic, truth, &query.roads);
+        crowd_total += crowd.mape;
+        per_total += per.mape;
+    }
+    assert!(
+        crowd_total < per_total,
+        "crowd MAPE sum {crowd_total} should beat periodic {per_total}"
+    );
+}
+
+#[test]
+fn hybrid_selection_no_worse_than_random_on_average() {
+    let w = world(100, 10, 404);
+    let offline = OfflineArtifacts::from_model(moment_estimate(&w.graph, &w.dataset.history));
+    let engine = CrowdRtse::new(&w.graph, offline);
+    let slot = SlotOfDay::from_hm(9, 0);
+    let truth = w.dataset.ground_truth_snapshot(slot);
+    let queried: Vec<RoadId> = (0..w.graph.num_roads()).step_by(2).map(RoadId::from).collect();
+    let query = SpeedQuery::new(queried.clone(), slot);
+    let pool = WorkerPool::spawn(&w.graph, 70, 0.5, (0.3, 1.2), 2);
+
+    let run = |strategy| {
+        let config = OnlineConfig { budget: 20, strategy, ..Default::default() };
+        let answer = engine.answer_query(&query, &pool, &w.costs, truth, &config);
+        ErrorReport::evaluate_default(&answer.all_values, truth, &queried).mape
+    };
+    let hybrid = run(SelectionStrategy::Hybrid);
+    let random_avg: f64 =
+        (0..5).map(|s| run(SelectionStrategy::Random(s))).sum::<f64>() / 5.0;
+    assert!(
+        hybrid <= random_avg + 0.02,
+        "hybrid {hybrid} should not lose clearly to random {random_avg}"
+    );
+}
+
+#[test]
+fn objective_value_of_hybrid_dominates_on_real_instance() {
+    // OCS invariant at integration scale: Hybrid ≥ max(Ratio, Objective).
+    let w = world(150, 8, 505);
+    let model = moment_estimate(&w.graph, &w.dataset.history);
+    let slot = SlotOfDay::from_hm(8, 0);
+    let corr = CorrelationTable::build(&w.graph, &model, slot, PathCorrelation::MaxProduct);
+    let pool = WorkerPool::spawn(&w.graph, 100, 0.5, (0.3, 1.2), 3);
+    let candidates = pool.covered_roads();
+    let queried: Vec<RoadId> = (0..w.graph.num_roads()).step_by(5).map(RoadId::from).collect();
+    let params = model.slot(slot);
+    for budget in [10u32, 30, 60] {
+        let inst = OcsInstance {
+            sigma: &params.sigma,
+            corr: &corr,
+            queried: &queried,
+            candidates: &candidates,
+            costs: &w.costs,
+            budget,
+            theta: 0.92,
+        };
+        let h = hybrid_greedy(&inst);
+        let r = ratio_greedy(&inst);
+        let o = objective_greedy(&inst);
+        assert!(h.value >= r.value - 1e-9);
+        assert!(h.value >= o.value - 1e-9);
+        assert!(h.is_feasible(&inst));
+    }
+}

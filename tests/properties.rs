@@ -1,0 +1,204 @@
+//! Cross-crate property tests on small random worlds.
+
+use crowd_rtse::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The whole pipeline upholds its invariants for arbitrary seeds,
+    /// budgets and pool sizes.
+    #[test]
+    fn pipeline_invariants(
+        seed in 0u64..1000,
+        budget in 0u32..40,
+        workers in 0usize..60,
+        hour in 0u32..24,
+    ) {
+        let graph = crowd_rtse::graph::generators::grid(4, 4);
+        let dataset = TrafficGenerator::new(
+            &graph,
+            SynthConfig { days: 5, seed, ..SynthConfig::small_test() },
+        )
+        .generate();
+        let engine = CrowdRtse::new(
+            &graph,
+            OfflineArtifacts::from_model(moment_estimate(&graph, &dataset.history)),
+        );
+        let slot = SlotOfDay::from_hm(hour, 0);
+        let truth = dataset.ground_truth_snapshot(slot);
+        let query = SpeedQuery::new(graph.road_ids().collect(), slot);
+        let pool = WorkerPool::spawn(&graph, workers, 0.5, (0.2, 1.0), seed);
+        let costs = uniform_costs(graph.num_roads(), CostRange::C2, seed);
+        let config = OnlineConfig { budget, ..Default::default() };
+        let answer = engine.answer_query(&query, &pool, &costs, truth, &config);
+
+        // Budget never exceeded; all estimates finite and non-negative.
+        prop_assert!(answer.selection.spent <= budget);
+        prop_assert!(answer.all_values.iter().all(|v| v.is_finite() && *v >= 0.0));
+        prop_assert_eq!(answer.estimates.len(), query.roads.len());
+        // Selected roads all came from the worker-covered set.
+        let covered = pool.covered_roads();
+        prop_assert!(answer.selection.roads.iter().all(|r| covered.contains(r)));
+    }
+
+    /// Moment estimation and CCD training agree on μ for random slices of
+    /// synthetic data (the restored-normalizer MLE coincides with moments).
+    #[test]
+    fn trainer_matches_moments(seed in 0u64..200, slot_idx in 0u16..288) {
+        let graph = crowd_rtse::graph::generators::path(4);
+        let dataset = TrafficGenerator::new(
+            &graph,
+            SynthConfig { days: 10, seed, incidents_per_day: 0.0, ..SynthConfig::default() },
+        )
+        .generate();
+        let slot = SlotOfDay(slot_idx);
+        let trainer = RtfTrainer { max_iters: 200, ..Default::default() };
+        let (trained, _) = trainer.train_slot(&graph, &dataset.history, slot);
+        let moments = crowd_rtse::rtf::moments::moment_estimate_slot(
+            &graph, &dataset.history, slot,
+        );
+        for i in 0..4 {
+            prop_assert!(
+                (trained.mu[i] - moments.mu[i]).abs() < 0.5,
+                "μ[{}]: {} vs {}", i, trained.mu[i], moments.mu[i]
+            );
+        }
+    }
+
+    /// The correlation table is symmetric with unit diagonal regardless of
+    /// the trained parameters, under both path semantics.
+    #[test]
+    fn correlation_table_invariants(seed in 0u64..200) {
+        let graph = crowd_rtse::graph::generators::random_geometric(20, 0.3, seed);
+        let dataset = TrafficGenerator::new(
+            &graph,
+            SynthConfig { days: 5, seed, ..SynthConfig::small_test() },
+        )
+        .generate();
+        let model = moment_estimate(&graph, &dataset.history);
+        let slot = SlotOfDay::from_hm(8, 30);
+        for semantics in [PathCorrelation::MaxProduct, PathCorrelation::ReciprocalSum] {
+            let t = CorrelationTable::build(&graph, &model, slot, semantics);
+            for a in graph.road_ids() {
+                prop_assert_eq!(t.corr(a, a), 1.0);
+                for b in graph.road_ids() {
+                    let ab = t.corr(a, b);
+                    prop_assert!((0.0..=1.0).contains(&ab));
+                    prop_assert!((ab - t.corr(b, a)).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    /// MaxProduct path correlation always dominates ReciprocalSum (it
+    /// maximizes the product directly).
+    #[test]
+    fn max_product_dominates_reciprocal(seed in 0u64..100) {
+        let graph = crowd_rtse::graph::generators::random_geometric(15, 0.35, seed);
+        let dataset = TrafficGenerator::new(
+            &graph,
+            SynthConfig { days: 5, seed, ..SynthConfig::small_test() },
+        )
+        .generate();
+        let model = moment_estimate(&graph, &dataset.history);
+        let slot = SlotOfDay(100);
+        let mp = CorrelationTable::build(&graph, &model, slot, PathCorrelation::MaxProduct);
+        let rs = CorrelationTable::build(&graph, &model, slot, PathCorrelation::ReciprocalSum);
+        for a in graph.road_ids() {
+            for b in graph.road_ids() {
+                if graph.are_adjacent(a, b) || a == b {
+                    continue; // Eq. (7) overrides both identically
+                }
+                prop_assert!(
+                    mp.corr(a, b) + 1e-12 >= rs.corr(a, b),
+                    "corr({}, {}): mp {} < rs {}", a, b, mp.corr(a, b), rs.corr(a, b)
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// GSP's fixed point equals the exact conditional MAP on random
+    /// geometric networks with moment-estimated parameters.
+    #[test]
+    fn gsp_matches_exact_map(seed in 0u64..100) {
+        let graph = crowd_rtse::graph::generators::random_geometric(18, 0.35, seed);
+        let dataset = TrafficGenerator::new(
+            &graph,
+            SynthConfig { days: 6, seed, ..SynthConfig::small_test() },
+        )
+        .generate();
+        let model = moment_estimate(&graph, &dataset.history);
+        let slot = SlotOfDay(77);
+        let truth = dataset.ground_truth_snapshot(slot);
+        let observations: Vec<(RoadId, f64)> = (0..graph.num_roads())
+            .step_by(5)
+            .map(|i| (RoadId::from(i), truth[i]))
+            .collect();
+        let gsp = GspSolver { epsilon: 1e-11, max_rounds: 50_000, record_trace: false }
+            .propagate(&graph, model.slot(slot), &observations);
+        let exact = exact_map_estimate(&graph, model.slot(slot), &observations);
+        prop_assert!(gsp.converged);
+        for r in graph.road_ids() {
+            prop_assert!(
+                (gsp.speed(r) - exact[r.index()]).abs() < 1e-4,
+                "road {}: {} vs {}", r, gsp.speed(r), exact[r.index()]
+            );
+        }
+    }
+
+    /// Daily budget plans always sum exactly to the total and are
+    /// deterministic.
+    #[test]
+    fn budget_plan_invariants(total in 0u32..2000, seed in 0u64..50) {
+        use crowd_rtse::core::plan_daily_budget;
+        let graph = crowd_rtse::graph::generators::grid(3, 3);
+        let dataset = TrafficGenerator::new(
+            &graph,
+            SynthConfig { days: 5, seed, ..SynthConfig::small_test() },
+        )
+        .generate();
+        let model = moment_estimate(&graph, &dataset.history);
+        let slots: Vec<SlotOfDay> = (0..288u16).step_by(24).map(SlotOfDay).collect();
+        let plan = plan_daily_budget(&model, &slots, total);
+        prop_assert_eq!(plan.iter().sum::<u32>(), total);
+        prop_assert_eq!(plan.len(), slots.len());
+        let again = plan_daily_budget(&model, &slots, total);
+        prop_assert_eq!(plan, again);
+    }
+
+    /// Lazy and plain greedy agree on realistically-sized worlds (not just
+    /// the tiny instances the unit tests use).
+    #[test]
+    fn lazy_greedy_consistency_at_scale(seed in 0u64..20) {
+        use crowd_rtse::ocs::{lazy_hybrid_greedy, lazy_ratio_greedy};
+        let graph = crowd_rtse::graph::generators::hong_kong_like(80, seed);
+        let dataset = TrafficGenerator::new(
+            &graph,
+            SynthConfig { days: 5, seed, ..SynthConfig::small_test() },
+        )
+        .generate();
+        let model = moment_estimate(&graph, &dataset.history);
+        let slot = SlotOfDay::from_hm(8, 30);
+        let corr = CorrelationTable::build(&graph, &model, slot, PathCorrelation::MaxProduct);
+        let params = model.slot(slot);
+        let candidates: Vec<RoadId> = graph.road_ids().collect();
+        let queried: Vec<RoadId> = (0..graph.num_roads()).step_by(3).map(RoadId::from).collect();
+        let costs = uniform_costs(graph.num_roads(), CostRange::C1, seed);
+        let inst = OcsInstance {
+            sigma: &params.sigma,
+            corr: &corr,
+            queried: &queried,
+            candidates: &candidates,
+            costs: &costs,
+            budget: 40,
+            theta: 0.92,
+        };
+        prop_assert_eq!(lazy_ratio_greedy(&inst), ratio_greedy(&inst));
+        prop_assert_eq!(lazy_hybrid_greedy(&inst), hybrid_greedy(&inst));
+    }
+}

@@ -1,0 +1,148 @@
+//! Robustness integration tests: adversarial workers, topology variety,
+//! and continuous-session behaviour across crate boundaries.
+
+use crowd_rtse::crowd::{corrupt_answers, AggregationRule, Corruption, CrowdCampaign};
+use crowd_rtse::prelude::*;
+
+#[test]
+fn median_aggregation_protects_pipeline_from_spammers() {
+    let graph = crowd_rtse::graph::generators::grid(4, 5);
+    let dataset = TrafficGenerator::new(
+        &graph,
+        SynthConfig { days: 10, seed: 21, ..SynthConfig::default() },
+    )
+    .generate();
+    let slot = SlotOfDay::from_hm(9, 0);
+    let truth = dataset.ground_truth_snapshot(slot);
+    let pool = WorkerPool::spawn(&graph, 80, 0.3, (0.2, 0.6), 4);
+    let selection = pool.covered_roads();
+    let costs = vec![7u32; graph.num_roads()]; // plenty of answers per road
+
+    // Collect raw answers once, then corrupt a copy.
+    let campaign = CrowdCampaign { rule: AggregationRule::Mean, seed: 5, ..Default::default() };
+    let honest = campaign.run(&pool, &selection, &costs, truth);
+    let mut corrupted = honest.answers.clone();
+    corrupt_answers(&mut corrupted, 0.25, Corruption::Constant(180.0), 6);
+
+    // Aggregate per road under both rules.
+    let reaggregate = |rule| -> Vec<(RoadId, f64)> {
+        selection
+            .iter()
+            .filter_map(|&road| {
+                let road_answers: Vec<_> =
+                    corrupted.iter().filter(|a| a.road == road).cloned().collect();
+                crowd_rtse::crowd::aggregate_answers(&road_answers, rule)
+                    .map(|speed| (road, speed))
+            })
+            .collect()
+    };
+    let mean_obs = reaggregate(AggregationRule::Mean);
+    let median_obs = reaggregate(AggregationRule::Median);
+
+    let err = |obs: &[(RoadId, f64)]| -> f64 {
+        obs.iter().map(|&(r, v)| (v - truth[r.index()]).abs()).sum::<f64>() / obs.len() as f64
+    };
+    assert!(
+        err(&median_obs) < 0.5 * err(&mean_obs),
+        "median MAE {} should be far below mean MAE {}",
+        err(&median_obs),
+        err(&mean_obs)
+    );
+}
+
+#[test]
+fn pipeline_works_on_alternative_topologies() {
+    for (name, graph) in [
+        ("small-world", crowd_rtse::graph::generators::watts_strogatz(80, 2, 0.2, 3)),
+        ("scale-free", crowd_rtse::graph::generators::barabasi_albert(80, 2, 3)),
+    ] {
+        let dataset = TrafficGenerator::new(
+            &graph,
+            SynthConfig { days: 8, seed: 3, ..SynthConfig::small_test() },
+        )
+        .generate();
+        let engine = CrowdRtse::new(
+            &graph,
+            OfflineArtifacts::from_model(moment_estimate(&graph, &dataset.history)),
+        );
+        let slot = SlotOfDay::from_hm(17, 0);
+        let truth = dataset.ground_truth_snapshot(slot);
+        let query = SpeedQuery::new(graph.road_ids().collect(), slot);
+        let pool = WorkerPool::spawn(&graph, 40, 0.4, (0.2, 1.0), 8);
+        let costs = uniform_costs(graph.num_roads(), CostRange::C2, 8);
+        let answer = engine.answer_query(
+            &query,
+            &pool,
+            &costs,
+            truth,
+            &OnlineConfig { budget: 25, ..Default::default() },
+        );
+        let rep = ErrorReport::evaluate_default(&answer.all_values, truth, &query.roads);
+        assert!(rep.mape < 0.6, "{name}: MAPE {}", rep.mape);
+        assert!(answer.selection.spent <= 25, "{name}: overspent");
+    }
+}
+
+#[test]
+fn monitoring_session_ledger_and_quality_over_a_rush_hour() {
+    let graph = crowd_rtse::graph::generators::hong_kong_like(120, 31);
+    let dataset = TrafficGenerator::new(
+        &graph,
+        SynthConfig { days: 10, seed: 31, ..SynthConfig::default() },
+    )
+    .generate();
+    let engine = CrowdRtse::new(
+        &graph,
+        OfflineArtifacts::from_model(moment_estimate(&graph, &dataset.history)),
+    );
+    let pool = WorkerPool::spawn(&graph, 60, 0.5, (0.3, 1.0), 2);
+    let costs = uniform_costs(graph.num_roads(), CostRange::C2, 2);
+    let budget = 20u32;
+    let mut session = MonitoringSession::new(
+        &engine,
+        OnlineConfig { budget, ..Default::default() },
+        pool,
+        costs,
+    );
+    let queried: Vec<RoadId> = graph.road_ids().collect();
+    let start = SlotOfDay::from_hm(8, 0);
+    for k in 0..6u16 {
+        let slot = SlotOfDay(start.0 + k);
+        let truth = dataset.ground_truth_snapshot(slot).to_vec();
+        let report = session.step(&queried, slot, &truth);
+        assert!(report.selection.spent <= budget);
+        let rep = ErrorReport::evaluate_default(&report.values, &truth, &queried);
+        assert!(rep.mape < 0.5, "round {k}: MAPE {}", rep.mape);
+    }
+    assert_eq!(session.rounds_run(), 6);
+    assert!(session.total_paid() <= 6 * budget);
+}
+
+#[test]
+fn exact_inference_validates_engine_estimates() {
+    // The engine's GSP output must agree with the closed-form conditional
+    // MAP (conjugate gradient) across the crate boundary.
+    let graph = crowd_rtse::graph::generators::grid(4, 4);
+    let dataset = TrafficGenerator::new(
+        &graph,
+        SynthConfig { days: 10, seed: 13, ..SynthConfig::default() },
+    )
+    .generate();
+    let model = moment_estimate(&graph, &dataset.history);
+    let slot = SlotOfDay::from_hm(8, 30);
+    let truth = dataset.ground_truth_snapshot(slot);
+    let observations: Vec<(RoadId, f64)> =
+        [0usize, 5, 10, 15].iter().map(|&i| (RoadId::from(i), truth[i])).collect();
+    let gsp = GspSolver { epsilon: 1e-10, max_rounds: 20_000, record_trace: false }
+        .propagate(&graph, model.slot(slot), &observations);
+    let exact = exact_map_estimate(&graph, model.slot(slot), &observations);
+    assert!(gsp.converged);
+    for r in graph.road_ids() {
+        assert!(
+            (gsp.speed(r) - exact[r.index()]).abs() < 1e-5,
+            "road {r}: gsp {} vs exact {}",
+            gsp.speed(r),
+            exact[r.index()]
+        );
+    }
+}
