@@ -216,8 +216,8 @@ mod tests {
         let slot = SlotOfDay::from_hm(10, 0);
         let est = Grmc::default().estimate(&ctx(&f, slot), &[]);
         let mu = &f.model.slot(slot).mu;
-        let mad: f64 = est.iter().zip(mu.iter()).map(|(a, b)| (a - b).abs()).sum::<f64>()
-            / mu.len() as f64;
+        let mad: f64 =
+            est.iter().zip(mu.iter()).map(|(a, b)| (a - b).abs()).sum::<f64>() / mu.len() as f64;
         assert!(mad < 3.0, "mean deviation from μ too large: {mad}");
     }
 

@@ -205,11 +205,7 @@ mod tests {
         let obs: Vec<(RoadId, f64)> =
             (0..f.graph.num_roads()).step_by(2).map(|i| (RoadId::from(i), truth[i])).collect();
         let est = LassoEstimator::default().estimate(&ctx(&f, slot), &obs);
-        let mae: f64 = est
-            .iter()
-            .zip(truth.iter())
-            .map(|(e, t)| (e - t).abs())
-            .sum::<f64>()
+        let mae: f64 = est.iter().zip(truth.iter()).map(|(e, t)| (e - t).abs()).sum::<f64>()
             / truth.len() as f64;
         let zero_mae: f64 = truth.iter().map(|t| t.abs()).sum::<f64>() / truth.len() as f64;
         assert!(mae < 0.5 * zero_mae, "mae {mae} vs zero-guess {zero_mae}");

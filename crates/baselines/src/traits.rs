@@ -51,12 +51,7 @@ pub(crate) mod test_support {
     /// deterministic in `seed`).
     pub fn fixture(seed: u64) -> Fixture {
         let graph = grid(4, 5);
-        let cfg = SynthConfig {
-            days: 25,
-            incidents_per_day: 0.5,
-            seed,
-            ..SynthConfig::default()
-        };
+        let cfg = SynthConfig { days: 25, incidents_per_day: 0.5, seed, ..SynthConfig::default() };
         let dataset = TrafficGenerator::new(&graph, cfg).generate();
         let model = moment_estimate(&graph, &dataset.history);
         Fixture { graph, dataset, model }

@@ -30,14 +30,10 @@ fn bench_gsp(c: &mut Criterion) {
                 b.iter(|| black_box(solver.propagate(&world.graph, params, obs)))
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("parallel4", observed),
-            &observations,
-            |b, obs| {
-                let solver = ParallelGsp { threads: 4, ..Default::default() };
-                b.iter(|| black_box(solver.propagate(&world.graph, params, obs)))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("parallel4", observed), &observations, |b, obs| {
+            let solver = ParallelGsp { threads: 4, ..Default::default() };
+            b.iter(|| black_box(solver.propagate(&world.graph, params, obs)))
+        });
     }
     group.finish();
 }

@@ -24,11 +24,8 @@ use rtse_rtf::{CorrelationTable, PathCorrelation};
 fn main() {
     let (roads, days) = scale();
     let world = semi_syn_world(roads, days, 2018);
-    let slots = if quick_mode() {
-        vec![SlotOfDay::from_hm(8, 30)]
-    } else {
-        rtse_bench::query_slots()
-    };
+    let slots =
+        if quick_mode() { vec![SlotOfDay::from_hm(8, 30)] } else { rtse_bench::query_slots() };
     let queried = world.queried_51.clone();
 
     let mut t = Table::new(

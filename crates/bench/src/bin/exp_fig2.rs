@@ -22,13 +22,13 @@ fn main() {
     let results = results_dir_from_args("fig2");
     let world = semi_syn_world(roads, days, 2018);
     let slot = SlotOfDay::from_hm(8, 30);
-    let corr = CorrelationTable::build(&world.graph, &world.model, slot, PathCorrelation::MaxProduct);
+    let corr =
+        CorrelationTable::build(&world.graph, &world.model, slot, PathCorrelation::MaxProduct);
     let params = world.model.slot(slot);
 
-    for (panel, costs, label) in [
-        ("a/c", &world.costs_c1, "C1 = U(1,10)"),
-        ("b/d", &world.costs_c2, "C2 = U(1,5)"),
-    ] {
+    for (panel, costs, label) in
+        [("a/c", &world.costs_c1, "C1 = U(1,10)"), ("b/d", &world.costs_c2, "C2 = U(1,5)")]
+    {
         let mut vo = Table::new(
             format!("Fig. 2 ({panel}) — VO vs budget, costs {label}, theta = {THETA_TUNED}"),
             &["K", "Ratio", "OBJ", "Hybrid", "Ratio/Hybrid", "OBJ/Hybrid"],

@@ -34,11 +34,8 @@ struct Panel {
 fn main() {
     let (roads, days) = scale();
     let world = semi_syn_world(roads, days, 2018);
-    let slots = if quick_mode() {
-        vec![SlotOfDay::from_hm(8, 30)]
-    } else {
-        rtse_bench::query_slots()
-    };
+    let slots =
+        if quick_mode() { vec![SlotOfDay::from_hm(8, 30)] } else { rtse_bench::query_slots() };
     let queried = world.queried_51.clone();
     let methods: [&str; 4] = ["GSP", "LASSO", "GRMC", "Per"];
     let header: Vec<&str> = ["K", "GSP", "LASSO", "GRMC", "Per"].to_vec();
@@ -57,8 +54,14 @@ fn main() {
         let mut gsp_fer = Vec::new();
         for &budget in &BUDGETS_SEMI_SYN {
             let reports = evaluate(&world, &queried, &slots, budget, THETA_TUNED, select);
-            panel.mape.push_numeric_row(budget.to_string(), &reports.iter().map(|r| r.0).collect::<Vec<_>>());
-            panel.fer.push_numeric_row(budget.to_string(), &reports.iter().map(|r| r.1).collect::<Vec<_>>());
+            panel.mape.push_numeric_row(
+                budget.to_string(),
+                &reports.iter().map(|r| r.0).collect::<Vec<_>>(),
+            );
+            panel.fer.push_numeric_row(
+                budget.to_string(),
+                &reports.iter().map(|r| r.1).collect::<Vec<_>>(),
+            );
             gsp_mape.push(reports[0].0);
             gsp_fer.push(reports[0].1);
             // DAPE at the smallest budget, Hybrid panel only (row 3 of the
@@ -199,10 +202,7 @@ fn run_methods(
         Grmc::default().estimate(&ctx, &observations),
         Per.estimate(&ctx, &observations),
     ];
-    estimates
-        .iter()
-        .map(|est| ErrorReport::evaluate_default(est, truth, queried))
-        .collect()
+    estimates.iter().map(|est| ErrorReport::evaluate_default(est, truth, queried)).collect()
 }
 
 fn print_dape(
@@ -224,15 +224,11 @@ fn print_dape(
         format!("Fig. 3 row 3 — DAPE at K = {budget} (fraction of cases per APE bin)"),
         &["APE bin", "GSP", "LASSO", "GRMC", "Per"],
     );
-    let hists: Vec<_> =
-        per_method_apes.iter().map(|apes| dape_histogram(apes, 0.5, 5)).collect();
+    let hists: Vec<_> = per_method_apes.iter().map(|apes| dape_histogram(apes, 0.5, 5)).collect();
     for bin in 0..6 {
         let (lo, hi) = hists[0].bin_bounds(bin);
-        let label = if hi.is_infinite() {
-            format!(">= {lo:.1}")
-        } else {
-            format!("[{lo:.1}, {hi:.1})")
-        };
+        let label =
+            if hi.is_infinite() { format!(">= {lo:.1}") } else { format!("[{lo:.1}, {hi:.1})") };
         let mut row = vec![label];
         for h in &hists {
             row.push(format!("{:.3}", h.fractions()[bin]));

@@ -14,9 +14,7 @@
 
 use crowd_rtse_core::GspEstimator;
 use rtse_baselines::{EstimationContext, Estimator, Grmc, LassoEstimator};
-use rtse_bench::{
-    ground_truth_observations, scale, semi_syn_world, BUDGETS_SEMI_SYN, THETA_TUNED,
-};
+use rtse_bench::{ground_truth_observations, scale, semi_syn_world, BUDGETS_SEMI_SYN, THETA_TUNED};
 use rtse_data::SlotOfDay;
 use rtse_eval::{time_it, Table};
 use rtse_ocs::{hybrid_greedy, objective_greedy, ratio_greedy, OcsInstance};
@@ -26,7 +24,8 @@ fn main() {
     let (roads, days) = scale();
     let world = semi_syn_world(roads, days, 2018);
     let slot = SlotOfDay::from_hm(8, 30);
-    let corr = CorrelationTable::build(&world.graph, &world.model, slot, PathCorrelation::MaxProduct);
+    let corr =
+        CorrelationTable::build(&world.graph, &world.model, slot, PathCorrelation::MaxProduct);
     let params = world.model.slot(slot);
 
     // Panel (a): OCS running time.

@@ -21,11 +21,8 @@ use rtse_rtf::{InitStrategy, RtfTrainer, UpdateMode};
 fn main() {
     let (roads, days) = if quick_mode() { (300, 6) } else { (607, 10) };
     let world = semi_syn_world(roads, days, 2018);
-    let sizes: Vec<usize> = if quick_mode() {
-        vec![100, 200, 300]
-    } else {
-        vec![150, 300, 450, 600]
-    };
+    let sizes: Vec<usize> =
+        if quick_mode() { vec![100, 200, 300] } else { vec![150, 300, 450, 600] };
     let slot = SlotOfDay::from_hm(8, 30);
     // Fig. 5 protocol: vanilla gradient ascent on {μ}_R (λ = 0.1, random
     // μ init), convergence measured by the maximum μ gradient. σ/ρ are held

@@ -22,11 +22,8 @@ fn main() {
     let (roads, days) = scale();
     let world = semi_syn_world(roads, days, 2018);
     let scenario = GMissionScenario::build(&world.graph, &GMissionSpec::default());
-    let slots = if quick_mode() {
-        vec![SlotOfDay::from_hm(8, 30)]
-    } else {
-        rtse_bench::query_slots()
-    };
+    let slots =
+        if quick_mode() { vec![SlotOfDay::from_hm(8, 30)] } else { rtse_bench::query_slots() };
 
     let mut mape = Table::new(
         "Fig. 6 — gMission MAPE (Hybrid selection, simulated workers)",
@@ -56,8 +53,12 @@ fn main() {
             let truth = world.dataset.ground_truth_snapshot(slot);
             // Unlike the semi-synthesized dataset, answers here come from
             // the simulated gMission workers (noisy, biased, aggregated).
-            let outcome =
-                CrowdCampaign::default().run(&scenario.pool, &selection.roads, &scenario.costs, truth);
+            let outcome = CrowdCampaign::default().run(
+                &scenario.pool,
+                &selection.roads,
+                &scenario.costs,
+                truth,
+            );
             let ctx = EstimationContext {
                 graph: &world.graph,
                 model: &world.model,

@@ -18,7 +18,8 @@ fn main() {
     let (roads, days) = scale();
     let world = semi_syn_world(roads, days, 2018);
     let slot = SlotOfDay::from_hm(8, 30);
-    let corr = CorrelationTable::build(&world.graph, &world.model, slot, PathCorrelation::MaxProduct);
+    let corr =
+        CorrelationTable::build(&world.graph, &world.model, slot, PathCorrelation::MaxProduct);
     let params = world.model.slot(slot);
     let queried = &world.queried_51;
 
@@ -38,11 +39,7 @@ fn main() {
             budget,
             theta: THETA_TUNED,
         };
-        let selections = [
-            objective_greedy(&inst),
-            random_select(&inst, 7),
-            hybrid_greedy(&inst),
-        ];
+        let selections = [objective_greedy(&inst), random_select(&inst, 7), hybrid_greedy(&inst)];
         for (row, sel) in rows.iter_mut().zip(selections.iter()) {
             let c1 = k_hop_coverage(&world.graph, queried, &sel.roads, 1);
             let c2 = k_hop_coverage(&world.graph, queried, &sel.roads, 2);

@@ -37,15 +37,7 @@ fn main() {
 
     let mut t = Table::new(
         format!("topology robustness — GSP vs Per at K = {budget}"),
-        &[
-            "topology",
-            "|R|",
-            "avg deg",
-            "diameter",
-            "GSP MAPE",
-            "Per MAPE",
-            "improvement",
-        ],
+        &["topology", "|R|", "avg deg", "diameter", "GSP MAPE", "Per MAPE", "improvement"],
     );
     for (name, graph) in &topologies {
         let dataset = TrafficGenerator::new(

@@ -93,10 +93,7 @@ pub fn query_slots() -> Vec<SlotOfDay> {
 /// Semi-synthesized crowd answers: "crowd's answers are generated with the
 /// ground-truth speeds" (Section VII-A) — each selected road reports its
 /// ground-truth speed.
-pub fn ground_truth_observations(
-    selection: &Selection,
-    truth: &[f64],
-) -> Vec<(RoadId, f64)> {
+pub fn ground_truth_observations(selection: &Selection, truth: &[f64]) -> Vec<(RoadId, f64)> {
     selection.roads.iter().map(|&r| (r, truth[r.index()])).collect()
 }
 

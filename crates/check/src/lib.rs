@@ -1,0 +1,124 @@
+//! Invariant contracts for the CrowdRTSE pipeline.
+//!
+//! The paper's data structures carry mathematical invariants that the rest
+//! of the workspace silently relies on: RTF parameters are finite with
+//! `σ > 0` and `ρ ∈ [0, 1]`; correlation tables are symmetric with a unit
+//! diagonal and values in `[0, 1]`; CSR adjacency is sorted and in-bounds;
+//! GSP outputs are finite, non-negative speeds; OCS selections respect the
+//! budget and the redundancy threshold `θ`.
+//!
+//! This crate gives those invariants a home: a [`Validate`] trait each
+//! pipeline crate implements for its boundary types, a structured
+//! [`InvariantViolation`] error, and [`fail`] — the single sanctioned
+//! abort point used when a crate compiled with its `validate` feature
+//! detects a violated contract at a stage boundary. The pipeline crates
+//! themselves are lint-enforced panic-free (`cargo xtask lint`); routing
+//! every fail-closed abort through this crate keeps that policy auditable.
+//!
+//! The checks are wired into the pipeline behind each crate's default-off
+//! `validate` cargo feature, so release binaries pay nothing.
+
+use std::error::Error;
+use std::fmt;
+
+/// A violated contract: which invariant, and what was observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Stable name of the invariant, e.g. `"rtf.sigma_positive"`.
+    pub invariant: &'static str,
+    /// Human-readable description of the observed violation.
+    pub detail: String,
+}
+
+impl InvariantViolation {
+    /// Builds a violation record.
+    pub fn new(invariant: &'static str, detail: impl Into<String>) -> Self {
+        Self { invariant, detail: detail.into() }
+    }
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invariant `{}` violated: {}", self.invariant, self.detail)
+    }
+}
+
+impl Error for InvariantViolation {}
+
+/// A type whose paper-level invariants can be checked.
+///
+/// Implementations live next to the type they validate (rtf, graph, gsp,
+/// ocs) and must be side-effect free; a `validate` that allocates scratch
+/// space is fine, one that mutates the value is not.
+pub trait Validate {
+    /// Checks every invariant, reporting the first violation found.
+    fn validate(&self) -> Result<(), InvariantViolation>;
+}
+
+/// Returns `Ok(())` when `cond` holds, otherwise a violation built from
+/// `detail` (evaluated lazily).
+pub fn ensure(
+    cond: bool,
+    invariant: &'static str,
+    detail: impl FnOnce() -> String,
+) -> Result<(), InvariantViolation> {
+    if cond {
+        Ok(())
+    } else {
+        Err(InvariantViolation::new(invariant, detail()))
+    }
+}
+
+/// Checks that every element of a slice is finite; the violation names the
+/// offending index.
+pub fn ensure_finite(xs: &[f64], invariant: &'static str) -> Result<(), InvariantViolation> {
+    match xs.iter().position(|x| !x.is_finite()) {
+        None => Ok(()),
+        Some(i) => {
+            Err(InvariantViolation::new(invariant, format!("entry {i} is non-finite ({})", xs[i])))
+        }
+    }
+}
+
+/// The sanctioned abort point for fail-closed validation at pipeline
+/// boundaries. Library crates are lint-enforced panic-free; when a
+/// `validate`-enabled build detects a broken contract it routes the abort
+/// through here so the policy stays auditable.
+pub fn fail(violation: &InvariantViolation) -> ! {
+    panic!("{violation}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensure_passes_and_fails() {
+        assert!(ensure(true, "x", || unreachable!("not evaluated")).is_ok());
+        let err = ensure(false, "demo.bound", || "got 3".into()).expect_err("must fail");
+        assert_eq!(err.invariant, "demo.bound");
+        assert_eq!(err.detail, "got 3");
+    }
+
+    #[test]
+    fn ensure_finite_reports_index() {
+        assert!(ensure_finite(&[1.0, 2.0], "v").is_ok());
+        let err = ensure_finite(&[1.0, f64::NAN], "v.finite").expect_err("NaN must fail");
+        assert!(err.detail.contains("entry 1"));
+        assert_eq!(err.invariant, "v.finite");
+    }
+
+    #[test]
+    fn display_formats_both_parts() {
+        let v = InvariantViolation::new("corr.symmetric", "corr(1,2)=0.5 but corr(2,1)=0.4");
+        let s = v.to_string();
+        assert!(s.contains("corr.symmetric"));
+        assert!(s.contains("0.4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant `demo` violated")]
+    fn fail_panics_with_context() {
+        fail(&InvariantViolation::new("demo", "boom"));
+    }
+}

@@ -196,10 +196,8 @@ mod tests {
             posterior_stds(&w.graph, params, &sel.roads, &queried).iter().sum()
         };
         let active_std = total_std(&active);
-        let random_avg: f64 = (0..5)
-            .map(|s| total_std(&rtse_ocs::random_select(&inst, s)))
-            .sum::<f64>()
-            / 5.0;
+        let random_avg: f64 =
+            (0..5).map(|s| total_std(&rtse_ocs::random_select(&inst, s))).sum::<f64>() / 5.0;
         assert!(
             active_std <= random_avg + 1e-9,
             "active {active_std} should beat random avg {random_avg}"

@@ -23,11 +23,9 @@ use rtse_rtf::RtfModel;
 /// # Panics
 /// Panics when the queries disagree on the slot or the list is empty.
 pub fn merge_queries(queries: &[SpeedQuery]) -> SpeedQuery {
-    let first = queries.first().expect("need at least one query");
-    assert!(
-        queries.iter().all(|q| q.slot == first.slot),
-        "merge_queries requires a common slot"
-    );
+    assert!(!queries.is_empty(), "need at least one query");
+    let first = &queries[0];
+    assert!(queries.iter().all(|q| q.slot == first.slot), "merge_queries requires a common slot");
     let mut roads: Vec<RoadId> = queries.iter().flat_map(|q| q.roads.iter().copied()).collect();
     roads.sort();
     roads.dedup();
@@ -42,8 +40,7 @@ pub fn merge_queries(queries: &[SpeedQuery]) -> SpeedQuery {
 /// Panics when `slots` is empty.
 pub fn plan_daily_budget(model: &RtfModel, slots: &[SlotOfDay], total_budget: u32) -> Vec<u32> {
     assert!(!slots.is_empty(), "need at least one slot");
-    let mass: Vec<f64> =
-        slots.iter().map(|&t| model.slot(t).sigma.iter().sum::<f64>()).collect();
+    let mass: Vec<f64> = slots.iter().map(|&t| model.slot(t).sigma.iter().sum::<f64>()).collect();
     let total_mass: f64 = mass.iter().sum();
     if total_mass <= 0.0 {
         // Degenerate: uniform split.
@@ -60,13 +57,12 @@ pub fn plan_daily_budget(model: &RtfModel, slots: &[SlotOfDay], total_budget: u3
         return out;
     }
     // Largest-remainder apportionment.
-    let exact: Vec<f64> =
-        mass.iter().map(|m| total_budget as f64 * m / total_mass).collect();
+    let exact: Vec<f64> = mass.iter().map(|m| total_budget as f64 * m / total_mass).collect();
     let mut out: Vec<u32> = exact.iter().map(|e| e.floor() as u32).collect();
     let assigned: u32 = out.iter().sum();
     let mut remainders: Vec<(usize, f64)> =
         exact.iter().enumerate().map(|(i, e)| (i, e - e.floor())).collect();
-    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+    remainders.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     for k in 0..(total_budget - assigned) as usize {
         out[remainders[k % remainders.len()].0] += 1;
     }
@@ -118,12 +114,7 @@ mod tests {
         assert_eq!(plan.iter().sum::<u32>(), total);
         // The generator makes rush hours the most volatile: the 08:30-ish
         // slot should receive more than the 03:00-ish slot.
-        let idx_of = |h: u32| {
-            slots
-                .iter()
-                .position(|s| s.hour() == h)
-                .expect("hour sampled")
-        };
+        let idx_of = |h: u32| slots.iter().position(|s| s.hour() == h).expect("hour sampled");
         assert!(
             plan[idx_of(8)] > plan[idx_of(3)],
             "rush {} vs night {}",

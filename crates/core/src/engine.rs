@@ -60,10 +60,47 @@ impl<'g> CrowdRtse<'g> {
     /// Binds trained offline artifacts to their network.
     ///
     /// # Panics
-    /// Panics when the model dimensions do not match the graph.
+    /// Panics when [`CrowdRtse::try_new`] would reject the pair — a
+    /// dimension mismatch always, and any violated model contract when the
+    /// `validate` feature is on.
     pub fn new(graph: &'g Graph, offline: OfflineArtifacts) -> Self {
-        assert!(offline.model().matches_graph(graph), "model/graph mismatch");
-        Self { graph, offline }
+        match Self::try_new(graph, offline) {
+            Ok(engine) => engine,
+            Err(v) => rtse_check::fail(&v),
+        }
+    }
+
+    /// Fallible constructor: checks the engine's entry contract and
+    /// returns the violation instead of aborting.
+    ///
+    /// The dimension check always runs. With the `validate` feature the
+    /// full model contract is enforced too (every slot's parameters finite
+    /// with `σ > 0` and `ρ ∈ [0, 1]`, plus the graph's CSR contract), so a
+    /// corrupted or hand-poisoned model is rejected here — at the engine
+    /// boundary — rather than surfacing as NaN estimates downstream.
+    pub fn try_new(
+        graph: &'g Graph,
+        offline: OfflineArtifacts,
+    ) -> Result<Self, rtse_check::InvariantViolation> {
+        rtse_check::ensure(
+            offline.model().matches_graph(graph),
+            "engine.model_matches_graph",
+            || {
+                format!(
+                    "model covers {} roads / {} edges but graph has {} / {}",
+                    offline.model().num_roads(),
+                    offline.model().num_edges(),
+                    graph.num_roads(),
+                    graph.num_edges()
+                )
+            },
+        )?;
+        #[cfg(feature = "validate")]
+        {
+            rtse_check::Validate::validate(graph)?;
+            rtse_check::Validate::validate(offline.model())?;
+        }
+        Ok(Self { graph, offline })
     }
 
     /// The network this engine serves.
@@ -206,8 +243,7 @@ mod tests {
         let query = SpeedQuery::new((0u32..10).map(RoadId).collect(), slot);
         let pool = WorkerPool::spawn(&w.graph, 40, 0.5, (0.3, 1.0), 7);
         let truth = w.dataset.ground_truth_snapshot(slot);
-        let answer =
-            e.answer_query(&query, &pool, &w.costs, truth, &OnlineConfig::default());
+        let answer = e.answer_query(&query, &pool, &w.costs, truth, &OnlineConfig::default());
         assert_eq!(answer.estimates.len(), 10);
         assert!(answer.estimates.iter().all(|v| v.is_finite() && *v > 0.0));
         assert!(answer.selection.spent <= 30);
@@ -303,8 +339,7 @@ mod tests {
         // answers out of selection via zero candidates — use an empty pool.
         let empty = WorkerPool::spawn(&w.graph, 0, 0.0, (0.1, 0.2), 1);
         let truth = w.dataset.ground_truth_snapshot(slot);
-        let answer =
-            e.answer_query(&query, &empty, &w.costs, truth, &OnlineConfig::default());
+        let answer = e.answer_query(&query, &empty, &w.costs, truth, &OnlineConfig::default());
         assert_eq!(answer.estimates[0], e.offline().model().mu(slot, RoadId(3)));
         let _ = pool;
     }

@@ -50,12 +50,11 @@ mod tests {
             .first()
             .map(|i| SlotOfDay((i.start.index() + i.duration_slots / 2).min(287) as u16))
             .unwrap_or(SlotOfDay::from_hm(8, 30));
-        let ctx = EstimationContext { graph: &graph, model: &model, history: &dataset.history, slot };
+        let ctx =
+            EstimationContext { graph: &graph, model: &model, history: &dataset.history, slot };
         let truth = dataset.ground_truth_snapshot(slot).to_vec();
-        let observed: Vec<(RoadId, f64)> = (0..graph.num_roads())
-            .step_by(3)
-            .map(|i| (RoadId::from(i), truth[i]))
-            .collect();
+        let observed: Vec<(RoadId, f64)> =
+            (0..graph.num_roads()).step_by(3).map(|i| (RoadId::from(i), truth[i])).collect();
         let queried: Vec<RoadId> = graph.road_ids().collect();
 
         let gsp = GspEstimator::default().estimate(&ctx, &observed);

@@ -1,11 +1,10 @@
 //! Offline stage: RTF training and correlation-table caching.
 
-use parking_lot::Mutex;
 use rtse_data::{HistoryStore, SlotOfDay};
 use rtse_graph::Graph;
 use rtse_rtf::{CorrelationTable, PathCorrelation, RtfModel, RtfTrainer};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Everything the online stage needs from the offline stage.
 ///
@@ -39,7 +38,7 @@ impl OfflineArtifacts {
     /// cache.
     pub fn with_semantics(mut self, semantics: PathCorrelation) -> Self {
         self.semantics = semantics;
-        self.corr_cache.get_mut().clear();
+        self.corr_cache.get_mut().unwrap_or_else(PoisonError::into_inner).clear();
         self
     }
 
@@ -50,7 +49,7 @@ impl OfflineArtifacts {
 
     /// The correlation table for a slot, building it on first use.
     pub fn corr_table(&self, graph: &Graph, slot: SlotOfDay) -> Arc<CorrelationTable> {
-        let mut cache = self.corr_cache.lock();
+        let mut cache = self.corr_cache.lock().unwrap_or_else(PoisonError::into_inner);
         cache
             .entry(slot.0)
             .or_insert_with(|| {

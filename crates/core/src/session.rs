@@ -76,8 +76,7 @@ impl<'e, 'g> MonitoringSession<'e, 'g> {
         let query = SpeedQuery::new(queried.to_vec(), slot);
         let candidates = self.pool.covered_roads();
         let selection = self.engine.select_roads(&query, &candidates, &self.costs, &self.config);
-        let outcome =
-            self.config.campaign.run(&self.pool, &selection.roads, &self.costs, truth);
+        let outcome = self.config.campaign.run(&self.pool, &selection.roads, &self.costs, truth);
         let params = self.engine.offline().model().slot(slot);
         let warm_started = self.last_values.is_some();
         let result = match &self.last_values {
@@ -193,10 +192,7 @@ mod tests {
             }
         }
         let warm_avg = warm_rounds.iter().sum::<usize>() as f64 / warm_rounds.len() as f64;
-        assert!(
-            warm_avg <= cold_rounds as f64 + 1.0,
-            "warm avg {warm_avg} vs cold {cold_rounds}"
-        );
+        assert!(warm_avg <= cold_rounds as f64 + 1.0, "warm avg {warm_avg} vs cold {cold_rounds}");
     }
 
     #[test]
@@ -208,8 +204,7 @@ mod tests {
         );
         let pool = WorkerPool::spawn(&graph, 30, 0.5, (0.3, 1.0), 9);
         let before = pool.covered_roads();
-        let mut session =
-            MonitoringSession::new(&engine, OnlineConfig::default(), pool, costs);
+        let mut session = MonitoringSession::new(&engine, OnlineConfig::default(), pool, costs);
         let queried = [RoadId(0)];
         let slot = SlotOfDay::from_hm(9, 0);
         let truth = dataset.ground_truth_snapshot(slot).to_vec();

@@ -53,7 +53,8 @@ mod tests {
 
     #[test]
     fn reports_never_negative() {
-        let w = Worker { id: WorkerId(2), location: RoadId(0), bias_kmh: -50.0, noise_std_kmh: 0.0 };
+        let w =
+            Worker { id: WorkerId(2), location: RoadId(0), bias_kmh: -50.0, noise_std_kmh: 0.0 };
         let mut rng = StdRng::seed_from_u64(1);
         let a = Answer::simulate(&w, 10.0, &mut rng);
         assert_eq!(a.speed_kmh, 0.0);

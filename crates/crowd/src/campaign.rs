@@ -166,12 +166,9 @@ mod tests {
         let selection = pool.covered_roads();
         let err = |cost: u32, seed: u64| {
             let costs = vec![cost; truth.len()];
-            let out = CrowdCampaign { seed, ..Default::default() }
-                .run(&pool, &selection, &costs, &truth);
-            out.observations
-                .iter()
-                .map(|(r, s)| (s - truth[r.index()]).abs())
-                .sum::<f64>()
+            let out =
+                CrowdCampaign { seed, ..Default::default() }.run(&pool, &selection, &costs, &truth);
+            out.observations.iter().map(|(r, s)| (s - truth[r.index()]).abs()).sum::<f64>()
                 / out.observations.len() as f64
         };
         // Average over several seeds to avoid flakiness.
@@ -207,16 +204,13 @@ mod acceptance_tests {
         let truth: Vec<f64> = vec![40.0; g.num_roads()];
         let costs = vec![1u32; g.num_roads()];
         let selection = pool.covered_roads();
-        let full =
-            CrowdCampaign { acceptance_rate: 1.0, ..Default::default() }.run(&pool, &selection, &costs, &truth);
-        let partial =
-            CrowdCampaign { acceptance_rate: 0.3, ..Default::default() }.run(&pool, &selection, &costs, &truth);
+        let full = CrowdCampaign { acceptance_rate: 1.0, ..Default::default() }
+            .run(&pool, &selection, &costs, &truth);
+        let partial = CrowdCampaign { acceptance_rate: 0.3, ..Default::default() }
+            .run(&pool, &selection, &costs, &truth);
         assert!(partial.observations.len() <= full.observations.len());
         assert!(partial.paid <= full.paid);
-        assert_eq!(
-            partial.observations.len() + partial.unanswered.len(),
-            selection.len()
-        );
+        assert_eq!(partial.observations.len() + partial.unanswered.len(), selection.len());
     }
 
     #[test]
@@ -226,7 +220,11 @@ mod acceptance_tests {
         let pool = WorkerPool::spawn(&g, 2, 0.0, (0.1, 0.2), 1);
         let truth = vec![30.0; 4];
         let costs = vec![1u32; 4];
-        CrowdCampaign { acceptance_rate: 1.5, ..Default::default() }
-            .run(&pool, &pool.covered_roads(), &costs, &truth);
+        CrowdCampaign { acceptance_rate: 1.5, ..Default::default() }.run(
+            &pool,
+            &pool.covered_roads(),
+            &costs,
+            &truth,
+        );
     }
 }

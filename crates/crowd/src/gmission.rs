@@ -67,19 +67,14 @@ impl GMissionScenario {
     /// Panics when the graph has no connected component of
     /// `spec.num_queried` roads, or when `num_worker_roads > num_queried`.
     pub fn build(graph: &Graph, spec: &GMissionSpec) -> Self {
-        assert!(
-            spec.num_worker_roads <= spec.num_queried,
-            "gMission requires R^w ⊂ R^q"
-        );
+        assert!(spec.num_worker_roads <= spec.num_queried, "gMission requires R^w ⊂ R^q");
         let mut rng = StdRng::seed_from_u64(spec.seed);
         // Find a seed road whose component is large enough (bounded
         // retries keep this deterministic).
         let queried = (0..graph.num_roads())
             .map(|_| RoadId::from(rng.random_range(0..graph.num_roads())))
             .find_map(|seed| grow_connected_subset(graph, seed, spec.num_queried))
-            .unwrap_or_else(|| {
-                panic!("no connected component of {} roads", spec.num_queried)
-            });
+            .unwrap_or_else(|| panic!("no connected component of {} roads", spec.num_queried));
         // Worker roads: a random subset of the queried roads.
         let mut shuffled = queried.clone();
         // Fisher–Yates with the scenario RNG.
@@ -87,8 +82,7 @@ impl GMissionScenario {
             let j = rng.random_range(0..=i);
             shuffled.swap(i, j);
         }
-        let mut worker_roads: Vec<RoadId> =
-            shuffled[..spec.num_worker_roads].to_vec();
+        let mut worker_roads: Vec<RoadId> = shuffled[..spec.num_worker_roads].to_vec();
         worker_roads.sort();
         let pool = WorkerPool::spawn_on_roads(
             graph,
@@ -139,8 +133,7 @@ mod tests {
         let b = GMissionScenario::build(&g, &spec);
         assert_eq!(a.queried, b.queried);
         assert_eq!(a.worker_roads, b.worker_roads);
-        let c =
-            GMissionScenario::build(&g, &GMissionSpec { seed: 99, ..spec });
+        let c = GMissionScenario::build(&g, &GMissionSpec { seed: 99, ..spec });
         assert_ne!(a.worker_roads, c.worker_roads);
     }
 

@@ -13,7 +13,10 @@ use std::io::{self, BufRead, Write};
 pub const HEADER: &str = "road,slot,speed_kmh";
 
 /// Writes records as CSV to any sink.
-pub fn write_records<W: Write>(mut w: W, records: impl Iterator<Item = SpeedRecord>) -> io::Result<()> {
+pub fn write_records<W: Write>(
+    mut w: W,
+    records: impl Iterator<Item = SpeedRecord>,
+) -> io::Result<()> {
     writeln!(w, "{HEADER}")?;
     for rec in records {
         writeln!(w, "{},{},{}", rec.road.0, rec.slot.0, rec.speed_kmh)?;

@@ -25,10 +25,7 @@ impl SpeedRecord {
     /// sanitized at the boundary so the rest of the system can assume valid
     /// values.
     pub fn new(road: RoadId, slot: TimeSlot, speed_kmh: f64) -> Self {
-        assert!(
-            speed_kmh.is_finite() && speed_kmh >= 0.0,
-            "invalid speed {speed_kmh} for {road}"
-        );
+        assert!(speed_kmh.is_finite() && speed_kmh >= 0.0, "invalid speed {speed_kmh} for {road}");
         Self { road, slot, speed_kmh }
     }
 }

@@ -89,12 +89,7 @@ impl HistoryStore {
 
     /// Paired present samples of two roads in one slot across days (for
     /// correlation estimation): only days where both are present.
-    pub fn paired_samples(
-        &self,
-        a: RoadId,
-        b: RoadId,
-        slot: SlotOfDay,
-    ) -> (Vec<f64>, Vec<f64>) {
+    pub fn paired_samples(&self, a: RoadId, b: RoadId, slot: SlotOfDay) -> (Vec<f64>, Vec<f64>) {
         let mut xs = Vec::with_capacity(self.num_days);
         let mut ys = Vec::with_capacity(self.num_days);
         for day in 0..self.num_days {

@@ -109,7 +109,9 @@ pub struct SynthDataset {
 impl SynthDataset {
     /// Ground-truth speed of a road at a slot of the held-out day.
     pub fn ground_truth(&self, slot: SlotOfDay, road: RoadId) -> f64 {
-        self.today.get(0, slot, road).expect("today is fully observed")
+        // `today` is fully observed by construction; the snapshot row
+        // indexes directly without an Option round-trip.
+        self.today.snapshot(0, slot)[road.index()]
     }
 
     /// Ground-truth snapshot of the whole network at a slot of today.
@@ -174,10 +176,9 @@ impl<'g> TrafficGenerator<'g> {
         // Deterministic count close to the configured rate: floor + Bernoulli
         // remainder.
         let base = self.config.incidents_per_day.floor() as usize;
-        let extra = self
-            .rng
-            .random_range(0.0..1.0)
-            .lt(&(self.config.incidents_per_day - base as f64)) as usize;
+        let extra = usize::from(
+            self.rng.random_range(0.0..1.0) < self.config.incidents_per_day - base as f64,
+        );
         (0..base + extra)
             .map(|_| {
                 let (slo, shi) = self.config.severity_range;
@@ -198,15 +199,19 @@ impl<'g> TrafficGenerator<'g> {
 
     /// Fills one day of a store with the AR(1) + diffusion + incident
     /// process.
-    fn fill_day(&mut self, store: &mut HistoryStore, day: usize, incidents: &[(Incident, Vec<usize>)]) {
+    fn fill_day(
+        &mut self,
+        store: &mut HistoryStore,
+        day: usize,
+        incidents: &[(Incident, Vec<usize>)],
+    ) {
         let n = self.graph.num_roads();
         let mut z = vec![0.0_f64; n]; // standardized deviation state
         let mut eta = vec![0.0_f64; n];
         let mut smoothed = vec![0.0_f64; n];
         let ar = self.config.temporal_persistence;
         let innov = (1.0 - ar * ar).sqrt();
-        let dip_scale =
-            if day % 7 >= 5 { self.config.weekend_dip_scale } else { 1.0 };
+        let dip_scale = if day % 7 >= 5 { self.config.weekend_dip_scale } else { 1.0 };
         for slot in SlotOfDay::all() {
             // Fresh spatially-correlated innovations.
             for e in eta.iter_mut() {
@@ -230,8 +235,8 @@ impl<'g> TrafficGenerator<'g> {
             for r in 0..n {
                 z[r] = ar * z[r] + innov * eta[r];
                 let profile = &self.profiles[r];
-                let mut speed = profile.expected_speed_scaled(slot, dip_scale)
-                    + profile.noise_std(slot) * z[r];
+                let mut speed =
+                    profile.expected_speed_scaled(slot, dip_scale) + profile.noise_std(slot) * z[r];
                 for (inc, hops) in incidents {
                     speed *= inc.speed_multiplier(day, slot, hops[r]);
                 }
@@ -265,15 +270,9 @@ mod tests {
     fn deterministic_in_seed() {
         let (_, a) = dataset(2, 7);
         let (_, b) = dataset(2, 7);
-        assert_eq!(
-            a.history.snapshot(1, SlotOfDay(100)),
-            b.history.snapshot(1, SlotOfDay(100))
-        );
+        assert_eq!(a.history.snapshot(1, SlotOfDay(100)), b.history.snapshot(1, SlotOfDay(100)));
         let (_, c) = dataset(2, 8);
-        assert_ne!(
-            a.history.snapshot(1, SlotOfDay(100)),
-            c.history.snapshot(1, SlotOfDay(100))
-        );
+        assert_ne!(a.history.snapshot(1, SlotOfDay(100)), c.history.snapshot(1, SlotOfDay(100)));
     }
 
     #[test]
@@ -289,12 +288,8 @@ mod tests {
     fn daily_mean_tracks_profile() {
         // With enough days, the per-slot mean approaches the profile curve.
         let g = path(6);
-        let cfg = SynthConfig {
-            days: 40,
-            incidents_per_day: 0.0,
-            seed: 5,
-            ..SynthConfig::default()
-        };
+        let cfg =
+            SynthConfig { days: 40, incidents_per_day: 0.0, seed: 5, ..SynthConfig::default() };
         let gen = TrafficGenerator::new(&g, cfg);
         let profiles = gen.profiles().to_vec();
         let ds = gen.generate();
@@ -314,12 +309,8 @@ mod tests {
     #[test]
     fn adjacent_roads_positively_correlated() {
         let g = path(4);
-        let cfg = SynthConfig {
-            days: 60,
-            incidents_per_day: 0.0,
-            seed: 11,
-            ..SynthConfig::default()
-        };
+        let cfg =
+            SynthConfig { days: 60, incidents_per_day: 0.0, seed: 11, ..SynthConfig::default() };
         let ds = TrafficGenerator::new(&g, cfg).generate();
         let slot = SlotOfDay::from_hm(9, 0);
         let (xs, ys) = ds.history.paired_samples(RoadId(1), RoadId(2), slot);
@@ -376,8 +367,7 @@ mod tests {
         let strong = TrafficGenerator::new(&g, strong_cfg);
         let weak = TrafficGenerator::new(&g, weak_cfg);
         let avg = |gen: &TrafficGenerator| {
-            let stds: Vec<f64> =
-                gen.profiles().iter().map(|p| p.noise_std_kmh).collect();
+            let stds: Vec<f64> = gen.profiles().iter().map(|p| p.noise_std_kmh).collect();
             mean(&stds)
         };
         assert!(avg(&weak) > 2.0 * avg(&strong));

@@ -82,14 +82,13 @@ pub fn simulate_fleet(
             // Depart at a random time of day, traverse in continuous time.
             let mut hour = rng.random_range(0.0..24.0);
             for road in path {
-                let slot_idx = ((hour / 24.0) * SLOTS_PER_DAY as f64) as usize;
+                let slot_idx = ((hour / 24.0) * SLOTS_PER_DAY as f64).floor() as usize;
                 if slot_idx >= SLOTS_PER_DAY {
                     break; // trip ran past midnight; truncate
                 }
                 let slot = SlotOfDay(slot_idx as u16);
                 let Some(true_speed) = truth.get(day, slot, road) else { continue };
-                let reported =
-                    (true_speed + gaussian(&mut rng) * config.report_noise_kmh).max(0.5);
+                let reported = (true_speed + gaussian(&mut rng) * config.report_noise_kmh).max(0.5);
                 points.push(ProbePoint { day, slot, road, speed_kmh: reported });
                 // Advance the clock by this road's crossing time.
                 let length_km = graph.road(road).length_m / 1000.0;
@@ -116,8 +115,9 @@ pub fn aggregate_probes(num_roads: usize, num_days: usize, points: &[ProbePoint]
         for slot in SlotOfDay::all() {
             for road in 0..num_roads {
                 let idx = (day * SLOTS_PER_DAY + slot.index()) * num_roads + road;
-                if counts[idx] > 0 {
-                    let s = sums.get(day, slot, RoadId::from(road)).expect("sum present");
+                // `sums` holds a value exactly when counts[idx] > 0, so the
+                // division below never sees a zero count.
+                if let Some(s) = sums.get(day, slot, RoadId::from(road)) {
                     out.set(day, slot, RoadId::from(road), s / counts[idx] as f64);
                 }
             }
@@ -151,8 +151,11 @@ mod tests {
     #[test]
     fn fleet_produces_sparse_but_nonempty_history() {
         let (graph, truth) = dense_world();
-        let (points, history) =
-            simulate_fleet(&graph, &truth, &FleetConfig { trips_per_day: 50, ..Default::default() });
+        let (points, history) = simulate_fleet(
+            &graph,
+            &truth,
+            &FleetConfig { trips_per_day: 50, ..Default::default() },
+        );
         assert!(!points.is_empty());
         let cov = coverage(&history);
         assert!(cov > 0.0 && cov < 0.9, "coverage {cov} should be sparse");
@@ -171,8 +174,7 @@ mod tests {
     #[test]
     fn probe_speeds_track_ground_truth() {
         let (graph, truth) = dense_world();
-        let cfg =
-            FleetConfig { trips_per_day: 100, report_noise_kmh: 0.0, ..Default::default() };
+        let cfg = FleetConfig { trips_per_day: 100, report_noise_kmh: 0.0, ..Default::default() };
         let (points, _) = simulate_fleet(&graph, &truth, &cfg);
         for p in points.iter().take(500) {
             let t = truth.get(p.day, p.slot, p.road).expect("truth present");

@@ -68,11 +68,7 @@ pub fn bootstrap_mean(sample: &[f64], reps: usize, alpha: f64, seed: u64) -> Int
         means.push(acc / n as f64);
     }
     means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
-    Interval {
-        point,
-        lo: quantile(&means, alpha / 2.0),
-        hi: quantile(&means, 1.0 - alpha / 2.0),
-    }
+    Interval { point, lo: quantile(&means, alpha / 2.0), hi: quantile(&means, 1.0 - alpha / 2.0) }
 }
 
 /// Paired-difference bootstrap: interval for `mean(a_i − b_i)` where `a`
@@ -81,13 +77,7 @@ pub fn bootstrap_mean(sample: &[f64], reps: usize, alpha: f64, seed: u64) -> Int
 ///
 /// # Panics
 /// Panics when lengths differ or inputs are empty.
-pub fn bootstrap_paired_diff(
-    a: &[f64],
-    b: &[f64],
-    reps: usize,
-    alpha: f64,
-    seed: u64,
-) -> Interval {
+pub fn bootstrap_paired_diff(a: &[f64], b: &[f64], reps: usize, alpha: f64, seed: u64) -> Interval {
     assert_eq!(a.len(), b.len(), "paired samples must align");
     let diffs: Vec<f64> = a.iter().zip(b.iter()).map(|(x, y)| x - y).collect();
     bootstrap_mean(&diffs, reps, alpha, seed)

@@ -4,7 +4,12 @@ use rtse_graph::{hop_distances, Graph, RoadId};
 
 /// Number of queried roads lying within `hops` hops of any selected road
 /// (selected roads that are themselves queried count at every `hops ≥ 0`).
-pub fn k_hop_coverage(graph: &Graph, queried: &[RoadId], selected: &[RoadId], hops: usize) -> usize {
+pub fn k_hop_coverage(
+    graph: &Graph,
+    queried: &[RoadId],
+    selected: &[RoadId],
+    hops: usize,
+) -> usize {
     if selected.is_empty() {
         return 0;
     }

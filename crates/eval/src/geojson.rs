@@ -26,12 +26,7 @@ pub struct ScalarLayer<'a> {
 /// Panics when a layer's length differs from the road count.
 pub fn to_geojson(graph: &Graph, layers: &[ScalarLayer<'_>]) -> String {
     for layer in layers {
-        assert_eq!(
-            layer.values.len(),
-            graph.num_roads(),
-            "layer {:?} length mismatch",
-            layer.name
-        );
+        assert_eq!(layer.values.len(), graph.num_roads(), "layer {:?} length mismatch", layer.name);
     }
     let mut out = String::with_capacity(128 * graph.num_roads());
     out.push_str("{\"type\":\"FeatureCollection\",\"features\":[");

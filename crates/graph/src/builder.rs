@@ -40,11 +40,7 @@ impl GraphBuilder {
     /// Panics when ids are pushed out of order — dense ids are what make the
     /// flat model-parameter arrays elsewhere in the system valid.
     pub fn push_road(&mut self, road: Road) -> RoadId {
-        assert_eq!(
-            road.id.index(),
-            self.roads.len(),
-            "roads must be pushed in dense id order"
-        );
+        assert_eq!(road.id.index(), self.roads.len(), "roads must be pushed in dense id order");
         let id = road.id;
         self.roads.push(road);
         id
@@ -104,7 +100,18 @@ impl GraphBuilder {
             adj[cursor[b.index()] as usize] = (a, e);
             cursor[b.index()] += 1;
         }
-        Graph::from_parts(self.roads, offsets, adj, self.edges)
+        // Sort each adjacency row by neighbor id so traversal order is a
+        // property of the topology, not of edge insertion order; the
+        // rtse-check CSR contract (`graph.adjacency_sorted`) relies on it.
+        for i in 0..n {
+            adj[offsets[i] as usize..offsets[i + 1] as usize].sort_unstable();
+        }
+        let graph = Graph::from_parts(self.roads, offsets, adj, self.edges);
+        #[cfg(feature = "validate")]
+        if let Err(v) = rtse_check::Validate::validate(&graph) {
+            rtse_check::fail(&v);
+        }
+        graph
     }
 }
 

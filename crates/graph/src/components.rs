@@ -46,12 +46,11 @@ pub fn largest_component(graph: &Graph) -> Vec<RoadId> {
     for &l in &labels {
         sizes[l] += 1;
     }
-    let best = sizes
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
-        .map(|(i, _)| i)
-        .unwrap();
+    let best =
+        sizes.iter().enumerate().max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0))).map(|(i, _)| i);
+    let Some(best) = best else {
+        return Vec::new();
+    };
     graph.road_ids().filter(|r| labels[r.index()] == best).collect()
 }
 

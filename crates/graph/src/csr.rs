@@ -105,8 +105,7 @@ impl Graph {
     /// Looks up the edge between two roads, if adjacent.
     pub fn edge_between(&self, a: RoadId, b: RoadId) -> Option<EdgeId> {
         // Scan the smaller adjacency list.
-        let (probe, target) =
-            if self.degree(a) <= self.degree(b) { (a, b) } else { (b, a) };
+        let (probe, target) = if self.degree(a) <= self.degree(b) { (a, b) } else { (b, a) };
         self.neighbors(probe).iter().find(|(n, _)| *n == target).map(|(_, e)| *e)
     }
 
@@ -143,6 +142,68 @@ impl Graph {
             }
         }
         (builder.build(), keep.to_vec())
+    }
+}
+
+impl rtse_check::Validate for Graph {
+    /// CSR structural contract: offsets are monotone and consistent with
+    /// the adjacency array, every adjacency row is strictly sorted by
+    /// neighbor id (the builder establishes this), every entry is
+    /// in-bounds, and each entry's edge id round-trips through
+    /// [`Graph::edge_endpoints`].
+    fn validate(&self) -> Result<(), rtse_check::InvariantViolation> {
+        use rtse_check::ensure;
+        let n = self.roads.len();
+        ensure(self.offsets.len() == n + 1, "graph.offsets_len", || {
+            format!("{} offsets for {n} roads", self.offsets.len())
+        })?;
+        ensure(self.offsets[0] == 0, "graph.offsets_start", || {
+            format!("offsets[0] = {}", self.offsets[0])
+        })?;
+        ensure(self.offsets[n] as usize == self.adj.len(), "graph.offsets_end", || {
+            format!("offsets[{n}] = {} but {} adjacency entries", self.offsets[n], self.adj.len())
+        })?;
+        ensure(self.adj.len() == 2 * self.endpoints.len(), "graph.adj_len", || {
+            format!("{} adjacency entries for {} edges", self.adj.len(), self.endpoints.len())
+        })?;
+        for r in 0..n {
+            ensure(self.offsets[r] <= self.offsets[r + 1], "graph.offsets_monotone", || {
+                format!(
+                    "offsets[{r}] = {} > offsets[{}] = {}",
+                    self.offsets[r],
+                    r + 1,
+                    self.offsets[r + 1]
+                )
+            })?;
+            let row = &self.adj[self.offsets[r] as usize..self.offsets[r + 1] as usize];
+            for (k, &(nbr, e)) in row.iter().enumerate() {
+                ensure(nbr.index() < n, "graph.neighbor_in_bounds", || {
+                    format!("road {r} lists neighbor {nbr} but |R| = {n}")
+                })?;
+                ensure(nbr.index() != r, "graph.no_self_loop", || {
+                    format!("road {r} lists itself as a neighbor")
+                })?;
+                ensure(e.index() < self.endpoints.len(), "graph.edge_in_bounds", || {
+                    format!("road {r} lists edge {e:?} but |E| = {}", self.endpoints.len())
+                })?;
+                ensure(k == 0 || row[k - 1].0 < nbr, "graph.adjacency_sorted", || {
+                    format!("road {r}: neighbors {} and {nbr} out of order", row[k - 1].0)
+                })?;
+                let (a, b) = self.endpoints[e.index()];
+                let r_id = RoadId(r as u32);
+                ensure(
+                    (a, b) == (r_id.min(nbr), r_id.max(nbr)),
+                    "graph.edge_endpoints_consistent",
+                    || format!("road {r} ↔ {nbr} stored under edge {e:?} = ({a}, {b})"),
+                )?;
+            }
+        }
+        for (i, &(a, b)) in self.endpoints.iter().enumerate() {
+            ensure(a < b && b.index() < n, "graph.endpoints_ordered", || {
+                format!("edge {i} endpoints ({a}, {b}) with |R| = {n}")
+            })?;
+        }
+        Ok(())
     }
 }
 

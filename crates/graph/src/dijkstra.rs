@@ -74,9 +74,9 @@ impl Eq for HeapEntry {}
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for min-heap behaviour; costs are never NaN (asserted on
-        // insert).
-        other.cost.partial_cmp(&self.cost).unwrap().then_with(|| other.road.cmp(&self.road))
+        // Reverse for min-heap behaviour; `total_cmp` gives a total order
+        // even though costs are never NaN (asserted on insert).
+        other.cost.total_cmp(&self.cost).then_with(|| other.road.cmp(&self.road))
     }
 }
 
@@ -192,7 +192,15 @@ mod tests {
 
     /// Brute-force all simple paths for cross-checking.
     fn brute_force(g: &Graph, w: &[f64], s: RoadId, t: RoadId) -> f64 {
-        fn rec(g: &Graph, w: &[f64], cur: RoadId, t: RoadId, seen: &mut Vec<bool>, acc: f64, best: &mut f64) {
+        fn rec(
+            g: &Graph,
+            w: &[f64],
+            cur: RoadId,
+            t: RoadId,
+            seen: &mut Vec<bool>,
+            acc: f64,
+            best: &mut f64,
+        ) {
             if cur == t {
                 *best = best.min(acc);
                 return;

@@ -176,11 +176,8 @@ pub fn hong_kong_like(n: usize, seed: u64) -> Graph {
             (hp.0 + rng.random_range(-0.05..0.05)).clamp(0.0, 1.0),
             (hp.1 + rng.random_range(-0.05..0.05)).clamp(0.0, 1.0),
         );
-        let class = if rng.random_range(0.0..1.0) < 0.6 {
-            RoadClass::Secondary
-        } else {
-            RoadClass::Local
-        };
+        let class =
+            if rng.random_range(0.0..1.0) < 0.6 { RoadClass::Secondary } else { RoadClass::Local };
         pos.push(p);
         let id = b.add_road(class, p);
         b.add_edge(id, host);

@@ -79,16 +79,17 @@ pub fn read_network<R: BufRead>(r: R) -> Result<Graph, NetworkParseError> {
                 if fields.len() != 5 {
                     return Err(err(n, format!("road needs 5 fields, got {}", fields.len())));
                 }
-                let id: u32 =
-                    fields[0].parse().map_err(|_| err(n, "bad road id".into()))?;
+                let id: u32 = fields[0].parse().map_err(|_| err(n, "bad road id".into()))?;
                 let class = parse_class(fields[1])
                     .ok_or_else(|| err(n, format!("unknown class {:?}", fields[1])))?;
-                let length: f64 =
-                    fields[2].parse().map_err(|_| err(n, "bad length".into()))?;
+                let length: f64 = fields[2].parse().map_err(|_| err(n, "bad length".into()))?;
                 let x: f64 = fields[3].parse().map_err(|_| err(n, "bad x".into()))?;
                 let y: f64 = fields[4].parse().map_err(|_| err(n, "bad y".into()))?;
                 if id as usize != builder.num_roads() {
-                    return Err(err(n, format!("road ids must be dense; expected {}", builder.num_roads())));
+                    return Err(err(
+                        n,
+                        format!("road ids must be dense; expected {}", builder.num_roads()),
+                    ));
                 }
                 if !(length.is_finite() && length > 0.0) {
                     return Err(err(n, "length must be positive and finite".into()));
@@ -118,7 +119,9 @@ pub fn read_network<R: BufRead>(r: R) -> Result<Graph, NetworkParseError> {
                 builder.add_edge(RoadId(a), RoadId(b));
             }
             Some(other) => return Err(err(n, format!("unknown record {other:?}"))),
-            None => unreachable!("trimmed line is non-empty"),
+            // A trimmed non-empty line always has a first field, but an
+            // error keeps the parser total.
+            None => return Err(err(n, "empty record".into())),
         }
     }
     Ok(builder.build())
@@ -175,12 +178,8 @@ mod tests {
     fn rejects_unknown_class_and_bad_edge() {
         let text = format!("{HEADER}\nroad 0 spaceway 100 0 0\n");
         assert!(read_network(text.as_bytes()).unwrap_err().message.contains("class"));
-        let text =
-            format!("{HEADER}\nroad 0 local 100 0 0\nroad 1 local 100 1 0\nedge 0 5\n");
-        assert!(read_network(text.as_bytes())
-            .unwrap_err()
-            .message
-            .contains("unknown road"));
+        let text = format!("{HEADER}\nroad 0 local 100 0 0\nroad 1 local 100 1 0\nedge 0 5\n");
+        assert!(read_network(text.as_bytes()).unwrap_err().message.contains("unknown road"));
     }
 
     #[test]

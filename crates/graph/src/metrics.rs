@@ -28,11 +28,7 @@ pub fn degree_histogram(graph: &Graph) -> Vec<usize> {
 /// Exact eccentricity of one road (max hop distance to any reachable
 /// road).
 pub fn eccentricity(graph: &Graph, r: RoadId) -> usize {
-    hop_distances(graph, &[r])
-        .into_iter()
-        .filter(|&d| d != usize::MAX)
-        .max()
-        .unwrap_or(0)
+    hop_distances(graph, &[r]).into_iter().filter(|&d| d != usize::MAX).max().unwrap_or(0)
 }
 
 /// Estimated diameter: the max eccentricity over `samples` deterministic

@@ -25,8 +25,8 @@ pub mod solver;
 pub mod uncertainty;
 
 pub use exact::exact_map_estimate;
-pub use relax::{propagate_warm, DampedGsp};
-pub use uncertainty::{sample_posterior, PosteriorSummary};
 pub use parallel::ParallelGsp;
+pub use relax::{propagate_warm, DampedGsp};
 pub use schedule::UpdateSchedule;
 pub use solver::{GspResult, GspSolver};
+pub use uncertainty::{sample_posterior, PosteriorSummary};

@@ -64,11 +64,11 @@ impl ParallelGsp {
                 fresh.reserve(layer.len());
                 let chunk = layer.len().div_ceil(threads);
                 let values_ref = &values;
-                let results: Vec<Vec<(usize, f64)>> = crossbeam::thread::scope(|scope| {
+                let results: Vec<Vec<(usize, f64)>> = std::thread::scope(|scope| {
                     let handles: Vec<_> = layer
                         .chunks(chunk.max(1))
                         .map(|part| {
-                            scope.spawn(move |_| {
+                            scope.spawn(move || {
                                 part.iter()
                                     .map(|&r| {
                                         (r.index(), optimal_update(graph, params, values_ref, r))
@@ -77,9 +77,14 @@ impl ParallelGsp {
                             })
                         })
                         .collect();
-                    handles.into_iter().map(|h| h.join().expect("gsp worker panicked")).collect()
-                })
-                .expect("gsp thread scope failed");
+                    handles
+                        .into_iter()
+                        .map(|h| match h.join() {
+                            Ok(part) => part,
+                            Err(payload) => std::panic::resume_unwind(payload),
+                        })
+                        .collect()
+                });
                 for part in results {
                     fresh.extend(part);
                 }

@@ -63,6 +63,37 @@ impl GspResult {
     }
 }
 
+impl rtse_check::Validate for GspResult {
+    /// Propagation-output contract: every estimate is a finite,
+    /// non-negative speed (Eq. 18 interpolates between non-negative
+    /// observed speeds and non-negative slot means, so a negative output
+    /// means a corrupted model or observation slipped through), the trace
+    /// length matches the recorded rounds when present, and unreachable
+    /// ids are in-bounds.
+    fn validate(&self) -> Result<(), rtse_check::InvariantViolation> {
+        use rtse_check::{ensure, ensure_finite};
+        ensure_finite(&self.values, "gsp.values_finite")?;
+        if let Some(i) = self.values.iter().position(|&v| v < 0.0) {
+            return Err(rtse_check::InvariantViolation::new(
+                "gsp.values_non_negative",
+                format!("estimate for road {i} is {}", self.values[i]),
+            ));
+        }
+        ensure(
+            self.delta_trace.is_empty() || self.delta_trace.len() == self.rounds,
+            "gsp.trace_len",
+            || format!("{} trace entries for {} rounds", self.delta_trace.len(), self.rounds),
+        )?;
+        if let Some(r) = self.unreachable.iter().find(|r| r.index() >= self.values.len()) {
+            return Err(rtse_check::InvariantViolation::new(
+                "gsp.unreachable_in_bounds",
+                format!("unreachable road {r} but only {} values", self.values.len()),
+            ));
+        }
+        Ok(())
+    }
+}
+
 impl GspSolver {
     /// Runs Alg. 5: propagates `observations` (pairs of sampled road and
     /// observed speed) over the whole network.
@@ -112,13 +143,23 @@ impl GspSolver {
             }
             converged = max_delta < self.epsilon;
         }
-        GspResult {
+        let result = GspResult {
             values,
             rounds,
             converged,
             unreachable: schedule.unreachable().to_vec(),
             delta_trace: trace,
+        };
+        #[cfg(feature = "validate")]
+        {
+            if let Err(v) = rtse_check::Validate::validate(params) {
+                rtse_check::fail(&v);
+            }
+            if let Err(v) = rtse_check::Validate::validate(&result) {
+                rtse_check::fail(&v);
+            }
         }
+        result
     }
 }
 

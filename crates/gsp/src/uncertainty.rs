@@ -64,8 +64,7 @@ pub fn sample_posterior(
         let mut b = vec![0.0; system.dim()];
         // Edge noise must be shared between both endpoint rows of an
         // unobserved-unobserved edge, so draw per edge first.
-        let edge_noise: Vec<f64> =
-            (0..graph.num_edges()).map(|_| gaussian(&mut rng)).collect();
+        let edge_noise: Vec<f64> = (0..graph.num_edges()).map(|_| gaussian(&mut rng)).collect();
         for (row, &i) in system.unobserved().iter().enumerate() {
             let si = params.sigma[i.index()];
             let mu_tilde = params.mu[i.index()] + si * inv_sqrt2 * gaussian(&mut rng);
@@ -76,8 +75,8 @@ pub fn sample_posterior(
                 // ((v_i − v_j) − μ_ij)². From j's row the same factor
                 // appears with flipped sign, so the shared noise flips too.
                 let orient = if i < j { 1.0 } else { -1.0 };
-                let mu_ij = params.mu_diff(i, j)
-                    + orient * u.sqrt() * inv_sqrt2 * edge_noise[e.index()];
+                let mu_ij =
+                    params.mu_diff(i, j) + orient * u.sqrt() * inv_sqrt2 * edge_noise[e.index()];
                 b[row] += mu_ij / u;
                 if let Some(v) = system.observed_speed(j) {
                     b[row] += v / u;
@@ -159,12 +158,7 @@ mod tests {
         let post = sample_posterior(&g, &p, &obs, 600, 11);
         // Monotone non-decreasing along the path away from the probe
         // (within sampling noise).
-        assert!(
-            post.std[1] < post.std[4] + 0.2,
-            "1 hop {} vs 4 hops {}",
-            post.std[1],
-            post.std[4]
-        );
+        assert!(post.std[1] < post.std[4] + 0.2, "1 hop {} vs 4 hops {}", post.std[1], post.std[4]);
         assert!(post.std[1] < post.std[6], "1 hop {} vs 6 hops {}", post.std[1], post.std[6]);
     }
 

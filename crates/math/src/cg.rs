@@ -25,12 +25,7 @@ pub struct CgSolution {
 ///
 /// # Panics
 /// Panics when `A` is not square or dimensions mismatch.
-pub fn conjugate_gradient(
-    a: &SparseMatrix,
-    b: &[f64],
-    tol: f64,
-    max_iters: usize,
-) -> CgSolution {
+pub fn conjugate_gradient(a: &SparseMatrix, b: &[f64], tol: f64, max_iters: usize) -> CgSolution {
     assert_eq!(a.rows(), a.cols(), "CG requires a square matrix");
     assert_eq!(a.rows(), b.len(), "rhs length mismatch");
     let n = b.len();
@@ -122,8 +117,7 @@ mod tests {
     #[test]
     fn matches_cholesky_on_random_spd() {
         // Dense SPD via B^T B + I, compared against the Cholesky solver.
-        let entries: Vec<f64> =
-            (0..16).map(|i| ((i * 37 % 17) as f64 - 8.0) / 5.0).collect();
+        let entries: Vec<f64> = (0..16).map(|i| ((i * 37 % 17) as f64 - 8.0) / 5.0).collect();
         let b_mat = crate::Matrix::from_vec(4, 4, entries);
         let mut dense = b_mat.gram();
         dense.add_diagonal(1.0);

@@ -128,11 +128,8 @@ pub fn lasso_coordinate_descent(x: &Matrix, y: &[f64], config: &LassoConfig) -> 
         }
     }
 
-    let intercept = if config.fit_intercept {
-        y_mean - crate::vector::dot(&w, &col_means)
-    } else {
-        0.0
-    };
+    let intercept =
+        if config.fit_intercept { y_mean - crate::vector::dot(&w, &col_means) } else { 0.0 };
     LassoSolution { weights: w, intercept, iterations, converged }
 }
 

@@ -27,7 +27,10 @@ pub use lasso::{lasso_coordinate_descent, LassoConfig, LassoSolution};
 pub use matrix::Matrix;
 pub use ridge::ridge_solve;
 pub use sparse::SparseMatrix;
-pub use stats::{mean, pearson, population_std, sample_std, OnlineCov, OnlineStats};
+pub use stats::{
+    mean, pearson, population_std, sample_std, try_mean, try_pearson, try_population_std,
+    try_sample_std, OnlineCov, OnlineStats, StatsError,
+};
 
 /// Numerical tolerance used across the crate when comparing floats.
 pub const EPS: f64 = 1e-12;

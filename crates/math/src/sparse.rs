@@ -29,11 +29,14 @@ impl SparseMatrix {
         let mut col_idx = Vec::with_capacity(sorted.len());
         let mut values: Vec<f64> = Vec::with_capacity(sorted.len());
         for &(r, c, v) in &sorted {
-            if let (Some(&last_c), true) = (col_idx.last(), row_ptr[r + 1] > 0) {
+            if col_idx.last() == Some(&(c as u32))
+                && row_ptr[r + 1] > 0
+                && row_ptr[r + 1] > row_ptr[r]
+            {
                 // Same row (row_ptr[r+1] counts entries so far in row r via
-                // the running fill below) — detect duplicate (r, c).
-                if row_ptr[r + 1] > row_ptr[r] && last_c == c as u32 {
-                    *values.last_mut().expect("entry exists") += v;
+                // the running fill below) — merge the duplicate (r, c).
+                if let Some(last) = values.last_mut() {
+                    *last += v;
                     continue;
                 }
             }
@@ -140,13 +143,7 @@ mod tests {
 
     #[test]
     fn matches_dense_matvec() {
-        let triplets = [
-            (0usize, 1usize, 2.0),
-            (1, 0, -1.0),
-            (1, 2, 4.0),
-            (2, 2, 0.5),
-            (0, 0, 1.0),
-        ];
+        let triplets = [(0usize, 1usize, 2.0), (1, 0, -1.0), (1, 2, 4.0), (2, 2, 0.5), (0, 0, 1.0)];
         let a = SparseMatrix::from_triplets(3, 3, &triplets);
         let mut dense = crate::Matrix::zeros(3, 3);
         for &(r, c, v) in &triplets {

@@ -60,9 +60,7 @@ pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
 /// Maximum absolute elementwise difference between two slices.
 pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "max_abs_diff length mismatch");
-    a.iter()
-        .zip(b.iter())
-        .fold(0.0_f64, |m, (x, y)| m.max((x - y).abs()))
+    a.iter().zip(b.iter()).fold(0.0_f64, |m, (x, y)| m.max((x - y).abs()))
 }
 
 /// Soft-thresholding operator `sign(z) * max(|z| - gamma, 0)`.

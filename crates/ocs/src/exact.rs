@@ -27,15 +27,11 @@ pub fn exact_solve(inst: &OcsInstance<'_>) -> Selection {
     let mut best = Selection::empty();
     let mut state = SelectionState::new(inst);
     dfs(inst, &mut state, 0, &mut best);
+    crate::problem::debug_validate_selection(inst, &best);
     best
 }
 
-fn dfs(
-    inst: &OcsInstance<'_>,
-    state: &mut SelectionState<'_>,
-    from: usize,
-    best: &mut Selection,
-) {
+fn dfs(inst: &OcsInstance<'_>, state: &mut SelectionState<'_>, from: usize, best: &mut Selection) {
     if state.value() > best.value {
         *best = Selection {
             roads: state.chosen().to_vec(),

@@ -30,10 +30,9 @@ impl Eq for HeapItem {}
 
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.gain
-            .partial_cmp(&other.gain)
-            .expect("gains are finite")
-            .then(other.road.cmp(&self.road)) // lower id wins ties
+        // Gains are finite by construction; `total_cmp` keeps the order
+        // total without an abort path.
+        self.gain.total_cmp(&other.gain).then(other.road.cmp(&self.road)) // lower id wins ties
     }
 }
 
@@ -103,7 +102,9 @@ fn lazy_greedy_by(
             break;
         }
     }
-    state.into_selection()
+    let sel = state.into_selection();
+    crate::problem::debug_validate_selection(inst, &sel);
+    sel
 }
 
 #[cfg(test)]

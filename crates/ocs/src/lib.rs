@@ -32,7 +32,7 @@ pub mod trivial;
 pub use exact::exact_solve;
 pub use lazy::{lazy_hybrid_greedy, lazy_objective_greedy, lazy_ratio_greedy};
 pub use objective::{ocs_value, SelectionState};
-pub use problem::{OcsInstance, Selection};
+pub use problem::{validate_selection, OcsInstance, Selection};
 pub use random::random_select;
 pub use solvers::{hybrid_greedy, objective_greedy, ratio_greedy};
 pub use trivial::trivial_solution;

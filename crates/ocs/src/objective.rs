@@ -12,10 +12,7 @@ use rtse_graph::RoadId;
 /// Direct evaluation of `ocs(R^c)` (Eq. 13). Used by tests and the exact
 /// solver; greedy code paths use [`SelectionState`].
 pub fn ocs_value(inst: &OcsInstance<'_>, chosen: &[RoadId]) -> f64 {
-    inst.queried
-        .iter()
-        .map(|&q| inst.sigma[q.index()] * inst.corr.road_set_corr(q, chosen))
-        .sum()
+    inst.queried.iter().map(|&q| inst.sigma[q.index()] * inst.corr.road_set_corr(q, chosen)).sum()
 }
 
 /// Incremental selection state shared by the greedy solvers.
@@ -180,8 +177,7 @@ mod tests {
         assert!((g1 - ocs_value(&inst, &[RoadId(1)])).abs() < 1e-12);
         st.add(RoadId(1));
         let g2 = st.gain(RoadId(2));
-        let direct =
-            ocs_value(&inst, &[RoadId(1), RoadId(2)]) - ocs_value(&inst, &[RoadId(1)]);
+        let direct = ocs_value(&inst, &[RoadId(1), RoadId(2)]) - ocs_value(&inst, &[RoadId(1)]);
         assert!((g2 - direct).abs() < 1e-12);
         st.add(RoadId(2));
         assert!((st.value() - ocs_value(&inst, &[RoadId(1), RoadId(2)])).abs() < 1e-12);

@@ -96,3 +96,57 @@ impl Selection {
         true
     }
 }
+
+/// Contract between an OCS solver's output and its instance: candidate
+/// membership, no duplicates, spent-cost bookkeeping, budget respected,
+/// pairwise redundancy below `θ`, and a finite, consistent objective value
+/// (Eq. 13). This is [`Selection::is_feasible`] with a structured verdict —
+/// solvers compiled with the `validate` feature fail closed on it.
+pub fn validate_selection(
+    inst: &OcsInstance<'_>,
+    sel: &Selection,
+) -> Result<(), rtse_check::InvariantViolation> {
+    use rtse_check::ensure;
+    let mut seen = std::collections::HashSet::new();
+    let mut spent = 0u32;
+    for &r in &sel.roads {
+        ensure(inst.candidates.contains(&r), "ocs.member_of_candidates", || {
+            format!("selected road {r} is not in R^w")
+        })?;
+        ensure(seen.insert(r), "ocs.no_duplicates", || format!("road {r} selected twice"))?;
+        spent += inst.cost(r);
+    }
+    ensure(spent == sel.spent, "ocs.spent_consistent", || {
+        format!("selection claims spent = {} but costs sum to {spent}", sel.spent)
+    })?;
+    ensure(spent <= inst.budget, "ocs.budget", || {
+        format!("spent {spent} exceeds budget {}", inst.budget)
+    })?;
+    for (i, &a) in sel.roads.iter().enumerate() {
+        for &b in &sel.roads[i + 1..] {
+            let c = inst.corr.corr(a, b);
+            ensure(c <= inst.theta + 1e-12, "ocs.theta_redundancy", || {
+                format!("corr({a}, {b}) = {c} exceeds θ = {}", inst.theta)
+            })?;
+        }
+    }
+    let value = crate::objective::ocs_value(inst, &sel.roads);
+    ensure(
+        sel.value.is_finite() && (sel.value - value).abs() <= 1e-9,
+        "ocs.value_consistent",
+        || format!("selection claims value {} but Eq. 13 gives {value}", sel.value),
+    )?;
+    Ok(())
+}
+
+/// Fail-closed wrapper used by the solvers when the `validate` feature is
+/// on; a no-op otherwise.
+#[inline]
+pub(crate) fn debug_validate_selection(inst: &OcsInstance<'_>, sel: &Selection) {
+    #[cfg(feature = "validate")]
+    if let Err(v) = validate_selection(inst, sel) {
+        rtse_check::fail(&v);
+    }
+    #[cfg(not(feature = "validate"))]
+    let _ = (inst, sel);
+}

@@ -23,7 +23,9 @@ pub fn random_select(inst: &OcsInstance<'_>, seed: u64) -> Selection {
             state.add(r);
         }
     }
-    state.into_selection()
+    let sel = state.into_selection();
+    crate::problem::debug_validate_selection(inst, &sel);
+    sel
 }
 
 #[cfg(test)]
@@ -34,10 +36,7 @@ mod tests {
     use rtse_graph::RoadId;
 
     fn instance_parts() -> (rtse_rtf::CorrelationTable, Vec<f64>, Vec<u32>) {
-        let (_g, t) = table(
-            6,
-            &[(0, 1, 0.9), (1, 2, 0.8), (2, 3, 0.7), (3, 4, 0.6), (4, 5, 0.5)],
-        );
+        let (_g, t) = table(6, &[(0, 1, 0.9), (1, 2, 0.8), (2, 3, 0.7), (3, 4, 0.6), (4, 5, 0.5)]);
         (t, vec![1.0; 6], vec![1, 2, 1, 2, 1, 2])
     }
 
@@ -78,12 +77,7 @@ mod tests {
             theta: 1.0,
         };
         let hybrid = hybrid_greedy(&inst);
-        let avg_random: f64 =
-            (0..20).map(|s| random_select(&inst, s).value).sum::<f64>() / 20.0;
-        assert!(
-            hybrid.value >= avg_random,
-            "hybrid {} vs avg random {avg_random}",
-            hybrid.value
-        );
+        let avg_random: f64 = (0..20).map(|s| random_select(&inst, s).value).sum::<f64>() / 20.0;
+        assert!(hybrid.value >= avg_random, "hybrid {} vs avg random {avg_random}", hybrid.value);
     }
 }

@@ -61,14 +61,16 @@ fn greedy_by(
             None => break,
         }
     }
-    state.into_selection()
+    let sel = state.into_selection();
+    crate::problem::debug_validate_selection(inst, &sel);
+    sel
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::objective::test_support::table;
     use crate::objective::ocs_value;
+    use crate::objective::test_support::table;
     use proptest::prelude::*;
 
     /// Owns the storage an `OcsInstance` borrows.

@@ -26,31 +26,28 @@ pub fn trivial_solution(inst: &OcsInstance<'_>) -> Option<Selection> {
         let roads = inst.candidates.to_vec();
         let value = ocs_value(inst, &roads);
         let spent = roads.len() as u32;
-        return Some(Selection { roads, value, spent });
+        let sel = Selection { roads, value, spent };
+        crate::problem::debug_validate_selection(inst, &sel);
+        return Some(sel);
     }
     // Case 2: one unit per queried road suffices — take the argmax
     // candidate per queried road (deduplicated).
     if inst.queried.len() as u32 <= inst.budget && !inst.queried.is_empty() {
         let mut roads = Vec::new();
         for &q in inst.queried {
-            let best = inst
-                .candidates
-                .iter()
-                .copied()
-                .max_by(|&a, &b| {
-                    inst.corr
-                        .corr(q, a)
-                        .partial_cmp(&inst.corr.corr(q, b))
-                        .expect("correlations are finite")
-                        .then(b.cmp(&a)) // deterministic: lower id wins ties
-                })?;
+            let best = inst.candidates.iter().copied().max_by(|&a, &b| {
+                inst.corr.corr(q, a).total_cmp(&inst.corr.corr(q, b)).then(b.cmp(&a))
+                // deterministic: lower id wins ties
+            })?;
             if !roads.contains(&best) {
                 roads.push(best);
             }
         }
         let value = ocs_value(inst, &roads);
         let spent = roads.len() as u32;
-        return Some(Selection { roads, value, spent });
+        let sel = Selection { roads, value, spent };
+        crate::problem::debug_validate_selection(inst, &sel);
+        return Some(sel);
     }
     None
 }

@@ -1,0 +1,135 @@
+//! Property tests for OCS solver feasibility: on arbitrary random
+//! instances, every solver's output must satisfy the rtse-check selection
+//! contract — within budget, pairwise redundancy at most `θ`, candidate
+//! membership, no duplicates, and a consistent Eq. (13) value.
+
+use proptest::prelude::*;
+use rtse_data::{SlotOfDay, SLOTS_PER_DAY};
+use rtse_graph::{GraphBuilder, RoadClass, RoadId};
+use rtse_ocs::{
+    exact_solve, hybrid_greedy, lazy_hybrid_greedy, lazy_objective_greedy, lazy_ratio_greedy,
+    objective_greedy, random_select, ratio_greedy, trivial_solution, validate_selection,
+    OcsInstance, Selection,
+};
+use rtse_rtf::params::SlotParams;
+use rtse_rtf::{CorrelationTable, PathCorrelation, RtfModel};
+
+const N: usize = 9;
+
+/// Owns the storage an [`OcsInstance`] borrows.
+struct Fixture {
+    table: CorrelationTable,
+    sigma: Vec<f64>,
+    costs: Vec<u32>,
+    queried: Vec<RoadId>,
+    candidates: Vec<RoadId>,
+    budget: u32,
+    theta: f64,
+}
+
+impl Fixture {
+    fn instance(&self) -> OcsInstance<'_> {
+        OcsInstance {
+            sigma: &self.sigma,
+            corr: &self.table,
+            queried: &self.queried,
+            candidates: &self.candidates,
+            costs: &self.costs,
+            budget: self.budget,
+            theta: self.theta,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fixture(
+    edges: Vec<(u32, u32, f64)>,
+    sigma: Vec<f64>,
+    costs: Vec<u32>,
+    split: usize,
+    budget: u32,
+    theta: f64,
+) -> Fixture {
+    let mut b = GraphBuilder::new();
+    for i in 0..N {
+        b.add_road(RoadClass::Secondary, (i as f64, 0.0));
+    }
+    let mut rho = Vec::new();
+    for (x, y, r) in edges {
+        if x != y && b.add_edge(RoadId(x), RoadId(y)) {
+            rho.push(r);
+        }
+    }
+    let g = b.build();
+    let slots: Vec<SlotParams> = (0..SLOTS_PER_DAY)
+        .map(|_| SlotParams { mu: vec![0.0; N], sigma: vec![1.0; N], rho: rho.clone() })
+        .collect();
+    let model = RtfModel::from_slots(N, g.num_edges(), slots);
+    let table = CorrelationTable::build(&g, &model, SlotOfDay(0), PathCorrelation::MaxProduct);
+    // Disjoint queried/candidate split at `split`.
+    let queried: Vec<RoadId> = (0..split as u32).map(RoadId).collect();
+    let candidates: Vec<RoadId> = (split as u32..N as u32).map(RoadId).collect();
+    Fixture { table, sigma, costs, queried, candidates, budget, theta }
+}
+
+fn assert_contract(inst: &OcsInstance<'_>, sel: &Selection, solver: &str) {
+    if let Err(v) = validate_selection(inst, sel) {
+        panic!("{solver}: {v} (selection {sel:?})");
+    }
+    assert!(sel.spent <= inst.budget, "{solver} overspent: {} > {}", sel.spent, inst.budget);
+    for (i, &a) in sel.roads.iter().enumerate() {
+        for &b in &sel.roads[i + 1..] {
+            let c = inst.corr.corr(a, b);
+            assert!(c <= inst.theta + 1e-12, "{solver}: corr({a},{b}) = {c} > θ = {}", inst.theta);
+        }
+    }
+}
+
+proptest! {
+    /// Every solver — greedy, lazy, random, trivial, exact — returns a
+    /// budget- and θ-feasible selection on random instances.
+    #[test]
+    fn all_solvers_feasible_on_random_instances(
+        edges in proptest::collection::vec(
+            (0u32..N as u32, 0u32..N as u32, 0.05..0.95f64),
+            2..24,
+        ),
+        sigma in proptest::collection::vec(0.3..4.0f64, N),
+        costs in proptest::collection::vec(1u32..5, N),
+        split in 1usize..5,
+        budget in 0u32..14,
+        theta in 0.3..1.0f64,
+    ) {
+        let f = fixture(edges, sigma, costs, split, budget, theta);
+        let inst = f.instance();
+        assert_contract(&inst, &ratio_greedy(&inst), "ratio_greedy");
+        assert_contract(&inst, &objective_greedy(&inst), "objective_greedy");
+        assert_contract(&inst, &hybrid_greedy(&inst), "hybrid_greedy");
+        assert_contract(&inst, &lazy_ratio_greedy(&inst), "lazy_ratio_greedy");
+        assert_contract(&inst, &lazy_objective_greedy(&inst), "lazy_objective_greedy");
+        assert_contract(&inst, &lazy_hybrid_greedy(&inst), "lazy_hybrid_greedy");
+        assert_contract(&inst, &random_select(&inst, 7), "random_select");
+        assert_contract(&inst, &exact_solve(&inst), "exact_solve");
+        if let Some(sel) = trivial_solution(&inst) {
+            assert_contract(&inst, &sel, "trivial_solution");
+        }
+    }
+
+    /// The θ constraint binds: with θ below every positive pairwise
+    /// candidate correlation, no two correlated candidates are co-selected
+    /// even with unlimited budget.
+    #[test]
+    fn theta_respected_with_loose_budget(
+        edges in proptest::collection::vec(
+            (0u32..N as u32, 0u32..N as u32, 0.4..0.95f64),
+            4..24,
+        ),
+        theta in 0.05..0.35f64,
+    ) {
+        let f = fixture(edges, vec![1.0; N], vec![1; N], 3, 100, theta);
+        let inst = f.instance();
+        for sel in [hybrid_greedy(&inst), lazy_hybrid_greedy(&inst), random_select(&inst, 3)] {
+            assert_contract(&inst, &sel, "loose-budget solver");
+        }
+    }
+}

@@ -67,13 +67,16 @@ impl CorrelationTable {
                     let sp = dijkstra_with_paths(graph, src, |e| 1.0 / params.rho[e.index()]);
                     for t in graph.road_ids() {
                         row[t.index()] = match sp.path_to(t) {
+                            // Consecutive path roads are adjacent by
+                            // construction; a missing edge would mean a
+                            // broken shortest-path tree and maps to zero
+                            // correlation rather than an abort.
                             Some(path) => path
                                 .windows(2)
                                 .map(|w| {
-                                    let e = graph
+                                    graph
                                         .edge_between(w[0], w[1])
-                                        .expect("path edges exist");
-                                    params.rho[e.index()]
+                                        .map_or(0.0, |e| params.rho[e.index()])
                                 })
                                 .product(),
                             None => 0.0,
@@ -88,7 +91,12 @@ impl CorrelationTable {
                 row[nbr.index()] = params.rho[e.index()];
             }
         }
-        Self { n, slot, semantics, values }
+        let table = Self { n, slot, semantics, values };
+        #[cfg(feature = "validate")]
+        if let Err(v) = rtse_check::Validate::validate(&table) {
+            rtse_check::fail(&v);
+        }
+        table
     }
 
     /// The slot this table was built for.
@@ -123,6 +131,36 @@ impl CorrelationTable {
     }
 }
 
+impl rtse_check::Validate for CorrelationTable {
+    /// Table contract (Eqs. 7–12): square storage, values in `[0, 1]`,
+    /// unit diagonal, and symmetry. Two independent Dijkstra runs compute
+    /// `corr(a, b)` and `corr(b, a)`, so symmetry is checked to a float
+    /// tolerance rather than bit-for-bit.
+    fn validate(&self) -> Result<(), rtse_check::InvariantViolation> {
+        use rtse_check::ensure;
+        ensure(self.values.len() == self.n * self.n, "corr.square", || {
+            format!("{} values for {} roads", self.values.len(), self.n)
+        })?;
+        for a in 0..self.n {
+            for b in 0..self.n {
+                let c = self.values[a * self.n + b];
+                ensure(c.is_finite() && (0.0..=1.0).contains(&c), "corr.range", || {
+                    format!("corr({a}, {b}) = {c} outside [0, 1]")
+                })?;
+                let mirror = self.values[b * self.n + a];
+                ensure((c - mirror).abs() <= 1e-9, "corr.symmetric", || {
+                    format!("corr({a}, {b}) = {c} but corr({b}, {a}) = {mirror}")
+                })?;
+            }
+            let diag = self.values[a * self.n + a];
+            ensure((diag - 1.0).abs() <= 1e-12, "corr.unit_diagonal", || {
+                format!("corr({a}, {a}) = {diag}")
+            })?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,11 +182,7 @@ mod tests {
         }
         let g = b.build();
         let slots: Vec<SlotParams> = (0..SLOTS_PER_DAY)
-            .map(|_| SlotParams {
-                mu: vec![0.0; n],
-                sigma: vec![1.0; n],
-                rho: rho.clone(),
-            })
+            .map(|_| SlotParams { mu: vec![0.0; n], sigma: vec![1.0; n], rho: rho.clone() })
             .collect();
         let model = RtfModel::from_slots(n, g.num_edges(), slots);
         (g, model)
@@ -193,16 +227,8 @@ mod tests {
         // a single edge, so Eq. (7) overrides. Use 2-edge A instead:
         // A: 0-1-5 with ρ=0.52 each → Σ=3.85, product .2704
         // B: 0-2-3-4-5? Use ρ=0.7 ×3 edges → Σ=4.29, product .343.
-        let (g, m) = fixture(
-            6,
-            &[
-                (0, 1, 0.52),
-                (1, 5, 0.52),
-                (0, 2, 0.7),
-                (2, 3, 0.7),
-                (3, 5, 0.7),
-            ],
-        );
+        let (g, m) =
+            fixture(6, &[(0, 1, 0.52), (1, 5, 0.52), (0, 2, 0.7), (2, 3, 0.7), (3, 5, 0.7)]);
         let mp = CorrelationTable::build(&g, &m, SlotOfDay(0), PathCorrelation::MaxProduct);
         let rs = CorrelationTable::build(&g, &m, SlotOfDay(0), PathCorrelation::ReciprocalSum);
         let via_b = 0.7_f64.powi(3);
@@ -235,7 +261,8 @@ mod tests {
 
     #[test]
     fn correlations_bounded_zero_one() {
-        let (g, m) = fixture(5, &[(0, 1, 0.9), (1, 2, 0.8), (2, 3, 0.7), (3, 4, 0.95), (0, 4, 0.2)]);
+        let (g, m) =
+            fixture(5, &[(0, 1, 0.9), (1, 2, 0.8), (2, 3, 0.7), (3, 4, 0.95), (0, 4, 0.2)]);
         for semantics in [PathCorrelation::MaxProduct, PathCorrelation::ReciprocalSum] {
             let t = CorrelationTable::build(&g, &m, SlotOfDay(0), semantics);
             for a in g.road_ids() {

@@ -110,8 +110,7 @@ mod tests {
         // weekend (days 26/27 are Fri/Sat → day 26 % 7 = 5, weekend).
         let weekend_days = ds.history.retain_days(|d| DayType::of_day(d) == DayType::Weekend);
         let pooled_diag = evaluate_model(&graph, &pooled, &weekend_days);
-        let split_diag =
-            evaluate_model(&graph, split.model(DayType::Weekend), &weekend_days);
+        let split_diag = evaluate_model(&graph, split.model(DayType::Weekend), &weekend_days);
         assert!(
             split_diag.avg_log_density > pooled_diag.avg_log_density,
             "split {} should beat pooled {}",

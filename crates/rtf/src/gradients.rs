@@ -148,11 +148,7 @@ mod tests {
         }
         for e in 0..3 {
             let num = numeric_grad(&g, &params, &snaps, |p, h| p.rho[e] += h);
-            assert!(
-                (grad.d_rho[e] - num).abs() < 1e-4,
-                "d_rho[{e}]: {} vs {num}",
-                grad.d_rho[e]
-            );
+            assert!((grad.d_rho[e] - num).abs() < 1e-4, "d_rho[{e}]: {} vs {num}", grad.d_rho[e]);
         }
     }
 

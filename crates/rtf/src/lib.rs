@@ -36,6 +36,7 @@ pub mod daytype;
 pub mod diagnostics;
 pub mod gradients;
 pub mod incremental;
+mod json;
 pub mod likelihood;
 pub mod moments;
 pub mod params;
@@ -44,8 +45,8 @@ pub mod trainer;
 
 pub use corr_table::{CorrelationTable, PathCorrelation};
 pub use daytype::{DayType, DayTypeModel};
-pub use incremental::IncrementalModel;
 pub use diagnostics::{evaluate_model, ModelDiagnostics};
+pub use incremental::IncrementalModel;
 pub use moments::moment_estimate;
 pub use params::{RtfModel, SlotParams};
 pub use trainer::{InitStrategy, RtfTrainer, TrainStats, UpdateMode};

@@ -11,14 +11,77 @@ use rtse_data::{HistoryStore, SlotOfDay};
 use rtse_graph::Graph;
 use rtse_math::stats::{mean, pearson, population_std};
 
-/// Moment-estimates the parameters of a single slot.
-pub fn moment_estimate_slot(graph: &Graph, history: &HistoryStore, slot: SlotOfDay) -> SlotParams {
+/// Per-road fallback statistics for (road, slot) cells with no history.
+///
+/// Sparse corpora (station + floating-car training, crowdsourced feeds)
+/// routinely leave individual cells empty. Estimating those cells as
+/// `μ = 0` poisons every downstream consumer — OCS treats the road as
+/// known-slow, GSP propagates the zero outward — so empty cells instead
+/// fall back to the road's all-day statistics, and roads with no samples
+/// at all fall back to the network-wide ones.
+#[derive(Debug, Clone)]
+struct RoadBackfill {
+    /// All-day mean speed per road (`None` for roads with no samples).
+    mu: Vec<Option<f64>>,
+    /// All-day population std per road (`None` for roads with no samples).
+    sigma: Vec<Option<f64>>,
+    /// Network-wide mean speed (0 when the history is completely empty).
+    global_mu: f64,
+    /// Network-wide population std.
+    global_sigma: f64,
+}
+
+impl RoadBackfill {
+    fn build(graph: &Graph, history: &HistoryStore) -> Self {
+        let n = graph.num_roads();
+        let mut mu = Vec::with_capacity(n);
+        let mut sigma = Vec::with_capacity(n);
+        let mut all: Vec<f64> = Vec::new();
+        for r in graph.road_ids() {
+            let mut road_samples: Vec<f64> = Vec::new();
+            for t in SlotOfDay::all() {
+                road_samples.extend(history.samples(r, t));
+            }
+            if road_samples.is_empty() {
+                mu.push(None);
+                sigma.push(None);
+            } else {
+                mu.push(Some(mean(&road_samples)));
+                sigma.push(Some(population_std(&road_samples)));
+                all.extend(road_samples);
+            }
+        }
+        Self { mu, sigma, global_mu: mean(&all), global_sigma: population_std(&all) }
+    }
+
+    fn mu_for(&self, road: usize) -> f64 {
+        self.mu[road].unwrap_or(self.global_mu)
+    }
+
+    fn sigma_for(&self, road: usize) -> f64 {
+        self.sigma[road].unwrap_or(self.global_sigma).max(SIGMA_MIN)
+    }
+}
+
+fn estimate_slot_with(
+    graph: &Graph,
+    history: &HistoryStore,
+    slot: SlotOfDay,
+    backfill: &RoadBackfill,
+) -> SlotParams {
     let n = graph.num_roads();
     let mut params = SlotParams::neutral(n, graph.num_edges());
     for r in graph.road_ids() {
         let samples = history.samples(r, slot);
-        params.mu[r.index()] = mean(&samples);
-        params.sigma[r.index()] = population_std(&samples).max(SIGMA_MIN);
+        if samples.is_empty() {
+            // The all-day σ (not the floor) marks the cell as weakly
+            // periodic, which is what makes OCS prioritize probing it.
+            params.mu[r.index()] = backfill.mu_for(r.index());
+            params.sigma[r.index()] = backfill.sigma_for(r.index());
+        } else {
+            params.mu[r.index()] = mean(&samples);
+            params.sigma[r.index()] = population_std(&samples).max(SIGMA_MIN);
+        }
     }
     for (eidx, &(a, b)) in graph.edges().iter().enumerate() {
         let (xs, ys) = history.paired_samples(a, b, slot);
@@ -27,6 +90,15 @@ pub fn moment_estimate_slot(graph: &Graph, history: &HistoryStore, slot: SlotOfD
         params.rho[eidx] = pearson(&xs, &ys).clamp(RHO_MIN, RHO_MAX);
     }
     params
+}
+
+/// Moment-estimates the parameters of a single slot.
+///
+/// Empty (road, slot) cells fall back to the road's all-day mean/std (and
+/// roads with no history at all to the network-wide ones) instead of a
+/// silent `μ = 0`.
+pub fn moment_estimate_slot(graph: &Graph, history: &HistoryStore, slot: SlotOfDay) -> SlotParams {
+    estimate_slot_with(graph, history, slot, &RoadBackfill::build(graph, history))
 }
 
 /// Moment-estimates a full [`RtfModel`] (every slot of the day).
@@ -48,12 +120,10 @@ pub fn moment_estimate_slot(graph: &Graph, history: &HistoryStore, slot: SlotOfD
 /// assert!(model.sigma(rush, RoadId(0)) > 0.0);
 /// ```
 pub fn moment_estimate(graph: &Graph, history: &HistoryStore) -> RtfModel {
-    assert_eq!(
-        history.num_roads(),
-        graph.num_roads(),
-        "history and graph road counts disagree"
-    );
-    let slots = SlotOfDay::all().map(|t| moment_estimate_slot(graph, history, t)).collect();
+    assert_eq!(history.num_roads(), graph.num_roads(), "history and graph road counts disagree");
+    let backfill = RoadBackfill::build(graph, history);
+    let slots =
+        SlotOfDay::all().map(|t| estimate_slot_with(graph, history, t, &backfill)).collect();
     RtfModel::from_slots(graph.num_roads(), graph.num_edges(), slots)
 }
 
@@ -113,7 +183,8 @@ mod tests {
     #[test]
     fn full_model_tracks_generator_profiles() {
         let g = path(5);
-        let cfg = SynthConfig { days: 50, incidents_per_day: 0.0, seed: 3, ..SynthConfig::default() };
+        let cfg =
+            SynthConfig { days: 50, incidents_per_day: 0.0, seed: 3, ..SynthConfig::default() };
         let generator = TrafficGenerator::new(&g, cfg);
         let profiles = generator.profiles().to_vec();
         let ds = generator.generate();
@@ -122,17 +193,13 @@ mod tests {
         for r in 0..5 {
             let mu = model.mu(t, RoadId::from(r));
             let expect = profiles[r].expected_speed(t);
-            assert!(
-                (mu - expect).abs() < 3.0,
-                "road {r}: estimated μ {mu} vs profile {expect}"
-            );
+            assert!((mu - expect).abs() < 3.0, "road {r}: estimated μ {mu} vs profile {expect}");
         }
         // Adjacent correlations should be well above the clamp floor thanks
         // to the generator's spatial diffusion.
-        let rho_avg: f64 = (0..g.num_edges())
-            .map(|e| model.rho(t, rtse_graph::EdgeId(e as u32)))
-            .sum::<f64>()
-            / g.num_edges() as f64;
+        let rho_avg: f64 =
+            (0..g.num_edges()).map(|e| model.rho(t, rtse_graph::EdgeId(e as u32))).sum::<f64>()
+                / g.num_edges() as f64;
         assert!(rho_avg > 0.2, "average adjacent ρ too low: {rho_avg}");
     }
 

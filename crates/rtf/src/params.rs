@@ -2,7 +2,6 @@
 
 use rtse_data::{SlotOfDay, SLOTS_PER_DAY};
 use rtse_graph::{EdgeId, Graph, RoadId};
-use serde::{Deserialize, Serialize};
 
 /// Lower clamp for standard deviations: keeps every Gaussian proper and the
 /// coordinate updates (Eq. 18) finite even for roads whose history is
@@ -17,7 +16,7 @@ pub const RHO_MIN: f64 = 1e-3;
 pub const RHO_MAX: f64 = 0.999;
 
 /// Parameters of one time slot: `μ`, `σ` per road and `ρ` per edge.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SlotParams {
     /// Expected speed per road (`μ_i^t`).
     pub mu: Vec<f64>,
@@ -32,11 +31,7 @@ impl SlotParams {
     /// the "small random values" of Alg. 1 are produced by the trainer; this
     /// is the deterministic shell.
     pub fn neutral(num_roads: usize, num_edges: usize) -> Self {
-        Self {
-            mu: vec![0.0; num_roads],
-            sigma: vec![1.0; num_roads],
-            rho: vec![0.5; num_edges],
-        }
+        Self { mu: vec![0.0; num_roads], sigma: vec![1.0; num_roads], rho: vec![0.5; num_edges] }
     }
 
     /// `μ_ij = μ_i − μ_j` (Eq. 2).
@@ -67,7 +62,7 @@ impl SlotParams {
 }
 
 /// The full trained field: one [`SlotParams`] per slot of the day.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RtfModel {
     num_roads: usize,
     num_edges: usize,
@@ -141,6 +136,68 @@ impl RtfModel {
     /// Checks the model's dimensions against a graph.
     pub fn matches_graph(&self, graph: &Graph) -> bool {
         self.num_roads == graph.num_roads() && self.num_edges == graph.num_edges()
+    }
+}
+
+impl rtse_check::Validate for SlotParams {
+    /// Paper contract for one slot: every parameter finite, `σ > 0`
+    /// (Section IV defines σ as a standard deviation; the trainer clamps it
+    /// to [`SIGMA_MIN`]) and `ρ ∈ [0, 1]` (the paper's stated range —
+    /// wider than the trainer's operating clamp `[RHO_MIN, RHO_MAX]`, so a
+    /// hand-built model at the boundary still validates).
+    fn validate(&self) -> Result<(), rtse_check::InvariantViolation> {
+        use rtse_check::{ensure, ensure_finite};
+        ensure_finite(&self.mu, "rtf.mu_finite")?;
+        ensure_finite(&self.sigma, "rtf.sigma_finite")?;
+        ensure_finite(&self.rho, "rtf.rho_finite")?;
+        if let Some(i) = self.sigma.iter().position(|&s| s <= 0.0) {
+            return Err(rtse_check::InvariantViolation::new(
+                "rtf.sigma_positive",
+                format!("sigma[{i}] = {} must be > 0", self.sigma[i]),
+            ));
+        }
+        if let Some(e) = self.rho.iter().position(|r| !(0.0..=1.0).contains(r)) {
+            return Err(rtse_check::InvariantViolation::new(
+                "rtf.rho_range",
+                format!("rho[{e}] = {} outside [0, 1]", self.rho[e]),
+            ));
+        }
+        ensure(self.mu.len() == self.sigma.len(), "rtf.slot_dims", || {
+            format!("{} mu entries vs {} sigma entries", self.mu.len(), self.sigma.len())
+        })
+    }
+}
+
+impl rtse_check::Validate for RtfModel {
+    /// Full-model contract: one slot per slot-of-day, every slot matching
+    /// the declared dimensions and satisfying the [`SlotParams`] contract.
+    fn validate(&self) -> Result<(), rtse_check::InvariantViolation> {
+        use rtse_check::ensure;
+        ensure(self.slots.len() == SLOTS_PER_DAY, "rtf.slot_count", || {
+            format!("{} slots, expected {SLOTS_PER_DAY}", self.slots.len())
+        })?;
+        for (t, sp) in self.slots.iter().enumerate() {
+            ensure(
+                sp.mu.len() == self.num_roads
+                    && sp.sigma.len() == self.num_roads
+                    && sp.rho.len() == self.num_edges,
+                "rtf.model_dims",
+                || {
+                    format!(
+                        "slot {t}: |mu| = {}, |sigma| = {}, |rho| = {} vs declared {} roads / {} edges",
+                        sp.mu.len(),
+                        sp.sigma.len(),
+                        sp.rho.len(),
+                        self.num_roads,
+                        self.num_edges
+                    )
+                },
+            )?;
+            rtse_check::Validate::validate(sp).map_err(|v| {
+                rtse_check::InvariantViolation::new(v.invariant, format!("slot {t}: {}", v.detail))
+            })?;
+        }
+        Ok(())
     }
 }
 

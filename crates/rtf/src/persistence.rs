@@ -1,12 +1,23 @@
 //! Save/load of trained RTF models.
 //!
 //! The offline stage is expensive relative to a query, so trained models
-//! are checkpointed as JSON (the only place serde enters the system; see
-//! DESIGN.md for the dependency justification).
+//! are checkpointed as JSON. The format is hand-rolled (see [`crate::json`]
+//! — the build environment has no crates.io access, and the schema is one
+//! fixed shape):
+//!
+//! ```json
+//! {"num_roads": N, "num_edges": M,
+//!  "slots": [{"mu": [...], "sigma": [...], "rho": [...]}, ...]}
+//! ```
+//!
+//! Floats round-trip exactly (shortest-roundtrip display on write, exact
+//! parse on read), which `saved_model_answers_identically` in
+//! `tests/persistence.rs` relies on.
 
-use crate::params::RtfModel;
-use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use crate::json::{self, Json};
+use crate::params::{RtfModel, SlotParams};
+use rtse_data::SLOTS_PER_DAY;
+use std::fmt::Write as _;
 use std::path::Path;
 
 /// Error covering both I/O and (de)serialization failures.
@@ -15,7 +26,7 @@ pub enum PersistError {
     /// Filesystem failure.
     Io(std::io::Error),
     /// Malformed or incompatible model file.
-    Format(serde_json::Error),
+    Format(String),
 }
 
 impl std::fmt::Display for PersistError {
@@ -31,7 +42,7 @@ impl std::error::Error for PersistError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PersistError::Io(e) => Some(e),
-            PersistError::Format(e) => Some(e),
+            PersistError::Format(_) => None,
         }
     }
 }
@@ -42,23 +53,97 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
-impl From<serde_json::Error> for PersistError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<String> for PersistError {
+    fn from(e: String) -> Self {
         PersistError::Format(e)
     }
 }
 
+/// Serializes a model to its JSON checkpoint text.
+pub fn model_to_json(model: &RtfModel) -> String {
+    // ~25 bytes per float is a comfortable overestimate.
+    let mut out = String::with_capacity(
+        32 + SLOTS_PER_DAY * 64 + SLOTS_PER_DAY * (2 * model.num_roads() + model.num_edges()) * 25,
+    );
+    let _ = write!(
+        out,
+        "{{\"num_roads\":{},\"num_edges\":{},\"slots\":[",
+        model.num_roads(),
+        model.num_edges()
+    );
+    for t in 0..SLOTS_PER_DAY {
+        if t > 0 {
+            out.push(',');
+        }
+        let sp = model.slot(rtse_data::SlotOfDay(t as u16));
+        out.push_str("{\"mu\":");
+        json::write_f64_array(&mut out, &sp.mu);
+        out.push_str(",\"sigma\":");
+        json::write_f64_array(&mut out, &sp.sigma);
+        out.push_str(",\"rho\":");
+        json::write_f64_array(&mut out, &sp.rho);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Parses a model from its JSON checkpoint text.
+pub fn model_from_json(text: &str) -> Result<RtfModel, PersistError> {
+    let doc = json::parse(text).map_err(|e| PersistError::Format(e.to_string()))?;
+    let obj = doc.as_obj("model")?;
+    let num_roads = usize_field(obj, "num_roads")?;
+    let num_edges = usize_field(obj, "num_edges")?;
+    let slots_json = json::field(obj, "slots")?.as_arr("slots")?;
+    if slots_json.len() != SLOTS_PER_DAY {
+        return Err(PersistError::Format(format!(
+            "expected {} slots, found {}",
+            SLOTS_PER_DAY,
+            slots_json.len()
+        )));
+    }
+    let mut slots = Vec::with_capacity(SLOTS_PER_DAY);
+    for (t, sj) in slots_json.iter().enumerate() {
+        let so = sj.as_obj("slot")?;
+        let sp = SlotParams {
+            mu: json::read_f64_array(json::field(so, "mu")?, "mu")?,
+            sigma: json::read_f64_array(json::field(so, "sigma")?, "sigma")?,
+            rho: json::read_f64_array(json::field(so, "rho")?, "rho")?,
+        };
+        if sp.mu.len() != num_roads || sp.sigma.len() != num_roads || sp.rho.len() != num_edges {
+            return Err(PersistError::Format(format!(
+                "slot {t}: lengths (mu {}, sigma {}, rho {}) disagree with declared \
+                 dimensions (roads {num_roads}, edges {num_edges})",
+                sp.mu.len(),
+                sp.sigma.len(),
+                sp.rho.len()
+            )));
+        }
+        slots.push(sp);
+    }
+    Ok(RtfModel::from_slots(num_roads, num_edges, slots))
+}
+
+fn usize_field(
+    obj: &std::collections::BTreeMap<String, Json>,
+    name: &str,
+) -> Result<usize, PersistError> {
+    let x = json::field(obj, name)?.as_num(name)?;
+    if x < 0.0 || x.fract() != 0.0 || x > u32::MAX as f64 {
+        return Err(PersistError::Format(format!("field `{name}` is not a valid count: {x}")));
+    }
+    Ok(x as usize)
+}
+
 /// Writes a model to a JSON file.
 pub fn save_model(model: &RtfModel, path: &Path) -> Result<(), PersistError> {
-    let file = BufWriter::new(File::create(path)?);
-    serde_json::to_writer(file, model)?;
+    std::fs::write(path, model_to_json(model))?;
     Ok(())
 }
 
 /// Reads a model back from a JSON file.
 pub fn load_model(path: &Path) -> Result<RtfModel, PersistError> {
-    let file = BufReader::new(File::open(path)?);
-    Ok(serde_json::from_reader(file)?)
+    model_from_json(&std::fs::read_to_string(path)?)
 }
 
 #[cfg(test)]
@@ -91,6 +176,13 @@ mod tests {
     }
 
     #[test]
+    fn text_round_trip_without_fs() {
+        let model = tiny_model();
+        let text = model_to_json(&model);
+        assert_eq!(model_from_json(&text).unwrap(), model);
+    }
+
+    #[test]
     fn load_missing_file_is_io_error() {
         let err = load_model(Path::new("/nonexistent/rtse/model.json")).unwrap_err();
         assert!(matches!(err, PersistError::Io(_)));
@@ -105,5 +197,19 @@ mod tests {
         let err = load_model(&path).unwrap_err();
         assert!(matches!(err, PersistError::Format(_)));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dimension_mismatch_is_format_error() {
+        let model = tiny_model();
+        let text = model_to_json(&model).replace("\"num_roads\":2", "\"num_roads\":3");
+        let err = model_from_json(&text).unwrap_err();
+        assert!(matches!(err, PersistError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn wrong_slot_count_is_format_error() {
+        let err = model_from_json("{\"num_roads\":0,\"num_edges\":0,\"slots\":[]}").unwrap_err();
+        assert!(matches!(err, PersistError::Format(_)), "{err}");
     }
 }

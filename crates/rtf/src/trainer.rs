@@ -129,11 +129,8 @@ impl RtfTrainer {
             InitStrategy::Moments => moment_estimate_slot(graph, history, slot),
             InitStrategy::MuRandomRestMoments(seed) => {
                 let mut p = moment_estimate_slot(graph, history, slot);
-                let random = Self {
-                    init: InitStrategy::Random(seed),
-                    ..*self
-                }
-                .initialize(graph, history, slot);
+                let random = Self { init: InitStrategy::Random(seed), ..*self }
+                    .initialize(graph, history, slot);
                 p.mu = random.mu;
                 p
             }
@@ -471,9 +468,7 @@ mod tests {
         let batch = slot_gradient(&g, &params, &snaps);
         for i in g.road_ids() {
             assert!((grad_mu(&g, &params, &snaps, i) - batch.d_mu[i.index()]).abs() < 1e-9);
-            assert!(
-                (grad_sigma(&g, &params, &snaps, i) - batch.d_sigma[i.index()]).abs() < 1e-9
-            );
+            assert!((grad_sigma(&g, &params, &snaps, i) - batch.d_sigma[i.index()]).abs() < 1e-9);
         }
         for (eidx, &(a, b)) in g.edges().iter().enumerate() {
             let e = EdgeId(eidx as u32);
@@ -481,7 +476,6 @@ mod tests {
         }
     }
 }
-
 
 #[cfg(test)]
 mod mu_only_tests {
@@ -526,13 +520,12 @@ mod mu_only_tests {
     #[test]
     fn mu_random_rest_moments_initializer_shape() {
         let g = rtse_graph::generators::path(3);
-        let cfg = rtse_data::SynthConfig { days: 5, seed: 2, ..rtse_data::SynthConfig::small_test() };
+        let cfg =
+            rtse_data::SynthConfig { days: 5, seed: 2, ..rtse_data::SynthConfig::small_test() };
         let ds = rtse_data::TrafficGenerator::new(&g, cfg).generate();
         let slot = SlotOfDay(0);
-        let trainer = RtfTrainer {
-            init: InitStrategy::MuRandomRestMoments(9),
-            ..Default::default()
-        };
+        let trainer =
+            RtfTrainer { init: InitStrategy::MuRandomRestMoments(9), ..Default::default() };
         let init = trainer.initialize(&g, &ds.history, slot);
         let moments = moment_estimate_slot(&g, &ds.history, slot);
         assert_eq!(init.sigma, moments.sigma);

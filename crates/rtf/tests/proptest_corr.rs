@@ -1,0 +1,88 @@
+//! Property tests for the offline correlation table `Γ` (Eqs. 7–12):
+//! under arbitrary random topologies and edge correlations, the table must
+//! satisfy the rtse-check contract — symmetric, unit diagonal, every value
+//! in `[0, 1]` — for both path semantics.
+
+use proptest::prelude::*;
+use rtse_check::Validate;
+use rtse_data::{SlotOfDay, SLOTS_PER_DAY};
+use rtse_graph::{Graph, GraphBuilder, RoadClass, RoadId};
+use rtse_rtf::params::SlotParams;
+use rtse_rtf::{CorrelationTable, PathCorrelation, RtfModel};
+
+const N: usize = 10;
+
+/// Builds a graph on `N` roads plus a model carrying the given per-edge ρ
+/// (deduplicated edges keep their first ρ).
+fn fixture(edges: &[(u32, u32, f64)]) -> (Graph, RtfModel) {
+    let mut b = GraphBuilder::new();
+    for i in 0..N {
+        b.add_road(RoadClass::Secondary, (i as f64, 0.0));
+    }
+    let mut rho = Vec::new();
+    for &(x, y, r) in edges {
+        if x != y && b.add_edge(RoadId(x), RoadId(y)) {
+            rho.push(r);
+        }
+    }
+    let g = b.build();
+    let slots: Vec<SlotParams> = (0..SLOTS_PER_DAY)
+        .map(|_| SlotParams { mu: vec![0.0; N], sigma: vec![1.0; N], rho: rho.clone() })
+        .collect();
+    let model = RtfModel::from_slots(N, g.num_edges(), slots);
+    (g, model)
+}
+
+proptest! {
+    /// The built table passes its invariant contract and the raw
+    /// symmetry/diagonal/range properties hold for every pair, under
+    /// random graphs (including disconnected and empty ones).
+    #[test]
+    fn corr_table_contract_holds_on_random_graphs(
+        edges in proptest::collection::vec(
+            (0u32..N as u32, 0u32..N as u32, 0.001..0.999f64),
+            0..30,
+        ),
+        semantics_pick in 0u8..2,
+    ) {
+        let semantics = if semantics_pick == 0 {
+            PathCorrelation::MaxProduct
+        } else {
+            PathCorrelation::ReciprocalSum
+        };
+        let (g, m) = fixture(&edges);
+        let t = CorrelationTable::build(&g, &m, SlotOfDay(0), semantics);
+        prop_assert!(t.validate().is_ok(), "contract violated: {:?}", t.validate());
+        for a in g.road_ids() {
+            prop_assert!((t.corr(a, a) - 1.0).abs() <= 1e-12, "diag({a}) = {}", t.corr(a, a));
+            for b in g.road_ids() {
+                let c = t.corr(a, b);
+                prop_assert!(c.is_finite() && (0.0..=1.0).contains(&c), "corr({a},{b}) = {c}");
+                let mirror = t.corr(b, a);
+                prop_assert!(
+                    (c - mirror).abs() <= 1e-9,
+                    "corr({a},{b}) = {c} but corr({b},{a}) = {mirror}"
+                );
+            }
+        }
+    }
+
+    /// Adjacent pairs read the edge ρ directly (Eq. 7), so their table
+    /// entries are exactly symmetric and equal to the model parameter.
+    #[test]
+    fn adjacent_pairs_match_edge_rho(
+        edges in proptest::collection::vec(
+            (0u32..N as u32, 0u32..N as u32, 0.001..0.999f64),
+            1..20,
+        ),
+    ) {
+        let (g, m) = fixture(&edges);
+        let t = CorrelationTable::build(&g, &m, SlotOfDay(0), PathCorrelation::MaxProduct);
+        let params = m.slot(SlotOfDay(0));
+        for (e, &(a, b)) in g.edges().iter().enumerate() {
+            let expected = params.rho[e];
+            prop_assert_eq!(t.corr(a, b), expected);
+            prop_assert_eq!(t.corr(b, a), expected);
+        }
+    }
+}

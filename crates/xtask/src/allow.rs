@@ -1,0 +1,140 @@
+//! `lint.toml` — the scoped allowlist for policy-rule violations.
+//!
+//! Format (a deliberately tiny TOML subset: `[[allow]]` tables with
+//! string-valued keys only):
+//!
+//! ```toml
+//! [[allow]]
+//! path = "crates/graph/src/road.rs"   # suffix match on the repo path
+//! rule = "no-panic"                   # which rule to silence
+//! contains = "u32::try_from"          # optional: substring of the line
+//! reason = "why this site is exempt"  # mandatory, shown in reports
+//! ```
+//!
+//! Every entry must be *used* by the current tree; stale entries are
+//! reported so the file cannot rot into a blanket waiver.
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Repo-relative path suffix the entry applies to.
+    pub path: String,
+    /// Rule slug the entry silences.
+    pub rule: String,
+    /// Optional substring the offending line must contain.
+    pub contains: Option<String>,
+    /// Human justification (required).
+    pub reason: String,
+}
+
+/// Parses `lint.toml`. Returns entries or a line-tagged error message.
+pub fn parse(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut current: Option<(usize, PartialEntry)> = None;
+
+    #[derive(Default)]
+    struct PartialEntry {
+        path: Option<String>,
+        rule: Option<String>,
+        contains: Option<String>,
+        reason: Option<String>,
+    }
+
+    fn finish(lineno: usize, p: PartialEntry) -> Result<AllowEntry, String> {
+        Ok(AllowEntry {
+            path: p.path.ok_or(format!("lint.toml:{lineno}: entry missing `path`"))?,
+            rule: p.rule.ok_or(format!("lint.toml:{lineno}: entry missing `rule`"))?,
+            contains: p.contains,
+            reason: p.reason.ok_or(format!("lint.toml:{lineno}: entry missing `reason`"))?,
+        })
+    }
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some((at, p)) = current.take() {
+                entries.push(finish(at, p)?);
+            }
+            current = Some((lineno, PartialEntry::default()));
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("lint.toml:{lineno}: expected `key = \"value\"`"));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        let Some(value) = value.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
+            return Err(format!("lint.toml:{lineno}: value must be a double-quoted string"));
+        };
+        let Some((_, p)) = current.as_mut() else {
+            return Err(format!("lint.toml:{lineno}: key outside an [[allow]] table"));
+        };
+        let slot = match key {
+            "path" => &mut p.path,
+            "rule" => &mut p.rule,
+            "contains" => &mut p.contains,
+            "reason" => &mut p.reason,
+            other => return Err(format!("lint.toml:{lineno}: unknown key `{other}`")),
+        };
+        if slot.replace(value.to_string()).is_some() {
+            return Err(format!("lint.toml:{lineno}: duplicate key `{key}`"));
+        }
+    }
+    if let Some((at, p)) = current.take() {
+        entries.push(finish(at, p)?);
+    }
+    Ok(entries)
+}
+
+impl AllowEntry {
+    /// Whether this entry silences a violation of `rule` at `path` on a
+    /// line with content `snippet`.
+    pub fn matches(&self, path: &str, rule: &str, snippet: &str) -> bool {
+        self.rule == rule
+            && path.ends_with(&self.path)
+            && self.contains.as_deref().is_none_or(|c| snippet.contains(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries() {
+        let text = r#"
+# comment
+[[allow]]
+path = "crates/graph/src/road.rs"
+rule = "no-panic"
+contains = "try_from"
+reason = "From impls cannot return Result"
+
+[[allow]]
+path = "crates/math/src/matrix.rs"
+rule = "float-eq"
+reason = "exact-zero skip"
+"#;
+        let entries = parse(text).expect("parses");
+        assert_eq!(entries.len(), 2);
+        assert!(entries[0].matches("crates/graph/src/road.rs", "no-panic", "u32::try_from(v)"));
+        assert!(!entries[0].matches("crates/graph/src/road.rs", "no-panic", "other line"));
+        assert!(entries[1].matches("/abs/crates/math/src/matrix.rs", "float-eq", "a == 0.0"));
+    }
+
+    #[test]
+    fn rejects_missing_reason() {
+        let text = "[[allow]]\npath = \"x\"\nrule = \"no-panic\"\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_keys() {
+        let text = "[[allow]]\npath = \"x\"\nrule = \"r\"\nreason = \"y\"\nsev = \"z\"\n";
+        assert!(parse(text).is_err());
+    }
+}

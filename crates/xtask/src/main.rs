@@ -1,0 +1,189 @@
+//! Workspace automation driver (`cargo xtask <command>`).
+//!
+//! `cargo xtask lint` is the workspace's static-analysis gate:
+//!
+//! 1. **Policy rules** — dependency-free source checks (no panics in
+//!    library code, no float-literal `==`, no unrounded float→int casts)
+//!    with a scoped allowlist in `lint.toml`;
+//! 2. `cargo fmt --all --check`;
+//! 3. `cargo clippy --workspace --all-targets -- -D warnings`.
+//!
+//! `--policy-only` runs just step 1 (fast, no compilation). The driver is
+//! intentionally std-only so it builds in seconds and works offline.
+
+mod allow;
+mod rules;
+mod scrub;
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("help") | None => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown xtask command `{other}`\n");
+            print_usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: cargo xtask <command>\n\n\
+         commands:\n  \
+         lint [--policy-only]   policy rules + fmt --check + clippy -D warnings\n  \
+         help                   this message"
+    );
+}
+
+fn workspace_root() -> PathBuf {
+    // xtask lives at <root>/crates/xtask.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."))
+}
+
+fn lint(flags: &[String]) -> ExitCode {
+    let policy_only = flags.iter().any(|f| f == "--policy-only");
+    if let Some(bad) = flags.iter().find(|f| *f != "--policy-only") {
+        eprintln!("unknown flag `{bad}` for xtask lint");
+        return ExitCode::from(2);
+    }
+    let root = workspace_root();
+    let mut failed = false;
+
+    match run_policy(&root) {
+        Ok(0) => println!("policy: ok"),
+        Ok(violations) => {
+            println!("policy: {violations} violation(s)");
+            failed = true;
+        }
+        Err(e) => {
+            eprintln!("policy: error: {e}");
+            failed = true;
+        }
+    }
+
+    if !policy_only {
+        for (label, cmd_args) in [
+            ("fmt", vec!["fmt", "--all", "--check"]),
+            (
+                "clippy",
+                vec!["clippy", "--workspace", "--all-targets", "-q", "--", "-D", "warnings"],
+            ),
+        ] {
+            let status = Command::new("cargo").args(&cmd_args).current_dir(&root).status();
+            match status {
+                Ok(s) if s.success() => println!("{label}: ok"),
+                Ok(_) => {
+                    println!("{label}: FAILED (run `cargo {}`)", cmd_args.join(" "));
+                    failed = true;
+                }
+                Err(e) => {
+                    eprintln!("{label}: could not run cargo: {e}");
+                    failed = true;
+                }
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("xtask lint: all checks passed");
+        ExitCode::SUCCESS
+    }
+}
+
+/// Runs the policy rules over first-party sources. Returns the violation
+/// count (after allowlisting) or an I/O / config error.
+fn run_policy(root: &Path) -> Result<usize, String> {
+    let allow_path = root.join("lint.toml");
+    let allows = if allow_path.exists() {
+        let text =
+            std::fs::read_to_string(&allow_path).map_err(|e| format!("reading lint.toml: {e}"))?;
+        allow::parse(&text)?
+    } else {
+        Vec::new()
+    };
+    let mut used = vec![false; allows.len()];
+
+    let mut files: Vec<PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    let entries =
+        std::fs::read_dir(&crates_dir).map_err(|e| format!("reading {crates_dir:?}: {e}"))?;
+    for entry in entries.flatten() {
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    collect_rs(&root.join("src"), &mut files)?;
+    files.sort();
+
+    let mut violations = 0usize;
+    for file in &files {
+        let rel = file.strip_prefix(root).unwrap_or(file);
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        // Binaries may panic; policy rules cover library code only. The
+        // xtask driver itself is exempt (it is tooling, not pipeline code).
+        if rel_str.contains("/bin/") || rel_str.starts_with("crates/xtask/") {
+            continue;
+        }
+        let in_no_panic_scope =
+            rules::NO_PANIC_CRATES.iter().any(|c| rel_str.starts_with(&format!("crates/{c}/src/")));
+        let src = std::fs::read_to_string(file).map_err(|e| format!("reading {rel_str}: {e}"))?;
+        let sc = scrub::scrub(&src);
+
+        let mut found = Vec::new();
+        if in_no_panic_scope {
+            found.extend(rules::no_panic(&src, &sc));
+            found.extend(rules::float_cast(&src, &sc));
+        }
+        found.extend(rules::float_eq(&src, &sc));
+
+        for v in found {
+            if let Some(idx) = allows.iter().position(|a| a.matches(&rel_str, v.rule, &v.snippet)) {
+                used[idx] = true;
+                continue;
+            }
+            println!("{rel_str}:{}: [{}] {}\n    {}", v.line, v.rule, v.message, v.snippet);
+            violations += 1;
+        }
+    }
+
+    for (entry, used) in allows.iter().zip(&used) {
+        if !used {
+            println!(
+                "lint.toml: stale allow entry (path = \"{}\", rule = \"{}\", reason = \"{}\") — no longer matches anything; remove it",
+                entry.path, entry.rule, entry.reason
+            );
+            violations += 1;
+        }
+    }
+    Ok(violations)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("reading {dir:?}: {e}"))?;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,361 @@
+//! The three source-policy rules behind `cargo xtask lint`.
+//!
+//! All rules operate on scrubbed text (comments, literals, and
+//! `#[cfg(test)]` regions removed — see [`crate::scrub`]), so a doc
+//! comment mentioning `unwrap()` or a test asserting `x == 0.5` never
+//! trips them. Scope:
+//!
+//! * `no-panic` — `.unwrap()`, `.expect()`, `panic!`, `unreachable!`,
+//!   `todo!`, `unimplemented!` are banned in the library code of the
+//!   pipeline crates (graph, math, rtf, ocs, gsp, core, data). Contract
+//!   `assert!`s stay legal; `rtse_check::fail` is the sanctioned abort.
+//! * `float-eq` — direct `==`/`!=` against a float literal.
+//! * `float-cast` — `as usize`-family casts whose source expression is
+//!   visibly float-valued with no explicit rounding step.
+
+use crate::scrub::Scrubbed;
+
+/// One rule violation at a source location.
+#[derive(Debug)]
+pub struct Violation {
+    /// Rule slug (`no-panic`, `float-eq`, `float-cast`).
+    pub rule: &'static str,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending line, trimmed.
+    pub snippet: String,
+    /// What the rule objects to.
+    pub message: String,
+}
+
+/// Crates whose library code must be panic-free (everything on the
+/// query path; bins/benches/tests may still panic).
+pub const NO_PANIC_CRATES: &[&str] = &["graph", "math", "rtf", "ocs", "gsp", "core", "data"];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Methods that make a float-to-int cast deliberate.
+const ROUNDERS: &[&str] = &["floor", "ceil", "round", "trunc", "clamp", "min", "max"];
+/// Methods whose receiver/result is float-valued.
+const FLOAT_METHODS: &[&str] =
+    &["sqrt", "powf", "powi", "exp", "ln", "log2", "log10", "fract", "recip", "hypot", "abs"];
+const INT_TARGETS: &[&str] =
+    &["usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128"];
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn line_snippet(src: &str, offset: usize) -> String {
+    let start = src[..offset].rfind('\n').map_or(0, |p| p + 1);
+    let end = src[offset..].find('\n').map_or(src.len(), |p| offset + p);
+    src[start..end].trim().to_string()
+}
+
+fn prev_non_ws(text: &[u8], mut i: usize) -> Option<(usize, u8)> {
+    while i > 0 {
+        i -= 1;
+        if !text[i].is_ascii_whitespace() {
+            return Some((i, text[i]));
+        }
+    }
+    None
+}
+
+fn next_non_ws(text: &[u8], mut i: usize) -> Option<(usize, u8)> {
+    while i < text.len() {
+        if !text[i].is_ascii_whitespace() {
+            return Some((i, text[i]));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Every occurrence of `word` as a whole identifier in `text`.
+fn ident_occurrences(text: &[u8], word: &str) -> Vec<usize> {
+    let needle = word.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = crate::scrub::find(text, needle, from) {
+        from = pos + 1;
+        let before_ok = pos == 0 || !is_ident(text[pos - 1]);
+        let after = pos + needle.len();
+        let after_ok = after >= text.len() || !is_ident(text[after]);
+        if before_ok && after_ok {
+            out.push(pos);
+        }
+    }
+    out
+}
+
+/// `no-panic`: bans the panic family in library code.
+pub fn no_panic(src: &str, sc: &Scrubbed) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for &method in PANIC_METHODS {
+        for pos in ident_occurrences(&sc.text, method) {
+            if sc.in_test[pos] {
+                continue;
+            }
+            // Must be a method call: `.name(`.
+            let dot = matches!(prev_non_ws(&sc.text, pos), Some((_, b'.')));
+            let call = matches!(next_non_ws(&sc.text, pos + method.len()), Some((_, b'(')));
+            if dot && call {
+                out.push(Violation {
+                    rule: "no-panic",
+                    line: sc.line_of(pos),
+                    snippet: line_snippet(src, pos),
+                    message: format!(
+                        ".{method}() in library code; return a typed error or use rtse_check::fail"
+                    ),
+                });
+            }
+        }
+    }
+    for &mac in PANIC_MACROS {
+        for pos in ident_occurrences(&sc.text, mac) {
+            if sc.in_test[pos] {
+                continue;
+            }
+            let bang = sc.text.get(pos + mac.len()) == Some(&b'!');
+            // `.expect()` handled above; here only bare macro invocations.
+            let not_method = !matches!(prev_non_ws(&sc.text, pos), Some((_, b'.')));
+            if bang && not_method {
+                out.push(Violation {
+                    rule: "no-panic",
+                    line: sc.line_of(pos),
+                    snippet: line_snippet(src, pos),
+                    message: format!("{mac}! in library code; return a typed error instead"),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Parses a float literal forward from `i`; true when `text[i..]` starts
+/// with one (e.g. `0.5`, `1.`, `1e-3`, `2f64`).
+fn float_literal_ahead(text: &[u8], mut i: usize) -> bool {
+    let start = i;
+    while i < text.len() && (text[i].is_ascii_digit() || text[i] == b'_') {
+        i += 1;
+    }
+    if i == start {
+        return false;
+    }
+    let mut floaty = false;
+    if i < text.len() && text[i] == b'.' {
+        // Distinguish `1.0` / `1.` from a method call `1.max(..)` and from
+        // range syntax `0..n`.
+        let after_dot = text.get(i + 1).copied();
+        if after_dot != Some(b'.')
+            && (after_dot.is_none_or(|b| !is_ident(b))
+                || after_dot.is_some_and(|b| b.is_ascii_digit()))
+        {
+            floaty = true;
+            i += 1;
+            while i < text.len() && (text[i].is_ascii_digit() || text[i] == b'_') {
+                i += 1;
+            }
+        }
+    }
+    if i < text.len() && (text[i] == b'e' || text[i] == b'E') {
+        let mut j = i + 1;
+        if j < text.len() && (text[j] == b'+' || text[j] == b'-') {
+            j += 1;
+        }
+        if j < text.len() && text[j].is_ascii_digit() {
+            floaty = true;
+        }
+    }
+    if crate::scrub::find(text, b"f32", i) == Some(i)
+        || crate::scrub::find(text, b"f64", i) == Some(i)
+    {
+        floaty = true;
+    }
+    floaty
+}
+
+/// True when the token ending at `end` (exclusive) is a float literal.
+fn float_literal_behind(text: &[u8], end: usize) -> bool {
+    let mut i = end;
+    while i > 0 && (is_ident(text[i - 1]) || text[i - 1] == b'.') {
+        i -= 1;
+        // `1.0e-3`: step over a sign that belongs to an exponent.
+        if i >= 2
+            && (text[i - 1] == b'-' || text[i - 1] == b'+')
+            && (text[i - 2] == b'e' || text[i - 2] == b'E')
+        {
+            i -= 1;
+        }
+    }
+    // A token starting with a non-digit (e.g. `self.0`) is a field access
+    // or identifier, not a literal.
+    i < end && text[i].is_ascii_digit() && float_literal_ahead(text, i)
+}
+
+/// `float-eq`: flags `==` / `!=` with a float literal on either side.
+pub fn float_eq(src: &str, sc: &Scrubbed) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let text = &sc.text;
+    for i in 0..text.len().saturating_sub(1) {
+        if text[i + 1] != b'=' || (text[i] != b'=' && text[i] != b'!') {
+            continue;
+        }
+        // Skip `==` read mid-token (`<=`, `>=`, `a != b` is fine to parse;
+        // `===` cannot appear) and `x =="` style is impossible post-scrub.
+        if text[i] == b'=' && i > 0 && matches!(text[i - 1], b'=' | b'!' | b'<' | b'>') {
+            continue;
+        }
+        if sc.in_test[i] {
+            continue;
+        }
+        let op = if text[i] == b'=' { "==" } else { "!=" };
+        let lhs = prev_non_ws(text, i).map(|(p, _)| p + 1).unwrap_or(0);
+        let rhs = next_non_ws(text, i + 2).map(|(p, _)| p);
+        let flagged =
+            float_literal_behind(text, lhs) || rhs.is_some_and(|p| float_literal_ahead(text, p));
+        if flagged {
+            out.push(Violation {
+                rule: "float-eq",
+                line: sc.line_of(i),
+                snippet: line_snippet(src, i),
+                message: format!(
+                    "`{op}` against a float literal; compare with a tolerance (approx_eq) or justify in lint.toml"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// `float-cast`: flags `expr as usize` (and friends) when `expr` is
+/// visibly float-valued and contains no explicit rounding step.
+pub fn float_cast(src: &str, sc: &Scrubbed) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let text = &sc.text;
+    for pos in ident_occurrences(text, "as") {
+        if sc.in_test[pos] {
+            continue;
+        }
+        let Some((tpos, _)) = next_non_ws(text, pos + 2) else { continue };
+        let target_end = (tpos..text.len()).find(|&k| !is_ident(text[k])).unwrap_or(text.len());
+        let target = std::str::from_utf8(&text[tpos..target_end]).unwrap_or("");
+        if !INT_TARGETS.contains(&target) {
+            continue;
+        }
+        // Walk back over the postfix expression feeding the cast.
+        let Some((mut i, _)) = prev_non_ws(text, pos) else { continue };
+        let expr_end = i + 1;
+        loop {
+            match text[i] {
+                b')' | b']' => {
+                    let close = text[i];
+                    let open = if close == b')' { b'(' } else { b'[' };
+                    let mut depth = 0i32;
+                    loop {
+                        if text[i] == close {
+                            depth += 1;
+                        } else if text[i] == open {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        if i == 0 {
+                            break;
+                        }
+                        i -= 1;
+                    }
+                }
+                b'.' => {}
+                b if is_ident(b) => {
+                    while i > 0 && is_ident(text[i - 1]) {
+                        i -= 1;
+                    }
+                }
+                _ => {
+                    i += 1;
+                    break;
+                }
+            }
+            match prev_non_ws(text, i) {
+                Some((p, b)) if b == b'.' || b == b')' || b == b']' || is_ident(b) => i = p,
+                _ => break,
+            }
+        }
+        let expr = std::str::from_utf8(&text[i..expr_end]).unwrap_or("");
+        let has_float =
+            FLOAT_METHODS.iter().any(|m| contains_ident(expr, m)) || expr_has_float_literal(expr);
+        let rounded = ROUNDERS.iter().any(|m| contains_ident(expr, m));
+        if has_float && !rounded {
+            out.push(Violation {
+                rule: "float-cast",
+                line: sc.line_of(pos),
+                snippet: line_snippet(src, pos),
+                message: format!(
+                    "float-valued expression cast to `{target}` without floor/ceil/round"
+                ),
+            });
+        }
+    }
+    out
+}
+
+fn contains_ident(s: &str, word: &str) -> bool {
+    !ident_occurrences(s.as_bytes(), word).is_empty()
+}
+
+fn expr_has_float_literal(s: &str) -> bool {
+    let b = s.as_bytes();
+    (0..b.len()).any(|i| {
+        b[i].is_ascii_digit()
+            && (i == 0 || !(is_ident(b[i - 1]) || b[i - 1] == b'.'))
+            && float_literal_ahead(b, i)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scrub::scrub;
+
+    fn run(rule: fn(&str, &Scrubbed) -> Vec<Violation>, src: &str) -> Vec<Violation> {
+        rule(src, &scrub(src))
+    }
+
+    #[test]
+    fn no_panic_catches_methods_and_macros() {
+        let v = run(no_panic, "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"n\"); }");
+        assert_eq!(v.len(), 3);
+        assert!(v.iter().all(|v| v.rule == "no-panic"));
+    }
+
+    #[test]
+    fn no_panic_skips_tests_and_lookalikes() {
+        let src = "fn f() { x.unwrap_or(0); s.expectation(); }\n#[cfg(test)]\nmod t { fn g() { x.unwrap(); } }";
+        assert!(run(no_panic, src).is_empty());
+    }
+
+    #[test]
+    fn float_eq_catches_literal_comparisons() {
+        let v = run(float_eq, "fn f() { if x == 0.0 { } if 1.5 != y { } if a == b { } }");
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn float_eq_ignores_ints_and_tuple_fields() {
+        assert!(run(float_eq, "fn f() { if n == 0 { } if p.0 == q.0 { } }").is_empty());
+    }
+
+    #[test]
+    fn float_cast_requires_rounding() {
+        let bad = run(float_cast, "fn f(x: f64) { let i = (x * 2.0) as usize; }");
+        assert_eq!(bad.len(), 1);
+        let ok = run(float_cast, "fn f(x: f64) { let i = (x * 2.0).floor() as usize; }");
+        assert!(ok.is_empty());
+        let int = run(float_cast, "fn f(n: u32) { let i = n as usize; }");
+        assert!(int.is_empty());
+    }
+}

@@ -1,0 +1,283 @@
+//! Source scrubbing: blanks out the parts of a Rust file the lint rules
+//! must not look at (comments, string/char literals, `#[cfg(test)]`
+//! modules) while preserving byte offsets and line structure, so every
+//! rule can scan the scrubbed text with plain string searches and still
+//! report accurate line numbers.
+
+/// A source file reduced to lintable text.
+pub struct Scrubbed {
+    /// Same length as the input; comments and literals replaced by spaces.
+    pub text: Vec<u8>,
+    /// `true` for bytes inside a `#[cfg(test)]` item (attribute included).
+    pub in_test: Vec<bool>,
+}
+
+impl Scrubbed {
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        1 + self.text[..offset].iter().filter(|&&b| b == b'\n').count()
+    }
+}
+
+/// Blanks comments (line, nested block), string literals (plain, raw,
+/// byte), and char literals. Newlines inside blanked regions survive so
+/// line numbers stay exact.
+pub fn scrub(src: &str) -> Scrubbed {
+    let bytes = src.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out[i] = b' ';
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        blank(&mut out, i, 2);
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        blank(&mut out, i, 2);
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if bytes[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                i = blank_raw_string(bytes, &mut out, i);
+            }
+            b'"' => {
+                i = blank_plain_string(bytes, &mut out, i);
+            }
+            b'b' if i + 1 < bytes.len() && bytes[i + 1] == b'"' => {
+                out[i] = b' ';
+                i = blank_plain_string(bytes, &mut out, i + 1);
+            }
+            b'\'' => {
+                i = maybe_blank_char_literal(bytes, &mut out, i);
+            }
+            _ => i += 1,
+        }
+    }
+
+    let in_test = mark_test_regions(&out);
+    Scrubbed { text: out, in_test }
+}
+
+fn blank(out: &mut [u8], at: usize, len: usize) {
+    let end = (at + len).min(out.len());
+    for b in &mut out[at..end] {
+        if *b != b'\n' {
+            *b = b' ';
+        }
+    }
+}
+
+/// Detects `r"`, `r#"`, `br"`, `br#"` openings at `i`.
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if j >= bytes.len() || bytes[j] != b'r' {
+        return false;
+    }
+    j += 1;
+    while j < bytes.len() && bytes[j] == b'#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == b'"'
+}
+
+fn blank_raw_string(bytes: &[u8], out: &mut [u8], start: usize) -> usize {
+    let mut i = start;
+    if bytes[i] == b'b' {
+        out[i] = b' ';
+        i += 1;
+    }
+    out[i] = b' '; // the `r`
+    i += 1;
+    let mut hashes = 0usize;
+    while i < bytes.len() && bytes[i] == b'#' {
+        out[i] = b' ';
+        hashes += 1;
+        i += 1;
+    }
+    out[i] = b' '; // opening quote
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'"'
+            && bytes[i + 1..].iter().take(hashes).filter(|&&b| b == b'#').count() == hashes
+        {
+            blank(out, i, 1 + hashes);
+            return i + 1 + hashes;
+        }
+        if bytes[i] != b'\n' {
+            out[i] = b' ';
+        }
+        i += 1;
+    }
+    i
+}
+
+fn blank_plain_string(bytes: &[u8], out: &mut [u8], start: usize) -> usize {
+    let mut i = start;
+    out[i] = b' ';
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => {
+                blank(out, i, 2);
+                i += 2;
+            }
+            b'"' => {
+                out[i] = b' ';
+                return i + 1;
+            }
+            b'\n' => i += 1,
+            _ => {
+                out[i] = b' ';
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Distinguishes char literals (`'x'`, `'\n'`) from lifetimes (`'a`).
+fn maybe_blank_char_literal(bytes: &[u8], out: &mut [u8], i: usize) -> usize {
+    if i + 2 < bytes.len() && bytes[i + 1] == b'\\' {
+        // Escaped char: blank to the closing quote.
+        let mut j = i + 2;
+        while j < bytes.len() && bytes[j] != b'\'' && j < i + 12 {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j] == b'\'' {
+            blank(out, i, j - i + 1);
+            return j + 1;
+        }
+        return i + 1;
+    }
+    if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
+        blank(out, i, 3);
+        return i + 3;
+    }
+    i + 1 // lifetime
+}
+
+/// Marks byte ranges belonging to `#[cfg(test)]`-gated items by matching
+/// the braces of the item that follows the attribute.
+fn mark_test_regions(text: &[u8]) -> Vec<bool> {
+    let mut mask = vec![false; text.len()];
+    let needle = b"#[cfg(test)]";
+    let mut from = 0;
+    while let Some(pos) = find(text, needle, from) {
+        from = pos + needle.len();
+        // Find the opening brace of the gated item.
+        let mut i = from;
+        let mut depth_paren = 0i32;
+        while i < text.len() {
+            match text[i] {
+                b'{' if depth_paren == 0 => break,
+                b'(' | b'[' => depth_paren += 1,
+                b')' | b']' => depth_paren -= 1,
+                b';' if depth_paren == 0 => {
+                    // Braceless gated item (e.g. `#[cfg(test)] use ...;`).
+                    i = usize::MAX;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        if i >= text.len() {
+            continue;
+        }
+        let mut depth = 0i32;
+        let start = pos;
+        let mut end = text.len();
+        let mut j = i;
+        while j < text.len() {
+            match text[j] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = j + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        for m in &mut mask[start..end] {
+            *m = true;
+        }
+        from = end;
+    }
+    mask
+}
+
+/// First occurrence of `needle` in `haystack[from..]`.
+pub fn find(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if from >= haystack.len() || needle.is_empty() {
+        return None;
+    }
+    haystack[from..].windows(needle.len()).position(|w| w == needle).map(|p| p + from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn text(s: &str) -> String {
+        String::from_utf8(scrub(s).text).expect("scrub keeps utf8 structure")
+    }
+
+    #[test]
+    fn blanks_comments_and_strings() {
+        let s = text("let x = \"a.unwrap()\"; // .unwrap()\nlet y = 1;");
+        assert!(!s.contains("unwrap"));
+        assert!(s.contains("let y = 1;"));
+        assert_eq!(s.matches('\n').count(), 1);
+    }
+
+    #[test]
+    fn keeps_lifetimes_blanks_chars() {
+        let s = text("fn f<'a>(x: &'a str) { let c = '\"'; let d = 'x'; }");
+        assert!(s.contains("'a str"));
+        assert!(!s.contains("'x'"));
+    }
+
+    #[test]
+    fn raw_strings_blanked() {
+        let s = text(r####"let x = r#"panic!("no")"#; let y = 2;"####);
+        assert!(!s.contains("panic"));
+        assert!(s.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn test_mod_masked() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\nfn tail() {}\n";
+        let sc = scrub(src);
+        let pos = find(&sc.text, b"unwrap", 0).expect("unwrap kept in text");
+        assert!(sc.in_test[pos]);
+        let tail = find(&sc.text, b"tail", 0).expect("tail present");
+        assert!(!sc.in_test[tail]);
+    }
+}

@@ -27,14 +27,10 @@ fn main() {
     )
     .generate();
 
-    let incident = dataset
-        .today_incidents
-        .first()
-        .expect("scenario guarantees incidents today")
-        .clone();
-    let mid_slot = SlotOfDay(
-        ((incident.start.index() + incident.duration_slots / 2).min(287)) as u16,
-    );
+    let incident =
+        dataset.today_incidents.first().expect("scenario guarantees incidents today").clone();
+    let mid_slot =
+        SlotOfDay(((incident.start.index() + incident.duration_slots / 2).min(287)) as u16);
     println!(
         "incident at {} starting {:02}:{:02}, lasting {} slots, severity {:.2}",
         incident.road,

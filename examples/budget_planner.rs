@@ -33,10 +33,9 @@ fn main() {
         &["K", "strategy", "roads bought", "paid", "MAPE", "FER"],
     );
     for budget in [5u32, 10, 20, 40, 80] {
-        for (label, strategy) in [
-            ("Hybrid", SelectionStrategy::Hybrid),
-            ("Random", SelectionStrategy::Random(99)),
-        ] {
+        for (label, strategy) in
+            [("Hybrid", SelectionStrategy::Hybrid), ("Random", SelectionStrategy::Random(99))]
+        {
             let config = OnlineConfig { budget, strategy, ..Default::default() };
             let answer = engine.answer_query(&query, &pool, &costs, truth, &config);
             let report = ErrorReport::evaluate_default(&answer.all_values, truth, &query.roads);

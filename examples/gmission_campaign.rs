@@ -12,11 +12,9 @@ use crowd_rtse::prelude::*;
 
 fn main() {
     let graph = crowd_rtse::graph::generators::hong_kong_like(607, 11);
-    let dataset = TrafficGenerator::new(
-        &graph,
-        SynthConfig { days: 15, seed: 11, ..SynthConfig::default() },
-    )
-    .generate();
+    let dataset =
+        TrafficGenerator::new(&graph, SynthConfig { days: 15, seed: 11, ..SynthConfig::default() })
+            .generate();
 
     let scenario = GMissionScenario::build(&graph, &GMissionSpec::default());
     println!(
@@ -39,8 +37,7 @@ fn main() {
     );
     for budget in [10u32, 20, 30, 40, 50] {
         let config = OnlineConfig { budget, ..Default::default() };
-        let answer =
-            engine.answer_query(&query, &scenario.pool, &scenario.costs, truth, &config);
+        let answer = engine.answer_query(&query, &scenario.pool, &scenario.costs, truth, &config);
         let report = ErrorReport::evaluate_default(&answer.all_values, truth, &query.roads);
         let c1 = k_hop_coverage(&graph, &query.roads, &answer.selection.roads, 1);
         let c2 = k_hop_coverage(&graph, &query.roads, &answer.selection.roads, 2);
@@ -58,12 +55,8 @@ fn main() {
     // Compare the four estimators at one budget, like Fig. 6.
     let config = OnlineConfig { budget: 30, ..Default::default() };
     let answer = engine.answer_query(&query, &scenario.pool, &scenario.costs, truth, &config);
-    let observations: Vec<(RoadId, f64)> = answer
-        .selection
-        .roads
-        .iter()
-        .map(|&r| (r, answer.all_values[r.index()]))
-        .collect();
+    let observations: Vec<(RoadId, f64)> =
+        answer.selection.roads.iter().map(|&r| (r, answer.all_values[r.index()])).collect();
     let ctx = EstimationContext {
         graph: &graph,
         model: engine.offline().model(),

@@ -12,16 +12,10 @@ fn main() {
     // A synthetic city shaped like the paper's Hong Kong test bed, scaled
     // down to keep the example snappy, with 15 days of 5-minute history.
     let graph = crowd_rtse::graph::generators::hong_kong_like(200, 7);
-    println!(
-        "network: {} roads, {} adjacencies",
-        graph.num_roads(),
-        graph.num_edges()
-    );
-    let dataset = TrafficGenerator::new(
-        &graph,
-        SynthConfig { days: 15, seed: 7, ..SynthConfig::default() },
-    )
-    .generate();
+    println!("network: {} roads, {} adjacencies", graph.num_roads(), graph.num_edges());
+    let dataset =
+        TrafficGenerator::new(&graph, SynthConfig { days: 15, seed: 7, ..SynthConfig::default() })
+            .generate();
     println!("history: {} records over {} days", dataset.history.num_records(), 15);
 
     // ---- Offline stage ---------------------------------------------------

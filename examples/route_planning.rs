@@ -32,9 +32,7 @@ fn route_and_eta(graph: &Graph, speeds: &[f64], from: RoadId, to: RoadId) -> (Ve
 
 /// True travel time of a concrete route.
 fn true_hours(graph: &Graph, truth: &[f64], path: &[RoadId]) -> f64 {
-    path.iter()
-        .map(|&r| (graph.road(r).length_m / 1000.0) / truth[r.index()].max(1.0))
-        .sum()
+    path.iter().map(|&r| (graph.road(r).length_m / 1000.0) / truth[r.index()].max(1.0)).sum()
 }
 
 fn main() {

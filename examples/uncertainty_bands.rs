@@ -16,11 +16,9 @@ use crowd_rtse::prelude::*;
 
 fn main() {
     let graph = crowd_rtse::graph::generators::hong_kong_like(150, 91);
-    let dataset = TrafficGenerator::new(
-        &graph,
-        SynthConfig { days: 15, seed: 91, ..SynthConfig::default() },
-    )
-    .generate();
+    let dataset =
+        TrafficGenerator::new(&graph, SynthConfig { days: 15, seed: 91, ..SynthConfig::default() })
+            .generate();
     let model = moment_estimate(&graph, &dataset.history);
     let slot = SlotOfDay::from_hm(8, 30);
     let truth = dataset.ground_truth_snapshot(slot);
@@ -96,9 +94,7 @@ fn main() {
         .collect();
     ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let z95 = crowd_rtse::eval::quantile(&ratios, 0.95);
-    println!(
-        "empirically calibrated z for 95% coverage: {z95:.1} (use mean ± {z95:.1}·σ)"
-    );
+    println!("empirically calibrated z for 95% coverage: {z95:.1} (use mean ± {z95:.1}·σ)");
     println!(
         "\nNote: the relative band widths (wider far from probes) are the useful\n\
          signal — they tell OCS where the next budget buys the most information;\n\

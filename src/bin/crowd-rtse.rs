@@ -87,9 +87,8 @@ impl Options {
         let mut map = HashMap::new();
         let mut it = args.iter();
         while let Some(flag) = it.next() {
-            let key = flag
-                .strip_prefix("--")
-                .ok_or_else(|| format!("expected --flag, got {flag:?}"))?;
+            let key =
+                flag.strip_prefix("--").ok_or_else(|| format!("expected --flag, got {flag:?}"))?;
             let value = it.next().ok_or_else(|| format!("missing value for --{key}"))?;
             map.insert(key.to_string(), value.to_string());
         }
@@ -97,8 +96,7 @@ impl Options {
         let num = |k: &str, default: &str| -> Result<u64, String> {
             get(k, default).parse().map_err(|_| format!("--{k} must be a number"))
         };
-        let known =
-            ["roads", "days", "seed", "out", "model", "budget", "workers", "queried"];
+        let known = ["roads", "days", "seed", "out", "model", "budget", "workers", "queried"];
         if let Some(bad) = map.keys().find(|k| !known.contains(&k.as_str())) {
             return Err(format!("unknown flag --{bad}"));
         }
@@ -127,8 +125,8 @@ impl Options {
 
 fn cmd_generate(opts: &Options) -> Result<(), String> {
     let (graph, dataset) = opts.world();
-    let file = std::fs::File::create(&opts.out)
-        .map_err(|e| format!("cannot create {}: {e}", opts.out))?;
+    let file =
+        std::fs::File::create(&opts.out).map_err(|e| format!("cannot create {}: {e}", opts.out))?;
     write_records(BufWriter::new(file), dataset.history.records())
         .map_err(|e| format!("write failed: {e}"))?;
     println!(

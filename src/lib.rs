@@ -22,7 +22,9 @@
 //!   gMission scenario;
 //! * [`baselines`] — Per, LASSO, GRMC comparators;
 //! * [`eval`] — MAPE/FER/DAPE metrics, coverage, tables, timing;
-//! * [`core`] — the `CrowdRtse` engine tying everything together.
+//! * [`core`] — the `CrowdRtse` engine tying everything together;
+//! * [`check`] — invariant contracts ([`check::Validate`]) enforced
+//!   fail-closed at pipeline boundaries under the `validate` feature.
 //!
 //! ## Quickstart
 //!
@@ -55,6 +57,7 @@
 
 pub use crowd_rtse_core as core;
 pub use rtse_baselines as baselines;
+pub use rtse_check as check;
 pub use rtse_crowd as crowd;
 pub use rtse_data as data;
 pub use rtse_eval as eval;
@@ -72,6 +75,7 @@ pub mod prelude {
         SelectionStrategy, SpeedQuery,
     };
     pub use rtse_baselines::{EstimationContext, Estimator, Grmc, LassoEstimator, Per};
+    pub use rtse_check::{InvariantViolation, Validate};
     pub use rtse_crowd::{
         uniform_costs, CostRange, CrowdCampaign, GMissionScenario, GMissionSpec, WorkerPool,
     };

@@ -26,8 +26,7 @@ fn pipeline_trains_from_stations_plus_probes() {
     );
     let mut observed_history = station_data;
     observed_history.merge_from(&probe_data);
-    let coverage = observed_history.num_records() as f64
-        / dataset.history.num_records() as f64;
+    let coverage = observed_history.num_records() as f64 / dataset.history.num_records() as f64;
     assert!(
         (0.05..0.95).contains(&coverage),
         "mixed sources should be meaningfully sparse: coverage {coverage}"
@@ -64,8 +63,7 @@ fn pipeline_trains_from_stations_plus_probes() {
         truth,
         &OnlineConfig { budget: 30, ..Default::default() },
     );
-    let dense_rep =
-        ErrorReport::evaluate_default(&dense_answer.all_values, truth, &query.roads);
+    let dense_rep = ErrorReport::evaluate_default(&dense_answer.all_values, truth, &query.roads);
     assert!(
         sparse_rep.mape < dense_rep.mape * 4.0 + 0.1,
         "sparse {} vs dense {}: degradation too large",

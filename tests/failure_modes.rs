@@ -48,8 +48,7 @@ fn empty_worker_pool_returns_periodic_means() {
     let truth = dataset.ground_truth_snapshot(slot);
     let query = SpeedQuery::new(vec![RoadId(5)], slot);
     let pool = WorkerPool::spawn(&graph, 0, 0.0, (0.1, 0.2), 1);
-    let answer =
-        engine.answer_query(&query, &pool, &costs, truth, &OnlineConfig::default());
+    let answer = engine.answer_query(&query, &pool, &costs, truth, &OnlineConfig::default());
     assert_eq!(answer.estimates[0], engine.offline().model().mu(slot, RoadId(5)));
 }
 

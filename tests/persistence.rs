@@ -7,11 +7,9 @@ use crowd_rtse::rtf::persistence::{load_model, save_model};
 #[test]
 fn saved_model_answers_identically() {
     let graph = crowd_rtse::graph::generators::hong_kong_like(60, 99);
-    let dataset = TrafficGenerator::new(
-        &graph,
-        SynthConfig { days: 8, seed: 99, ..SynthConfig::default() },
-    )
-    .generate();
+    let dataset =
+        TrafficGenerator::new(&graph, SynthConfig { days: 8, seed: 99, ..SynthConfig::default() })
+            .generate();
     let model = moment_estimate(&graph, &dataset.history);
 
     let dir = std::env::temp_dir().join("crowd_rtse_it_persist");
@@ -28,9 +26,7 @@ fn saved_model_answers_identically() {
         let query = SpeedQuery::new((0u32..15).map(RoadId).collect(), slot);
         let pool = WorkerPool::spawn(&graph, 40, 0.5, (0.3, 1.2), 1);
         let costs = uniform_costs(graph.num_roads(), CostRange::C2, 1);
-        engine
-            .answer_query(&query, &pool, &costs, truth, &OnlineConfig::default())
-            .all_values
+        engine.answer_query(&query, &pool, &costs, truth, &OnlineConfig::default()).all_values
     };
     assert_eq!(answer_with(model), answer_with(loaded));
     std::fs::remove_file(&path).ok();

@@ -43,16 +43,13 @@ fn full_pipeline_produces_reasonable_estimates() {
 fn pipeline_is_deterministic() {
     let w = world(80, 8, 202);
     let run = || {
-        let offline =
-            OfflineArtifacts::from_model(moment_estimate(&w.graph, &w.dataset.history));
+        let offline = OfflineArtifacts::from_model(moment_estimate(&w.graph, &w.dataset.history));
         let engine = CrowdRtse::new(&w.graph, offline);
         let slot = SlotOfDay::from_hm(17, 30);
         let truth = w.dataset.ground_truth_snapshot(slot);
         let query = SpeedQuery::new((0u32..20).map(RoadId).collect(), slot);
         let pool = WorkerPool::spawn(&w.graph, 50, 0.5, (0.3, 1.2), 4);
-        engine
-            .answer_query(&query, &pool, &w.costs, truth, &OnlineConfig::default())
-            .all_values
+        engine.answer_query(&query, &pool, &w.costs, truth, &OnlineConfig::default()).all_values
     };
     assert_eq!(run(), run());
 }
@@ -125,8 +122,7 @@ fn hybrid_selection_no_worse_than_random_on_average() {
         ErrorReport::evaluate_default(&answer.all_values, truth, &queried).mape
     };
     let hybrid = run(SelectionStrategy::Hybrid);
-    let random_avg: f64 =
-        (0..5).map(|s| run(SelectionStrategy::Random(s))).sum::<f64>() / 5.0;
+    let random_avg: f64 = (0..5).map(|s| run(SelectionStrategy::Random(s))).sum::<f64>() / 5.0;
     assert!(
         hybrid <= random_avg + 0.02,
         "hybrid {hybrid} should not lose clearly to random {random_avg}"

@@ -1,0 +1,76 @@
+//! Corruption-injection tests for the `validate` feature: a poisoned RTF
+//! model (negative σ, ρ > 1, non-finite μ) must be rejected fail-closed at
+//! the engine boundary, while a clean model passes.
+//!
+//! Compiled only with `cargo test --features validate`; without the
+//! feature the engine checks dimensions alone and these guarantees do not
+//! apply.
+#![cfg(feature = "validate")]
+
+use crowd_rtse::check::Validate;
+use crowd_rtse::core::{CrowdRtse, OfflineArtifacts};
+use crowd_rtse::data::SlotOfDay;
+use crowd_rtse::graph::generators::grid;
+use crowd_rtse::rtf::RtfModel;
+
+#[test]
+fn clean_model_accepted() {
+    let g = grid(3, 3);
+    let model = RtfModel::neutral(&g);
+    assert!(model.validate().is_ok());
+    assert!(CrowdRtse::try_new(&g, OfflineArtifacts::from_model(model)).is_ok());
+}
+
+#[test]
+fn negative_sigma_rejected_at_engine_boundary() {
+    let g = grid(3, 3);
+    let mut model = RtfModel::neutral(&g);
+    model.slot_mut(SlotOfDay(17)).sigma[2] = -0.5;
+    let err = CrowdRtse::try_new(&g, OfflineArtifacts::from_model(model))
+        .err()
+        .expect("poisoned σ must be rejected");
+    assert_eq!(err.invariant, "rtf.sigma_positive");
+    assert!(err.detail.contains("slot 17"), "detail should name the slot: {}", err.detail);
+}
+
+#[test]
+fn rho_above_one_rejected_at_engine_boundary() {
+    let g = grid(3, 3);
+    let mut model = RtfModel::neutral(&g);
+    model.slot_mut(SlotOfDay(0)).rho[0] = 1.5;
+    let err = CrowdRtse::try_new(&g, OfflineArtifacts::from_model(model))
+        .err()
+        .expect("ρ > 1 must be rejected");
+    assert_eq!(err.invariant, "rtf.rho_range");
+}
+
+#[test]
+fn nan_mu_rejected_at_engine_boundary() {
+    let g = grid(3, 3);
+    let mut model = RtfModel::neutral(&g);
+    model.slot_mut(SlotOfDay(100)).mu[0] = f64::NAN;
+    let err = CrowdRtse::try_new(&g, OfflineArtifacts::from_model(model))
+        .err()
+        .expect("NaN μ must be rejected");
+    assert_eq!(err.invariant, "rtf.mu_finite");
+}
+
+#[test]
+fn dimension_mismatch_rejected_before_contract_checks() {
+    let g = grid(3, 3);
+    let other = grid(4, 4);
+    let model = RtfModel::neutral(&other);
+    let err = CrowdRtse::try_new(&g, OfflineArtifacts::from_model(model))
+        .err()
+        .expect("mismatched dimensions must be rejected");
+    assert_eq!(err.invariant, "engine.model_matches_graph");
+}
+
+#[test]
+#[should_panic(expected = "rtf.sigma_positive")]
+fn infallible_constructor_fails_closed() {
+    let g = grid(3, 3);
+    let mut model = RtfModel::neutral(&g);
+    model.slot_mut(SlotOfDay(0)).sigma[0] = -1.0;
+    let _ = CrowdRtse::new(&g, OfflineArtifacts::from_model(model));
+}

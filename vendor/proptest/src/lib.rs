@@ -1,0 +1,332 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the subset of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`);
+//! * [`Strategy`](strategy::Strategy) for integer/float ranges, 2- and
+//!   3-tuples of strategies, and [`collection::vec`];
+//! * [`prop_assert!`] / [`prop_assert_eq!`];
+//! * [`ProptestConfig::with_cases`].
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with
+//! the generated inputs (printed by the assertion), which is enough to
+//! reproduce because the runner is fully deterministic — the case stream
+//! is a pure function of the test's name.
+
+/// Number of cases to run per property.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many random cases each property executes.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Deterministic runner RNG (SplitMix64 keyed on the test name).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A runner whose stream is a pure function of `key`.
+    pub fn deterministic(key: &str) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self { state: h }
+    }
+
+    /// Next raw word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty size range");
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+}
+
+/// Input-generation strategies.
+pub mod strategy {
+    use super::TestRng;
+
+    /// Something that can generate one value per test case.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Types drawable from a range strategy. One generic impl of
+    /// [`Strategy`] for `Range<T>` delegates here so that unsuffixed
+    /// numeric literals in range strategies still infer.
+    pub trait Arbitrary: PartialOrd + Copy {
+        /// Uniform draw from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+        fn draw(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn draw(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self {
+                    let span = (hi as u128)
+                        .wrapping_sub(lo as u128)
+                        .wrapping_add(inclusive as u128);
+                    lo.wrapping_add((rng.next_u64() as u128 % span) as $t)
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn draw(rng: &mut TestRng, lo: Self, hi: Self, _inclusive: bool) -> Self {
+                    lo + (rng.next_f64() as $t) * (hi - lo)
+                }
+            }
+        )*};
+    }
+
+    float_arbitrary!(f32, f64);
+
+    impl<T: Arbitrary> Strategy for core::ops::Range<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            assert!(self.start < self.end, "empty strategy range");
+            T::draw(rng, self.start, self.end, false)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for core::ops::RangeInclusive<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty strategy range");
+            T::draw(rng, lo, hi, true)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+        type Value = (A::Value, B::Value, C::Value, D::Value);
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng), self.3.sample(rng))
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Length specification for [`vec`]: a fixed `usize` or a `Range<usize>`.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi_exclusive: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self { lo: r.start, hi_exclusive: r.end }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.usize_in(self.size.lo, self.size.hi_exclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig};
+}
+
+/// Defines deterministic random-input tests.
+///
+/// Supported grammar (a subset of real proptest):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn my_property(x in 0u32..10, v in collection::vec(0.0..1.0f64, 1..8)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    ( @funcs ($cfg:expr)
+      $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                for _case in 0..config.cases {
+                    $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@funcs ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Skips the current case when its inputs don't meet a precondition.
+///
+/// Expands to `continue` on the case loop, so (unlike real proptest) a
+/// skipped case still counts toward the configured case total.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn runner_is_deterministic() {
+        let mut a = crate::TestRng::deterministic("k");
+        let mut b = crate::TestRng::deterministic("k");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::TestRng::deterministic("other");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_vecs_in_bounds(
+            x in 3u32..9,
+            y in -1.0..1.0f64,
+            v in collection::vec((0u16..4, 0.0..1.0f64), 0..10),
+        ) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&y));
+            prop_assert!(v.len() < 10);
+            for (a, b) in v {
+                prop_assert!(a < 4);
+                prop_assert!((0.0..1.0).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_size_vec() {
+        let s = collection::vec(0.0..1.0f64, 9);
+        let mut rng = crate::TestRng::deterministic("fixed");
+        assert_eq!(s.sample(&mut rng).len(), 9);
+    }
+}
