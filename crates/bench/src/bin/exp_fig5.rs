@@ -34,6 +34,7 @@ fn main() {
         max_step: 5.0,
         init: InitStrategy::MuRandomRestMoments(2018),
         mode: UpdateMode::MuGradientOnly,
+        ..Default::default()
     };
 
     let mut t = Table::new(

@@ -1,10 +1,9 @@
 //! Offline stage: RTF training and correlation-table caching.
 
-use rtse_data::{HistoryStore, SlotOfDay};
+use rtse_data::{HistoryStore, SlotOfDay, SLOTS_PER_DAY};
 use rtse_graph::Graph;
 use rtse_rtf::{CorrelationTable, PathCorrelation, RtfModel, RtfTrainer};
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, OnceLock};
 
 /// Everything the online stage needs from the offline stage.
 ///
@@ -15,7 +14,17 @@ use std::sync::{Arc, Mutex, PoisonError};
 pub struct OfflineArtifacts {
     model: RtfModel,
     semantics: PathCorrelation,
-    corr_cache: Mutex<HashMap<u16, Arc<CorrelationTable>>>,
+    /// One lazily-initialized entry per slot of the day. A cold build
+    /// blocks only callers of *that* slot (warm slots stay lock-free and
+    /// wait-free), and concurrent cold callers coalesce into a single
+    /// build. The previous design held one map-wide mutex across the whole
+    /// `CorrelationTable::build`, so a cold slot head-of-line blocked every
+    /// other slot's read for the duration of `|R|` Dijkstras.
+    corr_cache: Vec<OnceLock<Arc<CorrelationTable>>>,
+}
+
+fn fresh_cache() -> Vec<OnceLock<Arc<CorrelationTable>>> {
+    (0..SLOTS_PER_DAY).map(|_| OnceLock::new()).collect()
 }
 
 impl OfflineArtifacts {
@@ -27,18 +36,14 @@ impl OfflineArtifacts {
 
     /// Wraps an already-trained (or loaded) model.
     pub fn from_model(model: RtfModel) -> Self {
-        Self {
-            model,
-            semantics: PathCorrelation::MaxProduct,
-            corr_cache: Mutex::new(HashMap::new()),
-        }
+        Self { model, semantics: PathCorrelation::MaxProduct, corr_cache: fresh_cache() }
     }
 
     /// Overrides the path-correlation semantics (ablation use). Clears the
     /// cache.
     pub fn with_semantics(mut self, semantics: PathCorrelation) -> Self {
         self.semantics = semantics;
-        self.corr_cache.get_mut().unwrap_or_else(PoisonError::into_inner).clear();
+        self.corr_cache = fresh_cache();
         self
     }
 
@@ -48,14 +53,23 @@ impl OfflineArtifacts {
     }
 
     /// The correlation table for a slot, building it on first use.
+    ///
+    /// Per-slot once-initialization: a warm slot returns immediately even
+    /// while another slot's table is mid-build, and duplicate concurrent
+    /// builds of the same cold slot coalesce (exactly one build runs; the
+    /// rest block on it and share the resulting `Arc`).
     pub fn corr_table(&self, graph: &Graph, slot: SlotOfDay) -> Arc<CorrelationTable> {
-        let mut cache = self.corr_cache.lock().unwrap_or_else(PoisonError::into_inner);
-        cache
-            .entry(slot.0)
-            .or_insert_with(|| {
-                Arc::new(CorrelationTable::build(graph, &self.model, slot, self.semantics))
-            })
-            .clone()
+        self.corr_entry(slot, || CorrelationTable::build(graph, &self.model, slot, self.semantics))
+    }
+
+    /// Per-slot get-or-init, separated from [`Self::corr_table`] so tests
+    /// can drive the initialization with an instrumented build closure.
+    fn corr_entry(
+        &self,
+        slot: SlotOfDay,
+        build: impl FnOnce() -> CorrelationTable,
+    ) -> Arc<CorrelationTable> {
+        self.corr_cache[slot.index()].get_or_init(|| Arc::new(build())).clone()
     }
 }
 
@@ -64,13 +78,21 @@ mod tests {
     use super::*;
     use rtse_data::{SynthConfig, TrafficGenerator};
     use rtse_graph::generators::grid;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+    use std::time::Duration;
+
+    fn small_artifacts(seed: u64) -> (Graph, OfflineArtifacts) {
+        let g = grid(3, 3);
+        let cfg = SynthConfig { days: 8, seed, ..SynthConfig::small_test() };
+        let ds = TrafficGenerator::new(&g, cfg).generate();
+        let artifacts = OfflineArtifacts::train(&g, &ds.history, &RtfTrainer::default());
+        (g, artifacts)
+    }
 
     #[test]
     fn train_and_cache() {
-        let g = grid(3, 3);
-        let cfg = SynthConfig { days: 8, seed: 1, ..SynthConfig::small_test() };
-        let ds = TrafficGenerator::new(&g, cfg).generate();
-        let artifacts = OfflineArtifacts::train(&g, &ds.history, &RtfTrainer::default());
+        let (g, artifacts) = small_artifacts(1);
         assert!(artifacts.model().matches_graph(&g));
         let slot = SlotOfDay::from_hm(9, 0);
         let t1 = artifacts.corr_table(&g, slot);
@@ -91,5 +113,84 @@ mod tests {
         let slot = SlotOfDay(0);
         let t = artifacts.corr_table(&g, slot);
         assert_eq!(t.semantics(), PathCorrelation::ReciprocalSum);
+    }
+
+    /// Regression test for the head-of-line blocking bug: a warm-slot read
+    /// must complete while a cold-slot build is still in flight. Under the
+    /// old map-wide mutex the cold build held the lock, so the warm read
+    /// below would deadlock (the cold build only finishes after the warm
+    /// read signals it) and the test would hang.
+    #[test]
+    fn warm_read_completes_during_cold_build() {
+        let (g, artifacts) = small_artifacts(3);
+        let warm = SlotOfDay(10);
+        let cold = SlotOfDay(20);
+        let warm_table = artifacts.corr_table(&g, warm);
+
+        let build_started = Barrier::new(2);
+        let warm_read_done = Barrier::new(2);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                artifacts.corr_entry(cold, || {
+                    build_started.wait();
+                    // Hold the cold slot "mid-build" until the main thread
+                    // has proven it can read the warm slot.
+                    warm_read_done.wait();
+                    CorrelationTable::build(
+                        &g,
+                        artifacts.model(),
+                        cold,
+                        PathCorrelation::MaxProduct,
+                    )
+                });
+            });
+            build_started.wait();
+            let again = artifacts.corr_table(&g, warm);
+            assert!(Arc::ptr_eq(&warm_table, &again));
+            warm_read_done.wait();
+        });
+        // The cold build completed and is now cached.
+        let cold_table = artifacts.corr_table(&g, cold);
+        assert_eq!(cold_table.slot(), cold);
+    }
+
+    /// Duplicate concurrent builds of the same cold slot coalesce: exactly
+    /// one build closure runs and every caller shares the resulting Arc.
+    #[test]
+    fn concurrent_cold_builds_coalesce() {
+        let (g, artifacts) = small_artifacts(4);
+        let slot = SlotOfDay(42);
+        let builds = AtomicUsize::new(0);
+        let racers = 4;
+        let start = Barrier::new(racers);
+        let tables: Vec<Arc<CorrelationTable>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..racers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        start.wait();
+                        artifacts.corr_entry(slot, || {
+                            builds.fetch_add(1, Ordering::SeqCst);
+                            // Widen the race window so late arrivals hit the
+                            // in-flight path rather than the warm path.
+                            std::thread::sleep(Duration::from_millis(20));
+                            CorrelationTable::build(
+                                &g,
+                                artifacts.model(),
+                                slot,
+                                PathCorrelation::MaxProduct,
+                            )
+                        })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
+        });
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "duplicate builds must coalesce");
+        for t in &tables[1..] {
+            assert!(Arc::ptr_eq(&tables[0], t));
+        }
     }
 }

@@ -27,4 +27,4 @@ pub use geojson::{to_geojson, ScalarLayer};
 pub use metrics::{ape, ErrorReport, DEFAULT_FER_THRESHOLD};
 pub use results::{results_dir_from_args, ResultsDir};
 pub use table::Table;
-pub use timing::time_it;
+pub use timing::{time_it, time_mean};

@@ -14,28 +14,43 @@
 use crate::schedule::UpdateSchedule;
 use crate::solver::{GspResult, GspSolver};
 use rtse_graph::{Graph, RoadId};
+use rtse_pool::ComputePool;
 use rtse_rtf::likelihood::optimal_update;
 use rtse_rtf::params::SlotParams;
+use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Below this layer width the per-chunk dispatch overhead exceeds the
+/// Eq. (18) update cost, so the layer is swept serially on the caller.
+const MIN_PARALLEL_LAYER: usize = 32;
+
+fn read_lock(lock: &RwLock<Vec<f64>>) -> RwLockReadGuard<'_, Vec<f64>> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write_lock(lock: &RwLock<Vec<f64>>) -> RwLockWriteGuard<'_, Vec<f64>> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Parallel propagation configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ParallelGsp {
     /// Convergence/round settings shared with the sequential solver.
     pub base: GspSolver,
-    /// Number of worker threads (minimum 1).
+    /// Number of worker threads. `0` (the default) defers to
+    /// `RTSE_THREADS` / host parallelism; `1` forces the serial sweep.
     pub threads: usize,
-}
-
-impl Default for ParallelGsp {
-    fn default() -> Self {
-        Self { base: GspSolver::default(), threads: 4 }
-    }
 }
 
 impl ParallelGsp {
     /// Runs layer-parallel propagation. Semantics match
     /// [`GspSolver::propagate`]; only the within-layer evaluation order
     /// differs (Jacobi instead of Gauss–Seidel).
+    ///
+    /// Workers are spawned once per propagate call on a shared
+    /// [`ComputePool`] scope and reused across every layer of every round
+    /// (the old implementation re-spawned `threads` OS threads per layer
+    /// per round). Single-thread pools and layers narrower than
+    /// [`MIN_PARALLEL_LAYER`] are swept serially on the caller thread.
     pub fn propagate(
         &self,
         graph: &Graph,
@@ -43,7 +58,7 @@ impl ParallelGsp {
         observations: &[(RoadId, f64)],
     ) -> GspResult {
         assert_eq!(params.mu.len(), graph.num_roads(), "params/graph mismatch");
-        let threads = self.threads.max(1);
+        let pool = ComputePool::new(self.threads);
         let mut values = params.mu.clone();
         for &(r, v) in observations {
             values[r.index()] = v;
@@ -54,52 +69,52 @@ impl ParallelGsp {
         let mut trace = Vec::new();
         let mut rounds = 0;
         let mut converged = sampled.is_empty() || schedule.num_scheduled() == 0;
-        let mut fresh: Vec<(usize, f64)> = Vec::new();
-        while !converged && rounds < self.base.max_rounds {
-            rounds += 1;
-            let mut max_delta = 0.0_f64;
-            for layer in schedule.layers() {
-                // Jacobi step over the layer, chunked across threads.
-                fresh.clear();
-                fresh.reserve(layer.len());
-                let chunk = layer.len().div_ceil(threads);
-                let values_ref = &values;
-                let results: Vec<Vec<(usize, f64)>> = std::thread::scope(|scope| {
-                    let handles: Vec<_> = layer
-                        .chunks(chunk.max(1))
-                        .map(|part| {
-                            scope.spawn(move || {
+        // Workers read the value buffer through a shared lock while the
+        // caller holds it exclusively between layer sweeps — reads and
+        // writes never overlap, so every update still sees exactly the
+        // pre-sweep values (the Jacobi contract).
+        let values = RwLock::new(values);
+        pool.scoped(|scope| {
+            while !converged && rounds < self.base.max_rounds {
+                rounds += 1;
+                let mut max_delta = 0.0_f64;
+                for layer in schedule.layers() {
+                    // Jacobi step over the layer, chunked across workers.
+                    let fresh: Vec<(usize, f64)> = if scope.threads() == 1
+                        || layer.len() < MIN_PARALLEL_LAYER
+                    {
+                        let vals = read_lock(&values);
+                        layer
+                            .iter()
+                            .map(|&r| (r.index(), optimal_update(graph, params, &vals, r)))
+                            .collect()
+                    } else {
+                        let values_ref = &values;
+                        scope
+                            .run_chunks(layer, scope.threads(), move |part| {
+                                let vals = read_lock(values_ref);
                                 part.iter()
-                                    .map(|&r| {
-                                        (r.index(), optimal_update(graph, params, values_ref, r))
-                                    })
+                                    .map(|&r| (r.index(), optimal_update(graph, params, &vals, r)))
                                     .collect::<Vec<_>>()
                             })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| match h.join() {
-                            Ok(part) => part,
-                            Err(payload) => std::panic::resume_unwind(payload),
-                        })
-                        .collect()
-                });
-                for part in results {
-                    fresh.extend(part);
+                            .into_iter()
+                            .flatten()
+                            .collect()
+                    };
+                    let mut vals = write_lock(&values);
+                    for &(idx, v) in &fresh {
+                        max_delta = max_delta.max((v - vals[idx]).abs());
+                        vals[idx] = v;
+                    }
                 }
-                for &(idx, v) in &fresh {
-                    max_delta = max_delta.max((v - values[idx]).abs());
-                    values[idx] = v;
+                if self.base.record_trace {
+                    trace.push(max_delta);
                 }
+                converged = max_delta < self.base.epsilon;
             }
-            if self.base.record_trace {
-                trace.push(max_delta);
-            }
-            converged = max_delta < self.base.epsilon;
-        }
+        });
         GspResult {
-            values,
+            values: values.into_inner().unwrap_or_else(PoisonError::into_inner),
             rounds,
             converged,
             unreachable: schedule.unreachable().to_vec(),

@@ -1,0 +1,98 @@
+//! Serial-equivalence property tests for the pooled layer-parallel GSP.
+//!
+//! Within a layer every Eq. (18) update reads the same pre-sweep value
+//! buffer (Jacobi), so chunking a layer across workers must never change
+//! the arithmetic — `ParallelGsp` at any thread count has to be
+//! bit-identical to itself at `threads = 1`. Random small graphs cover
+//! arbitrary topology; a wide grid forces layers past the
+//! `MIN_PARALLEL_LAYER` short-circuit so the pooled chunk path itself is
+//! exercised, not just the serial fallback.
+
+use proptest::prelude::*;
+use rtse_graph::generators::grid;
+use rtse_graph::{Graph, GraphBuilder, RoadClass, RoadId};
+use rtse_gsp::{GspSolver, ParallelGsp};
+use rtse_rtf::params::SlotParams;
+
+const N: usize = 14;
+
+fn random_graph(edges: &[(u32, u32)]) -> Graph {
+    let mut b = GraphBuilder::new();
+    for i in 0..N {
+        b.add_road(RoadClass::Secondary, (i as f64, 0.0));
+    }
+    for &(x, y) in edges {
+        if x != y {
+            b.add_edge(RoadId(x), RoadId(y));
+        }
+    }
+    b.build()
+}
+
+fn params_for(graph: &Graph, mu: f64, sigma: f64, rho: f64) -> SlotParams {
+    SlotParams {
+        mu: vec![mu; graph.num_roads()],
+        sigma: vec![sigma; graph.num_roads()],
+        rho: vec![rho; graph.num_edges()],
+    }
+}
+
+fn assert_bit_identical(
+    graph: &Graph,
+    params: &SlotParams,
+    obs: &[(RoadId, f64)],
+    threads: usize,
+    rounds: usize,
+) {
+    let base = GspSolver { epsilon: 1e-12, max_rounds: rounds, record_trace: true };
+    let serial = ParallelGsp { base, threads: 1 }.propagate(graph, params, obs);
+    let pooled = ParallelGsp { base, threads }.propagate(graph, params, obs);
+    assert!(serial.rounds == pooled.rounds, "round counts differ at {threads} threads");
+    assert!(serial.converged == pooled.converged, "convergence differs");
+    assert!(serial.delta_trace == pooled.delta_trace, "delta traces differ");
+    for r in graph.road_ids() {
+        let (s, p) = (serial.speed(r), pooled.speed(r));
+        assert!(
+            s.to_bits() == p.to_bits(),
+            "speed({r}) differs at {threads} threads: serial {s} vs pooled {p}"
+        );
+    }
+}
+
+proptest! {
+    /// Arbitrary topologies (disconnected graphs included), thread counts
+    /// 1–8: the pooled solver is bit-identical to its serial run.
+    #[test]
+    fn random_graphs_thread_count_invariant(
+        edges in proptest::collection::vec((0u32..N as u32, 0u32..N as u32), 0..40),
+        obs_road in 0u32..N as u32,
+        obs_speed in 5.0..80.0f64,
+        mu in 20.0..60.0f64,
+        sigma in 0.5..3.0f64,
+        rho in 0.05..0.95f64,
+        threads in 1usize..=8,
+    ) {
+        let g = random_graph(&edges);
+        let p = params_for(&g, mu, sigma, rho);
+        let obs = [(RoadId(obs_road), obs_speed)];
+        assert_bit_identical(&g, &p, &obs, threads, 200);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    /// A 36×36 grid pushes BFS frontier widths past `MIN_PARALLEL_LAYER`,
+    /// so the chunked pool dispatch (not the serial fallback) is what is
+    /// being compared against the single-thread sweep.
+    #[test]
+    fn wide_layers_exercise_pooled_path(
+        obs_a in 0u32..1296,
+        obs_b in 0u32..1296,
+        threads in 2usize..=8,
+    ) {
+        let g = grid(36, 36);
+        let p = params_for(&g, 45.0, 2.0, 0.85);
+        let obs = [(RoadId(obs_a), 25.0), (RoadId(obs_b), 60.0)];
+        assert_bit_identical(&g, &p, &obs, threads, 25);
+    }
+}

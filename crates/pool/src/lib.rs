@@ -1,0 +1,339 @@
+//! Shared scoped worker pool for the offline/online pipeline.
+//!
+//! Three hot paths fan work across threads — the all-pairs correlation
+//! table (one Dijkstra per road), full-model RTF training (288 independent
+//! per-slot CCD fits), and layer-parallel GSP (Jacobi sweeps over BFS
+//! layers). Each used to bring its own ad-hoc threading; this crate is the
+//! single sanctioned home for OS threads (`cargo xtask lint` flags raw
+//! `std::thread::spawn`/`thread::scope` anywhere else in library code).
+//!
+//! Two entry points:
+//!
+//! * [`ComputePool::map`] — order-preserving parallel map for one-shot
+//!   fan-outs (table rows, training slots). Spawns its workers once per
+//!   call, so the spawn cost amortizes over the whole batch.
+//! * [`ComputePool::scoped`] — persistent workers for iterative solvers:
+//!   the workers are spawned once and [`PoolScope::run_chunks`] dispatches
+//!   many small batches to them (GSP runs hundreds of layer sweeps per
+//!   propagation; per-sweep spawning dominated the old implementation).
+//!
+//! Everything is scoped-thread based (`std::thread::scope` under the
+//! hood), so jobs may borrow non-`'static` data — graphs, parameter
+//! tables, row slices — without `Arc` plumbing. No dependencies, no
+//! unsafe code.
+//!
+//! ## Determinism
+//!
+//! The pool never changes *what* is computed, only *where*: `map`
+//! preserves item order in its output and `run_chunks` reassembles chunk
+//! results in chunk order, so results are bit-identical at every thread
+//! count (enforced by serial-equivalence property tests in the consumer
+//! crates). Worker panics are captured and re-raised on the caller's
+//! thread after the batch drains, matching plain-loop semantics.
+//!
+//! ## Sizing
+//!
+//! [`ComputePool::new`] takes an explicit thread count; `0` (or
+//! [`ComputePool::from_env`]) defers to the `RTSE_THREADS` environment
+//! variable, falling back to [`std::thread::available_parallelism`].
+
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Environment variable overriding the default worker count.
+pub const THREADS_ENV: &str = "RTSE_THREADS";
+
+/// Resolves the default worker count: `RTSE_THREADS` when set to a
+/// positive integer, otherwise the host's available parallelism (1 when
+/// even that is unknown).
+pub fn env_threads() -> usize {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|raw| raw.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from))
+}
+
+/// Locks a mutex, ignoring poisoning: pool state stays usable even when a
+/// job panicked (the panic itself is re-raised separately).
+fn lock_ignore_poison<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A fixed-width worker pool. Cheap to construct — threads are spawned
+/// per [`map`](Self::map)/[`scoped`](Self::scoped) call and joined before
+/// the call returns, so a `ComputePool` is just a thread-count policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComputePool {
+    threads: usize,
+}
+
+/// A unit of work dispatched to a pool worker.
+type Job<'p> = Box<dyn FnOnce() + Send + 'p>;
+
+impl Default for ComputePool {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl ComputePool {
+    /// A pool of exactly `threads` workers; `0` means "size from the
+    /// environment" (see [`env_threads`]).
+    pub fn new(threads: usize) -> Self {
+        Self { threads: if threads == 0 { env_threads() } else { threads } }
+    }
+
+    /// A pool sized from `RTSE_THREADS` / available parallelism.
+    pub fn from_env() -> Self {
+        Self::new(0)
+    }
+
+    /// The worker count (always ≥ 1).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item, in parallel, preserving order: output
+    /// index `i` is `f(i, items[i])`. Falls back to a plain serial loop
+    /// for a single-thread pool or a batch of ≤ 1 items. Panics in `f`
+    /// are re-raised here after the batch drains.
+    pub fn map<T, O, F>(&self, items: Vec<T>, f: F) -> Vec<O>
+    where
+        T: Send,
+        O: Send,
+        F: Fn(usize, T) -> O + Sync,
+    {
+        let n = items.len();
+        if self.threads <= 1 || n <= 1 {
+            return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        }
+        let f = &f;
+        let (tx, rx) = channel::<(usize, std::thread::Result<O>)>();
+        self.scoped(|scope| {
+            for (i, item) in items.into_iter().enumerate() {
+                let tx = tx.clone();
+                scope.submit(Box::new(move || {
+                    let out = std::panic::catch_unwind(AssertUnwindSafe(|| f(i, item)));
+                    let _ = tx.send((i, out));
+                }));
+            }
+        });
+        drop(tx);
+        let mut tagged: Vec<(usize, std::thread::Result<O>)> = rx.into_iter().collect();
+        tagged.sort_unstable_by_key(|&(i, _)| i);
+        let mut out = Vec::with_capacity(n);
+        for (_, result) in tagged {
+            match result {
+                Ok(o) => out.push(o),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    }
+
+    /// Spawns the pool's workers once and runs `f` with a [`PoolScope`]
+    /// that dispatches jobs to them. All submitted jobs complete before
+    /// `scoped` returns. With a single-thread pool no workers are spawned
+    /// and jobs run inline on submission.
+    pub fn scoped<'p, R>(&'p self, f: impl FnOnce(&PoolScope<'p>) -> R) -> R {
+        if self.threads <= 1 {
+            return f(&PoolScope { tx: None, threads: 1 });
+        }
+        let (tx, rx) = channel::<Job<'p>>();
+        let rx = Mutex::new(rx);
+        let rx = &rx;
+        std::thread::scope(move |s| {
+            for _ in 0..self.threads {
+                s.spawn(move || worker_loop(rx));
+            }
+            let scope = PoolScope { tx: Some(tx), threads: self.threads };
+            f(&scope)
+            // `scope` (and with it the job sender) drops here; workers
+            // drain the queue, exit, and the thread scope joins them.
+        })
+    }
+}
+
+/// Pulls jobs off the shared queue until the scope closes it.
+fn worker_loop(rx: &Mutex<Receiver<Job<'_>>>) {
+    loop {
+        let job = lock_ignore_poison(rx).recv();
+        match job {
+            Ok(job) => job(),
+            Err(_) => break,
+        }
+    }
+}
+
+/// Handle for submitting work to the persistent workers of one
+/// [`ComputePool::scoped`] region.
+pub struct PoolScope<'p> {
+    /// `None` for a single-thread pool: jobs run inline.
+    tx: Option<Sender<Job<'p>>>,
+    threads: usize,
+}
+
+impl<'p> PoolScope<'p> {
+    /// The number of workers serving this scope.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Queues one job. Runs it inline when the pool is single-threaded or
+    /// (defensively) when every worker has died.
+    pub fn submit(&self, job: Job<'p>) {
+        match &self.tx {
+            Some(tx) => {
+                if let Err(send_back) = tx.send(job) {
+                    (send_back.0)();
+                }
+            }
+            None => job(),
+        }
+    }
+
+    /// Splits `items` into ≤ `target_chunks` contiguous chunks, applies
+    /// `f` to each chunk on the pool, and returns the per-chunk results
+    /// in chunk order. Short-circuits to an inline serial pass when the
+    /// pool is single-threaded or only one chunk would be dispatched, so
+    /// small batches pay no synchronization cost. Panics in `f` are
+    /// re-raised here after the batch drains.
+    ///
+    /// `f` must be `Copy` (e.g. a capture-by-reference closure) because
+    /// each chunk's job carries its own copy into the pool.
+    pub fn run_chunks<T, O, F>(&self, items: &'p [T], target_chunks: usize, f: F) -> Vec<O>
+    where
+        T: Sync,
+        O: Send + 'p,
+        F: Fn(&'p [T]) -> O + Send + Copy + 'p,
+    {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let chunk = items.len().div_ceil(target_chunks.max(1)).max(1);
+        if self.tx.is_none() || chunk >= items.len() {
+            return items.chunks(chunk).map(f).collect();
+        }
+        let (tx, rx) = channel::<(usize, std::thread::Result<O>)>();
+        for (ci, part) in items.chunks(chunk).enumerate() {
+            let tx = tx.clone();
+            self.submit(Box::new(move || {
+                let out = std::panic::catch_unwind(AssertUnwindSafe(|| f(part)));
+                let _ = tx.send((ci, out));
+            }));
+        }
+        drop(tx);
+        let mut tagged: Vec<(usize, std::thread::Result<O>)> = rx.into_iter().collect();
+        tagged.sort_unstable_by_key(|&(i, _)| i);
+        let mut out = Vec::with_capacity(tagged.len());
+        for (_, result) in tagged {
+            match result {
+                Ok(o) => out.push(o),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn new_zero_defers_to_env_or_host() {
+        let pool = ComputePool::new(0);
+        assert!(pool.threads() >= 1);
+        assert_eq!(ComputePool::new(3).threads(), 3);
+    }
+
+    #[test]
+    fn map_preserves_order_at_every_thread_count() {
+        let items: Vec<usize> = (0..100).collect();
+        let expect: Vec<usize> = items.iter().map(|&x| x * x).collect();
+        for threads in 1..=8 {
+            let got = ComputePool::new(threads).map(items.clone(), |i, x| {
+                assert_eq!(i, x);
+                x * x
+            });
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        let pool = ComputePool::new(4);
+        assert_eq!(pool.map(Vec::<u32>::new(), |_, x| x), Vec::<u32>::new());
+        assert_eq!(pool.map(vec![7], |i, x| x + i), vec![7]);
+    }
+
+    #[test]
+    fn map_can_write_disjoint_mut_slices() {
+        let mut table = [0.0f64; 6 * 4];
+        let rows: Vec<&mut [f64]> = table.chunks_mut(4).collect();
+        ComputePool::new(3).map(rows, |i, row| {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = (i * 10 + j) as f64;
+            }
+        });
+        assert_eq!(table[0], 0.0);
+        assert_eq!(table[4], 10.0);
+        assert_eq!(table[5 * 4 + 3], 53.0);
+    }
+
+    #[test]
+    fn run_chunks_matches_serial_and_keeps_chunk_order() {
+        let items: Vec<u64> = (0..97).collect();
+        let serial: Vec<u64> = vec![items.iter().sum()];
+        let serial_total: u64 = serial[0];
+        for threads in 1..=8 {
+            let pool = ComputePool::new(threads);
+            let sums = pool
+                .scoped(|scope| scope.run_chunks(&items, threads, |part| part.iter().sum::<u64>()));
+            assert_eq!(sums.iter().sum::<u64>(), serial_total, "threads = {threads}");
+            // Chunk order: the first result covers the smallest items.
+            let chunk = items.len().div_ceil(threads).max(1);
+            let first_expected: u64 = items[..chunk.min(items.len())].iter().sum();
+            assert_eq!(sums.first().copied(), Some(first_expected), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn scoped_workers_persist_across_batches() {
+        let pool = ComputePool::new(4);
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..64).collect();
+        pool.scoped(|scope| {
+            for _round in 0..10 {
+                let n = scope
+                    .run_chunks(&items, 4, |part| {
+                        counter.fetch_add(part.len(), Ordering::Relaxed);
+                        part.len()
+                    })
+                    .iter()
+                    .sum::<usize>();
+                assert_eq!(n, 64);
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 640);
+    }
+
+    #[test]
+    fn map_propagates_worker_panics() {
+        let result = std::panic::catch_unwind(|| {
+            ComputePool::new(4).map((0..16).collect::<Vec<usize>>(), |_, x| {
+                assert!(x != 7, "boom on 7");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn env_threads_is_positive() {
+        assert!(env_threads() >= 1);
+    }
+}

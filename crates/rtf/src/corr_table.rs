@@ -14,9 +14,10 @@
 //! Road–set correlation (Eq. 11) is the max over the set; set–set (Eq. 12)
 //! sums road–set values over the queried roads.
 
-use crate::params::RtfModel;
+use crate::params::{RtfModel, SlotParams};
 use rtse_data::SlotOfDay;
 use rtse_graph::{dijkstra, dijkstra_with_paths, Graph, RoadId};
+use rtse_pool::ComputePool;
 
 /// Which reading of Eqs. (8)–(10) to use for non-adjacent pairs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -42,54 +43,106 @@ pub struct CorrelationTable {
     values: Vec<f64>,
 }
 
+/// Path weight for the max-product semantics: `w = −ln ρ`. A non-positive
+/// ρ would otherwise pass through `ln` as `NaN`/`−(−inf)`; such an edge
+/// carries no correlation (Eq. 8's product through it is 0), so it is
+/// mapped to an explicitly infinite weight and can never sit on a chosen
+/// path.
+#[inline]
+fn max_product_weight(rho: f64) -> f64 {
+    if rho <= 0.0 {
+        f64::INFINITY
+    } else {
+        -rho.ln()
+    }
+}
+
+/// Path weight for the paper's literal Eq. (9) semantics: `w = 1/ρ`, with
+/// the same explicit infinite-weight treatment for `ρ ≤ 0` (avoiding the
+/// `1/0` division and keeping zero-correlation edges off every path).
+#[inline]
+fn reciprocal_weight(rho: f64) -> f64 {
+    if rho <= 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / rho
+    }
+}
+
+/// Fills one row of the dense table: correlations from `src` to every
+/// road under the requested path semantics, then the Eq. (7) overrides
+/// (unit diagonal, direct edge ρ for adjacent pairs).
+fn fill_row(
+    graph: &Graph,
+    params: &SlotParams,
+    semantics: PathCorrelation,
+    src: RoadId,
+    row: &mut [f64],
+) {
+    match semantics {
+        PathCorrelation::MaxProduct => {
+            let sp = dijkstra(graph, src, |e| max_product_weight(params.rho[e.index()]));
+            for (t, &cost) in sp.costs().iter().enumerate() {
+                row[t] = if cost.is_finite() { (-cost).exp() } else { 0.0 };
+            }
+        }
+        PathCorrelation::ReciprocalSum => {
+            let sp = dijkstra_with_paths(graph, src, |e| reciprocal_weight(params.rho[e.index()]));
+            for t in graph.road_ids() {
+                row[t.index()] = match sp.path_to(t) {
+                    // Consecutive path roads are adjacent by
+                    // construction; a missing edge would mean a
+                    // broken shortest-path tree and maps to zero
+                    // correlation rather than an abort.
+                    Some(path) => path
+                        .windows(2)
+                        .map(|w| {
+                            graph.edge_between(w[0], w[1]).map_or(0.0, |e| params.rho[e.index()])
+                        })
+                        .product(),
+                    None => 0.0,
+                };
+            }
+        }
+    }
+    // Eq. (7): adjacent pairs use the edge weight directly, and a
+    // road is perfectly correlated with itself.
+    row[src.index()] = 1.0;
+    for &(nbr, e) in graph.neighbors(src) {
+        row[nbr.index()] = params.rho[e.index()];
+    }
+}
+
 impl CorrelationTable {
-    /// Builds the table by running one Dijkstra per road.
+    /// Builds the table by running one Dijkstra per road, fanned across
+    /// the `RTSE_THREADS`-sized default pool. See [`Self::build_with_pool`].
     pub fn build(
         graph: &Graph,
         model: &RtfModel,
         slot: SlotOfDay,
         semantics: PathCorrelation,
     ) -> Self {
+        Self::build_with_pool(graph, model, slot, semantics, &ComputePool::from_env())
+    }
+
+    /// Builds the table on an explicit pool: the per-source Dijkstras are
+    /// independent, so the dense table is split into row slices and each
+    /// worker fills whole rows. Results are bit-identical at every thread
+    /// count (each row is produced by the same single-source computation).
+    pub fn build_with_pool(
+        graph: &Graph,
+        model: &RtfModel,
+        slot: SlotOfDay,
+        semantics: PathCorrelation,
+        pool: &ComputePool,
+    ) -> Self {
         assert!(model.matches_graph(graph), "model/graph dimension mismatch");
         let n = graph.num_roads();
         let params = model.slot(slot);
         let mut values = vec![0.0; n * n];
-        for src in graph.road_ids() {
-            let row = &mut values[src.index() * n..(src.index() + 1) * n];
-            match semantics {
-                PathCorrelation::MaxProduct => {
-                    let sp = dijkstra(graph, src, |e| -params.rho[e.index()].ln());
-                    for (t, &cost) in sp.costs().iter().enumerate() {
-                        row[t] = if cost.is_finite() { (-cost).exp() } else { 0.0 };
-                    }
-                }
-                PathCorrelation::ReciprocalSum => {
-                    let sp = dijkstra_with_paths(graph, src, |e| 1.0 / params.rho[e.index()]);
-                    for t in graph.road_ids() {
-                        row[t.index()] = match sp.path_to(t) {
-                            // Consecutive path roads are adjacent by
-                            // construction; a missing edge would mean a
-                            // broken shortest-path tree and maps to zero
-                            // correlation rather than an abort.
-                            Some(path) => path
-                                .windows(2)
-                                .map(|w| {
-                                    graph
-                                        .edge_between(w[0], w[1])
-                                        .map_or(0.0, |e| params.rho[e.index()])
-                                })
-                                .product(),
-                            None => 0.0,
-                        };
-                    }
-                }
-            }
-            // Eq. (7): adjacent pairs use the edge weight directly, and a
-            // road is perfectly correlated with itself.
-            row[src.index()] = 1.0;
-            for &(nbr, e) in graph.neighbors(src) {
-                row[nbr.index()] = params.rho[e.index()];
-            }
+        if n > 0 {
+            let rows: Vec<&mut [f64]> = values.chunks_mut(n).collect();
+            pool.map(rows, |src, row| fill_row(graph, params, semantics, RoadId::from(src), row));
         }
         let table = Self { n, slot, semantics, values };
         #[cfg(feature = "validate")]
@@ -257,6 +310,62 @@ mod tests {
         // Eq. 12: sum over queried.
         let ss = t.set_set_corr(&[RoadId(0), RoadId(2)], &[RoadId(1)]);
         assert!((ss - (0.8 + 0.6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_rho_edges_yield_zero_correlation_both_semantics() {
+        // Roads 0 and 2 are connected only through the ρ=0 edge (0,1): the
+        // pair must read as uncorrelated, not inf/NaN from -ln(0) or 1/0.
+        let (g, m) = fixture(3, &[(0, 1, 0.0), (1, 2, 0.8)]);
+        for semantics in [PathCorrelation::MaxProduct, PathCorrelation::ReciprocalSum] {
+            let t = CorrelationTable::build(&g, &m, SlotOfDay(0), semantics);
+            // Adjacent pair: Eq. (7) uses the edge ρ directly.
+            assert_eq!(t.corr(RoadId(0), RoadId(1)), 0.0, "{semantics:?}");
+            // Pair reachable only via the zero-ρ edge.
+            assert_eq!(t.corr(RoadId(0), RoadId(2)), 0.0, "{semantics:?}");
+            assert_eq!(t.corr(RoadId(2), RoadId(0)), 0.0, "{semantics:?}");
+            // The live edge is untouched.
+            assert_eq!(t.corr(RoadId(1), RoadId(2)), 0.8, "{semantics:?}");
+            for a in g.road_ids() {
+                for b in g.road_ids() {
+                    assert!(t.corr(a, b).is_finite(), "{semantics:?} corr({a},{b}) not finite");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rho_does_not_mask_alternate_path() {
+        // 0-1-3 has a ρ=0 hop, but 0-2-3 is fully alive: the dead path must
+        // not poison the live one (inf weight loses to any finite path).
+        let (g, m) = fixture(4, &[(0, 1, 0.0), (1, 3, 0.9), (0, 2, 0.8), (2, 3, 0.5)]);
+        let t = CorrelationTable::build(&g, &m, SlotOfDay(0), PathCorrelation::MaxProduct);
+        assert!((t.corr(RoadId(0), RoadId(3)) - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn build_with_pool_matches_serial_exactly() {
+        let (g, m) =
+            fixture(6, &[(0, 1, 0.52), (1, 5, 0.52), (0, 2, 0.7), (2, 3, 0.7), (3, 5, 0.7)]);
+        for semantics in [PathCorrelation::MaxProduct, PathCorrelation::ReciprocalSum] {
+            let serial = CorrelationTable::build_with_pool(
+                &g,
+                &m,
+                SlotOfDay(0),
+                semantics,
+                &ComputePool::new(1),
+            );
+            for threads in 2..=4 {
+                let par = CorrelationTable::build_with_pool(
+                    &g,
+                    &m,
+                    SlotOfDay(0),
+                    semantics,
+                    &ComputePool::new(threads),
+                );
+                assert_eq!(serial.values, par.values, "{semantics:?} threads={threads}");
+            }
+        }
     }
 
     #[test]

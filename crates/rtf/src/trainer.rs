@@ -16,6 +16,7 @@ use crate::moments::moment_estimate_slot;
 use crate::params::{RtfModel, SlotParams, RHO_MAX, RHO_MIN, SIGMA_MIN};
 use rtse_data::{HistoryStore, SlotOfDay};
 use rtse_graph::{EdgeId, Graph, RoadId};
+use rtse_pool::ComputePool;
 
 /// How the trainer initializes the parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -70,6 +71,11 @@ pub struct RtfTrainer {
     pub init: InitStrategy,
     /// Coordinate update mode.
     pub mode: UpdateMode,
+    /// Worker threads for [`Self::train`]'s independent per-slot fits.
+    /// `0` (the default) defers to `RTSE_THREADS` / host parallelism; `1`
+    /// forces the serial path. Results are bit-identical at every thread
+    /// count — each slot's CCD run is self-contained.
+    pub threads: usize,
 }
 
 impl Default for RtfTrainer {
@@ -81,6 +87,7 @@ impl Default for RtfTrainer {
             max_step: 5.0,
             init: InitStrategy::Moments,
             mode: UpdateMode::ExactCoordinate,
+            threads: 0,
         }
     }
 }
@@ -112,12 +119,19 @@ impl RtfTrainer {
     }
 
     /// Trains a full model (every slot); returns per-slot stats.
+    ///
+    /// The 288 per-slot fits are independent, so they are fanned across a
+    /// [`ComputePool`] sized by [`Self::threads`]. The pool preserves slot
+    /// order and each fit is self-contained, so the trained model is
+    /// bit-identical to a serial run at any thread count.
     pub fn train(&self, graph: &Graph, history: &HistoryStore) -> (RtfModel, Vec<TrainStats>) {
         assert_eq!(history.num_roads(), graph.num_roads(), "history/graph mismatch");
+        let pool = ComputePool::new(self.threads);
+        let fitted =
+            pool.map(SlotOfDay::all().collect(), |_, t| self.train_slot(graph, history, t));
         let mut slots = Vec::with_capacity(rtse_data::SLOTS_PER_DAY);
         let mut stats = Vec::with_capacity(rtse_data::SLOTS_PER_DAY);
-        for t in SlotOfDay::all() {
-            let (p, s) = self.train_slot(graph, history, t);
+        for (p, s) in fitted {
             slots.push(p);
             stats.push(s);
         }

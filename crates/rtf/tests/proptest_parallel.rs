@@ -1,0 +1,113 @@
+//! Serial-equivalence property tests for the pooled offline pipeline.
+//!
+//! Every parallel path in this crate (`CorrelationTable::build_with_pool`,
+//! `RtfTrainer::train`) only changes *which worker* computes each
+//! independent unit (a table row, a slot fit) — never the arithmetic — so
+//! the results must be bit-identical to a single-threaded run at every
+//! thread count. Any divergence means a scheduling-dependent data flow
+//! crept in, which is exactly the bug class these tests pin down.
+
+use proptest::prelude::*;
+use rtse_data::{SlotOfDay, SynthConfig, TrafficGenerator, SLOTS_PER_DAY};
+use rtse_graph::{Graph, GraphBuilder, RoadClass, RoadId};
+use rtse_pool::ComputePool;
+use rtse_rtf::params::SlotParams;
+use rtse_rtf::{CorrelationTable, PathCorrelation, RtfModel, RtfTrainer};
+
+const N: usize = 12;
+
+/// Random graph on `N` roads with explicit per-edge ρ (zero allowed: the
+/// build must clamp dead edges, not poison rows with `-ln 0` / `1/0`).
+fn fixture(edges: &[(u32, u32, f64)]) -> (Graph, RtfModel) {
+    let mut b = GraphBuilder::new();
+    for i in 0..N {
+        b.add_road(RoadClass::Secondary, (i as f64, 0.0));
+    }
+    let mut rho = Vec::new();
+    for &(x, y, r) in edges {
+        if x != y && b.add_edge(RoadId(x), RoadId(y)) {
+            rho.push(r);
+        }
+    }
+    let g = b.build();
+    let slots: Vec<SlotParams> = (0..SLOTS_PER_DAY)
+        .map(|_| SlotParams { mu: vec![0.0; N], sigma: vec![1.0; N], rho: rho.clone() })
+        .collect();
+    let model = RtfModel::from_slots(N, g.num_edges(), slots);
+    (g, model)
+}
+
+fn semantics_from(pick: u8) -> PathCorrelation {
+    if pick == 0 {
+        PathCorrelation::MaxProduct
+    } else {
+        PathCorrelation::ReciprocalSum
+    }
+}
+
+proptest! {
+    /// Pooled table builds are bit-identical to the serial build across
+    /// random topologies (ρ = 0 included), thread counts 1–8, and both
+    /// path semantics.
+    #[test]
+    fn corr_table_build_is_thread_count_invariant(
+        edges in proptest::collection::vec(
+            (0u32..N as u32, 0u32..N as u32, 0.0..0.999f64),
+            0..36,
+        ),
+        semantics_pick in 0u8..2,
+        threads in 1usize..=8,
+    ) {
+        let semantics = semantics_from(semantics_pick);
+        let (g, m) = fixture(&edges);
+        let serial =
+            CorrelationTable::build_with_pool(&g, &m, SlotOfDay(0), semantics, &ComputePool::new(1));
+        let pooled = CorrelationTable::build_with_pool(
+            &g, &m, SlotOfDay(0), semantics, &ComputePool::new(threads),
+        );
+        for a in g.road_ids() {
+            for b in g.road_ids() {
+                let (s, p) = (serial.corr(a, b), pooled.corr(a, b));
+                prop_assert!(
+                    s.to_bits() == p.to_bits(),
+                    "corr({a},{b}) differs at {threads} threads: serial {s} vs pooled {p}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    /// Full-day training (288 independent per-slot CCD fits) is
+    /// bit-identical at every pool width. Few cases and a tight sweep cap
+    /// keep the 288-slot fit affordable; bit equality is the property, so
+    /// unconverged fits are just as load-bearing as converged ones.
+    #[test]
+    fn trainer_is_thread_count_invariant(
+        seed in 0u64..1000,
+        threads in 2usize..=8,
+    ) {
+        let g = rtse_graph::generators::path(4);
+        let cfg = SynthConfig { days: 3, seed, ..SynthConfig::small_test() };
+        let ds = TrafficGenerator::new(&g, cfg).generate();
+        let base = RtfTrainer { max_iters: 3, ..RtfTrainer::default() };
+
+        let serial = RtfTrainer { threads: 1, ..base };
+        let pooled = RtfTrainer { threads, ..base };
+        let (m1, s1) = serial.train(&g, &ds.history);
+        let (mk, sk) = pooled.train(&g, &ds.history);
+
+        for t in SlotOfDay::all() {
+            let (a, b) = (m1.slot(t), mk.slot(t));
+            prop_assert!(a.mu == b.mu, "slot {t:?} μ differs at {threads} threads");
+            prop_assert!(a.sigma == b.sigma, "slot {t:?} σ differs at {threads} threads");
+            prop_assert!(a.rho == b.rho, "slot {t:?} ρ differs at {threads} threads");
+        }
+        for (t, (a, b)) in s1.iter().zip(&sk).enumerate() {
+            prop_assert!(a.iterations == b.iterations, "slot {t} iteration count differs");
+            prop_assert!(a.converged == b.converged, "slot {t} convergence differs");
+            prop_assert!(a.mu_grad_trace == b.mu_grad_trace, "slot {t} trace differs");
+        }
+    }
+}

@@ -3,7 +3,8 @@
 //! `cargo xtask lint` is the workspace's static-analysis gate:
 //!
 //! 1. **Policy rules** — dependency-free source checks (no panics in
-//!    library code, no float-literal `==`, no unrounded float→int casts)
+//!    library code, no float-literal `==`, no unrounded float→int casts,
+//!    no raw `thread::spawn`/`thread::scope` outside the rtse-pool crate)
 //!    with a scoped allowlist in `lint.toml`;
 //! 2. `cargo fmt --all --check`;
 //! 3. `cargo clippy --workspace --all-targets -- -D warnings`.
@@ -149,6 +150,11 @@ fn run_policy(root: &Path) -> Result<usize, String> {
             found.extend(rules::float_cast(&src, &sc));
         }
         found.extend(rules::float_eq(&src, &sc));
+        // rtse-pool is the one sanctioned home for OS threads; everywhere
+        // else library code must go through ComputePool.
+        if !rel_str.starts_with("crates/pool/src/") {
+            found.extend(rules::raw_thread(&src, &sc));
+        }
 
         for v in found {
             if let Some(idx) = allows.iter().position(|a| a.matches(&rel_str, v.rule, &v.snippet)) {

@@ -12,6 +12,9 @@
 //! * `float-eq` — direct `==`/`!=` against a float literal.
 //! * `float-cast` — `as usize`-family casts whose source expression is
 //!   visibly float-valued with no explicit rounding step.
+//! * `raw-thread` — `thread::spawn` / `thread::scope` in library code
+//!   outside `rtse-pool`; OS threads belong in the shared `ComputePool`,
+//!   which carries the serial-equivalence guarantees and tests.
 
 use crate::scrub::Scrubbed;
 
@@ -30,7 +33,11 @@ pub struct Violation {
 
 /// Crates whose library code must be panic-free (everything on the
 /// query path; bins/benches/tests may still panic).
-pub const NO_PANIC_CRATES: &[&str] = &["graph", "math", "rtf", "ocs", "gsp", "core", "data"];
+pub const NO_PANIC_CRATES: &[&str] =
+    &["graph", "math", "rtf", "ocs", "gsp", "core", "data", "pool"];
+
+/// Thread primitives that must be routed through `rtse_pool::ComputePool`.
+const THREAD_PRIMITIVES: &[&str] = &["spawn", "scope"];
 
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
@@ -129,6 +136,45 @@ pub fn no_panic(src: &str, sc: &Scrubbed) -> Vec<Violation> {
                     message: format!("{mac}! in library code; return a typed error instead"),
                 });
             }
+        }
+    }
+    out
+}
+
+/// `raw-thread`: bans `thread::spawn` / `thread::scope` in library code.
+/// The pool crate is the one sanctioned home for OS threads (exempted by
+/// the caller); anything else must submit work to `ComputePool`, which
+/// carries the panic-forwarding and serial-equivalence machinery. Plain
+/// `thread::sleep` and the like stay legal.
+pub fn raw_thread(src: &str, sc: &Scrubbed) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for pos in ident_occurrences(&sc.text, "thread") {
+        if sc.in_test[pos] {
+            continue;
+        }
+        // Expect `::` after the `thread` path segment, then the callee.
+        let after = pos + "thread".len();
+        let Some((c1, b1)) = next_non_ws(&sc.text, after) else { continue };
+        if b1 != b':' || sc.text.get(c1 + 1) != Some(&b':') {
+            continue;
+        }
+        let Some((callee_pos, _)) = next_non_ws(&sc.text, c1 + 2) else { continue };
+        for &callee in THREAD_PRIMITIVES {
+            if crate::scrub::find(&sc.text, callee.as_bytes(), callee_pos) != Some(callee_pos) {
+                continue;
+            }
+            let end = callee_pos + callee.len();
+            if end < sc.text.len() && is_ident(sc.text[end]) {
+                continue;
+            }
+            out.push(Violation {
+                rule: "raw-thread",
+                line: sc.line_of(pos),
+                snippet: line_snippet(src, pos),
+                message: format!(
+                    "thread::{callee} in library code; route the work through rtse_pool::ComputePool"
+                ),
+            });
         }
     }
     out
@@ -347,6 +393,25 @@ mod tests {
     #[test]
     fn float_eq_ignores_ints_and_tuple_fields() {
         assert!(run(float_eq, "fn f() { if n == 0 { } if p.0 == q.0 { } }").is_empty());
+    }
+
+    #[test]
+    fn raw_thread_catches_spawn_and_scope() {
+        let v = run(
+            raw_thread,
+            "fn f() { std::thread::spawn(|| {}); thread::scope(|s| { s.spawn(|| {}); }); }",
+        );
+        // `std::thread::spawn`, `thread::scope`; `s.spawn` has no
+        // `thread::` path prefix and stays legal.
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|v| v.rule == "raw-thread"));
+    }
+
+    #[test]
+    fn raw_thread_skips_sleep_tests_and_lookalikes() {
+        let src = "fn f() { thread::sleep(d); WorkerPool::spawn(&g); rayon_scope(|| {}); }\n\
+                   #[cfg(test)]\nmod t { fn g() { std::thread::spawn(|| {}); } }";
+        assert!(run(raw_thread, src).is_empty());
     }
 
     #[test]

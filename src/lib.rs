@@ -18,6 +18,8 @@
 //! * [`ocs`] — crowdsourced-road selection (Ratio/Objective/Hybrid greedy,
 //!   exact solver);
 //! * [`gsp`] — graph-based speed propagation (sequential and parallel);
+//! * [`pool`] — the shared scoped worker pool (`ComputePool`,
+//!   `RTSE_THREADS`) behind every parallel path above;
 //! * [`crowd`] — workers, mobility, answers, costs, campaigns, the
 //!   gMission scenario;
 //! * [`baselines`] — Per, LASSO, GRMC comparators;
@@ -65,6 +67,7 @@ pub use rtse_graph as graph;
 pub use rtse_gsp as gsp;
 pub use rtse_math as math;
 pub use rtse_ocs as ocs;
+pub use rtse_pool as pool;
 pub use rtse_rtf as rtf;
 
 /// Everything needed for typical use, importable in one line.
@@ -93,6 +96,7 @@ pub mod prelude {
         exact_solve, hybrid_greedy, lazy_objective_greedy, objective_greedy, random_select,
         ratio_greedy, trivial_solution, OcsInstance, Selection,
     };
+    pub use rtse_pool::ComputePool;
     pub use rtse_rtf::{
         moment_estimate, CorrelationTable, DayType, DayTypeModel, IncrementalModel, InitStrategy,
         PathCorrelation, RtfModel, RtfTrainer,
