@@ -1,0 +1,315 @@
+//! Serving-layer load generation: drives `rtse-serve` with concurrent
+//! clients and records throughput, latency quantiles, the batch-coalescing
+//! ratio (GSP rounds per 100 queries), cache hit rate, and shed/reject
+//! counts in `BENCH_serve.json`.
+//!
+//! Three phases, each a fresh deployment with its own metrics:
+//!
+//! * **steady_mixed** — clients issue queries round-robin over the day's
+//!   representative slots; sharing comes from the answer cache.
+//! * **burst_same_slot** — a staged same-slot burst (admitted while the
+//!   workers are paused) measures pure micro-batch coalescing.
+//! * **deadline_pressure** — zero-budget deadlines force load shedding;
+//!   every shed request gets the typed error, never an estimate. Skipped
+//!   under `--assert-no-shed` (the CI smoke mode), which instead asserts
+//!   that the no-deadline phases shed nothing.
+//!
+//! Latency numbers on a 1-core host measure the serialized pipeline, not
+//! serving concurrency — see EXPERIMENTS.md for the multicore caveat.
+//! Knobs: `RTSE_SERVE_BATCH_WINDOW_MS`, `RTSE_SERVE_QUEUE_DEPTH`,
+//! `RTSE_SERVE_DEADLINE_MS`, plus `RTSE_THREADS` for the worker count.
+//!
+//! ```sh
+//! cargo run --release -p rtse-bench --bin exp_serve [--quick] [--assert-no-shed]
+//! ```
+
+use crowd_rtse_core::{CrowdRtse, OfflineArtifacts, OnlineConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rtse_bench::{query_slots, quick_mode, semi_syn_world};
+use rtse_crowd::WorkerPool;
+use rtse_data::SlotOfDay;
+use rtse_eval::{quantile, Table};
+use rtse_graph::RoadId;
+use rtse_serve::{serve, MetricsSnapshot, ServeConfig, ServeError, ServeRequest, ServeWorld};
+use std::time::{Duration, Instant};
+
+struct PhaseResult {
+    name: &'static str,
+    wall_ms: f64,
+    metrics: MetricsSnapshot,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+fn main() {
+    let quick = quick_mode();
+    let assert_no_shed = std::env::args().any(|a| a == "--assert-no-shed");
+    let (roads, days, clients, per_client) = if quick { (120, 4, 6, 8) } else { (400, 10, 12, 25) };
+
+    let world = semi_syn_world(roads, days, 2018);
+    let engine = CrowdRtse::new(&world.graph, OfflineArtifacts::from_model(world.model.clone()));
+    let pool = WorkerPool::spawn(&world.graph, roads / 2, 0.5, (0.3, 1.0), 2018);
+    let sworld = ServeWorld { workers: &pool, costs: &world.costs_c2, truth: &world.dataset };
+    let config = ServeConfig {
+        online: OnlineConfig { budget: 30, ..Default::default() },
+        ..ServeConfig::from_env()
+    };
+
+    let mut phases = Vec::new();
+    phases.push(steady_mixed(&engine, &sworld, &config, roads, clients, per_client));
+    phases.push(burst_same_slot(&engine, &sworld, &config, clients.max(8)));
+    if !assert_no_shed {
+        phases.push(deadline_pressure(&engine, &sworld, &config, clients));
+    }
+
+    let mut t = Table::new(
+        "Serving layer under concurrent load",
+        &[
+            "phase",
+            "answered",
+            "rounds/100q",
+            "cache hit",
+            "batch",
+            "shed",
+            "p50 ms",
+            "p99 ms",
+            "qps",
+        ],
+    );
+    for p in &phases {
+        let m = &p.metrics;
+        t.push_row(vec![
+            p.name.to_string(),
+            m.answered.to_string(),
+            format!("{:.1}", m.rounds_per_100()),
+            format!("{:.2}", m.cache_hit_rate()),
+            format!("{:.1}", m.mean_batch_size()),
+            m.shed.to_string(),
+            format!("{:.2}", p.p50_ms),
+            format!("{:.2}", p.p99_ms),
+            format!("{:.1}", throughput_qps(p)),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let host_threads = std::thread::available_parallelism().map_or(0, |n| n.get());
+    println!(
+        "host parallelism: {host_threads} (on a 1-core host latency measures the serialized \
+         pipeline; coalescing and shedding behaviour are still exact)"
+    );
+
+    let json = render_json(roads, days, clients, per_client, host_threads, &config, &phases);
+    let out = "BENCH_serve.json";
+    std::fs::write(out, json).expect("writing BENCH_serve.json");
+    println!("wrote {out}");
+
+    if assert_no_shed {
+        let shed: u64 = phases.iter().map(|p| p.metrics.shed).sum();
+        let rejected: u64 = phases.iter().map(|p| p.metrics.rejected).sum();
+        assert_eq!(shed, 0, "no-deadline load must shed nothing");
+        assert_eq!(rejected, 0, "smoke load must fit the admission queue");
+        println!("assert-no-shed: ok (0 shed, 0 rejected)");
+    }
+}
+
+fn throughput_qps(p: &PhaseResult) -> f64 {
+    p.metrics.answered as f64 / (p.wall_ms / 1e3).max(1e-9)
+}
+
+/// Collapses per-answer wait times into the phase record.
+fn phase_result(
+    name: &'static str,
+    wall: Duration,
+    metrics: MetricsSnapshot,
+    mut waits_ms: Vec<f64>,
+) -> PhaseResult {
+    waits_ms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let (p50_ms, p99_ms) = if waits_ms.is_empty() {
+        (0.0, 0.0)
+    } else {
+        (quantile(&waits_ms, 0.5), quantile(&waits_ms, 0.99))
+    };
+    PhaseResult { name, wall_ms: wall.as_secs_f64() * 1e3, metrics, p50_ms, p99_ms }
+}
+
+/// Clients issue no-deadline queries round-robin over the representative
+/// slots; repeat slots within the TTL are answered from the cache.
+fn steady_mixed(
+    engine: &CrowdRtse<'_>,
+    sworld: &ServeWorld<'_>,
+    config: &ServeConfig,
+    roads: usize,
+    clients: usize,
+    per_client: usize,
+) -> PhaseResult {
+    let slots = query_slots();
+    let start = Instant::now();
+    let outcome = serve(engine, sworld, config, |handle| {
+        std::thread::scope(|scope| {
+            let tasks: Vec<_> = (0..clients)
+                .map(|c| {
+                    let handle = &handle;
+                    let slots = &slots;
+                    scope.spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(c as u64 * 7919 + 17);
+                        let mut waits = Vec::with_capacity(per_client);
+                        for q in 0..per_client {
+                            let slot = slots[(c + q) % slots.len()];
+                            let picked: Vec<RoadId> =
+                                (0..4).map(|_| RoadId::from(rng.random_range(0..roads))).collect();
+                            let answer = handle
+                                .query(ServeRequest::new(picked, slot))
+                                .expect("no-deadline steady load is always answered");
+                            waits.push(answer.wait.as_secs_f64() * 1e3);
+                        }
+                        waits
+                    })
+                })
+                .collect();
+            tasks
+                .into_iter()
+                .flat_map(|t| t.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect::<Vec<f64>>()
+        })
+    })
+    .expect("serve deploys");
+    phase_result("steady_mixed", start.elapsed(), outcome.metrics, outcome.value)
+}
+
+/// A staged same-slot burst: every client is admitted while the workers
+/// are paused, so the whole burst coalesces into shared rounds regardless
+/// of scheduling luck.
+fn burst_same_slot(
+    engine: &CrowdRtse<'_>,
+    sworld: &ServeWorld<'_>,
+    config: &ServeConfig,
+    clients: usize,
+) -> PhaseResult {
+    let slot = SlotOfDay::from_hm(8, 30);
+    let start = Instant::now();
+    let outcome = serve(engine, sworld, config, |handle| {
+        handle.pause();
+        std::thread::scope(|scope| {
+            let tasks: Vec<_> = (0..clients)
+                .map(|c| {
+                    let handle = &handle;
+                    scope.spawn(move || {
+                        let picked: Vec<RoadId> =
+                            (c..c + 5).map(|r| RoadId::from(r % 50)).collect();
+                        let answer = handle
+                            .query(ServeRequest::new(picked, slot))
+                            .expect("burst queries are always answered");
+                        answer.wait.as_secs_f64() * 1e3
+                    })
+                })
+                .collect();
+            while handle.queue_len() < clients {
+                std::thread::yield_now();
+            }
+            handle.resume();
+            tasks
+                .into_iter()
+                .map(|t| t.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect::<Vec<f64>>()
+        })
+    })
+    .expect("serve deploys");
+    phase_result("burst_same_slot", start.elapsed(), outcome.metrics, outcome.value)
+}
+
+/// Zero deadlines under a staged burst: every request must be shed with
+/// the typed error — an estimate here would mean a late answer escaped.
+fn deadline_pressure(
+    engine: &CrowdRtse<'_>,
+    sworld: &ServeWorld<'_>,
+    config: &ServeConfig,
+    clients: usize,
+) -> PhaseResult {
+    let slot = SlotOfDay::from_hm(13, 0);
+    let start = Instant::now();
+    let outcome = serve(engine, sworld, config, |handle| {
+        handle.pause();
+        let tickets: Vec<_> = (0..clients)
+            .map(|c| {
+                handle
+                    .submit(
+                        ServeRequest::new(vec![RoadId::from(c % 50)], slot)
+                            .with_deadline(Duration::ZERO),
+                    )
+                    .expect("admitted")
+            })
+            .collect();
+        handle.resume();
+        for ticket in tickets {
+            match ticket.wait() {
+                Err(ServeError::DeadlineExceeded { .. }) => {}
+                other => panic!("expired request must be shed with the typed error: {other:?}"),
+            }
+        }
+    })
+    .expect("serve deploys");
+    phase_result("deadline_pressure", start.elapsed(), outcome.metrics, Vec::new())
+}
+
+fn render_json(
+    roads: usize,
+    days: usize,
+    clients: usize,
+    per_client: usize,
+    host_threads: usize,
+    config: &ServeConfig,
+    phases: &[PhaseResult],
+) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"experiment\": \"serve_load\",\n");
+    s.push_str(&format!(
+        "  \"host\": {{ \"available_parallelism\": {host_threads}, \"rtse_threads_env\": {} }},\n",
+        std::env::var("RTSE_THREADS").map_or_else(|_| "null".into(), |v| format!("\"{v}\""))
+    ));
+    s.push_str(&format!(
+        "  \"config\": {{ \"roads\": {roads}, \"days\": {days}, \"clients\": {clients}, \
+         \"queries_per_client\": {per_client}, \"batch_window_ms\": {:.3}, \
+         \"queue_depth\": {}, \"deadline_ms\": {}, \"ttl_s\": {:.1} }},\n",
+        config.batch_window.as_secs_f64() * 1e3,
+        config.queue_depth,
+        config
+            .default_deadline
+            .map_or_else(|| "null".into(), |d| format!("{:.3}", d.as_secs_f64() * 1e3)),
+        config.ttl.as_secs_f64(),
+    ));
+    s.push_str(
+        "  \"note\": \"1-core hosts serialize the pipeline: latency is honest, concurrency \
+         speedups need a multicore host (EXPERIMENTS.md)\",\n",
+    );
+    s.push_str("  \"phases\": [\n");
+    for (i, p) in phases.iter().enumerate() {
+        let m = &p.metrics;
+        s.push_str(&format!(
+            "    {{ \"phase\": \"{}\", \"wall_ms\": {:.3}, \"submitted\": {}, \
+             \"answered\": {}, \"shed\": {}, \"rejected\": {}, \"rounds\": {}, \
+             \"rounds_per_100_queries\": {:.3}, \"cache_hit_rate\": {:.4}, \
+             \"mean_batch_size\": {:.3}, \"throughput_qps\": {:.3}, \
+             \"p50_ms\": {:.4}, \"p99_ms\": {:.4} }}",
+            p.name,
+            p.wall_ms,
+            m.submitted,
+            m.answered,
+            m.shed,
+            m.rejected,
+            m.rounds,
+            m.rounds_per_100(),
+            m.cache_hit_rate(),
+            m.mean_batch_size(),
+            throughput_qps(p),
+            p.p50_ms,
+            p.p99_ms,
+        ));
+        if i + 1 < phases.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

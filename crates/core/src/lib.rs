@@ -26,5 +26,5 @@ pub use allocator::{merge_queries, plan_daily_budget};
 pub use engine::{CrowdRtse, OnlineConfig, SelectionStrategy};
 pub use estimator::GspEstimator;
 pub use offline::OfflineArtifacts;
-pub use query::{QueryAnswer, SpeedQuery};
-pub use session::{MonitoringSession, RoundReport};
+pub use query::{QueryAnswer, QueryError, SpeedQuery};
+pub use session::{MonitoringSession, RoundReport, StepError};

@@ -3,7 +3,26 @@
 use rtse_data::SlotOfDay;
 use rtse_graph::RoadId;
 use rtse_ocs::Selection;
+use std::error::Error;
+use std::fmt;
 use std::time::Duration;
+
+/// Why a [`SpeedQuery`] could not be built ([`SpeedQuery::try_new`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryError {
+    /// The road list was empty: a speed query must name at least one road.
+    EmptyRoads,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::EmptyRoads => write!(f, "speed query names no roads"),
+        }
+    }
+}
+
+impl Error for QueryError {}
 
 /// A realtime traffic speed query: "what is the speed of these roads right
 /// now?" (Section III-A).
@@ -17,10 +36,26 @@ pub struct SpeedQuery {
 
 impl SpeedQuery {
     /// Builds a query, deduplicating the road list.
+    ///
+    /// Infallible by design (tests and internal callers construct queries
+    /// from known-good road sets); an empty road list produces a query
+    /// whose answer is trivially empty. Request-admission paths that must
+    /// reject malformed input use [`SpeedQuery::try_new`] instead.
     pub fn new(mut roads: Vec<RoadId>, slot: SlotOfDay) -> Self {
         roads.sort();
         roads.dedup();
         Self { roads, slot }
+    }
+
+    /// Fallible constructor for request-admission paths: rejects an empty
+    /// road list with a typed error instead of silently accepting a
+    /// no-op query. The serving layer routes every external request
+    /// through here.
+    pub fn try_new(roads: Vec<RoadId>, slot: SlotOfDay) -> Result<Self, QueryError> {
+        if roads.is_empty() {
+            return Err(QueryError::EmptyRoads);
+        }
+        Ok(Self::new(roads, slot))
     }
 }
 
@@ -56,6 +91,14 @@ mod tests {
     fn query_dedups_and_sorts() {
         let q = SpeedQuery::new(vec![RoadId(3), RoadId(1), RoadId(3)], SlotOfDay(5));
         assert_eq!(q.roads, vec![RoadId(1), RoadId(3)]);
+    }
+
+    #[test]
+    fn try_new_rejects_empty_road_lists() {
+        assert_eq!(SpeedQuery::try_new(vec![], SlotOfDay(0)), Err(QueryError::EmptyRoads));
+        let q = SpeedQuery::try_new(vec![RoadId(2), RoadId(2)], SlotOfDay(1)).expect("non-empty");
+        assert_eq!(q.roads, vec![RoadId(2)]);
+        assert!(QueryError::EmptyRoads.to_string().contains("no roads"));
     }
 
     #[test]

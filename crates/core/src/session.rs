@@ -13,6 +13,46 @@ use rtse_data::SlotOfDay;
 use rtse_graph::RoadId;
 use rtse_gsp::relax::propagate_warm;
 use rtse_ocs::Selection;
+use std::error::Error;
+use std::fmt;
+
+/// Why a monitoring round could not run ([`MonitoringSession::step`]).
+///
+/// A malformed round request must surface as a typed error, not a panic
+/// or an out-of-bounds access: the serving layer (`rtse-serve`) keeps the
+/// process alive across bad requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepError {
+    /// The ground-truth snapshot does not cover the network.
+    TruthLengthMismatch {
+        /// Roads in the session's network.
+        expected: usize,
+        /// Entries in the provided snapshot.
+        got: usize,
+    },
+    /// A queried road id is not a road of the session's network.
+    RoadOutOfRange {
+        /// The offending road id.
+        road: RoadId,
+        /// Roads in the session's network.
+        num_roads: usize,
+    },
+}
+
+impl fmt::Display for StepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepError::TruthLengthMismatch { expected, got } => {
+                write!(f, "truth snapshot has {got} entries but the network has {expected} roads")
+            }
+            StepError::RoadOutOfRange { road, num_roads } => {
+                write!(f, "queried road {road} is out of range (network has {num_roads} roads)")
+            }
+        }
+    }
+}
+
+impl Error for StepError {}
 
 /// One round's outcome.
 #[derive(Debug, Clone)]
@@ -72,7 +112,25 @@ impl<'e, 'g> MonitoringSession<'e, 'g> {
 
     /// Runs one estimation round for `queried` at `slot` against the given
     /// ground-truth snapshot, then advances worker mobility one step.
-    pub fn step(&mut self, queried: &[RoadId], slot: SlotOfDay, truth: &[f64]) -> RoundReport {
+    ///
+    /// Rejects malformed rounds with a typed [`StepError`] — a truth
+    /// snapshot that does not cover the network, or a queried road id
+    /// outside it — instead of panicking mid-pipeline. A rejected round
+    /// leaves the session untouched: no payment, no mobility step, no
+    /// warm-start update.
+    pub fn step(
+        &mut self,
+        queried: &[RoadId],
+        slot: SlotOfDay,
+        truth: &[f64],
+    ) -> Result<RoundReport, StepError> {
+        let num_roads = self.engine.graph().num_roads();
+        if truth.len() != num_roads {
+            return Err(StepError::TruthLengthMismatch { expected: num_roads, got: truth.len() });
+        }
+        if let Some(&road) = queried.iter().find(|r| r.index() >= num_roads) {
+            return Err(StepError::RoadOutOfRange { road, num_roads });
+        }
         let query = SpeedQuery::new(queried.to_vec(), slot);
         let candidates = self.pool.covered_roads();
         let selection = self.engine.select_roads(&query, &candidates, &self.costs, &self.config);
@@ -93,14 +151,14 @@ impl<'e, 'g> MonitoringSession<'e, 'g> {
         self.rounds_run += 1;
         self.last_values = Some(result.values.clone());
         self.pool.step(self.engine.graph());
-        RoundReport {
+        Ok(RoundReport {
             slot,
             values: result.values,
             selection,
             paid: outcome.paid,
             gsp_rounds: result.rounds,
             warm_started,
-        }
+        })
     }
 }
 
@@ -145,7 +203,7 @@ mod tests {
         for k in 0..4u16 {
             let slot = SlotOfDay(start.0 + k);
             let truth = dataset.ground_truth_snapshot(slot);
-            reports.push(session.step(&queried, slot, truth));
+            reports.push(session.step(&queried, slot, truth).expect("well-formed round"));
         }
         assert_eq!(session.rounds_run(), 4);
         assert!(!reports[0].warm_started);
@@ -184,7 +242,7 @@ mod tests {
         for k in 0..5u16 {
             let slot = SlotOfDay(start.0 + k);
             let truth = dataset.ground_truth_snapshot(slot);
-            let r = session.step(&queried, slot, truth);
+            let r = session.step(&queried, slot, truth).expect("well-formed round");
             if r.warm_started {
                 warm_rounds.push(r.gsp_rounds);
             } else {
@@ -208,8 +266,43 @@ mod tests {
         let queried = [RoadId(0)];
         let slot = SlotOfDay::from_hm(9, 0);
         let truth = dataset.ground_truth_snapshot(slot).to_vec();
-        session.step(&queried, slot, &truth);
+        session.step(&queried, slot, &truth).expect("well-formed round");
         let after = session.pool().covered_roads();
         assert_ne!(before, after, "mobility should change coverage");
+    }
+
+    #[test]
+    fn malformed_rounds_get_typed_errors_and_leave_session_untouched() {
+        let (graph, dataset, costs) = setup();
+        let engine = CrowdRtse::new(
+            &graph,
+            OfflineArtifacts::from_model(moment_estimate(&graph, &dataset.history)),
+        );
+        let pool = WorkerPool::spawn(&graph, 20, 0.5, (0.3, 1.0), 5);
+        let mut session = MonitoringSession::new(&engine, OnlineConfig::default(), pool, costs);
+        let slot = SlotOfDay::from_hm(10, 0);
+        let n = graph.num_roads();
+
+        // Truth snapshot too short.
+        let short = vec![30.0; n - 1];
+        let err = session.step(&[RoadId(0)], slot, &short).expect_err("short truth must fail");
+        assert_eq!(err, StepError::TruthLengthMismatch { expected: n, got: n - 1 });
+
+        // Queried road beyond the network.
+        let truth = dataset.ground_truth_snapshot(slot);
+        let bogus = RoadId(n as u32 + 7);
+        let err = session.step(&[RoadId(0), bogus], slot, truth).expect_err("bogus road");
+        assert_eq!(err, StepError::RoadOutOfRange { road: bogus, num_roads: n });
+
+        // Rejected rounds must not advance the session.
+        assert_eq!(session.rounds_run(), 0);
+        assert_eq!(session.total_paid(), 0);
+
+        // The session still works after rejections.
+        let report = session.step(&[RoadId(0)], slot, truth).expect("valid round");
+        assert_eq!(report.slot, slot);
+        assert_eq!(session.rounds_run(), 1);
+        let msg = StepError::RoadOutOfRange { road: bogus, num_roads: n }.to_string();
+        assert!(msg.contains("out of range"), "{msg}");
     }
 }

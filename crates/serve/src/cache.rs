@@ -1,0 +1,223 @@
+//! The per-slot answer cache.
+//!
+//! GSP's output covers the whole network, so one shared round answers
+//! every road anyone asks about in that slot. The cache stores that round
+//! per slot with a generation counter and a computation timestamp, and
+//! coalesces duplicate rebuilds the same way `core::offline` coalesces
+//! correlation-table builds: one lock per slot, held across the rebuild,
+//! so concurrent cold callers of the *same* slot share a single build
+//! while other slots stay unblocked (no head-of-line blocking).
+//!
+//! Unlike the offline `OnceLock` cache, entries here age out: serving
+//! answers are staleness-bounded, so a hit requires the cached round to be
+//! younger than the caller's freshness requirement.
+
+use rtse_data::{SlotOfDay, SLOTS_PER_DAY};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// One computed slot round, shared by every waiter it answers.
+#[derive(Debug)]
+pub struct CachedRound {
+    /// Full-network estimate (one value per road) — GSP's `all_values`.
+    pub values: Vec<f64>,
+    /// Which rebuild of this slot produced the round (1 = first).
+    pub generation: u64,
+    /// When the round finished computing; ages the entry.
+    pub computed_at: Instant,
+}
+
+/// What a cache lookup produced.
+#[derive(Debug, Clone)]
+pub struct CacheOutcome {
+    /// The round that answers the caller.
+    pub round: Arc<CachedRound>,
+    /// Whether the round was served from cache (false = computed by this
+    /// call, or by a concurrent call this one coalesced into).
+    pub hit: bool,
+}
+
+struct CacheCell {
+    generation: u64,
+    round: Option<Arc<CachedRound>>,
+}
+
+/// Slot-keyed answer cache with TTL/staleness bounds and generation
+/// counters.
+pub struct AnswerCache {
+    cells: Vec<Mutex<CacheCell>>,
+}
+
+fn lock_cell<'m>(cell: &'m Mutex<CacheCell>) -> MutexGuard<'m, CacheCell> {
+    cell.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Default for AnswerCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AnswerCache {
+    /// An empty cache covering every slot of the day.
+    pub fn new() -> Self {
+        Self {
+            cells: (0..SLOTS_PER_DAY)
+                .map(|_| Mutex::new(CacheCell { generation: 0, round: None }))
+                .collect(),
+        }
+    }
+
+    /// Returns the slot's cached round when it is younger than `max_age`,
+    /// otherwise computes a new generation via `compute` and caches it.
+    ///
+    /// The slot's lock is held across `compute`, so concurrent callers of
+    /// one cold slot coalesce into a single build (late arrivals block,
+    /// then hit the freshly cached round); callers of other slots proceed
+    /// unblocked in parallel.
+    ///
+    /// A compute error is returned to the caller and leaves the previous
+    /// entry (if any) in place; the generation counter only advances on
+    /// success.
+    ///
+    /// Slots outside `0..288` never cache (the server rejects them at
+    /// admission; this path computes-through defensively).
+    pub fn round_for<E>(
+        &self,
+        slot: SlotOfDay,
+        max_age: Duration,
+        compute: impl FnOnce(u64) -> Result<Vec<f64>, E>,
+    ) -> Result<CacheOutcome, E> {
+        let Some(cell) = self.cells.get(slot.index()) else {
+            let values = compute(1)?;
+            let round =
+                Arc::new(CachedRound { values, generation: 1, computed_at: Instant::now() });
+            return Ok(CacheOutcome { round, hit: false });
+        };
+        let mut cell = lock_cell(cell);
+        if let Some(round) = &cell.round {
+            if round.computed_at.elapsed() <= max_age {
+                return Ok(CacheOutcome { round: Arc::clone(round), hit: true });
+            }
+        }
+        let generation = cell.generation + 1;
+        let values = compute(generation)?;
+        cell.generation = generation;
+        let round = Arc::new(CachedRound { values, generation, computed_at: Instant::now() });
+        cell.round = Some(Arc::clone(&round));
+        Ok(CacheOutcome { round, hit: false })
+    }
+
+    /// The slot's current generation (0 = never computed). Diagnostics.
+    pub fn generation(&self, slot: SlotOfDay) -> u64 {
+        self.cells.get(slot.index()).map_or(0, |cell| lock_cell(cell).generation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::convert::Infallible;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    fn ok(values: Vec<f64>) -> impl FnOnce(u64) -> Result<Vec<f64>, Infallible> {
+        move |_| Ok(values)
+    }
+
+    #[test]
+    fn fresh_entries_hit_and_share_the_arc() {
+        let cache = AnswerCache::new();
+        let slot = SlotOfDay(7);
+        let first =
+            cache.round_for(slot, Duration::from_secs(60), ok(vec![1.0, 2.0])).expect("infallible");
+        assert!(!first.hit);
+        assert_eq!(first.round.generation, 1);
+        let second =
+            cache.round_for(slot, Duration::from_secs(60), ok(vec![9.0, 9.0])).expect("infallible");
+        assert!(second.hit, "fresh entry must hit");
+        assert!(Arc::ptr_eq(&first.round, &second.round));
+        assert_eq!(cache.generation(slot), 1);
+    }
+
+    #[test]
+    fn zero_max_age_forces_a_new_generation() {
+        let cache = AnswerCache::new();
+        let slot = SlotOfDay(3);
+        let a = cache.round_for(slot, Duration::ZERO, ok(vec![1.0])).expect("infallible");
+        let b = cache.round_for(slot, Duration::ZERO, ok(vec![2.0])).expect("infallible");
+        assert!(!a.hit && !b.hit);
+        assert_eq!(b.round.generation, 2);
+        assert_eq!(b.round.values, vec![2.0]);
+    }
+
+    #[test]
+    fn slots_age_independently() {
+        let cache = AnswerCache::new();
+        cache.round_for(SlotOfDay(0), Duration::ZERO, ok(vec![1.0])).expect("infallible");
+        let other =
+            cache.round_for(SlotOfDay(1), Duration::from_secs(60), ok(vec![2.0])).expect("ok");
+        assert_eq!(other.round.generation, 1);
+        assert_eq!(cache.generation(SlotOfDay(0)), 1);
+        assert_eq!(cache.generation(SlotOfDay(2)), 0);
+    }
+
+    #[test]
+    fn compute_errors_do_not_advance_the_generation() {
+        let cache = AnswerCache::new();
+        let slot = SlotOfDay(5);
+        let err: Result<CacheOutcome, &str> = cache.round_for(slot, Duration::ZERO, |_| Err("no"));
+        assert_eq!(err.err(), Some("no"));
+        assert_eq!(cache.generation(slot), 0);
+        let after = cache.round_for(slot, Duration::ZERO, ok(vec![4.0])).expect("infallible");
+        assert_eq!(after.round.generation, 1);
+    }
+
+    #[test]
+    fn out_of_range_slots_compute_through_without_caching() {
+        let cache = AnswerCache::new();
+        let bogus = SlotOfDay(999);
+        let a = cache.round_for(bogus, Duration::from_secs(60), ok(vec![1.0])).expect("ok");
+        let b = cache.round_for(bogus, Duration::from_secs(60), ok(vec![2.0])).expect("ok");
+        assert!(!a.hit && !b.hit);
+        assert_eq!(b.round.values, vec![2.0]);
+        assert_eq!(cache.generation(bogus), 0);
+    }
+
+    /// The offline-cache coalescing property, generation-aware: concurrent
+    /// cold builds of one slot run `compute` exactly once; late arrivals
+    /// block on the slot lock and then hit.
+    #[test]
+    fn concurrent_cold_builds_coalesce() {
+        let cache = AnswerCache::new();
+        let slot = SlotOfDay(42);
+        let builds = AtomicUsize::new(0);
+        let racers = 4;
+        let start = Barrier::new(racers);
+        let outcomes: Vec<CacheOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..racers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        start.wait();
+                        cache
+                            .round_for(slot, Duration::from_secs(60), |generation| {
+                                builds.fetch_add(1, Ordering::SeqCst);
+                                std::thread::sleep(Duration::from_millis(20));
+                                Ok::<_, Infallible>(vec![generation as f64])
+                            })
+                            .expect("infallible")
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
+        });
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "duplicate builds must coalesce");
+        assert_eq!(outcomes.iter().filter(|o| !o.hit).count(), 1);
+        for o in &outcomes[1..] {
+            assert!(Arc::ptr_eq(&outcomes[0].round, &o.round));
+        }
+    }
+}

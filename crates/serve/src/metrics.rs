@@ -1,0 +1,153 @@
+//! Serving counters and their consistent snapshot.
+//!
+//! All counters are monotone atomics updated by the serving workers and
+//! the admission path; [`ServeMetrics::snapshot`] reads them into a plain
+//! [`MetricsSnapshot`] with the derived ratios the load harness records
+//! (coalescing ratio, cache hit rate).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live serving counters (shared, lock-free).
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    submitted: AtomicU64,
+    answered: AtomicU64,
+    shed: AtomicU64,
+    rejected: AtomicU64,
+    rounds: AtomicU64,
+    cache_hit_queries: AtomicU64,
+    batches: AtomicU64,
+    batched_queries: AtomicU64,
+}
+
+impl ServeMetrics {
+    pub(crate) fn note_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_round(&self) {
+        self.rounds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_queries.fetch_add(size as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_answered(&self, cache_hit: bool) {
+        self.answered.fetch_add(1, Ordering::Relaxed);
+        if cache_hit {
+            self.cache_hit_queries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Reads every counter. Individual counters are exact; the snapshot as
+    /// a whole is only quiescently consistent (take it after the load
+    /// drains, as [`crate::serve`] does, for exact cross-counter ratios).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            answered: self.answered.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            rounds: self.rounds.load(Ordering::Relaxed),
+            cache_hit_queries: self.cache_hit_queries.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_queries: self.batched_queries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the serving counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Requests admitted into the queue.
+    pub submitted: u64,
+    /// Requests answered with an estimate.
+    pub answered: u64,
+    /// Requests shed past their deadline (typed rejection).
+    pub shed: u64,
+    /// Requests rejected at admission (queue full).
+    pub rejected: u64,
+    /// OCS→crowd→GSP rounds actually executed.
+    pub rounds: u64,
+    /// Answered requests served from the slot cache.
+    pub cache_hit_queries: u64,
+    /// Batches fanned out (each batch shares one round or one cached
+    /// round).
+    pub batches: u64,
+    /// Total requests across those batches.
+    pub batched_queries: u64,
+}
+
+impl MetricsSnapshot {
+    /// GSP propagations per answered query: 1.0 means every query paid for
+    /// its own round; below 1.0, batching/caching shared rounds across
+    /// queries. The paper-facing headline is [`Self::rounds_per_100`].
+    pub fn coalescing_ratio(&self) -> f64 {
+        self.rounds as f64 / self.answered.max(1) as f64
+    }
+
+    /// GSP rounds per 100 queries served (lower = more sharing).
+    pub fn rounds_per_100(&self) -> f64 {
+        100.0 * self.coalescing_ratio()
+    }
+
+    /// Fraction of answered queries served from the slot cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache_hit_queries as f64 / self.answered.max(1) as f64
+    }
+
+    /// Mean queries per fanned-out batch.
+    pub fn mean_batch_size(&self) -> f64 {
+        self.batched_queries as f64 / self.batches.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_ratios_derive() {
+        let m = ServeMetrics::default();
+        for _ in 0..10 {
+            m.note_submitted();
+        }
+        m.note_rejected();
+        m.note_shed();
+        m.note_round();
+        m.note_batch(4);
+        m.note_batch(4);
+        for i in 0..8 {
+            m.note_answered(i >= 2);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.submitted, 10);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.rounds, 1);
+        assert_eq!(s.answered, 8);
+        assert_eq!(s.cache_hit_queries, 6);
+        assert!((s.coalescing_ratio() - 1.0 / 8.0).abs() < 1e-12);
+        assert!((s.rounds_per_100() - 12.5).abs() < 1e-12);
+        assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
+        assert!((s.mean_batch_size() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_snapshot_has_safe_ratios() {
+        let s = MetricsSnapshot::default();
+        assert!((s.coalescing_ratio()).abs() < 1e-12);
+        assert!((s.cache_hit_rate()).abs() < 1e-12);
+        assert!((s.mean_batch_size()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,477 @@
+//! The serving loop: admission → slot-aware micro-batching → shared
+//! rounds → fan-out.
+//!
+//! ## Shape
+//!
+//! [`serve`] owns the whole lifecycle. It spins up `workers` serving
+//! loops on an [`rtse_pool::ComputePool`] scope (the workspace's one
+//! sanctioned home for OS threads), hands the caller a [`ServerHandle`],
+//! and drains cleanly when the caller's closure returns — every pending
+//! request resolves; none is silently dropped.
+//!
+//! ## Batching semantics
+//!
+//! Requests are grouped by slot. A worker that picks up a request also
+//! takes every queued request for the same slot, then holds the batch
+//! open for [`crate::ServeConfig::batch_window`] to catch stragglers. The
+//! batch is answered by **one** OCS→crowd→GSP round over the union of the
+//! batch's roads: GSP's output covers the whole network, so the shared
+//! round answers every waiter exactly as a fresh
+//! [`CrowdRtse::answer_query`] for the merged query would — bit-identical
+//! (property-tested in `tests/serve_equivalence.rs`).
+//!
+//! ## Admission control
+//!
+//! The request queue is bounded ([`crate::ServeError::QueueFull`]),
+//! deadlines shed late requests with a typed error before *and* after the
+//! round (never a stale estimate), and [`ServerHandle::pressure`] exposes
+//! queue occupancy as the backpressure signal.
+
+use crate::cache::{AnswerCache, CacheOutcome};
+use crate::config::ServeConfig;
+use crate::error::ServeError;
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::request::{ServeRequest, ServedAnswer, Ticket};
+use crowd_rtse_core::{CrowdRtse, SpeedQuery};
+use rtse_crowd::WorkerPool;
+use rtse_data::{SlotOfDay, SLOTS_PER_DAY};
+use rtse_graph::RoadId;
+use rtse_pool::ComputePool;
+use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// The physical world one serving deployment probes: the live crowd, the
+/// per-road answer costs, and the ground truth the simulated workers
+/// measure (in a real deployment that last one is reality itself).
+pub struct ServeWorld<'w> {
+    /// The crowd whose coverage defines the candidate set `R^w`.
+    pub workers: &'w WorkerPool,
+    /// Per-road answer requirements (length = number of roads).
+    pub costs: &'w [u32],
+    /// Ground-truth snapshots the campaign's workers observe.
+    pub truth: &'w dyn TruthSource,
+}
+
+/// Ground-truth provider for the serving loop. Implementations must be
+/// cheap (called once per computed round) and thread-safe.
+pub trait TruthSource: Sync {
+    /// Speeds (one per road) the crowd would measure at `slot`.
+    fn snapshot(&self, slot: SlotOfDay) -> &[f64];
+}
+
+impl TruthSource for rtse_data::SynthDataset {
+    fn snapshot(&self, slot: SlotOfDay) -> &[f64] {
+        self.ground_truth_snapshot(slot)
+    }
+}
+
+type Reply = Result<ServedAnswer, ServeError>;
+
+/// One admitted request waiting in the queue.
+struct Pending {
+    /// Canonical (sorted, deduplicated) roads.
+    roads: Vec<RoadId>,
+    slot: SlotOfDay,
+    deadline: Option<Instant>,
+    max_staleness: Option<Duration>,
+    submitted_at: Instant,
+    reply: Sender<Reply>,
+}
+
+struct QueueState {
+    queue: VecDeque<Pending>,
+    /// Gate for staging deterministic bursts (see [`ServerHandle::pause`]).
+    paused: bool,
+    /// New submissions are admitted only while true.
+    accepting: bool,
+    /// Workers exit once this is set and the queue is drained.
+    shutdown: bool,
+}
+
+struct Shared<'a> {
+    state: Mutex<QueueState>,
+    arrivals: Condvar,
+    cache: AnswerCache,
+    metrics: ServeMetrics,
+    engine: &'a CrowdRtse<'a>,
+    world: &'a ServeWorld<'a>,
+    config: &'a ServeConfig,
+}
+
+fn lock<'m>(mutex: &'m Mutex<QueueState>) -> MutexGuard<'m, QueueState> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// What [`serve`] returns: the caller closure's value plus the final
+/// (quiescent, exact) metrics.
+#[derive(Debug)]
+pub struct ServeOutcome<R> {
+    /// The closure's return value.
+    pub value: R,
+    /// Counters after the queue fully drained.
+    pub metrics: MetricsSnapshot,
+}
+
+/// Runs a serving deployment for the duration of `run`.
+///
+/// Checks the entry contract first — the config's invariants and the
+/// world's dimensions — and returns a typed error instead of panicking on
+/// a bad setup. Then spawns the serving loops on a pool scope, calls
+/// `run` with the [`ServerHandle`] clients submit through, and on return
+/// stops admission, drains every pending request (each resolves to an
+/// answer or a typed error), joins the loops, and reports final metrics.
+pub fn serve<R>(
+    engine: &CrowdRtse<'_>,
+    world: &ServeWorld<'_>,
+    config: &ServeConfig,
+    run: impl FnOnce(&ServerHandle<'_>) -> R,
+) -> Result<ServeOutcome<R>, ServeError> {
+    if let Err(v) = rtse_check::Validate::validate(config) {
+        return Err(ServeError::InvalidConfig(v));
+    }
+    let num_roads = engine.graph().num_roads();
+    if world.costs.len() != num_roads {
+        return Err(ServeError::WorldMismatch {
+            what: "costs",
+            expected: num_roads,
+            got: world.costs.len(),
+        });
+    }
+    if let Some(max) = world.workers.covered_roads().iter().map(|r| r.index()).max() {
+        if max >= num_roads {
+            return Err(ServeError::WorldMismatch {
+                what: "worker pool coverage",
+                expected: num_roads,
+                got: max + 1,
+            });
+        }
+    }
+
+    let shared = Shared {
+        state: Mutex::new(QueueState {
+            queue: VecDeque::new(),
+            paused: false,
+            accepting: true,
+            shutdown: false,
+        }),
+        arrivals: Condvar::new(),
+        cache: AnswerCache::new(),
+        metrics: ServeMetrics::default(),
+        engine,
+        world,
+        config,
+    };
+
+    let workers = match config.workers {
+        0 => rtse_pool::env_threads(),
+        n => n,
+    };
+    // One spare thread keeps the pool multi-threaded even for a single
+    // serving loop: at width 1 `ComputePool::scoped` runs jobs inline on
+    // submission, which would run the loop on the caller's thread and
+    // deadlock before `run` ever executed.
+    let pool = ComputePool::new(workers + 1);
+    let value = pool.scoped(|scope| {
+        for _ in 0..workers {
+            let shared = &shared;
+            scope.submit(Box::new(move || worker_loop(shared)));
+        }
+        // Signals shutdown when `run` returns — or unwinds — so the loops
+        // always exit and the pool scope always joins.
+        let _guard = ShutdownGuard { shared: &shared };
+        run(&ServerHandle { shared: &shared })
+    });
+    Ok(ServeOutcome { value, metrics: shared.metrics.snapshot() })
+}
+
+struct ShutdownGuard<'a, 'b> {
+    shared: &'a Shared<'b>,
+}
+
+impl Drop for ShutdownGuard<'_, '_> {
+    fn drop(&mut self) {
+        let mut st = lock(&self.shared.state);
+        st.accepting = false;
+        st.shutdown = true;
+        st.paused = false;
+        drop(st);
+        self.shared.arrivals.notify_all();
+    }
+}
+
+/// Client-side handle: submit queries, observe backpressure and metrics.
+/// Shareable across client threads (`&ServerHandle` is `Send + Sync`).
+pub struct ServerHandle<'a> {
+    shared: &'a Shared<'a>,
+}
+
+impl ServerHandle<'_> {
+    /// Admits a request, returning a [`Ticket`] that resolves when the
+    /// serving workers answer it.
+    ///
+    /// Typed rejections at admission: an empty road list
+    /// ([`ServeError::EmptyQuery`]), an out-of-range road or slot, a full
+    /// queue ([`ServeError::QueueFull`] — the backpressure path), or a
+    /// draining server ([`ServeError::ShuttingDown`]).
+    pub fn submit(&self, request: ServeRequest) -> Result<Ticket, ServeError> {
+        let now = Instant::now();
+        let ServeRequest { roads, slot, deadline, max_staleness } = request;
+        let query = SpeedQuery::try_new(roads, slot)?;
+        let num_roads = self.shared.engine.graph().num_roads();
+        if let Some(&road) = query.roads.iter().find(|r| r.index() >= num_roads) {
+            return Err(ServeError::RoadOutOfRange { road, num_roads });
+        }
+        if slot.index() >= SLOTS_PER_DAY {
+            return Err(ServeError::SlotOutOfRange { slot });
+        }
+        let deadline = deadline
+            .or(self.shared.config.default_deadline)
+            .and_then(|budget| now.checked_add(budget));
+        let (tx, rx) = channel();
+        let pending = Pending {
+            roads: query.roads,
+            slot,
+            deadline,
+            max_staleness,
+            submitted_at: now,
+            reply: tx,
+        };
+        {
+            let mut st = lock(&self.shared.state);
+            if !st.accepting {
+                return Err(ServeError::ShuttingDown);
+            }
+            if st.queue.len() >= self.shared.config.queue_depth {
+                self.shared.metrics.note_rejected();
+                return Err(ServeError::QueueFull { depth: self.shared.config.queue_depth });
+            }
+            st.queue.push_back(pending);
+        }
+        self.shared.metrics.note_submitted();
+        self.shared.arrivals.notify_all();
+        Ok(Ticket { rx })
+    }
+
+    /// Submits and blocks for the answer — the one-call client path.
+    pub fn query(&self, request: ServeRequest) -> Result<ServedAnswer, ServeError> {
+        self.submit(request)?.wait()
+    }
+
+    /// Queue occupancy in `[0, 1]` — the backpressure signal. Clients
+    /// seeing values near 1 should back off before hitting
+    /// [`ServeError::QueueFull`].
+    pub fn pressure(&self) -> f64 {
+        let queued = lock(&self.shared.state).queue.len();
+        queued as f64 / self.shared.config.queue_depth.max(1) as f64
+    }
+
+    /// Requests currently queued (admitted, not yet picked up).
+    pub fn queue_len(&self) -> usize {
+        lock(&self.shared.state).queue.len()
+    }
+
+    /// Live counters (quiescently consistent; exact after drain).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Current cache generation of a slot (0 = never computed).
+    pub fn cache_generation(&self, slot: SlotOfDay) -> u64 {
+        self.shared.cache.generation(slot)
+    }
+
+    /// Holds the serving workers: admitted requests queue up but none is
+    /// picked up until [`Self::resume`]. Load generators and tests use
+    /// this to stage a burst and measure pure coalescing deterministically.
+    pub fn pause(&self) {
+        lock(&self.shared.state).paused = true;
+    }
+
+    /// Releases a [`Self::pause`] gate.
+    pub fn resume(&self) {
+        lock(&self.shared.state).paused = false;
+        self.shared.arrivals.notify_all();
+    }
+}
+
+/// One serving loop: repeatedly assemble a same-slot batch and answer it.
+fn worker_loop(shared: &Shared<'_>) {
+    while let Some(mut batch) = next_batch(shared) {
+        extend_batch_over_window(shared, &mut batch);
+        serve_batch(shared, batch);
+    }
+}
+
+/// Blocks until a request is available and returns it together with every
+/// queued request for the same slot; `None` once shutdown has drained the
+/// queue.
+fn next_batch(shared: &Shared<'_>) -> Option<Vec<Pending>> {
+    let mut st = lock(&shared.state);
+    loop {
+        if !st.paused || st.shutdown {
+            if let Some(first) = st.queue.pop_front() {
+                let slot = first.slot;
+                let mut batch = vec![first];
+                drain_slot(&mut st.queue, slot, &mut batch);
+                return Some(batch);
+            }
+            if st.shutdown {
+                return None;
+            }
+        }
+        st = shared.arrivals.wait(st).unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// Moves every queued request for `slot` into `batch` (queue order kept).
+fn drain_slot(queue: &mut VecDeque<Pending>, slot: SlotOfDay, batch: &mut Vec<Pending>) {
+    let mut i = 0;
+    while i < queue.len() {
+        if queue[i].slot == slot {
+            if let Some(p) = queue.remove(i) {
+                batch.push(p);
+            }
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Holds the batch open for the configured window, absorbing same-slot
+/// stragglers as they arrive. Returns early on shutdown.
+fn extend_batch_over_window(shared: &Shared<'_>, batch: &mut Vec<Pending>) {
+    let window = shared.config.batch_window;
+    if window.is_zero() {
+        return;
+    }
+    let Some(slot) = batch.first().map(|p| p.slot) else { return };
+    let Some(until) = Instant::now().checked_add(window) else { return };
+    let mut st = lock(&shared.state);
+    loop {
+        drain_slot(&mut st.queue, slot, batch);
+        if st.shutdown {
+            return;
+        }
+        let left = until.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return;
+        }
+        let (guard, _timed_out) =
+            shared.arrivals.wait_timeout(st, left).unwrap_or_else(PoisonError::into_inner);
+        st = guard;
+    }
+}
+
+/// Answers one same-slot batch from the cache or a single shared round,
+/// shedding expired requests with typed errors on both sides of the
+/// compute.
+fn serve_batch(shared: &Shared<'_>, batch: Vec<Pending>) {
+    let now = Instant::now();
+    let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
+    for pending in batch {
+        if shed_if_expired(shared, &pending, now) {
+            continue;
+        }
+        live.push(pending);
+    }
+    let Some(slot) = live.first().map(|p| p.slot) else { return };
+
+    // The strictest waiter decides how fresh the round must be.
+    let ttl = shared.config.ttl;
+    let max_age = live.iter().map(|p| p.max_staleness.unwrap_or(ttl)).min().unwrap_or(ttl);
+
+    // Canonical batch query: the union of every waiter's roads. One round
+    // over the union answers everyone (GSP output covers the network).
+    let mut union: Vec<RoadId> = live.iter().flat_map(|p| p.roads.iter().copied()).collect();
+    union.sort_unstable();
+    union.dedup();
+
+    let outcome =
+        shared.cache.round_for(slot, max_age, |_generation| compute_round(shared, union, slot));
+    match outcome {
+        Ok(cached) => {
+            let batch_size = live.len();
+            shared.metrics.note_batch(batch_size);
+            for pending in live {
+                respond(shared, pending, &cached, batch_size);
+            }
+        }
+        Err(e) => {
+            for pending in live {
+                let _ = pending.reply.send(Err(e.clone()));
+            }
+        }
+    }
+}
+
+/// Sheds `pending` with the typed deadline error if it is past due at
+/// `now`. Returns whether it was shed.
+fn shed_if_expired(shared: &Shared<'_>, pending: &Pending, now: Instant) -> bool {
+    let Some(deadline) = pending.deadline else { return false };
+    if now <= deadline {
+        return false;
+    }
+    shared.metrics.note_shed();
+    let missed_by = now.saturating_duration_since(deadline);
+    let _ = pending.reply.send(Err(ServeError::DeadlineExceeded { missed_by }));
+    true
+}
+
+/// Runs the shared OCS→crowd→GSP round for a slot over the merged roads.
+fn compute_round(
+    shared: &Shared<'_>,
+    union: Vec<RoadId>,
+    slot: SlotOfDay,
+) -> Result<Vec<f64>, ServeError> {
+    let truth = shared.world.truth.snapshot(slot);
+    let num_roads = shared.engine.graph().num_roads();
+    if truth.len() != num_roads {
+        return Err(ServeError::WorldMismatch {
+            what: "truth snapshot",
+            expected: num_roads,
+            got: truth.len(),
+        });
+    }
+    let query = SpeedQuery::new(union, slot);
+    let answer = shared.engine.answer_query(
+        &query,
+        shared.world.workers,
+        shared.world.costs,
+        truth,
+        &shared.config.online,
+    );
+    shared.metrics.note_round();
+    Ok(answer.all_values)
+}
+
+/// Fans one waiter's answer out of the shared round, re-checking its
+/// deadline so a request that expired *during* the round still gets the
+/// typed rejection and never a late estimate.
+fn respond(shared: &Shared<'_>, pending: Pending, cached: &CacheOutcome, batch_size: usize) {
+    let now = Instant::now();
+    if shed_if_expired(shared, &pending, now) {
+        return;
+    }
+    let estimates: Vec<f64> =
+        pending.roads.iter().map(|r| cached.round.values[r.index()]).collect();
+    let answer = ServedAnswer {
+        roads: pending.roads,
+        estimates,
+        slot: pending.slot,
+        generation: cached.round.generation,
+        age: now.saturating_duration_since(cached.round.computed_at),
+        batch_size,
+        cache_hit: cached.hit,
+        wait: now.saturating_duration_since(pending.submitted_at),
+    };
+    #[cfg(feature = "validate")]
+    {
+        if let Err(v) = rtse_check::Validate::validate(&answer) {
+            rtse_check::fail(&v);
+        }
+    }
+    shared.metrics.note_answered(cached.hit);
+    let _ = pending.reply.send(Ok(answer));
+}

@@ -1,0 +1,372 @@
+//! Acceptance tests for the serving layer: batched/cached answers are
+//! bit-identical to fresh engine answers, coalescing strictly shares GSP
+//! rounds across concurrent clients, and overload/lateness surface as
+//! typed errors — never as stale estimates or silent drops.
+
+use crowd_rtse_core::{CrowdRtse, OfflineArtifacts, OnlineConfig, SpeedQuery};
+use proptest::prelude::*;
+use rtse_crowd::{uniform_costs, CostRange, WorkerPool};
+use rtse_data::{SlotOfDay, SynthConfig, SynthDataset, TrafficGenerator};
+use rtse_graph::generators::grid;
+use rtse_graph::{Graph, RoadId};
+use rtse_serve::{serve, ServeConfig, ServeError, ServeRequest, ServeWorld};
+use std::time::Duration;
+
+struct Fixture {
+    graph: Graph,
+    dataset: SynthDataset,
+    pool: WorkerPool,
+    costs: Vec<u32>,
+}
+
+fn fixture(seed: u64) -> Fixture {
+    let graph = grid(4, 5);
+    let cfg = SynthConfig { days: 8, seed, ..SynthConfig::small_test() };
+    let dataset = TrafficGenerator::new(&graph, cfg).generate();
+    let pool = WorkerPool::spawn(&graph, 40, 0.5, (0.3, 1.0), seed.wrapping_add(7));
+    let costs = uniform_costs(graph.num_roads(), CostRange::C2, seed);
+    Fixture { graph, dataset, pool, costs }
+}
+
+fn engine(f: &Fixture) -> CrowdRtse<'_> {
+    let model = rtse_rtf::moment_estimate(&f.graph, &f.dataset.history);
+    CrowdRtse::new(&f.graph, OfflineArtifacts::from_model(model))
+}
+
+fn world<'w>(f: &'w Fixture) -> ServeWorld<'w> {
+    ServeWorld { workers: &f.pool, costs: &f.costs, truth: &f.dataset }
+}
+
+/// Serving config with deterministic knobs for tests: no timing-dependent
+/// batch window (batching is staged via pause/resume), one serving loop.
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        batch_window: Duration::ZERO,
+        workers: 1,
+        online: OnlineConfig { budget: 15, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A served answer is bit-identical to a fresh `answer_query` for the
+    /// same canonical query, slot, and seed: serving adds concurrency
+    /// machinery, never numerics.
+    #[test]
+    fn served_answer_is_bit_identical_to_fresh_engine_answer(
+        seed in 0u64..200,
+        slot in 0u16..288,
+        first in 0usize..15,
+        len in 1usize..6,
+    ) {
+        let f = fixture(seed);
+        let e = engine(&f);
+        let roads: Vec<RoadId> = (first..first + len).map(|i| RoadId(i as u32)).collect();
+        let slot = SlotOfDay(slot);
+        let config = test_config();
+
+        let served = serve(&e, &world(&f), &config, |handle| {
+            handle.query(ServeRequest::new(roads.clone(), slot))
+        })
+        .expect("server starts")
+        .value
+        .expect("query answered");
+
+        let query = SpeedQuery::new(roads, slot);
+        let fresh = e.answer_query(
+            &query,
+            &f.pool,
+            &f.costs,
+            f.dataset.ground_truth_snapshot(slot),
+            &config.online,
+        );
+        prop_assert_eq!(&served.roads, &query.roads);
+        // Bit-identity, not approximate equality: the shared round and the
+        // fresh answer must be the same floats.
+        prop_assert_eq!(&served.estimates, &fresh.estimates);
+        prop_assert_eq!(served.generation, 1);
+        prop_assert!(!served.cache_hit);
+    }
+}
+
+/// Staged same-slot burst: all requests coalesce into one batch whose
+/// shared round equals a fresh `answer_query` over the merged query —
+/// every waiter's estimates are bit-identical reads from it.
+#[test]
+fn paused_burst_coalesces_into_one_round_with_merged_query_semantics() {
+    let f = fixture(11);
+    let e = engine(&f);
+    let slot = SlotOfDay(96);
+    let config = test_config();
+    let clients: Vec<Vec<RoadId>> =
+        (0..6).map(|i| (i..i + 4).map(|r| RoadId(r as u32)).collect()).collect();
+
+    let outcome = serve(&e, &world(&f), &config, |handle| {
+        handle.pause();
+        let tickets: Vec<_> = clients
+            .iter()
+            .map(|roads| handle.submit(ServeRequest::new(roads.clone(), slot)).expect("admitted"))
+            .collect();
+        assert_eq!(handle.queue_len(), clients.len());
+        handle.resume();
+        tickets.into_iter().map(|t| t.wait().expect("answered")).collect::<Vec<_>>()
+    })
+    .expect("server starts");
+
+    let union: Vec<RoadId> = (0..9).map(RoadId).collect();
+    let merged = SpeedQuery::new(union, slot);
+    let fresh = e.answer_query(
+        &merged,
+        &f.pool,
+        &f.costs,
+        f.dataset.ground_truth_snapshot(slot),
+        &config.online,
+    );
+
+    for (answer, roads) in outcome.value.iter().zip(&clients) {
+        assert_eq!(answer.batch_size, clients.len());
+        assert_eq!(&answer.roads, roads);
+        let expected: Vec<f64> = roads.iter().map(|r| fresh.all_values[r.index()]).collect();
+        assert_eq!(answer.estimates, expected, "batched answer must read the shared round");
+    }
+    let m = outcome.metrics;
+    assert_eq!(m.answered, clients.len() as u64);
+    assert_eq!(m.rounds, 1, "one staged burst must cost exactly one GSP round");
+    assert!(m.coalescing_ratio() < 1.0);
+    assert_eq!(m.shed, 0);
+}
+
+/// A repeat query within the TTL hits the slot cache and returns the
+/// generating round's floats bit-identically; the second query costs no
+/// GSP round.
+#[test]
+fn cache_hits_are_bit_identical_and_cost_no_round() {
+    let f = fixture(23);
+    let e = engine(&f);
+    let slot = SlotOfDay(140);
+    let roads: Vec<RoadId> = vec![RoadId(2), RoadId(5), RoadId(9)];
+    let config = test_config();
+
+    let outcome = serve(&e, &world(&f), &config, |handle| {
+        let first = handle.query(ServeRequest::new(roads.clone(), slot)).expect("answered");
+        let second = handle.query(ServeRequest::new(roads.clone(), slot)).expect("answered");
+        (first, second)
+    })
+    .expect("server starts");
+
+    let (first, second) = outcome.value;
+    assert!(!first.cache_hit);
+    assert!(second.cache_hit, "repeat within TTL must hit");
+    assert_eq!(first.generation, second.generation);
+    assert_eq!(first.estimates, second.estimates, "cache hit must share the round's floats");
+    let m = outcome.metrics;
+    assert_eq!(m.rounds, 1);
+    assert_eq!(m.answered, 2);
+    assert!(m.cache_hit_rate() > 0.0);
+    assert!(m.coalescing_ratio() < 1.0);
+}
+
+/// `max_staleness: ZERO` opts out of the cache: a new generation is
+/// computed even though a fresh entry exists.
+#[test]
+fn zero_staleness_forces_a_new_generation() {
+    let f = fixture(29);
+    let e = engine(&f);
+    let slot = SlotOfDay(30);
+    let roads = vec![RoadId(1), RoadId(3)];
+    let config = test_config();
+
+    let outcome = serve(&e, &world(&f), &config, |handle| {
+        let warm = handle.query(ServeRequest::new(roads.clone(), slot)).expect("answered");
+        let fresh = handle
+            .query(ServeRequest::new(roads.clone(), slot).with_max_staleness(Duration::ZERO))
+            .expect("answered");
+        (warm, fresh)
+    })
+    .expect("server starts");
+
+    let (warm, fresh) = outcome.value;
+    assert_eq!(warm.generation, 1);
+    assert_eq!(fresh.generation, 2, "zero staleness must recompute");
+    assert!(!fresh.cache_hit);
+    // Determinism: the recomputed round is still the same floats.
+    assert_eq!(warm.estimates, fresh.estimates);
+    assert_eq!(outcome.metrics.rounds, 2);
+}
+
+/// Requests past their deadline are shed with the typed error before any
+/// estimate is produced for them — a late client never receives a stale
+/// or late answer.
+#[test]
+fn expired_requests_shed_with_typed_errors_never_estimates() {
+    let f = fixture(37);
+    let e = engine(&f);
+    let slot = SlotOfDay(200);
+    let config = test_config();
+
+    let outcome = serve(&e, &world(&f), &config, |handle| {
+        handle.pause();
+        let doomed = handle
+            .submit(ServeRequest::new(vec![RoadId(0)], slot).with_deadline(Duration::ZERO))
+            .expect("admitted");
+        let alive = handle.submit(ServeRequest::new(vec![RoadId(1)], slot)).expect("admitted");
+        handle.resume();
+        (doomed.wait(), alive.wait())
+    })
+    .expect("server starts");
+
+    let (doomed, alive) = outcome.value;
+    match doomed {
+        Err(ServeError::DeadlineExceeded { .. }) => {}
+        other => panic!("expired request must get the typed deadline error, got {other:?}"),
+    }
+    assert!(alive.is_ok(), "deadline-free request in the same batch still answered");
+    let m = outcome.metrics;
+    assert_eq!(m.shed, 1);
+    assert_eq!(m.answered, 1);
+    assert_eq!(m.submitted, 2, "every admitted request is accounted: answered or shed");
+}
+
+/// Admission control: the bounded queue rejects overflow with the typed
+/// error and the backpressure signal tracks occupancy; drained requests
+/// are still answered.
+#[test]
+fn full_queue_rejects_with_typed_error_and_backpressure_signal() {
+    let f = fixture(43);
+    let e = engine(&f);
+    let slot = SlotOfDay(60);
+    let config = ServeConfig { queue_depth: 2, ..test_config() };
+
+    let outcome = serve(&e, &world(&f), &config, |handle| {
+        handle.pause();
+        let a = handle.submit(ServeRequest::new(vec![RoadId(0)], slot)).expect("admitted");
+        let b = handle.submit(ServeRequest::new(vec![RoadId(1)], slot)).expect("admitted");
+        assert!((handle.pressure() - 1.0).abs() < 1e-12, "queue is full");
+        let overflow = handle.submit(ServeRequest::new(vec![RoadId(2)], slot));
+        assert_eq!(overflow.err(), Some(ServeError::QueueFull { depth: 2 }));
+        handle.resume();
+        (a.wait(), b.wait())
+    })
+    .expect("server starts");
+
+    let (a, b) = outcome.value;
+    assert!(a.is_ok() && b.is_ok(), "admitted requests are answered on drain");
+    assert_eq!(outcome.metrics.rejected, 1);
+}
+
+/// Malformed requests are rejected at admission with typed errors: empty
+/// road lists (via `SpeedQuery::try_new`), out-of-range roads, and
+/// out-of-range slots.
+#[test]
+fn admission_rejects_malformed_requests_with_typed_errors() {
+    let f = fixture(47);
+    let e = engine(&f);
+    let num_roads = f.graph.num_roads();
+    let config = test_config();
+
+    let outcome = serve(&e, &world(&f), &config, |handle| {
+        let empty = handle.submit(ServeRequest::new(vec![], SlotOfDay(0)));
+        assert_eq!(empty.err(), Some(ServeError::EmptyQuery));
+
+        let bogus_road =
+            handle.submit(ServeRequest::new(vec![RoadId(num_roads as u32)], SlotOfDay(0)));
+        assert_eq!(
+            bogus_road.err(),
+            Some(ServeError::RoadOutOfRange { road: RoadId(num_roads as u32), num_roads })
+        );
+
+        let bogus_slot = handle.submit(ServeRequest::new(vec![RoadId(0)], SlotOfDay(288)));
+        assert_eq!(bogus_slot.err(), Some(ServeError::SlotOutOfRange { slot: SlotOfDay(288) }));
+    })
+    .expect("server starts");
+    assert_eq!(outcome.metrics.submitted, 0);
+}
+
+/// A bad deployment is rejected up front with typed errors, not panics:
+/// invalid config and world dimension mismatches.
+#[test]
+fn bad_deployments_are_rejected_up_front() {
+    let f = fixture(53);
+    let e = engine(&f);
+
+    let bad_config = ServeConfig { queue_depth: 0, ..test_config() };
+    let err = serve(&e, &world(&f), &bad_config, |_| ()).expect_err("rejected");
+    assert!(matches!(err, ServeError::InvalidConfig(_)), "got {err:?}");
+
+    let short_costs = vec![1u32; f.graph.num_roads() - 1];
+    let bad_world = ServeWorld { workers: &f.pool, costs: &short_costs, truth: &f.dataset };
+    let err = serve(&e, &bad_world, &test_config(), |_| ()).expect_err("rejected");
+    assert_eq!(
+        err,
+        ServeError::WorldMismatch {
+            what: "costs",
+            expected: f.graph.num_roads(),
+            got: f.graph.num_roads() - 1,
+        }
+    );
+}
+
+/// The headline acceptance criterion: N ≥ 8 concurrent clients querying
+/// the same slot are served with strictly fewer GSP propagations than
+/// queries, and every answer is a bit-identical read from a shared round.
+#[test]
+fn eight_concurrent_clients_share_rounds_and_floats() {
+    let f = fixture(59);
+    let e = engine(&f);
+    let slot = SlotOfDay(110);
+    let clients = 8;
+    let config = ServeConfig { workers: 2, ..test_config() };
+
+    let outcome = serve(&e, &world(&f), &config, |handle| {
+        handle.pause();
+        let answers: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|i| {
+                    let handle = &handle;
+                    scope.spawn(move || {
+                        let roads = vec![RoadId(i as u32), RoadId((i + 2) as u32)];
+                        handle.query(ServeRequest::new(roads, slot))
+                    })
+                })
+                .collect();
+            // All clients are admitted (blocked waiting) before any batch
+            // is assembled, so sharing is guaranteed, not timing luck.
+            while handle.queue_len() < clients {
+                std::thread::yield_now();
+            }
+            handle.resume();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
+        });
+        answers
+    })
+    .expect("server starts");
+
+    let answers: Vec<_> =
+        outcome.value.into_iter().map(|a| a.expect("every client answered")).collect();
+    assert_eq!(answers.len(), clients);
+
+    // All answers come from the same generation of the same slot round, so
+    // shared roads carry the same floats across clients.
+    for pair in answers.windows(2) {
+        assert_eq!(pair[0].generation, pair[1].generation);
+        for (i, &road) in pair[0].roads.iter().enumerate() {
+            if let Some(v) = pair[1].estimate_for(road) {
+                assert!(pair[0].estimates[i] == v, "shared roads must carry identical floats");
+            }
+        }
+    }
+    let m = outcome.metrics;
+    assert_eq!(m.answered, clients as u64);
+    assert_eq!(m.shed, 0);
+    assert!(
+        m.rounds < m.answered,
+        "{} rounds for {} queries: concurrency must share propagations",
+        m.rounds,
+        m.answered
+    );
+}

@@ -7,7 +7,8 @@
 //!
 //! * `no-panic` — `.unwrap()`, `.expect()`, `panic!`, `unreachable!`,
 //!   `todo!`, `unimplemented!` are banned in the library code of the
-//!   pipeline crates (graph, math, rtf, ocs, gsp, core, data). Contract
+//!   pipeline crates (graph, math, rtf, ocs, gsp, core, data, pool,
+//!   serve). Contract
 //!   `assert!`s stay legal; `rtse_check::fail` is the sanctioned abort.
 //! * `float-eq` — direct `==`/`!=` against a float literal.
 //! * `float-cast` — `as usize`-family casts whose source expression is
@@ -34,7 +35,7 @@ pub struct Violation {
 /// Crates whose library code must be panic-free (everything on the
 /// query path; bins/benches/tests may still panic).
 pub const NO_PANIC_CRATES: &[&str] =
-    &["graph", "math", "rtf", "ocs", "gsp", "core", "data", "pool"];
+    &["graph", "math", "rtf", "ocs", "gsp", "core", "data", "pool", "serve"];
 
 /// Thread primitives that must be routed through `rtse_pool::ComputePool`.
 const THREAD_PRIMITIVES: &[&str] = &["spawn", "scope"];

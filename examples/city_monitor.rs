@@ -37,7 +37,7 @@ fn main() {
     for k in 0..rounds {
         let slot = SlotOfDay(start.0 + k as u16);
         let truth = dataset.ground_truth_snapshot(slot).to_vec();
-        let report = session.step(&queried, slot, &truth);
+        let report = session.step(&queried, slot, &truth).expect("well-formed round");
         let quality = ErrorReport::evaluate_default(&report.values, &truth, &queried);
         table.push_row(vec![
             format!("{:02}:{:02}", slot.hour(), slot.minute()),

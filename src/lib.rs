@@ -25,6 +25,9 @@
 //! * [`baselines`] — Per, LASSO, GRMC comparators;
 //! * [`eval`] — MAPE/FER/DAPE metrics, coverage, tables, timing;
 //! * [`core`] — the `CrowdRtse` engine tying everything together;
+//! * [`serve`] — the concurrent query-serving layer in front of the
+//!   engine (slot-aware micro-batching, answer caching, admission
+//!   control with deadline-based load shedding);
 //! * [`check`] — invariant contracts ([`check::Validate`]) enforced
 //!   fail-closed at pipeline boundaries under the `validate` feature.
 //!
@@ -69,13 +72,14 @@ pub use rtse_math as math;
 pub use rtse_ocs as ocs;
 pub use rtse_pool as pool;
 pub use rtse_rtf as rtf;
+pub use rtse_serve as serve;
 
 /// Everything needed for typical use, importable in one line.
 pub mod prelude {
     pub use crowd_rtse_core::{
         merge_queries, plan_daily_budget, variance_aware_select, CrowdRtse, GspEstimator,
-        MonitoringSession, OfflineArtifacts, OnlineConfig, QueryAnswer, RoundReport,
-        SelectionStrategy, SpeedQuery,
+        MonitoringSession, OfflineArtifacts, OnlineConfig, QueryAnswer, QueryError, RoundReport,
+        SelectionStrategy, SpeedQuery, StepError,
     };
     pub use rtse_baselines::{EstimationContext, Estimator, Grmc, LassoEstimator, Per};
     pub use rtse_check::{InvariantViolation, Validate};
@@ -100,5 +104,9 @@ pub mod prelude {
     pub use rtse_rtf::{
         moment_estimate, CorrelationTable, DayType, DayTypeModel, IncrementalModel, InitStrategy,
         PathCorrelation, RtfModel, RtfTrainer,
+    };
+    pub use rtse_serve::{
+        serve, ServeConfig, ServeError, ServeOutcome, ServeRequest, ServeWorld, ServedAnswer,
+        ServerHandle, TruthSource,
     };
 }

@@ -104,7 +104,7 @@ fn monitoring_session_ledger_and_quality_over_a_rush_hour() {
     for k in 0..6u16 {
         let slot = SlotOfDay(start.0 + k);
         let truth = dataset.ground_truth_snapshot(slot).to_vec();
-        let report = session.step(&queried, slot, &truth);
+        let report = session.step(&queried, slot, &truth).expect("well-formed round");
         assert!(report.selection.spent <= budget);
         let rep = ErrorReport::evaluate_default(&report.values, &truth, &queried);
         assert!(rep.mape < 0.5, "round {k}: MAPE {}", rep.mape);
