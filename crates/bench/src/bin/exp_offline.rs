@@ -21,6 +21,7 @@ use rtse_eval::{time_mean, Table};
 use rtse_graph::components::grow_connected_subset;
 use rtse_graph::RoadId;
 use rtse_gsp::{GspSolver, ParallelGsp};
+use rtse_obs::ObsHandle;
 use rtse_pool::ComputePool;
 use rtse_rtf::{CorrelationTable, PathCorrelation, RtfTrainer};
 
@@ -67,7 +68,7 @@ fn main() {
 
     // 3. Layer-parallel GSP on the full network.
     let params = world.model.slot(slot);
-    let obs: Vec<(RoadId, f64)> = world
+    let observations: Vec<(RoadId, f64)> = world
         .queried_33
         .iter()
         .map(|&r| (r, world.dataset.today.snapshot(0, slot)[r.index()]))
@@ -77,7 +78,7 @@ fn main() {
             base: GspSolver { epsilon: 1e-9, max_rounds: 100, record_trace: false },
             threads,
         };
-        std::hint::black_box(solver.propagate(&world.graph, params, &obs));
+        std::hint::black_box(solver.propagate(&world.graph, params, &observations));
     };
     measurements.push(sweep("gsp_propagate", reps, gsp));
 
@@ -113,7 +114,58 @@ fn main() {
         "host parallelism: {host_threads} (speedups are bounded by physical cores; \
          ~1x is expected on a single-core host)"
     );
-    let json = render_json(roads, days, reps, host_threads, &measurements);
+
+    // Instrumented pass: run each stage once through a fresh stage
+    // registry so the committed JSON carries a per-stage breakdown
+    // (span counts, mean/p50/p90/p99 nanoseconds), and time the
+    // correlation build with the no-op handle vs the live registry to
+    // keep the instrumentation overhead honest and on record.
+    let obs = ObsHandle::fresh();
+    let pool = ComputePool::from_env();
+    let noop_ms = time_mean(reps, || {
+        std::hint::black_box(CorrelationTable::build_observed(
+            &world.graph,
+            &world.model,
+            slot,
+            PathCorrelation::MaxProduct,
+            &pool,
+            &ObsHandle::noop(),
+        ));
+    })
+    .as_secs_f64()
+        * 1e3;
+    let enabled_ms = time_mean(reps, || {
+        std::hint::black_box(CorrelationTable::build_observed(
+            &world.graph,
+            &world.model,
+            slot,
+            PathCorrelation::MaxProduct,
+            &pool,
+            &obs,
+        ));
+    })
+    .as_secs_f64()
+        * 1e3;
+    let trainer = RtfTrainer { max_iters: 5, threads: 0, ..Default::default() };
+    std::hint::black_box(trainer.train_with_obs(&sub, &history, &obs));
+    let base = GspSolver { epsilon: 1e-9, max_rounds: 100, record_trace: false };
+    std::hint::black_box(base.propagate_observed(&world.graph, params, &observations, &obs));
+    let obs_json = obs.registry().map(|r| r.snapshot_json());
+    println!(
+        "instrumented corr build: {enabled_ms:.1} ms vs {noop_ms:.1} ms no-op \
+         (per-stage breakdown recorded in the JSON)"
+    );
+
+    let json = render_json(
+        roads,
+        days,
+        reps,
+        host_threads,
+        &measurements,
+        obs_json.as_deref(),
+        noop_ms,
+        enabled_ms,
+    );
     let out = "BENCH_offline.json";
     std::fs::write(out, json).expect("writing BENCH_offline.json");
     println!("wrote {out}");
@@ -127,12 +179,16 @@ fn sweep(stage: &'static str, reps: usize, f: impl Fn(usize)) -> Measurement {
     Measurement { stage, serial_ms, pooled }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     roads: usize,
     days: usize,
     reps: usize,
     host_threads: usize,
     measurements: &[Measurement],
+    obs_json: Option<&str>,
+    obs_noop_ms: f64,
+    obs_enabled_ms: f64,
 ) -> String {
     let mut s = String::from("{\n");
     s.push_str("  \"experiment\": \"offline_parallel_speedup\",\n");
@@ -165,6 +221,12 @@ fn render_json(
         }
         s.push('\n');
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"obs_overhead\": {{ \"stage\": \"corr_table_build\", \"noop_ms\": {obs_noop_ms:.3}, \
+         \"enabled_ms\": {obs_enabled_ms:.3} }},\n"
+    ));
+    s.push_str(&format!("  \"obs\": {}\n", obs_json.unwrap_or("null")));
+    s.push_str("}\n");
     s
 }

@@ -31,6 +31,7 @@ use rtse_crowd::WorkerPool;
 use rtse_data::SlotOfDay;
 use rtse_eval::{quantile, Table};
 use rtse_graph::RoadId;
+use rtse_obs::{ObsHandle, Stage};
 use rtse_serve::{serve, MetricsSnapshot, ServeConfig, ServeError, ServeRequest, ServeWorld};
 use std::time::{Duration, Instant};
 
@@ -48,11 +49,18 @@ fn main() {
     let (roads, days, clients, per_client) = if quick { (120, 4, 6, 8) } else { (400, 10, 12, 25) };
 
     let world = semi_syn_world(roads, days, 2018);
-    let engine = CrowdRtse::new(&world.graph, OfflineArtifacts::from_model(world.model.clone()));
+    // One shared stage registry across engine and serving layer: engine
+    // stages (ocs.select, gsp.round, corr.dijkstra_row) and serving
+    // stages (serve.round, serve.queue_wait, serve.cache_hit) land in the
+    // same per-stage snapshot, cumulative over all phases.
+    let obs = ObsHandle::fresh();
+    let engine = CrowdRtse::new(&world.graph, OfflineArtifacts::from_model(world.model.clone()))
+        .with_obs(obs.clone());
     let pool = WorkerPool::spawn(&world.graph, roads / 2, 0.5, (0.3, 1.0), 2018);
     let sworld = ServeWorld { workers: &pool, costs: &world.costs_c2, truth: &world.dataset };
     let config = ServeConfig {
         online: OnlineConfig { budget: 30, ..Default::default() },
+        obs: obs.clone(),
         ..ServeConfig::from_env()
     };
 
@@ -99,7 +107,27 @@ fn main() {
          pipeline; coalescing and shedding behaviour are still exact)"
     );
 
-    let json = render_json(roads, days, clients, per_client, host_threads, &config, &phases);
+    // The registry's serve.cache_hit counter is fed by the same
+    // note_answered calls as the metrics' cache_hit_queries, so across
+    // all phases the two bookkeepings must agree exactly.
+    if obs.is_enabled() {
+        let reg = obs.registry().expect("enabled handle has a registry");
+        let mirrored = reg.count(Stage::ServeCacheHit);
+        let counted: u64 = phases.iter().map(|p| p.metrics.cache_hit_queries).sum();
+        assert_eq!(mirrored, counted, "registry cache-hit mirror diverged from the serve metrics");
+    }
+
+    let obs_json = obs.registry().map(|r| r.snapshot_json());
+    let json = render_json(
+        roads,
+        days,
+        clients,
+        per_client,
+        host_threads,
+        &config,
+        &phases,
+        obs_json.as_deref(),
+    );
     let out = "BENCH_serve.json";
     std::fs::write(out, json).expect("writing BENCH_serve.json");
     println!("wrote {out}");
@@ -167,6 +195,15 @@ fn steady_mixed(
                     })
                 })
                 .collect();
+            // The coherent snapshot's invariant must hold mid-load, not
+            // just after a drain: every round publication advances exactly
+            // one slot generation inside the same coherence section.
+            let snap = handle.coherent_snapshot();
+            assert_eq!(
+                snap.metrics.rounds,
+                snap.total_generations(),
+                "coherent snapshot tore under live load"
+            );
             tasks
                 .into_iter()
                 .flat_map(|t| t.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
@@ -252,6 +289,7 @@ fn deadline_pressure(
     phase_result("deadline_pressure", start.elapsed(), outcome.metrics, Vec::new())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     roads: usize,
     days: usize,
@@ -260,6 +298,7 @@ fn render_json(
     host_threads: usize,
     config: &ServeConfig,
     phases: &[PhaseResult],
+    obs_json: Option<&str>,
 ) -> String {
     let mut s = String::from("{\n");
     s.push_str("  \"experiment\": \"serve_load\",\n");
@@ -310,6 +349,8 @@ fn render_json(
         }
         s.push('\n');
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    s.push_str(&format!("  \"obs\": {}\n", obs_json.unwrap_or("null")));
+    s.push_str("}\n");
     s
 }

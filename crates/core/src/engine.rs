@@ -5,8 +5,10 @@ use crate::query::{QueryAnswer, SpeedQuery};
 use rtse_crowd::{CrowdCampaign, WorkerPool};
 use rtse_graph::Graph;
 use rtse_gsp::GspSolver;
+use rtse_obs::ObsHandle;
 use rtse_ocs::{
-    lazy_hybrid_greedy, lazy_objective_greedy, lazy_ratio_greedy, random_select, OcsInstance,
+    lazy_hybrid_greedy, lazy_objective_greedy, lazy_ratio_greedy, observed_select, random_select,
+    OcsInstance,
 };
 
 /// Which OCS solver answers the query.
@@ -54,6 +56,7 @@ impl Default for OnlineConfig {
 pub struct CrowdRtse<'g> {
     graph: &'g Graph,
     offline: OfflineArtifacts,
+    obs: ObsHandle,
 }
 
 impl<'g> CrowdRtse<'g> {
@@ -100,7 +103,22 @@ impl<'g> CrowdRtse<'g> {
             rtse_check::Validate::validate(graph)?;
             rtse_check::Validate::validate(offline.model())?;
         }
-        Ok(Self { graph, offline })
+        Ok(Self { graph, offline, obs: ObsHandle::noop() })
+    }
+
+    /// Routes the engine's online path through `obs`: OCS solves become
+    /// `ocs.select` spans, GSP runs become `gsp.round` spans (plus a
+    /// `gsp.iters_to_converge` sample each), and lazy correlation-table
+    /// builds record one `corr.dijkstra_row` span per road.
+    pub fn with_obs(mut self, obs: ObsHandle) -> Self {
+        self.offline.set_obs(obs.clone());
+        self.obs = obs;
+        self
+    }
+
+    /// The observability handle the engine records into (no-op by default).
+    pub fn obs(&self) -> &ObsHandle {
+        &self.obs
     }
 
     /// The network this engine serves.
@@ -135,12 +153,12 @@ impl<'g> CrowdRtse<'g> {
             budget: config.budget,
             theta: config.theta,
         };
-        match config.strategy {
+        observed_select(&self.obs, || match config.strategy {
             SelectionStrategy::Hybrid => lazy_hybrid_greedy(&instance),
             SelectionStrategy::Ratio => lazy_ratio_greedy(&instance),
             SelectionStrategy::Objective => lazy_objective_greedy(&instance),
             SelectionStrategy::Random(seed) => random_select(&instance, seed),
-        }
+        })
     }
 
     /// Answers a query (Fig. 1's online stage).
@@ -176,19 +194,22 @@ impl<'g> CrowdRtse<'g> {
         };
         // The lazy solvers produce selections identical to Algs. 2-4
         // (property-tested) with far fewer marginal-gain evaluations.
-        let (selection, selection_time) = rtse_eval::time_it(|| match config.strategy {
-            SelectionStrategy::Hybrid => lazy_hybrid_greedy(&instance),
-            SelectionStrategy::Ratio => lazy_ratio_greedy(&instance),
-            SelectionStrategy::Objective => lazy_objective_greedy(&instance),
-            SelectionStrategy::Random(seed) => random_select(&instance, seed),
+        let (selection, selection_time) = rtse_eval::time_it(|| {
+            observed_select(&self.obs, || match config.strategy {
+                SelectionStrategy::Hybrid => lazy_hybrid_greedy(&instance),
+                SelectionStrategy::Ratio => lazy_ratio_greedy(&instance),
+                SelectionStrategy::Objective => lazy_objective_greedy(&instance),
+                SelectionStrategy::Random(seed) => random_select(&instance, seed),
+            })
         });
 
         // Step 2: crowdsourcing.
         let outcome = config.campaign.run(pool, &selection.roads, costs, true_speeds);
 
         // Step 3: GSP.
-        let (result, propagation_time) =
-            rtse_eval::time_it(|| config.gsp.propagate(self.graph, params, &outcome.observations));
+        let (result, propagation_time) = rtse_eval::time_it(|| {
+            config.gsp.propagate_observed(self.graph, params, &outcome.observations, &self.obs)
+        });
 
         let estimates = query.roads.iter().map(|&r| result.values[r.index()]).collect();
         QueryAnswer {

@@ -2,6 +2,8 @@
 
 use rtse_data::{HistoryStore, SlotOfDay, SLOTS_PER_DAY};
 use rtse_graph::Graph;
+use rtse_obs::ObsHandle;
+use rtse_pool::ComputePool;
 use rtse_rtf::{CorrelationTable, PathCorrelation, RtfModel, RtfTrainer};
 use std::sync::{Arc, OnceLock};
 
@@ -14,6 +16,7 @@ use std::sync::{Arc, OnceLock};
 pub struct OfflineArtifacts {
     model: RtfModel,
     semantics: PathCorrelation,
+    obs: ObsHandle,
     /// One lazily-initialized entry per slot of the day. A cold build
     /// blocks only callers of *that* slot (warm slots stay lock-free and
     /// wait-free), and concurrent cold callers coalesce into a single
@@ -36,7 +39,12 @@ impl OfflineArtifacts {
 
     /// Wraps an already-trained (or loaded) model.
     pub fn from_model(model: RtfModel) -> Self {
-        Self { model, semantics: PathCorrelation::MaxProduct, corr_cache: fresh_cache() }
+        Self {
+            model,
+            semantics: PathCorrelation::MaxProduct,
+            obs: ObsHandle::noop(),
+            corr_cache: fresh_cache(),
+        }
     }
 
     /// Overrides the path-correlation semantics (ablation use). Clears the
@@ -44,6 +52,20 @@ impl OfflineArtifacts {
     pub fn with_semantics(mut self, semantics: PathCorrelation) -> Self {
         self.semantics = semantics;
         self.corr_cache = fresh_cache();
+        self
+    }
+
+    /// Routes lazy correlation-table builds through `obs` (one
+    /// `corr.dijkstra_row` span per road). Cached tables built before the
+    /// swap keep whatever instrumentation they were built under; the cache
+    /// is deliberately left intact so the swap is cheap.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
+    }
+
+    /// Builder form of [`Self::set_obs`].
+    pub fn with_obs(mut self, obs: ObsHandle) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -59,7 +81,16 @@ impl OfflineArtifacts {
     /// builds of the same cold slot coalesce (exactly one build runs; the
     /// rest block on it and share the resulting `Arc`).
     pub fn corr_table(&self, graph: &Graph, slot: SlotOfDay) -> Arc<CorrelationTable> {
-        self.corr_entry(slot, || CorrelationTable::build(graph, &self.model, slot, self.semantics))
+        self.corr_entry(slot, || {
+            CorrelationTable::build_observed(
+                graph,
+                &self.model,
+                slot,
+                self.semantics,
+                &ComputePool::from_env(),
+                &self.obs,
+            )
+        })
     }
 
     /// Per-slot get-or-init, separated from [`Self::corr_table`] so tests

@@ -11,7 +11,7 @@ use crate::query::SpeedQuery;
 use rtse_crowd::WorkerPool;
 use rtse_data::SlotOfDay;
 use rtse_graph::RoadId;
-use rtse_gsp::relax::propagate_warm;
+use rtse_gsp::relax::propagate_warm_observed;
 use rtse_ocs::Selection;
 use std::error::Error;
 use std::fmt;
@@ -138,14 +138,20 @@ impl<'e, 'g> MonitoringSession<'e, 'g> {
         let params = self.engine.offline().model().slot(slot);
         let warm_started = self.last_values.is_some();
         let result = match &self.last_values {
-            Some(prev) => propagate_warm(
+            Some(prev) => propagate_warm_observed(
                 &self.config.gsp,
                 self.engine.graph(),
                 params,
                 &outcome.observations,
                 prev,
+                self.engine.obs(),
             ),
-            None => self.config.gsp.propagate(self.engine.graph(), params, &outcome.observations),
+            None => self.config.gsp.propagate_observed(
+                self.engine.graph(),
+                params,
+                &outcome.observations,
+                self.engine.obs(),
+            ),
         };
         self.total_paid += outcome.paid;
         self.rounds_run += 1;

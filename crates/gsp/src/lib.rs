@@ -26,7 +26,7 @@ pub mod uncertainty;
 
 pub use exact::exact_map_estimate;
 pub use parallel::ParallelGsp;
-pub use relax::{propagate_warm, DampedGsp};
+pub use relax::{propagate_warm, propagate_warm_observed, DampedGsp};
 pub use schedule::UpdateSchedule;
 pub use solver::{GspResult, GspSolver};
 pub use uncertainty::{sample_posterior, PosteriorSummary};

@@ -16,6 +16,7 @@
 use crate::schedule::UpdateSchedule;
 use crate::solver::{GspResult, GspSolver};
 use rtse_graph::{Graph, RoadId};
+use rtse_obs::{ObsHandle, Stage};
 use rtse_rtf::likelihood::optimal_update;
 use rtse_rtf::params::SlotParams;
 
@@ -71,8 +72,29 @@ pub fn propagate_warm(
     observations: &[(RoadId, f64)],
     warm_start: &[f64],
 ) -> GspResult {
+    propagate_warm_observed(solver, graph, params, observations, warm_start, &ObsHandle::noop())
+}
+
+/// [`propagate_warm`] with instrumentation: one `gsp.round` span for the
+/// run plus the sweep count in `gsp.iters_to_converge`, mirroring
+/// [`GspSolver::propagate_observed`]. Estimates are bit-identical to the
+/// unobserved call.
+///
+/// # Panics
+/// Panics when `warm_start.len()` differs from the road count.
+pub fn propagate_warm_observed(
+    solver: &GspSolver,
+    graph: &Graph,
+    params: &SlotParams,
+    observations: &[(RoadId, f64)],
+    warm_start: &[f64],
+    obs: &ObsHandle,
+) -> GspResult {
+    let _span = obs.span(Stage::GspRound);
     assert_eq!(warm_start.len(), graph.num_roads(), "warm start length mismatch");
-    run(graph, params, observations, Some(warm_start), solver, 1.0)
+    let result = run(graph, params, observations, Some(warm_start), solver, 1.0);
+    obs.record(Stage::GspItersToConverge, result.rounds as u64);
+    result
 }
 
 fn run(

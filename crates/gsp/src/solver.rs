@@ -108,6 +108,21 @@ impl GspSolver {
         params: &SlotParams,
         observations: &[(RoadId, f64)],
     ) -> GspResult {
+        self.propagate_observed(graph, params, observations, &rtse_obs::ObsHandle::noop())
+    }
+
+    /// [`propagate`](Self::propagate) with instrumentation: the whole run
+    /// is timed as one `gsp.round` span and the executed sweep count
+    /// lands in the `gsp.iters_to_converge` histogram on `obs`. Estimates
+    /// are bit-identical to the unobserved call.
+    pub fn propagate_observed(
+        &self,
+        graph: &Graph,
+        params: &SlotParams,
+        observations: &[(RoadId, f64)],
+        obs: &rtse_obs::ObsHandle,
+    ) -> GspResult {
+        let _span = obs.span(rtse_obs::Stage::GspRound);
         assert_eq!(params.mu.len(), graph.num_roads(), "params/graph mismatch");
         // Initialization (Alg. 5 line 2): observed values for sampled
         // roads, slot means elsewhere.
@@ -143,6 +158,7 @@ impl GspSolver {
             }
             converged = max_delta < self.epsilon;
         }
+        obs.record(rtse_obs::Stage::GspItersToConverge, rounds as u64);
         let result = GspResult {
             values,
             rounds,

@@ -1,0 +1,295 @@
+//! Bounded log-linear histogram (HdrHistogram-lite).
+//!
+//! Values land in one of [`N_BUCKETS`] fixed buckets: values below
+//! [`LINEAR_LIMIT`] get an exact unit bucket; above it each power-of-two
+//! octave is split into [`SUB_BUCKETS`] linear sub-buckets, so any
+//! recorded value sits in a bucket whose width is at most 25% of its
+//! lower bound. Quantile estimates are therefore always bracketed by the
+//! bounds of the bucket holding the true quantile, with bounded relative
+//! error and O(1) memory — no allocation ever happens on the record path.
+//!
+//! All mutation is `Relaxed` atomic adds: recording is lock-free and
+//! safe from any number of threads, and counts are never lost (see the
+//! barrier-based proptest in `tests/properties.rs`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per power-of-two octave.
+pub const SUB_BUCKETS: usize = 4;
+/// Values below this are counted in exact unit buckets.
+pub const LINEAR_LIMIT: u64 = SUB_BUCKETS as u64;
+/// Total bucket count covering the full `u64` domain:
+/// `SUB_BUCKETS` exact buckets plus 62 octaves × `SUB_BUCKETS`.
+pub const N_BUCKETS: usize = SUB_BUCKETS + 62 * SUB_BUCKETS;
+
+/// Bucket index of `value`.
+pub fn bucket_of(value: u64) -> usize {
+    if value < LINEAR_LIMIT {
+        return usize::try_from(value).unwrap_or(0);
+    }
+    // 2^k <= value < 2^(k+1), k >= 2: four sub-buckets of width 2^(k-2).
+    let k = 63 - value.leading_zeros() as usize;
+    let sub = usize::try_from((value >> (k - 2)) & 3).unwrap_or(0);
+    SUB_BUCKETS + (k - 2) * SUB_BUCKETS + sub
+}
+
+/// Inclusive `(lower, upper)` value bounds of bucket `index`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < SUB_BUCKETS {
+        return (index as u64, index as u64);
+    }
+    let octave = (index - SUB_BUCKETS) / SUB_BUCKETS;
+    let sub = ((index - SUB_BUCKETS) % SUB_BUCKETS) as u64;
+    let k = octave + 2;
+    let width = 1u64 << (k - 2);
+    let lower = (1u64 << k) + sub * width;
+    (lower, lower + (width - 1))
+}
+
+/// A fixed-size atomic log-linear histogram.
+#[derive(Debug)]
+pub struct LogLinearHistogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogLinearHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogLinearHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value. Lock-free; callable from any thread.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Recorded value count.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Folds every count of `other` into `self`, as if the union of both
+    /// recording streams had been recorded here.
+    pub fn merge_from(&self, other: &LogLinearHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min.fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max.fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// A plain copy of the current state. Individual fields are exact;
+    /// the snapshot as a whole is quiescently consistent (like every
+    /// other multi-atomic read in the pipeline).
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = vec![0u64; N_BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`LogLinearHistogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket counts, indexed like [`bucket_of`].
+    pub buckets: Vec<u64>,
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values (wrapping beyond `u64`).
+    pub sum: u64,
+    /// Smallest recorded value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl HistSnapshot {
+    /// Estimated `q`-quantile (`q` clamped to `[0, 1]`); `None` when
+    /// empty. The estimate is clamped into the bounds of the bucket that
+    /// holds the true rank-`ceil(q·count)` value, so it is always within
+    /// 25% relative error of the true quantile.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum = cum.saturating_add(n);
+            if cum >= rank {
+                let (lower, upper) = bucket_bounds(i);
+                // Tighten with the observed extremes: the true quantile
+                // lies in [lower, upper] and in [min, max].
+                return Some(upper.min(self.max).max(lower.max(self.min.min(upper))));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Mean recorded value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// Smallest recorded value, `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value, `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_scheme_is_exact_below_the_linear_limit() {
+        for v in 0..LINEAR_LIMIT {
+            let b = bucket_of(v);
+            assert_eq!(bucket_bounds(b), (v, v));
+        }
+    }
+
+    #[test]
+    fn every_value_lands_inside_its_bucket_bounds() {
+        let probes = [
+            0,
+            1,
+            3,
+            4,
+            5,
+            7,
+            8,
+            9,
+            15,
+            16,
+            100,
+            1_000,
+            65_535,
+            65_536,
+            1 << 40,
+            (1 << 40) + 12345,
+            u64::MAX / 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for v in probes {
+            let b = bucket_of(v);
+            assert!(b < N_BUCKETS, "{v} maps past the bucket array");
+            let (lower, upper) = bucket_bounds(b);
+            assert!(lower <= v && v <= upper, "{v} outside [{lower}, {upper}] (bucket {b})");
+        }
+    }
+
+    #[test]
+    fn buckets_tile_the_domain_without_gaps() {
+        let mut expected_next = 0u64;
+        for i in 0..N_BUCKETS {
+            let (lower, upper) = bucket_bounds(i);
+            assert_eq!(lower, expected_next, "gap/overlap before bucket {i}");
+            assert!(upper >= lower);
+            if upper == u64::MAX {
+                assert_eq!(i, N_BUCKETS - 1);
+                return;
+            }
+            expected_next = upper + 1;
+        }
+        panic!("last bucket does not reach u64::MAX");
+    }
+
+    #[test]
+    fn relative_width_is_bounded() {
+        for i in SUB_BUCKETS..N_BUCKETS {
+            let (lower, upper) = bucket_bounds(i);
+            let width = upper - lower;
+            assert!(width <= lower / 4, "bucket {i} wider than 25% of its lower bound");
+        }
+    }
+
+    #[test]
+    fn record_and_snapshot_roundtrip() {
+        let h = LogLinearHistogram::new();
+        for v in [1u64, 1, 5, 100, 10_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 10_107);
+        assert_eq!(s.min(), Some(1));
+        assert_eq!(s.max(), Some(10_000));
+        assert!((s.mean() - 10_107.0 / 5.0).abs() < 1e-9);
+        assert_eq!(s.quantile(0.0), Some(1));
+        // p50 of [1, 1, 5, 100, 10000] is 5 (exact: 5 < LINEAR_LIMIT is
+        // false, but its bucket is tight).
+        let p50 = s.quantile(0.5).expect("non-empty");
+        let (lo, hi) = bucket_bounds(bucket_of(5));
+        assert!(lo <= p50 && p50 <= hi);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let s = LogLinearHistogram::new().snapshot();
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert!(s.mean().abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_matches_union_on_a_fixed_case() {
+        let a = LogLinearHistogram::new();
+        let b = LogLinearHistogram::new();
+        let union = LogLinearHistogram::new();
+        for v in [3u64, 700, 700, 1 << 33] {
+            a.record(v);
+            union.record(v);
+        }
+        for v in [0u64, 9, 1 << 50] {
+            b.record(v);
+            union.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.snapshot(), union.snapshot());
+    }
+}

@@ -1,0 +1,151 @@
+//! The static stage taxonomy.
+//!
+//! Every instrumented hot path records under one of these fixed stages.
+//! The set is closed on purpose: a static enum keeps the registry a flat
+//! array of atomics (no locks, no allocation on the record path) and
+//! keeps BENCH JSON keys stable across runs. New hot paths must add a
+//! variant here first (see CONTRIBUTING.md).
+
+/// What a stage measures, and therefore how its cell is rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageKind {
+    /// A timed scope: `count` invocations, nanosecond histogram.
+    Span,
+    /// A recorded magnitude (iterations, sizes): unit-less histogram.
+    Value,
+    /// A monotone event counter.
+    Counter,
+    /// A level that rises and falls; tracks current and high-water mark.
+    Gauge,
+}
+
+impl StageKind {
+    /// Stable lower-case name used in JSON snapshots.
+    pub fn name(self) -> &'static str {
+        match self {
+            StageKind::Span => "span",
+            StageKind::Value => "value",
+            StageKind::Counter => "counter",
+            StageKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// One instrumented stage of the pipeline.
+///
+/// Discriminants index the registry's cell array; keep them dense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Stage {
+    /// One RTF per-slot model fit (288 per full training pass).
+    RtfSlotFit,
+    /// One single-source Dijkstra row of a correlation table
+    /// (`n_roads` per slot built).
+    CorrDijkstraRow,
+    /// One OCS road-selection solve.
+    OcsSelect,
+    /// One OCS→crowd→GSP propagation round.
+    GspRound,
+    /// GSP sweeps until convergence, recorded per propagation.
+    GspItersToConverge,
+    /// Jobs dispatched through the compute pool (including the serial
+    /// short-circuit path, so the count is thread-count invariant).
+    PoolJobs,
+    /// Jobs queued but not yet picked up by a pool worker.
+    PoolQueueDepth,
+    /// Time a serve request waits from admission to batch pickup.
+    ServeQueueWait,
+    /// Answered serve queries that hit the slot cache.
+    ServeCacheHit,
+    /// One shared serve round (cache-miss compute), timed end to end.
+    ServeRound,
+}
+
+impl Stage {
+    /// Every stage, in cell order.
+    pub const ALL: [Stage; 10] = [
+        Stage::RtfSlotFit,
+        Stage::CorrDijkstraRow,
+        Stage::OcsSelect,
+        Stage::GspRound,
+        Stage::GspItersToConverge,
+        Stage::PoolJobs,
+        Stage::PoolQueueDepth,
+        Stage::ServeQueueWait,
+        Stage::ServeCacheHit,
+        Stage::ServeRound,
+    ];
+
+    /// Number of stages (registry cell count).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// The dotted stage name used in JSON snapshots and docs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::RtfSlotFit => "rtf.slot_fit",
+            Stage::CorrDijkstraRow => "corr.dijkstra_row",
+            Stage::OcsSelect => "ocs.select",
+            Stage::GspRound => "gsp.round",
+            Stage::GspItersToConverge => "gsp.iters_to_converge",
+            Stage::PoolJobs => "pool.jobs",
+            Stage::PoolQueueDepth => "pool.queue_depth",
+            Stage::ServeQueueWait => "serve.queue_wait",
+            Stage::ServeCacheHit => "serve.cache_hit",
+            Stage::ServeRound => "serve.round",
+        }
+    }
+
+    /// Cell index of this stage in the registry (dense, in `ALL` order).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// What this stage measures.
+    pub fn kind(self) -> StageKind {
+        match self {
+            Stage::RtfSlotFit
+            | Stage::CorrDijkstraRow
+            | Stage::OcsSelect
+            | Stage::GspRound
+            | Stage::ServeQueueWait
+            | Stage::ServeRound => StageKind::Span,
+            Stage::GspItersToConverge => StageKind::Value,
+            Stage::PoolJobs | Stage::ServeCacheHit => StageKind::Counter,
+            Stage::PoolQueueDepth => StageKind::Gauge,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_is_dense_and_in_discriminant_order() {
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            assert_eq!(stage.index(), i, "{} out of order", stage.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_dotted() {
+        let mut names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Stage::COUNT);
+        for name in names {
+            assert!(name.contains('.'), "{name} lacks a subsystem prefix");
+        }
+    }
+
+    #[test]
+    fn kinds_partition_the_taxonomy() {
+        use StageKind::*;
+        let spans = Stage::ALL.iter().filter(|s| s.kind() == Span).count();
+        let values = Stage::ALL.iter().filter(|s| s.kind() == Value).count();
+        let counters = Stage::ALL.iter().filter(|s| s.kind() == Counter).count();
+        let gauges = Stage::ALL.iter().filter(|s| s.kind() == Gauge).count();
+        assert_eq!(spans + values + counters + gauges, Stage::COUNT);
+        assert_eq!(gauges, 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property and concurrency tests for the observability primitives.
+//!
+//! Three histogram properties from the crate's contract, plus the
+//! overhead bound the no-op handle promises:
+//!
+//! 1. quantile estimates are bracketed by the bounds of the bucket that
+//!    holds the true rank statistic;
+//! 2. `merge_from(a, b)` is indistinguishable from recording the union
+//!    of both streams;
+//! 3. barrier-synchronized concurrent recording from 8 threads loses no
+//!    counts (the record path is contention-safe, not just data-race
+//!    free);
+//! 4. recording through a no-op [`ObsHandle`] costs nanoseconds, not
+//!    microseconds, per call.
+
+use proptest::prelude::*;
+use rtse_obs::hist::{bucket_bounds, bucket_of, LogLinearHistogram};
+use rtse_obs::{ObsHandle, Stage};
+use std::sync::Barrier;
+use std::time::Instant;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any sample set and any quantile, the estimate lies within the
+    /// value bounds of the bucket containing the true rank-`⌈q·n⌉`
+    /// order statistic — the bracketing contract that makes the p50/p99
+    /// numbers in the BENCH JSONs trustworthy to ±25%.
+    #[test]
+    fn quantiles_are_bracketed_by_the_true_ranks_bucket(
+        samples in proptest::collection::vec(0u64..u64::MAX, 1..200),
+        q_millis in 0u64..1001,
+    ) {
+        let hist = LogLinearHistogram::new();
+        for &v in &samples {
+            hist.record(v);
+        }
+        let snapshot = hist.snapshot();
+        let q = q_millis as f64 / 1000.0;
+
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let true_value = sorted[rank - 1];
+        let (lower, upper) = bucket_bounds(bucket_of(true_value));
+
+        let estimate = snapshot.quantile(q).expect("non-empty histogram");
+        prop_assert!(
+            lower <= estimate && estimate <= upper,
+            "q={} estimate {} outside [{}, {}] around true rank value {}",
+            q, estimate, lower, upper, true_value
+        );
+    }
+
+    /// Merging histograms is exactly recording the union: bucket counts,
+    /// count, sum, min and max all agree, so per-thread histograms can be
+    /// folded without losing fidelity.
+    #[test]
+    fn merge_equals_recording_the_union(
+        left in proptest::collection::vec(0u64..u64::MAX, 0..100),
+        right in proptest::collection::vec(0u64..u64::MAX, 0..100),
+    ) {
+        let a = LogLinearHistogram::new();
+        let b = LogLinearHistogram::new();
+        let union = LogLinearHistogram::new();
+        for &v in &left {
+            a.record(v);
+            union.record(v);
+        }
+        for &v in &right {
+            b.record(v);
+            union.record(v);
+        }
+        a.merge_from(&b);
+        prop_assert_eq!(a.snapshot(), union.snapshot());
+    }
+}
+
+/// 8 threads released by one barrier hammer a single histogram; every
+/// recorded value must be accounted for in the totals and the per-bucket
+/// counts (atomic adds lose nothing under contention).
+#[test]
+fn concurrent_recording_from_eight_threads_loses_no_counts() {
+    let hist = LogLinearHistogram::new();
+    let threads = 8usize;
+    let per_thread = 2_000usize;
+    let start = Barrier::new(threads);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let hist = &hist;
+            let start = &start;
+            scope.spawn(move || {
+                start.wait();
+                for i in 0..per_thread {
+                    // Deterministic mixed-magnitude stream per thread.
+                    let v = ((t * per_thread + i) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        >> (i % 64);
+                    hist.record(v);
+                }
+            });
+        }
+    });
+    let snapshot = hist.snapshot();
+    let expected = (threads * per_thread) as u64;
+    assert_eq!(snapshot.count, expected, "count lost under contention");
+    let bucket_total: u64 = snapshot.buckets.iter().sum();
+    assert_eq!(bucket_total, expected, "bucket counts lost under contention");
+
+    // Cross-check against an identical serial recording.
+    let serial = LogLinearHistogram::new();
+    for t in 0..threads {
+        for i in 0..per_thread {
+            let v = ((t * per_thread + i) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (i % 64);
+            serial.record(v);
+        }
+    }
+    assert_eq!(snapshot, serial.snapshot(), "concurrent result differs from serial");
+}
+
+/// The disabled path's promise: a no-op handle makes `incr` and `span`
+/// cost near nothing. The bound here is deliberately generous (well under
+/// a microsecond per op on any host this runs on) — it exists to catch a
+/// regression that puts an allocation, a clock read, or a lock on the
+/// disabled path, not to benchmark.
+#[test]
+fn noop_handle_overhead_is_negligible() {
+    let obs = ObsHandle::noop();
+    let iters = 100_000u32;
+    let start = Instant::now();
+    for _ in 0..iters {
+        obs.incr(Stage::PoolJobs);
+        let _span = obs.span(Stage::GspRound);
+    }
+    let per_op_ns = start.elapsed().as_nanos() as f64 / f64::from(iters);
+    assert!(
+        per_op_ns < 1_000.0,
+        "no-op incr+span pair took {per_op_ns:.1} ns; the disabled path must stay trivial"
+    );
+}

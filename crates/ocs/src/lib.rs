@@ -24,6 +24,7 @@
 pub mod exact;
 pub mod lazy;
 pub mod objective;
+pub mod observed;
 pub mod problem;
 pub mod random;
 pub mod solvers;
@@ -32,6 +33,7 @@ pub mod trivial;
 pub use exact::exact_solve;
 pub use lazy::{lazy_hybrid_greedy, lazy_objective_greedy, lazy_ratio_greedy};
 pub use objective::{ocs_value, SelectionState};
+pub use observed::observed_select;
 pub use problem::{validate_selection, OcsInstance, Selection};
 pub use random::random_select;
 pub use solvers::{hybrid_greedy, objective_greedy, ratio_greedy};

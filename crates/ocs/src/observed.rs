@@ -1,0 +1,49 @@
+//! Instrumented wrapper around OCS solves.
+//!
+//! The solver entry points are plain functions over borrowed
+//! [`OcsInstance`](crate::OcsInstance)s, and [`Selection`] equality is
+//! load-bearing in the lazy-vs-plain regression tests — so neither can
+//! grow an observability field. Instead the engine routes every solve
+//! through [`observed_select`], which times the solve as one
+//! `ocs.select` span and leaves the returned [`Selection`] untouched.
+
+use crate::problem::Selection;
+use rtse_obs::{ObsHandle, Stage};
+
+/// Runs `solve` under one `ocs.select` span on `obs`.
+///
+/// The closure's result is returned unchanged, so any solver (greedy,
+/// lazy, exact, random) can be wrapped without perturbing its output:
+/// instrumented and uninstrumented selections are identical.
+pub fn observed_select(obs: &ObsHandle, solve: impl FnOnce() -> Selection) -> Selection {
+    let _span = obs.span(Stage::OcsSelect);
+    solve()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtse_graph::RoadId;
+
+    #[test]
+    fn wrapper_returns_the_solver_output_unchanged() {
+        let obs = ObsHandle::fresh();
+        let picked = observed_select(&obs, || Selection {
+            roads: vec![RoadId(3), RoadId(1)],
+            value: 1.5,
+            spent: 2,
+        });
+        assert_eq!(picked.roads, vec![RoadId(3), RoadId(1)]);
+        if obs.is_enabled() {
+            let reg = obs.registry().expect("fresh handle has a registry");
+            assert_eq!(reg.count(Stage::OcsSelect), 1);
+        }
+    }
+
+    #[test]
+    fn noop_handle_counts_nothing() {
+        let obs = ObsHandle::noop();
+        let picked = observed_select(&obs, Selection::empty);
+        assert!(picked.roads.is_empty());
+    }
+}

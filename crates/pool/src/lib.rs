@@ -36,7 +36,18 @@
 //! [`ComputePool::new`] takes an explicit thread count; `0` (or
 //! [`ComputePool::from_env`]) defers to the `RTSE_THREADS` environment
 //! variable, falling back to [`std::thread::available_parallelism`].
+//!
+//! ## Observability
+//!
+//! The `*_observed` entry points ([`ComputePool::map_observed`],
+//! [`ComputePool::scoped_observed`]) thread an [`rtse_obs::ObsHandle`]
+//! through the scope: every dispatched job counts under `pool.jobs`
+//! (`map` counts one per item at every thread count, including the
+//! serial short-circuit) and queued-but-not-started jobs move the
+//! `pool.queue_depth` gauge. The plain entry points delegate with a
+//! no-op handle and pay nothing.
 
+use rtse_obs::{ObsHandle, Stage};
 use std::panic::AssertUnwindSafe;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Mutex, MutexGuard, PoisonError};
@@ -105,13 +116,26 @@ impl ComputePool {
         O: Send,
         F: Fn(usize, T) -> O + Sync,
     {
+        self.map_observed(&ObsHandle::noop(), items, f)
+    }
+
+    /// [`map`](Self::map) with job accounting: every item counts one
+    /// `pool.jobs` event on `obs` — including on the serial short-circuit
+    /// path, so the count is invariant across thread counts.
+    pub fn map_observed<T, O, F>(&self, obs: &ObsHandle, items: Vec<T>, f: F) -> Vec<O>
+    where
+        T: Send,
+        O: Send,
+        F: Fn(usize, T) -> O + Sync,
+    {
         let n = items.len();
         if self.threads <= 1 || n <= 1 {
+            obs.add(Stage::PoolJobs, n as u64);
             return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
         }
         let f = &f;
         let (tx, rx) = channel::<(usize, std::thread::Result<O>)>();
-        self.scoped(|scope| {
+        self.scoped_observed(obs, |scope| {
             for (i, item) in items.into_iter().enumerate() {
                 let tx = tx.clone();
                 scope.submit(Box::new(move || {
@@ -138,8 +162,19 @@ impl ComputePool {
     /// `scoped` returns. With a single-thread pool no workers are spawned
     /// and jobs run inline on submission.
     pub fn scoped<'p, R>(&'p self, f: impl FnOnce(&PoolScope<'p>) -> R) -> R {
+        self.scoped_observed(&ObsHandle::noop(), f)
+    }
+
+    /// [`scoped`](Self::scoped) with job accounting: submissions count
+    /// `pool.jobs` events and move the `pool.queue_depth` gauge on `obs`
+    /// while queued (see [`PoolScope::submit`]).
+    pub fn scoped_observed<'p, R>(
+        &'p self,
+        obs: &ObsHandle,
+        f: impl FnOnce(&PoolScope<'p>) -> R,
+    ) -> R {
         if self.threads <= 1 {
-            return f(&PoolScope { tx: None, threads: 1 });
+            return f(&PoolScope { tx: None, threads: 1, obs: obs.clone() });
         }
         let (tx, rx) = channel::<Job<'p>>();
         let rx = Mutex::new(rx);
@@ -148,7 +183,7 @@ impl ComputePool {
             for _ in 0..self.threads {
                 s.spawn(move || worker_loop(rx));
             }
-            let scope = PoolScope { tx: Some(tx), threads: self.threads };
+            let scope = PoolScope { tx: Some(tx), threads: self.threads, obs: obs.clone() };
             f(&scope)
             // `scope` (and with it the job sender) drops here; workers
             // drain the queue, exit, and the thread scope joins them.
@@ -173,6 +208,9 @@ pub struct PoolScope<'p> {
     /// `None` for a single-thread pool: jobs run inline.
     tx: Option<Sender<Job<'p>>>,
     threads: usize,
+    /// Job accounting sink (no-op unless the scope was opened through
+    /// [`ComputePool::scoped_observed`]).
+    obs: ObsHandle,
 }
 
 impl<'p> PoolScope<'p> {
@@ -183,9 +221,24 @@ impl<'p> PoolScope<'p> {
 
     /// Queues one job. Runs it inline when the pool is single-threaded or
     /// (defensively) when every worker has died.
+    ///
+    /// With an enabled scope handle, each submission counts one
+    /// `pool.jobs` event, and queued jobs raise the `pool.queue_depth`
+    /// gauge until a worker picks them up.
     pub fn submit(&self, job: Job<'p>) {
+        self.obs.incr(Stage::PoolJobs);
         match &self.tx {
             Some(tx) => {
+                let job: Job<'p> = if self.obs.is_enabled() {
+                    let obs = self.obs.clone();
+                    obs.gauge_add(Stage::PoolQueueDepth, 1);
+                    Box::new(move || {
+                        obs.gauge_add(Stage::PoolQueueDepth, -1);
+                        job();
+                    })
+                } else {
+                    job
+                };
                 if let Err(send_back) = tx.send(job) {
                     (send_back.0)();
                 }
@@ -335,5 +388,50 @@ mod tests {
     #[test]
     fn env_threads_is_positive() {
         assert!(env_threads() >= 1);
+    }
+
+    #[test]
+    fn observed_map_counts_one_job_per_item_at_every_thread_count() {
+        let items: Vec<usize> = (0..37).collect();
+        for threads in [1, 2, 4, 8] {
+            let obs = ObsHandle::fresh();
+            let got = ComputePool::new(threads).map_observed(&obs, items.clone(), |_, x| x * 2);
+            assert_eq!(got.len(), 37);
+            if obs.is_enabled() {
+                let reg = obs.registry().expect("fresh handle has a registry");
+                assert_eq!(reg.count(Stage::PoolJobs), 37, "threads = {threads}");
+                assert_eq!(reg.gauge(Stage::PoolQueueDepth), 0, "queue drained");
+            }
+        }
+    }
+
+    #[test]
+    fn observed_scope_counts_submissions_and_returns_gauge_to_zero() {
+        let obs = ObsHandle::fresh();
+        let pool = ComputePool::new(4);
+        let counter = AtomicUsize::new(0);
+        pool.scoped_observed(&obs, |scope| {
+            for _ in 0..25 {
+                scope.submit(Box::new(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }));
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 25);
+        if obs.is_enabled() {
+            let reg = obs.registry().expect("fresh handle has a registry");
+            assert_eq!(reg.count(Stage::PoolJobs), 25);
+            assert_eq!(reg.gauge(Stage::PoolQueueDepth), 0);
+            let depth_max = reg.snapshot().stage(Stage::PoolQueueDepth).gauge_max;
+            assert!(depth_max >= 0);
+        }
+    }
+
+    #[test]
+    fn plain_entry_points_stay_unobserved() {
+        // `map`/`scoped` must not panic or misbehave through the no-op
+        // delegation (overhead is just the disabled-handle branch).
+        let got = ComputePool::new(4).map((0..10).collect::<Vec<usize>>(), |_, x| x + 1);
+        assert_eq!(got[9], 10);
     }
 }

@@ -17,6 +17,7 @@
 use crate::params::{RtfModel, SlotParams};
 use rtse_data::SlotOfDay;
 use rtse_graph::{dijkstra, dijkstra_with_paths, Graph, RoadId};
+use rtse_obs::{ObsHandle, Stage};
 use rtse_pool::ComputePool;
 
 /// Which reading of Eqs. (8)–(10) to use for non-adjacent pairs.
@@ -136,13 +137,32 @@ impl CorrelationTable {
         semantics: PathCorrelation,
         pool: &ComputePool,
     ) -> Self {
+        Self::build_observed(graph, model, slot, semantics, pool, &ObsHandle::noop())
+    }
+
+    /// [`build_with_pool`](Self::build_with_pool) with instrumentation:
+    /// each per-source row fill (one Dijkstra) is timed as one
+    /// `corr.dijkstra_row` span, so a full build records exactly
+    /// `n_roads` spans on `obs`. The table is bit-identical to the
+    /// unobserved build.
+    pub fn build_observed(
+        graph: &Graph,
+        model: &RtfModel,
+        slot: SlotOfDay,
+        semantics: PathCorrelation,
+        pool: &ComputePool,
+        obs: &ObsHandle,
+    ) -> Self {
         assert!(model.matches_graph(graph), "model/graph dimension mismatch");
         let n = graph.num_roads();
         let params = model.slot(slot);
         let mut values = vec![0.0; n * n];
         if n > 0 {
             let rows: Vec<&mut [f64]> = values.chunks_mut(n).collect();
-            pool.map(rows, |src, row| fill_row(graph, params, semantics, RoadId::from(src), row));
+            pool.map_observed(obs, rows, |src, row| {
+                let _span = obs.span(Stage::CorrDijkstraRow);
+                fill_row(graph, params, semantics, RoadId::from(src), row);
+            });
         }
         let table = Self { n, slot, semantics, values };
         #[cfg(feature = "validate")]

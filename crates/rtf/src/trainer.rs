@@ -16,6 +16,7 @@ use crate::moments::moment_estimate_slot;
 use crate::params::{RtfModel, SlotParams, RHO_MAX, RHO_MIN, SIGMA_MIN};
 use rtse_data::{HistoryStore, SlotOfDay};
 use rtse_graph::{EdgeId, Graph, RoadId};
+use rtse_obs::{ObsHandle, Stage};
 use rtse_pool::ComputePool;
 
 /// How the trainer initializes the parameters.
@@ -125,10 +126,25 @@ impl RtfTrainer {
     /// order and each fit is self-contained, so the trained model is
     /// bit-identical to a serial run at any thread count.
     pub fn train(&self, graph: &Graph, history: &HistoryStore) -> (RtfModel, Vec<TrainStats>) {
+        self.train_with_obs(graph, history, &ObsHandle::noop())
+    }
+
+    /// [`train`](Self::train) with instrumentation: each per-slot fit is
+    /// timed as one `rtf.slot_fit` span (288 per full pass) and the pool
+    /// dispatch is job-accounted on `obs`. The trained model is
+    /// bit-identical to [`train`](Self::train) — spans only observe.
+    pub fn train_with_obs(
+        &self,
+        graph: &Graph,
+        history: &HistoryStore,
+        obs: &ObsHandle,
+    ) -> (RtfModel, Vec<TrainStats>) {
         assert_eq!(history.num_roads(), graph.num_roads(), "history/graph mismatch");
         let pool = ComputePool::new(self.threads);
-        let fitted =
-            pool.map(SlotOfDay::all().collect(), |_, t| self.train_slot(graph, history, t));
+        let fitted = pool.map_observed(obs, SlotOfDay::all().collect(), |_, t| {
+            let _span = obs.span(Stage::RtfSlotFit);
+            self.train_slot(graph, history, t)
+        });
         let mut slots = Vec::with_capacity(rtse_data::SLOTS_PER_DAY);
         let mut stats = Vec::with_capacity(rtse_data::SLOTS_PER_DAY);
         for (p, s) in fitted {

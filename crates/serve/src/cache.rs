@@ -12,6 +12,7 @@
 //! answers are staleness-bounded, so a hit requires the cached round to be
 //! younger than the caller's freshness requirement.
 
+use crate::coherence::Coherence;
 use rtse_data::{SlotOfDay, SLOTS_PER_DAY};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
@@ -88,8 +89,33 @@ impl AnswerCache {
         max_age: Duration,
         compute: impl FnOnce(u64) -> Result<Vec<f64>, E>,
     ) -> Result<CacheOutcome, E> {
+        self.round_for_published(slot, max_age, &Coherence::new(), compute, || {})
+    }
+
+    /// [`Self::round_for`] with coherent publication: on a successful
+    /// compute, the generation store and the caller's `publish` side
+    /// effect run inside one [`Coherence::write`] section, so a
+    /// [`Coherence::read`] over the cache's generations plus whatever
+    /// `publish` updates (the serving layer's `rounds` counter) sees the
+    /// pair move in lockstep — never the torn half-state where one has
+    /// advanced and the other has not.
+    ///
+    /// `publish` runs only when `compute` succeeds. For out-of-range
+    /// slots (which never cache) it still runs, inside a write section of
+    /// its own, but no generation advances — callers relying on the
+    /// `Σ generations == rounds` invariant must reject such slots before
+    /// computing, as the server's admission path does.
+    pub fn round_for_published<E>(
+        &self,
+        slot: SlotOfDay,
+        max_age: Duration,
+        coherence: &Coherence,
+        compute: impl FnOnce(u64) -> Result<Vec<f64>, E>,
+        publish: impl FnOnce(),
+    ) -> Result<CacheOutcome, E> {
         let Some(cell) = self.cells.get(slot.index()) else {
             let values = compute(1)?;
+            coherence.write(publish);
             let round =
                 Arc::new(CachedRound { values, generation: 1, computed_at: Instant::now() });
             return Ok(CacheOutcome { round, hit: false });
@@ -102,7 +128,10 @@ impl AnswerCache {
         }
         let generation = cell.generation + 1;
         let values = compute(generation)?;
-        cell.generation = generation;
+        coherence.write(|| {
+            cell.generation = generation;
+            publish();
+        });
         let round = Arc::new(CachedRound { values, generation, computed_at: Instant::now() });
         cell.round = Some(Arc::clone(&round));
         Ok(CacheOutcome { round, hit: false })
@@ -111,6 +140,14 @@ impl AnswerCache {
     /// The slot's current generation (0 = never computed). Diagnostics.
     pub fn generation(&self, slot: SlotOfDay) -> u64 {
         self.cells.get(slot.index()).map_or(0, |cell| lock_cell(cell).generation)
+    }
+
+    /// Every slot's generation, in slot order. A bare call can tear
+    /// against the rounds counter; read it inside the same
+    /// [`Coherence::read`] the writers publish under for the lockstep
+    /// guarantee (that is what `ServerHandle::coherent_snapshot` does).
+    pub fn generations(&self) -> Vec<u64> {
+        self.cells.iter().map(|cell| lock_cell(cell).generation).collect()
     }
 }
 
@@ -219,5 +256,52 @@ mod tests {
         for o in &outcomes[1..] {
             assert!(Arc::ptr_eq(&outcomes[0].round, &o.round));
         }
+    }
+
+    /// The coherent-publication contract: with writers publishing through
+    /// [`AnswerCache::round_for_published`], a [`Coherence::read`] over
+    /// (rounds, Σ generations) sees the pair in lockstep at every instant,
+    /// even while rounds complete concurrently on several slots.
+    #[test]
+    fn published_rounds_and_generations_never_tear() {
+        let cache = AnswerCache::new();
+        let rounds = AtomicUsize::new(0);
+        let gate = Coherence::new();
+        let writers = 4usize;
+        let per_writer = 40usize;
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                let cache = &cache;
+                let rounds = &rounds;
+                let gate = &gate;
+                scope.spawn(move || {
+                    for i in 0..per_writer {
+                        let slot = SlotOfDay(((w * 71 + i * 13) % 288) as u16);
+                        cache
+                            .round_for_published(slot, Duration::ZERO, gate, ok(vec![1.0]), || {
+                                rounds.fetch_add(1, Ordering::Relaxed);
+                            })
+                            .expect("infallible");
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for _ in 0..200 {
+                    let (r, g) = gate.read(|| {
+                        (
+                            rounds.load(Ordering::Relaxed),
+                            cache.generations().iter().sum::<u64>() as usize,
+                        )
+                    });
+                    assert_eq!(r, g, "rounds and generations tore apart");
+                }
+            });
+        });
+        assert_eq!(rounds.load(Ordering::SeqCst), writers * per_writer);
+        assert_eq!(
+            cache.generations().iter().sum::<u64>() as usize,
+            writers * per_writer,
+            "every published round advances exactly one slot generation"
+        );
     }
 }

@@ -2,6 +2,7 @@
 
 use crowd_rtse_core::OnlineConfig;
 use rtse_check::InvariantViolation;
+use rtse_obs::ObsHandle;
 use std::time::Duration;
 
 /// Environment override for the micro-batch coalescing window, in
@@ -48,6 +49,15 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Engine configuration used for every shared round.
     pub online: OnlineConfig,
+    /// Observability handle the serving layer records into: shared rounds
+    /// become `serve.round` spans, per-request queue time becomes
+    /// `serve.queue_wait` samples, cache hits mirror into
+    /// `serve.cache_hit`. No-op (zero overhead) by default; point it at a
+    /// registry shared with the engine's [`CrowdRtse::with_obs`] handle
+    /// for one combined per-stage snapshot.
+    ///
+    /// [`CrowdRtse::with_obs`]: crowd_rtse_core::CrowdRtse::with_obs
+    pub obs: ObsHandle,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +69,7 @@ impl Default for ServeConfig {
             ttl: Duration::from_secs(60),
             workers: 0,
             online: OnlineConfig::default(),
+            obs: ObsHandle::noop(),
         }
     }
 }

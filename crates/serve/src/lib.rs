@@ -32,6 +32,7 @@
 //! ```
 
 pub mod cache;
+pub mod coherence;
 pub mod config;
 pub mod error;
 pub mod metrics;
@@ -39,11 +40,12 @@ pub mod request;
 pub mod server;
 
 pub use cache::{AnswerCache, CacheOutcome, CachedRound};
+pub use coherence::Coherence;
 pub use config::{
     ServeConfig, BATCH_WINDOW_ENV, DEADLINE_ENV, MAX_BATCH_WINDOW, MAX_TTL, MAX_WORKERS,
     QUEUE_DEPTH_ENV,
 };
 pub use error::ServeError;
-pub use metrics::{MetricsSnapshot, ServeMetrics};
+pub use metrics::{MetricsSnapshot, ServeMetrics, ServeSnapshot};
 pub use request::{ServeRequest, ServedAnswer, Ticket};
 pub use server::{serve, ServeOutcome, ServeWorld, ServerHandle, TruthSource};

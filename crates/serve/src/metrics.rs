@@ -4,7 +4,16 @@
 //! the admission path; [`ServeMetrics::snapshot`] reads them into a plain
 //! [`MetricsSnapshot`] with the derived ratios the load harness records
 //! (coalescing ratio, cache hit rate).
+//!
+//! The metrics double-book onto the workspace observability registry
+//! (`rtse-obs`) when constructed with [`ServeMetrics::with_obs`]: cache
+//! hits mirror into the `serve.cache_hit` stage counter, so one
+//! `Registry::snapshot_json` carries the serving layer alongside the
+//! engine stages. Cross-counter coherence with the answer cache's
+//! generations is provided by [`ServeSnapshot`] (see
+//! [`crate::coherence`]).
 
+use rtse_obs::{ObsHandle, Stage};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Live serving counters (shared, lock-free).
@@ -18,9 +27,17 @@ pub struct ServeMetrics {
     cache_hit_queries: AtomicU64,
     batches: AtomicU64,
     batched_queries: AtomicU64,
+    /// Mirror of the cache-hit counter onto the shared stage registry.
+    obs: ObsHandle,
 }
 
 impl ServeMetrics {
+    /// Counters that mirror onto `obs` (`serve.cache_hit`) as they
+    /// accumulate. `ServeMetrics::default()` mirrors into a no-op handle.
+    pub fn with_obs(obs: ObsHandle) -> Self {
+        Self { obs, ..Self::default() }
+    }
+
     pub(crate) fn note_submitted(&self) {
         self.submitted.fetch_add(1, Ordering::Relaxed);
     }
@@ -46,6 +63,7 @@ impl ServeMetrics {
         self.answered.fetch_add(1, Ordering::Relaxed);
         if cache_hit {
             self.cache_hit_queries.fetch_add(1, Ordering::Relaxed);
+            self.obs.incr(Stage::ServeCacheHit);
         }
     }
 
@@ -86,6 +104,28 @@ pub struct MetricsSnapshot {
     pub batches: u64,
     /// Total requests across those batches.
     pub batched_queries: u64,
+}
+
+/// One coherent cross-structure view of a serving deployment: the metric
+/// counters together with every slot's cache generation, read inside a
+/// single [`crate::coherence::Coherence::read`] section so the linked
+/// pair (`metrics.rounds`, `Σ generations`) is never torn (see
+/// `ServerHandle::coherent_snapshot`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeSnapshot {
+    /// The serving counters.
+    pub metrics: MetricsSnapshot,
+    /// Cache generation per slot of the day (0 = never computed).
+    pub generations: Vec<u64>,
+}
+
+impl ServeSnapshot {
+    /// Total rebuilds across all slots. Equals `metrics.rounds` in any
+    /// snapshot taken coherently on a server that admits only in-range
+    /// slots — the invariant the coherence layer exists to protect.
+    pub fn total_generations(&self) -> u64 {
+        self.generations.iter().sum()
+    }
 }
 
 impl MetricsSnapshot {

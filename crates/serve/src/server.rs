@@ -28,14 +28,16 @@
 //! queue occupancy as the backpressure signal.
 
 use crate::cache::{AnswerCache, CacheOutcome};
+use crate::coherence::Coherence;
 use crate::config::ServeConfig;
 use crate::error::ServeError;
-use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::metrics::{MetricsSnapshot, ServeMetrics, ServeSnapshot};
 use crate::request::{ServeRequest, ServedAnswer, Ticket};
 use crowd_rtse_core::{CrowdRtse, SpeedQuery};
 use rtse_crowd::WorkerPool;
 use rtse_data::{SlotOfDay, SLOTS_PER_DAY};
 use rtse_graph::RoadId;
+use rtse_obs::Stage;
 use rtse_pool::ComputePool;
 use std::collections::VecDeque;
 use std::sync::mpsc::{channel, Sender};
@@ -95,6 +97,9 @@ struct Shared<'a> {
     arrivals: Condvar,
     cache: AnswerCache,
     metrics: ServeMetrics,
+    /// Keeps the linked (rounds, generations) updates torn-read-free; see
+    /// [`crate::coherence`] and [`ServerHandle::coherent_snapshot`].
+    coherence: Coherence,
     engine: &'a CrowdRtse<'a>,
     world: &'a ServeWorld<'a>,
     config: &'a ServeConfig,
@@ -158,7 +163,8 @@ pub fn serve<R>(
         }),
         arrivals: Condvar::new(),
         cache: AnswerCache::new(),
-        metrics: ServeMetrics::default(),
+        metrics: ServeMetrics::with_obs(config.obs.clone()),
+        coherence: Coherence::new(),
         engine,
         world,
         config,
@@ -282,6 +288,23 @@ impl ServerHandle<'_> {
         self.shared.cache.generation(slot)
     }
 
+    /// One coherent view of the counters *and* the per-slot cache
+    /// generations.
+    ///
+    /// [`Self::metrics`] and [`Self::cache_generation`] are two separate
+    /// reads; a round can complete between them, so differencing their
+    /// results (e.g. `rounds − Σ generations` as an "in-flight" gauge)
+    /// tears. This read runs inside the same coherence section the round
+    /// publication writes under, so the returned snapshot always satisfies
+    /// `metrics.rounds == total_generations()` — exactly, at any moment
+    /// under load, not just after a drain.
+    pub fn coherent_snapshot(&self) -> ServeSnapshot {
+        self.shared.coherence.read(|| ServeSnapshot {
+            metrics: self.shared.metrics.snapshot(),
+            generations: self.shared.cache.generations(),
+        })
+    }
+
     /// Holds the serving workers: admitted requests queue up but none is
     /// picked up until [`Self::resume`]. Load generators and tests use
     /// this to stage a burst and measure pure coalescing deterministically.
@@ -374,6 +397,12 @@ fn serve_batch(shared: &Shared<'_>, batch: Vec<Pending>) {
         if shed_if_expired(shared, &pending, now) {
             continue;
         }
+        // Queue wait measured at pickup: admission to the start of the
+        // batch that will answer (or shed) the request.
+        shared.config.obs.record_duration(
+            Stage::ServeQueueWait,
+            now.saturating_duration_since(pending.submitted_at),
+        );
         live.push(pending);
     }
     let Some(slot) = live.first().map(|p| p.slot) else { return };
@@ -388,8 +417,17 @@ fn serve_batch(shared: &Shared<'_>, batch: Vec<Pending>) {
     union.sort_unstable();
     union.dedup();
 
-    let outcome =
-        shared.cache.round_for(slot, max_age, |_generation| compute_round(shared, union, slot));
+    // The rounds counter is published inside the same coherence write
+    // section as the slot's generation store, keeping
+    // `Σ generations == rounds` observable at every instant (see
+    // `ServerHandle::coherent_snapshot`).
+    let outcome = shared.cache.round_for_published(
+        slot,
+        max_age,
+        &shared.coherence,
+        |_generation| compute_round(shared, union, slot),
+        || shared.metrics.note_round(),
+    );
     match outcome {
         Ok(cached) => {
             let batch_size = live.len();
@@ -435,6 +473,7 @@ fn compute_round(
         });
     }
     let query = SpeedQuery::new(union, slot);
+    let _span = shared.config.obs.span(Stage::ServeRound);
     let answer = shared.engine.answer_query(
         &query,
         shared.world.workers,
@@ -442,7 +481,6 @@ fn compute_round(
         truth,
         &shared.config.online,
     );
-    shared.metrics.note_round();
     Ok(answer.all_values)
 }
 

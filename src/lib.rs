@@ -28,6 +28,10 @@
 //! * [`serve`] — the concurrent query-serving layer in front of the
 //!   engine (slot-aware micro-batching, answer caching, admission
 //!   control with deadline-based load shedding);
+//! * [`obs`] — the observability layer: a stage taxonomy, an injectable
+//!   registry of counters/gauges/log-linear histograms, span timers, and
+//!   JSON snapshots (near-zero overhead when disabled; force-disable
+//!   recording workspace-wide with the `obs-noop` feature);
 //! * [`check`] — invariant contracts ([`check::Validate`]) enforced
 //!   fail-closed at pipeline boundaries under the `validate` feature.
 //!
@@ -69,6 +73,7 @@ pub use rtse_eval as eval;
 pub use rtse_graph as graph;
 pub use rtse_gsp as gsp;
 pub use rtse_math as math;
+pub use rtse_obs as obs;
 pub use rtse_ocs as ocs;
 pub use rtse_pool as pool;
 pub use rtse_rtf as rtf;
@@ -96,6 +101,7 @@ pub mod prelude {
         exact_map_estimate, propagate_warm, sample_posterior, DampedGsp, GspSolver, ParallelGsp,
         PosteriorSummary,
     };
+    pub use rtse_obs::{ObsHandle, Registry, Stage};
     pub use rtse_ocs::{
         exact_solve, hybrid_greedy, lazy_objective_greedy, objective_greedy, random_select,
         ratio_greedy, trivial_solution, OcsInstance, Selection,
