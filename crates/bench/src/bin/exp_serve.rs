@@ -44,6 +44,10 @@ struct PhaseResult {
 }
 
 fn main() {
+    // The load harness must measure the real primitives: a loom-backed
+    // build (`--cfg rtse_loom`) permutes schedules under a model-checker
+    // scheduler and its numbers would be meaningless here.
+    assert_eq!(rtse_sync::BACKEND, "std", "exp_serve must run on the std sync backend");
     let quick = quick_mode();
     let assert_no_shed = std::env::args().any(|a| a == "--assert-no-shed");
     let (roads, days, clients, per_client) = if quick { (120, 4, 6, 8) } else { (400, 10, 12, 25) };
@@ -204,10 +208,19 @@ fn steady_mixed(
                 snap.total_generations(),
                 "coherent snapshot tore under live load"
             );
-            tasks
+            let waits = tasks
                 .into_iter()
                 .flat_map(|t| t.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-                .collect::<Vec<f64>>()
+                .collect::<Vec<f64>>();
+            // And again after the load drains: the drained totals must
+            // satisfy the same lockstep invariant.
+            let drained = handle.coherent_snapshot();
+            assert_eq!(
+                drained.metrics.rounds,
+                drained.total_generations(),
+                "rounds and slot generations diverged after drain"
+            );
+            waits
         })
     })
     .expect("serve deploys");
@@ -302,6 +315,7 @@ fn render_json(
 ) -> String {
     let mut s = String::from("{\n");
     s.push_str("  \"experiment\": \"serve_load\",\n");
+    s.push_str(&format!("  \"sync\": {{ \"shim\": \"{}\" }},\n", rtse_sync::BACKEND));
     s.push_str(&format!(
         "  \"host\": {{ \"available_parallelism\": {host_threads}, \"rtse_threads_env\": {} }},\n",
         std::env::var("RTSE_THREADS").map_or_else(|_| "null".into(), |v| format!("\"{v}\""))

@@ -5,7 +5,7 @@ use rtse_graph::Graph;
 use rtse_obs::ObsHandle;
 use rtse_pool::ComputePool;
 use rtse_rtf::{CorrelationTable, PathCorrelation, RtfModel, RtfTrainer};
-use std::sync::{Arc, OnceLock};
+use rtse_sync::{Arc, OnceLock};
 
 /// Everything the online stage needs from the offline stage.
 ///

@@ -17,7 +17,7 @@ use rtse_graph::{Graph, RoadId};
 use rtse_pool::ComputePool;
 use rtse_rtf::likelihood::optimal_update;
 use rtse_rtf::params::SlotParams;
-use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use rtse_sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Below this layer width the per-chunk dispatch overhead exceeds the
 /// Eq. (18) update cost, so the layer is swept serially on the caller.

@@ -48,9 +48,9 @@
 //! no-op handle and pay nothing.
 
 use rtse_obs::{ObsHandle, Stage};
+use rtse_sync::mpsc::{channel, Receiver, Sender};
+use rtse_sync::{Mutex, MutexGuard, PoisonError};
 use std::panic::AssertUnwindSafe;
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Environment variable overriding the default worker count.
 pub const THREADS_ENV: &str = "RTSE_THREADS";

@@ -14,7 +14,7 @@
 
 use crate::coherence::Coherence;
 use rtse_data::{SlotOfDay, SLOTS_PER_DAY};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use rtse_sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// One computed slot round, shared by every waiter it answers.

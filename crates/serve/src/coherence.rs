@@ -28,8 +28,8 @@
 //! mutex — they spin only while a write section is open or raced past
 //! them, both bounded by the tiny write-section body.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use rtse_sync::atomic::{fence, AtomicU64, Ordering};
+use rtse_sync::{Mutex, MutexGuard, PoisonError};
 
 /// A writer-exclusive seqlock guarding *relationships* between atomics.
 #[derive(Debug, Default)]
@@ -52,26 +52,38 @@ impl Coherence {
 
     /// Runs `update` as one coherent write section: no [`Self::read`]
     /// section overlapping any part of it will return.
+    ///
+    /// Orderings (the crossbeam seqlock pattern; DESIGN.md §8): the entry
+    /// increment is `AcqRel` — its release half publishes "section open"
+    /// before any protected store, its acquire half keeps those stores
+    /// from floating above it; the exit increment is `Release` so every
+    /// protected store is visible before the section reads as closed.
     pub fn write<T>(&self, update: impl FnOnce() -> T) -> T {
         let _exclusive = lock_writer(&self.writer);
-        self.seq.fetch_add(1, Ordering::SeqCst);
+        self.seq.fetch_add(1, Ordering::AcqRel);
         let out = update();
-        self.seq.fetch_add(1, Ordering::SeqCst);
+        self.seq.fetch_add(1, Ordering::Release);
         out
     }
 
     /// Runs `load` until it executes without overlapping any write
     /// section, and returns that consistent result. `load` must be a pure
     /// read (it may run several times).
+    ///
+    /// Orderings: the pre-load is `Acquire` (protected loads cannot float
+    /// above it); the validation re-read may be `Relaxed` because the
+    /// [`fence`]`(Acquire)` before it orders the protected loads ahead of
+    /// it, pairing with the writer's `Release` exit.
     pub fn read<T>(&self, mut load: impl FnMut() -> T) -> T {
         loop {
-            let before = self.seq.load(Ordering::SeqCst);
+            let before = self.seq.load(Ordering::Acquire);
             if before % 2 == 1 {
-                std::hint::spin_loop();
+                rtse_sync::hint::spin_loop();
                 continue;
             }
             let out = load();
-            if self.seq.load(Ordering::SeqCst) == before {
+            fence(Ordering::Acquire);
+            if self.seq.load(Ordering::Relaxed) == before {
                 return out;
             }
         }

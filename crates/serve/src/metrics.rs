@@ -14,7 +14,7 @@
 //! [`crate::coherence`]).
 
 use rtse_obs::{ObsHandle, Stage};
-use std::sync::atomic::{AtomicU64, Ordering};
+use rtse_sync::atomic::{AtomicU64, Ordering};
 
 /// Live serving counters (shared, lock-free).
 #[derive(Debug, Default)]
@@ -39,30 +39,30 @@ impl ServeMetrics {
     }
 
     pub(crate) fn note_submitted(&self) {
-        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.submitted.fetch_add(1, Ordering::Relaxed); // lint: relaxed-counter
     }
 
     pub(crate) fn note_rejected(&self) {
-        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.rejected.fetch_add(1, Ordering::Relaxed); // lint: relaxed-counter
     }
 
     pub(crate) fn note_shed(&self) {
-        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.shed.fetch_add(1, Ordering::Relaxed); // lint: relaxed-counter
     }
 
     pub(crate) fn note_round(&self) {
-        self.rounds.fetch_add(1, Ordering::Relaxed);
+        self.rounds.fetch_add(1, Ordering::Relaxed); // lint: relaxed-counter
     }
 
     pub(crate) fn note_batch(&self, size: usize) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.batched_queries.fetch_add(size as u64, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed); // lint: relaxed-counter
+        self.batched_queries.fetch_add(size as u64, Ordering::Relaxed); // lint: relaxed-counter
     }
 
     pub(crate) fn note_answered(&self, cache_hit: bool) {
-        self.answered.fetch_add(1, Ordering::Relaxed);
+        self.answered.fetch_add(1, Ordering::Relaxed); // lint: relaxed-counter
         if cache_hit {
-            self.cache_hit_queries.fetch_add(1, Ordering::Relaxed);
+            self.cache_hit_queries.fetch_add(1, Ordering::Relaxed); // lint: relaxed-counter
             self.obs.incr(Stage::ServeCacheHit);
         }
     }
@@ -72,14 +72,14 @@ impl ServeMetrics {
     /// drains, as [`crate::serve`] does, for exact cross-counter ratios).
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
-            submitted: self.submitted.load(Ordering::Relaxed),
-            answered: self.answered.load(Ordering::Relaxed),
-            shed: self.shed.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            rounds: self.rounds.load(Ordering::Relaxed),
-            cache_hit_queries: self.cache_hit_queries.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            batched_queries: self.batched_queries.load(Ordering::Relaxed),
+            submitted: self.submitted.load(Ordering::Relaxed), // lint: relaxed-counter
+            answered: self.answered.load(Ordering::Relaxed),   // lint: relaxed-counter
+            shed: self.shed.load(Ordering::Relaxed),           // lint: relaxed-counter
+            rejected: self.rejected.load(Ordering::Relaxed),   // lint: relaxed-counter
+            rounds: self.rounds.load(Ordering::Relaxed),       // lint: relaxed-counter
+            cache_hit_queries: self.cache_hit_queries.load(Ordering::Relaxed), // lint: relaxed-counter
+            batches: self.batches.load(Ordering::Relaxed), // lint: relaxed-counter
+            batched_queries: self.batched_queries.load(Ordering::Relaxed), // lint: relaxed-counter
         }
     }
 }

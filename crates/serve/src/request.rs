@@ -4,7 +4,7 @@ use crate::error::ServeError;
 use rtse_check::InvariantViolation;
 use rtse_data::SlotOfDay;
 use rtse_graph::RoadId;
-use std::sync::mpsc::Receiver;
+use rtse_sync::mpsc::Receiver;
 use std::time::Duration;
 
 /// One client request: "what is the speed of these roads in this slot?"

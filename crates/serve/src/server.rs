@@ -39,9 +39,9 @@ use rtse_data::{SlotOfDay, SLOTS_PER_DAY};
 use rtse_graph::RoadId;
 use rtse_obs::Stage;
 use rtse_pool::ComputePool;
+use rtse_sync::mpsc::{channel, Sender};
+use rtse_sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::collections::VecDeque;
-use std::sync::mpsc::{channel, Sender};
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// The physical world one serving deployment probes: the live crowd, the

@@ -1,7 +1,7 @@
-//! `lint.toml` — the scoped allowlist for policy-rule violations.
+//! `lint.toml` — the scoped allowlist and lock hierarchy for policy rules.
 //!
-//! Format (a deliberately tiny TOML subset: `[[allow]]` tables with
-//! string-valued keys only):
+//! Format (a deliberately tiny TOML subset: `[[allow]]` / `[[lock]]`
+//! tables with string- or integer-valued keys only):
 //!
 //! ```toml
 //! [[allow]]
@@ -9,10 +9,17 @@
 //! rule = "no-panic"                   # which rule to silence
 //! contains = "u32::try_from"          # optional: substring of the line
 //! reason = "why this site is exempt"  # mandatory, shown in reports
+//!
+//! [[lock]]
+//! name = "serve-slot"                 # label used in lock-order reports
+//! acquire = "lock_cell"               # dotted call-path suffix of the site
+//! rank = 0                            # lower = outermost; must increase inward
 //! ```
 //!
-//! Every entry must be *used* by the current tree; stale entries are
-//! reported so the file cannot rot into a blanket waiver.
+//! Every `[[allow]]` entry must be *used* by the current tree and every
+//! `[[lock]]` entry must match at least one acquisition site; stale
+//! entries are reported so the file cannot rot into a blanket waiver or
+//! a fictional hierarchy.
 
 /// One `[[allow]]` entry.
 #[derive(Debug, Clone)]
@@ -27,26 +34,63 @@ pub struct AllowEntry {
     pub reason: String,
 }
 
-/// Parses `lint.toml`. Returns entries or a line-tagged error message.
-pub fn parse(text: &str) -> Result<Vec<AllowEntry>, String> {
-    let mut entries: Vec<AllowEntry> = Vec::new();
-    let mut current: Option<(usize, PartialEntry)> = None;
+/// One `[[lock]]` entry: a named rung of the declared lock hierarchy.
+#[derive(Debug, Clone)]
+pub struct LockEntry {
+    /// Label used in lock-order reports.
+    pub name: String,
+    /// Dotted call-path suffix identifying acquisition sites
+    /// (`coherence.write` matches `self.shared.coherence.write(..)`).
+    pub acquire: String,
+    /// Hierarchy rank: lower = acquired first (outermost). While a rank-r
+    /// acquisition is held, only ranks > r may be acquired.
+    pub rank: u32,
+}
+
+/// Everything `lint.toml` declares.
+#[derive(Debug, Default)]
+pub struct Config {
+    /// Scoped rule waivers.
+    pub allows: Vec<AllowEntry>,
+    /// The declared lock hierarchy, in file order.
+    pub locks: Vec<LockEntry>,
+}
+
+/// Parses `lint.toml`. Returns the config or a line-tagged error message.
+pub fn parse(text: &str) -> Result<Config, String> {
+    let mut cfg = Config::default();
+    let mut current: Option<(usize, Partial)> = None;
 
     #[derive(Default)]
-    struct PartialEntry {
+    struct Partial {
+        is_lock: bool,
         path: Option<String>,
         rule: Option<String>,
         contains: Option<String>,
         reason: Option<String>,
+        name: Option<String>,
+        acquire: Option<String>,
+        rank: Option<u32>,
     }
 
-    fn finish(lineno: usize, p: PartialEntry) -> Result<AllowEntry, String> {
-        Ok(AllowEntry {
-            path: p.path.ok_or(format!("lint.toml:{lineno}: entry missing `path`"))?,
-            rule: p.rule.ok_or(format!("lint.toml:{lineno}: entry missing `rule`"))?,
-            contains: p.contains,
-            reason: p.reason.ok_or(format!("lint.toml:{lineno}: entry missing `reason`"))?,
-        })
+    fn finish(lineno: usize, p: Partial, cfg: &mut Config) -> Result<(), String> {
+        if p.is_lock {
+            cfg.locks.push(LockEntry {
+                name: p.name.ok_or(format!("lint.toml:{lineno}: lock entry missing `name`"))?,
+                acquire: p
+                    .acquire
+                    .ok_or(format!("lint.toml:{lineno}: lock entry missing `acquire`"))?,
+                rank: p.rank.ok_or(format!("lint.toml:{lineno}: lock entry missing `rank`"))?,
+            });
+        } else {
+            cfg.allows.push(AllowEntry {
+                path: p.path.ok_or(format!("lint.toml:{lineno}: entry missing `path`"))?,
+                rule: p.rule.ok_or(format!("lint.toml:{lineno}: entry missing `rule`"))?,
+                contains: p.contains,
+                reason: p.reason.ok_or(format!("lint.toml:{lineno}: entry missing `reason`"))?,
+            });
+        }
+        Ok(())
     }
 
     for (idx, raw) in text.lines().enumerate() {
@@ -55,11 +99,11 @@ pub fn parse(text: &str) -> Result<Vec<AllowEntry>, String> {
         if line.is_empty() {
             continue;
         }
-        if line == "[[allow]]" {
+        if line == "[[allow]]" || line == "[[lock]]" {
             if let Some((at, p)) = current.take() {
-                entries.push(finish(at, p)?);
+                finish(at, p, &mut cfg)?;
             }
-            current = Some((lineno, PartialEntry::default()));
+            current = Some((lineno, Partial { is_lock: line == "[[lock]]", ..Partial::default() }));
             continue;
         }
         let Some((key, value)) = line.split_once('=') else {
@@ -67,27 +111,38 @@ pub fn parse(text: &str) -> Result<Vec<AllowEntry>, String> {
         };
         let key = key.trim();
         let value = value.trim();
+        let Some((_, p)) = current.as_mut() else {
+            return Err(format!("lint.toml:{lineno}: key outside an [[allow]]/[[lock]] table"));
+        };
+        if p.is_lock && key == "rank" {
+            let rank: u32 = value
+                .parse()
+                .map_err(|_| format!("lint.toml:{lineno}: `rank` must be an integer"))?;
+            if p.rank.replace(rank).is_some() {
+                return Err(format!("lint.toml:{lineno}: duplicate key `rank`"));
+            }
+            continue;
+        }
         let Some(value) = value.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
             return Err(format!("lint.toml:{lineno}: value must be a double-quoted string"));
         };
-        let Some((_, p)) = current.as_mut() else {
-            return Err(format!("lint.toml:{lineno}: key outside an [[allow]] table"));
-        };
-        let slot = match key {
-            "path" => &mut p.path,
-            "rule" => &mut p.rule,
-            "contains" => &mut p.contains,
-            "reason" => &mut p.reason,
-            other => return Err(format!("lint.toml:{lineno}: unknown key `{other}`")),
+        let slot = match (p.is_lock, key) {
+            (false, "path") => &mut p.path,
+            (false, "rule") => &mut p.rule,
+            (false, "contains") => &mut p.contains,
+            (false, "reason") => &mut p.reason,
+            (true, "name") => &mut p.name,
+            (true, "acquire") => &mut p.acquire,
+            (_, other) => return Err(format!("lint.toml:{lineno}: unknown key `{other}`")),
         };
         if slot.replace(value.to_string()).is_some() {
             return Err(format!("lint.toml:{lineno}: duplicate key `{key}`"));
         }
     }
     if let Some((at, p)) = current.take() {
-        entries.push(finish(at, p)?);
+        finish(at, p, &mut cfg)?;
     }
-    Ok(entries)
+    Ok(cfg)
 }
 
 impl AllowEntry {
@@ -119,11 +174,40 @@ path = "crates/math/src/matrix.rs"
 rule = "float-eq"
 reason = "exact-zero skip"
 "#;
-        let entries = parse(text).expect("parses");
+        let cfg = parse(text).expect("parses");
+        let entries = &cfg.allows;
         assert_eq!(entries.len(), 2);
+        assert!(cfg.locks.is_empty());
         assert!(entries[0].matches("crates/graph/src/road.rs", "no-panic", "u32::try_from(v)"));
         assert!(!entries[0].matches("crates/graph/src/road.rs", "no-panic", "other line"));
         assert!(entries[1].matches("/abs/crates/math/src/matrix.rs", "float-eq", "a == 0.0"));
+    }
+
+    #[test]
+    fn parses_lock_hierarchy() {
+        let text = r#"
+[[lock]]
+name = "serve-slot"
+acquire = "lock_cell"
+rank = 0
+
+[[lock]]
+name = "coherence-write"
+acquire = "coherence.write"
+rank = 1
+
+[[allow]]
+path = "x.rs"
+rule = "float-eq"
+reason = "mixed tables parse"
+"#;
+        let cfg = parse(text).expect("parses");
+        assert_eq!(cfg.locks.len(), 2);
+        assert_eq!(cfg.allows.len(), 1);
+        assert_eq!(cfg.locks[0].name, "serve-slot");
+        assert_eq!(cfg.locks[0].rank, 0);
+        assert_eq!(cfg.locks[1].acquire, "coherence.write");
+        assert_eq!(cfg.locks[1].rank, 1);
     }
 
     #[test]
@@ -136,5 +220,15 @@ reason = "exact-zero skip"
     fn rejects_unknown_keys() {
         let text = "[[allow]]\npath = \"x\"\nrule = \"r\"\nreason = \"y\"\nsev = \"z\"\n";
         assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_lock_entries() {
+        assert!(parse("[[lock]]\nname = \"a\"\nacquire = \"b\"\n").is_err(), "missing rank");
+        assert!(
+            parse("[[lock]]\nname = \"a\"\nacquire = \"b\"\nrank = \"zero\"\n").is_err(),
+            "non-integer rank"
+        );
+        assert!(parse("[[lock]]\nacquire = \"b\"\nrank = 1\n").is_err(), "missing name");
     }
 }

@@ -1,0 +1,494 @@
+//! Token-level AST pass for the concurrency-policy rules.
+//!
+//! The original policy rules ([`crate::rules`]) scan scrubbed text with
+//! byte searches; that is fine for `unwrap()` but too coarse for the
+//! concurrency rules, which need real token boundaries (`Ordering` vs
+//! `MyOrdering`), path structure (`std :: sync` across whitespace), and
+//! matched delimiters (how long a lock guard's scope extends). This
+//! module lexes the scrubbed source into a token stream with byte spans,
+//! pairs its delimiters, and implements three rules on top:
+//!
+//! * `raw-sync` — any `std::sync` path in library code outside
+//!   `crates/sync`; concurrency primitives must come through the
+//!   `rtse-sync` shim so loom model checking sees them.
+//! * `relaxed-ordering` / `seqcst-ordering` / `stale-annotation` — the
+//!   atomic-ordering policy: `Ordering::Relaxed` is legal only on lines
+//!   annotated `// lint: relaxed-counter` (monotonic counters with no
+//!   ordering obligations); `Ordering::SeqCst` is banned in library code
+//!   (downgrade per the DESIGN.md §8 table or waive the site in
+//!   `lint.toml`); an annotation on a line with no `Relaxed` is stale.
+//! * `lock-order` — acquisition-order checking against the `[[lock]]`
+//!   hierarchy declared in `lint.toml`: while an acquisition of rank `r`
+//!   is held, only strictly higher ranks may be acquired.
+//!
+//! The annotation check reads the *original* source line (scrubbing
+//! removes comments), keyed by the scrubbed token's line number — byte
+//! offsets are identical between the two views.
+
+use crate::allow::LockEntry;
+use crate::rules::Violation;
+use crate::scrub::Scrubbed;
+
+/// The marker that legalises an `Ordering::Relaxed` site.
+pub const RELAXED_MARKER: &str = "lint: relaxed-counter";
+
+/// What a token is. Identifiers and integer literals both lex as `Ident`
+/// (the rules only compare against known names); every other non-space
+/// byte is a single-byte `Punct`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Ident,
+    Punct(u8),
+}
+
+/// One token with its byte span in the (scrubbed) source.
+#[derive(Debug)]
+struct Token {
+    kind: Kind,
+    start: usize,
+    end: usize,
+}
+
+/// A lexed file: token stream plus delimiter pairing.
+pub struct Ast<'a> {
+    src: &'a str,
+    sc: &'a Scrubbed,
+    tokens: Vec<Token>,
+    /// For each token index holding `(`/`[`/`{`: the index of its matching
+    /// closer (best-effort; unbalanced files leave `None`).
+    closer: Vec<Option<usize>>,
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+impl<'a> Ast<'a> {
+    /// Lexes scrubbed source into tokens and pairs the delimiters.
+    pub fn lex(src: &'a str, sc: &'a Scrubbed) -> Self {
+        let text = &sc.text;
+        let mut tokens = Vec::new();
+        let mut i = 0;
+        while i < text.len() {
+            let b = text[i];
+            if b.is_ascii_whitespace() {
+                i += 1;
+            } else if is_ident_byte(b) {
+                let start = i;
+                while i < text.len() && is_ident_byte(text[i]) {
+                    i += 1;
+                }
+                tokens.push(Token { kind: Kind::Ident, start, end: i });
+            } else {
+                tokens.push(Token { kind: Kind::Punct(b), start: i, end: i + 1 });
+                i += 1;
+            }
+        }
+        let mut closer = vec![None; tokens.len()];
+        let mut stack: Vec<(usize, u8)> = Vec::new();
+        for (idx, t) in tokens.iter().enumerate() {
+            match t.kind {
+                Kind::Punct(open @ (b'(' | b'[' | b'{')) => stack.push((idx, open)),
+                Kind::Punct(close @ (b')' | b']' | b'}')) => {
+                    let open = match close {
+                        b')' => b'(',
+                        b']' => b'[',
+                        _ => b'{',
+                    };
+                    // Pop through any unclosed mismatches (macro edge cases).
+                    while let Some((oidx, ob)) = stack.pop() {
+                        if ob == open {
+                            closer[oidx] = Some(idx);
+                            break;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        Self { src, sc, tokens, closer }
+    }
+
+    fn text_of(&self, idx: usize) -> &str {
+        let t = &self.tokens[idx];
+        std::str::from_utf8(&self.sc.text[t.start..t.end]).unwrap_or("")
+    }
+
+    fn is_ident(&self, idx: usize, word: &str) -> bool {
+        self.tokens.get(idx).is_some_and(|t| t.kind == Kind::Ident) && self.text_of(idx) == word
+    }
+
+    fn is_punct(&self, idx: usize, b: u8) -> bool {
+        self.tokens.get(idx).is_some_and(|t| t.kind == Kind::Punct(b))
+    }
+
+    fn in_test(&self, idx: usize) -> bool {
+        self.sc.in_test[self.tokens[idx].start]
+    }
+
+    fn line(&self, idx: usize) -> usize {
+        self.sc.line_of(self.tokens[idx].start)
+    }
+
+    /// The trimmed original source line containing token `idx`.
+    fn src_line(&self, idx: usize) -> &str {
+        let offset = self.tokens[idx].start;
+        let start = self.src[..offset].rfind('\n').map_or(0, |p| p + 1);
+        let end = self.src[offset..].find('\n').map_or(self.src.len(), |p| offset + p);
+        self.src[start..end].trim()
+    }
+
+    /// Matches `first :: second` starting at token `idx` (e.g.
+    /// `Ordering :: Relaxed`, `std :: sync`).
+    fn path2_at(&self, idx: usize, first: &str, second: &str) -> bool {
+        self.is_ident(idx, first)
+            && self.is_punct(idx + 1, b':')
+            && self.is_punct(idx + 2, b':')
+            && self.is_ident(idx + 3, second)
+    }
+
+    /// Token index of the innermost `{` whose span encloses token `idx`,
+    /// if any.
+    fn enclosing_brace(&self, idx: usize) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (open, close) in self.closer.iter().enumerate().filter_map(|(o, c)| {
+            let c = (*c)?;
+            (self.tokens[o].kind == Kind::Punct(b'{')).then_some((o, c))
+        }) {
+            if open < idx && idx < close && best.is_none_or(|b| open > b) {
+                best = Some(open);
+            }
+        }
+        best
+    }
+}
+
+/// `raw-sync`: any `std::sync` path in library code. The `rtse-sync` crate
+/// is the one sanctioned importer (exempted by the caller); everything
+/// else must use the shim so loom model checking covers its primitives.
+pub fn raw_sync(ast: &Ast) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for idx in 0..ast.tokens.len() {
+        if !ast.path2_at(idx, "std", "sync") || ast.in_test(idx) {
+            continue;
+        }
+        out.push(Violation {
+            rule: "raw-sync",
+            line: ast.line(idx),
+            snippet: ast.src_line(idx).to_string(),
+            message: "std::sync in library code; import concurrency primitives from rtse-sync \
+                      so loom model checking covers them"
+                .to_string(),
+        });
+    }
+    out
+}
+
+/// The atomic-ordering policy: `relaxed-ordering`, `seqcst-ordering`, and
+/// `stale-annotation` in one pass (they share the `Ordering::` scan).
+pub fn atomic_orderings(ast: &Ast) -> Vec<Violation> {
+    let mut out = Vec::new();
+    // Every line holding an `Ordering::Relaxed` token, test code included
+    // (an annotation in a test is harmless, not stale).
+    let mut relaxed_lines = Vec::new();
+    for idx in 0..ast.tokens.len() {
+        if ast.path2_at(idx, "Ordering", "Relaxed") {
+            let line = ast.line(idx);
+            relaxed_lines.push(line);
+            if !ast.in_test(idx) && !ast.src_line(idx + 3).contains(RELAXED_MARKER) {
+                out.push(Violation {
+                    rule: "relaxed-ordering",
+                    line,
+                    snippet: ast.src_line(idx).to_string(),
+                    message: format!(
+                        "Ordering::Relaxed without a `// {RELAXED_MARKER}` annotation; Relaxed \
+                         is reserved for monotonic counters (see DESIGN.md §8)"
+                    ),
+                });
+            }
+        } else if ast.path2_at(idx, "Ordering", "SeqCst") && !ast.in_test(idx) {
+            out.push(Violation {
+                rule: "seqcst-ordering",
+                line: ast.line(idx),
+                snippet: ast.src_line(idx).to_string(),
+                message: "Ordering::SeqCst in library code; downgrade to AcqRel/Acquire/Release \
+                          per the DESIGN.md §8 table or waive the site in lint.toml"
+                    .to_string(),
+            });
+        }
+    }
+    for (lineno, line) in ast.src.lines().enumerate() {
+        let lineno = lineno + 1;
+        if line.contains(RELAXED_MARKER) && !relaxed_lines.contains(&lineno) {
+            out.push(Violation {
+                rule: "stale-annotation",
+                line: lineno,
+                snippet: line.trim().to_string(),
+                message: format!(
+                    "`{RELAXED_MARKER}` annotation on a line with no Ordering::Relaxed; remove it"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// One matched lock acquisition: which `[[lock]]` entry, where, and how
+/// far the acquisition is held.
+struct Acquisition {
+    entry: usize,
+    token: usize,
+    /// Byte span during which the lock is considered held.
+    held: std::ops::Range<usize>,
+}
+
+/// `lock-order`: enforces the `[[lock]]` hierarchy from `lint.toml`.
+///
+/// An acquisition site is the entry's dotted path (matched as a suffix of
+/// the call chain, so `acquire = "coherence.write"` matches
+/// `self.shared.coherence.write(..)`) immediately followed by `(`;
+/// definitions (`fn lock_cell(..)`) do not match. The held span is the
+/// call's argument parentheses when the first argument is a closure
+/// (section style: `coherence.write(|| { .. })`), otherwise from the call
+/// to the end of the innermost enclosing block (guard style:
+/// `let g = lock_cell(cell);` — conservative for non-guard calls, which
+/// keeps the rule sound). While a rank-`r` acquisition is held, acquiring
+/// rank `<= r` is a violation. `used[i]` records whether entry `i`
+/// matched anything in this file (stale entries are reported by the
+/// caller).
+pub fn lock_order(ast: &Ast, locks: &[LockEntry], used: &mut [bool]) -> Vec<Violation> {
+    let mut sites: Vec<Acquisition> = Vec::new();
+    for (entry_idx, entry) in locks.iter().enumerate() {
+        let segs: Vec<&str> = entry.acquire.split('.').collect();
+        for idx in 0..ast.tokens.len() {
+            let Some(open) = match_path_call(ast, idx, &segs) else { continue };
+            if ast.in_test(idx) {
+                continue;
+            }
+            used[entry_idx] = true;
+            sites.push(Acquisition { entry: entry_idx, token: idx, held: held_span(ast, open) });
+        }
+    }
+    let mut out = Vec::new();
+    for inner in &sites {
+        let at = ast.tokens[inner.token].start;
+        for outer in &sites {
+            if std::ptr::eq(inner, outer) || !outer.held.contains(&at) {
+                continue;
+            }
+            let (o, i) = (&locks[outer.entry], &locks[inner.entry]);
+            if i.rank <= o.rank {
+                out.push(Violation {
+                    rule: "lock-order",
+                    line: ast.line(inner.token),
+                    snippet: ast.src_line(inner.token).to_string(),
+                    message: format!(
+                        "acquires `{}` (rank {}) while `{}` (rank {}) is held; the lint.toml \
+                         [[lock]] hierarchy requires strictly increasing ranks",
+                        i.name, i.rank, o.name, o.rank
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Matches `segs[0] . segs[1] . .. segs[n] (` at token `idx`, allowing a
+/// longer receiver chain before it (`a.b.coherence.write(`). Returns the
+/// index of the `(` token. Skips definitions (`fn name(..)`).
+fn match_path_call(ast: &Ast, idx: usize, segs: &[&str]) -> Option<usize> {
+    let mut i = idx;
+    for (n, seg) in segs.iter().enumerate() {
+        if n > 0 {
+            if !ast.is_punct(i, b'.') {
+                return None;
+            }
+            i += 1;
+        }
+        if !ast.is_ident(i, seg) {
+            return None;
+        }
+        i += 1;
+    }
+    if !ast.is_punct(i, b'(') {
+        return None;
+    }
+    if idx > 0 && ast.is_ident(idx - 1, "fn") {
+        return None;
+    }
+    Some(i)
+}
+
+/// The byte span over which an acquisition at call-parenthesis `open` is
+/// considered held (see [`lock_order`]).
+fn held_span(ast: &Ast, open: usize) -> std::ops::Range<usize> {
+    let close = ast.closer[open];
+    // Section style: the argument is a closure; the lock is held exactly
+    // for the parenthesised span. `|x|`, `||`, and `move |..|` all start
+    // with `|` or `move`.
+    let section = ast.is_punct(open + 1, b'|') || ast.is_ident(open + 1, "move");
+    if section {
+        if let Some(close) = close {
+            return ast.tokens[open].start..ast.tokens[close].end;
+        }
+    }
+    // Guard style: held from after the call to the end of the innermost
+    // enclosing block.
+    let from = close.map_or(ast.tokens[open].end, |c| ast.tokens[c].end);
+    let until = ast
+        .enclosing_brace(open)
+        .and_then(|b| ast.closer[b])
+        .map_or(ast.sc.text.len(), |c| ast.tokens[c].end);
+    from..until
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scrub::scrub;
+
+    fn lexed(src: &str) -> (String, Scrubbed) {
+        (src.to_string(), scrub(src))
+    }
+
+    fn locks() -> Vec<LockEntry> {
+        vec![
+            LockEntry { name: "serve-slot".into(), acquire: "lock_cell".into(), rank: 0 },
+            LockEntry {
+                name: "coherence-write".into(),
+                acquire: "coherence.write".into(),
+                rank: 1,
+            },
+            LockEntry { name: "obs-registry".into(), acquire: "obs.span".into(), rank: 2 },
+        ]
+    }
+
+    #[test]
+    fn raw_sync_flags_paths_and_skips_tests() {
+        let (src, sc) = lexed(
+            "use std::sync::Arc;\nfn f() { let x = std :: sync :: atomic::AtomicU64::new(0); }\n\
+             #[cfg(test)]\nmod t { use std::sync::Barrier; }\n",
+        );
+        let v = raw_sync(&Ast::lex(&src, &sc));
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|v| v.rule == "raw-sync"));
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn raw_sync_ignores_lookalikes() {
+        let (src, sc) = lexed("use my_std::sync::Arc;\nfn f() { stdx::sync(); std::synchro(); }\n");
+        assert!(raw_sync(&Ast::lex(&src, &sc)).is_empty());
+    }
+
+    #[test]
+    fn relaxed_requires_the_annotation() {
+        let (src, sc) = lexed(
+            "fn f(c: &A) {\n    c.n.fetch_add(1, Ordering::Relaxed); // lint: relaxed-counter\n    \
+             c.m.load(Ordering::Relaxed);\n}\n",
+        );
+        let v = atomic_orderings(&Ast::lex(&src, &sc));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "relaxed-ordering");
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn relaxed_in_tests_is_exempt() {
+        let (src, sc) =
+            lexed("#[cfg(test)]\nmod t { fn f(c: &A) { c.n.load(Ordering::Relaxed); } }\n");
+        assert!(atomic_orderings(&Ast::lex(&src, &sc)).is_empty());
+    }
+
+    #[test]
+    fn seqcst_is_flagged_in_lib_code_only() {
+        let (src, sc) = lexed(
+            "fn f(c: &A) { c.n.store(1, Ordering::SeqCst); }\n\
+             #[cfg(test)]\nmod t { fn g(c: &A) { c.n.store(1, Ordering::SeqCst); } }\n",
+        );
+        let v = atomic_orderings(&Ast::lex(&src, &sc));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "seqcst-ordering");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn stale_annotation_is_flagged() {
+        let (src, sc) = lexed("fn f() { do_it(); } // lint: relaxed-counter\n");
+        let v = atomic_orderings(&Ast::lex(&src, &sc));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "stale-annotation");
+    }
+
+    #[test]
+    fn lock_order_accepts_increasing_ranks() {
+        let (src, sc) = lexed(
+            "fn f(&self) {\n    let mut cell = lock_cell(cell);\n    \
+             coherence.write(|| { cell.generation = g; });\n}\n",
+        );
+        let mut used = vec![false; 3];
+        let v = lock_order(&Ast::lex(&src, &sc), &locks(), &mut used);
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(used, vec![true, true, false]);
+    }
+
+    #[test]
+    fn lock_order_rejects_guard_then_lower_rank() {
+        let (src, sc) = lexed(
+            "fn f(&self) {\n    coherence.write(|| {\n        let g = lock_cell(cell);\n    });\n}\n",
+        );
+        let mut used = vec![false; 3];
+        let v = lock_order(&Ast::lex(&src, &sc), &locks(), &mut used);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "lock-order");
+        assert!(v[0].message.contains("serve-slot"));
+        assert!(v[0].message.contains("coherence-write"));
+    }
+
+    #[test]
+    fn lock_order_section_span_releases_at_close() {
+        // The write section ends at its closing paren; a slot-lock
+        // acquisition after it is legal.
+        let (src, sc) = lexed(
+            "fn f(&self) {\n    coherence.write(|| { publish(); });\n    \
+             let g = lock_cell(cell);\n}\n",
+        );
+        let mut used = vec![false; 3];
+        assert!(lock_order(&Ast::lex(&src, &sc), &locks(), &mut used).is_empty());
+    }
+
+    #[test]
+    fn lock_order_guard_holds_to_end_of_block() {
+        // Guard style: the obs span guard is held to the end of the block,
+        // so a same-or-lower-rank acquisition after it is a violation.
+        let (src, sc) = lexed(
+            "fn f(&self) {\n    let _span = self.config.obs.span(stage);\n    \
+             let g = lock_cell(cell);\n}\n",
+        );
+        let mut used = vec![false; 3];
+        let v = lock_order(&Ast::lex(&src, &sc), &locks(), &mut used);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("obs-registry"));
+    }
+
+    #[test]
+    fn lock_order_skips_definitions_and_tests() {
+        let (src, sc) = lexed(
+            "fn lock_cell(c: &M) -> G { c.lock() }\n\
+             #[cfg(test)]\nmod t { fn f() { let g = lock_cell(c); obs.span(s); } }\n",
+        );
+        let mut used = vec![false; 3];
+        assert!(lock_order(&Ast::lex(&src, &sc), &locks(), &mut used).is_empty());
+        assert!(!used[0], "definition and test sites must not count as usage");
+    }
+
+    #[test]
+    fn same_rank_reacquisition_is_a_violation() {
+        let (src, sc) =
+            lexed("fn f() {\n    let a = lock_cell(x);\n    let b = lock_cell(y);\n}\n");
+        let mut used = vec![false; 3];
+        let v = lock_order(&Ast::lex(&src, &sc), &locks(), &mut used);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+}

@@ -2,10 +2,15 @@
 //!
 //! `cargo xtask lint` is the workspace's static-analysis gate:
 //!
-//! 1. **Policy rules** — dependency-free source checks (no panics in
-//!    library code, no float-literal `==`, no unrounded float→int casts,
-//!    no raw `thread::spawn`/`thread::scope` outside the rtse-pool crate)
-//!    with a scoped allowlist in `lint.toml`;
+//! 1. **Policy rules** — dependency-free source checks with a scoped
+//!    allowlist in `lint.toml`:
+//!    * text-level ([`rules`]): no panics in library code, no
+//!      float-literal `==`, no unrounded float→int casts, no raw
+//!      `thread::spawn`/`thread::scope` outside the rtse-pool crate;
+//!    * token-level ([`ast`]): no `std::sync` outside the rtse-sync shim,
+//!      the atomic-ordering policy (`Relaxed` only on annotated counters,
+//!      no `SeqCst` in library code), and lock-acquisition-order checking
+//!      against the `[[lock]]` hierarchy declared in `lint.toml`;
 //! 2. `cargo fmt --all --check`;
 //! 3. `cargo clippy --workspace --all-targets -- -D warnings`.
 //!
@@ -13,6 +18,7 @@
 //! intentionally std-only so it builds in seconds and works offline.
 
 mod allow;
+mod ast;
 mod rules;
 mod scrub;
 
@@ -108,14 +114,16 @@ fn lint(flags: &[String]) -> ExitCode {
 /// count (after allowlisting) or an I/O / config error.
 fn run_policy(root: &Path) -> Result<usize, String> {
     let allow_path = root.join("lint.toml");
-    let allows = if allow_path.exists() {
+    let cfg = if allow_path.exists() {
         let text =
             std::fs::read_to_string(&allow_path).map_err(|e| format!("reading lint.toml: {e}"))?;
         allow::parse(&text)?
     } else {
-        Vec::new()
+        allow::Config::default()
     };
+    let allows = &cfg.allows;
     let mut used = vec![false; allows.len()];
+    let mut lock_used = vec![false; cfg.locks.len()];
 
     let mut files: Vec<PathBuf> = Vec::new();
     let crates_dir = root.join("crates");
@@ -155,6 +163,14 @@ fn run_policy(root: &Path) -> Result<usize, String> {
         if !rel_str.starts_with("crates/pool/src/") {
             found.extend(rules::raw_thread(&src, &sc));
         }
+        let tree = ast::Ast::lex(&src, &sc);
+        // rtse-sync is the one sanctioned importer of std::sync — it *is*
+        // the shim the rule routes everyone else through.
+        if !rel_str.starts_with("crates/sync/src/") {
+            found.extend(ast::raw_sync(&tree));
+        }
+        found.extend(ast::atomic_orderings(&tree));
+        found.extend(ast::lock_order(&tree, &cfg.locks, &mut lock_used));
 
         for v in found {
             if let Some(idx) = allows.iter().position(|a| a.matches(&rel_str, v.rule, &v.snippet)) {
@@ -171,6 +187,15 @@ fn run_policy(root: &Path) -> Result<usize, String> {
             println!(
                 "lint.toml: stale allow entry (path = \"{}\", rule = \"{}\", reason = \"{}\") — no longer matches anything; remove it",
                 entry.path, entry.rule, entry.reason
+            );
+            violations += 1;
+        }
+    }
+    for (entry, used) in cfg.locks.iter().zip(&lock_used) {
+        if !used {
+            println!(
+                "lint.toml: stale lock entry (name = \"{}\", acquire = \"{}\") — matches no acquisition site; remove it or fix the path",
+                entry.name, entry.acquire
             );
             violations += 1;
         }

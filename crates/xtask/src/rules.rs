@@ -35,7 +35,7 @@ pub struct Violation {
 /// Crates whose library code must be panic-free (everything on the
 /// query path; bins/benches/tests may still panic).
 pub const NO_PANIC_CRATES: &[&str] =
-    &["graph", "math", "rtf", "ocs", "gsp", "core", "data", "pool", "serve", "obs"];
+    &["graph", "math", "rtf", "ocs", "gsp", "core", "data", "pool", "serve", "obs", "sync"];
 
 /// Thread primitives that must be routed through `rtse_pool::ComputePool`.
 const THREAD_PRIMITIVES: &[&str] = &["spawn", "scope"];

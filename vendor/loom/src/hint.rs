@@ -1,0 +1,9 @@
+//! Model-checked counterpart of `std::hint`.
+
+/// Spin-wait hint: deschedules the current model thread until every
+/// other runnable thread has taken a step, so retry loops make the
+/// progress they are spinning on observable instead of livelocking the
+/// explorer.
+pub fn spin_loop() {
+    crate::yield_point();
+}

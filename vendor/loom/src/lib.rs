@@ -1,0 +1,542 @@
+//! Offline stand-in for the `loom` permutation-testing crate.
+//!
+//! The build environment has no crates.io access (see `vendor/README.md`),
+//! so this crate reimplements the slice of loom's API that `rtse-sync`
+//! needs: [`model`] runs a closure under a deterministic scheduler that
+//! **exhaustively enumerates thread interleavings** and re-executes the
+//! closure once per schedule, and the types under [`sync`] / [`thread`] /
+//! [`hint`] are drop-in shims whose every operation is a scheduling
+//! point.
+//!
+//! ## How it works
+//!
+//! Exactly one *model thread* runs at a time. Each model thread is a real
+//! OS thread parked on a condvar; a token (`active`) names the one thread
+//! allowed to execute. Every shim operation (atomic load/store/rmw, mutex
+//! lock/unlock, condvar wait/notify, spawn/join, yield) calls into the
+//! scheduler, which consults the current *schedule* — a prefix of branch
+//! choices to replay — and then picks the next runnable thread. Each
+//! decision records how many runnable alternatives existed; after the
+//! execution finishes, the explorer backtracks depth-first to the deepest
+//! decision with an untried alternative and replays. The search terminates
+//! when every schedule has been explored (or panics at the iteration cap).
+//!
+//! ## Fidelity limits (vs. real loom)
+//!
+//! * Interleavings are explored under **sequential consistency**: the
+//!   `Ordering` arguments are accepted but every shim op runs `SeqCst`.
+//!   This checks protocol logic (lost updates, double-init, torn
+//!   invariants, deadlock) but not weak-memory reorderings — the
+//!   workspace's `atomic-ordering` lint and per-site ordering table own
+//!   that axis (see DESIGN.md §8).
+//! * `notify_one` may wake every waiter (condvars permit spurious
+//!   wakeups, so correct protocols cannot tell the difference), and
+//!   `wait_timeout` is modeled as the timeout always firing first.
+//! * Preemption bounding (`LOOM_MAX_PREEMPTIONS`, the same knob real loom
+//!   reads) prunes schedules that context-switch away from a runnable
+//!   thread more than N times, keeping 3-thread models tractable.
+//!
+//! A thread that spins (`hint::spin_loop` / `yield_now`) is descheduled
+//! until every *other* thread that was runnable at the yield has taken a
+//! step (real loom's documented `yield_now` contract), so retry loops
+//! cannot starve the writer they are waiting on; a state where every live
+//! thread is blocked is reported as a deadlock with the schedule that
+//! reached it.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{
+    Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError,
+};
+
+pub mod hint;
+pub mod sync;
+pub mod thread;
+
+/// Message used to unwind model threads once the execution is abandoned
+/// (another thread failed, or the run deadlocked).
+const ABORT_MSG: &str = "loom execution aborted";
+
+/// Key a draining main thread blocks on until every spawned thread ends.
+const DRAIN_KEY: usize = 1;
+/// Keys `JOIN_BASE + thread_id` block joiners on that thread's completion.
+const JOIN_BASE: usize = 16;
+
+/// Scheduling points allowed in one execution before the run is declared
+/// livelocked (a correct bounded model stays far below this).
+const MAX_TRACE: usize = 200_000;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    Blocked(usize),
+    Finished,
+}
+
+struct Th {
+    status: Status,
+    /// Bitmask of threads that must take a step before this (yielded)
+    /// thread becomes eligible again. Zero = eligible.
+    waiting: u64,
+}
+
+struct Choice {
+    chosen: usize,
+    alternatives: usize,
+}
+
+struct RtState {
+    threads: Vec<Th>,
+    active: usize,
+    /// Branch choices to replay this execution (the schedule prefix).
+    forced: Vec<usize>,
+    /// Choices actually taken this execution.
+    trace: Vec<Choice>,
+    preemptions: usize,
+    max_preemptions: Option<usize>,
+    /// First failure (assertion, deadlock, replay divergence) observed.
+    failure: Option<String>,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl RtState {
+    fn schedule_so_far(&self) -> Vec<usize> {
+        self.trace.iter().map(|c| c.chosen).collect()
+    }
+}
+
+/// One execution's scheduler, shared by every model thread of the run.
+pub(crate) struct Rt {
+    state: StdMutex<RtState>,
+    cv: StdCondvar,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Rt>, usize)>> = const { RefCell::new(None) };
+}
+
+fn lock_rt(rt: &Rt) -> StdMutexGuard<'_, RtState> {
+    rt.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The `(rt, my_thread_id)` pair when called from inside a model run.
+pub(crate) fn current() -> Option<(Arc<Rt>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Installs the scheduler context for the calling OS thread.
+pub(crate) fn set_current(ctx: Option<(Arc<Rt>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Marks every thread blocked on `key` runnable again (they still wait to
+/// be *scheduled*; this only makes them eligible).
+fn wake_key(rt: &Rt, key: usize) {
+    let mut st = lock_rt(rt);
+    for th in &mut st.threads {
+        if th.status == Status::Blocked(key) {
+            th.status = Status::Runnable;
+            th.waiting = 0;
+        }
+    }
+}
+
+/// Picks the next thread to run. Must be called with the state locked;
+/// records the decision in the trace. `voluntary` marks the switch as
+/// requested by the running thread (yield/block), which never counts as a
+/// preemption.
+fn schedule_next(rt: &Rt, st: &mut RtState, me: usize, voluntary: bool) {
+    if st.failure.is_some() {
+        rt.cv.notify_all();
+        return;
+    }
+    if st.trace.len() >= MAX_TRACE {
+        let prefix: Vec<usize> = st.schedule_so_far().into_iter().take(32).collect();
+        st.failure = Some(format!(
+            "livelock: execution exceeded {MAX_TRACE} scheduling points (schedule prefix: {prefix:?})"
+        ));
+        rt.cv.notify_all();
+        return;
+    }
+    let runnable: Vec<usize> =
+        (0..st.threads.len()).filter(|&t| st.threads[t].status == Status::Runnable).collect();
+    if runnable.is_empty() {
+        if st.threads.iter().any(|t| matches!(t.status, Status::Blocked(_))) {
+            st.failure = Some(format!(
+                "deadlock: every live thread is blocked (schedule: {:?})",
+                st.schedule_so_far()
+            ));
+        }
+        rt.cv.notify_all();
+        return;
+    }
+    let mut enabled: Vec<usize> =
+        runnable.iter().copied().filter(|&t| st.threads[t].waiting == 0).collect();
+    if enabled.is_empty() {
+        // Every runnable thread has yielded: release them all and retry.
+        for &t in &runnable {
+            st.threads[t].waiting = 0;
+        }
+        enabled = runnable;
+    }
+    // Preemption bounding: once the budget is spent, a still-runnable
+    // thread that did not volunteer keeps the processor.
+    if let Some(maxp) = st.max_preemptions {
+        if st.preemptions >= maxp && !voluntary && enabled.contains(&me) {
+            enabled = vec![me];
+        }
+    }
+    let depth = st.trace.len();
+    let chosen = if depth < st.forced.len() {
+        let c = st.forced[depth];
+        if c >= enabled.len() {
+            st.failure = Some(format!(
+                "non-deterministic execution: replay expected >= {} alternatives at depth \
+                 {depth}, found {}",
+                c + 1,
+                enabled.len()
+            ));
+            rt.cv.notify_all();
+            return;
+        }
+        c
+    } else {
+        0
+    };
+    st.trace.push(Choice { chosen, alternatives: enabled.len() });
+    let next = enabled[chosen];
+    // `next` is about to take a step: it no longer gates any yielder.
+    let bit = 1u64 << (next % 64);
+    for th in &mut st.threads {
+        th.waiting &= !bit;
+    }
+    if next != me && !voluntary && st.threads[me].status == Status::Runnable {
+        st.preemptions += 1;
+    }
+    st.active = next;
+    rt.cv.notify_all();
+}
+
+/// One scheduling point: optionally blocks the caller on `block_on`, picks
+/// the next thread, and parks until this thread is scheduled again.
+/// Panics with [`ABORT_MSG`] once the execution has failed elsewhere.
+pub(crate) fn switch(rt: &Rt, me: usize, block_on: Option<usize>, yielding: bool) {
+    let mut st = lock_rt(rt);
+    if st.failure.is_some() {
+        drop(st);
+        panic!("{ABORT_MSG}");
+    }
+    let voluntary = block_on.is_some() || yielding;
+    match block_on {
+        Some(key) => st.threads[me].status = Status::Blocked(key),
+        None if yielding => {
+            // Ineligible until every other currently-runnable thread has
+            // taken a step (real loom's yield_now contract).
+            let mask = (0..st.threads.len())
+                .filter(|&t| t != me && st.threads[t].status == Status::Runnable)
+                .fold(0u64, |m, t| m | (1u64 << (t % 64)));
+            st.threads[me].waiting = mask;
+        }
+        None => {}
+    }
+    schedule_next(rt, &mut st, me, voluntary);
+    loop {
+        if st.failure.is_some() {
+            drop(st);
+            panic!("{ABORT_MSG}");
+        }
+        if st.active == me && st.threads[me].status == Status::Runnable {
+            st.threads[me].waiting = 0;
+            return;
+        }
+        st = rt.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// A scheduling point for the current model thread; a no-op outside a
+/// model run (the shim types then behave like their std counterparts) and
+/// while unwinding (so guard drops during a failure do not double-panic).
+pub(crate) fn sched_point() {
+    if std::thread::panicking() {
+        return;
+    }
+    if let Some((rt, me)) = current() {
+        switch(&rt, me, None, false);
+    }
+}
+
+/// Blocks the current model thread on `key` until woken *and* scheduled.
+/// Outside a model run this degrades to an OS yield (caller loops).
+pub(crate) fn block_on(key: usize) {
+    if std::thread::panicking() {
+        return;
+    }
+    match current() {
+        Some((rt, me)) => switch(&rt, me, Some(key), false),
+        None => std::thread::yield_now(),
+    }
+}
+
+/// Wakes model threads blocked on `key` (no scheduling point by itself).
+pub(crate) fn wake(key: usize) {
+    if std::thread::panicking() {
+        return;
+    }
+    if let Some((rt, _)) = current() {
+        wake_key(&rt, key);
+    }
+}
+
+pub(crate) fn yield_point() {
+    if std::thread::panicking() {
+        return;
+    }
+    if let Some((rt, me)) = current() {
+        switch(&rt, me, None, true);
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// Marks thread `me` finished, wakes joiners and the draining main
+/// thread, and hands the token onward. The OS thread then exits.
+pub(crate) fn finish_thread(rt: &Rt, me: usize) {
+    wake_key(rt, JOIN_BASE + me);
+    wake_key(rt, DRAIN_KEY);
+    let mut st = lock_rt(rt);
+    st.threads[me].status = Status::Finished;
+    schedule_next(rt, &mut st, me, true);
+}
+
+/// Registers a new model thread and returns its id.
+pub(crate) fn register_thread(rt: &Arc<Rt>) -> usize {
+    let mut st = lock_rt(rt);
+    st.threads.push(Th { status: Status::Runnable, waiting: 0 });
+    st.threads.len() - 1
+}
+
+/// Stores a spawned OS thread's handle for end-of-execution joining.
+pub(crate) fn register_os_handle(rt: &Rt, handle: std::thread::JoinHandle<()>) {
+    lock_rt(rt).os_handles.push(handle);
+}
+
+/// Records `message` as the run's failure unless one is already set.
+pub(crate) fn record_failure(rt: &Rt, message: impl FnOnce(&RtState) -> String) {
+    let mut st = lock_rt(rt);
+    if st.failure.is_none() {
+        let msg = message(&st);
+        st.failure = Some(msg);
+    }
+    rt.cv.notify_all();
+}
+
+/// Waits (token-passing) until thread `id` finishes; panics on abort.
+pub(crate) fn await_thread(rt: &Rt, me: usize, id: usize) {
+    loop {
+        {
+            let st = lock_rt(rt);
+            if st.failure.is_some() {
+                drop(st);
+                panic!("{ABORT_MSG}");
+            }
+            if st.threads[id].status == Status::Finished {
+                return;
+            }
+        }
+        // Safe check-then-block: the token is ours between the unlock
+        // above and the relock inside `switch`, so `id` cannot finish
+        // (and issue its wake) in the gap.
+        switch(rt, me, Some(JOIN_BASE + id), false);
+    }
+}
+
+/// First-schedule parking for a freshly spawned model thread. Returns
+/// false if the run failed before the thread ever ran.
+pub(crate) fn await_first_schedule(rt: &Rt, me: usize) -> bool {
+    let mut st = lock_rt(rt);
+    loop {
+        if st.failure.is_some() {
+            st.threads[me].status = Status::Finished;
+            rt.cv.notify_all();
+            return false;
+        }
+        if st.active == me && st.threads[me].status == Status::Runnable {
+            st.threads[me].waiting = 0;
+            return true;
+        }
+        st = rt.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// Exploration limits. `from_env` honours the same `LOOM_MAX_PREEMPTIONS`
+/// / `LOOM_MAX_BRANCHES` environment knobs real loom documents.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Context switches away from a runnable thread allowed per execution
+    /// (`None` = unbounded = a fully exhaustive search).
+    pub max_preemptions: Option<usize>,
+    /// Hard cap on explored executions before the search panics.
+    pub max_iterations: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok())
+}
+
+impl Builder {
+    /// Defaults: preemptions bounded to 2 (override with
+    /// `LOOM_MAX_PREEMPTIONS`; `0` keeps the search fully exhaustive),
+    /// 500_000 executions max (`LOOM_MAX_BRANCHES`).
+    pub fn from_env() -> Self {
+        let max_preemptions = match env_usize("LOOM_MAX_PREEMPTIONS") {
+            Some(0) => None,
+            Some(n) => Some(n),
+            None => Some(2),
+        };
+        Self { max_preemptions, max_iterations: env_usize("LOOM_MAX_BRANCHES").unwrap_or(500_000) }
+    }
+
+    /// Runs `f` under this builder's limits; see [`model`].
+    pub fn check<F: Fn()>(&self, f: F) -> usize {
+        run_model(self, f)
+    }
+}
+
+/// Explores every interleaving of the model threads `f` spawns, replaying
+/// `f` once per schedule. Panics (with the failing schedule) on the first
+/// assertion failure, deadlock, or panic inside `f`; returns the number
+/// of executions explored otherwise.
+pub fn model<F: Fn()>(f: F) -> usize {
+    run_model(&Builder::from_env(), f)
+}
+
+/// Plain repeated execution with OS scheduling (no model checking): the
+/// fallback `rtse-sync` uses when the `rtse_loom` cfg is off, so the same
+/// protocol tests double as a concurrency smoke suite.
+pub fn stress<F: Fn()>(iterations: usize, f: F) {
+    for _ in 0..iterations.max(1) {
+        f();
+    }
+}
+
+fn run_model<F: Fn()>(builder: &Builder, f: F) -> usize {
+    let mut forced: Vec<usize> = Vec::new();
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        if iterations > builder.max_iterations {
+            panic!(
+                "loom: exceeded {} executions without exhausting the schedule space; \
+                 shrink the model or bound preemptions (LOOM_MAX_PREEMPTIONS)",
+                builder.max_iterations
+            );
+        }
+        let rt = Arc::new(Rt {
+            state: StdMutex::new(RtState {
+                threads: vec![Th { status: Status::Runnable, waiting: 0 }],
+                active: 0,
+                forced: forced.clone(),
+                trace: Vec::new(),
+                preemptions: 0,
+                max_preemptions: builder.max_preemptions,
+                failure: None,
+                os_handles: Vec::new(),
+            }),
+            cv: StdCondvar::new(),
+        });
+        set_current(Some((Arc::clone(&rt), 0)));
+        let out = catch_unwind(AssertUnwindSafe(&f));
+        match &out {
+            Ok(()) => drain(&rt),
+            Err(payload) => {
+                let text = payload_str(payload.as_ref());
+                if text != ABORT_MSG {
+                    record_failure(&rt, |st| {
+                        format!(
+                            "main model thread panicked: {text} (schedule: {:?})",
+                            st.schedule_so_far()
+                        )
+                    });
+                }
+            }
+        }
+        set_current(None);
+        let handles = std::mem::take(&mut lock_rt(&rt).os_handles);
+        for h in handles {
+            let _ = h.join();
+        }
+        let st = match Arc::try_unwrap(rt) {
+            Ok(rt) => rt.state.into_inner().unwrap_or_else(PoisonError::into_inner),
+            Err(_) => panic!("loom: model state leaked past its execution"),
+        };
+        if let Some(failure) = st.failure {
+            panic!("loom: {failure} (execution #{iterations})");
+        }
+        if let Err(payload) = out {
+            // No recorded failure but the closure unwound (e.g. a panic
+            // from non-model code): surface it as-is.
+            resume_unwind(payload);
+        }
+        if !advance(&mut forced, &st.trace) {
+            return iterations;
+        }
+    }
+}
+
+/// After `f` returned on the main thread, keeps scheduling the remaining
+/// model threads until all have finished (threads need not be joined).
+/// Runs outside any `catch_unwind`, so it returns on failure instead of
+/// panicking; `run_model` reports the recorded failure afterwards.
+fn drain(rt: &Arc<Rt>) {
+    let me = 0usize;
+    loop {
+        let mut st = lock_rt(rt);
+        if st.failure.is_some() {
+            return;
+        }
+        if st.threads[1..].iter().all(|t| t.status == Status::Finished) {
+            return;
+        }
+        st.threads[me].status = Status::Blocked(DRAIN_KEY);
+        schedule_next(rt, &mut st, me, true);
+        loop {
+            if st.failure.is_some() {
+                return;
+            }
+            if st.active == me && st.threads[me].status == Status::Runnable {
+                break;
+            }
+            st = rt.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Depth-first backtracking: truncate to the deepest decision with an
+/// untried alternative and bump it. Returns false when exhausted.
+fn advance(forced: &mut Vec<usize>, trace: &[Choice]) -> bool {
+    for i in (0..trace.len()).rev() {
+        if trace[i].chosen + 1 < trace[i].alternatives {
+            forced.clear();
+            forced.extend(trace[..i].iter().map(|c| c.chosen));
+            forced.push(trace[i].chosen + 1);
+            return true;
+        }
+    }
+    false
+}
+
+pub(crate) fn payload_str(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}

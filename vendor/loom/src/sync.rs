@@ -1,0 +1,225 @@
+//! Model-checked counterparts of `std::sync` types.
+//!
+//! Every operation is a scheduling point, so the explorer in the crate
+//! root can interleave threads between any two of them. Because exactly
+//! one model thread runs at a time, the body of each operation executes
+//! atomically with respect to the model — the `std` primitives backing
+//! the state never see real contention.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool as StdAtomicBool, Ordering as StdOrdering};
+use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard, OnceLock as StdOnceLock};
+use std::time::Duration;
+
+pub use std::sync::{Arc, LockResult, PoisonError};
+
+pub mod atomic;
+
+const SC: StdOrdering = StdOrdering::SeqCst;
+
+/// A model-checked mutex: `lock` is a scheduling point, contention blocks
+/// the model thread, and unlock wakes waiters.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    /// Model-level ownership flag; the inner `std` mutex is only ever
+    /// locked by the flag's owner, so it never truly contends.
+    flag: StdAtomicBool,
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Self { flag: StdAtomicBool::new(false), inner: StdMutex::new(value) }
+    }
+
+    fn key(&self) -> usize {
+        self as *const Self as *const () as usize
+    }
+
+    /// Acquires the lock, blocking the model thread while contended.
+    /// Never returns `Err`: model executions that panic are abandoned
+    /// wholesale, so poisoning is not modeled.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        loop {
+            crate::sched_point();
+            if !self.flag.swap(true, SC) {
+                break;
+            }
+            crate::block_on(self.key());
+        }
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        Ok(MutexGuard { mutex: self, inner: Some(inner) })
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.inner.into_inner().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        Ok(self.inner.get_mut().unwrap_or_else(PoisonError::into_inner))
+    }
+}
+
+/// Guard for [`Mutex`]; dropping it releases the lock at a scheduling
+/// point and wakes blocked contenders.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+    inner: Option<StdMutexGuard<'a, T>>,
+}
+
+impl<'a, T> MutexGuard<'a, T> {
+    /// Releases the lock *without* a scheduling point — the atomicity
+    /// [`Condvar::wait`] needs between "unlock" and "block" — returning
+    /// the mutex for reacquisition. The spent guard's `Drop` is a no-op.
+    fn quiet_release(mut self) -> &'a Mutex<T> {
+        let mutex = self.mutex;
+        drop(self.inner.take());
+        mutex.flag.store(false, SC);
+        crate::wake(mutex.key());
+        mutex
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after release")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after release")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            self.mutex.flag.store(false, SC);
+            // While unwinding (execution aborting) skip the scheduler:
+            // a panic inside `switch` here would double-panic and abort
+            // the whole test process.
+            if !std::thread::panicking() {
+                crate::wake(self.mutex.key());
+                crate::sched_point();
+            }
+        }
+    }
+}
+
+/// Result of [`Condvar::wait_timeout`].
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// A model-checked condition variable. `notify_one` behaves like
+/// `notify_all` (indistinguishable under the spurious-wakeup contract);
+/// `wait_timeout` models the schedule where the timeout fires first.
+#[derive(Debug)]
+pub struct Condvar {
+    /// Boxed so the condvar has a stable unique heap address to use as
+    /// its blocking key (a zero-sized field could share addresses).
+    slot: Box<u8>,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        Self { slot: Box::new(0) }
+    }
+
+    fn key(&self) -> usize {
+        &*self.slot as *const u8 as usize
+    }
+
+    /// Atomically releases the guard's mutex and blocks until notified,
+    /// then reacquires. The release and block happen between scheduling
+    /// points, so a notify cannot slip into the gap (no lost wakeups).
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let mutex = guard.quiet_release();
+        crate::block_on(self.key());
+        mutex.lock()
+    }
+
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        _dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        let mutex = guard.quiet_release();
+        crate::yield_point();
+        match mutex.lock() {
+            Ok(g) => Ok((g, WaitTimeoutResult { timed_out: true })),
+            Err(e) => {
+                let g = e.into_inner();
+                Ok((g, WaitTimeoutResult { timed_out: true }))
+            }
+        }
+    }
+
+    pub fn notify_all(&self) {
+        crate::wake(self.key());
+        crate::sched_point();
+    }
+
+    pub fn notify_one(&self) {
+        // Waking every waiter is a legal implementation: condvars permit
+        // spurious wakeups, so correct protocols re-check their predicate.
+        self.notify_all();
+    }
+}
+
+/// A model-checked `OnceLock`: losers of the init race block on a model
+/// mutex while the winner runs the initializer (the coalescing protocol
+/// `core::offline`'s corr-cache relies on).
+#[derive(Debug, Default)]
+pub struct OnceLock<T> {
+    init: Mutex<()>,
+    value: StdOnceLock<T>,
+}
+
+impl<T> OnceLock<T> {
+    pub const fn new() -> Self {
+        Self { init: Mutex::new(()), value: StdOnceLock::new() }
+    }
+
+    pub fn get(&self) -> Option<&T> {
+        crate::sched_point();
+        self.value.get()
+    }
+
+    pub fn get_or_init<F: FnOnce() -> T>(&self, f: F) -> &T {
+        crate::sched_point();
+        if let Some(v) = self.value.get() {
+            return v;
+        }
+        {
+            let _gate = self.init.lock().unwrap_or_else(PoisonError::into_inner);
+            if self.value.get().is_none() {
+                let v = f();
+                let _ = self.value.set(v);
+            }
+        }
+        self.value.get().expect("OnceLock initialised above")
+    }
+
+    pub fn set(&self, value: T) -> Result<(), T> {
+        crate::sched_point();
+        let _gate = self.init.lock().unwrap_or_else(PoisonError::into_inner);
+        self.value.set(value)
+    }
+}

@@ -1,0 +1,146 @@
+//! Model-checked atomics. Each operation is a scheduling point; the
+//! backing `std` atomic always runs `SeqCst` regardless of the caller's
+//! ordering (the model explores interleavings, not weak-memory
+//! reorderings — see the crate docs).
+
+use std::sync::atomic::Ordering as StdOrdering;
+
+pub use std::sync::atomic::Ordering;
+
+const SC: StdOrdering = StdOrdering::SeqCst;
+
+macro_rules! model_int_atomic {
+    ($name:ident, $std:ident, $ty:ty) => {
+        /// Model-checked counterpart of the `std` atomic of the same name.
+        #[derive(Debug, Default)]
+        pub struct $name(std::sync::atomic::$std);
+
+        impl $name {
+            pub const fn new(value: $ty) -> Self {
+                Self(std::sync::atomic::$std::new(value))
+            }
+
+            pub fn load(&self, _order: Ordering) -> $ty {
+                crate::sched_point();
+                self.0.load(SC)
+            }
+
+            pub fn store(&self, value: $ty, _order: Ordering) {
+                crate::sched_point();
+                self.0.store(value, SC);
+            }
+
+            pub fn swap(&self, value: $ty, _order: Ordering) -> $ty {
+                crate::sched_point();
+                self.0.swap(value, SC)
+            }
+
+            pub fn fetch_add(&self, value: $ty, _order: Ordering) -> $ty {
+                crate::sched_point();
+                self.0.fetch_add(value, SC)
+            }
+
+            pub fn fetch_sub(&self, value: $ty, _order: Ordering) -> $ty {
+                crate::sched_point();
+                self.0.fetch_sub(value, SC)
+            }
+
+            pub fn fetch_min(&self, value: $ty, _order: Ordering) -> $ty {
+                crate::sched_point();
+                self.0.fetch_min(value, SC)
+            }
+
+            pub fn fetch_max(&self, value: $ty, _order: Ordering) -> $ty {
+                crate::sched_point();
+                self.0.fetch_max(value, SC)
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                _success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                crate::sched_point();
+                self.0.compare_exchange(current, new, SC, SC)
+            }
+
+            /// No spurious failures are modeled, so this is exact.
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            pub fn into_inner(self) -> $ty {
+                self.0.into_inner()
+            }
+
+            pub fn get_mut(&mut self) -> &mut $ty {
+                self.0.get_mut()
+            }
+        }
+    };
+}
+
+model_int_atomic!(AtomicU64, AtomicU64, u64);
+model_int_atomic!(AtomicI64, AtomicI64, i64);
+model_int_atomic!(AtomicUsize, AtomicUsize, usize);
+model_int_atomic!(AtomicU32, AtomicU32, u32);
+
+/// Model-checked counterpart of `std::sync::atomic::AtomicBool`.
+#[derive(Debug, Default)]
+pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+impl AtomicBool {
+    pub const fn new(value: bool) -> Self {
+        Self(std::sync::atomic::AtomicBool::new(value))
+    }
+
+    pub fn load(&self, _order: Ordering) -> bool {
+        crate::sched_point();
+        self.0.load(SC)
+    }
+
+    pub fn store(&self, value: bool, _order: Ordering) {
+        crate::sched_point();
+        self.0.store(value, SC);
+    }
+
+    pub fn swap(&self, value: bool, _order: Ordering) -> bool {
+        crate::sched_point();
+        self.0.swap(value, SC)
+    }
+
+    pub fn fetch_or(&self, value: bool, _order: Ordering) -> bool {
+        crate::sched_point();
+        self.0.fetch_or(value, SC)
+    }
+
+    pub fn fetch_and(&self, value: bool, _order: Ordering) -> bool {
+        crate::sched_point();
+        self.0.fetch_and(value, SC)
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<bool, bool> {
+        crate::sched_point();
+        self.0.compare_exchange(current, new, SC, SC)
+    }
+}
+
+/// A scheduling point; ordering is ignored (the model is sequentially
+/// consistent throughout).
+pub fn fence(_order: Ordering) {
+    crate::sched_point();
+}

@@ -1,0 +1,76 @@
+//! Model-checked threads. `spawn` registers a model thread backed by a
+//! real OS thread that only executes while it holds the scheduler token;
+//! `join` blocks the model thread until the target finishes.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+
+/// Handle to a spawned model thread; [`JoinHandle::join`] returns the
+/// closure's result like `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    id: usize,
+    result: Arc<StdMutex<Option<std::thread::Result<T>>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks (as a model scheduling point) until the thread finishes.
+    pub fn join(self) -> std::thread::Result<T> {
+        let (rt, me) =
+            crate::current().expect("loom::thread JoinHandle joined outside loom::model");
+        crate::await_thread(&rt, me, self.id);
+        self.result
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .expect("finished model thread left no result")
+    }
+}
+
+/// Spawns a model thread running `f`. Must be called inside
+/// [`crate::model`]; the spawn itself is a scheduling point (the child
+/// may run before the spawner continues).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (rt, _me) = crate::current().expect("loom::thread::spawn requires loom::model");
+    let id = crate::register_thread(&rt);
+    let result: Arc<StdMutex<Option<std::thread::Result<T>>>> = Arc::new(StdMutex::new(None));
+    let rt_child = Arc::clone(&rt);
+    let result_child = Arc::clone(&result);
+    let os = std::thread::Builder::new()
+        .name(format!("loom-model-{id}"))
+        .spawn(move || {
+            crate::set_current(Some((Arc::clone(&rt_child), id)));
+            if !crate::await_first_schedule(&rt_child, id) {
+                return;
+            }
+            let out = catch_unwind(AssertUnwindSafe(f));
+            if let Err(payload) = &out {
+                let text = crate::payload_str(payload.as_ref());
+                if text != crate::ABORT_MSG {
+                    crate::record_failure(&rt_child, |st| {
+                        format!(
+                            "model thread {id} panicked: {text} (schedule: {:?})",
+                            st.schedule_so_far()
+                        )
+                    });
+                }
+            }
+            *result_child.lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
+            crate::finish_thread(&rt_child, id);
+        })
+        .expect("spawn model OS thread");
+    crate::register_os_handle(&rt, os);
+    // Scheduling point: the explorer decides whether the child or the
+    // spawner runs next.
+    crate::sched_point();
+    JoinHandle { id, result }
+}
+
+/// Deschedules the current model thread until every other runnable
+/// thread has taken a step (real loom's documented contract).
+pub fn yield_now() {
+    crate::yield_point();
+}
