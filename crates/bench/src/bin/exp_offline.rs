@@ -223,6 +223,11 @@ fn render_json(
     }
     s.push_str("  ],\n");
     s.push_str(&format!(
+        "  \"gsp_parallel_cutover\": {{ \"min_parallel_work\": {}, \"work_unit\": \
+         \"1 + degree per scheduled road (Eq. 18 update cost)\" }},\n",
+        rtse_gsp::MIN_PARALLEL_WORK
+    ));
+    s.push_str(&format!(
         "  \"obs_overhead\": {{ \"stage\": \"corr_table_build\", \"noop_ms\": {obs_noop_ms:.3}, \
          \"enabled_ms\": {obs_enabled_ms:.3} }},\n"
     ));

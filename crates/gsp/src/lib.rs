@@ -25,7 +25,7 @@ pub mod solver;
 pub mod uncertainty;
 
 pub use exact::exact_map_estimate;
-pub use parallel::ParallelGsp;
+pub use parallel::{layer_work, ParallelGsp, MIN_PARALLEL_WORK};
 pub use relax::{propagate_warm, propagate_warm_observed, DampedGsp};
 pub use schedule::UpdateSchedule;
 pub use solver::{GspResult, GspSolver};

@@ -19,9 +19,28 @@ use rtse_rtf::likelihood::optimal_update;
 use rtse_rtf::params::SlotParams;
 use rtse_sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-/// Below this layer width the per-chunk dispatch overhead exceeds the
-/// Eq. (18) update cost, so the layer is swept serially on the caller.
-const MIN_PARALLEL_LAYER: usize = 32;
+/// Below this much per-layer *work* the per-chunk dispatch overhead
+/// exceeds the parallel win, so the layer is swept serially on the caller.
+///
+/// Work is measured in Eq. (18) update-cost units via [`layer_work`]:
+/// `1 + degree(r)` per scheduled road, since the update of road `r` reads
+/// every neighbor once plus its own prior. The old cutover counted roads
+/// only (`layer.len() < 32`), which dispatched worker chunks for wide
+/// layers of near-leaf roads whose whole sweep costs less than the
+/// dispatch itself — the BENCH_offline.json `gsp_propagate` rows showed
+/// the pooled runs *losing* to serial on such networks. 4096 work units
+/// is roughly the measured round-trip cost of a pool dispatch in Eq. (18)
+/// evaluations on the benched hosts; the exact value is recorded in
+/// `BENCH_offline.json` under `gsp_parallel_cutover`.
+pub const MIN_PARALLEL_WORK: usize = 4096;
+
+/// Eq. (18) update-cost estimate of sweeping `layer`: each road costs one
+/// unit plus one per neighbor read. This is the quantity compared against
+/// [`MIN_PARALLEL_WORK`] when deciding whether a layer is worth
+/// dispatching to the pool.
+pub fn layer_work(graph: &Graph, layer: &[RoadId]) -> usize {
+    layer.iter().map(|&r| 1 + graph.degree(r)).sum()
+}
 
 fn read_lock(lock: &RwLock<Vec<f64>>) -> RwLockReadGuard<'_, Vec<f64>> {
     lock.read().unwrap_or_else(PoisonError::into_inner)
@@ -49,8 +68,9 @@ impl ParallelGsp {
     /// Workers are spawned once per propagate call on a shared
     /// [`ComputePool`] scope and reused across every layer of every round
     /// (the old implementation re-spawned `threads` OS threads per layer
-    /// per round). Single-thread pools and layers narrower than
-    /// [`MIN_PARALLEL_LAYER`] are swept serially on the caller thread.
+    /// per round). Single-thread pools and layers whose measured work
+    /// ([`layer_work`]) falls below [`MIN_PARALLEL_WORK`] are swept
+    /// serially on the caller thread.
     pub fn propagate(
         &self,
         graph: &Graph,
@@ -65,6 +85,10 @@ impl ParallelGsp {
         }
         let sampled: Vec<RoadId> = observations.iter().map(|&(r, _)| r).collect();
         let schedule = UpdateSchedule::new(graph, &sampled);
+        // Layers are fixed for the whole call; measure each once so the
+        // serial-vs-pooled cutover inside the round loop is a comparison,
+        // not a degree sum per round.
+        let work: Vec<usize> = schedule.layers().iter().map(|l| layer_work(graph, l)).collect();
 
         let mut trace = Vec::new();
         let mut rounds = 0;
@@ -78,10 +102,10 @@ impl ParallelGsp {
             while !converged && rounds < self.base.max_rounds {
                 rounds += 1;
                 let mut max_delta = 0.0_f64;
-                for layer in schedule.layers() {
+                for (layer, &layer_cost) in schedule.layers().iter().zip(&work) {
                     // Jacobi step over the layer, chunked across workers.
                     let fresh: Vec<(usize, f64)> = if scope.threads() == 1
-                        || layer.len() < MIN_PARALLEL_LAYER
+                        || layer_cost < MIN_PARALLEL_WORK
                     {
                         let vals = read_lock(&values);
                         layer
@@ -153,6 +177,16 @@ mod tests {
                 par.speed(r)
             );
         }
+    }
+
+    #[test]
+    fn layer_work_counts_updates_and_neighbor_reads() {
+        let g = grid(3, 3);
+        let all: Vec<RoadId> = g.road_ids().collect();
+        // One unit per update plus one per neighbor read: Σ(1 + deg) over
+        // the whole network is N + 2E.
+        assert_eq!(layer_work(&g, &all), g.num_roads() + 2 * g.num_edges());
+        assert_eq!(layer_work(&g, &[]), 0);
     }
 
     #[test]

@@ -492,8 +492,11 @@ fn respond(shared: &Shared<'_>, pending: Pending, cached: &CacheOutcome, batch_s
     if shed_if_expired(shared, &pending, now) {
         return;
     }
-    let estimates: Vec<f64> =
-        pending.roads.iter().map(|r| cached.round.values[r.index()]).collect();
+    // Sized fill, not `collect`: the answer length is known up front and
+    // this runs once per waiter per round (`cargo xtask flow` hot-alloc
+    // discipline; see DESIGN.md §10).
+    let mut estimates: Vec<f64> = Vec::with_capacity(pending.roads.len());
+    estimates.extend(pending.roads.iter().map(|r| cached.round.values[r.index()]));
     let answer = ServedAnswer {
         roads: pending.roads,
         estimates,

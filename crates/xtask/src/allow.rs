@@ -1,12 +1,13 @@
-//! `lint.toml` — the scoped allowlist and lock hierarchy for policy rules.
+//! `lint.toml` — the scoped allowlist, lock hierarchy, and hot-path
+//! declarations for policy rules.
 //!
-//! Format (a deliberately tiny TOML subset: `[[allow]]` / `[[lock]]`
-//! tables with string- or integer-valued keys only):
+//! Format (a deliberately tiny TOML subset: `[[allow]]` / `[[lock]]` /
+//! `[[hotpath]]` tables with string- or integer-valued keys only):
 //!
 //! ```toml
 //! [[allow]]
 //! path = "crates/graph/src/road.rs"   # suffix match on the repo path
-//! rule = "no-panic"                   # which rule to silence
+//! rule = "no-panic"                   # which lint rule to silence
 //! contains = "u32::try_from"          # optional: substring of the line
 //! reason = "why this site is exempt"  # mandatory, shown in reports
 //!
@@ -14,12 +15,33 @@
 //! name = "serve-slot"                 # label used in lock-order reports
 //! acquire = "lock_cell"               # dotted call-path suffix of the site
 //! rank = 0                            # lower = outermost; must increase inward
+//!
+//! # Hot-path ENTRY declaration for `cargo xtask flow`:
+//! [[hotpath]]
+//! entry = "rtse_gsp::GspSolver::propagate"  # crate_ident::[Type::]fn
+//! policy = "panic"                          # "panic" | "steady" (panic + alloc)
+//! reason = "why this is a hot entry point"
+//!
+//! # Hot-path WAIVER (silences one flow finding):
+//! [[hotpath]]
+//! path = "crates/serve/src/server.rs"  # suffix match on the repo path
+//! rule = "panic-reach"                 # "panic-reach" | "hot-alloc"
+//! construct = "index"                  # optional: one construct slug
+//! fn = "respond"                       # optional: only in this function
+//! contains = "values[r.index()]"       # optional: substring of the line
+//! reason = "why the construct is safe here"
 //! ```
 //!
-//! Every `[[allow]]` entry must be *used* by the current tree and every
-//! `[[lock]]` entry must match at least one acquisition site; stale
-//! entries are reported so the file cannot rot into a blanket waiver or
-//! a fictional hierarchy.
+//! Parsing is fail-closed: unknown keys, unknown rule/construct names,
+//! and unknown policies are hard errors, not silently-never-matching
+//! entries. Every `[[allow]]` entry must be *used* by the current tree,
+//! every `[[lock]]` entry must match at least one acquisition site, and
+//! every `[[hotpath]]` entry must resolve (entries) or fire (waivers);
+//! stale entries are reported so the file cannot rot into a blanket
+//! waiver or a fictional hierarchy.
+
+use crate::graph::{CONSTRUCTS, FLOW_RULES};
+use crate::rules::LINT_RULES;
 
 /// One `[[allow]]` entry.
 #[derive(Debug, Clone)]
@@ -47,6 +69,70 @@ pub struct LockEntry {
     pub rank: u32,
 }
 
+/// Which flow analyses an entry point is subject to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Panic-reachability only.
+    Panic,
+    /// Panic-reachability plus hot-path allocation discipline.
+    Steady,
+}
+
+impl Policy {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Policy::Panic => "panic",
+            Policy::Steady => "steady",
+        }
+    }
+}
+
+/// One `[[hotpath]]` entry-point declaration for `cargo xtask flow`.
+#[derive(Debug, Clone)]
+pub struct HotpathEntry {
+    /// `crate_ident::[Type::]fn` spec; must resolve in the call graph.
+    pub entry: String,
+    pub policy: Policy,
+    /// Why this function is a hot entry point (shown in flow-report.json).
+    pub reason: String,
+}
+
+/// One `[[hotpath]]` waiver: silences one class of flow finding.
+#[derive(Debug, Clone)]
+pub struct HotpathWaiver {
+    /// Repo-relative path suffix the waiver applies to.
+    pub path: String,
+    /// `panic-reach` or `hot-alloc`.
+    pub rule: String,
+    /// Optional construct slug (see [`CONSTRUCTS`]).
+    pub construct: Option<String>,
+    /// Optional function-name restriction (`fn = "..."` in the toml).
+    pub func: Option<String>,
+    /// Optional substring the offending line must contain.
+    pub contains: Option<String>,
+    /// Human justification (required).
+    pub reason: String,
+}
+
+impl HotpathWaiver {
+    /// Whether this waiver silences a `rule`/`construct` finding in
+    /// function `func` of `path` on a line with content `snippet`.
+    pub fn matches(
+        &self,
+        path: &str,
+        rule: &str,
+        construct: &str,
+        func: &str,
+        snippet: &str,
+    ) -> bool {
+        self.rule == rule
+            && path.ends_with(&self.path)
+            && self.construct.as_deref().is_none_or(|c| c == construct)
+            && self.func.as_deref().is_none_or(|f| f == func)
+            && self.contains.as_deref().is_none_or(|c| snippet.contains(c))
+    }
+}
+
 /// Everything `lint.toml` declares.
 #[derive(Debug, Default)]
 pub struct Config {
@@ -54,6 +140,10 @@ pub struct Config {
     pub allows: Vec<AllowEntry>,
     /// The declared lock hierarchy, in file order.
     pub locks: Vec<LockEntry>,
+    /// Hot-path entry points for `cargo xtask flow`.
+    pub entries: Vec<HotpathEntry>,
+    /// Hot-path waivers for `cargo xtask flow`.
+    pub waivers: Vec<HotpathWaiver>,
 }
 
 /// Parses `lint.toml`. Returns the config or a line-tagged error message.
@@ -61,9 +151,15 @@ pub fn parse(text: &str) -> Result<Config, String> {
     let mut cfg = Config::default();
     let mut current: Option<(usize, Partial)> = None;
 
-    #[derive(Default)]
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    enum Table {
+        Allow,
+        Lock,
+        Hotpath,
+    }
+
     struct Partial {
-        is_lock: bool,
+        table: Table,
         path: Option<String>,
         rule: Option<String>,
         contains: Option<String>,
@@ -71,24 +167,147 @@ pub fn parse(text: &str) -> Result<Config, String> {
         name: Option<String>,
         acquire: Option<String>,
         rank: Option<u32>,
+        entry: Option<String>,
+        policy: Option<String>,
+        construct: Option<String>,
+        func: Option<String>,
+    }
+
+    impl Partial {
+        fn new(table: Table) -> Self {
+            Partial {
+                table,
+                path: None,
+                rule: None,
+                contains: None,
+                reason: None,
+                name: None,
+                acquire: None,
+                rank: None,
+                entry: None,
+                policy: None,
+                construct: None,
+                func: None,
+            }
+        }
     }
 
     fn finish(lineno: usize, p: Partial, cfg: &mut Config) -> Result<(), String> {
-        if p.is_lock {
-            cfg.locks.push(LockEntry {
-                name: p.name.ok_or(format!("lint.toml:{lineno}: lock entry missing `name`"))?,
-                acquire: p
-                    .acquire
-                    .ok_or(format!("lint.toml:{lineno}: lock entry missing `acquire`"))?,
-                rank: p.rank.ok_or(format!("lint.toml:{lineno}: lock entry missing `rank`"))?,
-            });
-        } else {
-            cfg.allows.push(AllowEntry {
-                path: p.path.ok_or(format!("lint.toml:{lineno}: entry missing `path`"))?,
-                rule: p.rule.ok_or(format!("lint.toml:{lineno}: entry missing `rule`"))?,
-                contains: p.contains,
-                reason: p.reason.ok_or(format!("lint.toml:{lineno}: entry missing `reason`"))?,
-            });
+        match p.table {
+            Table::Lock => {
+                let acquire =
+                    p.acquire.ok_or(format!("lint.toml:{lineno}: lock entry missing `acquire`"))?;
+                if acquire.is_empty()
+                    || !acquire.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'.')
+                {
+                    return Err(format!(
+                        "lint.toml:{lineno}: `acquire` must be a dotted identifier path, got \
+                         \"{acquire}\""
+                    ));
+                }
+                cfg.locks.push(LockEntry {
+                    name: p.name.ok_or(format!("lint.toml:{lineno}: lock entry missing `name`"))?,
+                    acquire,
+                    rank: p.rank.ok_or(format!("lint.toml:{lineno}: lock entry missing `rank`"))?,
+                });
+            }
+            Table::Allow => {
+                let rule = p.rule.ok_or(format!("lint.toml:{lineno}: entry missing `rule`"))?;
+                if !LINT_RULES.contains(&rule.as_str()) {
+                    return Err(format!(
+                        "lint.toml:{lineno}: unknown lint rule \"{rule}\" (known: {})",
+                        LINT_RULES.join(", ")
+                    ));
+                }
+                cfg.allows.push(AllowEntry {
+                    path: p.path.ok_or(format!("lint.toml:{lineno}: entry missing `path`"))?,
+                    rule,
+                    contains: p.contains,
+                    reason: p
+                        .reason
+                        .ok_or(format!("lint.toml:{lineno}: entry missing `reason`"))?,
+                });
+            }
+            Table::Hotpath => {
+                let reason = p
+                    .reason
+                    .ok_or(format!("lint.toml:{lineno}: hotpath entry missing `reason`"))?;
+                match (p.entry, p.path) {
+                    (Some(entry), None) => {
+                        // Entry-point declaration: entry + policy + reason.
+                        if p.rule.is_some()
+                            || p.construct.is_some()
+                            || p.func.is_some()
+                            || p.contains.is_some()
+                        {
+                            return Err(format!(
+                                "lint.toml:{lineno}: a hotpath entry declaration takes only \
+                                 `entry`, `policy`, `reason`"
+                            ));
+                        }
+                        let policy = p
+                            .policy
+                            .ok_or(format!("lint.toml:{lineno}: hotpath entry missing `policy`"))?;
+                        let policy = match policy.as_str() {
+                            "panic" => Policy::Panic,
+                            "steady" => Policy::Steady,
+                            other => {
+                                return Err(format!(
+                                    "lint.toml:{lineno}: unknown policy \"{other}\" (known: \
+                                     panic, steady)"
+                                ))
+                            }
+                        };
+                        cfg.entries.push(HotpathEntry { entry, policy, reason });
+                    }
+                    (None, Some(path)) => {
+                        // Waiver: path + rule [+ construct/fn/contains] + reason.
+                        if p.policy.is_some() {
+                            return Err(format!(
+                                "lint.toml:{lineno}: `policy` belongs on entry declarations, \
+                                 not waivers"
+                            ));
+                        }
+                        let rule = p
+                            .rule
+                            .ok_or(format!("lint.toml:{lineno}: hotpath waiver missing `rule`"))?;
+                        if !FLOW_RULES.contains(&rule.as_str()) {
+                            return Err(format!(
+                                "lint.toml:{lineno}: unknown flow rule \"{rule}\" (known: {})",
+                                FLOW_RULES.join(", ")
+                            ));
+                        }
+                        if let Some(c) = p.construct.as_deref() {
+                            if !CONSTRUCTS.contains(&c) {
+                                return Err(format!(
+                                    "lint.toml:{lineno}: unknown construct \"{c}\" (known: {})",
+                                    CONSTRUCTS.join(", ")
+                                ));
+                            }
+                        }
+                        cfg.waivers.push(HotpathWaiver {
+                            path,
+                            rule,
+                            construct: p.construct,
+                            func: p.func,
+                            contains: p.contains,
+                            reason,
+                        });
+                    }
+                    (Some(_), Some(_)) => {
+                        return Err(format!(
+                            "lint.toml:{lineno}: hotpath table has both `entry` and `path`; \
+                             declare the entry point and the waiver separately"
+                        ))
+                    }
+                    (None, None) => {
+                        return Err(format!(
+                            "lint.toml:{lineno}: hotpath table needs `entry` (entry point) or \
+                             `path` (waiver)"
+                        ))
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -99,12 +318,24 @@ pub fn parse(text: &str) -> Result<Config, String> {
         if line.is_empty() {
             continue;
         }
-        if line == "[[allow]]" || line == "[[lock]]" {
+        let table = match line {
+            "[[allow]]" => Some(Table::Allow),
+            "[[lock]]" => Some(Table::Lock),
+            "[[hotpath]]" => Some(Table::Hotpath),
+            _ => None,
+        };
+        if let Some(table) = table {
             if let Some((at, p)) = current.take() {
                 finish(at, p, &mut cfg)?;
             }
-            current = Some((lineno, Partial { is_lock: line == "[[lock]]", ..Partial::default() }));
+            current = Some((lineno, Partial::new(table)));
             continue;
+        }
+        if line.starts_with("[[") {
+            return Err(format!(
+                "lint.toml:{lineno}: unknown table `{line}` (known: [[allow]], [[lock]], \
+                 [[hotpath]])"
+            ));
         }
         let Some((key, value)) = line.split_once('=') else {
             return Err(format!("lint.toml:{lineno}: expected `key = \"value\"`"));
@@ -112,9 +343,11 @@ pub fn parse(text: &str) -> Result<Config, String> {
         let key = key.trim();
         let value = value.trim();
         let Some((_, p)) = current.as_mut() else {
-            return Err(format!("lint.toml:{lineno}: key outside an [[allow]]/[[lock]] table"));
+            return Err(format!(
+                "lint.toml:{lineno}: key outside an [[allow]]/[[lock]]/[[hotpath]] table"
+            ));
         };
-        if p.is_lock && key == "rank" {
+        if p.table == Table::Lock && key == "rank" {
             let rank: u32 = value
                 .parse()
                 .map_err(|_| format!("lint.toml:{lineno}: `rank` must be an integer"))?;
@@ -126,13 +359,21 @@ pub fn parse(text: &str) -> Result<Config, String> {
         let Some(value) = value.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
             return Err(format!("lint.toml:{lineno}: value must be a double-quoted string"));
         };
-        let slot = match (p.is_lock, key) {
-            (false, "path") => &mut p.path,
-            (false, "rule") => &mut p.rule,
-            (false, "contains") => &mut p.contains,
-            (false, "reason") => &mut p.reason,
-            (true, "name") => &mut p.name,
-            (true, "acquire") => &mut p.acquire,
+        let slot = match (p.table, key) {
+            (Table::Allow, "path") => &mut p.path,
+            (Table::Allow, "rule") => &mut p.rule,
+            (Table::Allow, "contains") => &mut p.contains,
+            (Table::Allow, "reason") => &mut p.reason,
+            (Table::Lock, "name") => &mut p.name,
+            (Table::Lock, "acquire") => &mut p.acquire,
+            (Table::Hotpath, "entry") => &mut p.entry,
+            (Table::Hotpath, "policy") => &mut p.policy,
+            (Table::Hotpath, "path") => &mut p.path,
+            (Table::Hotpath, "rule") => &mut p.rule,
+            (Table::Hotpath, "construct") => &mut p.construct,
+            (Table::Hotpath, "fn") => &mut p.func,
+            (Table::Hotpath, "contains") => &mut p.contains,
+            (Table::Hotpath, "reason") => &mut p.reason,
             (_, other) => return Err(format!("lint.toml:{lineno}: unknown key `{other}`")),
         };
         if slot.replace(value.to_string()).is_some() {
@@ -211,6 +452,56 @@ reason = "mixed tables parse"
     }
 
     #[test]
+    fn parses_hotpath_entries_and_waivers() {
+        let text = r#"
+[[hotpath]]
+entry = "rtse_gsp::GspSolver::propagate"
+policy = "panic"
+reason = "round execution"
+
+[[hotpath]]
+entry = "rtse_serve::AnswerCache::round_for_published"
+policy = "steady"
+reason = "cache-hit path must not allocate"
+
+[[hotpath]]
+path = "crates/serve/src/server.rs"
+rule = "panic-reach"
+construct = "index"
+fn = "respond"
+contains = "values[r.index()]"
+reason = "admission bounds-checks road ids"
+"#;
+        let cfg = parse(text).expect("parses");
+        assert_eq!(cfg.entries.len(), 2);
+        assert_eq!(cfg.entries[0].policy, Policy::Panic);
+        assert_eq!(cfg.entries[1].policy, Policy::Steady);
+        assert_eq!(cfg.waivers.len(), 1);
+        let w = &cfg.waivers[0];
+        assert!(w.matches(
+            "crates/serve/src/server.rs",
+            "panic-reach",
+            "index",
+            "respond",
+            "let v = values[r.index()];"
+        ));
+        assert!(!w.matches(
+            "crates/serve/src/server.rs",
+            "panic-reach",
+            "index",
+            "other_fn",
+            "let v = values[r.index()];"
+        ));
+        assert!(!w.matches(
+            "crates/serve/src/server.rs",
+            "hot-alloc",
+            "index",
+            "respond",
+            "let v = values[r.index()];"
+        ));
+    }
+
+    #[test]
     fn rejects_missing_reason() {
         let text = "[[allow]]\npath = \"x\"\nrule = \"no-panic\"\n";
         assert!(parse(text).is_err());
@@ -218,8 +509,52 @@ reason = "mixed tables parse"
 
     #[test]
     fn rejects_unknown_keys() {
-        let text = "[[allow]]\npath = \"x\"\nrule = \"r\"\nreason = \"y\"\nsev = \"z\"\n";
+        let text = "[[allow]]\npath = \"x\"\nrule = \"no-panic\"\nreason = \"y\"\nsev = \"z\"\n";
         assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_rule_names() {
+        let allow = "[[allow]]\npath = \"x\"\nrule = \"no-painc\"\nreason = \"y\"\n";
+        let err = parse(allow).expect_err("typo'd lint rule");
+        assert!(err.contains("unknown lint rule"), "{err}");
+
+        let waiver = "[[hotpath]]\npath = \"x\"\nrule = \"no-panic\"\nreason = \"y\"\n";
+        let err = parse(waiver).expect_err("lint rule in a flow waiver");
+        assert!(err.contains("unknown flow rule"), "{err}");
+
+        let construct =
+            "[[hotpath]]\npath = \"x\"\nrule = \"hot-alloc\"\nconstruct = \"colect\"\nreason = \"y\"\n";
+        let err = parse(construct).expect_err("typo'd construct");
+        assert!(err.contains("unknown construct"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_hotpath_tables() {
+        let both = "[[hotpath]]\nentry = \"a::b\"\npath = \"x\"\nreason = \"y\"\n";
+        assert!(parse(both).is_err(), "entry + path in one table");
+
+        let neither = "[[hotpath]]\nreason = \"y\"\n";
+        assert!(parse(neither).is_err(), "neither entry nor path");
+
+        let bad_policy = "[[hotpath]]\nentry = \"a::b\"\npolicy = \"stedy\"\nreason = \"y\"\n";
+        let err = parse(bad_policy).expect_err("typo'd policy");
+        assert!(err.contains("unknown policy"), "{err}");
+
+        let no_policy = "[[hotpath]]\nentry = \"a::b\"\nreason = \"y\"\n";
+        assert!(parse(no_policy).is_err(), "entry without policy");
+
+        let waiver_policy =
+            "[[hotpath]]\npath = \"x\"\nrule = \"hot-alloc\"\npolicy = \"panic\"\nreason = \"y\"\n";
+        assert!(parse(waiver_policy).is_err(), "policy on a waiver");
+    }
+
+    #[test]
+    fn rejects_unknown_tables_and_bad_acquire() {
+        assert!(parse("[[waive]]\npath = \"x\"\n").is_err(), "unknown table name");
+        let bad = "[[lock]]\nname = \"a\"\nacquire = \"lock cell\"\nrank = 0\n";
+        let err = parse(bad).expect_err("acquire with a space");
+        assert!(err.contains("dotted identifier path"), "{err}");
     }
 
     #[test]

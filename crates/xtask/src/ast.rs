@@ -109,29 +109,44 @@ impl<'a> Ast<'a> {
         Self { src, sc, tokens, closer }
     }
 
-    fn text_of(&self, idx: usize) -> &str {
+    /// Number of tokens in the stream.
+    pub(crate) fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Text of token `idx` when it is an identifier (or numeric literal).
+    pub(crate) fn ident_at(&self, idx: usize) -> Option<&str> {
+        (self.tokens.get(idx)?.kind == Kind::Ident).then(|| self.text_of(idx))
+    }
+
+    /// Index of the matching closer for an opening delimiter token.
+    pub(crate) fn closer_of(&self, idx: usize) -> Option<usize> {
+        self.closer.get(idx).copied().flatten()
+    }
+
+    pub(crate) fn text_of(&self, idx: usize) -> &str {
         let t = &self.tokens[idx];
         std::str::from_utf8(&self.sc.text[t.start..t.end]).unwrap_or("")
     }
 
-    fn is_ident(&self, idx: usize, word: &str) -> bool {
+    pub(crate) fn is_ident(&self, idx: usize, word: &str) -> bool {
         self.tokens.get(idx).is_some_and(|t| t.kind == Kind::Ident) && self.text_of(idx) == word
     }
 
-    fn is_punct(&self, idx: usize, b: u8) -> bool {
+    pub(crate) fn is_punct(&self, idx: usize, b: u8) -> bool {
         self.tokens.get(idx).is_some_and(|t| t.kind == Kind::Punct(b))
     }
 
-    fn in_test(&self, idx: usize) -> bool {
+    pub(crate) fn in_test(&self, idx: usize) -> bool {
         self.sc.in_test[self.tokens[idx].start]
     }
 
-    fn line(&self, idx: usize) -> usize {
+    pub(crate) fn line(&self, idx: usize) -> usize {
         self.sc.line_of(self.tokens[idx].start)
     }
 
     /// The trimmed original source line containing token `idx`.
-    fn src_line(&self, idx: usize) -> &str {
+    pub(crate) fn src_line(&self, idx: usize) -> &str {
         let offset = self.tokens[idx].start;
         let start = self.src[..offset].rfind('\n').map_or(0, |p| p + 1);
         let end = self.src[offset..].find('\n').map_or(self.src.len(), |p| offset + p);
@@ -362,6 +377,89 @@ mod tests {
             },
             LockEntry { name: "obs-registry".into(), acquire: "obs.span".into(), rank: 2 },
         ]
+    }
+
+    /// All Ident tokens of the lexed source, in order.
+    fn idents(src: &str) -> Vec<String> {
+        let sc = scrub(src);
+        let ast = Ast::lex(src, &sc);
+        (0..ast.len()).filter_map(|i| ast.ident_at(i).map(str::to_string)).collect()
+    }
+
+    #[test]
+    fn raw_string_contents_never_become_tokens() {
+        // Scrubbing blanks raw-string bodies, so braces/quotes/idents
+        // inside them must not surface as tokens or unbalance delimiters.
+        let src = "fn f() -> &'static str { r#\"{ unbalanced ] \"quote\" std::sync \"# }\n";
+        let toks = idents(src);
+        assert!(!toks.contains(&"unbalanced".to_string()), "{toks:?}");
+        assert!(!toks.contains(&"sync".to_string()), "{toks:?}");
+        let sc = scrub(src);
+        let ast = Ast::lex(src, &sc);
+        let open = (0..ast.len()).find(|&i| ast.is_punct(i, b'{')).expect("body brace");
+        assert!(ast.closer_of(open).is_some(), "raw string must not unbalance the body");
+    }
+
+    #[test]
+    fn char_and_byte_literals_with_delimiters_stay_balanced() {
+        // `'}'`, `b'{'`, and `'\''` would desync delimiter pairing if the
+        // char scrub ever read them as punctuation.
+        let src = "fn f(c: char) -> bool { matches!(c, '}' | '{' | '\\'' | ')') }\nfn g() -> u8 { b'{' }\n";
+        let sc = scrub(src);
+        let ast = Ast::lex(src, &sc);
+        let opens: Vec<usize> = (0..ast.len()).filter(|&i| ast.is_punct(i, b'{')).collect();
+        assert!(!opens.is_empty());
+        for open in opens {
+            assert!(ast.closer_of(open).is_some(), "char literals must not eat a brace");
+        }
+        assert!(idents(src).contains(&"matches".to_string()));
+    }
+
+    #[test]
+    fn nested_generic_close_lexes_as_two_tokens() {
+        // `Vec<Vec<u8>>` — the `>>` must be two `>` puncts, not a shift.
+        let src = "fn f(v: Vec<Vec<u8>>) {}\n";
+        let sc = scrub(src);
+        let ast = Ast::lex(src, &sc);
+        let gt: Vec<usize> = (0..ast.len()).filter(|&i| ast.is_punct(i, b'>')).collect();
+        let lt: Vec<usize> = (0..ast.len()).filter(|&i| ast.is_punct(i, b'<')).collect();
+        assert_eq!(gt.len(), 2);
+        assert_eq!(lt.len(), 2);
+        assert_eq!(gt[1], gt[0] + 1, "`>>` is adjacent single-byte puncts");
+    }
+
+    #[test]
+    fn turbofish_lexes_as_path_punctuation() {
+        let src = "fn f() { parse::<Vec<u8>>(\"1\"); }\n";
+        let sc = scrub(src);
+        let ast = Ast::lex(src, &sc);
+        let parse = (0..ast.len()).find(|&i| ast.is_ident(i, "parse")).expect("parse token");
+        assert!(ast.is_punct(parse + 1, b':') && ast.is_punct(parse + 2, b':'));
+        assert!(ast.is_punct(parse + 3, b'<'));
+    }
+
+    #[test]
+    fn lifetimes_lex_as_quote_then_ident() {
+        // `&'a str` — the scrub must keep the lifetime (it is not a char
+        // literal), lexing as `'` punct + `a` ident.
+        let src = "fn f<'a>(s: &'a str) -> &'a str { s }\n";
+        let sc = scrub(src);
+        let ast = Ast::lex(src, &sc);
+        let quotes: Vec<usize> = (0..ast.len()).filter(|&i| ast.is_punct(i, b'\'')).collect();
+        assert_eq!(quotes.len(), 3, "three lifetime sites");
+        for q in quotes {
+            assert_eq!(ast.ident_at(q + 1), Some("a"));
+        }
+    }
+
+    #[test]
+    fn numeric_literals_lex_as_ident_kind() {
+        // The rules rely on `1e9`/`0xff` lexing as single Ident tokens
+        // (e.g. literal-divisor detection looks at the leading digit).
+        let toks = idents("fn f() -> u64 { 0xff + 1e9 as u64 + 42 }\n");
+        for lit in ["0xff", "42"] {
+            assert!(toks.contains(&lit.to_string()), "{toks:?}");
+        }
     }
 
     #[test]

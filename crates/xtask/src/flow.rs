@@ -1,0 +1,568 @@
+//! `cargo xtask flow` — interprocedural hot-path analysis.
+//!
+//! Runs two reachability analyses over the workspace call graph
+//! ([`crate::graph`]), from the entry points declared in `lint.toml`'s
+//! `[[hotpath]]` tables:
+//!
+//! * **panic-reachability** (`policy = "panic"` and `"steady"`): every
+//!   function transitively reachable from the entry must be free of
+//!   panicking constructs — `unwrap`/`expect`, the panic macro family,
+//!   slice indexing, and integer `div`/`rem` by a non-literal. This
+//!   upgrades the per-crate syntactic `no-panic` rule to a whole-program
+//!   guarantee: a no-panic crate can no longer launder a panic through a
+//!   helper two crates away.
+//! * **hot-path allocation discipline** (`policy = "steady"` only):
+//!   heap-allocating constructs — `collect`, `format!`, `vec!`,
+//!   `Box::new`, `to_vec`/`to_string`, `clone`, and `Vec::new`/`push`
+//!   without a visible `with_capacity`/`reserve` in the same function —
+//!   are banned in functions reachable from steady-state entries, so
+//!   cache-hit queries and warm GSP rounds stay allocation-free.
+//!
+//! Findings are waived site-by-site via `[[hotpath]]` waiver tables
+//! (path + rule, optionally narrowed by construct/fn/contains, reason
+//! mandatory). Entries that resolve to no function and waivers that fire
+//! on no site are stale and fail the pass, like dead `[[allow]]`s. The
+//! pass emits `flow-report.json` — call-graph stats, per-entry reachable
+//! set sizes, and the waiver inventory — so the reachable surface is a
+//! tracked trajectory like the BENCH_* files.
+
+use crate::allow::{Config, Policy};
+use crate::graph::{self, CallGraph};
+use std::collections::HashMap;
+use std::path::Path;
+
+/// A construct reachable from a hot-path entry and not waived.
+#[derive(Debug)]
+pub struct FlowViolation {
+    pub file: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub construct: &'static str,
+    /// Qualified name of the containing function.
+    pub func: String,
+    /// The entry-point spec that first reached the function.
+    pub entry: String,
+    /// Call chain entry → … → containing function (qualified names).
+    pub chain: Vec<String>,
+    pub snippet: String,
+}
+
+impl FlowViolation {
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}/{}] `{}` is reachable from hot-path entry `{}`\n    chain: {}\n    {}",
+            self.file,
+            self.line,
+            self.rule,
+            self.construct,
+            self.func,
+            self.entry,
+            self.chain.join(" -> "),
+            self.snippet
+        )
+    }
+}
+
+/// Everything one `cargo xtask flow` run produces.
+pub struct FlowOutcome {
+    pub violations: Vec<FlowViolation>,
+    /// Stale-entry / stale-waiver messages (each one fails the pass).
+    pub stale: Vec<String>,
+    /// The deterministic `flow-report.json` body.
+    pub report: String,
+}
+
+impl FlowOutcome {
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// One construct site attributed to the first entry that reaches it.
+struct Attributed {
+    fn_idx: usize,
+    construct_idx: usize,
+    entry_idx: usize,
+    chain: Vec<usize>,
+}
+
+/// Builds the call graph and runs both analyses against `cfg`.
+pub fn analyze(root: &Path, cfg: &Config) -> Result<FlowOutcome, String> {
+    let g = graph::build(root)?;
+    let mut stale: Vec<String> = Vec::new();
+
+    // Per-entry BFS; a (fn, construct) site is attributed to the first
+    // declared entry that reaches it, so lint.toml's entry order decides
+    // which chain a violation reports (and double-counting is impossible).
+    let mut seen: HashMap<(usize, usize), usize> = HashMap::new(); // site -> attributed index
+    let mut attributed: Vec<Attributed> = Vec::new();
+    let mut entry_reach: Vec<usize> = vec![0; cfg.entries.len()];
+    for (ei, entry) in cfg.entries.iter().enumerate() {
+        let starts = g.resolve_entry(&entry.entry);
+        if starts.is_empty() {
+            stale.push(format!(
+                "lint.toml: stale hotpath entry \"{}\" — resolves to no workspace function; \
+                 fix the spec or remove it",
+                entry.entry
+            ));
+            continue;
+        }
+        let parent = bfs(&g, &starts);
+        entry_reach[ei] = parent.len();
+        let mut reached: Vec<usize> = parent.keys().copied().collect();
+        reached.sort_unstable();
+        for fn_idx in reached {
+            let def = &g.fns[fn_idx];
+            for (ci, c) in def.constructs.iter().enumerate() {
+                if c.rule == "hot-alloc" && entry.policy != Policy::Steady {
+                    continue;
+                }
+                if c.capacity_gated && def.capacity_hint {
+                    continue;
+                }
+                if seen.contains_key(&(fn_idx, ci)) {
+                    continue;
+                }
+                seen.insert((fn_idx, ci), attributed.len());
+                attributed.push(Attributed {
+                    fn_idx,
+                    construct_idx: ci,
+                    entry_idx: ei,
+                    chain: chain_to(&parent, fn_idx),
+                });
+            }
+        }
+    }
+
+    // Waiver matching: first matching waiver wins; unused waivers are
+    // stale. Sites that match nothing become violations.
+    let mut waiver_sites = vec![0usize; cfg.waivers.len()];
+    let mut entry_flagged = vec![0usize; cfg.entries.len()];
+    let mut entry_waived = vec![0usize; cfg.entries.len()];
+    let mut rule_flagged: HashMap<&str, usize> = HashMap::new();
+    let mut rule_waived: HashMap<&str, usize> = HashMap::new();
+    let mut violations: Vec<FlowViolation> = Vec::new();
+    for a in &attributed {
+        let def = &g.fns[a.fn_idx];
+        let c = &def.constructs[a.construct_idx];
+        let waiver = cfg
+            .waivers
+            .iter()
+            .position(|w| w.matches(&def.file, c.rule, c.construct, &def.name, &c.snippet));
+        match waiver {
+            Some(wi) => {
+                waiver_sites[wi] += 1;
+                entry_waived[a.entry_idx] += 1;
+                *rule_waived.entry(c.rule).or_insert(0) += 1;
+            }
+            None => {
+                entry_flagged[a.entry_idx] += 1;
+                *rule_flagged.entry(c.rule).or_insert(0) += 1;
+                violations.push(FlowViolation {
+                    file: def.file.clone(),
+                    line: c.line,
+                    rule: c.rule,
+                    construct: c.construct,
+                    func: def.qualified(),
+                    entry: cfg.entries[a.entry_idx].entry.clone(),
+                    chain: a.chain.iter().map(|&i| g.fns[i].qualified()).collect(),
+                    snippet: c.snippet.clone(),
+                });
+            }
+        }
+    }
+    for (wi, w) in cfg.waivers.iter().enumerate() {
+        if waiver_sites[wi] == 0 {
+            stale.push(format!(
+                "lint.toml: stale hotpath waiver (path = \"{}\", rule = \"{}\") — fires on no \
+                 reachable site; remove it",
+                w.path, w.rule
+            ));
+        }
+    }
+    violations.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+
+    let report = render_report(
+        &g,
+        cfg,
+        &entry_reach,
+        &entry_flagged,
+        &entry_waived,
+        &rule_flagged,
+        &rule_waived,
+        &waiver_sites,
+        violations.len(),
+    );
+    Ok(FlowOutcome { violations, stale, report })
+}
+
+/// BFS over the call graph from `starts`; the map holds every reached
+/// function and its BFS predecessor (`usize::MAX` for roots).
+fn bfs(g: &CallGraph, starts: &[usize]) -> HashMap<usize, usize> {
+    let mut parent: HashMap<usize, usize> = HashMap::new();
+    let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    for &s in starts {
+        if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(s) {
+            e.insert(usize::MAX);
+            queue.push_back(s);
+        }
+    }
+    while let Some(f) = queue.pop_front() {
+        for &callee in &g.callees[f] {
+            if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(callee) {
+                e.insert(f);
+                queue.push_back(callee);
+            }
+        }
+    }
+    parent
+}
+
+/// Call chain root → … → `fn_idx`, capped at 8 hops (long chains keep
+/// the tail nearest the violation, which is the actionable end).
+fn chain_to(parent: &HashMap<usize, usize>, fn_idx: usize) -> Vec<usize> {
+    let mut chain = vec![fn_idx];
+    let mut cur = fn_idx;
+    while let Some(&p) = parent.get(&cur) {
+        if p == usize::MAX || chain.len() >= 8 {
+            break;
+        }
+        chain.push(p);
+        cur = p;
+    }
+    chain.reverse();
+    chain
+}
+
+/// Minimal JSON string escaping for the report.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the deterministic `flow-report.json` body: pure function of
+/// the tree and lint.toml (no timestamps, sorted collections), so CI can
+/// `git diff` the regenerated file against the committed one.
+#[allow(clippy::too_many_arguments)]
+fn render_report(
+    g: &CallGraph,
+    cfg: &Config,
+    entry_reach: &[usize],
+    entry_flagged: &[usize],
+    entry_waived: &[usize],
+    rule_flagged: &HashMap<&str, usize>,
+    rule_waived: &HashMap<&str, usize>,
+    waiver_sites: &[usize],
+    violations: usize,
+) -> String {
+    let edges: usize = g.callees.iter().map(Vec::len).sum();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"rtse-flow-report/v1\",\n");
+    out.push_str("  \"call_graph\": {\n");
+    out.push_str(&format!("    \"crates\": {},\n", g.crates.len()));
+    out.push_str(&format!("    \"files_scanned\": {},\n", g.files_scanned));
+    out.push_str(&format!("    \"functions\": {},\n", g.fns.len()));
+    out.push_str(&format!("    \"edges\": {edges},\n"));
+    out.push_str(&format!("    \"unresolved_calls\": {}\n", g.unresolved_calls));
+    out.push_str("  },\n");
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in cfg.entries.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"entry\": \"{}\",\n", esc(&e.entry)));
+        out.push_str(&format!("      \"policy\": \"{}\",\n", e.policy.as_str()));
+        out.push_str(&format!("      \"reachable_functions\": {},\n", entry_reach[i]));
+        out.push_str(&format!("      \"flagged_sites\": {},\n", entry_flagged[i]));
+        out.push_str(&format!("      \"waived_sites\": {},\n", entry_waived[i]));
+        out.push_str(&format!("      \"reason\": \"{}\"\n", esc(&e.reason)));
+        out.push_str(if i + 1 < cfg.entries.len() { "    },\n" } else { "    }\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"rules\": [\n");
+    for (i, rule) in graph::FLOW_RULES.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"rule\": \"{rule}\",\n"));
+        out.push_str(&format!("      \"flagged\": {},\n", rule_flagged.get(rule).unwrap_or(&0)));
+        out.push_str(&format!("      \"waived\": {}\n", rule_waived.get(rule).unwrap_or(&0)));
+        out.push_str(if i + 1 < graph::FLOW_RULES.len() { "    },\n" } else { "    }\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"waivers\": [\n");
+    for (i, w) in cfg.waivers.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"path\": \"{}\",\n", esc(&w.path)));
+        out.push_str(&format!("      \"rule\": \"{}\",\n", esc(&w.rule)));
+        if let Some(c) = &w.construct {
+            out.push_str(&format!("      \"construct\": \"{}\",\n", esc(c)));
+        }
+        if let Some(f) = &w.func {
+            out.push_str(&format!("      \"fn\": \"{}\",\n", esc(f)));
+        }
+        out.push_str(&format!("      \"sites\": {},\n", waiver_sites[i]));
+        out.push_str(&format!("      \"reason\": \"{}\"\n", esc(&w.reason)));
+        out.push_str(if i + 1 < cfg.waivers.len() { "    },\n" } else { "    }\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"violations\": {violations}\n"));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allow;
+    use std::fs;
+    use std::path::PathBuf;
+
+    /// A throwaway fixture workspace under the system temp dir. Removed
+    /// on drop; the name is keyed by pid + a per-test tag so parallel
+    /// test binaries never collide.
+    struct Fixture {
+        root: PathBuf,
+    }
+
+    impl Fixture {
+        fn new(tag: &str, files: &[(&str, &str)]) -> Self {
+            let root =
+                std::env::temp_dir().join(format!("xtask-flow-{}-{tag}", std::process::id()));
+            let _ = fs::remove_dir_all(&root);
+            for (rel, content) in files {
+                let path = root.join(rel);
+                fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+                fs::write(&path, content).expect("write fixture file");
+            }
+            Fixture { root }
+        }
+    }
+
+    impl Drop for Fixture {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.root);
+        }
+    }
+
+    const APP_MANIFEST: &str =
+        "[package]\nname = \"app\"\n\n[dependencies]\nutil = { path = \"../util\" }\n";
+    const UTIL_MANIFEST: &str = "[package]\nname = \"util\"\n";
+
+    /// app::serve_round → util::prepare → app::finish; allocation-free
+    /// and panic-free as written.
+    const APP_CLEAN: &str = "\
+pub fn serve_round(n: usize, out: &mut [f64]) -> f64 {
+    util::prepare(n, out);
+    finish(out)
+}
+
+fn finish(v: &[f64]) -> f64 {
+    v.iter().sum()
+}
+";
+    const UTIL_CLEAN: &str = "\
+pub fn prepare(n: usize, out: &mut [f64]) {
+    for (i, slot) in out.iter_mut().enumerate().take(n) {
+        *slot = i as f64;
+    }
+}
+";
+
+    fn config(toml: &str) -> Config {
+        allow::parse(toml).expect("fixture lint.toml parses")
+    }
+
+    const STEADY_ENTRY: &str = "\
+[[hotpath]]
+entry = \"app::serve_round\"
+policy = \"steady\"
+reason = \"fixture steady entry\"
+";
+
+    #[test]
+    fn clean_fixture_passes() {
+        let fx = Fixture::new(
+            "clean",
+            &[
+                ("crates/app/Cargo.toml", APP_MANIFEST),
+                ("crates/app/src/lib.rs", APP_CLEAN),
+                ("crates/util/Cargo.toml", UTIL_MANIFEST),
+                ("crates/util/src/lib.rs", UTIL_CLEAN),
+            ],
+        );
+        let outcome = analyze(&fx.root, &config(STEADY_ENTRY)).expect("analyzes");
+        assert!(outcome.is_clean(), "{:?} {:?}", outcome.violations, outcome.stale);
+        assert!(outcome.report.contains("\"reachable_functions\": 3"), "{}", outcome.report);
+    }
+
+    /// The seeded regression the acceptance criteria require: injecting
+    /// an `unwrap` and a `collect` into a hot-path-reachable function two
+    /// crates away must fail with a trace naming the entry point and the
+    /// call chain.
+    #[test]
+    fn seeded_unwrap_and_collect_are_caught_with_chains() {
+        let util_bad = "\
+pub fn prepare(n: usize, out: &mut [f64]) {
+    let seed: Option<f64> = checked(n);
+    let s = seed.unwrap();
+    let v: Vec<f64> = (0..n).map(|i| s + i as f64).collect();
+    for (slot, x) in out.iter_mut().zip(v) {
+        *slot = x;
+    }
+}
+
+fn checked(n: usize) -> Option<f64> {
+    if n > 0 { Some(1.0) } else { None }
+}
+";
+        let fx = Fixture::new(
+            "seeded",
+            &[
+                ("crates/app/Cargo.toml", APP_MANIFEST),
+                ("crates/app/src/lib.rs", APP_CLEAN),
+                ("crates/util/Cargo.toml", UTIL_MANIFEST),
+                ("crates/util/src/lib.rs", util_bad),
+            ],
+        );
+        let outcome = analyze(&fx.root, &config(STEADY_ENTRY)).expect("analyzes");
+        let unwrap = outcome
+            .violations
+            .iter()
+            .find(|v| v.construct == "unwrap")
+            .expect("seeded unwrap is caught");
+        assert_eq!(unwrap.rule, "panic-reach");
+        assert_eq!(unwrap.entry, "app::serve_round");
+        assert_eq!(unwrap.chain, vec!["app::serve_round", "util::prepare"]);
+        let collect = outcome
+            .violations
+            .iter()
+            .find(|v| v.construct == "collect")
+            .expect("seeded collect is caught");
+        assert_eq!(collect.rule, "hot-alloc");
+        assert_eq!(collect.func, "util::prepare");
+        let rendered = unwrap.render();
+        assert!(rendered.contains("app::serve_round"), "{rendered}");
+        assert!(rendered.contains("panic-reach/unwrap"), "{rendered}");
+        assert!(rendered.contains("chain:"), "{rendered}");
+    }
+
+    #[test]
+    fn panic_policy_ignores_allocations() {
+        let util_alloc = "\
+pub fn prepare(n: usize, out: &mut [f64]) {
+    let v: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    for (slot, x) in out.iter_mut().zip(v) {
+        *slot = x;
+    }
+}
+";
+        let fx = Fixture::new(
+            "panic-policy",
+            &[
+                ("crates/app/Cargo.toml", APP_MANIFEST),
+                ("crates/app/src/lib.rs", APP_CLEAN),
+                ("crates/util/Cargo.toml", UTIL_MANIFEST),
+                ("crates/util/src/lib.rs", util_alloc),
+            ],
+        );
+        let toml = "\
+[[hotpath]]
+entry = \"app::serve_round\"
+policy = \"panic\"
+reason = \"fixture panic-only entry\"
+";
+        let outcome = analyze(&fx.root, &config(toml)).expect("analyzes");
+        assert!(outcome.is_clean(), "panic policy must not flag collect: {:?}", outcome.violations);
+    }
+
+    #[test]
+    fn waivers_silence_sites_and_stale_waivers_fail() {
+        let util_bad = "\
+pub fn prepare(n: usize, out: &mut [f64]) {
+    let v: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    for (slot, x) in out.iter_mut().zip(v) {
+        *slot = x;
+    }
+}
+";
+        let files = [
+            ("crates/app/Cargo.toml", APP_MANIFEST),
+            ("crates/app/src/lib.rs", APP_CLEAN),
+            ("crates/util/Cargo.toml", UTIL_MANIFEST),
+            ("crates/util/src/lib.rs", util_bad),
+        ];
+        let fx = Fixture::new("waived", &files);
+        let waived = "\
+[[hotpath]]
+entry = \"app::serve_round\"
+policy = \"steady\"
+reason = \"fixture steady entry\"
+
+[[hotpath]]
+path = \"crates/util/src/lib.rs\"
+rule = \"hot-alloc\"
+construct = \"collect\"
+fn = \"prepare\"
+reason = \"fixture waiver\"
+";
+        let outcome = analyze(&fx.root, &config(waived)).expect("analyzes");
+        assert!(outcome.is_clean(), "{:?} {:?}", outcome.violations, outcome.stale);
+        assert!(outcome.report.contains("\"sites\": 1"), "{}", outcome.report);
+
+        let stale_extra = format!(
+            "{waived}\n[[hotpath]]\npath = \"crates/app/src/lib.rs\"\nrule = \"panic-reach\"\n\
+             reason = \"matches nothing\"\n"
+        );
+        let outcome = analyze(&fx.root, &config(&stale_extra)).expect("analyzes");
+        assert_eq!(outcome.stale.len(), 1, "{:?}", outcome.stale);
+        assert!(outcome.stale[0].contains("stale hotpath waiver"), "{:?}", outcome.stale);
+    }
+
+    #[test]
+    fn stale_entries_fail() {
+        let fx = Fixture::new(
+            "stale-entry",
+            &[
+                ("crates/app/Cargo.toml", APP_MANIFEST),
+                ("crates/app/src/lib.rs", APP_CLEAN),
+                ("crates/util/Cargo.toml", UTIL_MANIFEST),
+                ("crates/util/src/lib.rs", UTIL_CLEAN),
+            ],
+        );
+        let toml = "\
+[[hotpath]]
+entry = \"app::no_such_fn\"
+policy = \"panic\"
+reason = \"points at nothing\"
+";
+        let outcome = analyze(&fx.root, &config(toml)).expect("analyzes");
+        assert_eq!(outcome.stale.len(), 1);
+        assert!(outcome.stale[0].contains("stale hotpath entry"), "{:?}", outcome.stale);
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let fx = Fixture::new(
+            "determinism",
+            &[
+                ("crates/app/Cargo.toml", APP_MANIFEST),
+                ("crates/app/src/lib.rs", APP_CLEAN),
+                ("crates/util/Cargo.toml", UTIL_MANIFEST),
+                ("crates/util/src/lib.rs", UTIL_CLEAN),
+            ],
+        );
+        let cfg = config(STEADY_ENTRY);
+        let a = analyze(&fx.root, &cfg).expect("first run");
+        let b = analyze(&fx.root, &cfg).expect("second run");
+        assert_eq!(a.report, b.report);
+        assert!(a.report.ends_with("}\n"));
+    }
+}

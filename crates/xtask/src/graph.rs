@@ -1,0 +1,1240 @@
+//! Workspace symbol table and interprocedural call graph for `cargo xtask
+//! flow`.
+//!
+//! Built from the same lexer the concurrency rules use ([`crate::ast`]):
+//! every first-party `.rs` file is scrubbed, lexed, and scanned for
+//! function definitions (with their enclosing `impl` type), call sites
+//! (bare, path-qualified, turbofish, method), and the panic/allocation
+//! constructs the flow analyses care about. Resolution is name-based and
+//! deliberately over-approximate — no type inference, no trait-object or
+//! closure resolution (DESIGN.md §10 documents the imprecision):
+//!
+//! * `Type::name(..)` / `some_crate::..::name(..)` resolve through the
+//!   qualifier (impl type and/or crate ident).
+//! * `self.name(..)` resolves within the enclosing impl, then the crate.
+//! * `recv.name(..)` resolves to *every* workspace method of that name —
+//!   except [`AMBIENT_METHODS`] (names shadowed by std's iterator and
+//!   collection vocabulary), which resolve only via `self` or a qualified
+//!   path: resolving `xs.map(..)` to `ComputePool::map` would poison the
+//!   whole graph with false hot-path edges.
+//! * bare `name(..)` prefers the defining crate, then falls back to any
+//!   crate (cross-crate `use` imports).
+//!
+//! Closure bodies are attributed to the function that *defines* them (the
+//! call through the closure variable itself does not resolve), and
+//! `#[cfg(test)]` regions are excluded entirely.
+
+use crate::ast::Ast;
+use crate::scrub::scrub;
+use std::collections::{HashMap, HashSet};
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+/// Rules the flow pass can flag (and `[[hotpath]]` waivers can name).
+pub const FLOW_RULES: &[&str] = &["panic-reach", "hot-alloc"];
+
+/// Construct slugs the flow pass detects, for `[[hotpath]]` waiver
+/// validation. The first five are `panic-reach`, the rest `hot-alloc`.
+pub const CONSTRUCTS: &[&str] = &[
+    "unwrap",
+    "expect",
+    "panic-macro",
+    "index",
+    "div",
+    "collect",
+    "format",
+    "vec-macro",
+    "box-new",
+    "to-vec",
+    "to-string",
+    "push",
+    "vec-new",
+    "clone",
+];
+
+/// Method names shadowed by std's iterator/collection vocabulary. A
+/// `recv.name(..)` call with one of these names resolves only when the
+/// receiver is `self` or the call is path-qualified; otherwise virtually
+/// every `.map(..)`/`.push(..)` in the workspace would edge into the
+/// workspace functions that happen to share the name.
+pub const AMBIENT_METHODS: &[&str] = &[
+    "map",
+    "filter",
+    "len",
+    "get",
+    "push",
+    "insert",
+    "extend",
+    "iter",
+    "iter_mut",
+    "clone",
+    "collect",
+    "min",
+    "max",
+    "sum",
+    "find",
+    "position",
+    "take",
+    "skip",
+    "chain",
+    "zip",
+    "fold",
+    "rev",
+    "sort",
+    "contains",
+    "count",
+    "next",
+    "last",
+    "first",
+    "split",
+    "join",
+    "abs",
+    "send",
+    "recv",
+    "wait",
+    "to_string",
+    "to_vec",
+    "into_iter",
+    "expect",
+    "unwrap",
+    "into",
+    "from",
+    "new",
+];
+
+const KEYWORDS: &[&str] = &[
+    "fn", "if", "else", "while", "for", "loop", "match", "return", "let", "in", "as", "move",
+    "unsafe", "ref", "mut", "pub", "impl", "trait", "struct", "enum", "use", "mod", "where",
+    "const", "static", "type", "dyn", "crate", "super", "async", "await", "break", "continue",
+    "self", "Self",
+];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// How a call site names its target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallKind {
+    /// `name(..)` with no qualifier.
+    Bare,
+    /// `a::b::name(..)`.
+    Path,
+    /// `self.name(..)`.
+    MethodSelf,
+    /// `recv.name(..)` for any other receiver.
+    Method,
+}
+
+/// One call site inside a function body.
+#[derive(Debug)]
+pub struct CallSite {
+    pub name: String,
+    /// Path segments before the final name (empty unless [`CallKind::Path`]).
+    pub qualifier: Vec<String>,
+    pub kind: CallKind,
+    /// Simple-identifier receiver of a [`CallKind::Method`] call
+    /// (`recv.name(..)` where `recv` is a single ident, not a field or
+    /// call chain) — lets resolution consult the enclosing function's
+    /// typed parameters.
+    pub receiver: Option<String>,
+}
+
+/// One panic/allocation construct inside a function body.
+#[derive(Debug)]
+pub struct ConstructSite {
+    /// `panic-reach` or `hot-alloc`.
+    pub rule: &'static str,
+    /// Construct slug (see [`CONSTRUCTS`]).
+    pub construct: &'static str,
+    pub line: usize,
+    pub snippet: String,
+    /// True for sized-allocation constructs (`push`, `vec-new`) that a
+    /// visible `with_capacity`/`reserve` in the same function sanctions.
+    pub capacity_gated: bool,
+}
+
+/// One function definition in the workspace.
+#[derive(Debug)]
+pub struct FnDef {
+    /// Library ident of the defining crate (e.g. `rtse_gsp`).
+    pub crate_ident: String,
+    /// Enclosing `impl` type, when the function is a method.
+    pub impl_type: Option<String>,
+    pub name: String,
+    /// Repo-relative file path.
+    pub file: String,
+    pub line: usize,
+    /// Parameter names: a bare call to one of these is a closure-parameter
+    /// invocation and resolves to nothing (the closure's body is already
+    /// attributed to the function that defines it).
+    pub params: Vec<String>,
+    /// `(name, type ident)` for parameters whose declared type names a
+    /// single capitalised path head (`obs: &ObsHandle` → `ObsHandle`);
+    /// method calls through such a parameter resolve by impl type.
+    pub param_types: Vec<(String, String)>,
+    pub calls: Vec<CallSite>,
+    pub constructs: Vec<ConstructSite>,
+    /// Whether the body contains `with_capacity`/`reserve`/`reserve_exact`.
+    pub capacity_hint: bool,
+}
+
+impl FnDef {
+    /// `crate::Type::name` / `crate::name` — the display form used in
+    /// traces, reports, and `[[hotpath]]` `entry` declarations.
+    pub fn qualified(&self) -> String {
+        match &self.impl_type {
+            Some(t) => format!("{}::{}::{}", self.crate_ident, t, self.name),
+            None => format!("{}::{}", self.crate_ident, self.name),
+        }
+    }
+}
+
+/// The resolved workspace call graph.
+pub struct CallGraph {
+    /// All function definitions, sorted by (file, line).
+    pub fns: Vec<FnDef>,
+    /// `callees[i]` = sorted, deduplicated indices `fns[i]` may call.
+    pub callees: Vec<Vec<usize>>,
+    /// Call sites that resolved to no workspace function (std calls,
+    /// closures, ambient-name method calls).
+    pub unresolved_calls: usize,
+    pub files_scanned: usize,
+    /// Library idents of the crates scanned, sorted.
+    pub crates: Vec<String>,
+}
+
+impl CallGraph {
+    /// Indices of functions matching an entry spec
+    /// `crate_ident::[Type::]name`.
+    pub fn resolve_entry(&self, spec: &str) -> Vec<usize> {
+        let segs: Vec<&str> = spec.split("::").collect();
+        let (crate_ident, impl_type, name) = match segs.len() {
+            2 => (segs[0], None, segs[1]),
+            3 => (segs[0], Some(segs[1]), segs[2]),
+            _ => return Vec::new(),
+        };
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                f.crate_ident == crate_ident
+                    && f.name == name
+                    && impl_type.is_none_or(|t| f.impl_type.as_deref() == Some(t))
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Scans the workspace under `root` and builds the call graph.
+///
+/// Covered: `crates/*/src/**/*.rs` (excluding `crates/xtask`, which is
+/// tooling, and `src/bin/` directories, whose binaries may panic freely)
+/// plus the facade crate's root `src/`.
+pub fn build(root: &Path) -> Result<CallGraph, String> {
+    let mut sources: Vec<(String, PathBuf, String)> = Vec::new(); // (ident, path, rel)
+    let mut deps: HashMap<String, HashSet<String>> = HashMap::new();
+    let crates_dir = root.join("crates");
+    let entries =
+        std::fs::read_dir(&crates_dir).map_err(|e| format!("reading {crates_dir:?}: {e}"))?;
+    let mut dirs: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    dirs.sort();
+    for dir in dirs {
+        let Some(dir_name) = dir.file_name().and_then(|n| n.to_str()).map(str::to_string) else {
+            continue;
+        };
+        if dir_name == "xtask" {
+            continue;
+        }
+        let src = dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let ident = crate_ident(&dir).unwrap_or_else(|| dir_name.replace('-', "_"));
+        deps.insert(ident.clone(), crate_deps(&dir));
+        collect_sources(&src, root, &ident, &mut sources)?;
+    }
+    if root.join("src").is_dir() {
+        let ident = crate_ident(root).unwrap_or_else(|| "crowd_rtse".into());
+        deps.insert(ident.clone(), crate_deps(root));
+        collect_sources(&root.join("src"), root, &ident, &mut sources)?;
+    }
+    sources.sort_by(|a, b| a.2.cmp(&b.2));
+    let deps = transitive_deps(deps);
+
+    let mut fns: Vec<FnDef> = Vec::new();
+    for (ident, path, rel) in &sources {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("reading {rel}: {e}"))?;
+        scan_file(ident, rel, &src, &mut fns);
+    }
+    fns.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+
+    let (callees, unresolved_calls) = resolve_calls(&fns, &deps);
+    let mut crates: Vec<String> = sources.iter().map(|(i, _, _)| i.clone()).collect();
+    crates.sort();
+    crates.dedup();
+    Ok(CallGraph { callees, unresolved_calls, files_scanned: sources.len(), crates, fns })
+}
+
+/// Library ident of the crate rooted at `dir` (package name with `-`
+/// mapped to `_`), read from its `Cargo.toml`.
+fn crate_ident(dir: &Path) -> Option<String> {
+    let manifest = std::fs::read_to_string(dir.join("Cargo.toml")).ok()?;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(v) = rest.strip_prefix('=') {
+                let v = v.trim().trim_matches('"');
+                return Some(v.replace('-', "_"));
+            }
+        }
+    }
+    None
+}
+
+/// Direct `[dependencies]` idents of the crate rooted at `dir`
+/// (dev-dependencies deliberately excluded: test-only edges must not put
+/// a crate on a hot path).
+fn crate_deps(dir: &Path) -> HashSet<String> {
+    let mut out = HashSet::new();
+    let Ok(manifest) = std::fs::read_to_string(dir.join("Cargo.toml")) else {
+        return out;
+    };
+    let mut in_deps = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        if !in_deps || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.split(['=', '.', ' ']).next() {
+            if !name.is_empty() {
+                out.insert(name.replace('-', "_"));
+            }
+        }
+    }
+    out
+}
+
+/// Transitive closure of the dependency map (a crate "sees" its deps'
+/// deps through re-exports).
+fn transitive_deps(direct: HashMap<String, HashSet<String>>) -> HashMap<String, HashSet<String>> {
+    let mut out: HashMap<String, HashSet<String>> = HashMap::new();
+    for ident in direct.keys() {
+        let mut seen: HashSet<String> = HashSet::new();
+        let mut stack: Vec<&String> = vec![ident];
+        while let Some(cur) = stack.pop() {
+            if let Some(ds) = direct.get(cur) {
+                for d in ds {
+                    if seen.insert(d.clone()) {
+                        stack.push(d);
+                    }
+                }
+            }
+        }
+        seen.insert(ident.clone());
+        out.insert(ident.clone(), seen);
+    }
+    out
+}
+
+fn collect_sources(
+    dir: &Path,
+    root: &Path,
+    ident: &str,
+    out: &mut Vec<(String, PathBuf, String)>,
+) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("reading {dir:?}: {e}"))?;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+        if path.is_dir() {
+            // Binaries may panic and allocate freely; they are never
+            // reachable *from* library entry points, and their local fn
+            // names would only add spurious same-name edges.
+            if rel.ends_with("/bin") {
+                continue;
+            }
+            collect_sources(&path, root, ident, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push((ident.to_string(), path, rel));
+        }
+    }
+    Ok(())
+}
+
+/// A function definition found during the raw scan (token coordinates).
+struct RawFn {
+    name_idx: usize,
+    body: Range<usize>,
+    /// Parameter names, for closure-parameter call suppression.
+    params: Vec<String>,
+    /// Parameters whose declared type resolved to a single type ident.
+    param_types: Vec<(String, String)>,
+}
+
+fn is_keyword(word: &str) -> bool {
+    KEYWORDS.contains(&word)
+}
+
+/// Scans one file for function definitions, impl spans, calls, and
+/// constructs, appending completed [`FnDef`]s to `out`.
+fn scan_file(crate_ident: &str, rel: &str, src: &str, out: &mut Vec<FnDef>) {
+    let sc = scrub(src);
+    let ast = Ast::lex(src, &sc);
+    let impls = find_impls(&ast);
+    let raw = find_fns(&ast);
+
+    // Innermost-enclosing-fn assignment: body ranges nest, so the
+    // narrowest range containing a token wins.
+    let owner_of = |tok: usize| -> Option<usize> {
+        raw.iter()
+            .enumerate()
+            .filter(|(_, f)| f.body.contains(&tok))
+            .min_by_key(|(_, f)| f.body.end - f.body.start)
+            .map(|(i, _)| i)
+    };
+
+    let mut defs: Vec<FnDef> = raw
+        .iter()
+        .map(|f| {
+            let impl_type = impls
+                .iter()
+                .filter(|(_, r)| r.contains(&f.name_idx))
+                .min_by_key(|(_, r)| r.end - r.start)
+                .map(|(t, _)| t.clone());
+            FnDef {
+                crate_ident: crate_ident.to_string(),
+                impl_type,
+                name: ast.text_of(f.name_idx).to_string(),
+                file: rel.to_string(),
+                line: ast.line(f.name_idx),
+                params: f.params.clone(),
+                param_types: f.param_types.clone(),
+                calls: Vec::new(),
+                constructs: Vec::new(),
+                capacity_hint: false,
+            }
+        })
+        .collect();
+
+    scan_events(&ast, &mut defs, owner_of);
+    out.append(&mut defs);
+}
+
+/// Finds `impl` blocks: `(type name, body token range)`. The type is the
+/// last path segment before the body brace (after `for` when present),
+/// with generic argument lists skipped.
+fn find_impls(ast: &Ast) -> Vec<(String, Range<usize>)> {
+    let mut out = Vec::new();
+    for idx in 0..ast.len() {
+        if !ast.is_ident(idx, "impl") || ast.in_test(idx) {
+            continue;
+        }
+        let mut i = idx + 1;
+        let mut angle = 0i32;
+        let mut last: Option<String> = None;
+        while i < ast.len() {
+            if ast.is_punct(i, b'<') {
+                angle += 1;
+            } else if ast.is_punct(i, b'>') && !ast.is_punct(i.wrapping_sub(1), b'-') {
+                angle -= 1;
+            } else if ast.is_punct(i, b'(') || ast.is_punct(i, b'[') {
+                // Fn-trait bounds (`F: Fn(A) -> B`) and array types.
+                i = match ast.closer_of(i) {
+                    Some(c) => c,
+                    None => break,
+                };
+            } else if angle == 0 {
+                if ast.is_punct(i, b'{') {
+                    if let (Some(t), Some(close)) = (last.take(), ast.closer_of(i)) {
+                        out.push((t, i..close));
+                    }
+                    break;
+                }
+                if ast.is_ident(i, "where") {
+                    // Bound idents would overwrite the type; the body
+                    // brace still terminates the scan.
+                    while i < ast.len() && !ast.is_punct(i, b'{') {
+                        i += 1;
+                    }
+                    continue;
+                }
+                if ast.is_ident(i, "for") {
+                    last = None;
+                } else if let Some(word) = ast.ident_at(i) {
+                    if !is_keyword(word) {
+                        last = Some(word.to_string());
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Finds function definitions with bodies (trait-method declarations
+/// ending in `;` are skipped), excluding `#[cfg(test)]` regions.
+fn find_fns(ast: &Ast) -> Vec<RawFn> {
+    let mut out = Vec::new();
+    for idx in 0..ast.len().saturating_sub(1) {
+        if !ast.is_ident(idx, "fn") || ast.in_test(idx) {
+            continue;
+        }
+        let name_idx = idx + 1;
+        if ast.ident_at(name_idx).is_none() {
+            continue;
+        }
+        // Body: the first top-level `{` after the signature; `(..)` and
+        // `[..]` groups (parameters, Fn-trait bounds, array types) are
+        // skipped whole via delimiter pairing. The first paren group is
+        // the parameter list; a top-level ident immediately followed by a
+        // single `:` inside it is a parameter name.
+        let mut i = name_idx + 1;
+        let mut body = None;
+        let mut params: Vec<String> = Vec::new();
+        let mut param_types: Vec<(String, String)> = Vec::new();
+        let mut saw_params = false;
+        while i < ast.len() {
+            if ast.is_punct(i, b'(') || ast.is_punct(i, b'[') {
+                match ast.closer_of(i) {
+                    Some(c) => {
+                        if !saw_params && ast.is_punct(i, b'(') {
+                            saw_params = true;
+                            for j in i + 1..c {
+                                if ast.ident_at(j).is_some()
+                                    && ast.is_punct(j + 1, b':')
+                                    && !ast.is_punct(j + 2, b':')
+                                    && !ast.is_punct(j.wrapping_sub(1), b':')
+                                {
+                                    let name = ast.text_of(j).to_string();
+                                    if let Some(ty) = param_type_ident(ast, j + 2, c) {
+                                        param_types.push((name.clone(), ty));
+                                    }
+                                    params.push(name);
+                                }
+                            }
+                        }
+                        i = c + 1;
+                    }
+                    None => break,
+                }
+            } else if ast.is_punct(i, b'{') {
+                let end = ast.closer_of(i).unwrap_or(ast.len());
+                body = Some(i + 1..end);
+                break;
+            } else if ast.is_punct(i, b';') {
+                break;
+            } else {
+                i += 1;
+            }
+        }
+        if let Some(body) = body {
+            out.push(RawFn { name_idx, body, params, param_types });
+        }
+    }
+    out
+}
+
+/// The single capitalised type ident a parameter's declared type reduces
+/// to, scanning from just past the `:` at `start` to the next top-level
+/// `,` (or `end`): `&ObsHandle` → `ObsHandle`, `&mut Graph` → `Graph`,
+/// `Shared<'_>` → `Shared`, `obs::ObsHandle` → `ObsHandle`. `None` for
+/// primitives, tuples, slices, closures, and `dyn` trait objects —
+/// anything a method call cannot be resolved through by name.
+fn param_type_ident(ast: &Ast, start: usize, end: usize) -> Option<String> {
+    let mut angle = 0i32;
+    let mut i = start;
+    while i < end {
+        if angle == 0 && ast.is_punct(i, b',') {
+            return None;
+        }
+        if ast.is_punct(i, b'<') {
+            angle += 1;
+        } else if ast.is_punct(i, b'>') && !ast.is_punct(i.wrapping_sub(1), b'-') {
+            angle -= 1;
+        } else if ast.is_punct(i, b'(') || ast.is_punct(i, b'[') {
+            return None; // tuple/array/slice types, `impl Fn(..)` bounds
+        } else if angle == 0 {
+            if let Some(word) = ast.ident_at(i) {
+                if ast.is_punct(i.wrapping_sub(1), b'\'') {
+                    i += 1;
+                    continue; // lifetime (`&'a Graph`)
+                }
+                if word == "dyn" {
+                    return None;
+                }
+                if !is_keyword(word) {
+                    // Module path segments (`obs::ObsHandle`) are skipped;
+                    // the path head decides.
+                    if ast.is_punct(i + 1, b':') && ast.is_punct(i + 2, b':') {
+                        i += 3;
+                        continue;
+                    }
+                    return word
+                        .chars()
+                        .next()
+                        .is_some_and(char::is_uppercase)
+                        .then(|| word.to_string());
+                }
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Scans the token stream once for call sites and constructs, assigning
+/// each to its innermost enclosing function.
+fn scan_events(ast: &Ast, defs: &mut [FnDef], owner_of: impl Fn(usize) -> Option<usize>) {
+    let mut idx = 0;
+    while idx < ast.len() {
+        // Attributes (`#[..]`) contain call-shaped tokens (`derive(..)`,
+        // `cfg(..)`); skip them whole.
+        if ast.is_punct(idx, b'#') && ast.is_punct(idx + 1, b'[') {
+            if let Some(close) = ast.closer_of(idx + 1) {
+                idx = close + 1;
+                continue;
+            }
+        }
+        if ast.in_test(idx) {
+            idx += 1;
+            continue;
+        }
+        let Some(owner) = owner_of(idx) else {
+            idx += 1;
+            continue;
+        };
+        scan_one(ast, idx, &mut defs[owner]);
+        idx += 1;
+    }
+    for def in defs.iter_mut() {
+        def.capacity_hint = def.capacity_hint
+            || def
+                .calls
+                .iter()
+                .any(|c| matches!(c.name.as_str(), "with_capacity" | "reserve" | "reserve_exact"));
+    }
+}
+
+/// Token index just past a turbofish (`:: < .. >`) starting at `idx`, or
+/// `idx` unchanged when there is none.
+fn skip_turbofish(ast: &Ast, idx: usize) -> usize {
+    if !(ast.is_punct(idx, b':') && ast.is_punct(idx + 1, b':') && ast.is_punct(idx + 2, b'<')) {
+        return idx;
+    }
+    let mut depth = 0i32;
+    let mut i = idx + 2;
+    while i < ast.len() {
+        if ast.is_punct(i, b'<') {
+            depth += 1;
+        } else if ast.is_punct(i, b'>') && !ast.is_punct(i.wrapping_sub(1), b'-') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    idx
+}
+
+/// Examines the token at `idx` for one call/construct event and records
+/// it on `def`.
+fn scan_one(ast: &Ast, idx: usize, def: &mut FnDef) {
+    // Method call: `. name [::<..>] (` — `self.name(..)` resolves within
+    // the impl; other receivers resolve by bare name (ambient-filtered).
+    if ast.is_punct(idx, b'.') {
+        if let Some(name) = ast.ident_at(idx + 1) {
+            if name.as_bytes().first().is_some_and(u8::is_ascii_digit) {
+                return; // tuple-field access / float literal
+            }
+            let after = skip_turbofish(ast, idx + 2);
+            if ast.is_punct(after, b'(') {
+                let recv_self = idx > 0
+                    && ast.is_ident(idx - 1, "self")
+                    && !ast.is_punct(idx.wrapping_sub(2), b'.');
+                let kind = if recv_self { CallKind::MethodSelf } else { CallKind::Method };
+                // A simple-ident receiver (`obs.record(..)`, not a field
+                // access or call chain) can be typed via the parameters.
+                let receiver = if recv_self || ast.is_punct(idx.wrapping_sub(2), b'.') {
+                    None
+                } else {
+                    idx.checked_sub(1).and_then(|p| ast.ident_at(p)).map(str::to_string)
+                };
+                record_method_constructs(ast, idx + 1, name, def);
+                def.calls.push(CallSite {
+                    name: name.to_string(),
+                    qualifier: Vec::new(),
+                    kind,
+                    receiver,
+                });
+            }
+        }
+        return;
+    }
+
+    // Macro: `name !` — panic family and allocating macros are constructs.
+    if let Some(name) = ast.ident_at(idx) {
+        if ast.is_punct(idx + 1, b'!') {
+            if PANIC_MACROS.contains(&name) {
+                push_construct(ast, idx, def, "panic-reach", "panic-macro", false);
+            } else if name == "format" {
+                push_construct(ast, idx, def, "hot-alloc", "format", false);
+            } else if name == "vec" {
+                push_construct(ast, idx, def, "hot-alloc", "vec-macro", false);
+            }
+            return;
+        }
+        // Path or bare call: `[q:: ..] name [::<..>] (`, skipping
+        // definitions, keywords, and qualifier segments (the final
+        // segment is handled when the scan reaches it).
+        if is_keyword(name) || (idx > 0 && ast.is_ident(idx - 1, "fn")) {
+            return;
+        }
+        if idx > 0 && ast.is_punct(idx - 1, b'.') {
+            return; // handled as a method call at the `.`
+        }
+        let after = skip_turbofish(ast, idx + 1);
+        if !ast.is_punct(after, b'(') {
+            // Not a call; but `name [` may be an indexing expression.
+            detect_index_and_div(ast, idx, def);
+            return;
+        }
+        // Walk the qualifier backwards: `a :: b :: name`.
+        let mut qualifier: Vec<String> = Vec::new();
+        let mut i = idx;
+        while i >= 3 && ast.is_punct(i - 1, b':') && ast.is_punct(i - 2, b':') {
+            match ast.ident_at(i - 3) {
+                Some(seg) if !ast.is_punct(i.wrapping_sub(4), b'<') => {
+                    qualifier.insert(0, seg.to_string());
+                    i -= 3;
+                }
+                _ => break,
+            }
+        }
+        let kind = if qualifier.is_empty() { CallKind::Bare } else { CallKind::Path };
+        record_path_constructs(ast, idx, name, &qualifier, def);
+        def.calls.push(CallSite { name: name.to_string(), qualifier, kind, receiver: None });
+        return;
+    }
+
+    detect_index_and_div(ast, idx, def);
+}
+
+/// Allocation/panic constructs expressed as method calls.
+fn record_method_constructs(ast: &Ast, name_idx: usize, name: &str, def: &mut FnDef) {
+    let (rule, construct, gated) = match name {
+        "unwrap" => ("panic-reach", "unwrap", false),
+        "expect" => ("panic-reach", "expect", false),
+        "collect" => ("hot-alloc", "collect", false),
+        "to_vec" => ("hot-alloc", "to-vec", false),
+        "to_string" | "to_owned" => ("hot-alloc", "to-string", false),
+        "clone" => ("hot-alloc", "clone", false),
+        "push" | "extend" | "extend_from_slice" | "insert" => ("hot-alloc", "push", true),
+        _ => return,
+    };
+    push_construct(ast, name_idx, def, rule, construct, gated);
+}
+
+/// Allocation constructs expressed as path calls (`Box::new`, `Vec::new`,
+/// `String::from`); `Arc::clone`/`Rc::clone` are refcount bumps, not
+/// allocations, and stay legal.
+fn record_path_constructs(
+    ast: &Ast,
+    name_idx: usize,
+    name: &str,
+    qualifier: &[String],
+    def: &mut FnDef,
+) {
+    let Some(last) = qualifier.last().map(String::as_str) else { return };
+    let (rule, construct, gated) = match (last, name) {
+        ("Box", "new") => ("hot-alloc", "box-new", false),
+        ("Vec" | "VecDeque", "new") => ("hot-alloc", "vec-new", true),
+        ("String", "from") => ("hot-alloc", "to-string", false),
+        _ => return,
+    };
+    push_construct(ast, name_idx, def, rule, construct, gated);
+}
+
+/// Indexing (`recv[..]`) and division/remainder by a non-literal.
+fn detect_index_and_div(ast: &Ast, idx: usize, def: &mut FnDef) {
+    let prev_is_value = idx > 0
+        && (ast.is_punct(idx - 1, b')')
+            || ast.is_punct(idx - 1, b']')
+            || ast.ident_at(idx - 1).is_some_and(|w| !is_keyword(w)));
+    if ast.is_punct(idx, b'[') {
+        if prev_is_value {
+            push_construct(ast, idx, def, "panic-reach", "index", false);
+        }
+        return;
+    }
+    if (ast.is_punct(idx, b'/') || ast.is_punct(idx, b'%')) && prev_is_value {
+        // Divisor token: step over a compound-assign `=` and a unary `-`.
+        let mut j = idx + 1;
+        if ast.is_punct(j, b'=') {
+            j += 1;
+        }
+        if ast.is_punct(j, b'-') {
+            j += 1;
+        }
+        let divisor_literal =
+            ast.ident_at(j).is_some_and(|w| w.as_bytes().first().is_some_and(u8::is_ascii_digit));
+        if divisor_literal {
+            return;
+        }
+        // Integer division by zero panics in release; float division does
+        // not. Types are invisible lexically, so a line with any float
+        // marker is taken as float arithmetic (documented imprecision).
+        let line = ast.src_line(idx);
+        if line.contains("f64") || line.contains("f32") || has_float_literal(line) {
+            return;
+        }
+        push_construct(ast, idx, def, "panic-reach", "div", false);
+    }
+}
+
+fn has_float_literal(line: &str) -> bool {
+    let b = line.as_bytes();
+    (1..b.len().saturating_sub(1))
+        .any(|i| b[i] == b'.' && b[i - 1].is_ascii_digit() && b[i + 1].is_ascii_digit())
+}
+
+fn push_construct(
+    ast: &Ast,
+    idx: usize,
+    def: &mut FnDef,
+    rule: &'static str,
+    construct: &'static str,
+    capacity_gated: bool,
+) {
+    def.constructs.push(ConstructSite {
+        rule,
+        construct,
+        line: ast.line(idx),
+        snippet: ast.src_line(idx).to_string(),
+        capacity_gated,
+    });
+}
+
+/// Resolves every call site to workspace function indices, producing the
+/// adjacency list and the unresolved-call count.
+fn resolve_calls(
+    fns: &[FnDef],
+    deps: &HashMap<String, HashSet<String>>,
+) -> (Vec<Vec<usize>>, usize) {
+    let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, f) in fns.iter().enumerate() {
+        by_name.entry(f.name.as_str()).or_default().push(i);
+    }
+    let crate_idents: HashSet<&str> = fns.iter().map(|f| f.crate_ident.as_str()).collect();
+    let impl_types: HashSet<&str> = fns.iter().filter_map(|f| f.impl_type.as_deref()).collect();
+
+    let mut callees: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
+    let mut unresolved = 0usize;
+    for (i, f) in fns.iter().enumerate() {
+        // A call cannot land in a crate the caller does not (transitively)
+        // depend on. Crates absent from the map are unconstrained (the
+        // unit-test path).
+        let visible = deps.get(&f.crate_ident);
+        for call in &f.calls {
+            let candidates = by_name.get(call.name.as_str()).map(Vec::as_slice).unwrap_or(&[]);
+            let candidates: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|&j| visible.is_none_or(|v| v.contains(&fns[j].crate_ident)))
+                .collect();
+            let resolved = resolve_one(fns, f, call, &candidates, &crate_idents, &impl_types);
+            if resolved.is_empty() {
+                unresolved += 1;
+            } else {
+                callees[i].extend(resolved);
+            }
+        }
+        callees[i].sort_unstable();
+        callees[i].dedup();
+    }
+    (callees, unresolved)
+}
+
+/// Resolution for one call site; see the module docs for the policy.
+fn resolve_one(
+    fns: &[FnDef],
+    caller: &FnDef,
+    call: &CallSite,
+    candidates: &[usize],
+    crate_idents: &std::collections::HashSet<&str>,
+    impl_types: &std::collections::HashSet<&str>,
+) -> Vec<usize> {
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let same_crate = |ids: &[usize]| -> Vec<usize> {
+        ids.iter().copied().filter(|&j| fns[j].crate_ident == caller.crate_ident).collect()
+    };
+    match call.kind {
+        CallKind::Bare => {
+            // A bare call to a parameter name invokes a closure argument;
+            // the closure's own body is attributed where it is written,
+            // so the call site itself resolves to nothing.
+            if caller.params.iter().any(|p| p == &call.name) {
+                return Vec::new();
+            }
+            let local = same_crate(candidates);
+            if !local.is_empty() {
+                return local;
+            }
+            candidates.to_vec()
+        }
+        CallKind::MethodSelf => {
+            if let Some(ty) = &caller.impl_type {
+                let typed: Vec<usize> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&j| {
+                        fns[j].crate_ident == caller.crate_ident
+                            && fns[j].impl_type.as_deref() == Some(ty)
+                    })
+                    .collect();
+                if !typed.is_empty() {
+                    return typed;
+                }
+            }
+            let local = same_crate(candidates);
+            if !local.is_empty() {
+                return local;
+            }
+            candidates.to_vec()
+        }
+        CallKind::Method => {
+            // A receiver that is a typed parameter of the enclosing
+            // function resolves precisely by impl type — overriding the
+            // ambient-name filter (`pool.map(..)` with `pool: &ComputePool`
+            // IS `ComputePool::map`) and the crate heuristics both. An
+            // empty match means the method lives on std or a trait object;
+            // blanket-impl methods are the documented miss (DESIGN.md §10).
+            if let Some(recv) = &call.receiver {
+                if let Some((_, ty)) = caller.param_types.iter().find(|(name, _)| name == recv) {
+                    if impl_types.contains(ty.as_str()) {
+                        return candidates
+                            .iter()
+                            .copied()
+                            .filter(|&j| fns[j].impl_type.as_deref() == Some(ty))
+                            .collect();
+                    }
+                }
+            }
+            if AMBIENT_METHODS.contains(&call.name.as_str()) {
+                return Vec::new();
+            }
+            // Receiver types are invisible lexically; prefer same-crate
+            // methods of the name (most method calls stay within a crate)
+            // before the global fallback for imported types.
+            let local = same_crate(candidates);
+            if !local.is_empty() {
+                return local;
+            }
+            candidates.to_vec()
+        }
+        CallKind::Path => {
+            let mut crate_hint: Option<String> = None;
+            let mut type_hint: Option<String> = None;
+            let first = call.qualifier.first().map(String::as_str).unwrap_or("");
+            let last = call.qualifier.last().map(String::as_str).unwrap_or("");
+            if first == "self" || first == "crate" {
+                crate_hint = Some(caller.crate_ident.clone());
+            } else if first == "Self" {
+                crate_hint = Some(caller.crate_ident.clone());
+                type_hint = caller.impl_type.clone();
+            } else if crate_idents.contains(first) {
+                crate_hint = Some(first.to_string());
+            }
+            if call.qualifier.len() > 1 || crate_hint.is_none() {
+                // A capitalised final qualifier segment is read as an impl
+                // type; lowercase segments are modules (ignored).
+                if last != "self"
+                    && last != "crate"
+                    && last != "Self"
+                    && last.chars().next().is_some_and(char::is_uppercase)
+                {
+                    type_hint = Some(last.to_string());
+                }
+            }
+            // A type qualifier that is no workspace impl type is foreign —
+            // std or a trait (`Duration::from_secs`, `Default::default`);
+            // resolving it by bare name would invent edges.
+            if let Some(t) = type_hint.as_deref() {
+                if !impl_types.contains(t) {
+                    return Vec::new();
+                }
+            }
+            let matches = |j: usize, want_crate: bool, want_type: bool| -> bool {
+                let f = &fns[j];
+                (!want_crate || crate_hint.as_deref() == Some(f.crate_ident.as_str()))
+                    && (!want_type || type_hint.as_deref() == f.impl_type.as_deref())
+            };
+            for (want_crate, want_type) in [
+                (crate_hint.is_some(), type_hint.is_some()),
+                (crate_hint.is_some(), false),
+                (false, type_hint.is_some()),
+            ] {
+                if !want_crate && !want_type {
+                    continue;
+                }
+                let hit: Vec<usize> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&j| matches(j, want_crate, want_type))
+                    .collect();
+                if !hit.is_empty() {
+                    return hit;
+                }
+            }
+            let local = same_crate(candidates);
+            if !local.is_empty() {
+                return local;
+            }
+            candidates.to_vec()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> Vec<FnDef> {
+        let mut out = Vec::new();
+        scan_file("test_crate", "crates/test/src/lib.rs", src, &mut out);
+        out
+    }
+
+    fn graph_of(files: &[(&str, &str, &str)]) -> CallGraph {
+        let mut fns = Vec::new();
+        for (ident, rel, src) in files {
+            scan_file(ident, rel, src, &mut fns);
+        }
+        fns.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+        let (callees, unresolved_calls) = resolve_calls(&fns, &HashMap::new());
+        let mut crates: Vec<String> = fns.iter().map(|f| f.crate_ident.clone()).collect();
+        crates.sort();
+        crates.dedup();
+        CallGraph { callees, unresolved_calls, files_scanned: files.len(), crates, fns }
+    }
+
+    fn fn_named<'g>(g: &'g CallGraph, name: &str) -> (usize, &'g FnDef) {
+        g.fns
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name == name)
+            .unwrap_or_else(|| panic!("no fn {name}"))
+    }
+
+    #[test]
+    fn finds_fns_with_impl_types() {
+        let defs = scan(
+            "pub struct Foo;\nimpl Foo {\n    pub fn new() -> Self { Foo }\n    fn helper(&self) {}\n}\nfn free() {}\n",
+        );
+        let names: Vec<(Option<&str>, &str)> =
+            defs.iter().map(|d| (d.impl_type.as_deref(), d.name.as_str())).collect();
+        assert_eq!(names, vec![(Some("Foo"), "new"), (Some("Foo"), "helper"), (None, "free")]);
+    }
+
+    #[test]
+    fn trait_impls_use_the_self_type() {
+        let defs = scan("impl Display for Foo<T> {\n    fn fmt(&self) { nested(); }\n}\n");
+        assert_eq!(defs[0].impl_type.as_deref(), Some("Foo"));
+        assert_eq!(defs[0].name, "fmt");
+    }
+
+    #[test]
+    fn generic_signatures_and_where_clauses_parse() {
+        let defs = scan(
+            "fn apply<F: Fn(usize) -> f64>(f: F) -> f64 where F: Send { f(3) }\n\
+             impl<T: Clone> Holder<T> where T: Send {\n    fn get_all(&self) -> Vec<T> { self.items.to_vec() }\n}\n",
+        );
+        assert_eq!(defs[0].name, "apply");
+        assert_eq!(defs[1].impl_type.as_deref(), Some("Holder"));
+    }
+
+    #[test]
+    fn nested_fns_own_their_constructs() {
+        let defs = scan(
+            "fn outer() {\n    fn inner(x: Option<u32>) -> u32 { x.unwrap() }\n    inner(None);\n}\n",
+        );
+        let outer = defs.iter().find(|d| d.name == "outer").expect("outer");
+        let inner = defs.iter().find(|d| d.name == "inner").expect("inner");
+        assert!(outer.constructs.is_empty(), "{:?}", outer.constructs);
+        assert_eq!(inner.constructs.len(), 1);
+        assert_eq!(inner.constructs[0].construct, "unwrap");
+        assert!(outer.calls.iter().any(|c| c.name == "inner"));
+    }
+
+    #[test]
+    fn turbofish_call_sites_resolve() {
+        let defs = scan(
+            "fn f(xs: &[u32]) -> Vec<u32> { xs.iter().copied().collect::<Vec<u32>>() }\n\
+             fn g() { helper::<Vec<Vec<u8>>>(1); }\n",
+        );
+        assert!(defs[0].constructs.iter().any(|c| c.construct == "collect"));
+        assert!(defs[1].calls.iter().any(|c| c.name == "helper" && c.kind == CallKind::Bare));
+    }
+
+    #[test]
+    fn index_and_div_detection() {
+        let defs = scan(
+            "fn f(v: &[u64], i: usize, n: u64) -> u64 {\n    let x = v[i];\n    let arr = [0u64; 4];\n    x / n\n}\n\
+             fn g(a: u64) -> u64 { a / 2 }\n\
+             fn h(a: f64, b: f64) -> f64 { a / b * 1.5 }\n",
+        );
+        let f = &defs[0];
+        assert!(f.constructs.iter().any(|c| c.construct == "index"));
+        assert!(f.constructs.iter().any(|c| c.construct == "div"));
+        // Array literal `[0u64; 4]` is not indexing.
+        assert_eq!(f.constructs.iter().filter(|c| c.construct == "index").count(), 1);
+        assert!(defs[1].constructs.is_empty(), "literal divisor is safe: {:?}", defs[1].constructs);
+        assert!(defs[2].constructs.is_empty(), "float division: {:?}", defs[2].constructs);
+    }
+
+    #[test]
+    fn capacity_hint_gates_push() {
+        let defs = scan(
+            "fn sized(n: usize) -> Vec<u32> {\n    let mut v = Vec::with_capacity(n);\n    v.push(1);\n    v\n}\n\
+             fn unsized_(n: usize) -> Vec<u32> {\n    let mut v = Vec::new();\n    v.push(1);\n    v\n}\n",
+        );
+        assert!(defs[0].capacity_hint);
+        assert!(!defs[1].capacity_hint);
+        assert!(defs[1].constructs.iter().any(|c| c.construct == "vec-new" && c.capacity_gated));
+        assert!(defs[1].constructs.iter().any(|c| c.construct == "push" && c.capacity_gated));
+    }
+
+    #[test]
+    fn arc_clone_is_not_an_alloc_construct() {
+        let defs =
+            scan("fn f(a: &Arc<u32>) -> Arc<u32> { Arc::clone(a) }\nfn g(v: &Vec<u32>) -> Vec<u32> { v.clone() }\n");
+        assert!(defs[0].constructs.is_empty(), "{:?}", defs[0].constructs);
+        assert!(defs[1].constructs.iter().any(|c| c.construct == "clone"));
+    }
+
+    #[test]
+    fn cross_crate_path_calls_resolve_by_crate_ident() {
+        let g = graph_of(&[
+            ("app", "crates/app/src/lib.rs", "pub fn entry() { util_crate::helper(); }\n"),
+            (
+                "util_crate",
+                "crates/util/src/lib.rs",
+                "pub fn helper() {}\nfn helper_private() {}\n",
+            ),
+        ]);
+        let (entry_idx, _) = fn_named(&g, "entry");
+        let (helper_idx, _) = fn_named(&g, "helper");
+        assert!(g.callees[entry_idx].contains(&helper_idx));
+    }
+
+    #[test]
+    fn bare_calls_prefer_the_local_crate() {
+        let g = graph_of(&[
+            ("a", "crates/a/src/lib.rs", "pub fn work() { step(); }\nfn step() {}\n"),
+            ("b", "crates/b/src/lib.rs", "pub fn step() {}\n"),
+        ]);
+        let (work, _) = fn_named(&g, "work");
+        assert_eq!(g.callees[work].len(), 1);
+        assert_eq!(g.fns[g.callees[work][0]].crate_ident, "a");
+    }
+
+    #[test]
+    fn ambient_method_names_do_not_resolve() {
+        let g = graph_of(&[
+            (
+                "a",
+                "crates/a/src/lib.rs",
+                "pub fn work(xs: Vec<u32>, pool: &Pool) { xs.map(|x| x); pool.run_items(); }\n",
+            ),
+            (
+                "b",
+                "crates/b/src/lib.rs",
+                "impl Pool {\n    pub fn map(&self) {}\n    pub fn run_items(&self) {}\n}\n",
+            ),
+        ]);
+        let (work, _) = fn_named(&g, "work");
+        let names: Vec<&str> = g.callees[work].iter().map(|&j| g.fns[j].name.as_str()).collect();
+        assert!(!names.contains(&"map"), "ambient `.map(..)` must not edge into Pool::map");
+        assert!(names.contains(&"run_items"), "non-ambient methods resolve by name: {names:?}");
+    }
+
+    #[test]
+    fn typed_parameter_receivers_resolve_by_impl_type() {
+        let g = graph_of(&[
+            (
+                "a",
+                "crates/a/src/lib.rs",
+                "pub fn work(obs: &ObsHandle, pool: &Pool, xs: &[u32]) {\n    obs.record(1);\n    pool.map(xs);\n}\npub fn untyped(xs: &[u32]) {\n    xs.record(2);\n}\n",
+            ),
+            (
+                "b",
+                "crates/b/src/lib.rs",
+                "impl ObsHandle {\n    pub fn record(&self, v: u64) {}\n}\nimpl Pool {\n    pub fn map(&self, xs: &[u32]) {}\n}\nimpl Store {\n    pub fn record(&self, v: u64) {}\n}\n",
+            ),
+        ]);
+        let (work, _) = fn_named(&g, "work");
+        let targets: Vec<String> = g.callees[work].iter().map(|&j| g.fns[j].qualified()).collect();
+        // `obs: &ObsHandle` pins `.record(..)` to ObsHandle, never Store.
+        assert!(targets.contains(&"b::ObsHandle::record".to_string()), "{targets:?}");
+        assert!(!targets.contains(&"b::Store::record".to_string()), "{targets:?}");
+        // A typed receiver overrides the ambient-name filter for `.map(..)`.
+        assert!(targets.contains(&"b::Pool::map".to_string()), "{targets:?}");
+        // `xs: &[u32]` has no nameable type: `.record(..)` falls back to
+        // every workspace candidate of the name.
+        let (untyped, _) = fn_named(&g, "untyped");
+        let fallback: Vec<String> =
+            g.callees[untyped].iter().map(|&j| g.fns[j].qualified()).collect();
+        assert!(fallback.contains(&"b::Store::record".to_string()), "{fallback:?}");
+    }
+
+    #[test]
+    fn self_method_calls_resolve_within_the_impl() {
+        let g = graph_of(&[(
+            "a",
+            "crates/a/src/lib.rs",
+            "impl Solver {\n    pub fn run(&self) { self.step(); }\n    fn step(&self) {}\n}\n\
+             impl Other {\n    fn step(&self) {}\n}\n",
+        )]);
+        let (run, _) = fn_named(&g, "run");
+        assert_eq!(g.callees[run].len(), 1);
+        assert_eq!(g.fns[g.callees[run][0]].impl_type.as_deref(), Some("Solver"));
+    }
+
+    #[test]
+    fn entry_specs_resolve() {
+        let g = graph_of(&[(
+            "rtse_gsp",
+            "crates/gsp/src/solver.rs",
+            "impl GspSolver {\n    pub fn propagate(&self) {}\n}\npub fn free_fn() {}\n",
+        )]);
+        assert_eq!(g.resolve_entry("rtse_gsp::GspSolver::propagate").len(), 1);
+        assert_eq!(g.resolve_entry("rtse_gsp::free_fn").len(), 1);
+        assert!(g.resolve_entry("rtse_gsp::Missing::propagate").is_empty());
+        assert!(g.resolve_entry("wrong_crate::free_fn").is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_excluded() {
+        let defs = scan(
+            "fn lib_fn() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); lib_fn(); }\n}\n",
+        );
+        assert_eq!(defs.len(), 1);
+        assert_eq!(defs[0].name, "lib_fn");
+    }
+
+    #[test]
+    fn attributes_do_not_produce_calls() {
+        let defs = scan("#[derive(Clone, Debug)]\npub struct S;\nfn f() { real_call(); }\n");
+        let f = defs.iter().find(|d| d.name == "f").expect("f");
+        assert_eq!(f.calls.len(), 1);
+        assert_eq!(f.calls[0].name, "real_call");
+    }
+}

@@ -16,9 +16,18 @@
 //!
 //! `--policy-only` runs just step 1 (fast, no compilation). The driver is
 //! intentionally std-only so it builds in seconds and works offline.
+//!
+//! `cargo xtask flow` is the interprocedural hot-path gate: it builds a
+//! workspace call graph ([`graph`]) and runs panic-reachability and
+//! allocation-discipline analyses ([`flow`]) from the `[[hotpath]]` entry
+//! points declared in `lint.toml`, writing `flow-report.json` (or, with
+//! `--check`, verifying the committed report is current). See DESIGN.md
+//! §10.
 
 mod allow;
 mod ast;
+mod flow;
+mod graph;
 mod rules;
 mod scrub;
 
@@ -29,6 +38,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("flow") => flow_cmd(&args[1..]),
         Some("help") | None => {
             print_usage();
             ExitCode::SUCCESS
@@ -46,6 +56,8 @@ fn print_usage() {
         "usage: cargo xtask <command>\n\n\
          commands:\n  \
          lint [--policy-only]   policy rules + fmt --check + clippy -D warnings\n  \
+         flow [--check]         hot-path reachability analysis; writes flow-report.json\n  \
+         \x20                      (--check: verify the committed report instead)\n  \
          help                   this message"
     );
 }
@@ -107,6 +119,89 @@ fn lint(flags: &[String]) -> ExitCode {
     } else {
         println!("xtask lint: all checks passed");
         ExitCode::SUCCESS
+    }
+}
+
+/// `cargo xtask flow`: interprocedural hot-path analysis. Fail-closed:
+/// a missing `lint.toml` or an empty `[[hotpath]]` entry inventory is an
+/// error, not a trivially-clean pass.
+fn flow_cmd(flags: &[String]) -> ExitCode {
+    let check = flags.iter().any(|f| f == "--check");
+    if let Some(bad) = flags.iter().find(|f| *f != "--check") {
+        eprintln!("unknown flag `{bad}` for xtask flow");
+        return ExitCode::from(2);
+    }
+    let root = workspace_root();
+    let toml_path = root.join("lint.toml");
+    let cfg = match std::fs::read_to_string(&toml_path) {
+        Ok(text) => match allow::parse(&text) {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!("flow: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!("flow: reading lint.toml: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if cfg.entries.is_empty() {
+        eprintln!(
+            "flow: lint.toml declares no [[hotpath]] entry points; the hot-path surface must \
+             be inventoried explicitly (see DESIGN.md §10)"
+        );
+        return ExitCode::FAILURE;
+    }
+    let outcome = match flow::analyze(&root, &cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("flow: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for v in &outcome.violations {
+        println!("{}", v.render());
+    }
+    for s in &outcome.stale {
+        println!("{s}");
+    }
+    let report_path = root.join("flow-report.json");
+    if check {
+        match std::fs::read_to_string(&report_path) {
+            Ok(committed) if committed == outcome.report => println!("flow-report.json: current"),
+            Ok(_) => {
+                println!(
+                    "flow-report.json: STALE — regenerate with `cargo xtask flow` and commit \
+                     the diff"
+                );
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("flow: reading flow-report.json: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if let Err(e) = std::fs::write(&report_path, &outcome.report) {
+        eprintln!("flow: writing flow-report.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    if outcome.is_clean() {
+        println!(
+            "flow: ok ({} entr{}, {} waiver(s))",
+            cfg.entries.len(),
+            if cfg.entries.len() == 1 { "y" } else { "ies" },
+            cfg.waivers.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "flow: {} violation(s), {} stale entr{}",
+            outcome.violations.len(),
+            outcome.stale.len(),
+            if outcome.stale.len() == 1 { "y" } else { "ies" }
+        );
+        ExitCode::FAILURE
     }
 }
 

@@ -37,6 +37,21 @@ pub struct Violation {
 pub const NO_PANIC_CRATES: &[&str] =
     &["graph", "math", "rtf", "ocs", "gsp", "core", "data", "pool", "serve", "obs", "sync"];
 
+/// Every rule slug `cargo xtask lint` can emit — the legal values for an
+/// `[[allow]]` entry's `rule` key. A typo'd rule name would otherwise
+/// never match and only surface later as a confusing stale-entry failure.
+pub const LINT_RULES: &[&str] = &[
+    "no-panic",
+    "float-eq",
+    "float-cast",
+    "raw-thread",
+    "raw-sync",
+    "relaxed-ordering",
+    "seqcst-ordering",
+    "stale-annotation",
+    "lock-order",
+];
+
 /// Thread primitives that must be routed through `rtse_pool::ComputePool`.
 const THREAD_PRIMITIVES: &[&str] = &["spawn", "scope"];
 
