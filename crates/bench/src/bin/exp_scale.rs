@@ -1,0 +1,281 @@
+//! Scale sweep for the sparse Γ substrate: builds the floor-pruned
+//! [`SparseCorrelationTable`] on synthetic grid networks of 1k / 10k /
+//! 100k roads and records build time, stored entries, bytes per road, and
+//! query latency in `BENCH_scale.json`. The dense table is built alongside
+//! at the 1k tier only (it is O(n²); at 100k it would need ~80 GB) — there
+//! the sweep also verifies the dense↔sparse equivalence contract over
+//! every pair.
+//!
+//! The network is `generators::grid` (deterministic, O(n) to build — the
+//! same generator the offline tests use) with per-edge ρ drawn i.i.d.
+//! from a seeded uniform range. The full `crates/data/src/synth.rs`
+//! traffic pipeline would dominate the benchmark at 100k roads (hundreds
+//! of millions of per-slot speeds) without changing what is measured —
+//! the table build only consumes one slot's per-edge ρ — so the sweep
+//! feeds `build_from_params` a single synthetic slot instead.
+//!
+//! ```sh
+//! cargo run --release -p rtse-bench --bin exp_scale [--quick]
+//! ```
+//!
+//! `--quick` (the CI `scale-smoke` mode) runs the 1k tier only.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rtse_bench::quick_mode;
+use rtse_data::{SlotOfDay, SLOTS_PER_DAY};
+use rtse_graph::generators::grid;
+use rtse_graph::{Graph, RoadId};
+use rtse_obs::ObsHandle;
+use rtse_pool::ComputePool;
+use rtse_rtf::params::SlotParams;
+use rtse_rtf::SparseCorrelationTable;
+use rtse_rtf::{CorrelationTable, PathCorrelation, RtfModel, SparseCorrConfig};
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Tier {
+    name: &'static str,
+    rows: usize,
+    cols: usize,
+}
+
+/// 1k / 10k / 100k road grids.
+const TIERS: [Tier; 3] = [
+    Tier { name: "1k", rows: 25, cols: 40 },
+    Tier { name: "10k", rows: 100, cols: 100 },
+    Tier { name: "100k", rows: 250, cols: 400 },
+];
+
+struct TierResult {
+    name: &'static str,
+    roads: usize,
+    edges: usize,
+    build_ms: f64,
+    entries: usize,
+    entries_per_road: f64,
+    bytes_per_road: f64,
+    corr_lookup_ns: f64,
+    road_set_corr_ns: f64,
+    dense: Option<DenseResult>,
+}
+
+struct DenseResult {
+    build_ms: f64,
+    bytes_per_road: f64,
+    equivalent_pairs: usize,
+}
+
+/// Per-edge ρ for one synthetic slot, i.i.d. uniform in [0.35, 0.95) —
+/// the range moment estimation lands in on the synthetic traffic process
+/// (strongly correlated arterials near the top, noisy side streets near
+/// the bottom).
+fn synth_params(graph: &Graph, seed: u64) -> SlotParams {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = graph.num_roads();
+    let rho: Vec<f64> = (0..graph.num_edges()).map(|_| rng.random_range(0.35..0.95)).collect();
+    SlotParams { mu: vec![50.0; n], sigma: vec![1.0; n], rho }
+}
+
+fn run_tier(tier: &Tier, config: SparseCorrConfig, check_dense: bool) -> TierResult {
+    let graph = grid(tier.rows, tier.cols);
+    let n = graph.num_roads();
+    let params = synth_params(&graph, 2018 + n as u64);
+    let pool = ComputePool::from_env();
+    let slot = SlotOfDay(0);
+
+    let start = Instant::now();
+    let sparse = SparseCorrelationTable::build_from_params(
+        &graph,
+        &params,
+        slot,
+        config,
+        &pool,
+        &ObsHandle::noop(),
+    );
+    let build_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // Query latency: random pairs (mostly pruned at scale) interleaved
+    // with stored pairs (binary-search hits), measured together so the
+    // number reflects mixed traffic.
+    let mut rng = StdRng::seed_from_u64(7 + n as u64);
+    let lookups = 200_000usize;
+    let pairs: Vec<(RoadId, RoadId)> = (0..lookups)
+        .map(|i| {
+            let a = RoadId::from(rng.random_range(0..n));
+            if i % 2 == 0 {
+                (a, RoadId::from(rng.random_range(0..n)))
+            } else {
+                // A stored neighbor when the row is non-empty.
+                let row: Vec<(RoadId, f64)> = sparse.row(a).collect();
+                if row.is_empty() {
+                    (a, a)
+                } else {
+                    (a, row[rng.random_range(0..row.len())].0)
+                }
+            }
+        })
+        .collect();
+    let start = Instant::now();
+    let mut acc = 0.0;
+    for &(a, b) in &pairs {
+        acc += sparse.corr(a, b);
+    }
+    black_box(acc);
+    let corr_lookup_ns = start.elapsed().as_secs_f64() * 1e9 / lookups as f64;
+
+    // Eq. (11) latency over a 32-road crowdsourced set — the OCS/GSP
+    // access pattern.
+    let set: Vec<RoadId> = (0..32).map(|_| RoadId::from(rng.random_range(0..n))).collect();
+    let sources: Vec<RoadId> = (0..2000).map(|_| RoadId::from(rng.random_range(0..n))).collect();
+    let start = Instant::now();
+    let mut acc = 0.0;
+    for &r in &sources {
+        acc += sparse.road_set_corr(r, &set);
+    }
+    black_box(acc);
+    let road_set_corr_ns = start.elapsed().as_secs_f64() * 1e9 / sources.len() as f64;
+
+    let dense = check_dense.then(|| {
+        // The dense build needs a full model wrapper; reuse the same slot
+        // params for every slot (only slot 0 is built).
+        let slots: Vec<SlotParams> = (0..SLOTS_PER_DAY).map(|_| params.clone()).collect();
+        let model = RtfModel::from_slots(n, graph.num_edges(), slots);
+        let start = Instant::now();
+        let dense = CorrelationTable::build_with_pool(
+            &graph,
+            &model,
+            slot,
+            PathCorrelation::MaxProduct,
+            &pool,
+        );
+        let build_ms = start.elapsed().as_secs_f64() * 1e3;
+        // Equivalence contract over every pair: bit-identical at or above
+        // the floor, exactly zero below it.
+        let mut equivalent_pairs = 0usize;
+        for a in graph.road_ids() {
+            for b in graph.road_ids() {
+                let d = dense.corr(a, b);
+                let s = sparse.corr(a, b);
+                if d >= config.floor {
+                    assert_eq!(d.to_bits(), s.to_bits(), "corr({a},{b}): dense {d} vs sparse {s}");
+                } else {
+                    assert_eq!(s, 0.0, "corr({a},{b}) below floor read {s}");
+                }
+                equivalent_pairs += 1;
+            }
+        }
+        DenseResult {
+            build_ms,
+            bytes_per_road: (n * n * std::mem::size_of::<f64>()) as f64 / n as f64,
+            equivalent_pairs,
+        }
+    });
+
+    TierResult {
+        name: tier.name,
+        roads: n,
+        edges: graph.num_edges(),
+        build_ms,
+        entries: sparse.num_entries(),
+        entries_per_road: sparse.num_entries() as f64 / n as f64,
+        bytes_per_road: sparse.memory_bytes() as f64 / n as f64,
+        corr_lookup_ns,
+        road_set_corr_ns,
+        dense,
+    }
+}
+
+fn main() {
+    assert_eq!(rtse_sync::BACKEND, "std", "exp_scale must run on the std sync backend");
+    let quick = quick_mode();
+    let config = SparseCorrConfig::default();
+    let tiers: &[Tier] = if quick { &TIERS[..1] } else { &TIERS };
+
+    let mut results = Vec::new();
+    for tier in tiers {
+        let check_dense = tier.rows * tier.cols <= 1_000;
+        println!("tier {}: {}x{} grid ...", tier.name, tier.rows, tier.cols);
+        let r = run_tier(tier, config, check_dense);
+        println!(
+            "  {} roads / {} edges: build {:.1} ms, {:.1} entries/road, {:.1} bytes/road, \
+             corr {:.0} ns, road_set_corr(32) {:.0} ns",
+            r.roads,
+            r.edges,
+            r.build_ms,
+            r.entries_per_road,
+            r.bytes_per_road,
+            r.corr_lookup_ns,
+            r.road_set_corr_ns,
+        );
+        if let Some(d) = &r.dense {
+            println!(
+                "  dense: build {:.1} ms, {:.1} bytes/road, {} pairs equivalence-checked",
+                d.build_ms, d.bytes_per_road, d.equivalent_pairs
+            );
+        }
+        results.push(r);
+    }
+
+    let json = render_json(config, quick, &results);
+    let out = "BENCH_scale.json";
+    std::fs::write(out, json).expect("writing BENCH_scale.json");
+    println!("wrote {out}");
+}
+
+fn render_json(config: SparseCorrConfig, quick: bool, results: &[TierResult]) -> String {
+    let host_threads = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let mut s = String::from("{\n");
+    s.push_str("  \"experiment\": \"scale_sweep\",\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!(
+        "  \"host\": {{ \"available_parallelism\": {host_threads}, \"rtse_threads_env\": {} }},\n",
+        std::env::var("RTSE_THREADS").map_or_else(|_| "null".into(), |v| format!("\"{v}\""))
+    ));
+    s.push_str(&format!(
+        "  \"config\": {{ \"semantics\": \"max_product\", \"floor\": {}, \"top_k\": {}, \
+         \"cost_bound\": {:.6}, \"rho_range\": [0.35, 0.95] }},\n",
+        config.floor,
+        config.top_k.map_or_else(|| "null".into(), |k| k.to_string()),
+        config.cost_bound(),
+    ));
+    s.push_str(
+        "  \"note\": \"sparse = floor-pruned CSR over bounded Dijkstra; dense comparison and \
+         full-pair equivalence check run at the 1k tier only (dense is O(n^2) memory)\",\n",
+    );
+    s.push_str("  \"sweep\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let dense = r.dense.as_ref().map_or_else(
+            || "null".to_string(),
+            |d| {
+                format!(
+                    "{{ \"build_ms\": {:.3}, \"bytes_per_road\": {:.1}, \
+                     \"equivalent_pairs\": {} }}",
+                    d.build_ms, d.bytes_per_road, d.equivalent_pairs
+                )
+            },
+        );
+        s.push_str(&format!(
+            "    {{ \"tier\": \"{}\", \"roads\": {}, \"edges\": {}, \"build_ms\": {:.3}, \
+             \"entries\": {}, \"entries_per_road\": {:.3}, \"bytes_per_road\": {:.3}, \
+             \"corr_lookup_ns\": {:.1}, \"road_set_corr_32_ns\": {:.1}, \"dense\": {} }}",
+            r.name,
+            r.roads,
+            r.edges,
+            r.build_ms,
+            r.entries,
+            r.entries_per_road,
+            r.bytes_per_road,
+            r.corr_lookup_ns,
+            r.road_set_corr_ns,
+            dense,
+        ));
+        if i + 1 < results.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}

@@ -146,7 +146,7 @@ impl<'g> CrowdRtse<'g> {
         let corr = self.offline.corr_table(self.graph, query.slot);
         let instance = OcsInstance {
             sigma: &params.sigma,
-            corr: &corr,
+            corr: corr.as_ref(),
             queried: &query.roads,
             candidates,
             costs,
@@ -185,7 +185,7 @@ impl<'g> CrowdRtse<'g> {
         // Step 1: OCS.
         let instance = OcsInstance {
             sigma: &params.sigma,
-            corr: &corr,
+            corr: corr.as_ref(),
             queried: &query.roads,
             candidates: &candidates,
             costs,

@@ -25,6 +25,6 @@ pub use active::{posterior_stds, variance_aware_select};
 pub use allocator::{merge_queries, plan_daily_budget};
 pub use engine::{CrowdRtse, OnlineConfig, SelectionStrategy};
 pub use estimator::GspEstimator;
-pub use offline::OfflineArtifacts;
+pub use offline::{CorrSubstrate, OfflineArtifacts};
 pub use query::{QueryAnswer, QueryError, SpeedQuery};
 pub use session::{MonitoringSession, RoundReport, StepError};

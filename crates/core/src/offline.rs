@@ -4,8 +4,25 @@ use rtse_data::{HistoryStore, SlotOfDay, SLOTS_PER_DAY};
 use rtse_graph::Graph;
 use rtse_obs::ObsHandle;
 use rtse_pool::ComputePool;
-use rtse_rtf::{CorrelationTable, PathCorrelation, RtfModel, RtfTrainer};
+use rtse_rtf::{
+    CorrTable, CorrelationTable, PathCorrelation, RtfModel, RtfTrainer, SparseCorrConfig,
+    SparseCorrelationTable,
+};
 use rtse_sync::{Arc, OnceLock};
+
+/// Which Γ substrate the offline stage materializes per slot.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum CorrSubstrate {
+    /// Dense all-pairs table — exact for both [`PathCorrelation`]
+    /// semantics, O(n²) memory. The default, matching the paper.
+    #[default]
+    Dense,
+    /// Floor/top-k pruned CSR table — city-scale memory, `MaxProduct`
+    /// only. When the ablation `ReciprocalSum` semantics is selected the
+    /// engine falls back to the dense build (the reciprocal transform has
+    /// no sound pruning bound; see `rtse_rtf::sparse_corr`).
+    Sparse(SparseCorrConfig),
+}
 
 /// Everything the online stage needs from the offline stage.
 ///
@@ -16,6 +33,7 @@ use rtse_sync::{Arc, OnceLock};
 pub struct OfflineArtifacts {
     model: RtfModel,
     semantics: PathCorrelation,
+    substrate: CorrSubstrate,
     obs: ObsHandle,
     /// One lazily-initialized entry per slot of the day. A cold build
     /// blocks only callers of *that* slot (warm slots stay lock-free and
@@ -23,10 +41,10 @@ pub struct OfflineArtifacts {
     /// build. The previous design held one map-wide mutex across the whole
     /// `CorrelationTable::build`, so a cold slot head-of-line blocked every
     /// other slot's read for the duration of `|R|` Dijkstras.
-    corr_cache: Vec<OnceLock<Arc<CorrelationTable>>>,
+    corr_cache: Vec<OnceLock<Arc<CorrTable>>>,
 }
 
-fn fresh_cache() -> Vec<OnceLock<Arc<CorrelationTable>>> {
+fn fresh_cache() -> Vec<OnceLock<Arc<CorrTable>>> {
     (0..SLOTS_PER_DAY).map(|_| OnceLock::new()).collect()
 }
 
@@ -42,6 +60,7 @@ impl OfflineArtifacts {
         Self {
             model,
             semantics: PathCorrelation::MaxProduct,
+            substrate: CorrSubstrate::Dense,
             obs: ObsHandle::noop(),
             corr_cache: fresh_cache(),
         }
@@ -53,6 +72,20 @@ impl OfflineArtifacts {
         self.semantics = semantics;
         self.corr_cache = fresh_cache();
         self
+    }
+
+    /// Selects the Γ substrate materialized per slot (default
+    /// [`CorrSubstrate::Dense`]). Clears the cache so previously-built
+    /// tables of the other substrate cannot be served.
+    pub fn with_substrate(mut self, substrate: CorrSubstrate) -> Self {
+        self.substrate = substrate;
+        self.corr_cache = fresh_cache();
+        self
+    }
+
+    /// The configured Γ substrate.
+    pub fn substrate(&self) -> CorrSubstrate {
+        self.substrate
     }
 
     /// Routes lazy correlation-table builds through `obs` (one
@@ -80,26 +113,33 @@ impl OfflineArtifacts {
     /// while another slot's table is mid-build, and duplicate concurrent
     /// builds of the same cold slot coalesce (exactly one build runs; the
     /// rest block on it and share the resulting `Arc`).
-    pub fn corr_table(&self, graph: &Graph, slot: SlotOfDay) -> Arc<CorrelationTable> {
-        self.corr_entry(slot, || {
-            CorrelationTable::build_observed(
+    pub fn corr_table(&self, graph: &Graph, slot: SlotOfDay) -> Arc<CorrTable> {
+        self.corr_entry(slot, || match self.substrate {
+            CorrSubstrate::Sparse(config) if self.semantics == PathCorrelation::MaxProduct => {
+                CorrTable::Sparse(SparseCorrelationTable::build_observed(
+                    graph,
+                    &self.model,
+                    slot,
+                    config,
+                    &ComputePool::from_env(),
+                    &self.obs,
+                ))
+            }
+            // Dense, or the ReciprocalSum ablation (no sound sparse bound).
+            _ => CorrTable::Dense(CorrelationTable::build_observed(
                 graph,
                 &self.model,
                 slot,
                 self.semantics,
                 &ComputePool::from_env(),
                 &self.obs,
-            )
+            )),
         })
     }
 
     /// Per-slot get-or-init, separated from [`Self::corr_table`] so tests
     /// can drive the initialization with an instrumented build closure.
-    fn corr_entry(
-        &self,
-        slot: SlotOfDay,
-        build: impl FnOnce() -> CorrelationTable,
-    ) -> Arc<CorrelationTable> {
+    fn corr_entry(&self, slot: SlotOfDay, build: impl FnOnce() -> CorrTable) -> Arc<CorrTable> {
         self.corr_cache[slot.index()].get_or_init(|| Arc::new(build())).clone()
     }
 }
@@ -146,6 +186,37 @@ mod tests {
         assert_eq!(t.semantics(), PathCorrelation::ReciprocalSum);
     }
 
+    #[test]
+    fn sparse_substrate_builds_sparse_tables_and_matches_dense() {
+        let (g, artifacts) = small_artifacts(7);
+        let slot = SlotOfDay::from_hm(9, 0);
+        let config = SparseCorrConfig { floor: 0.01, top_k: None };
+        let dense = artifacts.corr_table(&g, slot);
+        let artifacts = artifacts.with_substrate(CorrSubstrate::Sparse(config));
+        let sparse = artifacts.corr_table(&g, slot);
+        assert!(matches!(dense.as_ref(), CorrTable::Dense(_)));
+        assert!(matches!(sparse.as_ref(), CorrTable::Sparse(_)));
+        for a in g.road_ids() {
+            for b in g.road_ids() {
+                let d = dense.corr(a, b);
+                if d >= config.floor {
+                    assert_eq!(d.to_bits(), sparse.corr(a, b).to_bits(), "corr({a},{b})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reciprocal_sum_ablation_falls_back_to_dense() {
+        let (g, artifacts) = small_artifacts(8);
+        let artifacts = artifacts
+            .with_substrate(CorrSubstrate::Sparse(SparseCorrConfig::default()))
+            .with_semantics(PathCorrelation::ReciprocalSum);
+        let t = artifacts.corr_table(&g, SlotOfDay(0));
+        assert!(matches!(t.as_ref(), CorrTable::Dense(_)), "no sound sparse bound for 1/ρ");
+        assert_eq!(t.semantics(), PathCorrelation::ReciprocalSum);
+    }
+
     /// Regression test for the head-of-line blocking bug: a warm-slot read
     /// must complete while a cold-slot build is still in flight. Under the
     /// old map-wide mutex the cold build held the lock, so the warm read
@@ -173,6 +244,7 @@ mod tests {
                         cold,
                         PathCorrelation::MaxProduct,
                     )
+                    .into()
                 });
             });
             build_started.wait();
@@ -194,7 +266,7 @@ mod tests {
         let builds = AtomicUsize::new(0);
         let racers = 4;
         let start = Barrier::new(racers);
-        let tables: Vec<Arc<CorrelationTable>> = std::thread::scope(|scope| {
+        let tables: Vec<Arc<CorrTable>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..racers)
                 .map(|_| {
                     scope.spawn(|| {
@@ -210,6 +282,7 @@ mod tests {
                                 slot,
                                 PathCorrelation::MaxProduct,
                             )
+                            .into()
                         })
                     })
                 })

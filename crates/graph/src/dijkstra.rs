@@ -64,7 +64,7 @@ impl ShortestPaths {
 }
 
 /// Max-heap entry ordered by smallest cost first.
-#[derive(PartialEq)]
+#[derive(Debug, PartialEq)]
 struct HeapEntry {
     cost: f64,
     road: RoadId,
@@ -84,6 +84,23 @@ impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
+}
+
+/// Rejects negative or NaN edge costs: always a `debug_assert!`, and a
+/// fail-closed [`rtse_check::fail`] abort under the `validate` feature so a
+/// NaN ρ from data cannot corrupt release-build distances silently.
+#[inline]
+fn guard_edge_cost(edge: EdgeId, w: f64) {
+    debug_assert!(w >= 0.0 && !w.is_nan(), "negative or NaN edge cost");
+    #[cfg(feature = "validate")]
+    if !(w >= 0.0) {
+        rtse_check::fail(&rtse_check::InvariantViolation::new(
+            "dijkstra.edge_cost_nonnegative",
+            format!("edge {edge:?} has cost {w}; Dijkstra requires finite non-negative costs"),
+        ));
+    }
+    #[cfg(not(feature = "validate"))]
+    let _ = (edge, w);
 }
 
 fn run(
@@ -110,7 +127,7 @@ fn run(
                 continue;
             }
             let w = edge_cost(edge);
-            debug_assert!(w >= 0.0 && !w.is_nan(), "negative or NaN edge cost");
+            guard_edge_cost(edge, w);
             let next = cost + w;
             if next < dist[nbr.index()] {
                 dist[nbr.index()] = next;
@@ -122,6 +139,106 @@ fn run(
         }
     }
     ShortestPaths { source, dist, prev }
+}
+
+/// Reusable early-exit Dijkstra for repeated single-source runs over one
+/// graph size.
+///
+/// Built for the sparse Γ substrate: a correlation floor `f` translates to
+/// the cost bound `-ln f` on the Eq. 9 transformed weights, and because
+/// Dijkstra settles roads in nondecreasing cost order, every road left
+/// unsettled when the next heap minimum exceeds the bound is guaranteed to
+/// have `exp(-dist) < f`. Two properties matter to callers:
+///
+/// - **Bit-identity within the bound.** For every road settled at cost
+///   `<= bound`, the reported cost is bit-identical to the unbounded
+///   [`dijkstra`] result: relaxation skips only pushes with `next > bound`,
+///   and any prefix of a within-bound shortest path has cost `<= bound`
+///   (costs are non-negative), so no within-bound path is ever lost and the
+///   same floating-point sums are produced in the same settle order.
+/// - **Scratch reuse.** `dist`/`settled` are allocated once and reset per
+///   run by walking only the roads the previous run touched, so a
+///   per-source sweep over a 100k-road network costs O(touched) per row,
+///   not O(n).
+#[derive(Debug)]
+pub struct BoundedDijkstra {
+    dist: Vec<f64>,
+    settled: Vec<bool>,
+    touched: Vec<RoadId>,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl BoundedDijkstra {
+    /// Scratch sized for graphs with `num_roads` roads.
+    pub fn new(num_roads: usize) -> Self {
+        Self {
+            dist: vec![f64::INFINITY; num_roads],
+            settled: vec![false; num_roads],
+            touched: Vec::new(),
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// The road count this scratch was sized for.
+    pub fn num_roads(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// Runs Dijkstra from `source`, stopping once the smallest unsettled
+    /// cost exceeds `bound`. Calls `visit(road, cost)` for every settled
+    /// road — source included, at cost `0.0` — in nondecreasing cost order
+    /// (ties broken by smaller road id, matching [`dijkstra`]).
+    pub fn run(
+        &mut self,
+        graph: &Graph,
+        source: RoadId,
+        mut edge_cost: impl FnMut(EdgeId) -> f64,
+        bound: f64,
+        mut visit: impl FnMut(RoadId, f64),
+    ) {
+        assert_eq!(
+            self.dist.len(),
+            graph.num_roads(),
+            "BoundedDijkstra scratch sized for a different graph"
+        );
+        for r in self.touched.drain(..) {
+            self.dist[r.index()] = f64::INFINITY;
+            self.settled[r.index()] = false;
+        }
+        self.heap.clear();
+        if bound < 0.0 {
+            return;
+        }
+        self.dist[source.index()] = 0.0;
+        self.touched.push(source);
+        self.heap.push(HeapEntry { cost: 0.0, road: source });
+
+        while let Some(HeapEntry { cost, road }) = self.heap.pop() {
+            if cost > bound {
+                break;
+            }
+            if self.settled[road.index()] {
+                continue;
+            }
+            self.settled[road.index()] = true;
+            visit(road, cost);
+            for &(nbr, edge) in graph.neighbors(road) {
+                if self.settled[nbr.index()] {
+                    continue;
+                }
+                let w = edge_cost(edge);
+                guard_edge_cost(edge, w);
+                let next = cost + w;
+                if next <= bound && next < self.dist[nbr.index()] {
+                    if self.dist[nbr.index()].is_infinite() {
+                        self.touched.push(nbr);
+                    }
+                    self.dist[nbr.index()] = next;
+                    self.heap.push(HeapEntry { cost: next, road: nbr });
+                }
+            }
+        }
+    }
 }
 
 /// Dijkstra from `source` with costs given per edge; distances only.
@@ -188,6 +305,74 @@ mod tests {
         let (g, w) = weighted(3, &[(0, 1, 0.0), (1, 2, 0.0)]);
         let sp = dijkstra(&g, RoadId(0), |e| w[e.index()]);
         assert_eq!(sp.cost(RoadId(2)), 0.0);
+    }
+
+    #[test]
+    fn bounded_visits_source_at_zero() {
+        let (g, w) = weighted(3, &[(0, 1, 1.0)]);
+        let mut b = BoundedDijkstra::new(3);
+        let mut seen = Vec::new();
+        b.run(&g, RoadId(2), |e| w[e.index()], 0.5, |r, c| seen.push((r, c)));
+        assert_eq!(seen, vec![(RoadId(2), 0.0)]);
+    }
+
+    #[test]
+    fn bounded_negative_bound_visits_nothing() {
+        let (g, w) = weighted(2, &[(0, 1, 1.0)]);
+        let mut b = BoundedDijkstra::new(2);
+        let mut seen = Vec::new();
+        b.run(&g, RoadId(0), |e| w[e.index()], -1.0, |r, c| seen.push((r, c)));
+        assert!(seen.is_empty());
+    }
+
+    #[test]
+    fn bounded_reuse_resets_between_runs() {
+        // 0 -1- 1 -1- 2; run from 0 with a wide bound, then from 2 with a
+        // tight one: the second run must not see stale state from the first.
+        let (g, w) = weighted(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        let mut b = BoundedDijkstra::new(3);
+        let mut first = Vec::new();
+        b.run(&g, RoadId(0), |e| w[e.index()], 10.0, |r, c| first.push((r, c)));
+        assert_eq!(first, vec![(RoadId(0), 0.0), (RoadId(1), 1.0), (RoadId(2), 2.0)]);
+        let mut second = Vec::new();
+        b.run(&g, RoadId(2), |e| w[e.index()], 1.0, |r, c| second.push((r, c)));
+        assert_eq!(second, vec![(RoadId(2), 0.0), (RoadId(1), 1.0)]);
+    }
+
+    proptest! {
+        /// The bounded runner visits exactly the roads whose full-Dijkstra
+        /// cost is <= bound, with bit-identical costs, regardless of how
+        /// many runs came before it on the same scratch.
+        #[test]
+        fn bounded_matches_full_within_bound(
+            raw_edges in proptest::collection::vec((0u32..8, 0u32..8, 0.0..4.0f64), 1..20),
+            bound in 0.0..8.0f64,
+        ) {
+            let edges: Vec<(u32, u32, f64)> =
+                raw_edges.into_iter().filter(|(a, b, _)| a != b).collect();
+            prop_assume!(!edges.is_empty());
+            let (g, w) = weighted(8, &edges);
+            let mut scratch = BoundedDijkstra::new(8);
+            for src in 0..8u32 {
+                let full = dijkstra(&g, RoadId(src), |e| w[e.index()]);
+                let mut seen = Vec::new();
+                scratch.run(&g, RoadId(src), |e| w[e.index()], bound, |r, c| seen.push((r, c)));
+                for pair in seen.windows(2) {
+                    prop_assert!(pair[0].1 <= pair[1].1, "visit costs must be nondecreasing");
+                }
+                seen.sort_by_key(|a| a.0);
+                let expect: Vec<(RoadId, f64)> = (0..8u32)
+                    .map(RoadId)
+                    .filter(|&r| full.cost(r) <= bound)
+                    .map(|r| (r, full.cost(r)))
+                    .collect();
+                prop_assert_eq!(seen.len(), expect.len());
+                for ((ra, ca), (rb, cb)) in seen.iter().zip(expect.iter()) {
+                    prop_assert_eq!(ra, rb);
+                    prop_assert_eq!(ca.to_bits(), cb.to_bits(), "cost bits differ at {:?}", ra);
+                }
+            }
+        }
     }
 
     /// Brute-force all simple paths for cross-checking.

@@ -1,7 +1,7 @@
 //! Problem instance and solution types.
 
 use rtse_graph::RoadId;
-use rtse_rtf::CorrelationTable;
+use rtse_rtf::CorrelationRead;
 
 /// One OCS instance: everything a solver needs, borrowed from the offline
 /// model.
@@ -13,8 +13,10 @@ use rtse_rtf::CorrelationTable;
 pub struct OcsInstance<'a> {
     /// Periodicity-intensity weights per road (indexed by `RoadId`).
     pub sigma: &'a [f64],
-    /// Offline correlation table `Γ` for the slot.
-    pub corr: &'a CorrelationTable,
+    /// Offline correlation table `Γ` for the slot — dense or sparse,
+    /// behind the [`CorrelationRead`] trait (a `&CorrelationTable` or
+    /// `&SparseCorrelationTable` coerces here unchanged).
+    pub corr: &'a dyn CorrelationRead,
     /// The queried roads `R^q`.
     pub queried: &'a [RoadId],
     /// The candidate roads `R^w` (roads with workers present).

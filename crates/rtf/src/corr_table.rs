@@ -45,29 +45,41 @@ pub struct CorrelationTable {
 }
 
 /// Path weight for the max-product semantics: `w = −ln ρ`. A non-positive
-/// ρ would otherwise pass through `ln` as `NaN`/`−(−inf)`; such an edge
-/// carries no correlation (Eq. 8's product through it is 0), so it is
-/// mapped to an explicitly infinite weight and can never sit on a chosen
-/// path.
+/// or NaN ρ carries no correlation (Eq. 8's product through it is 0), so
+/// it is mapped to an explicitly infinite weight and can never sit on a
+/// chosen path. The guard is written as `rho > 0.0` so that NaN — which
+/// fails every comparison — lands on the infinite branch instead of
+/// flowing through `ln` as NaN and corrupting Dijkstra distances.
 #[inline]
-fn max_product_weight(rho: f64) -> f64 {
-    if rho <= 0.0 {
-        f64::INFINITY
-    } else {
+pub(crate) fn max_product_weight(rho: f64) -> f64 {
+    if rho > 0.0 {
         -rho.ln()
+    } else {
+        f64::INFINITY
     }
 }
 
 /// Path weight for the paper's literal Eq. (9) semantics: `w = 1/ρ`, with
-/// the same explicit infinite-weight treatment for `ρ ≤ 0` (avoiding the
-/// `1/0` division and keeping zero-correlation edges off every path).
+/// the same explicit infinite-weight treatment for `ρ ≤ 0` and NaN
+/// (avoiding the `1/0` division and keeping zero-correlation edges off
+/// every path).
 #[inline]
-fn reciprocal_weight(rho: f64) -> f64 {
-    if rho <= 0.0 {
-        f64::INFINITY
-    } else {
+pub(crate) fn reciprocal_weight(rho: f64) -> f64 {
+    if rho > 0.0 {
         1.0 / rho
+    } else {
+        f64::INFINITY
     }
+}
+
+/// The Eq. (7) adjacency override value for an edge's ρ: the path
+/// semantics floor non-positive correlation at 0, and the override must
+/// not reintroduce negative (or NaN) values that `road_set_corr`'s
+/// `fold(0.0, max)` would silently clamp. `f64::max` returns the other
+/// operand when one side is NaN, so a NaN ρ also lands on 0.
+#[inline]
+pub(crate) fn clamped_edge_rho(rho: f64) -> f64 {
+    rho.max(0.0)
 }
 
 /// Fills one row of the dense table: correlations from `src` to every
@@ -106,11 +118,12 @@ fn fill_row(
             }
         }
     }
-    // Eq. (7): adjacent pairs use the edge weight directly, and a
-    // road is perfectly correlated with itself.
+    // Eq. (7): adjacent pairs use the edge weight directly (floored at 0
+    // like the path semantics), and a road is perfectly correlated with
+    // itself.
     row[src.index()] = 1.0;
     for &(nbr, e) in graph.neighbors(src) {
-        row[nbr.index()] = params.rho[e.index()];
+        row[nbr.index()] = clamped_edge_rho(params.rho[e.index()]);
     }
 }
 
@@ -351,6 +364,59 @@ mod tests {
                     assert!(t.corr(a, b).is_finite(), "{semantics:?} corr({a},{b}) not finite");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn weight_functions_map_nan_and_nonpositive_to_infinite() {
+        for bad in [f64::NAN, -0.3, 0.0, f64::NEG_INFINITY] {
+            assert_eq!(max_product_weight(bad), f64::INFINITY, "max_product({bad})");
+            assert_eq!(reciprocal_weight(bad), f64::INFINITY, "reciprocal({bad})");
+        }
+        assert!((max_product_weight(0.5) - std::f64::consts::LN_2).abs() < 1e-15);
+        assert_eq!(reciprocal_weight(0.5), 2.0);
+        assert_eq!(clamped_edge_rho(f64::NAN), 0.0);
+        assert_eq!(clamped_edge_rho(-0.7), 0.0);
+        assert_eq!(clamped_edge_rho(0.7), 0.7);
+    }
+
+    #[test]
+    fn negative_rho_override_clamps_to_zero() {
+        // Regression: the Eq. (7) override used to write raw ρ into the
+        // row, so a negative edge correlation leaked into the table even
+        // though the path semantics floor it at 0.
+        let (g, m) = fixture(3, &[(0, 1, -0.4), (1, 2, 0.8)]);
+        for semantics in [PathCorrelation::MaxProduct, PathCorrelation::ReciprocalSum] {
+            let t = CorrelationTable::build(&g, &m, SlotOfDay(0), semantics);
+            assert_eq!(t.corr(RoadId(0), RoadId(1)), 0.0, "{semantics:?}");
+            assert_eq!(t.corr(RoadId(1), RoadId(0)), 0.0, "{semantics:?}");
+            assert_eq!(t.corr(RoadId(0), RoadId(2)), 0.0, "{semantics:?}");
+            assert_eq!(t.corr(RoadId(1), RoadId(2)), 0.8, "{semantics:?}");
+            assert!(rtse_check::Validate::validate(&t).is_ok(), "{semantics:?}");
+        }
+    }
+
+    #[test]
+    fn nan_rho_is_contained_both_semantics() {
+        // Regression: a NaN ρ used to fail the `rho <= 0.0` weight guard
+        // (NaN fails every comparison) and flow through `-ln` / `1/ρ` as
+        // NaN, silently corrupting release-build distances. The live
+        // alternate path 0-2-3 must be unaffected.
+        let (g, m) = fixture(4, &[(0, 1, f64::NAN), (1, 3, 0.9), (0, 2, 0.8), (2, 3, 0.5)]);
+        for semantics in [PathCorrelation::MaxProduct, PathCorrelation::ReciprocalSum] {
+            let t = CorrelationTable::build(&g, &m, SlotOfDay(0), semantics);
+            assert_eq!(t.corr(RoadId(0), RoadId(1)), 0.0, "{semantics:?}");
+            assert!((t.corr(RoadId(0), RoadId(3)) - 0.4).abs() < 1e-9, "{semantics:?}");
+            for a in g.road_ids() {
+                for b in g.road_ids() {
+                    let c = t.corr(a, b);
+                    assert!(
+                        c.is_finite() && (0.0..=1.0).contains(&c),
+                        "{semantics:?} corr({a},{b}) = {c}"
+                    );
+                }
+            }
+            assert!(rtse_check::Validate::validate(&t).is_ok(), "{semantics:?}");
         }
     }
 

@@ -20,6 +20,9 @@
 //! * [`corr_table`] — the offline all-pairs path-correlation table `Γ`
 //!   (Eqs. 7–10), with both `MaxProduct` and literal `ReciprocalSum` path
 //!   semantics;
+//! * [`sparse_corr`] — the floor/top-k pruned CSR variant of Γ for
+//!   city-scale networks, plus the [`CorrelationRead`] trait both tables
+//!   serve;
 //! * [`persistence`] — JSON save/load of trained models.
 //!
 //! ## Deviation from the paper's Eq. (3)
@@ -41,6 +44,7 @@ pub mod likelihood;
 pub mod moments;
 pub mod params;
 pub mod persistence;
+pub mod sparse_corr;
 pub mod trainer;
 
 pub use corr_table::{CorrelationTable, PathCorrelation};
@@ -49,4 +53,5 @@ pub use diagnostics::{evaluate_model, ModelDiagnostics};
 pub use incremental::IncrementalModel;
 pub use moments::moment_estimate;
 pub use params::{RtfModel, SlotParams};
+pub use sparse_corr::{CorrTable, CorrelationRead, SparseCorrConfig, SparseCorrelationTable};
 pub use trainer::{InitStrategy, RtfTrainer, TrainStats, UpdateMode};

@@ -1,0 +1,149 @@
+//! Dense↔sparse Γ equivalence and thread-count invariance.
+//!
+//! The sparse substrate's contract (DESIGN.md §11): for every road pair
+//! whose dense `MaxProduct` value is ≥ the pruning floor, the sparse table
+//! stores the *bit-identical* value; every pair below the floor reads as
+//! exactly `0.0`. The early-exit Dijkstra bound makes this exact, not
+//! approximate — these tests pin it across random topologies (including
+//! ρ ≤ 0 and NaN edges, the two dense-path regressions fixed alongside the
+//! sparse build), floors, top-k caps, and pool widths 1–8 under the same
+//! serial-equivalence discipline as the dense build.
+
+use proptest::prelude::*;
+use rtse_data::{SlotOfDay, SLOTS_PER_DAY};
+use rtse_graph::{Graph, GraphBuilder, RoadClass, RoadId};
+use rtse_pool::ComputePool;
+use rtse_rtf::params::SlotParams;
+use rtse_rtf::{
+    CorrelationTable, PathCorrelation, RtfModel, SparseCorrConfig, SparseCorrelationTable,
+};
+
+const N: usize = 12;
+
+/// Random graph on `N` roads with explicit per-edge ρ. A `rho_class`
+/// byte per edge mixes in the degenerate values the correctness pass is
+/// about: 0, negative, and NaN correlations.
+fn fixture(edges: &[(u32, u32, f64, u8)]) -> (Graph, RtfModel) {
+    let mut b = GraphBuilder::new();
+    for i in 0..N {
+        b.add_road(RoadClass::Secondary, (i as f64, 0.0));
+    }
+    let mut rho = Vec::new();
+    for &(x, y, r, class) in edges {
+        if x != y && b.add_edge(RoadId(x), RoadId(y)) {
+            rho.push(match class {
+                0 => f64::NAN,
+                1 => -r,
+                _ => r,
+            });
+        }
+    }
+    let g = b.build();
+    let slots: Vec<SlotParams> = (0..SLOTS_PER_DAY)
+        .map(|_| SlotParams { mu: vec![0.0; N], sigma: vec![1.0; N], rho: rho.clone() })
+        .collect();
+    let model = RtfModel::from_slots(N, g.num_edges(), slots);
+    (g, model)
+}
+
+fn edge_strategy() -> impl Strategy<Value = Vec<(u32, u32, f64, u8)>> {
+    // class 0 → NaN, 1 → negated, anything else → as drawn; weight the
+    // classes so most edges are live but every run sees some dead ones.
+    proptest::collection::vec((0u32..N as u32, 0u32..N as u32, 0.0..0.999f64, 0u8..10), 0..36)
+}
+
+proptest! {
+    /// Sparse agrees with dense bit-for-bit above the floor and reads
+    /// exactly 0 below it, for any floor and random (possibly degenerate)
+    /// ρ assignments.
+    #[test]
+    fn sparse_matches_dense_at_floor(
+        edges in edge_strategy(),
+        floor in 0.001..0.9f64,
+    ) {
+        let (g, m) = fixture(&edges);
+        let config = SparseCorrConfig { floor, top_k: None };
+        let dense =
+            CorrelationTable::build(&g, &m, SlotOfDay(0), PathCorrelation::MaxProduct);
+        let sparse = SparseCorrelationTable::build(&g, &m, SlotOfDay(0), config);
+        for a in g.road_ids() {
+            for b in g.road_ids() {
+                let d = dense.corr(a, b);
+                let s = sparse.corr(a, b);
+                if d >= floor {
+                    prop_assert!(
+                        d.to_bits() == s.to_bits(),
+                        "corr({a},{b}) ≥ floor {floor}: dense {d} vs sparse {s}"
+                    );
+                } else {
+                    prop_assert!(s == 0.0, "corr({a},{b}) < floor {floor}: sparse read {s}");
+                }
+            }
+        }
+    }
+
+    /// With a top-k cap, every stored value still equals the dense value
+    /// bit-for-bit, rows respect the cap, and the kept entries are the
+    /// strongest of the row (no kept value is strictly smaller than a
+    /// dropped above-floor one).
+    #[test]
+    fn top_k_rows_store_exact_strongest(
+        edges in edge_strategy(),
+        k in 1usize..6,
+    ) {
+        let (g, m) = fixture(&edges);
+        let config = SparseCorrConfig { floor: 0.01, top_k: Some(k) };
+        let dense =
+            CorrelationTable::build(&g, &m, SlotOfDay(0), PathCorrelation::MaxProduct);
+        let sparse = SparseCorrelationTable::build(&g, &m, SlotOfDay(0), config);
+        for a in g.road_ids() {
+            let row: Vec<(RoadId, f64)> = sparse.row(a).collect();
+            prop_assert!(row.len() <= k, "row {a} has {} entries over cap {k}", row.len());
+            let kept_min =
+                row.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
+            for (b, v) in row {
+                prop_assert!(
+                    v.to_bits() == dense.corr(a, b).to_bits(),
+                    "kept corr({a},{b}) = {v} differs from dense"
+                );
+            }
+            if sparse.row(a).count() == k {
+                // Every above-floor dense value outside the row must not
+                // beat the weakest kept entry.
+                for b in g.road_ids() {
+                    if b != a && sparse.corr(a, b) == 0.0 {
+                        let d = dense.corr(a, b);
+                        if d >= config.floor {
+                            prop_assert!(
+                                d <= kept_min,
+                                "dropped corr({a},{b}) = {d} beats kept min {kept_min}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pooled sparse builds are bit-identical (full CSR equality) to the
+    /// serial build at thread counts 1–8 — the same serial-equivalence
+    /// discipline the dense table is held to.
+    #[test]
+    fn sparse_build_is_thread_count_invariant(
+        edges in edge_strategy(),
+        floor in 0.001..0.5f64,
+        threads in 1usize..=8,
+    ) {
+        let (g, m) = fixture(&edges);
+        let config = SparseCorrConfig { floor, top_k: None };
+        let serial = SparseCorrelationTable::build_observed(
+            &g, &m, SlotOfDay(0), config,
+            &ComputePool::new(1), &rtse_obs::ObsHandle::noop(),
+        );
+        let pooled = SparseCorrelationTable::build_observed(
+            &g, &m, SlotOfDay(0), config,
+            &ComputePool::new(threads), &rtse_obs::ObsHandle::noop(),
+        );
+        prop_assert!(serial == pooled, "sparse CSR differs at {threads} threads");
+    }
+}

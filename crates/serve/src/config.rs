@@ -2,6 +2,7 @@
 
 use crowd_rtse_core::OnlineConfig;
 use rtse_check::InvariantViolation;
+use rtse_data::{SlotOfDay, SLOTS_PER_DAY};
 use rtse_obs::ObsHandle;
 use std::time::Duration;
 
@@ -47,6 +48,14 @@ pub struct ServeConfig {
     /// Serving worker threads (batch assemblers/executors). `0` sizes from
     /// `RTSE_THREADS` / host parallelism like [`rtse_pool::ComputePool`].
     pub workers: usize,
+    /// Slots whose correlation tables are built *before* the serving loops
+    /// start accepting requests. A cold Γ build takes `|R|` Dijkstras; when
+    /// it lands inside the first batch's compute it stacks on the batch
+    /// window and shows up as a multi-millisecond `serve.queue_wait` tail
+    /// for every request queued behind it. Deployments that know their
+    /// traffic slots list them here to keep the first rounds warm; empty
+    /// (the default) preserves fully-lazy builds.
+    pub prewarm_slots: Vec<SlotOfDay>,
     /// Engine configuration used for every shared round.
     pub online: OnlineConfig,
     /// Observability handle the serving layer records into: shared rounds
@@ -68,6 +77,7 @@ impl Default for ServeConfig {
             default_deadline: None,
             ttl: Duration::from_secs(60),
             workers: 0,
+            prewarm_slots: Vec::new(),
             online: OnlineConfig::default(),
             obs: ObsHandle::noop(),
         }
@@ -126,6 +136,16 @@ impl rtse_check::Validate for ServeConfig {
             format!("workers {} exceeds the {MAX_WORKERS} bound", self.workers)
         })?;
         rtse_check::ensure(
+            self.prewarm_slots.len() <= SLOTS_PER_DAY,
+            "serve.prewarm_bounded",
+            || {
+                format!(
+                    "{} prewarm slots exceed the {SLOTS_PER_DAY} slots of a day",
+                    self.prewarm_slots.len()
+                )
+            },
+        )?;
+        rtse_check::ensure(
             self.online.theta.is_finite() && self.online.theta > 0.0 && self.online.theta <= 1.0,
             "serve.theta_in_range",
             || format!("theta {} outside (0, 1]", self.online.theta),
@@ -164,6 +184,12 @@ mod tests {
 
         let armies = ServeConfig { workers: MAX_WORKERS + 1, ..Default::default() };
         assert_eq!(armies.validate().expect_err("must fail").invariant, "serve.workers_bounded");
+
+        let all_day = ServeConfig {
+            prewarm_slots: (0..=SLOTS_PER_DAY).map(|_| SlotOfDay(0)).collect(),
+            ..Default::default()
+        };
+        assert_eq!(all_day.validate().expect_err("must fail").invariant, "serve.prewarm_bounded");
 
         let mut bad_theta = ServeConfig::default();
         bad_theta.online.theta = 1.5;

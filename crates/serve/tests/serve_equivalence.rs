@@ -370,3 +370,40 @@ fn eight_concurrent_clients_share_rounds_and_floats() {
         m.answered
     );
 }
+
+/// `prewarm_slots` builds the listed slots' correlation tables before the
+/// run closure (and therefore before any admission): the engine's obs
+/// registry already holds one `corr.dijkstra_row` span per road per listed
+/// slot at run start, and the first query of a prewarmed slot triggers no
+/// further Dijkstra rows.
+#[test]
+fn prewarm_builds_corr_tables_before_admission() {
+    let f = fixture(11);
+    let obs = rtse_obs::ObsHandle::fresh();
+    let model = rtse_rtf::moment_estimate(&f.graph, &f.dataset.history);
+    let artifacts = OfflineArtifacts::from_model(model).with_obs(obs.clone());
+    let e = CrowdRtse::new(&f.graph, artifacts);
+    let slot = SlotOfDay::from_hm(8, 30);
+    let config = ServeConfig { prewarm_slots: vec![slot, slot], ..test_config() };
+    let rows = |o: &rtse_obs::ObsHandle| {
+        o.registry().map_or(0, |r| r.count(rtse_obs::Stage::CorrDijkstraRow))
+    };
+    let n = f.graph.num_roads() as u64;
+    let outcome = serve(&e, &world(&f), &config, |handle| {
+        let at_start = rows(&obs);
+        let ticket = handle
+            .submit(ServeRequest {
+                roads: vec![RoadId(0)],
+                slot,
+                deadline: None,
+                max_staleness: None,
+            })
+            .expect("admit");
+        ticket.wait().expect("answer");
+        (at_start, rows(&obs))
+    })
+    .expect("serve");
+    let (at_start, after_query) = outcome.value;
+    assert_eq!(at_start, n, "duplicate prewarm slots coalesce into one build");
+    assert_eq!(after_query, n, "prewarmed slot's first query must not rebuild");
+}

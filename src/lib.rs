@@ -82,9 +82,9 @@ pub use rtse_serve as serve;
 /// Everything needed for typical use, importable in one line.
 pub mod prelude {
     pub use crowd_rtse_core::{
-        merge_queries, plan_daily_budget, variance_aware_select, CrowdRtse, GspEstimator,
-        MonitoringSession, OfflineArtifacts, OnlineConfig, QueryAnswer, QueryError, RoundReport,
-        SelectionStrategy, SpeedQuery, StepError,
+        merge_queries, plan_daily_budget, variance_aware_select, CorrSubstrate, CrowdRtse,
+        GspEstimator, MonitoringSession, OfflineArtifacts, OnlineConfig, QueryAnswer, QueryError,
+        RoundReport, SelectionStrategy, SpeedQuery, StepError,
     };
     pub use rtse_baselines::{EstimationContext, Estimator, Grmc, LassoEstimator, Per};
     pub use rtse_check::{InvariantViolation, Validate};
@@ -108,8 +108,9 @@ pub mod prelude {
     };
     pub use rtse_pool::ComputePool;
     pub use rtse_rtf::{
-        moment_estimate, CorrelationTable, DayType, DayTypeModel, IncrementalModel, InitStrategy,
-        PathCorrelation, RtfModel, RtfTrainer,
+        moment_estimate, CorrTable, CorrelationRead, CorrelationTable, DayType, DayTypeModel,
+        IncrementalModel, InitStrategy, PathCorrelation, RtfModel, RtfTrainer, SparseCorrConfig,
+        SparseCorrelationTable,
     };
     pub use rtse_serve::{
         serve, ServeConfig, ServeError, ServeOutcome, ServeRequest, ServeWorld, ServedAnswer,
