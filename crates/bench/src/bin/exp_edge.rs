@@ -1,0 +1,618 @@
+//! Fleet-scale load generation for the TCP front-end: worker *processes*
+//! drive thousands of concurrent connections through `rtse-edge`'s wire
+//! protocol and record per-request latency quantiles, typed shed rates,
+//! and the slot-rollover latency cliff with and without the prewarm
+//! thread, in `BENCH_edge.json`.
+//!
+//! Three phases, each a fresh edge deployment:
+//!
+//! * **steady tiers** — a connection-count sweep (up to 1024 in the full
+//!   run) of no-deadline cache-friendly traffic; the queue is sized to
+//!   the tier, so nothing sheds and p99 stays bounded.
+//! * **overload tiers** — the same sweep against the *default* admission
+//!   queue with millisecond wire deadlines and per-connection cold
+//!   slots: everything that can't be served in time is shed with a
+//!   typed reject (`QueueFull` / `DeadlineExceeded`), never an answer.
+//!   Skipped under `--assert-no-shed` (the CI smoke mode), which
+//!   instead asserts the steady tiers shed nothing.
+//! * **rollover** — a client queries each slot the instant the slot
+//!   boundary passes. Without prewarm the first query of every slot
+//!   pays the cold Γ-build + round compute (the cliff); with the
+//!   prewarm thread the next slot's cache is built during the lead
+//!   window and the boundary query is a sub-millisecond cache hit.
+//!
+//! The parent re-execs itself (`--edge-worker`) for the load fleet, so
+//! connections come from separate processes with separate descriptor
+//! tables, like a real client fleet. Latency numbers on a 1-core host
+//! measure the serialized pipeline — see EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run --release -p rtse-bench --bin exp_edge [--quick] [--assert-no-shed]
+//! ```
+
+use crowd_rtse_core::{CrowdRtse, OfflineArtifacts, OnlineConfig};
+use rtse_bench::{query_slots, quick_mode, semi_syn_world};
+use rtse_crowd::WorkerPool;
+use rtse_data::SlotOfDay;
+use rtse_edge::frame::{decode_frame, encode_frame, DecodeLimits, Frame, QueryFrame, RejectCode};
+use rtse_edge::{edge_serve, ClientReply, EdgeClient, EdgeConfig, PrewarmConfig, SlotClock};
+use rtse_eval::quantile;
+use rtse_obs::ObsHandle;
+use rtse_serve::{MetricsSnapshot, ServeConfig, ServeWorld};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const WORKER_PROCS: usize = 4;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("--edge-worker") {
+        worker_main(&args[2..]);
+        return;
+    }
+    parent_main();
+}
+
+// ───────────────────────────── parent ─────────────────────────────────
+
+struct TierResult {
+    name: &'static str,
+    conns: usize,
+    queries: u64,
+    answers: u64,
+    rejects: u64,
+    queue_full: u64,
+    deadline_rejects: u64,
+    wall_ms: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    edge: rtse_edge::EdgeMetricsSnapshot,
+    serve: MetricsSnapshot,
+}
+
+impl TierResult {
+    fn shed_rate(&self) -> f64 {
+        self.rejects as f64 / (self.queries as f64).max(1.0)
+    }
+}
+
+struct RolloverSide {
+    p50_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+    cache_hits: usize,
+    boundaries: usize,
+}
+
+fn parent_main() {
+    // The load harness must measure the real primitives: a loom-backed
+    // build permutes schedules under a model-checker scheduler and its
+    // numbers would be meaningless here.
+    assert_eq!(rtse_sync::BACKEND, "std", "exp_edge must run on the std sync backend");
+    let quick = quick_mode();
+    let assert_no_shed = std::env::args().any(|a| a == "--assert-no-shed");
+    let (roads, days, steady_conns, per_conn): (usize, usize, Vec<usize>, usize) =
+        if quick { (120, 4, vec![16, 64], 4) } else { (400, 10, vec![128, 512, 1024], 2) };
+    let overload_conns: Vec<usize> = if quick { vec![64] } else { vec![256, 1024] };
+
+    let world = semi_syn_world(roads, days, 2018);
+    let obs = ObsHandle::fresh();
+    let engine = CrowdRtse::new(&world.graph, OfflineArtifacts::from_model(world.model.clone()))
+        .with_obs(obs.clone());
+    let pool = WorkerPool::spawn(&world.graph, roads / 2, 0.5, (0.3, 1.0), 2018);
+    let sworld = ServeWorld { workers: &pool, costs: &world.costs_c2, truth: &world.dataset };
+
+    let mut tiers = Vec::new();
+    for &conns in &steady_conns {
+        tiers.push(steady_tier(&engine, &sworld, &obs, roads, conns, per_conn));
+    }
+    if !assert_no_shed {
+        for &conns in &overload_conns {
+            tiers.push(overload_tier(&engine, &sworld, &obs, roads, conns));
+        }
+    }
+
+    let boundaries = if quick { 3 } else { 5 };
+    let slot_len = if quick { Duration::from_millis(500) } else { Duration::from_secs(1) };
+    let lead = if quick { Duration::from_millis(200) } else { Duration::from_millis(300) };
+    let before =
+        rollover_run(&engine, &sworld, &obs, roads, boundaries, slot_len, lead, false, 200);
+    let after = rollover_run(&engine, &sworld, &obs, roads, boundaries, slot_len, lead, true, 240);
+
+    println!(
+        "{:<16} {:>6} {:>8} {:>8} {:>8} {:>10} {:>9} {:>9}",
+        "tier", "conns", "queries", "answers", "rejects", "shed_rate", "p50 ms", "p99 ms"
+    );
+    for t in &tiers {
+        println!(
+            "{:<16} {:>6} {:>8} {:>8} {:>8} {:>10.4} {:>9.3} {:>9.3}",
+            t.name,
+            t.conns,
+            t.queries,
+            t.answers,
+            t.rejects,
+            t.shed_rate(),
+            t.p50_ms,
+            t.p99_ms
+        );
+    }
+    println!(
+        "rollover boundary p99: {:.3} ms cold -> {:.3} ms prewarmed ({} boundaries, {} of {} \
+         prewarmed hits were cache hits)",
+        before.p99_ms, after.p99_ms, boundaries, after.cache_hits, after.boundaries
+    );
+
+    let host_threads = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let obs_json = obs.registry().map(|r| r.snapshot_json());
+    let json = render_json(
+        roads,
+        days,
+        host_threads,
+        &tiers,
+        &before,
+        &after,
+        slot_len,
+        lead,
+        obs_json.as_deref(),
+    );
+    let out = "BENCH_edge.json";
+    std::fs::write(out, json).expect("writing BENCH_edge.json");
+    println!("wrote {out}");
+
+    if assert_no_shed {
+        for t in &tiers {
+            assert_eq!(t.rejects, 0, "steady tier {} must shed nothing", t.conns);
+            assert_eq!(
+                t.answers,
+                (t.conns * per_conn) as u64,
+                "steady tier {} must answer everything",
+                t.conns
+            );
+        }
+        println!("assert-no-shed: ok ({} steady tier(s), 0 rejects)", tiers.len());
+    }
+}
+
+/// No-deadline traffic over the prewarmed representative slots, with the
+/// admission queue sized to the tier so nothing can shed.
+fn steady_tier(
+    engine: &CrowdRtse<'_>,
+    sworld: &ServeWorld<'_>,
+    obs: &ObsHandle,
+    roads: usize,
+    conns: usize,
+    per_conn: usize,
+) -> TierResult {
+    let serve_cfg = ServeConfig {
+        online: OnlineConfig { budget: 30, ..Default::default() },
+        obs: obs.clone(),
+        queue_depth: (conns * 2).max(256),
+        prewarm_slots: query_slots(),
+        ..ServeConfig::from_env()
+    };
+    let slots: Vec<u16> = query_slots().iter().map(|s| s.0).collect();
+    run_fleet_tier("steady", engine, sworld, &serve_cfg, conns, per_conn, roads, 0, &slots)
+}
+
+/// Millisecond wire deadlines against the default admission queue, each
+/// connection on its own cold slot: everything the 1-core pipeline cannot
+/// serve in time must come back as a typed reject.
+fn overload_tier(
+    engine: &CrowdRtse<'_>,
+    sworld: &ServeWorld<'_>,
+    obs: &ObsHandle,
+    roads: usize,
+    conns: usize,
+) -> TierResult {
+    let serve_cfg = ServeConfig {
+        online: OnlineConfig { budget: 30, ..Default::default() },
+        obs: obs.clone(),
+        ..ServeConfig::from_env()
+    };
+    let slots: Vec<u16> = (0..128u16).map(|i| 10 + i).collect();
+    run_fleet_tier("overload", engine, sworld, &serve_cfg, conns, 1, roads, 2, &slots)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_fleet_tier(
+    name: &'static str,
+    engine: &CrowdRtse<'_>,
+    sworld: &ServeWorld<'_>,
+    serve_cfg: &ServeConfig,
+    conns: usize,
+    per_conn: usize,
+    roads: usize,
+    deadline_ms: u32,
+    slots: &[u16],
+) -> TierResult {
+    let edge_cfg = EdgeConfig { shards: 4, obs: serve_cfg.obs.clone(), ..EdgeConfig::from_env() };
+    let start = Instant::now();
+    let outcome = edge_serve(engine, sworld, serve_cfg, &edge_cfg, |edge| {
+        spawn_fleet(edge.addr(), conns, per_conn, roads, deadline_ms, slots)
+    })
+    .expect("edge deploys");
+    let fleet = outcome.value;
+    let mut lats = fleet.lat_ms;
+    lats.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let (p50_ms, p99_ms) =
+        if lats.is_empty() { (0.0, 0.0) } else { (quantile(&lats, 0.5), quantile(&lats, 0.99)) };
+    TierResult {
+        name,
+        conns,
+        queries: (conns * per_conn) as u64,
+        answers: fleet.answers,
+        rejects: fleet.rejects,
+        queue_full: fleet.queue_full,
+        deadline_rejects: fleet.deadline_rejects,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        p50_ms,
+        p99_ms,
+        edge: outcome.edge_metrics,
+        serve: outcome.serve_metrics,
+    }
+}
+
+struct FleetResult {
+    answers: u64,
+    rejects: u64,
+    queue_full: u64,
+    deadline_rejects: u64,
+    lat_ms: Vec<f64>,
+}
+
+/// Re-execs this binary as `--edge-worker` processes, splits the
+/// connection count across them, and aggregates their RESULT/LATS lines.
+fn spawn_fleet(
+    addr: SocketAddr,
+    conns: usize,
+    per_conn: usize,
+    roads: usize,
+    deadline_ms: u32,
+    slots: &[u16],
+) -> FleetResult {
+    let procs = WORKER_PROCS.min(conns);
+    let per_proc = conns / procs;
+    let exe = std::env::current_exe().expect("current_exe");
+    let slots_csv: String = slots.iter().map(u16::to_string).collect::<Vec<_>>().join(",");
+    let children: Vec<_> = (0..procs)
+        .map(|p| {
+            let extra = if p == procs - 1 { conns - per_proc * procs } else { 0 };
+            Command::new(&exe)
+                .arg("--edge-worker")
+                .arg(addr.to_string())
+                .arg((p * per_proc).to_string())
+                .arg((per_proc + extra).to_string())
+                .arg(per_conn.to_string())
+                .arg(roads.to_string())
+                .arg(deadline_ms.to_string())
+                .arg(&slots_csv)
+                .stdout(Stdio::piped())
+                .spawn()
+                .expect("spawn worker process")
+        })
+        .collect();
+
+    let mut out = FleetResult {
+        answers: 0,
+        rejects: 0,
+        queue_full: 0,
+        deadline_rejects: 0,
+        lat_ms: Vec::new(),
+    };
+    for child in children {
+        let result = child.wait_with_output().expect("worker output");
+        assert!(result.status.success(), "worker process failed: {:?}", result.status);
+        let stdout = String::from_utf8(result.stdout).expect("worker stdout is utf8");
+        for line in stdout.lines() {
+            if let Some(rest) = line.strip_prefix("RESULT ") {
+                for kv in rest.split_whitespace() {
+                    let (k, v) = kv.split_once('=').expect("k=v");
+                    let v: u64 = v.parse().expect("count");
+                    match k {
+                        "answers" => out.answers += v,
+                        "rejects" => out.rejects += v,
+                        "queue_full" => out.queue_full += v,
+                        "deadline" => out.deadline_rejects += v,
+                        _ => panic!("unknown RESULT key {k}"),
+                    }
+                }
+            } else if let Some(rest) = line.strip_prefix("LATS ") {
+                out.lat_ms.extend(
+                    rest.split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(|s| s.parse::<u64>().expect("latency us") as f64 / 1e3),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// One edge deployment, one client, `boundaries` slot rollovers: the
+/// client fires a query for the new slot the instant each boundary
+/// passes and records the answer latency.
+#[allow(clippy::too_many_arguments)]
+fn rollover_run(
+    engine: &CrowdRtse<'_>,
+    sworld: &ServeWorld<'_>,
+    obs: &ObsHandle,
+    roads: usize,
+    boundaries: usize,
+    slot_len: Duration,
+    lead: Duration,
+    prewarm: bool,
+    base_slot: u16,
+) -> RolloverSide {
+    let serve_cfg = ServeConfig {
+        online: OnlineConfig { budget: 30, ..Default::default() },
+        obs: obs.clone(),
+        ..ServeConfig::from_env()
+    };
+    let prewarm_cfg = PrewarmConfig { slot_len, lead, base_slot: SlotOfDay(base_slot) };
+    let edge_cfg = EdgeConfig {
+        shards: 1,
+        obs: obs.clone(),
+        prewarm: prewarm.then(|| prewarm_cfg.clone()),
+        ..EdgeConfig::from_env()
+    };
+    let outcome = edge_serve(engine, sworld, &serve_cfg, &edge_cfg, |edge| {
+        // The warmed run reads the server's own clock so the client and
+        // the prewarm thread agree on boundaries; the cold run keeps its
+        // own identically-shaped clock.
+        let clock = edge.clock().unwrap_or_else(|| SlotClock::new(Instant::now(), &prewarm_cfg));
+        let mut client = EdgeClient::connect(edge.addr()).expect("connect");
+        let mut lat_ms = Vec::with_capacity(boundaries);
+        let mut cache_hits = 0usize;
+        for b in 0..boundaries {
+            std::thread::sleep(clock.until_next(Instant::now()) + Duration::from_millis(2));
+            let now = Instant::now();
+            let slot = clock.slot_at(now);
+            let roads_q: Vec<u32> = (0..4u32).map(|k| (b as u32 * 7 + k) % roads as u32).collect();
+            let reply = client.query(roads_q, slot.0, None, None).expect("boundary reply");
+            lat_ms.push(now.elapsed().as_secs_f64() * 1e3);
+            match reply {
+                ClientReply::Answer(a) => cache_hits += usize::from(a.cache_hit),
+                ClientReply::Reject(r) => panic!("boundary query rejected: {:?}", r.code),
+            }
+        }
+        (lat_ms, cache_hits)
+    })
+    .expect("edge deploys");
+    let (mut lat_ms, cache_hits) = outcome.value;
+    lat_ms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    RolloverSide {
+        p50_ms: quantile(&lat_ms, 0.5),
+        p99_ms: quantile(&lat_ms, 0.99),
+        max_ms: lat_ms.last().copied().unwrap_or(0.0),
+        cache_hits,
+        boundaries,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    roads: usize,
+    days: usize,
+    host_threads: usize,
+    tiers: &[TierResult],
+    before: &RolloverSide,
+    after: &RolloverSide,
+    slot_len: Duration,
+    lead: Duration,
+    obs_json: Option<&str>,
+) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"experiment\": \"edge_load\",\n");
+    s.push_str(&format!("  \"sync\": {{ \"shim\": \"{}\" }},\n", rtse_sync::BACKEND));
+    s.push_str(&format!(
+        "  \"host\": {{ \"available_parallelism\": {host_threads}, \"rtse_threads_env\": {} }},\n",
+        std::env::var("RTSE_THREADS").map_or_else(|_| "null".into(), |v| format!("\"{v}\""))
+    ));
+    s.push_str(&format!(
+        "  \"config\": {{ \"roads\": {roads}, \"days\": {days}, \"worker_processes\": {}, \
+         \"wire\": {{ \"magic\": \"0x{:08X}\", \"version\": {} }} }},\n",
+        WORKER_PROCS,
+        rtse_edge::MAGIC,
+        rtse_edge::VERSION,
+    ));
+    s.push_str(
+        "  \"note\": \"1-core hosts serialize the pipeline: latency is honest, concurrency \
+         speedups need a multicore host (EXPERIMENTS.md). Overload sheds are typed rejects \
+         (QueueFull/DeadlineExceeded) delivered on the wire, never silent drops\",\n",
+    );
+    s.push_str("  \"tiers\": [\n");
+    for (i, t) in tiers.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{ \"tier\": \"{}\", \"connections\": {}, \"queries\": {}, \"answers\": {}, \
+             \"rejects\": {}, \"queue_full\": {}, \"deadline_rejects\": {}, \
+             \"shed_rate\": {:.4}, \"wall_ms\": {:.3}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \
+             \"edge\": {{ \"accepted\": {}, \"closed\": {}, \"protocol_errors\": {}, \
+             \"bounds_rejects\": {} }}, \
+             \"serve\": {{ \"submitted\": {}, \"answered\": {}, \"shed\": {}, \"rejected\": {}, \
+             \"rounds\": {} }} }}",
+            t.name,
+            t.conns,
+            t.queries,
+            t.answers,
+            t.rejects,
+            t.queue_full,
+            t.deadline_rejects,
+            t.shed_rate(),
+            t.wall_ms,
+            t.p50_ms,
+            t.p99_ms,
+            t.edge.accepted,
+            t.edge.closed,
+            t.edge.protocol_errors,
+            t.edge.bounds_rejects,
+            t.serve.submitted,
+            t.serve.answered,
+            t.serve.shed,
+            t.serve.rejected,
+            t.serve.rounds,
+        ));
+        if i + 1 < tiers.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"rollover\": {{ \"slot_len_ms\": {:.1}, \"lead_ms\": {:.1}, \"boundaries\": {}, \
+         \"before\": {{ \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"max_ms\": {:.4}, \
+         \"cache_hits\": {} }}, \
+         \"after\": {{ \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"max_ms\": {:.4}, \
+         \"cache_hits\": {} }} }},\n",
+        slot_len.as_secs_f64() * 1e3,
+        lead.as_secs_f64() * 1e3,
+        before.boundaries,
+        before.p50_ms,
+        before.p99_ms,
+        before.max_ms,
+        before.cache_hits,
+        after.p50_ms,
+        after.p99_ms,
+        after.max_ms,
+        after.cache_hits,
+    ));
+    s.push_str(&format!("  \"obs\": {}\n", obs_json.unwrap_or("null")));
+    s.push_str("}\n");
+    s
+}
+
+// ───────────────────────────── worker ─────────────────────────────────
+
+struct WorkerConn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    global: usize,
+    sent: usize,
+    sent_at: Instant,
+    awaiting: bool,
+    remaining: usize,
+}
+
+/// One load process: `conns` nonblocking connections multiplexed
+/// round-robin, one outstanding request per connection, request-response
+/// paced. Prints aggregate RESULT and LATS lines for the parent.
+fn worker_main(args: &[String]) {
+    let addr: SocketAddr = args[0].parse().expect("addr");
+    let base: usize = args[1].parse().expect("base");
+    let conns: usize = args[2].parse().expect("conns");
+    let per_conn: usize = args[3].parse().expect("per_conn");
+    let roads: usize = args[4].parse().expect("roads");
+    let deadline_ms: u32 = args[5].parse().expect("deadline_ms");
+    let slots: Vec<u16> = args[6].split(',').map(|s| s.parse().expect("slot")).collect();
+    let limits = DecodeLimits::for_max_roads(64);
+
+    let mut fleet: Vec<WorkerConn> = (0..conns)
+        .map(|i| {
+            let stream = TcpStream::connect(addr).expect("connect");
+            stream.set_nodelay(true).expect("nodelay");
+            stream.set_nonblocking(true).expect("nonblocking");
+            WorkerConn {
+                stream,
+                rbuf: Vec::new(),
+                global: base + i,
+                sent: 0,
+                sent_at: Instant::now(),
+                awaiting: false,
+                remaining: per_conn,
+            }
+        })
+        .collect();
+
+    let mut answers = 0u64;
+    let mut rejects = 0u64;
+    let mut queue_full = 0u64;
+    let mut deadline_rejects = 0u64;
+    let mut lat_us: Vec<u64> = Vec::with_capacity(conns * per_conn);
+    let mut chunk = [0u8; 4096];
+
+    loop {
+        let mut progressed = false;
+        let mut live = false;
+        for conn in &mut fleet {
+            if conn.remaining == 0 && !conn.awaiting {
+                continue;
+            }
+            live = true;
+            if !conn.awaiting {
+                send_query(conn, roads, deadline_ms, &slots);
+                progressed = true;
+                continue;
+            }
+            loop {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => panic!("server closed mid-request (conn {})", conn.global),
+                    Ok(n) => conn.rbuf.extend_from_slice(&chunk[..n]),
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(e) => panic!("read (conn {}): {e}", conn.global),
+                }
+            }
+            while let Some((frame, used)) =
+                decode_frame(&conn.rbuf, limits).expect("server speaks the protocol")
+            {
+                conn.rbuf.drain(..used);
+                progressed = true;
+                match frame {
+                    Frame::Answer(_) => answers += 1,
+                    Frame::Reject(r) => {
+                        rejects += 1;
+                        match r.code {
+                            RejectCode::QueueFull => queue_full += 1,
+                            RejectCode::DeadlineExceeded => deadline_rejects += 1,
+                            _ => {}
+                        }
+                    }
+                    other => panic!("unexpected frame mid-run: {other:?}"),
+                }
+                lat_us.push(u64::try_from(conn.sent_at.elapsed().as_micros()).unwrap_or(u64::MAX));
+                conn.awaiting = false;
+            }
+        }
+        if !live {
+            break;
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    println!(
+        "RESULT answers={answers} rejects={rejects} queue_full={queue_full} \
+         deadline={deadline_rejects}"
+    );
+    let csv: String = lat_us.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+    println!("LATS {csv}");
+}
+
+fn send_query(conn: &mut WorkerConn, roads: usize, deadline_ms: u32, slots: &[u16]) {
+    let g = conn.global as u32;
+    let q = conn.sent as u32;
+    let frame = Frame::Query(QueryFrame {
+        request_id: ((conn.global as u64) << 16) | conn.sent as u64,
+        deadline_ms: (deadline_ms > 0).then_some(deadline_ms),
+        max_staleness_ms: None,
+        slot: slots[conn.global % slots.len()],
+        roads: (0..4u32).map(|k| (g * 31 + q * 17 + k) % roads as u32).collect(),
+    });
+    let mut wire = Vec::new();
+    encode_frame(&frame, &mut wire);
+    let mut off = 0usize;
+    while off < wire.len() {
+        match conn.stream.write(&wire[off..]) {
+            Ok(n) => off += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::yield_now(),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => panic!("write (conn {}): {e}", conn.global),
+        }
+    }
+    conn.sent += 1;
+    conn.remaining -= 1;
+    conn.sent_at = Instant::now();
+    conn.awaiting = true;
+}

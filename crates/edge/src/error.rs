@@ -1,0 +1,55 @@
+//! Typed errors of the edge front-end.
+
+use rtse_check::InvariantViolation;
+use rtse_serve::ServeError;
+use std::fmt;
+
+/// Why an edge deployment failed to start or run.
+#[derive(Debug)]
+pub enum EdgeError {
+    /// The [`crate::EdgeConfig`] violates an invariant.
+    InvalidConfig(InvariantViolation),
+    /// Binding or preparing the listen socket failed.
+    Bind {
+        /// The address that was requested.
+        addr: String,
+        /// The OS error, rendered.
+        detail: String,
+    },
+    /// Cloning the listener for a shard thread failed.
+    Shard {
+        /// Which shard could not be started.
+        shard: usize,
+        /// The OS error, rendered.
+        detail: String,
+    },
+    /// The serving layer behind the edge rejected the deployment.
+    Serve(ServeError),
+}
+
+impl fmt::Display for EdgeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeError::InvalidConfig(v) => write!(f, "invalid edge config: {v}"),
+            EdgeError::Bind { addr, detail } => write!(f, "cannot listen on {addr}: {detail}"),
+            EdgeError::Shard { shard, detail } => {
+                write!(f, "cannot start listener shard {shard}: {detail}")
+            }
+            EdgeError::Serve(e) => write!(f, "serving layer: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EdgeError {}
+
+impl From<ServeError> for EdgeError {
+    fn from(e: ServeError) -> Self {
+        EdgeError::Serve(e)
+    }
+}
+
+impl From<InvariantViolation> for EdgeError {
+    fn from(v: InvariantViolation) -> Self {
+        EdgeError::InvalidConfig(v)
+    }
+}

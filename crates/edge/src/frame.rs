@@ -1,0 +1,814 @@
+//! The rtse-edge wire protocol: length-prefixed binary frames.
+//!
+//! Every frame is a fixed 20-byte header followed by a typed payload:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic        0x52545345 ("RTSE"), big-endian
+//!      4     1  version      protocol version (1)
+//!      5     1  frame type   1=Query 2=Answer 3=Reject 4=GoAway
+//!      6     2  reserved     must be zero (fail-closed)
+//!      8     8  request id   client-chosen, echoed on the response
+//!     16     4  payload len  bytes following the header
+//!     20     …  payload      layout per frame type (below)
+//! ```
+//!
+//! All integers are big-endian; speeds travel as IEEE-754 bit patterns
+//! (`f64::to_bits`), so values round-trip bit-identically.
+//!
+//! The decoder is **incremental** and **fail-closed**: [`decode_frame`]
+//! returns `Ok(None)` while the buffer holds only a frame prefix, a typed
+//! [`FrameError`] on the first malformed byte, and it validates the header
+//! — magic, version, type, reserved bytes, and the length prefix against
+//! the caller's cap — *before* asking for (or allocating) payload space.
+//! A hostile length prefix is rejected from 20 buffered bytes, never
+//! buffered out.
+
+use std::fmt;
+
+/// Frame magic: `"RTSE"` as a big-endian u32.
+pub const MAGIC: u32 = 0x5254_5345;
+/// Protocol version this build speaks.
+pub const VERSION: u8 = 1;
+/// Fixed header length in bytes.
+pub const HEADER_LEN: usize = 20;
+/// Fixed (pre-road-list) portion of a query payload.
+pub const QUERY_FIXED_LEN: usize = 12;
+/// Fixed (pre-estimate-list) portion of an answer payload.
+pub const ANSWER_FIXED_LEN: usize = 32;
+/// Sentinel for "field not set" in the u32 millisecond budget fields.
+pub const UNSET_MS: u32 = u32::MAX;
+
+const TYPE_QUERY: u8 = 1;
+const TYPE_ANSWER: u8 = 2;
+const TYPE_REJECT: u8 = 3;
+const TYPE_GOAWAY: u8 = 4;
+
+/// Why a buffered byte sequence is not a frame. Every variant is a
+/// protocol violation: the connection that produced it is torn down with
+/// a [`GoAwayCode::ProtocolError`] — the decoder never guesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic {
+        /// What arrived instead.
+        got: u32,
+    },
+    /// The version byte names a protocol this build does not speak.
+    BadVersion {
+        /// What arrived.
+        got: u8,
+    },
+    /// The frame-type byte names no known frame.
+    BadType {
+        /// What arrived.
+        got: u8,
+    },
+    /// The reserved header bytes were not zero.
+    ReservedNotZero {
+        /// What arrived.
+        got: u16,
+    },
+    /// The length prefix exceeds the receiver's payload cap. Checked
+    /// before any payload byte is awaited, so an adversarial prefix can
+    /// never drive a large allocation.
+    Oversize {
+        /// The declared payload length.
+        len: u32,
+        /// The receiver's cap.
+        max: u32,
+    },
+    /// The payload length does not match the type's layout (e.g. a query
+    /// whose length disagrees with its road count).
+    LengthMismatch {
+        /// Length the layout requires.
+        expected: u32,
+        /// Length the header declared.
+        got: u32,
+    },
+    /// A query names more roads than the receiver accepts per frame.
+    TooManyRoads {
+        /// The declared road count.
+        count: u32,
+        /// The receiver's cap.
+        max: u32,
+    },
+    /// A reject/goaway code byte pair names no known code.
+    BadCode {
+        /// What arrived.
+        got: u16,
+    },
+    /// A boolean byte was neither 0 nor 1.
+    BadBool {
+        /// What arrived.
+        got: u8,
+    },
+    /// A detail string was not UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadMagic { got } => write!(f, "bad frame magic {got:#010x}"),
+            FrameError::BadVersion { got } => write!(f, "unsupported protocol version {got}"),
+            FrameError::BadType { got } => write!(f, "unknown frame type {got}"),
+            FrameError::ReservedNotZero { got } => {
+                write!(f, "reserved header bytes must be zero, got {got:#06x}")
+            }
+            FrameError::Oversize { len, max } => {
+                write!(f, "payload length {len} exceeds the {max}-byte cap")
+            }
+            FrameError::LengthMismatch { expected, got } => {
+                write!(f, "payload length {got} does not match the layout ({expected})")
+            }
+            FrameError::TooManyRoads { count, max } => {
+                write!(f, "query names {count} roads, more than the {max} cap")
+            }
+            FrameError::BadCode { got } => write!(f, "unknown status code {got}"),
+            FrameError::BadBool { got } => write!(f, "boolean byte must be 0 or 1, got {got}"),
+            FrameError::BadUtf8 => write!(f, "detail string is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Why a request was rejected, on the wire. Mirrors
+/// [`rtse_serve::ServeError`] plus the edge's own pre-admission bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum RejectCode {
+    /// Admission queue at capacity — back off and retry.
+    QueueFull = 1,
+    /// The deadline expired before an answer was produced.
+    DeadlineExceeded = 2,
+    /// The server is draining; no new requests.
+    ShuttingDown = 3,
+    /// The query named no roads.
+    EmptyQuery = 4,
+    /// A road id is not a road of the served network.
+    RoadOutOfRange = 5,
+    /// The slot is not a slot of the day.
+    SlotOutOfRange = 6,
+    /// The serving world rejected the round (dimension mismatch).
+    WorldMismatch = 7,
+    /// The server answered with an internal error.
+    Internal = 8,
+    /// The wire deadline exceeds the server's admissible bound
+    /// (checked pre-admission; see `EdgeConfig`).
+    DeadlineOutOfBounds = 9,
+    /// The wire staleness budget exceeds the server's TTL bound
+    /// (checked pre-admission; a hostile value could otherwise let a
+    /// cached round older than the TTL escape).
+    StalenessOutOfBounds = 10,
+}
+
+impl RejectCode {
+    /// Every code, for decode validation.
+    pub const ALL: [RejectCode; 10] = [
+        RejectCode::QueueFull,
+        RejectCode::DeadlineExceeded,
+        RejectCode::ShuttingDown,
+        RejectCode::EmptyQuery,
+        RejectCode::RoadOutOfRange,
+        RejectCode::SlotOutOfRange,
+        RejectCode::WorldMismatch,
+        RejectCode::Internal,
+        RejectCode::DeadlineOutOfBounds,
+        RejectCode::StalenessOutOfBounds,
+    ];
+
+    fn from_u16(raw: u16) -> Result<Self, FrameError> {
+        Self::ALL.iter().copied().find(|c| *c as u16 == raw).ok_or(FrameError::BadCode { got: raw })
+    }
+}
+
+/// Why the server is closing the connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum GoAwayCode {
+    /// Orderly drain: every accepted request was answered first.
+    ShuttingDown = 1,
+    /// The peer sent a malformed frame; the decoder is fail-closed.
+    ProtocolError = 2,
+    /// The connection sat idle past the configured timeout.
+    IdleTimeout = 3,
+}
+
+impl GoAwayCode {
+    /// Every code, for decode validation.
+    pub const ALL: [GoAwayCode; 3] =
+        [GoAwayCode::ShuttingDown, GoAwayCode::ProtocolError, GoAwayCode::IdleTimeout];
+
+    fn from_u16(raw: u16) -> Result<Self, FrameError> {
+        Self::ALL.iter().copied().find(|c| *c as u16 == raw).ok_or(FrameError::BadCode { got: raw })
+    }
+}
+
+/// A speed query, client → server.
+///
+/// Payload: `[deadline_ms: u32][max_staleness_ms: u32][slot: u16]
+/// [road_count: u16][road: u32 × count]`. [`UNSET_MS`] in a budget field
+/// defers to the server's configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryFrame {
+    /// Client-chosen id, echoed on the answer/reject.
+    pub request_id: u64,
+    /// Latency budget in ms; `None` defers to the server default.
+    pub deadline_ms: Option<u32>,
+    /// Freshness budget in ms; `None` defers to the server TTL.
+    pub max_staleness_ms: Option<u32>,
+    /// Queried slot of the day (raw; the server bounds-checks it).
+    pub slot: u16,
+    /// Queried road ids (raw; the server bounds-checks them).
+    pub roads: Vec<u32>,
+}
+
+/// An estimate, server → client.
+///
+/// Payload: `[generation: u64][age_us: u64][wait_us: u64][slot: u16]
+/// [cache_hit: u8][reserved: u8][count: u32][(road: u32, speed bits: u64)
+/// × count]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnswerFrame {
+    /// Echo of the query's request id.
+    pub request_id: u64,
+    /// Cache generation of the round that produced the estimates.
+    pub generation: u64,
+    /// Age of that round at fan-out, in microseconds.
+    pub age_us: u64,
+    /// Submission-to-fan-out latency, in microseconds.
+    pub wait_us: u64,
+    /// The answered slot.
+    pub slot: u16,
+    /// Whether the round came from the slot cache.
+    pub cache_hit: bool,
+    /// The answered roads (canonical order).
+    pub roads: Vec<u32>,
+    /// Estimated speed per road, parallel to `roads`.
+    pub speeds: Vec<f64>,
+}
+
+/// A typed per-request rejection, server → client.
+///
+/// Payload: `[code: u16][detail_len: u16][detail: UTF-8]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RejectFrame {
+    /// Echo of the query's request id.
+    pub request_id: u64,
+    /// Why the request was rejected.
+    pub code: RejectCode,
+    /// Human-readable detail (may be empty).
+    pub detail: String,
+}
+
+/// Orderly close notification, server → client. `request_id` is 0.
+///
+/// Payload: `[code: u16][detail_len: u16][detail: UTF-8]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoAwayFrame {
+    /// Why the connection is closing.
+    pub code: GoAwayCode,
+    /// Human-readable detail (may be empty).
+    pub detail: String,
+}
+
+/// One decoded wire frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → server speed query.
+    Query(QueryFrame),
+    /// Server → client estimate.
+    Answer(AnswerFrame),
+    /// Server → client typed rejection.
+    Reject(RejectFrame),
+    /// Server → client orderly close.
+    GoAway(GoAwayFrame),
+}
+
+impl Frame {
+    fn type_byte(&self) -> u8 {
+        match self {
+            Frame::Query(_) => TYPE_QUERY,
+            Frame::Answer(_) => TYPE_ANSWER,
+            Frame::Reject(_) => TYPE_REJECT,
+            Frame::GoAway(_) => TYPE_GOAWAY,
+        }
+    }
+
+    fn request_id(&self) -> u64 {
+        match self {
+            Frame::Query(q) => q.request_id,
+            Frame::Answer(a) => a.request_id,
+            Frame::Reject(r) => r.request_id,
+            Frame::GoAway(_) => 0,
+        }
+    }
+}
+
+/// Appends `frame` to `out` in wire format. Infallible: every constructed
+/// frame has a valid encoding (detail strings are truncated to the u16
+/// length field's range, road lists to the u16/u32 count fields' ranges by
+/// the types themselves).
+pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
+    let payload_len = match frame {
+        Frame::Query(q) => QUERY_FIXED_LEN + 4 * q.roads.len(),
+        Frame::Answer(a) => ANSWER_FIXED_LEN + 12 * a.roads.len(),
+        Frame::Reject(r) => 4 + r.detail.len(),
+        Frame::GoAway(g) => 4 + g.detail.len(),
+    };
+    out.reserve(HEADER_LEN + payload_len);
+    out.extend_from_slice(&MAGIC.to_be_bytes());
+    out.extend_from_slice(&[VERSION, frame.type_byte(), 0, 0]);
+    out.extend_from_slice(&frame.request_id().to_be_bytes());
+    out.extend_from_slice(&(payload_len as u32).to_be_bytes());
+    match frame {
+        Frame::Query(q) => {
+            out.extend_from_slice(&q.deadline_ms.unwrap_or(UNSET_MS).to_be_bytes());
+            out.extend_from_slice(&q.max_staleness_ms.unwrap_or(UNSET_MS).to_be_bytes());
+            out.extend_from_slice(&q.slot.to_be_bytes());
+            out.extend_from_slice(&(q.roads.len() as u16).to_be_bytes());
+            for road in &q.roads {
+                out.extend_from_slice(&road.to_be_bytes());
+            }
+        }
+        Frame::Answer(a) => {
+            out.extend_from_slice(&a.generation.to_be_bytes());
+            out.extend_from_slice(&a.age_us.to_be_bytes());
+            out.extend_from_slice(&a.wait_us.to_be_bytes());
+            out.extend_from_slice(&a.slot.to_be_bytes());
+            out.extend_from_slice(&[u8::from(a.cache_hit), 0]);
+            out.extend_from_slice(&(a.roads.len() as u32).to_be_bytes());
+            for (road, speed) in a.roads.iter().zip(&a.speeds) {
+                out.extend_from_slice(&road.to_be_bytes());
+                out.extend_from_slice(&speed.to_bits().to_be_bytes());
+            }
+        }
+        Frame::Reject(r) => {
+            out.extend_from_slice(&(r.code as u16).to_be_bytes());
+            out.extend_from_slice(&(r.detail.len() as u16).to_be_bytes());
+            out.extend_from_slice(r.detail.as_bytes());
+        }
+        Frame::GoAway(g) => {
+            out.extend_from_slice(&(g.code as u16).to_be_bytes());
+            out.extend_from_slice(&(g.detail.len() as u16).to_be_bytes());
+            out.extend_from_slice(g.detail.as_bytes());
+        }
+    }
+}
+
+/// Limits the decoder enforces before trusting a header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeLimits {
+    /// Largest admissible payload length. A length prefix beyond this is
+    /// [`FrameError::Oversize`] — rejected from the 20 header bytes alone.
+    pub max_payload: u32,
+    /// Most roads one query frame may name.
+    pub max_roads: u32,
+}
+
+impl DecodeLimits {
+    /// Limits sized for a given per-query road cap: the payload cap covers
+    /// the largest frame either direction can legitimately produce for
+    /// that many roads (an answer's 12 bytes/road dominates).
+    pub fn for_max_roads(max_roads: u32) -> Self {
+        let fixed = ANSWER_FIXED_LEN.max(QUERY_FIXED_LEN) as u32;
+        Self { max_payload: fixed + 12 * max_roads, max_roads }
+    }
+}
+
+fn read_u16(buf: &[u8], off: usize) -> Option<u16> {
+    let bytes: [u8; 2] = buf.get(off..off + 2)?.try_into().ok()?;
+    Some(u16::from_be_bytes(bytes))
+}
+
+fn read_u32(buf: &[u8], off: usize) -> Option<u32> {
+    let bytes: [u8; 4] = buf.get(off..off + 4)?.try_into().ok()?;
+    Some(u32::from_be_bytes(bytes))
+}
+
+fn read_u64(buf: &[u8], off: usize) -> Option<u64> {
+    let bytes: [u8; 8] = buf.get(off..off + 8)?.try_into().ok()?;
+    Some(u64::from_be_bytes(bytes))
+}
+
+fn budget_ms(raw: u32) -> Option<u32> {
+    if raw == UNSET_MS {
+        None
+    } else {
+        Some(raw)
+    }
+}
+
+/// Attempts to decode one frame from the front of `buf`.
+///
+/// * `Ok(None)` — `buf` holds a valid prefix of a frame; read more bytes.
+/// * `Ok(Some((frame, consumed)))` — one complete frame; drop `consumed`
+///   bytes from the buffer front.
+/// * `Err(_)` — the bytes are not a frame; the connection is unsalvageable
+///   (framing is lost) and must be closed.
+///
+/// Header validation runs as soon as [`HEADER_LEN`] bytes are buffered —
+/// in particular [`FrameError::Oversize`] fires *before* the payload is
+/// awaited, so the per-frame memory bound is `limits.max_payload` and an
+/// adversarial length prefix never drives an allocation.
+pub fn decode_frame(
+    buf: &[u8],
+    limits: DecodeLimits,
+) -> Result<Option<(Frame, usize)>, FrameError> {
+    if buf.len() < HEADER_LEN {
+        // Validate what we can of a short prefix so garbage fails fast
+        // instead of stalling a read loop waiting for 20 bytes of noise.
+        for (byte, expected) in buf.iter().zip(MAGIC.to_be_bytes()) {
+            if *byte != expected {
+                return Err(FrameError::BadMagic { got: partial_magic(buf) });
+            }
+        }
+        return Ok(None);
+    }
+    let magic = read_u32(buf, 0).unwrap_or(0);
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic { got: magic });
+    }
+    let version = *buf.get(4).unwrap_or(&0);
+    if version != VERSION {
+        return Err(FrameError::BadVersion { got: version });
+    }
+    let frame_type = *buf.get(5).unwrap_or(&0);
+    if !(TYPE_QUERY..=TYPE_GOAWAY).contains(&frame_type) {
+        return Err(FrameError::BadType { got: frame_type });
+    }
+    let reserved = read_u16(buf, 6).unwrap_or(0);
+    if reserved != 0 {
+        return Err(FrameError::ReservedNotZero { got: reserved });
+    }
+    let Some(request_id) = read_u64(buf, 8) else { return Ok(None) };
+    let Some(payload_len) = read_u32(buf, 16) else { return Ok(None) };
+    if payload_len > limits.max_payload {
+        return Err(FrameError::Oversize { len: payload_len, max: limits.max_payload });
+    }
+    let total = HEADER_LEN + payload_len as usize;
+    let Some(payload) = buf.get(HEADER_LEN..total) else { return Ok(None) };
+
+    let frame = match frame_type {
+        TYPE_QUERY => decode_query(request_id, payload, limits)?,
+        TYPE_ANSWER => decode_answer(request_id, payload)?,
+        TYPE_REJECT => {
+            let (code, detail) = decode_status(payload)?;
+            Frame::Reject(RejectFrame { request_id, code: RejectCode::from_u16(code)?, detail })
+        }
+        _ => {
+            let (code, detail) = decode_status(payload)?;
+            Frame::GoAway(GoAwayFrame { code: GoAwayCode::from_u16(code)?, detail })
+        }
+    };
+    Ok(Some((frame, total)))
+}
+
+/// Best-effort magic reconstruction for short-prefix errors.
+fn partial_magic(buf: &[u8]) -> u32 {
+    let mut bytes = [0u8; 4];
+    for (slot, b) in bytes.iter_mut().zip(buf) {
+        *slot = *b;
+    }
+    u32::from_be_bytes(bytes)
+}
+
+fn decode_query(
+    request_id: u64,
+    payload: &[u8],
+    limits: DecodeLimits,
+) -> Result<Frame, FrameError> {
+    let got = payload.len() as u32;
+    if payload.len() < QUERY_FIXED_LEN {
+        return Err(FrameError::LengthMismatch { expected: QUERY_FIXED_LEN as u32, got });
+    }
+    let deadline_raw = read_u32(payload, 0).unwrap_or(UNSET_MS);
+    let staleness_raw = read_u32(payload, 4).unwrap_or(UNSET_MS);
+    let slot = read_u16(payload, 8).unwrap_or(0);
+    let count = u32::from(read_u16(payload, 10).unwrap_or(0));
+    if count > limits.max_roads {
+        return Err(FrameError::TooManyRoads { count, max: limits.max_roads });
+    }
+    let expected = (QUERY_FIXED_LEN as u32) + 4 * count;
+    if got != expected {
+        return Err(FrameError::LengthMismatch { expected, got });
+    }
+    let mut roads = Vec::with_capacity(count as usize);
+    for i in 0..count as usize {
+        let Some(road) = read_u32(payload, QUERY_FIXED_LEN + 4 * i) else {
+            return Err(FrameError::LengthMismatch { expected, got });
+        };
+        roads.push(road);
+    }
+    Ok(Frame::Query(QueryFrame {
+        request_id,
+        deadline_ms: budget_ms(deadline_raw),
+        max_staleness_ms: budget_ms(staleness_raw),
+        slot,
+        roads,
+    }))
+}
+
+fn decode_answer(request_id: u64, payload: &[u8]) -> Result<Frame, FrameError> {
+    let got = payload.len() as u32;
+    if payload.len() < ANSWER_FIXED_LEN {
+        return Err(FrameError::LengthMismatch { expected: ANSWER_FIXED_LEN as u32, got });
+    }
+    let generation = read_u64(payload, 0).unwrap_or(0);
+    let age_us = read_u64(payload, 8).unwrap_or(0);
+    let wait_us = read_u64(payload, 16).unwrap_or(0);
+    let slot = read_u16(payload, 24).unwrap_or(0);
+    let hit_byte = *payload.get(26).unwrap_or(&0);
+    let cache_hit = match hit_byte {
+        0 => false,
+        1 => true,
+        other => return Err(FrameError::BadBool { got: other }),
+    };
+    let reserved = *payload.get(27).unwrap_or(&0);
+    if reserved != 0 {
+        return Err(FrameError::ReservedNotZero { got: u16::from(reserved) });
+    }
+    let count = read_u32(payload, 28).unwrap_or(0);
+    let expected = (ANSWER_FIXED_LEN as u32).saturating_add(count.saturating_mul(12));
+    if got != expected {
+        return Err(FrameError::LengthMismatch { expected, got });
+    }
+    let mut roads = Vec::with_capacity(count as usize);
+    let mut speeds = Vec::with_capacity(count as usize);
+    for i in 0..count as usize {
+        let base = ANSWER_FIXED_LEN + 12 * i;
+        let (Some(road), Some(bits)) = (read_u32(payload, base), read_u64(payload, base + 4))
+        else {
+            return Err(FrameError::LengthMismatch { expected, got });
+        };
+        roads.push(road);
+        speeds.push(f64::from_bits(bits));
+    }
+    Ok(Frame::Answer(AnswerFrame {
+        request_id,
+        generation,
+        age_us,
+        wait_us,
+        slot,
+        cache_hit,
+        roads,
+        speeds,
+    }))
+}
+
+/// Shared `[code: u16][detail_len: u16][detail]` layout of reject/goaway.
+fn decode_status(payload: &[u8]) -> Result<(u16, String), FrameError> {
+    let got = payload.len() as u32;
+    if payload.len() < 4 {
+        return Err(FrameError::LengthMismatch { expected: 4, got });
+    }
+    let code = read_u16(payload, 0).unwrap_or(0);
+    let detail_len = u32::from(read_u16(payload, 2).unwrap_or(0));
+    let expected = 4 + detail_len;
+    if got != expected {
+        return Err(FrameError::LengthMismatch { expected, got });
+    }
+    let Some(detail_bytes) = payload.get(4..4 + detail_len as usize) else {
+        return Err(FrameError::LengthMismatch { expected, got });
+    };
+    let mut detail_vec = Vec::with_capacity(detail_bytes.len());
+    detail_vec.extend_from_slice(detail_bytes);
+    let detail = String::from_utf8(detail_vec).map_err(|_| FrameError::BadUtf8)?;
+    Ok((code, detail))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> DecodeLimits {
+        DecodeLimits::for_max_roads(64)
+    }
+
+    fn roundtrip(frame: Frame) {
+        let mut wire = Vec::new();
+        encode_frame(&frame, &mut wire);
+        let (decoded, consumed) =
+            decode_frame(&wire, limits()).expect("valid frame").expect("complete frame");
+        assert_eq!(consumed, wire.len());
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn all_frame_types_roundtrip() {
+        roundtrip(Frame::Query(QueryFrame {
+            request_id: 7,
+            deadline_ms: Some(250),
+            max_staleness_ms: None,
+            slot: 102,
+            roads: vec![0, 3, 9, 4_000_000_000],
+        }));
+        roundtrip(Frame::Answer(AnswerFrame {
+            request_id: u64::MAX,
+            generation: 3,
+            age_us: 1234,
+            wait_us: 567,
+            slot: 287,
+            cache_hit: true,
+            roads: vec![1, 2],
+            speeds: vec![48.25, 0.1],
+        }));
+        roundtrip(Frame::Reject(RejectFrame {
+            request_id: 9,
+            code: RejectCode::DeadlineOutOfBounds,
+            detail: "deadline 400000 ms exceeds bound".into(),
+        }));
+        roundtrip(Frame::GoAway(GoAwayFrame {
+            code: GoAwayCode::ShuttingDown,
+            detail: String::new(),
+        }));
+    }
+
+    #[test]
+    fn speeds_roundtrip_bit_identically() {
+        // PartialEq can't see this (NaN != NaN); the bits can.
+        let payload = f64::from_bits(0x7ff8_0000_0000_0001);
+        let mut wire = Vec::new();
+        encode_frame(
+            &Frame::Answer(AnswerFrame {
+                request_id: 1,
+                generation: 1,
+                age_us: 0,
+                wait_us: 0,
+                slot: 0,
+                cache_hit: false,
+                roads: vec![9],
+                speeds: vec![payload],
+            }),
+            &mut wire,
+        );
+        let (frame, _) = decode_frame(&wire, limits()).expect("valid").expect("complete");
+        let Frame::Answer(a) = frame else { panic!("answer expected") };
+        let bits: Vec<u64> = a.speeds.iter().map(|s| s.to_bits()).collect();
+        assert_eq!(bits, vec![payload.to_bits()]);
+    }
+
+    #[test]
+    fn oversize_rejects_from_header_alone() {
+        let mut wire = Vec::new();
+        encode_frame(
+            &Frame::Query(QueryFrame {
+                request_id: 1,
+                deadline_ms: None,
+                max_staleness_ms: None,
+                slot: 0,
+                roads: vec![0],
+            }),
+            &mut wire,
+        );
+        // Forge a 1 GiB length prefix; hand the decoder ONLY the header.
+        wire.truncate(HEADER_LEN);
+        wire[16..20].copy_from_slice(&(1u32 << 30).to_be_bytes());
+        let err = decode_frame(&wire, limits()).expect_err("must reject");
+        assert!(matches!(err, FrameError::Oversize { len, .. } if len == 1 << 30));
+    }
+
+    #[test]
+    fn incremental_prefixes_ask_for_more() {
+        let mut wire = Vec::new();
+        encode_frame(
+            &Frame::Query(QueryFrame {
+                request_id: 5,
+                deadline_ms: Some(10),
+                max_staleness_ms: Some(20),
+                slot: 9,
+                roads: vec![1, 2, 3],
+            }),
+            &mut wire,
+        );
+        for cut in 0..wire.len() {
+            let out = decode_frame(&wire[..cut], limits()).expect("prefix of a valid frame");
+            assert!(out.is_none(), "prefix of {cut} bytes must not decode");
+        }
+        assert!(decode_frame(&wire, limits()).expect("valid").is_some());
+    }
+
+    #[test]
+    fn garbage_magic_fails_before_the_full_header() {
+        let err = decode_frame(b"GET / HTTP/1.1\r\n", limits()).expect_err("not a frame");
+        assert!(matches!(err, FrameError::BadMagic { .. }));
+        // Even a single wrong byte is enough.
+        let err = decode_frame(&[0x00], limits()).expect_err("not a frame");
+        assert!(matches!(err, FrameError::BadMagic { .. }));
+    }
+
+    #[test]
+    fn query_length_must_match_road_count() {
+        let mut wire = Vec::new();
+        encode_frame(
+            &Frame::Query(QueryFrame {
+                request_id: 2,
+                deadline_ms: None,
+                max_staleness_ms: None,
+                slot: 1,
+                roads: vec![4, 5],
+            }),
+            &mut wire,
+        );
+        // Claim 3 roads but carry 2.
+        let off = HEADER_LEN + 10;
+        wire[off..off + 2].copy_from_slice(&3u16.to_be_bytes());
+        let err = decode_frame(&wire, limits()).expect_err("must reject");
+        assert!(matches!(err, FrameError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn road_count_cap_is_enforced() {
+        let mut wire = Vec::new();
+        encode_frame(
+            &Frame::Query(QueryFrame {
+                request_id: 2,
+                deadline_ms: None,
+                max_staleness_ms: None,
+                slot: 1,
+                roads: (0..65).collect(),
+            }),
+            &mut wire,
+        );
+        let err = decode_frame(&wire, limits()).expect_err("must reject");
+        assert!(matches!(err, FrameError::TooManyRoads { count: 65, max: 64 }));
+    }
+
+    #[test]
+    fn unset_budgets_are_none() {
+        let mut wire = Vec::new();
+        encode_frame(
+            &Frame::Query(QueryFrame {
+                request_id: 11,
+                deadline_ms: None,
+                max_staleness_ms: None,
+                slot: 3,
+                roads: vec![7],
+            }),
+            &mut wire,
+        );
+        let (frame, _) = decode_frame(&wire, limits()).expect("valid").expect("complete");
+        let Frame::Query(q) = frame else { panic!("query expected") };
+        assert_eq!(q.deadline_ms, None);
+        assert_eq!(q.max_staleness_ms, None);
+    }
+
+    #[test]
+    fn bad_codes_and_bools_are_typed_errors() {
+        let mut wire = Vec::new();
+        encode_frame(
+            &Frame::Reject(RejectFrame {
+                request_id: 1,
+                code: RejectCode::QueueFull,
+                detail: "x".into(),
+            }),
+            &mut wire,
+        );
+        wire[HEADER_LEN..HEADER_LEN + 2].copy_from_slice(&999u16.to_be_bytes());
+        assert!(matches!(
+            decode_frame(&wire, limits()).expect_err("bad code"),
+            FrameError::BadCode { got: 999 }
+        ));
+
+        let mut wire = Vec::new();
+        encode_frame(
+            &Frame::Answer(AnswerFrame {
+                request_id: 1,
+                generation: 1,
+                age_us: 0,
+                wait_us: 0,
+                slot: 0,
+                cache_hit: false,
+                roads: vec![],
+                speeds: vec![],
+            }),
+            &mut wire,
+        );
+        wire[HEADER_LEN + 26] = 7;
+        assert!(matches!(
+            decode_frame(&wire, limits()).expect_err("bad bool"),
+            FrameError::BadBool { got: 7 }
+        ));
+    }
+
+    #[test]
+    fn back_to_back_frames_consume_exactly_one() {
+        let mut wire = Vec::new();
+        let q = Frame::Query(QueryFrame {
+            request_id: 1,
+            deadline_ms: None,
+            max_staleness_ms: None,
+            slot: 0,
+            roads: vec![1],
+        });
+        encode_frame(&q, &mut wire);
+        let first_len = wire.len();
+        encode_frame(&q, &mut wire);
+        let (_, consumed) = decode_frame(&wire, limits()).expect("valid").expect("complete");
+        assert_eq!(consumed, first_len);
+        let rest = &wire[consumed..];
+        assert!(decode_frame(rest, limits()).expect("valid").is_some());
+    }
+}

@@ -1,0 +1,196 @@
+//! Property and adversarial tests for the wire codec.
+//!
+//! The decoder's contract: `decode ∘ encode = id` for every well-formed
+//! frame; every malformed byte sequence is a typed [`FrameError`]; a
+//! partial read at *any* byte boundary is `Ok(None)` (wait for more),
+//! never a wrong answer; and an adversarial length prefix is rejected
+//! from the header alone, before any payload allocation.
+
+use proptest::prelude::*;
+use rtse_edge::frame::{
+    decode_frame, encode_frame, AnswerFrame, DecodeLimits, Frame, FrameError, GoAwayCode,
+    GoAwayFrame, QueryFrame, RejectCode, RejectFrame, HEADER_LEN,
+};
+
+fn limits() -> DecodeLimits {
+    DecodeLimits::for_max_roads(256)
+}
+
+fn assert_roundtrip(frame: &Frame) {
+    let mut wire = Vec::new();
+    encode_frame(frame, &mut wire);
+    let (decoded, consumed) =
+        decode_frame(&wire, limits()).expect("well-formed").expect("complete");
+    assert_eq!(consumed, wire.len(), "must consume the exact frame");
+    assert_eq!(&decoded, frame);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode∘decode = id for queries across the id/budget/slot/road
+    /// space, including the unset-budget sentinel boundary.
+    #[test]
+    fn query_frames_roundtrip(
+        request_id in 0u64..u64::MAX,
+        deadline_ms in 0u32..u32::MAX,
+        slot in 0u16..65535,
+        roads in proptest::collection::vec(0u32..u32::MAX, 1..256),
+    ) {
+        let frame = Frame::Query(QueryFrame {
+            request_id,
+            // Exercise both set and unset budgets from one u32 stream
+            // (u32::MAX is the wire sentinel for "unset").
+            deadline_ms: if deadline_ms % 3 == 0 { None } else { Some(deadline_ms % 600_000) },
+            max_staleness_ms: if deadline_ms % 2 == 0 { None } else { Some(deadline_ms % 300_000) },
+            slot,
+            roads,
+        });
+        assert_roundtrip(&frame);
+    }
+
+    /// encode∘decode = id for answers, with speeds compared as raw IEEE
+    /// bits so the property covers the full f64 space (including NaNs).
+    #[test]
+    fn answer_frames_roundtrip_bitwise(
+        request_id in 0u64..u64::MAX,
+        generation in 1u64..u64::MAX,
+        slot in 0u16..288,
+        bits in proptest::collection::vec(0u64..u64::MAX, 1..64),
+    ) {
+        let roads: Vec<u32> = (0..bits.len() as u32).collect();
+        let speeds: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+        let frame = Frame::Answer(AnswerFrame {
+            request_id,
+            generation,
+            age_us: generation.rotate_left(17),
+            wait_us: generation.rotate_right(9),
+            slot,
+            cache_hit: generation % 2 == 0,
+            roads,
+            speeds,
+        });
+        let mut wire = Vec::new();
+        encode_frame(&frame, &mut wire);
+        let (decoded, consumed) =
+            decode_frame(&wire, limits()).expect("well-formed").expect("complete");
+        prop_assert_eq!(consumed, wire.len());
+        let Frame::Answer(a) = decoded else { panic!("answer expected") };
+        let got_bits: Vec<u64> = a.speeds.iter().map(|s| s.to_bits()).collect();
+        prop_assert_eq!(got_bits, bits);
+    }
+
+    /// Every prefix of a valid frame decodes to `Ok(None)` — a TCP read
+    /// split at any byte boundary only ever asks for more bytes.
+    #[test]
+    fn partial_reads_split_at_every_byte_boundary(
+        request_id in 0u64..u64::MAX,
+        slot in 0u16..288,
+        roads in proptest::collection::vec(0u32..100_000, 1..32),
+    ) {
+        let frame = Frame::Query(QueryFrame {
+            request_id,
+            deadline_ms: Some(250),
+            max_staleness_ms: None,
+            slot,
+            roads,
+        });
+        let mut wire = Vec::new();
+        encode_frame(&frame, &mut wire);
+        for cut in 0..wire.len() {
+            let out = decode_frame(&wire[..cut], limits())
+                .unwrap_or_else(|e| panic!("prefix of {cut} bytes must not error: {e}"));
+            prop_assert!(out.is_none(), "prefix of {} bytes must not decode", cut);
+        }
+        // And reassembly across the split yields the original frame.
+        prop_assert!(decode_frame(&wire, limits()).expect("valid").is_some());
+    }
+
+    /// Garbage never decodes: random bytes either fail typed (almost
+    /// always, on the magic) or wait for more — never panic, never yield
+    /// a frame, unless the bytes happen to *be* protocol.
+    #[test]
+    fn random_bytes_never_panic_the_decoder(
+        bytes in proptest::collection::vec(0u8..=255, 0..128),
+    ) {
+        // The result is irrelevant; the property is "returns, without
+        // panicking or allocating past the cap".
+        let _ = decode_frame(&bytes, limits());
+    }
+}
+
+#[test]
+fn truncated_frame_waits_then_resolves() {
+    let frame = Frame::Reject(RejectFrame {
+        request_id: 42,
+        code: RejectCode::QueueFull,
+        detail: "queue full".into(),
+    });
+    let mut wire = Vec::new();
+    encode_frame(&frame, &mut wire);
+    let (head, tail) = wire.split_at(HEADER_LEN + 2);
+    assert!(decode_frame(head, limits()).expect("prefix").is_none());
+    let mut reassembled = head.to_vec();
+    reassembled.extend_from_slice(tail);
+    let (decoded, _) = decode_frame(&reassembled, limits()).expect("valid").expect("complete");
+    assert_eq!(decoded, frame);
+}
+
+#[test]
+fn oversized_length_prefix_rejects_before_allocating() {
+    // A header claiming a 3 GiB payload, with zero payload bytes behind
+    // it: the decoder must reject from the 20 header bytes alone rather
+    // than wait for (or reserve room for) the claimed payload.
+    let mut wire = Vec::new();
+    encode_frame(
+        &Frame::GoAway(GoAwayFrame { code: GoAwayCode::ShuttingDown, detail: String::new() }),
+        &mut wire,
+    );
+    wire.truncate(HEADER_LEN);
+    wire[16..20].copy_from_slice(&(3u32 << 30).to_be_bytes());
+    let err = decode_frame(&wire, limits()).expect_err("must reject");
+    assert!(matches!(err, FrameError::Oversize { len, .. } if len == 3 << 30), "got {err:?}");
+}
+
+#[test]
+fn garbage_magic_is_a_typed_error() {
+    for garbage in
+        [&b"GET / HTTP/1.1\r\nHost: x\r\n\r\n"[..], &[0xff; 64][..], &b"SSH-2.0-OpenSSH_9.6"[..]]
+    {
+        let err = decode_frame(garbage, limits()).expect_err("not protocol");
+        assert!(matches!(err, FrameError::BadMagic { .. }), "got {err:?}");
+    }
+}
+
+#[test]
+fn wrong_version_and_type_are_typed_errors() {
+    let mut wire = Vec::new();
+    encode_frame(
+        &Frame::Query(QueryFrame {
+            request_id: 1,
+            deadline_ms: None,
+            max_staleness_ms: None,
+            slot: 0,
+            roads: vec![1],
+        }),
+        &mut wire,
+    );
+    let mut v = wire.clone();
+    v[4] = 9;
+    assert!(matches!(
+        decode_frame(&v, limits()).expect_err("bad version"),
+        FrameError::BadVersion { got: 9 }
+    ));
+    let mut t = wire.clone();
+    t[5] = 200;
+    assert!(matches!(
+        decode_frame(&t, limits()).expect_err("bad type"),
+        FrameError::BadType { got: 200 }
+    ));
+    let mut r = wire;
+    r[6] = 1;
+    assert!(matches!(
+        decode_frame(&r, limits()).expect_err("reserved"),
+        FrameError::ReservedNotZero { .. }
+    ));
+}

@@ -59,11 +59,21 @@ pub enum Stage {
     ServeCacheHit,
     /// One shared serve round (cache-miss compute), timed end to end.
     ServeRound,
+    /// TCP connections accepted by the edge's shard listeners.
+    EdgeAccept,
+    /// One wire-frame decode attempt that produced a complete frame
+    /// (header validation + payload parse).
+    EdgeFrameDecode,
+    /// Connections currently registered with an edge shard (accepted,
+    /// not yet closed).
+    EdgeConnActive,
+    /// One buffered socket write (frame bytes flushed toward a client).
+    EdgeWrite,
 }
 
 impl Stage {
     /// Every stage, in cell order.
-    pub const ALL: [Stage; 10] = [
+    pub const ALL: [Stage; 14] = [
         Stage::RtfSlotFit,
         Stage::CorrDijkstraRow,
         Stage::OcsSelect,
@@ -74,6 +84,10 @@ impl Stage {
         Stage::ServeQueueWait,
         Stage::ServeCacheHit,
         Stage::ServeRound,
+        Stage::EdgeAccept,
+        Stage::EdgeFrameDecode,
+        Stage::EdgeConnActive,
+        Stage::EdgeWrite,
     ];
 
     /// Number of stages (registry cell count).
@@ -92,6 +106,10 @@ impl Stage {
             Stage::ServeQueueWait => "serve.queue_wait",
             Stage::ServeCacheHit => "serve.cache_hit",
             Stage::ServeRound => "serve.round",
+            Stage::EdgeAccept => "edge.accept",
+            Stage::EdgeFrameDecode => "edge.frame_decode",
+            Stage::EdgeConnActive => "edge.conn_active",
+            Stage::EdgeWrite => "edge.write",
         }
     }
 
@@ -108,10 +126,12 @@ impl Stage {
             | Stage::OcsSelect
             | Stage::GspRound
             | Stage::ServeQueueWait
-            | Stage::ServeRound => StageKind::Span,
+            | Stage::ServeRound
+            | Stage::EdgeFrameDecode
+            | Stage::EdgeWrite => StageKind::Span,
             Stage::GspItersToConverge => StageKind::Value,
-            Stage::PoolJobs | Stage::ServeCacheHit => StageKind::Counter,
-            Stage::PoolQueueDepth => StageKind::Gauge,
+            Stage::PoolJobs | Stage::ServeCacheHit | Stage::EdgeAccept => StageKind::Counter,
+            Stage::PoolQueueDepth | Stage::EdgeConnActive => StageKind::Gauge,
         }
     }
 }
@@ -146,6 +166,6 @@ mod tests {
         let counters = Stage::ALL.iter().filter(|s| s.kind() == Counter).count();
         let gauges = Stage::ALL.iter().filter(|s| s.kind() == Gauge).count();
         assert_eq!(spans + values + counters + gauges, Stage::COUNT);
-        assert_eq!(gauges, 1);
+        assert_eq!(gauges, 2);
     }
 }

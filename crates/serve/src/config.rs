@@ -108,6 +108,28 @@ impl ServeConfig {
         }
         self
     }
+
+    /// Longest per-request deadline this deployment admits. A deadline is
+    /// permission to stay queued; letting one run past the TTL would let a
+    /// request be *answered* later than the freshness the server promises,
+    /// so the bound is the TTL (never below the configured default
+    /// deadline, which the operator vouched for explicitly).
+    pub fn deadline_bound(&self) -> Duration {
+        match self.default_deadline {
+            Some(default) => self.ttl.max(default),
+            None => self.ttl,
+        }
+    }
+
+    /// Longest per-request `max_staleness` this deployment admits: the
+    /// TTL. The batch freshness bound is the *minimum* over a batch's
+    /// members, and a lone request is its own batch — so admitting a
+    /// looser budget would let a cached round older than the TTL answer
+    /// it. Out-of-bounds budgets are a typed reject at admission
+    /// ([`crate::ServeError::StalenessOutOfBounds`]), not a silent clamp.
+    pub fn staleness_bound(&self) -> Duration {
+        self.ttl
+    }
 }
 
 fn env_u64(name: &str) -> Option<u64> {

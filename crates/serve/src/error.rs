@@ -58,6 +58,28 @@ pub enum ServeError {
         /// Entries actually provided.
         got: usize,
     },
+    /// The request's deadline exceeds the server's admissible bound
+    /// ([`crate::ServeConfig::deadline_bound`]). Rejected at admission:
+    /// a hostile budget must not park a request in the queue past the
+    /// freshness the server promises.
+    DeadlineOutOfBounds {
+        /// The requested latency budget.
+        requested: Duration,
+        /// The server's bound.
+        bound: Duration,
+    },
+    /// The request's staleness budget exceeds the server's TTL
+    /// ([`crate::ServeConfig::staleness_bound`]). Rejected at admission —
+    /// not silently clamped — because a loose `max_staleness` in a batch
+    /// would otherwise let a cached round *older than the TTL* answer it
+    /// (the batch freshness bound is the minimum over its members, and a
+    /// lone request is its own batch).
+    StalenessOutOfBounds {
+        /// The requested staleness budget.
+        requested: Duration,
+        /// The server's bound (its TTL).
+        bound: Duration,
+    },
     /// The serve configuration violates its contract
     /// ([`rtse_check::Validate`] on [`crate::ServeConfig`]).
     InvalidConfig(InvariantViolation),
@@ -86,6 +108,12 @@ impl fmt::Display for ServeError {
             }
             ServeError::WorldMismatch { what, expected, got } => {
                 write!(f, "{what} has {got} entries but the network has {expected} roads")
+            }
+            ServeError::DeadlineOutOfBounds { requested, bound } => {
+                write!(f, "deadline {requested:?} exceeds the server's {bound:?} bound")
+            }
+            ServeError::StalenessOutOfBounds { requested, bound } => {
+                write!(f, "max_staleness {requested:?} exceeds the server's {bound:?} TTL")
             }
             ServeError::InvalidConfig(v) => write!(f, "invalid serve config: {v}"),
             ServeError::ChannelClosed => {
@@ -122,6 +150,20 @@ mod tests {
             (ServeError::RoadOutOfRange { road: RoadId(9), num_roads: 5 }, "out of range"),
             (ServeError::SlotOutOfRange { slot: SlotOfDay(400) }, "400"),
             (ServeError::WorldMismatch { what: "costs", expected: 5, got: 3 }, "costs"),
+            (
+                ServeError::DeadlineOutOfBounds {
+                    requested: Duration::from_secs(900),
+                    bound: Duration::from_secs(60),
+                },
+                "bound",
+            ),
+            (
+                ServeError::StalenessOutOfBounds {
+                    requested: Duration::from_secs(900),
+                    bound: Duration::from_secs(60),
+                },
+                "TTL",
+            ),
             (ServeError::ChannelClosed, "without answering"),
         ];
         for (err, needle) in cases {

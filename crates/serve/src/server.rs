@@ -242,6 +242,23 @@ impl ServerHandle<'_> {
         if slot.index() >= SLOTS_PER_DAY {
             return Err(ServeError::SlotOutOfRange { slot });
         }
+        // Budget bounds are admission checks, not clamps: a hostile
+        // deadline must not park a request past the promised freshness,
+        // and a loose max_staleness must not let a cached round older
+        // than the TTL answer it (the batch freshness bound is the
+        // minimum over members — a lone request is its own batch).
+        if let Some(budget) = deadline {
+            let bound = self.shared.config.deadline_bound();
+            if budget > bound {
+                return Err(ServeError::DeadlineOutOfBounds { requested: budget, bound });
+            }
+        }
+        if let Some(budget) = max_staleness {
+            let bound = self.shared.config.staleness_bound();
+            if budget > bound {
+                return Err(ServeError::StalenessOutOfBounds { requested: budget, bound });
+            }
+        }
         let deadline = deadline
             .or(self.shared.config.default_deadline)
             .and_then(|budget| now.checked_add(budget));

@@ -35,7 +35,7 @@ pub struct Violation {
 /// Crates whose library code must be panic-free (everything on the
 /// query path; bins/benches/tests may still panic).
 pub const NO_PANIC_CRATES: &[&str] =
-    &["graph", "math", "rtf", "ocs", "gsp", "core", "data", "pool", "serve", "obs", "sync"];
+    &["graph", "math", "rtf", "ocs", "gsp", "core", "data", "pool", "serve", "obs", "sync", "edge"];
 
 /// Every rule slug `cargo xtask lint` can emit — the legal values for an
 /// `[[allow]]` entry's `rule` key. A typo'd rule name would otherwise

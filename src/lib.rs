@@ -28,6 +28,9 @@
 //! * [`serve`] — the concurrent query-serving layer in front of the
 //!   engine (slot-aware micro-batching, answer caching, admission
 //!   control with deadline-based load shedding);
+//! * [`edge`] — the TCP front-end in front of [`serve`]: length-prefixed
+//!   wire protocol with a fail-closed decoder, sharded accept loops,
+//!   slot-rollover prewarm, graceful cross-socket drain;
 //! * [`obs`] — the observability layer: a stage taxonomy, an injectable
 //!   registry of counters/gauges/log-linear histograms, span timers, and
 //!   JSON snapshots (near-zero overhead when disabled; force-disable
@@ -69,6 +72,7 @@ pub use rtse_baselines as baselines;
 pub use rtse_check as check;
 pub use rtse_crowd as crowd;
 pub use rtse_data as data;
+pub use rtse_edge as edge;
 pub use rtse_eval as eval;
 pub use rtse_graph as graph;
 pub use rtse_gsp as gsp;
@@ -94,6 +98,10 @@ pub mod prelude {
     pub use rtse_data::{
         simulate_fleet, FleetConfig, HistoryStore, SlotOfDay, SpeedRecord, StationNetwork,
         SynthConfig, SynthDataset, TimeSlot, TrafficGenerator, SLOTS_PER_DAY,
+    };
+    pub use rtse_edge::{
+        edge_serve, ClientReply, EdgeClient, EdgeConfig, EdgeError, EdgeHandle, EdgeOutcome,
+        PrewarmConfig, RejectCode,
     };
     pub use rtse_eval::{k_hop_coverage, ErrorReport, Table};
     pub use rtse_graph::{Graph, GraphBuilder, Road, RoadClass, RoadId};

@@ -165,3 +165,51 @@ fn serve_stage_counters_match_the_serve_metrics() {
         );
     }
 }
+
+/// The TCP front-end's stage counters are exact for a fixed workload:
+/// one `edge.accept` per connection, one `edge.frame_decode` span per
+/// complete frame off the wire, and the `edge.conn_active` gauge back to
+/// zero once every socket has been drained and closed.
+#[test]
+fn edge_stage_counters_are_exact_for_a_fixed_workload() {
+    let (graph, dataset, costs, model) = trained_world(99);
+    let obs = ObsHandle::fresh();
+    if !obs.is_enabled() {
+        return; // obs-noop build: every registry stays at zero
+    }
+    let engine = CrowdRtse::new(&graph, OfflineArtifacts::from_model(model)).with_obs(obs.clone());
+    let workers = WorkerPool::spawn(&graph, 30, 0.5, (0.3, 1.0), 5);
+    let world = crowd_rtse::serve::ServeWorld { workers: &workers, costs: &costs, truth: &dataset };
+    let serve_cfg = ServeConfig { obs: obs.clone(), ..ServeConfig::default() };
+    let edge_cfg = EdgeConfig { shards: 2, obs: obs.clone(), ..EdgeConfig::default() };
+
+    const CONNS: u64 = 3;
+    const FRAMES_PER_CONN: u64 = 4;
+    let outcome = edge_serve(&engine, &world, &serve_cfg, &edge_cfg, |edge| {
+        for c in 0..CONNS {
+            let mut client = EdgeClient::connect(edge.addr()).expect("connect");
+            for i in 0..FRAMES_PER_CONN {
+                let reply = client
+                    .query(vec![(c as u32 + i as u32) % 7], 60 + c as u16, None, None)
+                    .expect("reply");
+                assert!(matches!(reply, crowd_rtse::edge::ClientReply::Answer(_)), "got {reply:?}");
+            }
+        }
+    })
+    .expect("edge deploys");
+
+    assert_eq!(outcome.edge_metrics.accepted, CONNS);
+    assert_eq!(outcome.edge_metrics.queries, CONNS * FRAMES_PER_CONN);
+    assert_eq!(outcome.edge_metrics.answers, CONNS * FRAMES_PER_CONN);
+
+    let reg = obs.registry().expect("enabled handle has a registry");
+    assert_eq!(reg.count(Stage::EdgeAccept), CONNS, "one edge.accept per connection");
+    assert_eq!(
+        reg.count(Stage::EdgeFrameDecode),
+        CONNS * FRAMES_PER_CONN,
+        "one edge.frame_decode span per complete frame"
+    );
+    assert_eq!(reg.gauge(Stage::EdgeConnActive), 0, "conn gauge returns to zero at drain");
+    // Write spans depend on flush batching; at least one write happened.
+    assert!(reg.count(Stage::EdgeWrite) >= 1, "at least one edge.write span");
+}
