@@ -1,0 +1,83 @@
+//! The regression-gate workloads (`cargo xtask bench-gate`).
+//!
+//! Three deliberately small, deterministic benches whose medians the gate
+//! compares against the checked-in baseline (`bench-baseline.json`):
+//!
+//! * `gate_calib` — a fixed pure-arithmetic workload that touches none of
+//!   the code under test. Its median measures the *machine*, so the gate
+//!   compares machine-normalized ratios (`workload / calib`) instead of
+//!   raw nanoseconds and survives CI hardware churn.
+//! * `gate_gsp_full` — one cold full propagation on the paper-scale
+//!   semi-synthetic world.
+//! * `gate_gsp_delta` — one delta re-propagation of the same round after
+//!   a single observation moved, seeded from the full run's fixed point.
+//!   The gate also asserts the relational invariant `delta < full`: if
+//!   the frontier machinery ever degenerates into full sweeps, the gate
+//!   fails without any baseline at all.
+//!
+//! Keep the IDs in sync with `crates/xtask/src/bench_gate.rs` — the gate
+//! reads `target/criterion/<id>/new/estimates.json` by these exact names.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtse_bench::semi_syn_world;
+use rtse_data::SlotOfDay;
+use rtse_graph::RoadId;
+use rtse_gsp::{propagate_delta, DeltaGsp, GspSolver};
+use std::hint::black_box;
+
+fn bench_gate(c: &mut Criterion) {
+    // Machine calibration: branch-free f64 arithmetic, no allocation.
+    c.bench_function("gate_calib", |b| {
+        b.iter(|| {
+            let mut acc = 1.000_000_1_f64;
+            for i in 1..40_000u32 {
+                acc = acc.mul_add(1.000_000_1, f64::from(i).recip());
+            }
+            black_box(acc)
+        })
+    });
+
+    let world = semi_syn_world(607, 8, 2018);
+    let slot = SlotOfDay::from_hm(8, 30);
+    let params = world.model.slot(slot);
+    let truth = world.dataset.ground_truth_snapshot(slot);
+    let solver = GspSolver::default();
+
+    let observations: Vec<(RoadId, f64)> = (0..60)
+        .map(|i| {
+            let r = RoadId::from(i * world.graph.num_roads() / 60);
+            (r, truth[r.index()])
+        })
+        .collect();
+
+    c.bench_function("gate_gsp_full", |b| {
+        b.iter(|| black_box(solver.propagate(&world.graph, params, &observations)))
+    });
+
+    // The realtime delta round: the previous fixed point is warm, one
+    // probe moved.
+    let prev = solver.propagate(&world.graph, params, &observations);
+    assert!(prev.converged, "gate world must converge");
+    let mut moved = observations.clone();
+    moved[0].1 += 1.5;
+    let delta_solver = DeltaGsp { base: solver, epsilon: 1e-6 };
+    c.bench_function("gate_gsp_delta", |b| {
+        b.iter(|| {
+            black_box(propagate_delta(
+                &delta_solver,
+                &world.graph,
+                params,
+                &moved,
+                &prev.values,
+                &[],
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gate
+}
+criterion_main!(benches);

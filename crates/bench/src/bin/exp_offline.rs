@@ -20,7 +20,9 @@ use rtse_data::SlotOfDay;
 use rtse_eval::{time_mean, Table};
 use rtse_graph::components::grow_connected_subset;
 use rtse_graph::RoadId;
-use rtse_gsp::{GspSolver, ParallelGsp};
+use rtse_gsp::{
+    propagate_delta, propagate_delta_observed, DeltaGsp, DeltaResult, GspSolver, ParallelGsp,
+};
 use rtse_obs::ObsHandle;
 use rtse_pool::ComputePool;
 use rtse_rtf::{CorrelationTable, PathCorrelation, RtfTrainer};
@@ -32,6 +34,14 @@ struct Measurement {
     serial_ms: f64,
     /// `(threads, wall ms)` per pooled run.
     pooled: Vec<(usize, f64)>,
+}
+
+/// Delta-vs-full timing for the single-moved-observation round.
+struct DeltaTiming {
+    full_ms: f64,
+    delta_ms: f64,
+    epsilon: f64,
+    run: DeltaResult,
 }
 
 fn main() {
@@ -81,6 +91,42 @@ fn main() {
         std::hint::black_box(solver.propagate(&world.graph, params, &observations));
     };
     measurements.push(sweep("gsp_propagate", reps, gsp));
+
+    // 4. Delta re-propagation: the realtime-serving case where one
+    //    observation moved between rounds. Cold full solve vs a delta run
+    //    seeded from the previous fixed point on the same network.
+    let serial = GspSolver { epsilon: 1e-9, max_rounds: 100, record_trace: false };
+    let full_ms = time_mean(reps, || {
+        std::hint::black_box(serial.propagate(&world.graph, params, &observations));
+    })
+    .as_secs_f64()
+        * 1e3;
+    let prev = serial.propagate(&world.graph, params, &observations);
+    assert!(prev.converged, "the offline world's GSP round must converge");
+    let mut moved = observations.clone();
+    moved[0].1 += 1.5;
+    let delta_solver = DeltaGsp { base: serial, epsilon: 1e-6 };
+    let delta_ms = time_mean(reps, || {
+        std::hint::black_box(propagate_delta(
+            &delta_solver,
+            &world.graph,
+            params,
+            &moved,
+            &prev.values,
+            &[],
+        ));
+    })
+    .as_secs_f64()
+        * 1e3;
+    let delta_run = propagate_delta(&delta_solver, &world.graph, params, &moved, &prev.values, &[]);
+    assert!(delta_run.skipped > 0, "a single moved observation must skip relaxations");
+    println!(
+        "delta re-propagation: {delta_ms:.2} ms vs {full_ms:.2} ms full ({:.1}x), \
+         {} of {} visits skipped",
+        full_ms / delta_ms,
+        delta_run.skipped,
+        delta_run.evaluated + delta_run.skipped,
+    );
 
     let mut t = Table::new(
         "Offline pipeline: serial vs pooled wall clock",
@@ -150,18 +196,29 @@ fn main() {
     std::hint::black_box(trainer.train_with_obs(&sub, &history, &obs));
     let base = GspSolver { epsilon: 1e-9, max_rounds: 100, record_trace: false };
     std::hint::black_box(base.propagate_observed(&world.graph, params, &observations, &obs));
+    std::hint::black_box(propagate_delta_observed(
+        &delta_solver,
+        &world.graph,
+        params,
+        &moved,
+        &prev.values,
+        &[],
+        &obs,
+    ));
     let obs_json = obs.registry().map(|r| r.snapshot_json());
     println!(
         "instrumented corr build: {enabled_ms:.1} ms vs {noop_ms:.1} ms no-op \
          (per-stage breakdown recorded in the JSON)"
     );
 
+    let delta = DeltaTiming { full_ms, delta_ms, epsilon: delta_solver.epsilon, run: delta_run };
     let json = render_json(
         roads,
         days,
         reps,
         host_threads,
         &measurements,
+        &delta,
         obs_json.as_deref(),
         noop_ms,
         enabled_ms,
@@ -186,6 +243,7 @@ fn render_json(
     reps: usize,
     host_threads: usize,
     measurements: &[Measurement],
+    delta: &DeltaTiming,
     obs_json: Option<&str>,
     obs_noop_ms: f64,
     obs_enabled_ms: f64,
@@ -226,6 +284,22 @@ fn render_json(
         "  \"gsp_parallel_cutover\": {{ \"min_parallel_work\": {}, \"work_unit\": \
          \"1 + degree per scheduled road (Eq. 18 update cost)\" }},\n",
         rtse_gsp::MIN_PARALLEL_WORK
+    ));
+    s.push_str(&format!(
+        "  \"delta_speedup\": {{ \"stage\": \"gsp_propagate\", \"epsilon\": {}, \
+         \"full_ms\": {:.3}, \"delta_ms\": {:.3}, \"speedup\": {:.3}, \"rounds\": {}, \
+         \"scheduled\": {}, \"frontier\": {}, \"evaluated\": {}, \"skipped\": {}, \
+         \"note\": \"one moved observation re-propagated from the previous fixed point vs a \
+         cold full solve\" }},\n",
+        delta.epsilon,
+        delta.full_ms,
+        delta.delta_ms,
+        delta.full_ms / delta.delta_ms,
+        delta.run.result.rounds,
+        delta.run.scheduled,
+        delta.run.frontier,
+        delta.run.evaluated,
+        delta.run.skipped,
     ));
     s.push_str(&format!(
         "  \"obs_overhead\": {{ \"stage\": \"corr_table_build\", \"noop_ms\": {obs_noop_ms:.3}, \

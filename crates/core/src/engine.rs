@@ -3,8 +3,8 @@
 use crate::offline::OfflineArtifacts;
 use crate::query::{QueryAnswer, SpeedQuery};
 use rtse_crowd::{CrowdCampaign, WorkerPool};
-use rtse_graph::Graph;
-use rtse_gsp::GspSolver;
+use rtse_graph::{Graph, RoadId};
+use rtse_gsp::{propagate_delta_observed, DeltaGsp, GspSolver};
 use rtse_obs::ObsHandle;
 use rtse_ocs::{
     lazy_hybrid_greedy, lazy_objective_greedy, lazy_ratio_greedy, observed_select, random_select,
@@ -25,6 +25,24 @@ pub enum SelectionStrategy {
     Random(u64),
 }
 
+/// How the GSP step treats the previous round of the same slot.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum DeltaPolicy {
+    /// Always run a full cold propagation (the historical behavior, and
+    /// the default: delta re-propagation is opt-in).
+    #[default]
+    Full,
+    /// Warm-start from the previous round and re-relax only the dirty
+    /// frontier ([`rtse_gsp::delta`]): an observation must move a road's
+    /// previous value by more than `epsilon` to seed its neighborhood.
+    /// `epsilon <= 0.0` keeps the warm start but sweeps fully —
+    /// bit-identical to warm full propagation.
+    Delta {
+        /// Input-movement threshold ε (see [`rtse_gsp::DeltaGsp`]).
+        epsilon: f64,
+    },
+}
+
 /// Online-stage configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct OnlineConfig {
@@ -38,6 +56,9 @@ pub struct OnlineConfig {
     pub campaign: CrowdCampaign,
     /// GSP settings.
     pub gsp: GspSolver,
+    /// Whether [`CrowdRtse::answer_query_warm`] may re-propagate
+    /// incrementally from a previous round.
+    pub delta: DeltaPolicy,
 }
 
 impl Default for OnlineConfig {
@@ -48,8 +69,29 @@ impl Default for OnlineConfig {
             strategy: SelectionStrategy::Hybrid,
             campaign: CrowdCampaign::default(),
             gsp: GspSolver::default(),
+            delta: DeltaPolicy::Full,
         }
     }
+}
+
+/// The previous round's published state for one slot — what
+/// [`CrowdRtse::answer_query_warm`] seeds a delta propagation from. A
+/// borrowed view: the serving layer keeps the owned pair in its per-slot
+/// cache and lends it for the duration of one recompute.
+///
+/// Both fields must come from the **same slot and model** as the new
+/// query: the serving layer guarantees this structurally by storing the
+/// pair in its per-slot cache cells, so a stale fixed point can never
+/// seed a different slot's round.
+#[derive(Debug, Clone, Copy)]
+pub struct PrevRound<'a> {
+    /// Full-network values the previous round published.
+    pub values: &'a [f64],
+    /// The crowd observations that round propagated (used to detect
+    /// roads whose observation was *removed* since — invisible to a
+    /// value diff, because the stored value still equals the stale
+    /// observation).
+    pub observations: &'a [(RoadId, f64)],
 }
 
 /// The CrowdRTSE engine: a trained offline stage bound to a network.
@@ -176,6 +218,25 @@ impl<'g> CrowdRtse<'g> {
         true_speeds: &[f64],
         config: &OnlineConfig,
     ) -> QueryAnswer {
+        self.answer_query_warm(query, pool, costs, true_speeds, config, None)
+    }
+
+    /// [`answer_query`](Self::answer_query) with warm-start context: when
+    /// `config.delta` allows it and `prev` holds the previous round of
+    /// the **same slot**, the GSP step re-propagates incrementally from
+    /// that fixed point instead of sweeping cold (see
+    /// [`rtse_gsp::propagate_delta_observed`]). Falls back to the full
+    /// cold propagation when `prev` is absent, its length disagrees with
+    /// the network, or the policy is [`DeltaPolicy::Full`].
+    pub fn answer_query_warm(
+        &self,
+        query: &SpeedQuery,
+        pool: &WorkerPool,
+        costs: &[u32],
+        true_speeds: &[f64],
+        config: &OnlineConfig,
+        prev: Option<PrevRound<'_>>,
+    ) -> QueryAnswer {
         assert_eq!(costs.len(), self.graph.num_roads(), "costs length mismatch");
         assert_eq!(true_speeds.len(), self.graph.num_roads(), "truth length mismatch");
         let params = self.offline.model().slot(query.slot);
@@ -206,9 +267,43 @@ impl<'g> CrowdRtse<'g> {
         // Step 2: crowdsourcing.
         let outcome = config.campaign.run(pool, &selection.roads, costs, true_speeds);
 
-        // Step 3: GSP.
-        let (result, propagation_time) = rtse_eval::time_it(|| {
-            config.gsp.propagate_observed(self.graph, params, &outcome.observations, &self.obs)
+        // Step 3: GSP — incremental from the previous round when the
+        // policy allows and a dimension-compatible seed exists, full cold
+        // propagation otherwise.
+        let seed = match (config.delta, prev) {
+            (DeltaPolicy::Delta { epsilon }, Some(prev))
+                if prev.values.len() == self.graph.num_roads() =>
+            {
+                Some((epsilon, prev))
+            }
+            _ => None,
+        };
+        let (result, propagation_time) = rtse_eval::time_it(|| match seed {
+            Some((epsilon, prev)) => {
+                // Roads whose observation was removed since the previous
+                // round: the stored value still equals the stale reading,
+                // so only this hint makes their neighborhood dirty.
+                let changed: Vec<RoadId> = prev
+                    .observations
+                    .iter()
+                    .map(|&(r, _)| r)
+                    .filter(|&r| !outcome.observations.iter().any(|&(r2, _)| r2 == r))
+                    .collect();
+                let solver = DeltaGsp { base: config.gsp, epsilon };
+                propagate_delta_observed(
+                    &solver,
+                    self.graph,
+                    params,
+                    &outcome.observations,
+                    prev.values,
+                    &changed,
+                    &self.obs,
+                )
+                .result
+            }
+            None => {
+                config.gsp.propagate_observed(self.graph, params, &outcome.observations, &self.obs)
+            }
         });
 
         let estimates = query.roads.iter().map(|&r| result.values[r.index()]).collect();
@@ -216,6 +311,7 @@ impl<'g> CrowdRtse<'g> {
             estimates,
             all_values: result.values,
             selection,
+            observations: outcome.observations,
             paid: outcome.paid,
             selection_time,
             propagation_time,

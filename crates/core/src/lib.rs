@@ -23,7 +23,7 @@ pub mod session;
 
 pub use active::{posterior_stds, variance_aware_select};
 pub use allocator::{merge_queries, plan_daily_budget};
-pub use engine::{CrowdRtse, OnlineConfig, SelectionStrategy};
+pub use engine::{CrowdRtse, DeltaPolicy, OnlineConfig, PrevRound, SelectionStrategy};
 pub use estimator::GspEstimator;
 pub use offline::{CorrSubstrate, OfflineArtifacts};
 pub use query::{QueryAnswer, QueryError, SpeedQuery};

@@ -68,6 +68,11 @@ pub struct QueryAnswer {
     pub all_values: Vec<f64>,
     /// The OCS selection that was crowdsourced.
     pub selection: Selection,
+    /// The aggregated crowd observations GSP propagated (one per road
+    /// the campaign actually answered). Serving layers keep these next
+    /// to the published values so the next round of the same slot can
+    /// diff against them (delta re-propagation).
+    pub observations: Vec<(RoadId, f64)>,
     /// Payment units actually disbursed by the campaign.
     pub paid: u32,
     /// Time spent selecting roads (OCS).
@@ -108,6 +113,7 @@ mod tests {
             estimates: vec![10.0, 20.0],
             all_values: vec![],
             selection: Selection::empty(),
+            observations: vec![],
             paid: 0,
             selection_time: Duration::ZERO,
             propagation_time: Duration::ZERO,

@@ -1,0 +1,106 @@
+//! Warm-start seeding across a slot rollover.
+//!
+//! Delta re-propagation is only sound within one slot: the previous
+//! round's fixed point belongs to that slot's model parameters, so the
+//! first round after a [`SlotClock`] boundary must propagate cold. The
+//! serving layer enforces this structurally — [`AnswerCache`] cells are
+//! per-slot, so the rolled-over slot's compute closure receives no stale
+//! seed no matter how warm the previous slot is. This test rolls a
+//! deterministic clock across a boundary and pins exactly that: within a
+//! slot, recomputes are seeded (the delta path); across the boundary,
+//! the first round of the new slot is a full propagation fallback.
+
+use rtse_edge::{PrewarmConfig, SlotClock};
+use rtse_graph::RoadId;
+use rtse_serve::{AnswerCache, CachedRound, RoundData};
+use std::convert::Infallible;
+use std::time::{Duration, Instant};
+
+fn clock(slot_len: Duration, base: u16) -> (SlotClock, Instant) {
+    let epoch = Instant::now();
+    let prewarm =
+        PrewarmConfig { slot_len, lead: slot_len / 10, base_slot: rtse_data::SlotOfDay(base) };
+    (SlotClock::new(epoch, &prewarm), epoch)
+}
+
+#[test]
+fn first_round_after_rollover_falls_back_to_full_propagation() {
+    let slot_len = Duration::from_secs(300);
+    let (clock, epoch) = clock(slot_len, 100);
+    let cache = AnswerCache::new();
+
+    // Two rounds of the pre-boundary slot. TTL zero forces the second
+    // round to recompute, which must receive the first as its delta seed.
+    let before = clock.slot_at(epoch + slot_len / 2);
+    assert_eq!(before, rtse_data::SlotOfDay(100));
+    let seeded = &mut false;
+    cache
+        .round_for(before, Duration::ZERO, |generation, stale: Option<&CachedRound>| {
+            assert_eq!(generation, 1);
+            assert!(stale.is_none(), "the slot's first round has nothing to seed from");
+            Ok::<_, Infallible>(RoundData {
+                values: vec![31.0, 47.0],
+                observations: vec![(RoadId(1), 47.0)],
+            })
+        })
+        .expect("infallible");
+    cache
+        .round_for(before, Duration::ZERO, |generation, stale| {
+            assert_eq!(generation, 2);
+            let stale = stale.expect("an expired same-slot round seeds the delta path");
+            assert_eq!(stale.values, vec![31.0, 47.0]);
+            assert_eq!(stale.observations, vec![(RoadId(1), 47.0)]);
+            *seeded = true;
+            Ok::<_, Infallible>(RoundData { values: vec![30.0, 46.0], observations: vec![] })
+        })
+        .expect("infallible");
+    assert!(*seeded);
+
+    // Roll the clock across the boundary: a new slot, a cold cell.
+    let after = clock.slot_at(epoch + slot_len + slot_len / 2);
+    assert_eq!(after, rtse_data::SlotOfDay(101));
+    assert_ne!(before, after, "the clock must have rolled over");
+    cache
+        .round_for(after, Duration::ZERO, |generation, stale| {
+            assert_eq!(generation, 1, "the rolled-over slot starts a fresh generation line");
+            assert!(
+                stale.is_none(),
+                "the first round of a new slot must fall back to full propagation"
+            );
+            Ok::<_, Infallible>(RoundData { values: vec![40.0, 40.0], observations: vec![] })
+        })
+        .expect("infallible");
+
+    // The old slot's seed survives the rollover untouched: coming back to
+    // it (the same slot tomorrow) still warm-starts from its own history.
+    cache
+        .round_for(before, Duration::ZERO, |generation, stale| {
+            assert_eq!(generation, 3);
+            assert_eq!(stale.expect("same-slot seed persists").values, vec![30.0, 46.0]);
+            Ok::<_, Infallible>(RoundData { values: vec![29.0, 45.0], observations: vec![] })
+        })
+        .expect("infallible");
+}
+
+#[test]
+fn day_wrap_rollover_also_starts_cold() {
+    // Slot 287 → 0 is still a rollover: the wrap must not alias cells.
+    let slot_len = Duration::from_millis(50);
+    let (clock, epoch) = clock(slot_len, 287);
+    let cache = AnswerCache::new();
+    let last = clock.slot_at(epoch);
+    let wrapped = clock.slot_at(epoch + slot_len);
+    assert_eq!(last, rtse_data::SlotOfDay(287));
+    assert_eq!(wrapped, rtse_data::SlotOfDay(0));
+    cache
+        .round_for(last, Duration::ZERO, |_, _| {
+            Ok::<_, Infallible>(RoundData { values: vec![9.0], observations: vec![] })
+        })
+        .expect("infallible");
+    cache
+        .round_for(wrapped, Duration::ZERO, |_, stale| {
+            assert!(stale.is_none(), "slot 0 must not inherit slot 287's round");
+            Ok::<_, Infallible>(RoundData { values: vec![8.0], observations: vec![] })
+        })
+        .expect("infallible");
+}

@@ -17,6 +17,7 @@
 //! [`parallel`] provides the layer-parallel variant the paper sketches
 //! (variables in the same hop layer updated concurrently).
 
+pub mod delta;
 pub mod exact;
 pub mod parallel;
 pub mod relax;
@@ -24,6 +25,7 @@ pub mod schedule;
 pub mod solver;
 pub mod uncertainty;
 
+pub use delta::{propagate_delta, propagate_delta_observed, DeltaGsp, DeltaResult};
 pub use exact::exact_map_estimate;
 pub use parallel::{layer_work, ParallelGsp, MIN_PARALLEL_WORK};
 pub use relax::{propagate_warm, propagate_warm_observed, DampedGsp};

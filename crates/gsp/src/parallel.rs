@@ -70,12 +70,31 @@ impl ParallelGsp {
     /// (the old implementation re-spawned `threads` OS threads per layer
     /// per round). Single-thread pools and layers whose measured work
     /// ([`layer_work`]) falls below [`MIN_PARALLEL_WORK`] are swept
-    /// serially on the caller thread.
+    /// serially on the caller thread. When **no** layer reaches the
+    /// cutover, the pool scope is skipped entirely: a propagation that
+    /// would never dispatch a job must not pay `threads` spawns+joins
+    /// either (the `gsp_propagate` pooled-slowdown tail BENCH_offline.json
+    /// showed on sub-cutover networks).
     pub fn propagate(
         &self,
         graph: &Graph,
         params: &SlotParams,
         observations: &[(RoadId, f64)],
+    ) -> GspResult {
+        self.propagate_observed(graph, params, observations, &rtse_obs::ObsHandle::noop())
+    }
+
+    /// [`propagate`](Self::propagate) with job accounting: pooled layer
+    /// sweeps count their chunk dispatches under `pool.jobs` on `obs`.
+    /// Fully-serial propagations (single-thread pools, or every layer
+    /// below [`MIN_PARALLEL_WORK`]) dispatch nothing and count nothing.
+    /// Estimates are bit-identical to the unobserved call.
+    pub fn propagate_observed(
+        &self,
+        graph: &Graph,
+        params: &SlotParams,
+        observations: &[(RoadId, f64)],
+        obs: &rtse_obs::ObsHandle,
     ) -> GspResult {
         assert_eq!(params.mu.len(), graph.num_roads(), "params/graph mismatch");
         let pool = ComputePool::new(self.threads);
@@ -93,20 +112,54 @@ impl ParallelGsp {
         let mut trace = Vec::new();
         let mut rounds = 0;
         let mut converged = sampled.is_empty() || schedule.num_scheduled() == 0;
+
+        // Decide once whether this propagation can ever dispatch: with a
+        // single worker or every layer under the cutover, every round of
+        // every sweep runs on the caller thread, so opening a pool scope
+        // would only buy the spawn/join overhead.
+        if pool.threads() == 1 || work.iter().all(|&w| w < MIN_PARALLEL_WORK) {
+            let mut values = values;
+            while !converged && rounds < self.base.max_rounds {
+                rounds += 1;
+                let mut max_delta = 0.0_f64;
+                for layer in schedule.layers() {
+                    // Jacobi step: evaluate against the pre-sweep values,
+                    // then land the writes together.
+                    let fresh: Vec<(usize, f64)> = layer
+                        .iter()
+                        .map(|&r| (r.index(), optimal_update(graph, params, &values, r)))
+                        .collect();
+                    for &(idx, v) in &fresh {
+                        max_delta = max_delta.max((v - values[idx]).abs());
+                        values[idx] = v;
+                    }
+                }
+                if self.base.record_trace {
+                    trace.push(max_delta);
+                }
+                converged = max_delta < self.base.epsilon;
+            }
+            return GspResult {
+                values,
+                rounds,
+                converged,
+                unreachable: schedule.unreachable().to_vec(),
+                delta_trace: trace,
+            };
+        }
+
         // Workers read the value buffer through a shared lock while the
         // caller holds it exclusively between layer sweeps — reads and
         // writes never overlap, so every update still sees exactly the
         // pre-sweep values (the Jacobi contract).
         let values = RwLock::new(values);
-        pool.scoped(|scope| {
+        pool.scoped_observed(obs, |scope| {
             while !converged && rounds < self.base.max_rounds {
                 rounds += 1;
                 let mut max_delta = 0.0_f64;
                 for (layer, &layer_cost) in schedule.layers().iter().zip(&work) {
                     // Jacobi step over the layer, chunked across workers.
-                    let fresh: Vec<(usize, f64)> = if scope.threads() == 1
-                        || layer_cost < MIN_PARALLEL_WORK
-                    {
+                    let fresh: Vec<(usize, f64)> = if layer_cost < MIN_PARALLEL_WORK {
                         let vals = read_lock(&values);
                         layer
                             .iter()
@@ -209,6 +262,67 @@ mod tests {
         let r4 = ParallelGsp { base, threads: 4 }.propagate(&g, &p, &obs);
         for r in g.road_ids() {
             assert!((r1.speed(r) - r4.speed(r)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fully_serial_rounds_dispatch_no_pool_jobs() {
+        // Every layer of this network is far below MIN_PARALLEL_WORK, so
+        // even a multi-thread solver must never open the pool: zero jobs,
+        // zero queue movement — the propagate call costs what the serial
+        // sweep costs.
+        let g = grid(4, 5);
+        let p = params_for(&g, 40.0, 2.0, 0.85);
+        let obs = [(RoadId(0), 25.0), (RoadId(19), 55.0)];
+        let handle = rtse_obs::ObsHandle::fresh();
+        let r = ParallelGsp { threads: 4, ..Default::default() }
+            .propagate_observed(&g, &p, &obs, &handle);
+        assert!(r.converged);
+        if handle.is_enabled() {
+            let reg = handle.registry().expect("fresh handle has a registry");
+            assert_eq!(
+                reg.count(rtse_obs::Stage::PoolJobs),
+                0,
+                "sub-cutover propagation must not dispatch"
+            );
+        }
+    }
+
+    #[test]
+    fn above_cutover_layers_dispatch_pool_jobs() {
+        // Observing every even road makes layer 1 the ~1800 odd roads —
+        // work ≈ 5 per road, comfortably above MIN_PARALLEL_WORK — so the
+        // pooled path must actually dispatch chunks.
+        let g = grid(60, 60);
+        let p = params_for(&g, 40.0, 2.0, 0.85);
+        let obs: Vec<(RoadId, f64)> =
+            (0..g.num_roads()).step_by(2).map(|i| (RoadId(i as u32), 30.0)).collect();
+        assert!(layer_work(&g, &g.road_ids().collect::<Vec<_>>()) >= MIN_PARALLEL_WORK);
+        let handle = rtse_obs::ObsHandle::fresh();
+        let r = ParallelGsp { threads: 4, ..Default::default() }
+            .propagate_observed(&g, &p, &obs, &handle);
+        assert!(r.converged);
+        if handle.is_enabled() {
+            let reg = handle.registry().expect("fresh handle has a registry");
+            assert!(reg.count(rtse_obs::Stage::PoolJobs) > 0, "wide layers must dispatch");
+        }
+    }
+
+    #[test]
+    fn serial_fast_path_is_bit_identical_to_the_pooled_sweep() {
+        // The fast path must not change the trajectory, only skip the
+        // scope: force the pooled branch by lowering threads vs a network
+        // whose layers straddle nothing (all sub-cutover), and compare
+        // against the single-thread result bit for bit.
+        let g = grid(5, 6);
+        let p = params_for(&g, 42.0, 2.5, 0.9);
+        let obs = [(RoadId(0), 20.0), (RoadId(29), 58.0)];
+        let base = GspSolver { epsilon: 1e-10, max_rounds: 5000, record_trace: false };
+        let serial = ParallelGsp { base, threads: 1 }.propagate(&g, &p, &obs);
+        let fast = ParallelGsp { base, threads: 4 }.propagate(&g, &p, &obs);
+        assert_eq!(serial.rounds, fast.rounds);
+        for r in g.road_ids() {
+            assert_eq!(serial.speed(r).to_bits(), fast.speed(r).to_bits(), "road {r}");
         }
     }
 

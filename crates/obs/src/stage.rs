@@ -48,6 +48,13 @@ pub enum Stage {
     GspRound,
     /// GSP sweeps until convergence, recorded per propagation.
     GspItersToConverge,
+    /// Seeded dirty-frontier size of one delta propagation (how many
+    /// scheduled roads the changed inputs made dirty before the sweep).
+    GspDeltaFrontier,
+    /// Scheduled-road visits a delta propagation skipped because the
+    /// road's inputs never moved (the relaxations a full sweep would
+    /// have paid for nothing).
+    GspDeltaSkipped,
     /// Jobs dispatched through the compute pool (including the serial
     /// short-circuit path, so the count is thread-count invariant).
     PoolJobs,
@@ -73,12 +80,14 @@ pub enum Stage {
 
 impl Stage {
     /// Every stage, in cell order.
-    pub const ALL: [Stage; 14] = [
+    pub const ALL: [Stage; 16] = [
         Stage::RtfSlotFit,
         Stage::CorrDijkstraRow,
         Stage::OcsSelect,
         Stage::GspRound,
         Stage::GspItersToConverge,
+        Stage::GspDeltaFrontier,
+        Stage::GspDeltaSkipped,
         Stage::PoolJobs,
         Stage::PoolQueueDepth,
         Stage::ServeQueueWait,
@@ -101,6 +110,8 @@ impl Stage {
             Stage::OcsSelect => "ocs.select",
             Stage::GspRound => "gsp.round",
             Stage::GspItersToConverge => "gsp.iters_to_converge",
+            Stage::GspDeltaFrontier => "gsp.delta_frontier",
+            Stage::GspDeltaSkipped => "gsp.delta_skipped",
             Stage::PoolJobs => "pool.jobs",
             Stage::PoolQueueDepth => "pool.queue_depth",
             Stage::ServeQueueWait => "serve.queue_wait",
@@ -129,8 +140,10 @@ impl Stage {
             | Stage::ServeRound
             | Stage::EdgeFrameDecode
             | Stage::EdgeWrite => StageKind::Span,
-            Stage::GspItersToConverge => StageKind::Value,
-            Stage::PoolJobs | Stage::ServeCacheHit | Stage::EdgeAccept => StageKind::Counter,
+            Stage::GspItersToConverge | Stage::GspDeltaFrontier => StageKind::Value,
+            Stage::PoolJobs | Stage::GspDeltaSkipped | Stage::ServeCacheHit | Stage::EdgeAccept => {
+                StageKind::Counter
+            }
             Stage::PoolQueueDepth | Stage::EdgeConnActive => StageKind::Gauge,
         }
     }

@@ -14,14 +14,30 @@
 
 use crate::coherence::Coherence;
 use rtse_data::{SlotOfDay, SLOTS_PER_DAY};
+use rtse_graph::RoadId;
 use rtse_sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+/// What a compute closure produces: the published full-network values
+/// plus the crowd observations that produced them. The cache keeps the
+/// pair together so the *next* recompute of the same slot can seed a
+/// delta propagation from it (`compute` receives the stale entry).
+#[derive(Debug, Clone, Default)]
+pub struct RoundData {
+    /// Full-network estimate (one value per road) — GSP's `all_values`.
+    pub values: Vec<f64>,
+    /// The crowd observations the round propagated.
+    pub observations: Vec<(RoadId, f64)>,
+}
 
 /// One computed slot round, shared by every waiter it answers.
 #[derive(Debug)]
 pub struct CachedRound {
     /// Full-network estimate (one value per road) — GSP's `all_values`.
     pub values: Vec<f64>,
+    /// The crowd observations that produced `values` (the delta seed for
+    /// the slot's next recompute).
+    pub observations: Vec<(RoadId, f64)>,
     /// Which rebuild of this slot produced the round (1 = first).
     pub generation: u64,
     /// When the round finished computing; ages the entry.
@@ -72,6 +88,12 @@ impl AnswerCache {
     /// Returns the slot's cached round when it is younger than `max_age`,
     /// otherwise computes a new generation via `compute` and caches it.
     ///
+    /// `compute` receives the new generation number and the **stale
+    /// previous entry** of the same slot, if one exists — the warm-start
+    /// seed for delta re-propagation. A fresh slot (including the first
+    /// round after a rollover: cells are per-slot) passes `None`, so a
+    /// stale fixed point can never seed a different slot's round.
+    ///
     /// The slot's lock is held across `compute`, so concurrent callers of
     /// one cold slot coalesce into a single build (late arrivals block,
     /// then hit the freshly cached round); callers of other slots proceed
@@ -82,12 +104,13 @@ impl AnswerCache {
     /// success.
     ///
     /// Slots outside `0..288` never cache (the server rejects them at
-    /// admission; this path computes-through defensively).
+    /// admission; this path computes-through defensively, always without
+    /// a seed).
     pub fn round_for<E>(
         &self,
         slot: SlotOfDay,
         max_age: Duration,
-        compute: impl FnOnce(u64) -> Result<Vec<f64>, E>,
+        compute: impl FnOnce(u64, Option<&CachedRound>) -> Result<RoundData, E>,
     ) -> Result<CacheOutcome, E> {
         self.round_for_published(slot, max_age, &Coherence::new(), compute, || {})
     }
@@ -110,14 +133,18 @@ impl AnswerCache {
         slot: SlotOfDay,
         max_age: Duration,
         coherence: &Coherence,
-        compute: impl FnOnce(u64) -> Result<Vec<f64>, E>,
+        compute: impl FnOnce(u64, Option<&CachedRound>) -> Result<RoundData, E>,
         publish: impl FnOnce(),
     ) -> Result<CacheOutcome, E> {
         let Some(cell) = self.cells.get(slot.index()) else {
-            let values = compute(1)?;
+            let data = compute(1, None)?;
             coherence.write(publish);
-            let round =
-                Arc::new(CachedRound { values, generation: 1, computed_at: Instant::now() });
+            let round = Arc::new(CachedRound {
+                values: data.values,
+                observations: data.observations,
+                generation: 1,
+                computed_at: Instant::now(),
+            });
             return Ok(CacheOutcome { round, hit: false });
         };
         let mut cell = lock_cell(cell);
@@ -127,12 +154,19 @@ impl AnswerCache {
             }
         }
         let generation = cell.generation + 1;
-        let values = compute(generation)?;
+        // The expired entry stays in place until the recompute succeeds —
+        // and doubles as its warm-start seed (same slot by construction).
+        let data = compute(generation, cell.round.as_deref())?;
         coherence.write(|| {
             cell.generation = generation;
             publish();
         });
-        let round = Arc::new(CachedRound { values, generation, computed_at: Instant::now() });
+        let round = Arc::new(CachedRound {
+            values: data.values,
+            observations: data.observations,
+            generation,
+            computed_at: Instant::now(),
+        });
         cell.round = Some(Arc::clone(&round));
         Ok(CacheOutcome { round, hit: false })
     }
@@ -158,8 +192,10 @@ mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Barrier;
 
-    fn ok(values: Vec<f64>) -> impl FnOnce(u64) -> Result<Vec<f64>, Infallible> {
-        move |_| Ok(values)
+    fn ok(
+        values: Vec<f64>,
+    ) -> impl FnOnce(u64, Option<&CachedRound>) -> Result<RoundData, Infallible> {
+        move |_, _| Ok(RoundData { values, observations: vec![] })
     }
 
     #[test]
@@ -200,10 +236,44 @@ mod tests {
     }
 
     #[test]
+    fn recompute_receives_the_stale_round_as_seed() {
+        let cache = AnswerCache::new();
+        let slot = SlotOfDay(11);
+        let first = cache
+            .round_for(slot, Duration::ZERO, |_, stale| {
+                assert!(stale.is_none(), "a fresh slot has no seed");
+                Ok::<_, Infallible>(RoundData {
+                    values: vec![3.0],
+                    observations: vec![(RoadId(0), 3.0)],
+                })
+            })
+            .expect("infallible");
+        assert_eq!(first.round.observations, vec![(RoadId(0), 3.0)]);
+        let second = cache
+            .round_for(slot, Duration::ZERO, |_, stale| {
+                let stale = stale.expect("expired entry must be offered as the seed");
+                assert_eq!(stale.generation, 1);
+                assert_eq!(stale.values, vec![3.0]);
+                assert_eq!(stale.observations, vec![(RoadId(0), 3.0)]);
+                Ok::<_, Infallible>(RoundData { values: vec![4.0], observations: vec![] })
+            })
+            .expect("infallible");
+        assert_eq!(second.round.generation, 2);
+        // Different slots never share a seed: the cells are per-slot.
+        cache
+            .round_for(SlotOfDay(12), Duration::ZERO, |_, stale| {
+                assert!(stale.is_none(), "seeds must never cross slots");
+                Ok::<_, Infallible>(RoundData { values: vec![5.0], observations: vec![] })
+            })
+            .expect("infallible");
+    }
+
+    #[test]
     fn compute_errors_do_not_advance_the_generation() {
         let cache = AnswerCache::new();
         let slot = SlotOfDay(5);
-        let err: Result<CacheOutcome, &str> = cache.round_for(slot, Duration::ZERO, |_| Err("no"));
+        let err: Result<CacheOutcome, &str> =
+            cache.round_for(slot, Duration::ZERO, |_, _| Err("no"));
         assert_eq!(err.err(), Some("no"));
         assert_eq!(cache.generation(slot), 0);
         let after = cache.round_for(slot, Duration::ZERO, ok(vec![4.0])).expect("infallible");
@@ -237,10 +307,13 @@ mod tests {
                     scope.spawn(|| {
                         start.wait();
                         cache
-                            .round_for(slot, Duration::from_secs(60), |generation| {
+                            .round_for(slot, Duration::from_secs(60), |generation, _| {
                                 builds.fetch_add(1, Ordering::SeqCst);
                                 std::thread::sleep(Duration::from_millis(20));
-                                Ok::<_, Infallible>(vec![generation as f64])
+                                Ok::<_, Infallible>(RoundData {
+                                    values: vec![generation as f64],
+                                    observations: vec![],
+                                })
                             })
                             .expect("infallible")
                     })

@@ -39,7 +39,7 @@ pub mod metrics;
 pub mod request;
 pub mod server;
 
-pub use cache::{AnswerCache, CacheOutcome, CachedRound};
+pub use cache::{AnswerCache, CacheOutcome, CachedRound, RoundData};
 pub use coherence::Coherence;
 pub use config::{
     ServeConfig, BATCH_WINDOW_ENV, DEADLINE_ENV, MAX_BATCH_WINDOW, MAX_TTL, MAX_WORKERS,

@@ -27,13 +27,13 @@
 //! round (never a stale estimate), and [`ServerHandle::pressure`] exposes
 //! queue occupancy as the backpressure signal.
 
-use crate::cache::{AnswerCache, CacheOutcome};
+use crate::cache::{AnswerCache, CacheOutcome, CachedRound, RoundData};
 use crate::coherence::Coherence;
 use crate::config::ServeConfig;
 use crate::error::ServeError;
 use crate::metrics::{MetricsSnapshot, ServeMetrics, ServeSnapshot};
 use crate::request::{ServeRequest, ServedAnswer, Ticket};
-use crowd_rtse_core::{CrowdRtse, SpeedQuery};
+use crowd_rtse_core::{CrowdRtse, PrevRound, SpeedQuery};
 use rtse_crowd::WorkerPool;
 use rtse_data::{SlotOfDay, SLOTS_PER_DAY};
 use rtse_graph::RoadId;
@@ -452,7 +452,7 @@ fn serve_batch(shared: &Shared<'_>, batch: Vec<Pending>) {
         slot,
         max_age,
         &shared.coherence,
-        |_generation| compute_round(shared, union, slot),
+        |_generation, stale| compute_round(shared, union, slot, stale),
         || shared.metrics.note_round(),
     );
     match outcome {
@@ -485,11 +485,18 @@ fn shed_if_expired(shared: &Shared<'_>, pending: &Pending, now: Instant) -> bool
 }
 
 /// Runs the shared OCS→crowd→GSP round for a slot over the merged roads.
+///
+/// `stale` is the slot's expired previous round, lent by the cache for
+/// the duration of the recompute: under a delta policy the engine seeds
+/// its propagation from it (`gsp.delta_*` stages), and the first round of
+/// a slot — including right after a rollover, since cache cells are
+/// per-slot — arrives with `None` and propagates cold.
 fn compute_round(
     shared: &Shared<'_>,
     union: Vec<RoadId>,
     slot: SlotOfDay,
-) -> Result<Vec<f64>, ServeError> {
+    stale: Option<&CachedRound>,
+) -> Result<RoundData, ServeError> {
     let truth = shared.world.truth.snapshot(slot);
     let num_roads = shared.engine.graph().num_roads();
     if truth.len() != num_roads {
@@ -499,16 +506,19 @@ fn compute_round(
             got: truth.len(),
         });
     }
+    let prev =
+        stale.map(|round| PrevRound { values: &round.values, observations: &round.observations });
     let query = SpeedQuery::new(union, slot);
     let _span = shared.config.obs.span(Stage::ServeRound);
-    let answer = shared.engine.answer_query(
+    let answer = shared.engine.answer_query_warm(
         &query,
         shared.world.workers,
         shared.world.costs,
         truth,
         &shared.config.online,
+        prev,
     );
-    Ok(answer.all_values)
+    Ok(RoundData { values: answer.all_values, observations: answer.observations })
 }
 
 /// Fans one waiter's answer out of the shared round, re-checking its

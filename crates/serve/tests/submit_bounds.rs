@@ -1,0 +1,138 @@
+//! Admission boundary tests for [`ServerHandle::submit`]'s budget bounds.
+//!
+//! The deadline and staleness bounds are admission *checks*, not clamps:
+//! a budget exactly at the bound must be admitted (the server can honor
+//! it), one past the bound must come back as the typed error echoing
+//! both the request and the bound. These tests pin the boundary on both
+//! sides for both budgets, including the operator-vouched case where
+//! `default_deadline` stretches the deadline bound past the TTL.
+
+use crowd_rtse_core::{CrowdRtse, OfflineArtifacts, OnlineConfig};
+use rtse_crowd::{uniform_costs, CostRange, WorkerPool};
+use rtse_data::{SlotOfDay, SynthConfig, SynthDataset, TrafficGenerator};
+use rtse_graph::generators::grid;
+use rtse_graph::{Graph, RoadId};
+use rtse_serve::{serve, ServeConfig, ServeError, ServeRequest, ServeWorld};
+use std::time::Duration;
+
+struct Fixture {
+    graph: Graph,
+    dataset: SynthDataset,
+    pool: WorkerPool,
+    costs: Vec<u32>,
+}
+
+fn fixture(seed: u64) -> Fixture {
+    let graph = grid(4, 5);
+    let cfg = SynthConfig { days: 8, seed, ..SynthConfig::small_test() };
+    let dataset = TrafficGenerator::new(&graph, cfg).generate();
+    let pool = WorkerPool::spawn(&graph, 40, 0.5, (0.3, 1.0), seed.wrapping_add(7));
+    let costs = uniform_costs(graph.num_roads(), CostRange::C2, seed);
+    Fixture { graph, dataset, pool, costs }
+}
+
+fn engine(f: &Fixture) -> CrowdRtse<'_> {
+    let model = rtse_rtf::moment_estimate(&f.graph, &f.dataset.history);
+    CrowdRtse::new(&f.graph, OfflineArtifacts::from_model(model))
+}
+
+fn world<'w>(f: &'w Fixture) -> ServeWorld<'w> {
+    ServeWorld { workers: &f.pool, costs: &f.costs, truth: &f.dataset }
+}
+
+const TTL: Duration = Duration::from_secs(60);
+
+fn config(default_deadline: Option<Duration>) -> ServeConfig {
+    ServeConfig {
+        batch_window: Duration::ZERO,
+        workers: 1,
+        ttl: TTL,
+        default_deadline,
+        online: OnlineConfig { budget: 15, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+fn request() -> ServeRequest {
+    ServeRequest::new(vec![RoadId(0), RoadId(1)], SlotOfDay(9))
+}
+
+#[test]
+fn deadline_exactly_at_bound_is_admitted_one_past_is_rejected() {
+    let f = fixture(21);
+    let e = engine(&f);
+    let cfg = config(None);
+    let bound = cfg.deadline_bound();
+    assert_eq!(bound, TTL, "without a default deadline the bound is the TTL");
+    serve(&e, &world(&f), &cfg, |handle| {
+        handle.pause();
+        assert!(
+            handle.submit(request().with_deadline(bound)).is_ok(),
+            "a deadline exactly at the bound must be admitted"
+        );
+        let over = bound + Duration::from_nanos(1);
+        match handle.submit(request().with_deadline(over)) {
+            Err(ServeError::DeadlineOutOfBounds { requested, bound: reported }) => {
+                assert_eq!(requested, over);
+                assert_eq!(reported, bound);
+            }
+            other => panic!("expected DeadlineOutOfBounds, got {other:?}"),
+        }
+        handle.resume();
+    })
+    .expect("server starts");
+}
+
+#[test]
+fn staleness_exactly_at_ttl_is_admitted_one_past_is_rejected() {
+    let f = fixture(22);
+    let e = engine(&f);
+    let cfg = config(None);
+    let bound = cfg.staleness_bound();
+    assert_eq!(bound, TTL, "the staleness bound is the TTL");
+    serve(&e, &world(&f), &cfg, |handle| {
+        handle.pause();
+        assert!(
+            handle.submit(request().with_max_staleness(bound)).is_ok(),
+            "a staleness budget exactly at the TTL must be admitted"
+        );
+        let over = bound + Duration::from_nanos(1);
+        match handle.submit(request().with_max_staleness(over)) {
+            Err(ServeError::StalenessOutOfBounds { requested, bound: reported }) => {
+                assert_eq!(requested, over);
+                assert_eq!(reported, bound);
+            }
+            other => panic!("expected StalenessOutOfBounds, got {other:?}"),
+        }
+        handle.resume();
+    })
+    .expect("server starts");
+}
+
+#[test]
+fn operator_vouched_default_deadline_stretches_the_bound_past_the_ttl() {
+    let f = fixture(23);
+    let e = engine(&f);
+    let default = TTL * 2;
+    let cfg = config(Some(default));
+    let bound = cfg.deadline_bound();
+    assert_eq!(bound, default, "the bound never undercuts the configured default");
+    serve(&e, &world(&f), &cfg, |handle| {
+        handle.pause();
+        // Past the TTL but within the vouched default: admitted.
+        assert!(handle.submit(request().with_deadline(TTL + Duration::from_secs(1))).is_ok());
+        assert!(handle.submit(request().with_deadline(bound)).is_ok());
+        let over = bound + Duration::from_nanos(1);
+        assert!(matches!(
+            handle.submit(request().with_deadline(over)),
+            Err(ServeError::DeadlineOutOfBounds { .. })
+        ));
+        // The staleness bound stays pinned to the TTL regardless.
+        assert!(matches!(
+            handle.submit(request().with_max_staleness(TTL + Duration::from_nanos(1))),
+            Err(ServeError::StalenessOutOfBounds { .. })
+        ));
+        handle.resume();
+    })
+    .expect("server starts");
+}

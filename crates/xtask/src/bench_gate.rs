@@ -1,0 +1,215 @@
+//! `cargo xtask bench-gate`: the criterion regression gate.
+//!
+//! Runs the `bench_gate` criterion target (`crates/bench/benches/
+//! bench_gate.rs`), reads the persisted medians from
+//! `target/criterion/<id>/new/estimates.json`, and normalizes each
+//! workload by the `gate_calib` machine-calibration bench so the numbers
+//! compare across hosts:
+//!
+//! * without flags, writes the normalized ratios to `bench-baseline.json`
+//!   at the workspace root (check the file in to set a new baseline);
+//! * with `--check`, compares fresh ratios against the checked-in
+//!   baseline and fails when a workload regressed beyond
+//!   [`TOLERANCE`]× its baseline ratio. Faster-than-baseline runs pass
+//!   (improvements re-baseline at the maintainer's leisure).
+//!
+//! Independent of any baseline, `--check` also enforces the relational
+//! invariant that motivates delta propagation at all: the
+//! single-moved-observation delta round must be strictly faster than the
+//! cold full round. If the frontier machinery ever degenerates into full
+//! sweeps, the gate fails even on a fresh machine with a stale baseline.
+//!
+//! Everything here is std-only (like the rest of xtask): the JSON
+//! reader is a purpose-built scanner for the two fixed schemas it
+//! consumes, not a general parser.
+
+use std::path::Path;
+use std::process::{Command, ExitCode};
+
+/// Gate workload IDs — keep in sync with `benches/bench_gate.rs`.
+const CALIB: &str = "gate_calib";
+const WORKLOADS: [&str; 2] = ["gate_gsp_full", "gate_gsp_delta"];
+
+/// A workload fails `--check` when its machine-normalized ratio exceeds
+/// this multiple of the baseline ratio. Generous by design: CI machines
+/// are noisy and the calibration bench absorbs only first-order speed
+/// differences. Real regressions (an accidental O(n²), a lost fast path)
+/// move medians by integer factors, which this still catches.
+const TOLERANCE: f64 = 3.0;
+
+pub fn bench_gate_cmd(flags: &[String], root: &Path) -> ExitCode {
+    let check = flags.iter().any(|f| f == "--check");
+    if let Some(bad) = flags.iter().find(|f| *f != "--check") {
+        eprintln!("unknown flag `{bad}` for xtask bench-gate");
+        return ExitCode::from(2);
+    }
+
+    let status = Command::new("cargo")
+        .args(["bench", "-p", "rtse-bench", "--bench", "bench_gate"])
+        .current_dir(root)
+        .status();
+    match status {
+        Ok(s) if s.success() => {}
+        Ok(_) => {
+            eprintln!("bench-gate: cargo bench failed");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("bench-gate: could not run cargo: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let median = |id: &str| -> Result<f64, String> {
+        let path = root.join("target").join("criterion").join(id).join("new/estimates.json");
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        median_point_estimate(&text)
+            .ok_or_else(|| format!("no median.point_estimate in {}", path.display()))
+    };
+    let calib = match median(CALIB) {
+        Ok(v) if v > 0.0 => v,
+        Ok(v) => {
+            eprintln!("bench-gate: calibration median {v} ns is not positive");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("bench-gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut fresh = Vec::new();
+    for id in WORKLOADS {
+        match median(id) {
+            Ok(v) => fresh.push((id, v, v / calib)),
+            Err(e) => {
+                eprintln!("bench-gate: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    for &(id, ns, ratio) in &fresh {
+        println!("bench-gate: {id}: median {ns:.0} ns, {ratio:.3}x calibration");
+    }
+
+    let baseline_path = root.join("bench-baseline.json");
+    if !check {
+        let mut json = String::from("{\n");
+        json.push_str(&format!("  \"calibration\": \"{CALIB}\",\n"));
+        json.push_str("  \"ratios\": {\n");
+        for (i, &(id, _, ratio)) in fresh.iter().enumerate() {
+            let comma = if i + 1 == fresh.len() { "" } else { "," };
+            json.push_str(&format!("    \"{id}\": {ratio:.4}{comma}\n"));
+        }
+        json.push_str("  }\n}\n");
+        if let Err(e) = std::fs::write(&baseline_path, json) {
+            eprintln!("bench-gate: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("bench-gate: wrote {}", baseline_path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "bench-gate: cannot read {} ({e}); run `cargo xtask bench-gate` to create it",
+                baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failed = false;
+    for &(id, _, ratio) in &fresh {
+        let Some(baseline) = key_number(&baseline_text, id) else {
+            eprintln!("bench-gate: {id} missing from {}", baseline_path.display());
+            failed = true;
+            continue;
+        };
+        if ratio > baseline * TOLERANCE {
+            eprintln!(
+                "bench-gate: {id} REGRESSED: {ratio:.3}x calibration vs baseline {baseline:.3}x \
+                 (tolerance {TOLERANCE}x)"
+            );
+            failed = true;
+        } else {
+            println!("bench-gate: {id}: ok ({ratio:.3}x vs baseline {baseline:.3}x)");
+        }
+    }
+
+    // Relational invariant, baseline-free: a one-observation delta round
+    // must beat the cold full round outright.
+    let full = fresh.iter().find(|(id, ..)| *id == "gate_gsp_full").map(|&(_, ns, _)| ns);
+    let delta = fresh.iter().find(|(id, ..)| *id == "gate_gsp_delta").map(|&(_, ns, _)| ns);
+    match (full, delta) {
+        (Some(full), Some(delta)) if delta < full => {
+            println!("bench-gate: delta round faster than full ({delta:.0} ns < {full:.0} ns)");
+        }
+        (Some(full), Some(delta)) => {
+            eprintln!(
+                "bench-gate: delta round is NOT faster than full ({delta:.0} ns >= {full:.0} ns)"
+            );
+            failed = true;
+        }
+        _ => unreachable!("both workloads were read above"),
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("bench-gate: all workloads within tolerance");
+        ExitCode::SUCCESS
+    }
+}
+
+/// Extracts `median.point_estimate` from a criterion `estimates.json`.
+fn median_point_estimate(text: &str) -> Option<f64> {
+    let median = text.find("\"median\"")?;
+    key_number(&text[median..], "point_estimate")
+}
+
+/// Finds `"key": <number>` and parses the number. Scanner for the two
+/// fixed schemas this gate consumes; keys are known identifiers, so the
+/// first match is the right one.
+fn key_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_median_point_estimate() {
+        let text = r#"{
+  "median": { "point_estimate": 1234.5 },
+  "mean": { "point_estimate": 2000 }
+}"#;
+        assert!((median_point_estimate(text).expect("parses") - 1234.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reads_baseline_ratios() {
+        let text = r#"{ "calibration": "gate_calib", "ratios": { "gate_gsp_full": 1.5, "gate_gsp_delta": 0.25 } }"#;
+        assert!((key_number(text, "gate_gsp_full").expect("full") - 1.5).abs() < 1e-9);
+        assert!((key_number(text, "gate_gsp_delta").expect("delta") - 0.25).abs() < 1e-9);
+        assert!(key_number(text, "gate_missing").is_none());
+    }
+
+    #[test]
+    fn malformed_numbers_are_rejected() {
+        assert!(key_number(r#""k": "oops""#, "k").is_none());
+        assert!(median_point_estimate("{}").is_none());
+    }
+}

@@ -26,6 +26,7 @@
 
 mod allow;
 mod ast;
+mod bench_gate;
 mod flow;
 mod graph;
 mod rules;
@@ -39,6 +40,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
         Some("flow") => flow_cmd(&args[1..]),
+        Some("bench-gate") => bench_gate::bench_gate_cmd(&args[1..], &workspace_root()),
         Some("help") | None => {
             print_usage();
             ExitCode::SUCCESS
@@ -58,6 +60,8 @@ fn print_usage() {
          lint [--policy-only]   policy rules + fmt --check + clippy -D warnings\n  \
          flow [--check]         hot-path reachability analysis; writes flow-report.json\n  \
          \x20                      (--check: verify the committed report instead)\n  \
+         bench-gate [--check]   run the gate benches; writes bench-baseline.json\n  \
+         \x20                      (--check: compare against the committed baseline)\n  \
          help                   this message"
     );
 }

@@ -17,7 +17,8 @@
 //!   correlation tables;
 //! * [`ocs`] — crowdsourced-road selection (Ratio/Objective/Hybrid greedy,
 //!   exact solver);
-//! * [`gsp`] — graph-based speed propagation (sequential and parallel);
+//! * [`gsp`] — graph-based speed propagation (sequential, parallel, and
+//!   incremental delta re-propagation from a previous fixed point);
 //! * [`pool`] — the shared scoped worker pool (`ComputePool`,
 //!   `RTSE_THREADS`) behind every parallel path above;
 //! * [`crowd`] — workers, mobility, answers, costs, campaigns, the
@@ -87,8 +88,8 @@ pub use rtse_serve as serve;
 pub mod prelude {
     pub use crowd_rtse_core::{
         merge_queries, plan_daily_budget, variance_aware_select, CorrSubstrate, CrowdRtse,
-        GspEstimator, MonitoringSession, OfflineArtifacts, OnlineConfig, QueryAnswer, QueryError,
-        RoundReport, SelectionStrategy, SpeedQuery, StepError,
+        DeltaPolicy, GspEstimator, MonitoringSession, OfflineArtifacts, OnlineConfig, PrevRound,
+        QueryAnswer, QueryError, RoundReport, SelectionStrategy, SpeedQuery, StepError,
     };
     pub use rtse_baselines::{EstimationContext, Estimator, Grmc, LassoEstimator, Per};
     pub use rtse_check::{InvariantViolation, Validate};
@@ -106,7 +107,8 @@ pub mod prelude {
     pub use rtse_eval::{k_hop_coverage, ErrorReport, Table};
     pub use rtse_graph::{Graph, GraphBuilder, Road, RoadClass, RoadId};
     pub use rtse_gsp::{
-        exact_map_estimate, propagate_warm, sample_posterior, DampedGsp, GspSolver, ParallelGsp,
+        exact_map_estimate, propagate_delta, propagate_delta_observed, propagate_warm,
+        sample_posterior, DampedGsp, DeltaGsp, DeltaResult, GspSolver, ParallelGsp,
         PosteriorSummary,
     };
     pub use rtse_obs::{ObsHandle, Registry, Stage};

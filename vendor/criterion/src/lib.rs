@@ -5,9 +5,17 @@
 //! targets use: [`Criterion::bench_function`], [`Criterion::benchmark_group`]
 //! with [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], and the
 //! [`criterion_group!`] / [`criterion_main!`] macros. No statistics beyond
-//! best/mean-of-samples are computed; output is one line per benchmark.
+//! best/mean/median-of-samples are computed; output is one line per
+//! benchmark.
+//!
+//! Like the real criterion, each benchmark also persists its estimates to
+//! `target/criterion/<name>/new/estimates.json` (a `/` in the name nests
+//! directories), with `median`/`mean` objects carrying a `point_estimate`
+//! in nanoseconds. `cargo xtask bench-gate` reads those files to compare
+//! fresh medians against the checked-in baseline.
 
 use std::fmt::Display;
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// Top-level harness handle.
@@ -97,14 +105,12 @@ impl BenchmarkId {
 #[derive(Debug)]
 pub struct Bencher {
     sample_size: usize,
-    total_ns: u128,
-    iters: u64,
-    best_ns: u128,
+    samples_ns: Vec<u128>,
 }
 
 impl Bencher {
     fn new(sample_size: usize) -> Self {
-        Self { sample_size, total_ns: 0, iters: 0, best_ns: u128::MAX }
+        Self { sample_size, samples_ns: Vec::with_capacity(sample_size) }
     }
 
     /// Times `f`, one sample per call, `sample_size` samples.
@@ -114,24 +120,84 @@ impl Bencher {
         for _ in 0..self.sample_size {
             let t0 = Instant::now();
             std::hint::black_box(f());
-            let dt = t0.elapsed().as_nanos();
-            self.total_ns += dt;
-            self.best_ns = self.best_ns.min(dt);
-            self.iters += 1;
+            self.samples_ns.push(t0.elapsed().as_nanos());
         }
     }
 
     fn report(&self, name: &str) {
-        if self.iters == 0 {
+        if self.samples_ns.is_empty() {
             println!("{name:<50} (no samples)");
-        } else {
-            let mean = self.total_ns / self.iters as u128;
-            println!(
-                "{name:<50} mean {:>12} ns   best {:>12} ns   ({} samples)",
-                mean, self.best_ns, self.iters
-            );
+            return;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_unstable();
+        let best = sorted[0];
+        let median = median_ns(&sorted);
+        let mean = sorted.iter().sum::<u128>() / sorted.len() as u128;
+        println!(
+            "{name:<50} median {:>12.0} ns   mean {:>12} ns   best {:>12} ns   ({} samples)",
+            median,
+            mean,
+            best,
+            sorted.len()
+        );
+        if let Err(e) = write_estimates(name, median, mean as f64) {
+            eprintln!("criterion: could not write estimates for {name}: {e}");
         }
     }
+}
+
+/// Median of an already-sorted sample list, in nanoseconds.
+fn median_ns(sorted: &[u128]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2] as f64
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) as f64 / 2.0
+    }
+}
+
+/// The workspace `target/criterion` directory: `CARGO_TARGET_DIR` when
+/// set, otherwise `target/` next to the nearest ancestor `Cargo.lock`
+/// (cargo runs benches with the package directory as cwd).
+fn criterion_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return PathBuf::from(dir).join("criterion");
+    }
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut probe = cwd.as_path();
+    loop {
+        if probe.join("Cargo.lock").exists() {
+            return probe.join("target").join("criterion");
+        }
+        match probe.parent() {
+            Some(parent) => probe = parent,
+            None => return cwd.join("target").join("criterion"),
+        }
+    }
+}
+
+/// Persists `target/criterion/<name>/new/estimates.json` in the subset of
+/// the real criterion's schema consumers read (`median.point_estimate`,
+/// `mean.point_estimate`, both in nanoseconds).
+fn write_estimates(name: &str, median: f64, mean: f64) -> std::io::Result<()> {
+    let mut dir = criterion_dir();
+    for segment in name.split('/') {
+        // Benchmark names are code-controlled identifiers; the filter is
+        // belt-and-braces against path traversal, mirroring the real
+        // criterion's directory sanitization.
+        let safe: String = segment
+            .chars()
+            .map(|c| if c.is_alphanumeric() || c == '_' || c == '-' { c } else { '_' })
+            .collect();
+        dir.push(safe);
+    }
+    dir.push("new");
+    std::fs::create_dir_all(&dir)?;
+    let json = format!(
+        "{{\n  \"median\": {{ \"point_estimate\": {median} }},\n  \"mean\": {{ \"point_estimate\": {mean} }}\n}}\n"
+    );
+    std::fs::write(dir.join("estimates.json"), json)
 }
 
 /// Prevents the optimizer from discarding a value (re-export of the std
@@ -179,5 +245,12 @@ mod tests {
         g.sample_size(2);
         g.bench_with_input(BenchmarkId::new("f", 3), &3, |b, &x| b.iter(|| x * 2));
         g.finish();
+    }
+
+    #[test]
+    fn median_of_sorted_samples() {
+        assert!((median_ns(&[1, 3, 5]) - 3.0).abs() < f64::EPSILON);
+        assert!((median_ns(&[1, 3]) - 2.0).abs() < f64::EPSILON);
+        assert!((median_ns(&[7]) - 7.0).abs() < f64::EPSILON);
     }
 }
