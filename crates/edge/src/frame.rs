@@ -307,16 +307,47 @@ impl Frame {
     }
 }
 
-/// Appends `frame` to `out` in wire format. Infallible: every constructed
-/// frame has a valid encoding (detail strings are truncated to the u16
-/// length field's range, road lists to the u16/u32 count fields' ranges by
-/// the types themselves).
+/// Most (road, speed) pairs an answer payload can carry without its byte
+/// length overflowing the u32 length prefix.
+const MAX_ANSWER_PAIRS: usize = (u32::MAX as usize - ANSWER_FIXED_LEN) / 12;
+
+/// Roads a query frame encodes: clamped to the u16 count field's range so
+/// an oversized list truncates the tail instead of silently wrapping the
+/// count and desynchronizing the framing.
+fn query_road_count(q: &QueryFrame) -> usize {
+    q.roads.len().min(u16::MAX as usize)
+}
+
+/// (road, speed) pairs an answer frame encodes: the shorter of the two
+/// parallel lists, clamped so the payload length fits the u32 prefix.
+fn answer_pair_count(a: &AnswerFrame) -> usize {
+    a.roads.len().min(a.speeds.len()).min(MAX_ANSWER_PAIRS)
+}
+
+/// Truncates a detail string to the u16 length field's range, backing off
+/// to a char boundary so the encoded bytes stay valid UTF-8.
+fn clamp_detail(detail: &str) -> &str {
+    let max = u16::MAX as usize;
+    if detail.len() <= max {
+        return detail;
+    }
+    let mut end = max;
+    while end > 0 && !detail.is_char_boundary(end) {
+        end -= 1;
+    }
+    detail.get(..end).unwrap_or("")
+}
+
+/// Appends `frame` to `out` in wire format. Infallible: counts and detail
+/// lengths are clamped to their wire fields' ranges *before* the narrowing
+/// casts (oversized road lists and detail strings encode a truncated
+/// prefix), so no length field ever silently wraps.
 pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
     let payload_len = match frame {
-        Frame::Query(q) => QUERY_FIXED_LEN + 4 * q.roads.len(),
-        Frame::Answer(a) => ANSWER_FIXED_LEN + 12 * a.roads.len(),
-        Frame::Reject(r) => 4 + r.detail.len(),
-        Frame::GoAway(g) => 4 + g.detail.len(),
+        Frame::Query(q) => QUERY_FIXED_LEN + 4 * query_road_count(q),
+        Frame::Answer(a) => ANSWER_FIXED_LEN + 12 * answer_pair_count(a),
+        Frame::Reject(r) => 4 + clamp_detail(&r.detail).len(),
+        Frame::GoAway(g) => 4 + clamp_detail(&g.detail).len(),
     };
     out.reserve(HEADER_LEN + payload_len);
     out.extend_from_slice(&MAGIC.to_be_bytes());
@@ -325,35 +356,39 @@ pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
     out.extend_from_slice(&(payload_len as u32).to_be_bytes());
     match frame {
         Frame::Query(q) => {
+            let count = query_road_count(q);
             out.extend_from_slice(&q.deadline_ms.unwrap_or(UNSET_MS).to_be_bytes());
             out.extend_from_slice(&q.max_staleness_ms.unwrap_or(UNSET_MS).to_be_bytes());
             out.extend_from_slice(&q.slot.to_be_bytes());
-            out.extend_from_slice(&(q.roads.len() as u16).to_be_bytes());
-            for road in &q.roads {
+            out.extend_from_slice(&(count as u16).to_be_bytes());
+            for road in q.roads.iter().take(count) {
                 out.extend_from_slice(&road.to_be_bytes());
             }
         }
         Frame::Answer(a) => {
+            let count = answer_pair_count(a);
             out.extend_from_slice(&a.generation.to_be_bytes());
             out.extend_from_slice(&a.age_us.to_be_bytes());
             out.extend_from_slice(&a.wait_us.to_be_bytes());
             out.extend_from_slice(&a.slot.to_be_bytes());
             out.extend_from_slice(&[u8::from(a.cache_hit), 0]);
-            out.extend_from_slice(&(a.roads.len() as u32).to_be_bytes());
-            for (road, speed) in a.roads.iter().zip(&a.speeds) {
+            out.extend_from_slice(&(count as u32).to_be_bytes());
+            for (road, speed) in a.roads.iter().zip(&a.speeds).take(count) {
                 out.extend_from_slice(&road.to_be_bytes());
                 out.extend_from_slice(&speed.to_bits().to_be_bytes());
             }
         }
         Frame::Reject(r) => {
+            let detail = clamp_detail(&r.detail);
             out.extend_from_slice(&(r.code as u16).to_be_bytes());
-            out.extend_from_slice(&(r.detail.len() as u16).to_be_bytes());
-            out.extend_from_slice(r.detail.as_bytes());
+            out.extend_from_slice(&(detail.len() as u16).to_be_bytes());
+            out.extend_from_slice(detail.as_bytes());
         }
         Frame::GoAway(g) => {
+            let detail = clamp_detail(&g.detail);
             out.extend_from_slice(&(g.code as u16).to_be_bytes());
-            out.extend_from_slice(&(g.detail.len() as u16).to_be_bytes());
-            out.extend_from_slice(g.detail.as_bytes());
+            out.extend_from_slice(&(detail.len() as u16).to_be_bytes());
+            out.extend_from_slice(detail.as_bytes());
         }
     }
 }
@@ -374,7 +409,7 @@ impl DecodeLimits {
     /// that many roads (an answer's 12 bytes/road dominates).
     pub fn for_max_roads(max_roads: u32) -> Self {
         let fixed = ANSWER_FIXED_LEN.max(QUERY_FIXED_LEN) as u32;
-        Self { max_payload: fixed + 12 * max_roads, max_roads }
+        Self { max_payload: fixed.saturating_add(max_roads.saturating_mul(12)), max_roads }
     }
 }
 
@@ -448,7 +483,7 @@ pub fn decode_frame(
     if payload_len > limits.max_payload {
         return Err(FrameError::Oversize { len: payload_len, max: limits.max_payload });
     }
-    let total = HEADER_LEN + payload_len as usize;
+    let total = HEADER_LEN.saturating_add(payload_len as usize);
     let Some(payload) = buf.get(HEADER_LEN..total) else { return Ok(None) };
 
     let frame = match frame_type {
@@ -491,16 +526,20 @@ fn decode_query(
     if count > limits.max_roads {
         return Err(FrameError::TooManyRoads { count, max: limits.max_roads });
     }
-    let expected = (QUERY_FIXED_LEN as u32) + 4 * count;
+    let expected = (QUERY_FIXED_LEN as u32).saturating_add(count.saturating_mul(4));
     if got != expected {
         return Err(FrameError::LengthMismatch { expected, got });
     }
-    let mut roads = Vec::with_capacity(count as usize);
-    for i in 0..count as usize {
-        let Some(road) = read_u32(payload, QUERY_FIXED_LEN + 4 * i) else {
+    // The length check above pins the payload to exactly `count` roads, so
+    // iteration and allocation size both derive from the validated slice —
+    // never from the wire count directly.
+    let road_bytes = payload.get(QUERY_FIXED_LEN..).unwrap_or(&[]);
+    let mut roads = Vec::with_capacity(road_bytes.len() / 4);
+    for chunk in road_bytes.chunks_exact(4) {
+        let Ok(bytes) = <[u8; 4]>::try_from(chunk) else {
             return Err(FrameError::LengthMismatch { expected, got });
         };
-        roads.push(road);
+        roads.push(u32::from_be_bytes(bytes));
     }
     Ok(Frame::Query(QueryFrame {
         request_id,
@@ -535,12 +574,14 @@ fn decode_answer(request_id: u64, payload: &[u8]) -> Result<Frame, FrameError> {
     if got != expected {
         return Err(FrameError::LengthMismatch { expected, got });
     }
-    let mut roads = Vec::with_capacity(count as usize);
-    let mut speeds = Vec::with_capacity(count as usize);
-    for i in 0..count as usize {
-        let base = ANSWER_FIXED_LEN + 12 * i;
-        let (Some(road), Some(bits)) = (read_u32(payload, base), read_u64(payload, base + 4))
-        else {
+    // As in `decode_query`: the length check pins the payload to exactly
+    // `count` pairs, so sizing and iteration come from the validated
+    // slice, not the wire count.
+    let pair_bytes = payload.get(ANSWER_FIXED_LEN..).unwrap_or(&[]);
+    let mut roads = Vec::with_capacity(pair_bytes.len() / 12);
+    let mut speeds = Vec::with_capacity(pair_bytes.len() / 12);
+    for chunk in pair_bytes.chunks_exact(12) {
+        let (Some(road), Some(bits)) = (read_u32(chunk, 0), read_u64(chunk, 4)) else {
             return Err(FrameError::LengthMismatch { expected, got });
         };
         roads.push(road);
@@ -566,13 +607,13 @@ fn decode_status(payload: &[u8]) -> Result<(u16, String), FrameError> {
     }
     let code = read_u16(payload, 0).unwrap_or(0);
     let detail_len = u32::from(read_u16(payload, 2).unwrap_or(0));
-    let expected = 4 + detail_len;
+    let expected = 4u32.saturating_add(detail_len);
     if got != expected {
         return Err(FrameError::LengthMismatch { expected, got });
     }
-    let Some(detail_bytes) = payload.get(4..4 + detail_len as usize) else {
-        return Err(FrameError::LengthMismatch { expected, got });
-    };
+    // The length check pins the payload to exactly `detail_len` trailing
+    // bytes, so the detail is simply the validated remainder.
+    let detail_bytes = payload.get(4..).unwrap_or(&[]);
     let mut detail_vec = Vec::with_capacity(detail_bytes.len());
     detail_vec.extend_from_slice(detail_bytes);
     let detail = String::from_utf8(detail_vec).map_err(|_| FrameError::BadUtf8)?;

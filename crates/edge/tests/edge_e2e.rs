@@ -372,3 +372,80 @@ fn rollover_prewarm_fills_the_next_slot_before_the_boundary() {
     })
     .expect("edge_serve");
 }
+
+#[test]
+fn duplicate_request_ids_pipelined_on_one_conn_each_get_their_answer() {
+    // The protocol does not forbid a client from reusing a request id
+    // across pipelined frames on one connection. The edge must treat each
+    // frame as its own request: neither query may be dropped or answered
+    // with the other's road list.
+    let f = fixture(23);
+    let e = engine(&f);
+    const DUP_ID: u64 = 7;
+    let sent: [Vec<u32>; 3] = [vec![0, 1], vec![2, 3], vec![1, 2, 3]];
+    let frames = edge_serve(&e, &world(&f), &serve_config(), &edge_config(), |edge| {
+        let mut stream = TcpStream::connect(edge.addr()).expect("connect");
+
+        // Hold the workers so all three frames are admitted before any
+        // is answered — the duplicate ids genuinely coexist in flight.
+        edge.serve().pause();
+        let mut wire = Vec::new();
+        for roads in &sent {
+            encode_frame(
+                &Frame::Query(QueryFrame {
+                    request_id: DUP_ID,
+                    deadline_ms: None,
+                    max_staleness_ms: None,
+                    slot: 42,
+                    roads: roads.clone(),
+                }),
+                &mut wire,
+            );
+        }
+        stream.write_all(&wire).expect("send queries");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while edge.serve().queue_len() < sent.len() {
+            assert!(Instant::now() < deadline, "queries never reached the queue");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Drain-at-shutdown resolves every accepted request on the wire.
+        edge.serve().resume();
+        stream
+    })
+    .map(|outcome| {
+        let mut stream = outcome.value;
+        let frames = read_all_frames(&mut stream);
+        assert_eq!(outcome.edge_metrics.queries, sent.len() as u64);
+        assert_eq!(
+            outcome.edge_metrics.answers,
+            sent.len() as u64,
+            "every duplicate-id request must be answered"
+        );
+        frames
+    })
+    .expect("edge_serve");
+
+    let mut answered: Vec<Vec<u32>> = frames
+        .iter()
+        .filter_map(|frame| match frame {
+            Frame::Answer(a) => {
+                assert_eq!(a.request_id, DUP_ID, "answers must echo the reused id");
+                assert_eq!(a.roads.len(), a.speeds.len());
+                Some(a.roads.clone())
+            }
+            Frame::Reject(r) => panic!("unexpected reject: {:?}", r.code),
+            _ => None,
+        })
+        .collect();
+
+    // Multiset equality: each pipelined query got an answer for its own
+    // road list — duplicate ids did not mis-route or coalesce replies.
+    let mut expected = sent.to_vec();
+    answered.sort();
+    expected.sort();
+    assert_eq!(answered, expected);
+    assert!(
+        matches!(frames.last(), Some(Frame::GoAway(g)) if g.code == GoAwayCode::ShuttingDown),
+        "connection must end with a shutdown goaway"
+    );
+}

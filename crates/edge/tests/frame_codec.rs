@@ -194,3 +194,167 @@ fn wrong_version_and_type_are_typed_errors() {
         FrameError::ReservedNotZero { .. }
     ));
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Forged road counts: overwrite the count field of a valid query
+    /// with every possible u16 — the decoder yields the original frame
+    /// when the count happens to be right, and a typed error otherwise.
+    /// Never a panic, never a mis-sized allocation.
+    #[test]
+    fn forged_road_counts_are_typed_errors(
+        forged in 0u16..=u16::MAX,
+        real in 1usize..8,
+    ) {
+        let frame = Frame::Query(QueryFrame {
+            request_id: 99,
+            deadline_ms: None,
+            max_staleness_ms: None,
+            slot: 3,
+            roads: (0..real as u32).collect(),
+        });
+        let mut wire = Vec::new();
+        encode_frame(&frame, &mut wire);
+        let off = HEADER_LEN + 10;
+        wire[off..off + 2].copy_from_slice(&forged.to_be_bytes());
+        match decode_frame(&wire, limits()) {
+            Ok(Some((decoded, _))) => {
+                prop_assert_eq!(usize::from(forged), real, "wrong count must not decode");
+                prop_assert_eq!(decoded, frame);
+            }
+            Ok(None) => prop_assert!(false, "a complete buffer must not stall"),
+            Err(FrameError::TooManyRoads { count, .. }) => {
+                prop_assert_eq!(count, u32::from(forged));
+            }
+            Err(FrameError::LengthMismatch { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error class: {e:?}"),
+        }
+    }
+
+    /// Forged length prefixes: overwrite the payload-length field of a
+    /// valid frame with every u32 shape — oversize caps fire from the
+    /// header, short claims are typed mismatches, long claims wait for
+    /// bytes that never come. The decoder never panics and never trusts
+    /// the forged length for an allocation.
+    #[test]
+    fn forged_length_prefixes_never_panic(
+        forged in 0u32..=u32::MAX,
+        roads in proptest::collection::vec(0u32..1000, 1..8),
+    ) {
+        let frame = Frame::Query(QueryFrame {
+            request_id: 5,
+            deadline_ms: Some(100),
+            max_staleness_ms: None,
+            slot: 1,
+            roads,
+        });
+        let mut wire = Vec::new();
+        encode_frame(&frame, &mut wire);
+        let real_len = (wire.len() - HEADER_LEN) as u32;
+        wire[16..20].copy_from_slice(&forged.to_be_bytes());
+        match decode_frame(&wire, limits()) {
+            Ok(Some((decoded, consumed))) => {
+                prop_assert_eq!(forged, real_len, "wrong length must not decode");
+                prop_assert_eq!(consumed, HEADER_LEN + real_len as usize);
+                prop_assert_eq!(decoded, frame);
+            }
+            // A longer-than-real claim inside the cap legitimately waits.
+            Ok(None) => prop_assert!(forged > real_len),
+            Err(FrameError::Oversize { len, .. }) => prop_assert_eq!(len, forged),
+            Err(FrameError::LengthMismatch { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error class: {e:?}"),
+        }
+    }
+}
+
+#[test]
+fn budget_sentinel_boundaries_roundtrip() {
+    // u32::MAX is the wire sentinel for "unset": a frame constructed with
+    // Some(u32::MAX) is indistinguishable from None on the wire and must
+    // decode as None (deferring to server config), while MAX-1 survives.
+    let mut wire = Vec::new();
+    encode_frame(
+        &Frame::Query(QueryFrame {
+            request_id: 1,
+            deadline_ms: Some(u32::MAX),
+            max_staleness_ms: Some(u32::MAX - 1),
+            slot: 0,
+            roads: vec![4],
+        }),
+        &mut wire,
+    );
+    let (decoded, _) = decode_frame(&wire, limits()).expect("valid").expect("complete");
+    let Frame::Query(q) = decoded else { panic!("query expected") };
+    assert_eq!(q.deadline_ms, None, "MAX must decode as the unset sentinel");
+    assert_eq!(q.max_staleness_ms, Some(u32::MAX - 1));
+}
+
+#[test]
+fn forged_answer_count_of_u32_max_is_a_typed_error() {
+    // An answer whose count field claims u32::MAX pairs behind a 32-byte
+    // payload: the expected-length product must saturate (not wrap back
+    // into range) and reject, with no element allocation.
+    let mut wire = Vec::new();
+    encode_frame(
+        &Frame::Answer(AnswerFrame {
+            request_id: 2,
+            generation: 1,
+            age_us: 0,
+            wait_us: 0,
+            slot: 0,
+            cache_hit: false,
+            roads: vec![],
+            speeds: vec![],
+        }),
+        &mut wire,
+    );
+    wire[HEADER_LEN + 28..HEADER_LEN + 32].copy_from_slice(&u32::MAX.to_be_bytes());
+    let err = decode_frame(&wire, limits()).expect_err("must reject");
+    assert!(matches!(err, FrameError::LengthMismatch { .. }), "got {err:?}");
+}
+
+#[test]
+fn oversized_detail_strings_clamp_on_a_char_boundary() {
+    // A detail string past the u16 length field's range, arranged so the
+    // 65535-byte cut lands mid-é: the encoder must back off to a char
+    // boundary and emit valid UTF-8 rather than wrap the length field.
+    let mut detail = "x".repeat(65_534);
+    detail.push_str("ééé");
+    let mut wire = Vec::new();
+    encode_frame(
+        &Frame::Reject(RejectFrame { request_id: 3, code: RejectCode::Internal, detail }),
+        &mut wire,
+    );
+    let big = DecodeLimits { max_payload: 1 << 20, max_roads: 64 };
+    let (decoded, consumed) = decode_frame(&wire, big).expect("valid").expect("complete");
+    assert_eq!(consumed, wire.len());
+    let Frame::Reject(r) = decoded else { panic!("reject expected") };
+    assert_eq!(r.detail.len(), 65_534, "cut must back off past the split é");
+    assert!(r.detail.ends_with('x'));
+}
+
+#[test]
+fn oversized_road_lists_clamp_to_the_count_field_range() {
+    // 70 000 roads cannot be described by the u16 count field: the
+    // encoder truncates to the first 65 535 instead of wrapping the count
+    // to 4 464 and desynchronizing the framing.
+    let roads: Vec<u32> = (0..70_000).collect();
+    let mut wire = Vec::new();
+    encode_frame(
+        &Frame::Query(QueryFrame {
+            request_id: 4,
+            deadline_ms: None,
+            max_staleness_ms: None,
+            slot: 0,
+            roads: roads.clone(),
+        }),
+        &mut wire,
+    );
+    let big = DecodeLimits::for_max_roads(u32::from(u16::MAX));
+    let (decoded, consumed) = decode_frame(&wire, big).expect("valid").expect("complete");
+    assert_eq!(consumed, wire.len());
+    let Frame::Query(q) = decoded else { panic!("query expected") };
+    assert_eq!(q.roads.len(), usize::from(u16::MAX));
+    assert_eq!(q.roads, roads[..usize::from(u16::MAX)]);
+}

@@ -30,18 +30,43 @@
 //! fn = "respond"                       # optional: only in this function
 //! contains = "values[r.index()]"       # optional: substring of the line
 //! reason = "why the construct is safe here"
+//!
+//! # Taint inventory for `cargo xtask taint` (see DESIGN.md §14). A
+//! # [[taint]] table is exactly one of four shapes, discriminated by
+//! # which key it carries:
+//! [[taint]]
+//! source = "rtse_edge::read_u16"            # fn spec: its return is tainted
+//! reason = "raw little-endian wire reads"   # (or "crate::Type.field" for
+//!                                           #  a wire-decoded struct field)
+//!
+//! [[taint]]
+//! sink = "alloc-size"                       # closed vocabulary: alloc-size,
+//! reason = "tainted sizes are the DoS vector"  # index, loop-bound, as-cast, arith
+//!
+//! [[taint]]
+//! sanitizer = "rtse_core::SpeedQuery::try_new"  # validated choke point:
+//! reason = "rejects empty/out-of-range queries" # its results are clean
+//!
+//! [[taint]]
+//! path = "crates/edge/src/frame.rs"    # waiver: silences one taint finding
+//! sink = "alloc-size"                  # optional: one sink kind
+//! fn = "decode_query"                  # optional: only in this function
+//! contains = "with_capacity"           # optional: substring of the line
+//! reason = "count is checked against limits.max_roads first"
 //! ```
 //!
-//! Parsing is fail-closed: unknown keys, unknown rule/construct names,
-//! and unknown policies are hard errors, not silently-never-matching
-//! entries. Every `[[allow]]` entry must be *used* by the current tree,
-//! every `[[lock]]` entry must match at least one acquisition site, and
-//! every `[[hotpath]]` entry must resolve (entries) or fire (waivers);
-//! stale entries are reported so the file cannot rot into a blanket
-//! waiver or a fictional hierarchy.
+//! Parsing is fail-closed: unknown keys, unknown rule/construct/sink
+//! names, and unknown policies are hard errors, not silently-never-
+//! matching entries. Every `[[allow]]` entry must be *used* by the
+//! current tree, every `[[lock]]` entry must match at least one
+//! acquisition site, every `[[hotpath]]` entry must resolve (entries) or
+//! fire (waivers), and every `[[taint]]` source/sanitizer must resolve
+//! and waiver must fire; stale entries are reported so the file cannot
+//! rot into a blanket waiver or a fictional hierarchy.
 
 use crate::graph::{CONSTRUCTS, FLOW_RULES};
 use crate::rules::LINT_RULES;
+use crate::taint::TAINT_SINKS;
 
 /// One `[[allow]]` entry.
 #[derive(Debug, Clone)]
@@ -133,6 +158,74 @@ impl HotpathWaiver {
     }
 }
 
+/// One `[[taint]]` source declaration: a value entering the workspace
+/// under attacker control. Either a function spec
+/// (`crate_ident::[Type::]fn` — every call's return value is tainted) or
+/// a field spec (`crate_ident::Type.field` — every read of that field is
+/// tainted).
+#[derive(Debug, Clone)]
+pub struct TaintSource {
+    pub spec: String,
+    /// Why this value is untrusted (shown in taint-report.json).
+    pub reason: String,
+}
+
+impl TaintSource {
+    /// `(crate_ident, type, field)` when this is a field spec.
+    pub fn field_spec(&self) -> Option<(&str, &str, &str)> {
+        let (path, field) = self.spec.rsplit_once('.')?;
+        let (crate_ident, ty) = path.split_once("::")?;
+        Some((crate_ident, ty, field))
+    }
+}
+
+/// One `[[taint]]` sink-kind declaration (closed vocabulary, see
+/// `taint::TAINT_SINKS`): a construct class that must never consume a
+/// tainted integer unwaived.
+#[derive(Debug, Clone)]
+pub struct TaintSinkDecl {
+    pub kind: String,
+    /// Why this construct class is dangerous on tainted input.
+    pub reason: String,
+}
+
+/// One `[[taint]]` sanitizer declaration: a validation choke point whose
+/// return value is clean regardless of argument taint
+/// (`crate_ident::[Type::]fn`).
+#[derive(Debug, Clone)]
+pub struct TaintSanitizer {
+    pub spec: String,
+    /// What invariant the sanitizer establishes.
+    pub reason: String,
+}
+
+/// One `[[taint]]` waiver: silences one class of taint finding, recording
+/// the safety invariant that makes the flagged site safe.
+#[derive(Debug, Clone)]
+pub struct TaintWaiver {
+    /// Repo-relative path suffix the waiver applies to.
+    pub path: String,
+    /// Optional sink kind (see `taint::TAINT_SINKS`).
+    pub sink: Option<String>,
+    /// Optional function-name restriction (`fn = "..."` in the toml).
+    pub func: Option<String>,
+    /// Optional substring the offending line must contain.
+    pub contains: Option<String>,
+    /// The safety invariant (required).
+    pub reason: String,
+}
+
+impl TaintWaiver {
+    /// Whether this waiver silences a `sink` finding in function `func`
+    /// of `path` on a line with content `snippet`.
+    pub fn matches(&self, path: &str, sink: &str, func: &str, snippet: &str) -> bool {
+        path.ends_with(&self.path)
+            && self.sink.as_deref().is_none_or(|s| s == sink)
+            && self.func.as_deref().is_none_or(|f| f == func)
+            && self.contains.as_deref().is_none_or(|c| snippet.contains(c))
+    }
+}
+
 /// Everything `lint.toml` declares.
 #[derive(Debug, Default)]
 pub struct Config {
@@ -144,6 +237,14 @@ pub struct Config {
     pub entries: Vec<HotpathEntry>,
     /// Hot-path waivers for `cargo xtask flow`.
     pub waivers: Vec<HotpathWaiver>,
+    /// Taint sources for `cargo xtask taint`.
+    pub taint_sources: Vec<TaintSource>,
+    /// Taint sink kinds for `cargo xtask taint`.
+    pub taint_sinks: Vec<TaintSinkDecl>,
+    /// Taint sanitizers for `cargo xtask taint`.
+    pub taint_sanitizers: Vec<TaintSanitizer>,
+    /// Taint waivers for `cargo xtask taint`.
+    pub taint_waivers: Vec<TaintWaiver>,
 }
 
 /// Parses `lint.toml`. Returns the config or a line-tagged error message.
@@ -156,6 +257,7 @@ pub fn parse(text: &str) -> Result<Config, String> {
         Allow,
         Lock,
         Hotpath,
+        Taint,
     }
 
     struct Partial {
@@ -171,6 +273,9 @@ pub fn parse(text: &str) -> Result<Config, String> {
         policy: Option<String>,
         construct: Option<String>,
         func: Option<String>,
+        source: Option<String>,
+        sink: Option<String>,
+        sanitizer: Option<String>,
     }
 
     impl Partial {
@@ -188,11 +293,34 @@ pub fn parse(text: &str) -> Result<Config, String> {
                 policy: None,
                 construct: None,
                 func: None,
+                source: None,
+                sink: None,
+                sanitizer: None,
             }
         }
     }
 
-    fn finish(lineno: usize, p: Partial, cfg: &mut Config) -> Result<(), String> {
+    /// `crate_ident::fn` or `crate_ident::Type::fn` — the shape
+    /// `CallGraph::resolve_entry` accepts.
+    fn is_fn_spec(spec: &str) -> bool {
+        let segs: Vec<&str> = spec.split("::").collect();
+        matches!(segs.len(), 2 | 3)
+            && segs
+                .iter()
+                .all(|s| !s.is_empty() && s.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_'))
+    }
+
+    fn check_sink_kind(lineno: usize, kind: &str) -> Result<(), String> {
+        if !TAINT_SINKS.contains(&kind) {
+            return Err(format!(
+                "lint.toml:{lineno}: unknown taint sink \"{kind}\" (known: {})",
+                TAINT_SINKS.join(", ")
+            ));
+        }
+        Ok(())
+    }
+
+    fn finish(lineno: usize, mut p: Partial, cfg: &mut Config) -> Result<(), String> {
         match p.table {
             Table::Lock => {
                 let acquire =
@@ -308,6 +436,77 @@ pub fn parse(text: &str) -> Result<Config, String> {
                     }
                 }
             }
+            Table::Taint => {
+                let reason = p
+                    .reason
+                    .take()
+                    .ok_or(format!("lint.toml:{lineno}: taint entry missing `reason`"))?;
+                let extras_forbidden = |p: &Partial, what: &str| -> Result<(), String> {
+                    if p.func.is_some() || p.contains.is_some() {
+                        return Err(format!(
+                            "lint.toml:{lineno}: `fn`/`contains` belong on taint waivers, not \
+                             {what} declarations"
+                        ));
+                    }
+                    Ok(())
+                };
+                match (p.source.take(), p.sanitizer.take(), p.path.take(), p.sink.take()) {
+                    (Some(spec), None, None, None) => {
+                        // Source: fn spec or `crate::Type.field` field spec.
+                        let ok = match spec.rsplit_once('.') {
+                            Some((path, field)) => {
+                                is_fn_spec(path)
+                                    && !field.is_empty()
+                                    && field.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_')
+                            }
+                            None => is_fn_spec(&spec),
+                        };
+                        if !ok {
+                            return Err(format!(
+                                "lint.toml:{lineno}: taint source must be \
+                                 `crate_ident::[Type::]fn` or `crate_ident::Type.field`, got \
+                                 \"{spec}\""
+                            ));
+                        }
+                        extras_forbidden(&p, "source")?;
+                        cfg.taint_sources.push(TaintSource { spec, reason });
+                    }
+                    (None, Some(spec), None, None) => {
+                        if !is_fn_spec(&spec) {
+                            return Err(format!(
+                                "lint.toml:{lineno}: taint sanitizer must be \
+                                 `crate_ident::[Type::]fn`, got \"{spec}\""
+                            ));
+                        }
+                        extras_forbidden(&p, "sanitizer")?;
+                        cfg.taint_sanitizers.push(TaintSanitizer { spec, reason });
+                    }
+                    (None, None, Some(path), sink) => {
+                        // Waiver: path [+ sink/fn/contains] + reason.
+                        if let Some(kind) = sink.as_deref() {
+                            check_sink_kind(lineno, kind)?;
+                        }
+                        cfg.taint_waivers.push(TaintWaiver {
+                            path,
+                            sink,
+                            func: p.func,
+                            contains: p.contains,
+                            reason,
+                        });
+                    }
+                    (None, None, None, Some(kind)) => {
+                        check_sink_kind(lineno, &kind)?;
+                        extras_forbidden(&p, "sink")?;
+                        cfg.taint_sinks.push(TaintSinkDecl { kind, reason });
+                    }
+                    _ => {
+                        return Err(format!(
+                            "lint.toml:{lineno}: taint table must be exactly one of: `source`, \
+                             `sanitizer`, `sink`, or a waiver (`path` [+ `sink`])"
+                        ))
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -322,6 +521,7 @@ pub fn parse(text: &str) -> Result<Config, String> {
             "[[allow]]" => Some(Table::Allow),
             "[[lock]]" => Some(Table::Lock),
             "[[hotpath]]" => Some(Table::Hotpath),
+            "[[taint]]" => Some(Table::Taint),
             _ => None,
         };
         if let Some(table) = table {
@@ -334,7 +534,7 @@ pub fn parse(text: &str) -> Result<Config, String> {
         if line.starts_with("[[") {
             return Err(format!(
                 "lint.toml:{lineno}: unknown table `{line}` (known: [[allow]], [[lock]], \
-                 [[hotpath]])"
+                 [[hotpath]], [[taint]])"
             ));
         }
         let Some((key, value)) = line.split_once('=') else {
@@ -344,7 +544,8 @@ pub fn parse(text: &str) -> Result<Config, String> {
         let value = value.trim();
         let Some((_, p)) = current.as_mut() else {
             return Err(format!(
-                "lint.toml:{lineno}: key outside an [[allow]]/[[lock]]/[[hotpath]] table"
+                "lint.toml:{lineno}: key outside an [[allow]]/[[lock]]/[[hotpath]]/[[taint]] \
+                 table"
             ));
         };
         if p.table == Table::Lock && key == "rank" {
@@ -374,6 +575,13 @@ pub fn parse(text: &str) -> Result<Config, String> {
             (Table::Hotpath, "fn") => &mut p.func,
             (Table::Hotpath, "contains") => &mut p.contains,
             (Table::Hotpath, "reason") => &mut p.reason,
+            (Table::Taint, "source") => &mut p.source,
+            (Table::Taint, "sink") => &mut p.sink,
+            (Table::Taint, "sanitizer") => &mut p.sanitizer,
+            (Table::Taint, "path") => &mut p.path,
+            (Table::Taint, "fn") => &mut p.func,
+            (Table::Taint, "contains") => &mut p.contains,
+            (Table::Taint, "reason") => &mut p.reason,
             (_, other) => return Err(format!("lint.toml:{lineno}: unknown key `{other}`")),
         };
         if slot.replace(value.to_string()).is_some() {
@@ -499,6 +707,83 @@ reason = "admission bounds-checks road ids"
             "respond",
             "let v = values[r.index()];"
         ));
+    }
+
+    #[test]
+    fn parses_taint_inventory() {
+        let text = r#"
+[[taint]]
+source = "rtse_edge::read_u16"
+reason = "raw wire reads"
+
+[[taint]]
+source = "rtse_edge::QueryFrame.roads"
+reason = "attacker-chosen road ids"
+
+[[taint]]
+sink = "alloc-size"
+reason = "memory DoS"
+
+[[taint]]
+sanitizer = "rtse_core::SpeedQuery::try_new"
+reason = "validated constructor"
+
+[[taint]]
+path = "crates/edge/src/frame.rs"
+sink = "alloc-size"
+fn = "decode_query"
+contains = "with_capacity"
+reason = "count checked against limits.max_roads"
+"#;
+        let cfg = parse(text).expect("parses");
+        assert_eq!(cfg.taint_sources.len(), 2);
+        assert_eq!(cfg.taint_sources[0].field_spec(), None);
+        assert_eq!(cfg.taint_sources[1].field_spec(), Some(("rtse_edge", "QueryFrame", "roads")));
+        assert_eq!(cfg.taint_sinks.len(), 1);
+        assert_eq!(cfg.taint_sinks[0].kind, "alloc-size");
+        assert_eq!(cfg.taint_sanitizers.len(), 1);
+        assert_eq!(cfg.taint_waivers.len(), 1);
+        let w = &cfg.taint_waivers[0];
+        assert!(w.matches(
+            "crates/edge/src/frame.rs",
+            "alloc-size",
+            "decode_query",
+            "let mut roads = Vec::with_capacity(count as usize);"
+        ));
+        assert!(!w.matches("crates/edge/src/frame.rs", "index", "decode_query", "with_capacity"));
+        assert!(!w.matches(
+            "crates/edge/src/frame.rs",
+            "alloc-size",
+            "decode_answer",
+            "with_capacity"
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_taint_tables() {
+        let bad_sink = "[[taint]]\nsink = \"allocsize\"\nreason = \"y\"\n";
+        let err = parse(bad_sink).expect_err("unknown sink kind");
+        assert!(err.contains("unknown taint sink"), "{err}");
+
+        let bad_source = "[[taint]]\nsource = \"no_crate_sep\"\nreason = \"y\"\n";
+        let err = parse(bad_source).expect_err("source without ::");
+        assert!(err.contains("taint source"), "{err}");
+
+        let two_shapes = "[[taint]]\nsource = \"a::b\"\nsanitizer = \"c::d\"\nreason = \"y\"\n";
+        assert!(parse(two_shapes).is_err(), "source + sanitizer in one table");
+
+        let none = "[[taint]]\nreason = \"y\"\n";
+        assert!(parse(none).is_err(), "no discriminating key");
+
+        let no_reason = "[[taint]]\nsource = \"a::b\"\n";
+        assert!(parse(no_reason).is_err(), "missing reason");
+
+        let waiver_bad_kind = "[[taint]]\npath = \"x.rs\"\nsink = \"boom\"\nreason = \"y\"\n";
+        let err = parse(waiver_bad_kind).expect_err("waiver with unknown sink");
+        assert!(err.contains("unknown taint sink"), "{err}");
+
+        let fn_on_source = "[[taint]]\nsource = \"a::b\"\nfn = \"f\"\nreason = \"y\"\n";
+        assert!(parse(fn_on_source).is_err(), "fn key on a source declaration");
     }
 
     #[test]

@@ -234,8 +234,9 @@ fn chain_to(parent: &HashMap<usize, usize>, fn_idx: usize) -> Vec<usize> {
     chain
 }
 
-/// Minimal JSON string escaping for the report.
-fn esc(s: &str) -> String {
+/// Minimal JSON string escaping for the report (shared with the taint
+/// pass's report).
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {

@@ -200,6 +200,11 @@ pub struct CallGraph {
     pub files_scanned: usize,
     /// Library idents of the crates scanned, sorted.
     pub crates: Vec<String>,
+    /// Transitive `[dependencies]` closure per crate ident — the
+    /// visibility map resolution filtered candidates through. Kept on the
+    /// graph so downstream passes (taint) can re-resolve call sites they
+    /// discover themselves under the same policy.
+    pub deps: HashMap<String, HashSet<String>>,
 }
 
 impl CallGraph {
@@ -272,7 +277,7 @@ pub fn build(root: &Path) -> Result<CallGraph, String> {
     let mut crates: Vec<String> = sources.iter().map(|(i, _, _)| i.clone()).collect();
     crates.sort();
     crates.dedup();
-    Ok(CallGraph { callees, unresolved_calls, files_scanned: sources.len(), crates, fns })
+    Ok(CallGraph { callees, unresolved_calls, files_scanned: sources.len(), crates, fns, deps })
 }
 
 /// Library ident of the crate rooted at `dir` (package name with `-`
@@ -367,16 +372,19 @@ fn collect_sources(
 }
 
 /// A function definition found during the raw scan (token coordinates).
-struct RawFn {
-    name_idx: usize,
-    body: Range<usize>,
+/// Exposed to the taint pass, which re-lexes files to get statement-level
+/// token ranges the [`FnDef`] summary does not keep.
+pub(crate) struct RawFn {
+    pub(crate) name_idx: usize,
+    pub(crate) body: Range<usize>,
     /// Parameter names, for closure-parameter call suppression.
-    params: Vec<String>,
+    pub(crate) params: Vec<String>,
     /// Parameters whose declared type resolved to a single type ident.
-    param_types: Vec<(String, String)>,
+    #[allow(dead_code)]
+    pub(crate) param_types: Vec<(String, String)>,
 }
 
-fn is_keyword(word: &str) -> bool {
+pub(crate) fn is_keyword(word: &str) -> bool {
     KEYWORDS.contains(&word)
 }
 
@@ -428,7 +436,7 @@ fn scan_file(crate_ident: &str, rel: &str, src: &str, out: &mut Vec<FnDef>) {
 /// Finds `impl` blocks: `(type name, body token range)`. The type is the
 /// last path segment before the body brace (after `for` when present),
 /// with generic argument lists skipped.
-fn find_impls(ast: &Ast) -> Vec<(String, Range<usize>)> {
+pub(crate) fn find_impls(ast: &Ast) -> Vec<(String, Range<usize>)> {
     let mut out = Vec::new();
     for idx in 0..ast.len() {
         if !ast.is_ident(idx, "impl") || ast.in_test(idx) {
@@ -479,7 +487,7 @@ fn find_impls(ast: &Ast) -> Vec<(String, Range<usize>)> {
 
 /// Finds function definitions with bodies (trait-method declarations
 /// ending in `;` are skipped), excluding `#[cfg(test)]` regions.
-fn find_fns(ast: &Ast) -> Vec<RawFn> {
+pub(crate) fn find_fns(ast: &Ast) -> Vec<RawFn> {
     let mut out = Vec::new();
     for idx in 0..ast.len().saturating_sub(1) {
         if !ast.is_ident(idx, "fn") || ast.in_test(idx) {
@@ -623,7 +631,7 @@ fn scan_events(ast: &Ast, defs: &mut [FnDef], owner_of: impl Fn(usize) -> Option
 
 /// Token index just past a turbofish (`:: < .. >`) starting at `idx`, or
 /// `idx` unchanged when there is none.
-fn skip_turbofish(ast: &Ast, idx: usize) -> usize {
+pub(crate) fn skip_turbofish(ast: &Ast, idx: usize) -> usize {
     if !(ast.is_punct(idx, b':') && ast.is_punct(idx + 1, b':') && ast.is_punct(idx + 2, b'<')) {
         return idx;
     }
@@ -798,7 +806,7 @@ fn detect_index_and_div(ast: &Ast, idx: usize, def: &mut FnDef) {
     }
 }
 
-fn has_float_literal(line: &str) -> bool {
+pub(crate) fn has_float_literal(line: &str) -> bool {
     let b = line.as_bytes();
     (1..b.len().saturating_sub(1))
         .any(|i| b[i] == b'.' && b[i - 1].is_ascii_digit() && b[i + 1].is_ascii_digit())
@@ -821,34 +829,73 @@ fn push_construct(
     });
 }
 
+/// Reusable call-site resolution under the module's policy: candidate
+/// lookup by name, visibility filtering through the dependency closure,
+/// then [`resolve_one`]'s kind-specific heuristics. Built once per
+/// analysis; borrowed by both the flow adjacency construction and the
+/// taint pass (which discovers its own call sites with token positions
+/// and needs them resolved identically).
+pub struct Resolver<'g> {
+    fns: &'g [FnDef],
+    deps: &'g HashMap<String, HashSet<String>>,
+    by_name: HashMap<&'g str, Vec<usize>>,
+    crate_idents: HashSet<&'g str>,
+    impl_types: HashSet<&'g str>,
+}
+
+impl<'g> Resolver<'g> {
+    pub fn new(fns: &'g [FnDef], deps: &'g HashMap<String, HashSet<String>>) -> Self {
+        let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.as_str()).or_default().push(i);
+        }
+        let crate_idents: HashSet<&str> = fns.iter().map(|f| f.crate_ident.as_str()).collect();
+        let impl_types: HashSet<&str> = fns.iter().filter_map(|f| f.impl_type.as_deref()).collect();
+        Resolver { fns, deps, by_name, crate_idents, impl_types }
+    }
+
+    /// Workspace function indices a call site may land in (empty = std,
+    /// trait object, ambient method, or closure parameter).
+    pub fn resolve(&self, caller: &FnDef, call: &CallSite) -> Vec<usize> {
+        // A call cannot land in a crate the caller does not (transitively)
+        // depend on. Crates absent from the map are unconstrained (the
+        // unit-test path).
+        let visible = self.deps.get(&caller.crate_ident);
+        let candidates = self.by_name.get(call.name.as_str()).map(Vec::as_slice).unwrap_or(&[]);
+        let candidates: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&j| visible.is_none_or(|v| v.contains(&self.fns[j].crate_ident)))
+            .collect();
+        resolve_one(self.fns, caller, call, &candidates, &self.crate_idents, &self.impl_types)
+    }
+}
+
+/// True when a bare call invokes a closure (or `fn`-pointer) parameter of
+/// the enclosing function. Resolution deliberately returns no edge for
+/// these — the closure's body is attributed to the function that writes
+/// it — but that suppression is *not* a proof the value flow stops: the
+/// PR 6 flow pass could ignore it (panics inside the closure body are
+/// still seen at the definition site), while the taint pass must treat
+/// such calls as taint-preserving pass-throughs (`f(tainted)` may return
+/// the tainted value). Callers that care use this predicate to apply the
+/// conservative assume-tainted fallback.
+pub fn is_closure_param_call(caller: &FnDef, call: &CallSite) -> bool {
+    call.kind == CallKind::Bare && caller.params.iter().any(|p| p == &call.name)
+}
+
 /// Resolves every call site to workspace function indices, producing the
 /// adjacency list and the unresolved-call count.
 fn resolve_calls(
     fns: &[FnDef],
     deps: &HashMap<String, HashSet<String>>,
 ) -> (Vec<Vec<usize>>, usize) {
-    let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
-    for (i, f) in fns.iter().enumerate() {
-        by_name.entry(f.name.as_str()).or_default().push(i);
-    }
-    let crate_idents: HashSet<&str> = fns.iter().map(|f| f.crate_ident.as_str()).collect();
-    let impl_types: HashSet<&str> = fns.iter().filter_map(|f| f.impl_type.as_deref()).collect();
-
+    let resolver = Resolver::new(fns, deps);
     let mut callees: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
     let mut unresolved = 0usize;
     for (i, f) in fns.iter().enumerate() {
-        // A call cannot land in a crate the caller does not (transitively)
-        // depend on. Crates absent from the map are unconstrained (the
-        // unit-test path).
-        let visible = deps.get(&f.crate_ident);
         for call in &f.calls {
-            let candidates = by_name.get(call.name.as_str()).map(Vec::as_slice).unwrap_or(&[]);
-            let candidates: Vec<usize> = candidates
-                .iter()
-                .copied()
-                .filter(|&j| visible.is_none_or(|v| v.contains(&fns[j].crate_ident)))
-                .collect();
-            let resolved = resolve_one(fns, f, call, &candidates, &crate_idents, &impl_types);
+            let resolved = resolver.resolve(f, call);
             if resolved.is_empty() {
                 unresolved += 1;
             } else {
@@ -1023,7 +1070,14 @@ mod tests {
         let mut crates: Vec<String> = fns.iter().map(|f| f.crate_ident.clone()).collect();
         crates.sort();
         crates.dedup();
-        CallGraph { callees, unresolved_calls, files_scanned: files.len(), crates, fns }
+        CallGraph {
+            callees,
+            unresolved_calls,
+            files_scanned: files.len(),
+            crates,
+            fns,
+            deps: HashMap::new(),
+        }
     }
 
     fn fn_named<'g>(g: &'g CallGraph, name: &str) -> (usize, &'g FnDef) {
@@ -1072,6 +1126,29 @@ mod tests {
         assert_eq!(inner.constructs.len(), 1);
         assert_eq!(inner.constructs[0].construct, "unwrap");
         assert!(outer.calls.iter().any(|c| c.name == "inner"));
+    }
+
+    #[test]
+    fn closure_param_calls_are_identified_not_just_dropped() {
+        // `f(n)` inside `apply` is a call through the closure parameter:
+        // it must resolve to no edge (the closure body lives at the call
+        // site of `apply`), but the predicate must still expose it so the
+        // taint pass can treat it as a taint-preserving pass-through
+        // instead of silently ending the flow (the PR 6 imprecision).
+        let g = graph_of(&[(
+            "app",
+            "crates/app/src/lib.rs",
+            "fn apply(n: usize, f: impl Fn(usize) -> usize) -> usize { f(n) }\n\
+             fn free(n: usize) -> usize { helper(n) }\n\
+             fn helper(n: usize) -> usize { n }\n",
+        )]);
+        let (ai, apply) = fn_named(&g, "apply");
+        let fcall = apply.calls.iter().find(|c| c.name == "f").expect("call f(n)");
+        assert!(is_closure_param_call(apply, fcall));
+        assert!(g.callees[ai].is_empty(), "closure-param call must not edge anywhere");
+        let (_, free) = fn_named(&g, "free");
+        let hcall = free.calls.iter().find(|c| c.name == "helper").expect("call helper(n)");
+        assert!(!is_closure_param_call(free, hcall));
     }
 
     #[test]

@@ -31,6 +31,7 @@ mod flow;
 mod graph;
 mod rules;
 mod scrub;
+mod taint;
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
@@ -40,6 +41,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
         Some("flow") => flow_cmd(&args[1..]),
+        Some("taint") => taint_cmd(&args[1..]),
         Some("bench-gate") => bench_gate::bench_gate_cmd(&args[1..], &workspace_root()),
         Some("help") | None => {
             print_usage();
@@ -59,6 +61,8 @@ fn print_usage() {
          commands:\n  \
          lint [--policy-only]   policy rules + fmt --check + clippy -D warnings\n  \
          flow [--check]         hot-path reachability analysis; writes flow-report.json\n  \
+         \x20                      (--check: verify the committed report instead)\n  \
+         taint [--check]        wire-input taint analysis; writes taint-report.json\n  \
          \x20                      (--check: verify the committed report instead)\n  \
          bench-gate [--check]   run the gate benches; writes bench-baseline.json\n  \
          \x20                      (--check: compare against the committed baseline)\n  \
@@ -201,6 +205,91 @@ fn flow_cmd(flags: &[String]) -> ExitCode {
     } else {
         println!(
             "flow: {} violation(s), {} stale entr{}",
+            outcome.violations.len(),
+            outcome.stale.len(),
+            if outcome.stale.len() == 1 { "y" } else { "ies" }
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// `cargo xtask taint`: interprocedural untrusted-input taint analysis.
+/// Fail-closed like `flow`: a missing `lint.toml` or an empty `[[taint]]`
+/// source or sink inventory is an error, not a trivially-clean pass.
+fn taint_cmd(flags: &[String]) -> ExitCode {
+    let check = flags.iter().any(|f| f == "--check");
+    if let Some(bad) = flags.iter().find(|f| *f != "--check") {
+        eprintln!("unknown flag `{bad}` for xtask taint");
+        return ExitCode::from(2);
+    }
+    let root = workspace_root();
+    let toml_path = root.join("lint.toml");
+    let cfg = match std::fs::read_to_string(&toml_path) {
+        Ok(text) => match allow::parse(&text) {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!("taint: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!("taint: reading lint.toml: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if cfg.taint_sources.is_empty() || cfg.taint_sinks.is_empty() {
+        eprintln!(
+            "taint: lint.toml declares no [[taint]] source/sink inventory; the untrusted-input \
+             surface must be inventoried explicitly (see DESIGN.md §14)"
+        );
+        return ExitCode::FAILURE;
+    }
+    let outcome = match taint::analyze(&root, &cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("taint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for v in &outcome.violations {
+        println!("{}", v.render());
+    }
+    for s in &outcome.stale {
+        println!("{s}");
+    }
+    let report_path = root.join("taint-report.json");
+    if check {
+        match std::fs::read_to_string(&report_path) {
+            Ok(committed) if committed == outcome.report => {
+                println!("taint-report.json: current")
+            }
+            Ok(_) => {
+                println!(
+                    "taint-report.json: STALE — regenerate with `cargo xtask taint` and commit \
+                     the diff"
+                );
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("taint: reading taint-report.json: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if let Err(e) = std::fs::write(&report_path, &outcome.report) {
+        eprintln!("taint: writing taint-report.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    if outcome.is_clean() {
+        println!(
+            "taint: ok ({} source(s), {} sink kind(s), {} waiver(s))",
+            cfg.taint_sources.len(),
+            cfg.taint_sinks.len(),
+            cfg.taint_waivers.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "taint: {} violation(s), {} stale entr{}",
             outcome.violations.len(),
             outcome.stale.len(),
             if outcome.stale.len() == 1 { "y" } else { "ies" }
